@@ -1,0 +1,49 @@
+//! Ablation for the §7 proposal: ordering the chunks of a chunked file
+//! organization (Deshpande et al. [2]) by a workload-aware snake instead of
+//! [2]'s fixed row-major. Measures both the cost side (seeks saved, printed
+//! once) and the time side (chunk lookup throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snakes_storage::chunks::{ChunkMap, ChunkedStore};
+use snakes_curves::NestedLoops;
+
+/// Column-scan query stream over a 64x64 grid chunked 8x8.
+fn stream() -> Vec<Vec<std::ops::Range<u64>>> {
+    (0..64u64).map(|x| vec![x..x + 1, 0..64]).collect()
+}
+
+fn seeks_with(order: NestedLoops, cache_chunks: usize) -> u64 {
+    let mut store = ChunkedStore::new(
+        ChunkMap::new(vec![64, 64], vec![8, 8]),
+        order,
+        cache_chunks,
+    );
+    stream().iter().map(|q| store.run_query(q).seeks).sum()
+}
+
+fn print_cost_ablation() {
+    for cache in [4usize, 16, 64] {
+        let rm = seeks_with(NestedLoops::row_major(vec![8, 8], &[0, 1]), cache);
+        let snake = seeks_with(NestedLoops::boustrophedon(vec![8, 8], &[1, 0]), cache);
+        println!(
+            "[chunked ablation] cache={cache} chunks: row-major {rm} seeks vs \
+             column-snake {snake} seeks ({:.1}x)",
+            rm as f64 / snake as f64
+        );
+    }
+}
+
+fn bench_chunk_access(c: &mut Criterion) {
+    print_cost_ablation();
+    let mut g = c.benchmark_group("chunked_store");
+    g.bench_function("row_major_order", |b| {
+        b.iter(|| seeks_with(NestedLoops::row_major(vec![8, 8], &[0, 1]), 16))
+    });
+    g.bench_function("snake_order", |b| {
+        b.iter(|| seeks_with(NestedLoops::boustrophedon(vec![8, 8], &[1, 0]), 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunk_access);
+criterion_main!(benches);

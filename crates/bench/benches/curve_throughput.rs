@@ -1,0 +1,82 @@
+//! Rank/unrank throughput of every linearization curve — the hot path of
+//! both the storage packer and the query executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snakes_core::lattice::LatticeShape;
+use snakes_core::path::LatticePath;
+use snakes_core::schema::StarSchema;
+use snakes_curves::{
+    path_curve, snaked_path_curve, GrayCurve, HilbertCurve, Linearization, NestedLoops,
+    ZOrderCurve,
+};
+
+const N: u64 = 1 << 16; // 256x256 grid
+
+fn curves() -> Vec<(&'static str, Box<dyn Linearization>)> {
+    let schema = StarSchema::square(2, 8).expect("valid");
+    let shape = LatticeShape::of_schema(&schema);
+    let path = LatticePath::from_dims(shape, vec![1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0])
+        .expect("valid");
+    vec![
+        (
+            "row_major",
+            Box::new(NestedLoops::row_major(vec![256, 256], &[0, 1])),
+        ),
+        (
+            "boustrophedon",
+            Box::new(NestedLoops::boustrophedon(vec![256, 256], &[0, 1])),
+        ),
+        ("z_order", Box::new(ZOrderCurve::square(8))),
+        ("gray", Box::new(GrayCurve::square(8))),
+        ("hilbert_2d", Box::new(HilbertCurve::square(8))),
+        ("hilbert_4d", Box::new(HilbertCurve::new(4, 4))),
+        ("lattice_path", Box::new(path_curve(&schema, &path))),
+        (
+            "snaked_lattice_path",
+            Box::new(snaked_path_curve(&schema, &path)),
+        ),
+    ]
+}
+
+fn bench_coords(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coords_of_rank");
+    g.throughput(Throughput::Elements(N));
+    for (name, lin) in curves() {
+        let k = lin.extents().len();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &lin, |b, lin| {
+            let mut buf = vec![0u64; k];
+            b.iter(|| {
+                let mut acc = 0u64;
+                for r in 0..lin.num_cells() {
+                    lin.coords(r, &mut buf);
+                    acc = acc.wrapping_add(buf[0]);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_of_coords_roundtrip");
+    g.throughput(Throughput::Elements(N));
+    for (name, lin) in curves() {
+        let k = lin.extents().len();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &lin, |b, lin| {
+            let mut buf = vec![0u64; k];
+            b.iter(|| {
+                let mut acc = 0u64;
+                for r in 0..lin.num_cells() {
+                    lin.coords(r, &mut buf);
+                    acc = acc.wrapping_add(lin.rank(&buf));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coords, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Theorem 1's complexity claim: the optimal-lattice-path DP is linear in
+//! the lattice size (and quadratic in the number of dimensions). Doubling
+//! the per-dimension level count quadruples the 2-D lattice and should
+//! roughly quadruple the runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snakes_core::cost::CostModel;
+use snakes_core::dp::{optimal_lattice_path, optimal_lattice_path_2d};
+use snakes_core::lattice::LatticeShape;
+use snakes_core::workload::Workload;
+
+fn model_2d(levels: usize) -> CostModel {
+    let shape = LatticeShape::new(vec![levels, levels]);
+    CostModel::new(shape, vec![vec![2.0; levels]; 2])
+}
+
+fn bench_dp_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_2d_lattice_size");
+    for levels in [8usize, 16, 32, 64] {
+        let model = model_2d(levels);
+        let w = Workload::uniform(model.shape().clone());
+        g.bench_with_input(
+            BenchmarkId::from_parameter((levels + 1) * (levels + 1)),
+            &levels,
+            |b, _| b.iter(|| optimal_lattice_path(&model, &w).cost),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dp_figure4_port(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_figure4_verbatim");
+    for levels in [8usize, 32] {
+        let model = model_2d(levels);
+        let w = Workload::uniform(model.shape().clone());
+        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            b.iter(|| optimal_lattice_path_2d(&model, &w).cost)
+        });
+    }
+    g.finish();
+}
+
+fn bench_dp_dimensions(c: &mut Criterion) {
+    // Fixed lattice size (~4096 classes), growing k: quadratic in k.
+    let mut g = c.benchmark_group("dp_dimensions");
+    for (k, levels) in [(2usize, 63usize), (3, 15), (4, 7), (6, 3), (12, 1)] {
+        let shape = LatticeShape::new(vec![levels; k]);
+        let model = CostModel::new(shape.clone(), vec![vec![2.0; levels]; k]);
+        let w = Workload::uniform(shape);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| optimal_lattice_path(&model, &w).cost)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dp_2d, bench_dp_figure4_port, bench_dp_dimensions);
+criterion_main!(benches);

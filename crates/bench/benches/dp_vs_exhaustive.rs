@@ -1,0 +1,37 @@
+//! The DP against brute-force path enumeration: same optimum (asserted),
+//! wildly different cost. The search space is the multinomial
+//! `(Σ ℓ_d)! / Π ℓ_d!`; the DP is linear in the lattice size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snakes_core::cost::CostModel;
+use snakes_core::dp::{optimal_lattice_path, optimal_lattice_path_exhaustive};
+use snakes_core::lattice::LatticeShape;
+use snakes_core::workload::Workload;
+
+fn setup(levels: usize) -> (CostModel, Workload) {
+    let shape = LatticeShape::new(vec![levels, levels]);
+    let model = CostModel::new(shape.clone(), vec![vec![2.0; levels]; 2]);
+    let w = Workload::uniform(shape);
+    (model, w)
+}
+
+fn bench_both(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_vs_exhaustive");
+    for levels in [2usize, 4, 6] {
+        let (model, w) = setup(levels);
+        // Agreement check before timing.
+        let dp = optimal_lattice_path(&model, &w);
+        let (_, best) = optimal_lattice_path_exhaustive(&model, &w);
+        assert!((dp.cost - best).abs() < 1e-9, "DP must match exhaustive");
+        g.bench_with_input(BenchmarkId::new("dp", levels), &levels, |b, _| {
+            b.iter(|| optimal_lattice_path(&model, &w).cost)
+        });
+        g.bench_with_input(BenchmarkId::new("exhaustive", levels), &levels, |b, _| {
+            b.iter(|| optimal_lattice_path_exhaustive(&model, &w).1)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_both);
+criterion_main!(benches);

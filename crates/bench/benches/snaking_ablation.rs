@@ -1,0 +1,93 @@
+//! Ablation: what snaking buys, and what it costs to compute.
+//!
+//! Cost side (printed once at startup): expected cost of the optimal
+//! lattice path with and without snaking across the 27 bias workloads —
+//! snaking is a pure win bounded by 2x (Theorem 3). Time side (benched):
+//! the analytic snaked-cost evaluation vs. the plain evaluation, and
+//! rank/coords of snaked vs. plain curves (snaking's only runtime cost is
+//! a parity chain in the address computation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snakes_core::cost::CostModel;
+use snakes_core::dp::optimal_lattice_path;
+use snakes_core::lattice::LatticeShape;
+use snakes_core::path::LatticePath;
+use snakes_core::schema::StarSchema;
+use snakes_core::snake::snaked_expected_cost;
+use snakes_core::workload::{bias_family, Workload};
+use snakes_curves::{path_curve, snaked_path_curve, Linearization};
+
+fn print_cost_ablation() {
+    let schema = StarSchema::square(2, 4).expect("valid");
+    let model = CostModel::of_schema(&schema);
+    let mut worst = 1.0f64;
+    let mut sum_ratio = 0.0;
+    let fam = bias_family(model.shape());
+    for (_, w) in &fam {
+        let dp = optimal_lattice_path(&model, w);
+        let plain = dp.cost;
+        let snaked = snaked_expected_cost(&model, &dp.path, w);
+        let ratio = plain / snaked;
+        worst = worst.max(ratio);
+        sum_ratio += ratio;
+    }
+    println!(
+        "[snaking ablation] 2-D binary n=4, {} workloads: mean cost ratio \
+         plain/snaked = {:.4}, max = {:.4} (Theorem 3 bound: 2)",
+        fam.len(),
+        sum_ratio / fam.len() as f64,
+        worst
+    );
+}
+
+fn bench_cost_evaluation(c: &mut Criterion) {
+    print_cost_ablation();
+    let schema = StarSchema::square(2, 6).expect("valid");
+    let model = CostModel::of_schema(&schema);
+    let shape = model.shape().clone();
+    let w = Workload::uniform(shape.clone());
+    let path = LatticePath::row_major(shape, &[1, 0]).expect("valid");
+    let mut g = c.benchmark_group("expected_cost_evaluation");
+    g.bench_function("plain", |b| b.iter(|| model.expected_cost(&path, &w)));
+    g.bench_function("snaked", |b| {
+        b.iter(|| snaked_expected_cost(&model, &path, &w))
+    });
+    g.finish();
+}
+
+fn bench_addressing_overhead(c: &mut Criterion) {
+    let schema = StarSchema::square(2, 8).expect("valid");
+    let shape = LatticeShape::of_schema(&schema);
+    let path = LatticePath::row_major(shape, &[1, 0]).expect("valid");
+    let plain = path_curve(&schema, &path);
+    let snaked = snaked_path_curve(&schema, &path);
+    let n = plain.num_cells();
+    let mut g = c.benchmark_group("addressing_overhead");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("plain_coords", |b| {
+        let mut buf = [0u64; 2];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..n {
+                plain.coords(r, &mut buf);
+                acc = acc.wrapping_add(buf[0]);
+            }
+            acc
+        })
+    });
+    g.bench_function("snaked_coords", |b| {
+        let mut buf = [0u64; 2];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..n {
+                snaked.coords(r, &mut buf);
+                acc = acc.wrapping_add(buf[0]);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_evaluation, bench_addressing_overhead);
+criterion_main!(benches);

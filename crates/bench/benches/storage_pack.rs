@@ -1,0 +1,62 @@
+//! Storage-simulator throughput: packing a TPC-D-scale grid and executing
+//! query classes against it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::path::LatticePath;
+use snakes_curves::snaked_path_curve;
+use snakes_storage::{class_stats, PackedLayout};
+use snakes_tpcd::{generate_cells, TpcdConfig};
+
+fn config() -> TpcdConfig {
+    TpcdConfig {
+        records: 100_000,
+        ..TpcdConfig::small()
+    }
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let cfg = config();
+    let mut g = c.benchmark_group("tpcd_generate");
+    g.throughput(Throughput::Elements(cfg.records));
+    g.bench_function("generate_cells", |b| b.iter(|| generate_cells(&cfg)));
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let cfg = config();
+    let schema = cfg.star_schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let cells = generate_cells(&cfg);
+    let path = LatticePath::row_major(shape, &[2, 0, 1]).expect("valid");
+    let curve = snaked_path_curve(&schema, &path);
+    let mut g = c.benchmark_group("storage_pack");
+    g.throughput(Throughput::Elements(cells.num_cells()));
+    g.bench_function("pack", |b| {
+        b.iter(|| PackedLayout::pack(&curve, &cells, cfg.storage()))
+    });
+    g.finish();
+}
+
+fn bench_class_stats(c: &mut Criterion) {
+    let cfg = config();
+    let schema = cfg.star_schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let cells = generate_cells(&cfg);
+    let path = LatticePath::row_major(shape, &[2, 0, 1]).expect("valid");
+    let curve = snaked_path_curve(&schema, &path);
+    let layout = PackedLayout::pack(&curve, &cells, cfg.storage());
+    let mut g = c.benchmark_group("query_execution");
+    // Finest class: one query per cell.
+    g.bench_function("class_0_0_0", |b| {
+        b.iter(|| class_stats(&schema, &curve, &layout, &Class(vec![0, 0, 0])))
+    });
+    // A typical rollup class.
+    g.bench_function("class_1_0_1", |b| {
+        b.iter(|| class_stats(&schema, &curve, &layout, &Class(vec![1, 0, 1])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_pack, bench_class_stats);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end regeneration time of the paper's tables (toy tables at full
+//! fidelity; the TPC-D tables at reduced scale so the bench suite stays
+//! fast — the repro binary runs them at paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snakes_bench::{toy, tpcd_tables};
+use snakes_tpcd::TpcdConfig;
+
+fn bench_toy_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables_toy");
+    g.bench_function("table1", |b| b.iter(toy::table1));
+    g.bench_function("table2", |b| b.iter(toy::table2));
+    g.bench_function("table3_fanout_2_4", |b| b.iter(|| toy::table3(&[2, 4])));
+    g.bench_function("theorem3_n8", |b| b.iter(|| toy::theorem3(8)));
+    g.finish();
+}
+
+fn bench_table3_fanout_32(c: &mut Criterion) {
+    // The 1024x1024 Hilbert CV extraction dominates; one sample profile.
+    let mut g = c.benchmark_group("paper_tables_large");
+    g.sample_size(10);
+    g.bench_function("table3_fanout_32_column", |b| {
+        b.iter(|| toy::table3(&[32]))
+    });
+    g.finish();
+}
+
+fn bench_tpcd_tables(c: &mut Criterion) {
+    let cfg = TpcdConfig {
+        records: 50_000,
+        ..TpcdConfig::small()
+    };
+    let mut g = c.benchmark_group("paper_tables_tpcd_reduced");
+    g.sample_size(10);
+    g.bench_function("table4_3_workloads", |b| {
+        b.iter(|| tpcd_tables::table4(&cfg, Some(&[1, 7, 27])))
+    });
+    g.bench_function("tables_5_6_fanout_2_4", |b| {
+        b.iter(|| tpcd_tables::tables_5_and_6(&cfg, &[2, 4]))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_toy_tables,
+    bench_table3_fanout_32,
+    bench_tpcd_tables
+);
+criterion_main!(benches);

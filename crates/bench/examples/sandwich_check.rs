@@ -1,0 +1,8 @@
+fn main() {
+    for n in 1..=3 {
+        match snakes_curves::hilbert_sandwich_pair(n) {
+            Some((a, b)) => println!("n={n}: pair found: {a} and {b}"),
+            None => println!("n={n}: NO pair of snaked lattice paths sandwiches Hilbert"),
+        }
+    }
+}

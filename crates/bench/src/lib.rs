@@ -1,0 +1,19 @@
+//! # snakes-bench
+//!
+//! The reproduction harness: one function per table and figure of the
+//! paper, shared by the `repro` binary (which prints them and regenerates
+//! `EXPERIMENTS.md`) and the Criterion benchmarks.
+//!
+//! * [`tables`] — plain-text / markdown table rendering;
+//! * [`toy`] — §2's toy schema artifacts: Tables 1-3, Figures 1-5,
+//!   Example 3, and the Theorem 3 bound;
+//! * [`tpcd_tables`] — §6's TPC-D experiments: Tables 4-6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod tables;
+pub mod toy;
+pub mod tpcd_tables;
+
+pub use tables::TextTable;

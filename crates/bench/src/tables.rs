@@ -1,0 +1,157 @@
+//! Minimal fixed-width text / markdown table rendering for the
+//! reproduction harness.
+
+/// A rectangular table of strings with a header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A new table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its arity must match the headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, column), data rows only.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Column index by header name.
+    pub fn column(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// Renders with aligned columns for terminals.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats an exact rational as the paper writes Table 1 entries:
+/// `total/count`.
+pub fn fraction(total: f64, count: f64) -> String {
+    if (total - total.round()).abs() < 1e-9 {
+        format!("{}/{}", total.round() as i64, count.round() as i64)
+    } else {
+        format!("{total:.2}/{}", count.round() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut t = TextTable::new("Demo", &["a", "bbbb"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["100", "2000"]);
+        let text = t.to_text();
+        assert!(text.contains("== Demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = TextTable::new("Demo", &["x", "y"]);
+        t.push_row(vec!["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = TextTable::new("T", &["c0", "c1"]);
+        t.push_row(vec!["a", "b"]);
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 1), "b");
+        assert_eq!(t.column("c1"), Some(1));
+        assert_eq!(t.column("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new("T", &["a"]);
+        t.push_row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn fraction_formatting() {
+        assert_eq!(fraction(16.0, 16.0), "16/16");
+        assert_eq!(fraction(10.0, 8.0), "10/8");
+        assert_eq!(fraction(12.25, 9.0), "12.25/9");
+    }
+}

@@ -1,0 +1,270 @@
+//! Reproduction of the paper's §6 TPC-D experiments: Tables 4, 5, and 6.
+//!
+//! The absolute numbers depend on the synthetic data distribution (the
+//! authors note their own packing randomness in §6.3); the *shape* to
+//! verify is: the snaked optimal lattice path has the fewest seeks on every
+//! workload, the worst row-major is many times worse, and the gap widens
+//! with the parts fanout.
+
+use crate::tables::TextTable;
+use snakes_tpcd::{fanout_sweep, tpcd_workloads, Evaluator, StrategyResult, TpcdConfig};
+
+fn fmt(r: &StrategyResult) -> String {
+    format!("{:.2} ({:.2})", r.avg_normalized_blocks, r.avg_seeks)
+}
+
+/// **Table 4**: normalized blocks read (and seeks per query, in
+/// parentheses) for the optimal lattice path, its snaked version, and the
+/// best/worst of the six row-major orders.
+///
+/// `subset` selects workload numbers (1-based; `None` = all 27). The paper
+/// prints workloads 1, 5, 7, 13 and 25 of its (unpublished) numbering; we
+/// default to all so every row is available.
+pub fn table4(config: &TpcdConfig, subset: Option<&[usize]>) -> TextTable {
+    let mut ev = Evaluator::new(*config);
+    let mut t = TextTable::new(
+        format!(
+            "Table 4: Avg Normalized Blocks Read (Avg Seeks Per Query), {} records",
+            config.records
+        ),
+        &[
+            "Workload",
+            "Biases p/s/t",
+            "P_opt",
+            "~P_opt",
+            "best row major",
+            "worst row major",
+            "hilbert",
+        ],
+    );
+    for nw in tpcd_workloads(config) {
+        if let Some(sel) = subset {
+            if !sel.contains(&nw.number) {
+                continue;
+            }
+        }
+        let e = ev.evaluate(&nw.workload);
+        t.push_row(vec![
+            nw.number.to_string(),
+            nw.label(),
+            fmt(&e.optimal),
+            fmt(&e.snaked_optimal),
+            fmt(e.best_row_major()),
+            fmt(e.worst_row_major()),
+            fmt(&e.hilbert),
+        ]);
+    }
+    t
+}
+
+/// **Tables 5 and 6**: normalized blocks read under the paper's workload 7
+/// as the parts fanout grows — absolute (Table 5) and relative to the
+/// snaked optimal lattice path (Table 6).
+pub fn tables_5_and_6(config: &TpcdConfig, fanouts: &[u64]) -> (TextTable, TextTable) {
+    let headers = [
+        "Fanout",
+        "P_opt",
+        "~P_opt",
+        "best row major",
+        "worst row major",
+    ];
+    let mut t5 = TextTable::new(
+        "Table 5: Normalized Blocks Read for Workload 7 (parts-fanout sweep)",
+        &headers,
+    );
+    let mut t6 = TextTable::new(
+        "Table 6: Normalized Blocks Read Relative to ~P_opt for Workload 7",
+        &headers,
+    );
+    for (f, e) in fanout_sweep(config, fanouts) {
+        let cols = [
+            e.optimal.avg_normalized_blocks,
+            e.snaked_optimal.avg_normalized_blocks,
+            e.best_row_major().avg_normalized_blocks,
+            e.worst_row_major().avg_normalized_blocks,
+        ];
+        let mut row5 = vec![f.to_string()];
+        row5.extend(cols.iter().map(|c| format!("{c:.2}")));
+        t5.push_row(row5);
+        let base = e.snaked_optimal.avg_normalized_blocks;
+        let mut row6 = vec![f.to_string()];
+        row6.extend(cols.iter().map(|c| format!("{:.2}", c / base)));
+        t6.push_row(row6);
+    }
+    (t5, t6)
+}
+
+/// The §7 chunked-organization experiment (extension table, not in the
+/// paper): replay a workload-7 query stream against a chunk cache, with
+/// chunks ordered row-major (Deshpande et al. [2]) vs by the snaked
+/// optimal lattice path through the chunk boundary.
+pub fn chunked_table(config: &TpcdConfig, cache_sizes: &[usize], queries: usize) -> TextTable {
+    let mut t = TextTable::new(
+        format!(
+            "Chunked organization ([2] + §7): chunk-fetch seeks over {queries} queries, \
+             workload 7"
+        ),
+        &[
+            "Cache (chunks)",
+            "row-major order",
+            "snaked optimal order",
+            "ratio",
+            "hit rate",
+        ],
+    );
+    let w7 = snakes_tpcd::paper_workload_7(config);
+    for &cache in cache_sizes {
+        let (rm, opt) = snakes_tpcd::chunked_comparison(config, &w7, cache, queries);
+        t.push_row(vec![
+            cache.to_string(),
+            rm.seeks.to_string(),
+            opt.seeks.to_string(),
+            format!("{:.2}x", rm.seeks as f64 / opt.seeks.max(1) as f64),
+            format!("{:.1}%", 100.0 * opt.hit_rate),
+        ]);
+    }
+    t
+}
+
+/// Seed-variance study (extension; the paper reports single runs and notes
+/// "randomness in the way grid cells are mapped across block boundaries"):
+/// re-runs the workload-7 measurement over several data seeds and reports
+/// mean ± population standard deviation of seeks per query per strategy.
+pub fn seed_variance_table(config: &TpcdConfig, seeds: &[u64]) -> TextTable {
+    let mut t = TextTable::new(
+        format!(
+            "Seed variance: seeks/query for workload 7, {} seeds, {} records",
+            seeds.len(),
+            config.records
+        ),
+        &["Strategy", "mean seeks", "std dev", "rel std"],
+    );
+    let mut per_strategy: Vec<(&str, Vec<f64>)> = vec![
+        ("P_opt", Vec::new()),
+        ("~P_opt", Vec::new()),
+        ("best row major", Vec::new()),
+        ("worst row major", Vec::new()),
+        ("hilbert", Vec::new()),
+    ];
+    for &seed in seeds {
+        let cfg = TpcdConfig { seed, ..*config };
+        let w7 = snakes_tpcd::paper_workload_7(&cfg);
+        let mut ev = Evaluator::new(cfg);
+        let e = ev.evaluate(&w7.workload);
+        let values = [
+            e.optimal.avg_seeks,
+            e.snaked_optimal.avg_seeks,
+            e.best_row_major().avg_seeks,
+            e.worst_row_major().avg_seeks,
+            e.hilbert.avg_seeks,
+        ];
+        for ((_, acc), v) in per_strategy.iter_mut().zip(values) {
+            acc.push(v);
+        }
+    }
+    for (name, xs) in &per_strategy {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        t.push_row(vec![
+            (*name).to_string(),
+            format!("{mean:.2}"),
+            format!("{std:.2}"),
+            format!("{:.1}%", 100.0 * std / mean),
+        ]);
+    }
+    t
+}
+
+/// The seeks-based counterpart of Table 4 rows, for the §6.3 claim "in all
+/// cases, the number of seeks per query was least for the snaked optimal
+/// lattice path": returns `(workload number, ~P_opt seeks, min seeks of
+/// all other measured strategies)`.
+pub fn seeks_dominance(config: &TpcdConfig) -> Vec<(usize, f64, f64)> {
+    let mut ev = Evaluator::new(*config);
+    let mut out = Vec::new();
+    for nw in tpcd_workloads(config) {
+        let e = ev.evaluate(&nw.workload);
+        let others = e
+            .row_majors
+            .iter()
+            .map(|r| r.avg_seeks)
+            .chain(std::iter::once(e.optimal.avg_seeks))
+            .fold(f64::INFINITY, f64::min);
+        out.push((nw.number, e.snaked_optimal.avg_seeks, others));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpcdConfig {
+        TpcdConfig {
+            records: 12_000,
+            ..TpcdConfig::small()
+        }
+    }
+
+    #[test]
+    fn table4_subset_renders_requested_rows() {
+        let t = table4(&tiny(), Some(&[1, 7]));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), "1");
+        assert_eq!(t.cell(1, 0), "7");
+        // Cells look like "1.23 (4.56)".
+        assert!(t.cell(0, 2).contains('('));
+    }
+
+    #[test]
+    fn tables_5_6_shape() {
+        let (t5, t6) = tables_5_and_6(&tiny(), &[2, 4]);
+        assert_eq!(t5.num_rows(), 2);
+        assert_eq!(t6.num_rows(), 2);
+        // Table 6 normalizes ~P_opt to 1.00.
+        let c = t6.column("~P_opt").unwrap();
+        assert_eq!(t6.cell(0, c), "1.00");
+        // Worst row major is at least as bad as the best.
+        let best = t5.column("best row major").unwrap();
+        let worst = t5.column("worst row major").unwrap();
+        for r in 0..t5.num_rows() {
+            let b: f64 = t5.cell(r, best).parse().unwrap();
+            let w: f64 = t5.cell(r, worst).parse().unwrap();
+            assert!(w >= b);
+        }
+    }
+
+    #[test]
+    fn seed_variance_has_five_rows_and_sane_numbers() {
+        let t = seed_variance_table(&tiny(), &[1, 2, 3]);
+        assert_eq!(t.num_rows(), 5);
+        for r in 0..t.num_rows() {
+            let mean: f64 = t.cell(r, 1).parse().unwrap();
+            let std: f64 = t.cell(r, 2).parse().unwrap();
+            assert!(mean >= 1.0);
+            assert!(std >= 0.0 && std < mean);
+        }
+    }
+
+    #[test]
+    fn snaked_optimal_has_fewest_seeks_at_paper_density() {
+        // §6.3: "In all cases, the number of seeks per query was least for
+        // the snaked optimal lattice path." The claim is about data dense
+        // enough that cells are page-sized or larger (the optimizer works
+        // at cell granularity); at very low densities a page can span many
+        // cells and physical seeks decouple from the optimized surrogate.
+        // Use a dense small grid: ~70 records/cell ≈ 1.1 pages/cell.
+        let config = TpcdConfig {
+            records: 16_800 * 70,
+            ..TpcdConfig::small()
+        };
+        for (n, snaked, others) in seeks_dominance(&config) {
+            assert!(
+                snaked <= others * 1.02 + 1e-9,
+                "workload {n}: snaked {snaked} vs others {others}"
+            );
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The CLI commands as pure functions: parsed arguments and input
+//! documents in, JSON out. The binary (`main.rs`) only handles files and
+//! process exit codes.
+
+use crate::spec::{SchemaSpec, SpecError, WorkloadSpec};
+use serde::Serialize;
+use snakes_core::advisor::recommend;
+use snakes_core::dp::k_best_lattice_paths;
+use snakes_core::cost::CostModel;
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::path::LatticePath;
+use snakes_core::stats::WorkloadEstimator;
+use snakes_curves::{path_curve, snaked_path_curve, Linearization};
+
+/// CLI failures: usage errors carry exit-code semantics for `main`.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Bad input document.
+    Spec(SpecError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+/// The JSON document `advise` emits.
+#[derive(Debug, Serialize)]
+struct AdviceOut {
+    /// Per-class cost breakdown, present with `--explain`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    explanation: Option<snakes_core::explain::CostExplanation>,
+    /// Dimensions stepped, innermost loop first.
+    path_dims: Vec<usize>,
+    /// The same path as lattice points.
+    path_points: Vec<Vec<usize>>,
+    /// Human-readable path.
+    path: String,
+    expected_cost_plain: f64,
+    expected_cost_snaked: f64,
+    guarantee_factor: f64,
+    max_snaking_benefit: f64,
+    row_majors: Vec<RowMajorOut>,
+    savings_vs_worst_row_major: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RowMajorOut {
+    order_innermost_first: Vec<usize>,
+    cost_plain: f64,
+    cost_snaked: f64,
+}
+
+/// `snakes advise`: schema + workload → recommendation JSON. With
+/// `explain`, includes the per-class cost breakdown.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on invalid documents.
+pub fn advise(
+    schema_json: &str,
+    workload_json: &str,
+    explain: bool,
+) -> Result<String, CliError> {
+    let schema = SchemaSpec::parse(schema_json)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let workload = WorkloadSpec::parse(workload_json, &shape)?;
+    let rec = recommend(&schema, &workload);
+    let explanation = explain.then(|| {
+        let model = CostModel::of_schema(&schema);
+        snakes_core::explain::explain(&model, &rec.optimal_path, &workload)
+    });
+    let out = AdviceOut {
+        explanation,
+        path_dims: rec.optimal_path.dims().to_vec(),
+        path_points: rec.optimal_path.points().iter().map(|c| c.0.clone()).collect(),
+        path: rec.optimal_path.to_string(),
+        expected_cost_plain: rec.plain_cost,
+        expected_cost_snaked: rec.snaked_cost,
+        guarantee_factor: rec.guarantee_factor,
+        max_snaking_benefit: rec.max_snaking_benefit,
+        row_majors: rec
+            .row_majors
+            .iter()
+            .map(|(o, p, s)| RowMajorOut {
+                order_innermost_first: o.clone(),
+                cost_plain: *p,
+                cost_snaked: *s,
+            })
+            .collect(),
+        savings_vs_worst_row_major: rec.savings_vs_worst_row_major(),
+    };
+    Ok(serde_json::to_string_pretty(&out).expect("output serializes"))
+}
+
+/// `snakes estimate`: schema + one JSON class vector per line → workload
+/// JSON (dense `probs`). Blank lines are skipped; `smooth` is the Laplace
+/// alpha.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on invalid documents or an empty stream with
+/// `smooth == 0`.
+pub fn estimate(schema_json: &str, queries_jsonl: &str, smooth: f64) -> Result<String, CliError> {
+    let schema = SchemaSpec::parse(schema_json)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let mut est = WorkloadEstimator::new(shape);
+    for (lineno, line) in queries_jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let levels: Vec<usize> = serde_json::from_str(line).map_err(|e| {
+            CliError::Spec(SpecError::Invalid(format!("line {}: {e}", lineno + 1)))
+        })?;
+        est.observe(&Class(levels))
+            .map_err(|e| CliError::Spec(SpecError::Invalid(format!("line {}: {e}", lineno + 1))))?;
+    }
+    let w = est
+        .to_workload_smoothed(smooth)
+        .map_err(|e| CliError::Spec(SpecError::Invalid(e.to_string())))?;
+    #[derive(Serialize)]
+    struct Out<'a> {
+        observed: u64,
+        probs: &'a [f64],
+    }
+    Ok(serde_json::to_string_pretty(&Out {
+        observed: est.total(),
+        probs: w.probs(),
+    })
+    .expect("output serializes"))
+}
+
+/// `snakes topk`: the `k` cheapest lattice paths with plain and snaked
+/// costs.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on invalid documents or `k == 0`.
+pub fn topk(schema_json: &str, workload_json: &str, k: usize) -> Result<String, CliError> {
+    if k == 0 {
+        return Err(CliError::Usage("--k must be at least 1".into()));
+    }
+    let schema = SchemaSpec::parse(schema_json)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let workload = WorkloadSpec::parse(workload_json, &shape)?;
+    let model = CostModel::of_schema(&schema);
+    #[derive(Serialize)]
+    struct PathOut {
+        rank: usize,
+        path: String,
+        dims: Vec<usize>,
+        cost_plain: f64,
+        cost_snaked: f64,
+    }
+    let out: Vec<PathOut> = k_best_lattice_paths(&model, &workload, k)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (p, c))| PathOut {
+            rank: i + 1,
+            path: p.to_string(),
+            dims: p.dims().to_vec(),
+            cost_plain: c,
+            cost_snaked: snakes_core::snake::snaked_expected_cost(&model, &p, &workload),
+        })
+        .collect();
+    Ok(serde_json::to_string_pretty(&out).expect("output serializes"))
+}
+
+/// `snakes order`: materializes the clustering order of a path over the
+/// schema's grid — one JSON array of cell coordinates per line, `limit`
+/// lines (0 = all). `snaked` picks the snaked curve.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on invalid documents or a malformed path.
+pub fn order(
+    schema_json: &str,
+    path_dims: &str,
+    snaked: bool,
+    limit: u64,
+) -> Result<String, CliError> {
+    let schema = SchemaSpec::parse(schema_json)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let dims: Vec<usize> = path_dims
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|e| CliError::Usage(format!("bad path `{path_dims}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let path = LatticePath::from_dims(shape, dims)
+        .map_err(|e| CliError::Spec(SpecError::Invalid(e.to_string())))?;
+    let curve = if snaked {
+        snaked_path_curve(&schema, &path)
+    } else {
+        path_curve(&schema, &path)
+    };
+    let n = if limit == 0 {
+        curve.num_cells()
+    } else {
+        limit.min(curve.num_cells())
+    };
+    let mut out = String::new();
+    for r in 0..n {
+        let coords = curve.coords_vec(r);
+        out.push_str(&serde_json::to_string(&coords).expect("coords serialize"));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `snakes reorg`: should the table be re-clustered? Current path (as
+/// comma-separated step dims) + new workload + one-time reorg I/O cost →
+/// decision JSON.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on invalid inputs.
+pub fn reorg(
+    schema_json: &str,
+    workload_json: &str,
+    current_path: &str,
+    reorg_io_cost: f64,
+) -> Result<String, CliError> {
+    let schema = SchemaSpec::parse(schema_json)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let workload = WorkloadSpec::parse(workload_json, &shape)?;
+    let dims: Vec<usize> = current_path
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|e| CliError::Usage(format!("bad path `{current_path}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let current = LatticePath::from_dims(shape, dims)
+        .map_err(|e| CliError::Spec(SpecError::Invalid(e.to_string())))?;
+    let model = CostModel::of_schema(&schema);
+    let d = snakes_core::advisor::reorg_decision(&model, &current, &workload, reorg_io_cost);
+    #[derive(Serialize)]
+    struct Out {
+        keep_cost: f64,
+        reorg_cost: f64,
+        saving_per_query: f64,
+        break_even_queries: Option<f64>,
+        new_path: String,
+        new_path_dims: Vec<usize>,
+    }
+    Ok(serde_json::to_string_pretty(&Out {
+        keep_cost: d.keep_cost,
+        reorg_cost: d.reorg_cost,
+        saving_per_query: d.saving_per_query,
+        break_even_queries: d.break_even_queries,
+        new_path: d.new_path.to_string(),
+        new_path_dims: d.new_path.dims().to_vec(),
+    })
+    .expect("output serializes"))
+}
+
+/// Dispatches a full argv (excluding the program name). Returns the output
+/// document to print.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands/flags; the binary maps
+/// it to exit code 2.
+pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+    let mut pos = Vec::new();
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut bools: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => {
+                    bools.insert(name.to_string());
+                }
+            }
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    let file = |key: &str| -> Result<String, CliError> {
+        let path = flags
+            .get(key)
+            .ok_or_else(|| CliError::Usage(format!("--{key} <file> is required")))?;
+        read_file(path).map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))
+    };
+    match pos.first().map(String::as_str) {
+        Some("advise") => advise(
+            &file("schema")?,
+            &file("workload")?,
+            bools.contains("explain"),
+        ),
+        Some("estimate") => {
+            let smooth = flags
+                .get("smooth")
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --smooth: {e}")))?
+                .unwrap_or(0.0);
+            estimate(&file("schema")?, &file("queries")?, smooth)
+        }
+        Some("topk") => {
+            let k = flags
+                .get("k")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --k: {e}")))?
+                .unwrap_or(3);
+            topk(&file("schema")?, &file("workload")?, k)
+        }
+        Some("reorg") => {
+            let path = flags
+                .get("path")
+                .ok_or_else(|| CliError::Usage("--path d0,d1,... is required".into()))?;
+            let cost = flags
+                .get("cost")
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --cost: {e}")))?
+                .unwrap_or(0.0);
+            reorg(&file("schema")?, &file("workload")?, path, cost)
+        }
+        Some("order") => {
+            let path = flags
+                .get("path")
+                .ok_or_else(|| CliError::Usage("--path d0,d1,... is required".into()))?;
+            let limit = flags
+                .get("limit")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --limit: {e}")))?
+                .unwrap_or(0);
+            order(&file("schema")?, path, !bools.contains("plain"), limit)
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+        None => Err(CliError::Usage(
+            "expected a command: advise | estimate | topk | order | reorg".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str =
+        r#"{"dims":[{"name":"jeans","fanouts":[2,2]},{"name":"location","fanouts":[2,2]}]}"#;
+    const UNIFORM: &str =
+        r#"{"marginals":[[0.34,0.33,0.33],[0.34,0.33,0.33]]}"#;
+
+    #[test]
+    fn advise_produces_a_valid_document() {
+        let out = advise(SCHEMA, UNIFORM, false).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["guarantee_factor"], 2.0);
+        assert!(v["expected_cost_snaked"].as_f64().unwrap() <= v["expected_cost_plain"].as_f64().unwrap());
+        assert_eq!(v["row_majors"].as_array().unwrap().len(), 2);
+        assert_eq!(v["path_dims"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn advise_with_explain_includes_breakdown() {
+        let out = advise(SCHEMA, UNIFORM, true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let classes = v["explanation"]["classes"].as_array().unwrap();
+        assert_eq!(classes.len(), 9);
+        let share_sum: f64 = classes
+            .iter()
+            .map(|c| c["share"].as_f64().unwrap())
+            .sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // Without the flag, the field is omitted.
+        let plain = advise(SCHEMA, UNIFORM, false).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        assert!(v.get("explanation").is_none());
+    }
+
+    #[test]
+    fn estimate_counts_lines() {
+        let queries = "[0,0]\n[0,0]\n\n[2,2]\n";
+        let out = estimate(SCHEMA, queries, 0.0).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["observed"], 3);
+        let probs = v["probs"].as_array().unwrap();
+        assert_eq!(probs.len(), 9);
+        assert!((probs[0].as_f64().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_lines() {
+        assert!(estimate(SCHEMA, "[0,0]\nnot json\n", 0.0).is_err());
+        assert!(estimate(SCHEMA, "[9,9]\n", 0.0).is_err());
+        assert!(estimate(SCHEMA, "", 0.0).is_err());
+        assert!(estimate(SCHEMA, "", 1.0).is_ok());
+    }
+
+    #[test]
+    fn topk_is_sorted_and_snaked_never_worse() {
+        let out = topk(SCHEMA, UNIFORM, 4).unwrap();
+        let v: Vec<serde_json::Value> = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.len(), 4);
+        let mut prev = 0.0;
+        for p in &v {
+            let plain = p["cost_plain"].as_f64().unwrap();
+            let snaked = p["cost_snaked"].as_f64().unwrap();
+            assert!(plain >= prev);
+            assert!(snaked <= plain + 1e-12);
+            prev = plain;
+        }
+        assert!(topk(SCHEMA, UNIFORM, 0).is_err());
+    }
+
+    #[test]
+    fn order_lists_cells() {
+        let out = order(SCHEMA, "1,1,0,0", true, 5).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let first: Vec<u64> = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first, vec![0, 0]);
+        assert!(order(SCHEMA, "1,1,0", true, 0).is_err());
+        assert!(order(SCHEMA, "1,x", true, 0).is_err());
+    }
+
+    #[test]
+    fn reorg_reports_break_even() {
+        // Current path clusters dim 0 innermost; the workload wants dim 1.
+        let w = r#"{"classes":[{"class":[0,2],"weight":1}]}"#;
+        let out = reorg(SCHEMA, w, "0,0,1,1", 50.0).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["keep_cost"].as_f64().unwrap() > v["reorg_cost"].as_f64().unwrap());
+        assert!(v["break_even_queries"].as_f64().unwrap() > 0.0);
+        // Already-optimal: no break-even.
+        let dims = v["new_path_dims"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let again = reorg(SCHEMA, w, &dims, 50.0).unwrap();
+        let v2: serde_json::Value = serde_json::from_str(&again).unwrap();
+        assert!(v2["break_even_queries"].is_null());
+        assert!(reorg(SCHEMA, w, "0,0", 1.0).is_err());
+    }
+
+    #[test]
+    fn arbitrary_args_never_panic() {
+        // Fuzz the dispatcher: any argv must yield Ok or a structured
+        // error, never a panic.
+        let read = |_: &str| -> std::io::Result<String> {
+            Ok(SCHEMA.to_string()) // every "file" is a schema document
+        };
+        let mut runner = proptest::test_runner::TestRunner::new(
+            proptest::test_runner::Config::with_cases(200),
+        );
+        runner
+            .run(
+                &proptest::collection::vec("[a-z0-9,.=-]{0,12}", 0..6),
+                |args| {
+                    let _ = run(&args, &read);
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn run_dispatches_with_virtual_files() {
+        let read = |path: &str| -> std::io::Result<String> {
+            match path {
+                "s.json" => Ok(SCHEMA.to_string()),
+                "w.json" => Ok(UNIFORM.to_string()),
+                "q.jsonl" => Ok("[1,1]\n[1,1]\n".to_string()),
+                _ => Err(std::io::Error::new(std::io::ErrorKind::NotFound, path)),
+            }
+        };
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert!(run(&args("advise --schema s.json --workload w.json"), &read).is_ok());
+        assert!(run(&args("estimate --schema s.json --queries q.jsonl"), &read).is_ok());
+        assert!(run(&args("topk --schema s.json --workload w.json --k 2"), &read).is_ok());
+        assert!(run(
+            &args("order --schema s.json --path 0,0,1,1 --limit 3 --plain"),
+            &read
+        )
+        .is_ok());
+        assert!(run(
+            &args("reorg --schema s.json --workload w.json --path 0,0,1,1 --cost 10"),
+            &read
+        )
+        .is_ok());
+        assert!(run(&args("bogus"), &read).is_err());
+        assert!(run(&[], &read).is_err());
+        assert!(run(&args("advise --schema missing.json --workload w.json"), &read).is_err());
+    }
+}

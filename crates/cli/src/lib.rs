@@ -1,0 +1,33 @@
+//! # snakes-cli
+//!
+//! The clustering advisor as a command-line tool. All commands consume and
+//! produce JSON, so the advisor slots into loading pipelines:
+//!
+//! ```text
+//! snakes advise   --schema schema.json --workload workload.json
+//! snakes estimate --schema schema.json --queries queries.jsonl [--smooth A]
+//! snakes topk     --schema schema.json --workload workload.json --k 5
+//! snakes order    --schema schema.json --path 1,0,1,0 [--plain] [--limit N]
+//! snakes reorg    --schema schema.json --workload workload.json \
+//!                 --path 0,0,1,1 --cost 5000
+//! ```
+//!
+//! Schema JSON: `{"dims": [{"name": "parts", "fanouts": [40, 5]}, ...]}`.
+//! Workload JSON (one of):
+//! * `{"probs": [ ... ]}` — dense, rank order (dimension 0 fastest);
+//! * `{"classes": [{"class": [0, 1], "weight": 3.5}, ...]}` — sparse
+//!   weights, normalized;
+//! * `{"marginals": [[...], ...]}` — §6.2-style per-dimension level
+//!   distributions, multiplied.
+//!
+//! The library half exposes each command as a pure `&str -> Result<String>`
+//! function so the binary stays a thin dispatcher and everything is unit
+//! tested.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod commands;
+pub mod spec;
+
+pub use commands::{run, CliError};

@@ -1,0 +1,25 @@
+//! `snakes` — the clustering advisor CLI. See the library docs
+//! (`snakes_cli`) for the commands and document formats.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read = |path: &str| std::fs::read_to_string(path);
+    match snakes_cli::run(&args, &read) {
+        Ok(out) => {
+            println!("{out}");
+        }
+        Err(e @ snakes_cli::CliError::Usage(_)) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: snakes <advise|estimate|topk|order|reorg> --schema s.json \
+                 [--workload w.json] [--queries q.jsonl] [--k K] \
+                 [--path d0,d1,...] [--plain] [--limit N] [--smooth A] [--cost C]"
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

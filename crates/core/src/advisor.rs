@@ -1,0 +1,363 @@
+//! The end-to-end clustering advisor: the paper's workflow as one call.
+//!
+//! Given a star schema and a workload, [`recommend`] runs the
+//! optimal-lattice-path DP (§4), snakes the result (§5), and reports the
+//! costs alongside the row-major baselines. By Theorems 2 and 3 the
+//! recommended snaked optimal lattice path has expected cost within a
+//! factor of 2 of the globally optimal clustering strategy — the paper's
+//! §5.3 performance guarantee, surfaced in
+//! [`Recommendation::guarantee_factor`].
+
+use crate::cost::CostModel;
+use crate::dp::{optimal_lattice_path, DpResult};
+use crate::path::LatticePath;
+use crate::schema::StarSchema;
+use crate::snake::{max_benefit, snaked_expected_cost};
+use crate::workload::Workload;
+
+/// A clustering recommendation with its cost diagnostics.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The optimal lattice path `P_μ^opt` found by the DP.
+    pub optimal_path: LatticePath,
+    /// Expected cost of `P_μ^opt` *without* snaking.
+    pub plain_cost: f64,
+    /// Expected cost of the recommended clustering: the snaked `P_μ^opt`.
+    pub snaked_cost: f64,
+    /// Upper bound on `snaked_cost / cost(global optimum)`: 2 by §5.3.
+    pub guarantee_factor: f64,
+    /// The largest per-class improvement snaking achieved (`< 2`, Thm 3).
+    pub max_snaking_benefit: f64,
+    /// Cost of every row-major ordering (all `k!` dimension orders), as
+    /// `(innermost-first dimension order, plain cost, snaked cost)`.
+    pub row_majors: Vec<(Vec<usize>, f64, f64)>,
+}
+
+impl Recommendation {
+    /// The cheapest row-major's plain cost (the best a hierarchy-oblivious
+    /// DBA could do by picking a sort order).
+    pub fn best_row_major_cost(&self) -> f64 {
+        self.row_majors
+            .iter()
+            .map(|(_, c, _)| *c)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The most expensive row-major's plain cost.
+    pub fn worst_row_major_cost(&self) -> f64 {
+        self.row_majors
+            .iter()
+            .map(|(_, c, _)| *c)
+            .fold(0.0, f64::max)
+    }
+
+    /// Expected-I/O savings of the recommendation vs. the worst row-major,
+    /// as a fraction in `[0, 1)`.
+    pub fn savings_vs_worst_row_major(&self) -> f64 {
+        1.0 - self.snaked_cost / self.worst_row_major_cost()
+    }
+}
+
+/// Recommends a clustering for `schema` under `workload`.
+///
+/// # Panics
+///
+/// Panics (debug) if the workload is not over the schema's class lattice.
+pub fn recommend(schema: &StarSchema, workload: &Workload) -> Recommendation {
+    let model = CostModel::of_schema(schema);
+    recommend_with_model(&model, workload)
+}
+
+/// As [`recommend`], for a prebuilt [`CostModel`] (e.g. fractional fanouts
+/// from unbalanced hierarchies).
+pub fn recommend_with_model(model: &CostModel, workload: &Workload) -> Recommendation {
+    let DpResult { path, cost, .. } = optimal_lattice_path(model, workload);
+    let snaked_cost = snaked_expected_cost(model, &path, workload);
+    let row_majors = LatticePath::all_row_majors(model.shape())
+        .into_iter()
+        .map(|p| {
+            let plain = model.expected_cost(&p, workload);
+            let snaked = snaked_expected_cost(model, &p, workload);
+            // Recover the dimension order from the path's step sequence.
+            let mut order = Vec::new();
+            for &d in p.dims() {
+                if order.last() != Some(&d) {
+                    order.push(d);
+                }
+            }
+            (order, plain, snaked)
+        })
+        .collect();
+    Recommendation {
+        max_snaking_benefit: max_benefit(model, &path),
+        optimal_path: path,
+        plain_cost: cost,
+        snaked_cost,
+        guarantee_factor: 2.0,
+        row_majors,
+    }
+}
+
+/// The outcome of a re-clustering cost/benefit analysis.
+#[derive(Debug, Clone)]
+pub struct ReorgDecision {
+    /// Expected snaked cost of keeping the current clustering.
+    pub keep_cost: f64,
+    /// Expected snaked cost after re-clustering to the new optimum.
+    pub reorg_cost: f64,
+    /// The new recommended path (equals the current one when keeping).
+    pub new_path: LatticePath,
+    /// Per-query expected saving of re-clustering.
+    pub saving_per_query: f64,
+    /// Queries needed to amortize the reorganization, if it ever pays off.
+    pub break_even_queries: Option<f64>,
+}
+
+impl ReorgDecision {
+    /// Whether re-clustering pays off within `horizon_queries`.
+    pub fn worth_it(&self, horizon_queries: f64) -> bool {
+        self.break_even_queries
+            .map_or(false, |b| b <= horizon_queries)
+    }
+}
+
+/// Should the table be re-clustered? Compares the current clustering's
+/// expected (snaked) cost under the new workload against the new optimum,
+/// and amortizes `reorg_io_cost` (the one-time cost of rewriting the
+/// table, in the same seek units — roughly `total_pages`) over the
+/// per-query saving.
+///
+/// # Panics
+///
+/// Panics (debug) on lattice mismatches.
+pub fn reorg_decision(
+    model: &CostModel,
+    current: &LatticePath,
+    workload: &Workload,
+    reorg_io_cost: f64,
+) -> ReorgDecision {
+    let keep_cost = snaked_expected_cost(model, current, workload);
+    let dp = optimal_lattice_path(model, workload);
+    let reorg_cost = snaked_expected_cost(model, &dp.path, workload);
+    let saving = keep_cost - reorg_cost;
+    ReorgDecision {
+        keep_cost,
+        reorg_cost,
+        new_path: if saving > 0.0 {
+            dp.path
+        } else {
+            current.clone()
+        },
+        saving_per_query: saving.max(0.0),
+        break_even_queries: if saving > 1e-12 {
+            Some(reorg_io_cost / saving)
+        } else {
+            None
+        },
+    }
+}
+
+/// A robust (minimax) recommendation over a set of candidate workloads.
+#[derive(Debug, Clone)]
+pub struct RobustRecommendation {
+    /// The chosen path.
+    pub path: LatticePath,
+    /// Its worst-case snaked cost over the workload set.
+    pub worst_case_cost: f64,
+    /// Index of the workload achieving the worst case.
+    pub worst_workload: usize,
+    /// Snaked cost of the path on each workload.
+    pub per_workload_cost: Vec<f64>,
+}
+
+/// Picks the lattice path minimizing the *worst-case* snaked cost over a
+/// set of plausible workloads — for when the workload is uncertain (e.g.
+/// several candidate estimates, or seasonal mixes).
+///
+/// Candidates are the union of each workload's `k_seed` cheapest paths
+/// (via [`crate::dp::k_best_lattice_paths`]), so the search stays
+/// polynomial while provably containing every per-workload optimum; the
+/// returned worst case is therefore within the per-workload optima's
+/// envelope.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or `k_seed == 0`, or (debug) on lattice
+/// mismatches.
+pub fn robust_recommend(
+    model: &CostModel,
+    workloads: &[Workload],
+    k_seed: usize,
+) -> RobustRecommendation {
+    assert!(!workloads.is_empty(), "need at least one workload");
+    let mut candidates: Vec<LatticePath> = Vec::new();
+    for w in workloads {
+        for (p, _) in crate::dp::k_best_lattice_paths(model, w, k_seed) {
+            if !candidates.contains(&p) {
+                candidates.push(p);
+            }
+        }
+    }
+    let mut best: Option<RobustRecommendation> = None;
+    for p in candidates {
+        let per: Vec<f64> = workloads
+            .iter()
+            .map(|w| snaked_expected_cost(model, &p, w))
+            .collect();
+        let (worst_idx, worst) = per
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &c)| (i, c))
+            .expect("non-empty workloads");
+        if best
+            .as_ref()
+            .map_or(true, |b| worst < b.worst_case_cost)
+        {
+            best = Some(RobustRecommendation {
+                path: p,
+                worst_case_cost: worst,
+                worst_workload: worst_idx,
+                per_workload_cost: per,
+            });
+        }
+    }
+    best.expect("at least one candidate path")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Class;
+    use crate::workload::{bias_family, Workload};
+
+    #[test]
+    fn recommendation_on_toy_uniform() {
+        let schema = StarSchema::paper_toy();
+        let shape = crate::lattice::LatticeShape::of_schema(&schema);
+        let w = Workload::uniform(shape);
+        let rec = recommend(&schema, &w);
+        // Snaking never hurts; the optimal path is at least as good as every
+        // row-major.
+        assert!(rec.snaked_cost <= rec.plain_cost + 1e-12);
+        assert!(rec.plain_cost <= rec.best_row_major_cost() + 1e-12);
+        assert!(rec.max_snaking_benefit < 2.0);
+        assert_eq!(rec.row_majors.len(), 2);
+        assert!(rec.savings_vs_worst_row_major() >= 0.0);
+    }
+
+    #[test]
+    fn row_major_orders_are_distinct_permutations() {
+        let schema = StarSchema::new(vec![
+            crate::schema::Hierarchy::new("p", vec![40, 5]).unwrap(),
+            crate::schema::Hierarchy::new("s", vec![10]).unwrap(),
+            crate::schema::Hierarchy::new("t", vec![12, 7]).unwrap(),
+        ])
+        .unwrap();
+        let shape = crate::lattice::LatticeShape::of_schema(&schema);
+        let w = Workload::uniform(shape);
+        let rec = recommend(&schema, &w);
+        assert_eq!(rec.row_majors.len(), 6);
+        let orders: std::collections::HashSet<_> =
+            rec.row_majors.iter().map(|(o, _, _)| o.clone()).collect();
+        assert_eq!(orders.len(), 6);
+        for (o, _, _) in &rec.row_majors {
+            assert_eq!(o.len(), 3);
+        }
+    }
+
+    #[test]
+    fn recommendation_tracks_workload_shifts() {
+        // Mass concentrated on classes selective in dimension 0 should make
+        // paths that climb dimension 0 late (keeping its loops outer) lose,
+        // and the recommendation adapt accordingly: the recommended cost
+        // must match the exhaustive optimum for each workload.
+        let schema = StarSchema::paper_toy();
+        let model = CostModel::of_schema(&schema);
+        for (_, w) in bias_family(model.shape()) {
+            let rec = recommend(&schema, &w);
+            let (_, best) = crate::dp::optimal_lattice_path_exhaustive(&model, &w);
+            assert!((rec.plain_cost - best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn robust_minimax_beats_single_workload_choices_in_the_worst_case() {
+        // Two adversarial point workloads pulling in opposite directions:
+        // committing to either one's optimum is bad for the other; the
+        // robust pick must weakly improve the worst case over both.
+        let schema = StarSchema::square(2, 2).unwrap();
+        let model = CostModel::of_schema(&schema);
+        let shape = model.shape().clone();
+        let wa = Workload::point(shape.clone(), &Class(vec![2, 0])).unwrap();
+        let wb = Workload::point(shape, &Class(vec![0, 2])).unwrap();
+        let ws = [wa.clone(), wb.clone()];
+        let robust = robust_recommend(&model, &ws, 6);
+        for w in &ws {
+            let dp = crate::dp::optimal_lattice_path(&model, w);
+            let committed_worst = ws
+                .iter()
+                .map(|v| crate::snake::snaked_expected_cost(&model, &dp.path, v))
+                .fold(0.0, f64::max);
+            assert!(robust.worst_case_cost <= committed_worst + 1e-9);
+        }
+        // And it matches brute force over all paths.
+        let mut brute = f64::INFINITY;
+        for p in LatticePath::enumerate(model.shape()) {
+            let worst = ws
+                .iter()
+                .map(|v| crate::snake::snaked_expected_cost(&model, &p, v))
+                .fold(0.0, f64::max);
+            brute = brute.min(worst);
+        }
+        assert!((robust.worst_case_cost - brute).abs() < 1e-9);
+        assert_eq!(robust.per_workload_cost.len(), 2);
+        assert!(robust.worst_workload < 2);
+    }
+
+    #[test]
+    fn reorg_decision_amortizes_correctly() {
+        let schema = StarSchema::paper_toy();
+        let model = CostModel::of_schema(&schema);
+        let shape = model.shape().clone();
+        // Current clustering optimized for column scans; workload shifts to
+        // row scans.
+        let current = LatticePath::row_major(shape.clone(), &[0, 1]).unwrap();
+        let w = Workload::point(shape.clone(), &Class(vec![0, 2])).unwrap();
+        let d = reorg_decision(&model, &current, &w, 100.0);
+        assert!(d.keep_cost > d.reorg_cost);
+        assert!(d.saving_per_query > 0.0);
+        let be = d.break_even_queries.unwrap();
+        assert!((be - 100.0 / d.saving_per_query).abs() < 1e-9);
+        assert!(d.worth_it(be + 1.0));
+        assert!(!d.worth_it(be - 1.0));
+        // Already-optimal clustering: never worth it.
+        let d2 = reorg_decision(&model, &d.new_path, &w, 100.0);
+        assert!(d2.break_even_queries.is_none());
+        assert!(!d2.worth_it(f64::INFINITY.min(1e18)));
+        assert_eq!(d2.new_path, d.new_path);
+    }
+
+    #[test]
+    fn robust_with_single_workload_equals_plain_recommendation() {
+        let schema = StarSchema::paper_toy();
+        let model = CostModel::of_schema(&schema);
+        let w = Workload::uniform(model.shape().clone());
+        let robust = robust_recommend(&model, std::slice::from_ref(&w), 3);
+        let dp = crate::dp::optimal_lattice_path(&model, &w);
+        let plain_snaked = crate::snake::snaked_expected_cost(&model, &dp.path, &w);
+        // The robust candidate set contains the per-workload optimum, and
+        // the snaked best among the seeds can only improve on it.
+        assert!(robust.worst_case_cost <= plain_snaked + 1e-9);
+    }
+
+    #[test]
+    fn point_workload_yields_cost_one() {
+        let schema = StarSchema::paper_toy();
+        let shape = crate::lattice::LatticeShape::of_schema(&schema);
+        let w = Workload::point(shape, &Class(vec![1, 1])).unwrap();
+        let rec = recommend(&schema, &w);
+        assert!((rec.plain_cost - 1.0).abs() < 1e-12);
+        assert!((rec.snaked_cost - 1.0).abs() < 1e-12);
+    }
+}

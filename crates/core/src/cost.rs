@@ -1,0 +1,355 @@
+//! The expected-I/O cost model for lattice-path clusterings (paper §4).
+//!
+//! The cost surrogate for a query is the number of contiguous fragments of
+//! the linearization needed to cover its cells. For a (un-snaked) lattice
+//! path `P` and a query class `u`, every query in `u` costs exactly
+//! `len(v* → u)` fragments, where `v*` is the *departure point*: the last
+//! point of `P` inside the down-set of `u`, and `len` is the product of the
+//! lattice edge weights (fanouts) between the two points.
+//!
+//! This is the quantity the paper's `raw_A`/`raw_B` recurrences charge
+//! (Theorem 1, observation 1) and matches brute-force fragment counting on
+//! the data grid (verified by cross-crate property tests). Note the prose
+//! definition in §4 ("min over monotone segments to *some* point of P")
+//! coincides with the departure-point distance on all of the paper's
+//! examples; the departure-point form is the one that equals physical
+//! fragment counts in general, so it is the one implemented here.
+
+use crate::lattice::{Class, LatticeShape};
+use crate::path::LatticePath;
+use crate::workload::Workload;
+
+/// The fanout-weighted cost model over a query-class lattice.
+///
+/// Wraps the lattice shape together with per-dimension, per-level (average)
+/// fanouts `f(d, i)`, `i = 1..=ℓ_d`, stored as `f64` so that unbalanced
+/// hierarchies (paper §4.1) with fractional average fanouts are supported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    shape: LatticeShape,
+    /// `fanouts[d][i-1]` = `f(d, i)`.
+    fanouts: Vec<Vec<f64>>,
+}
+
+impl CostModel {
+    /// Builds a cost model from raw fanouts. Panics if the fanout vector
+    /// arity disagrees with the lattice shape or any fanout is not positive.
+    pub fn new(shape: LatticeShape, fanouts: Vec<Vec<f64>>) -> Self {
+        assert_eq!(fanouts.len(), shape.k(), "one fanout vector per dimension");
+        for (d, f) in fanouts.iter().enumerate() {
+            assert_eq!(
+                f.len(),
+                shape.top_level(d),
+                "dimension {d} needs {} fanouts",
+                shape.top_level(d)
+            );
+            assert!(
+                f.iter().all(|&x| x.is_finite() && x > 0.0),
+                "fanouts must be positive"
+            );
+        }
+        Self { shape, fanouts }
+    }
+
+    /// The cost model of a star schema.
+    pub fn of_schema(schema: &crate::schema::StarSchema) -> Self {
+        Self::new(LatticeShape::of_schema(schema), schema.fanouts_f64())
+    }
+
+    /// The lattice shape.
+    pub fn shape(&self) -> &LatticeShape {
+        &self.shape
+    }
+
+    /// `f(d, i)` for `1 <= i <= ℓ_d`.
+    pub fn fanout(&self, d: usize, i: usize) -> f64 {
+        self.fanouts[d][i - 1]
+    }
+
+    /// The raw fanout table.
+    pub fn fanouts(&self) -> &[Vec<f64>] {
+        &self.fanouts
+    }
+
+    /// The weight of the lattice edge from `u` to its `d`-successor:
+    /// `wt(u, u + e_d) = f(d, u_d + 1)` (paper §3).
+    pub fn edge_weight(&self, u: &Class, d: usize) -> f64 {
+        self.fanout(d, u.level(d) + 1)
+    }
+
+    /// `len` of a monotone path between comparable points `lo <= hi`: the
+    /// product of all edge weights on any monotone path between them (the
+    /// product is path-independent). `len(u, u) = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `lo` is not `<=` `hi`.
+    pub fn len_between(&self, lo: &Class, hi: &Class) -> f64 {
+        debug_assert!(lo.leq(hi), "len_between needs lo <= hi");
+        let mut len = 1.0;
+        for d in 0..self.shape.k() {
+            for i in lo.level(d) + 1..=hi.level(d) {
+                len *= self.fanout(d, i);
+            }
+        }
+        len
+    }
+
+    /// `dist_P(u)`: the expected fragment count of a class-`u` query under
+    /// the (un-snaked) clustering induced by `path`. Equals 1 for classes on
+    /// the path.
+    pub fn dist(&self, path: &LatticePath, u: &Class) -> f64 {
+        let v = path.departure_point(u);
+        self.len_between(&v, u)
+    }
+
+    /// Per-class costs under `path`, indexed by [`LatticeShape::rank`].
+    pub fn class_costs(&self, path: &LatticePath) -> Vec<f64> {
+        (0..self.shape.num_classes())
+            .map(|r| self.dist(path, &self.shape.unrank(r)))
+            .collect()
+    }
+
+    /// `cost_μ(P) = Σ_u p_u · dist_P(u)`: the expected cost of the
+    /// clustering `P` over workload `μ` (paper §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the workload's lattice differs from the model's.
+    pub fn expected_cost(&self, path: &LatticePath, workload: &Workload) -> f64 {
+        debug_assert_eq!(workload.shape(), &self.shape, "workload lattice mismatch");
+        let mut cost = 0.0;
+        for r in 0..self.shape.num_classes() {
+            let p = workload.prob_by_rank(r);
+            if p > 0.0 {
+                cost += p * self.dist(path, &self.shape.unrank(r));
+            }
+        }
+        cost
+    }
+
+    /// Number of queries in class `u`: the number of aligned subgrids,
+    /// `Π_d (leaves_d / subtree_size(u_d))`, using the (possibly fractional)
+    /// average-fanout model.
+    pub fn queries_in_class(&self, u: &Class) -> f64 {
+        let mut n = 1.0;
+        for d in 0..self.shape.k() {
+            for i in u.level(d) + 1..=self.shape.top_level(d) {
+                n *= self.fanout(d, i);
+            }
+        }
+        n
+    }
+
+    /// Total number of cells `Π_d leaves_d` in the fanout model.
+    pub fn num_cells(&self) -> f64 {
+        let mut n = 1.0;
+        for f in &self.fanouts {
+            for &x in f {
+                n *= x;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StarSchema;
+    use crate::workload::Workload;
+
+    fn toy_model() -> CostModel {
+        CostModel::of_schema(&StarSchema::paper_toy())
+    }
+
+    fn toy_shape() -> LatticeShape {
+        LatticeShape::of_schema(&StarSchema::paper_toy())
+    }
+
+    fn p1() -> LatticePath {
+        LatticePath::from_dims(toy_shape(), vec![1, 1, 0, 0]).unwrap()
+    }
+
+    fn p2() -> LatticePath {
+        LatticePath::from_dims(toy_shape(), vec![1, 0, 1, 0]).unwrap()
+    }
+
+    /// Average query-class costs from the paper's Table 1 for `P_1`:
+    /// {(0,0):1, (1,1):2, (2,2):1, (1,0):2, (0,1):1, (2,0):4, (0,2):1,
+    ///  (2,1):4, (1,2):1}.
+    #[test]
+    fn table_1_p1_column() {
+        let m = toy_model();
+        let p = p1();
+        let expect = [
+            (vec![0, 0], 1.0),
+            (vec![1, 1], 2.0),
+            (vec![2, 2], 1.0),
+            (vec![1, 0], 2.0),
+            (vec![0, 1], 1.0),
+            (vec![2, 0], 4.0),
+            (vec![0, 2], 1.0),
+            (vec![2, 1], 4.0),
+            (vec![1, 2], 1.0),
+        ];
+        for (c, want) in expect {
+            let got = m.dist(&p, &Class(c.clone()));
+            assert_eq!(got, want, "class {c:?}");
+        }
+    }
+
+    /// Table 1 for `P_2`: {(0,0):1, (1,1):1, (2,2):1, (1,0):2, (0,1):1,
+    /// (2,0):4, (0,2):2, (2,1):2, (1,2):1}.
+    #[test]
+    fn table_1_p2_column() {
+        let m = toy_model();
+        let p = p2();
+        let expect = [
+            (vec![0, 0], 1.0),
+            (vec![1, 1], 1.0),
+            (vec![2, 2], 1.0),
+            (vec![1, 0], 2.0),
+            (vec![0, 1], 1.0),
+            (vec![2, 0], 4.0),
+            (vec![0, 2], 2.0),
+            (vec![2, 1], 2.0),
+            (vec![1, 2], 1.0),
+        ];
+        for (c, want) in expect {
+            let got = m.dist(&p, &Class(c.clone()));
+            assert_eq!(got, want, "class {c:?}");
+        }
+    }
+
+    /// Table 2, workload 1 (uniform): cost(P_1) = 17/9, cost(P_2) = 15/9.
+    #[test]
+    fn table_2_workload_1() {
+        let m = toy_model();
+        let w = Workload::uniform(toy_shape());
+        assert!((m.expected_cost(&p1(), &w) - 17.0 / 9.0).abs() < 1e-12);
+        assert!((m.expected_cost(&p2(), &w) - 15.0 / 9.0).abs() < 1e-12);
+    }
+
+    /// Table 2, workload 2 (exclude (0,1),(0,2),(1,1)):
+    /// cost(P_1) = 13/6, cost(P_2) = 11/6.
+    #[test]
+    fn table_2_workload_2() {
+        let m = toy_model();
+        let w = Workload::uniform_excluding(
+            toy_shape(),
+            &[Class(vec![0, 1]), Class(vec![0, 2]), Class(vec![1, 1])],
+        )
+        .unwrap();
+        assert!((m.expected_cost(&p1(), &w) - 13.0 / 6.0).abs() < 1e-12);
+        assert!((m.expected_cost(&p2(), &w) - 11.0 / 6.0).abs() < 1e-12);
+    }
+
+    /// Table 2, workload 3 (only (0,0),(0,1),(0,2),(1,2)):
+    /// cost(P_1) = 1, cost(P_2) = 5/4.
+    #[test]
+    fn table_2_workload_3() {
+        let m = toy_model();
+        let w = Workload::uniform_over(
+            toy_shape(),
+            &[
+                Class(vec![0, 0]),
+                Class(vec![0, 1]),
+                Class(vec![0, 2]),
+                Class(vec![1, 2]),
+            ],
+        )
+        .unwrap();
+        assert!((m.expected_cost(&p1(), &w) - 1.0).abs() < 1e-12);
+        assert!((m.expected_cost(&p2(), &w) - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    /// §4's worked example: dist_{P_1}((0,1)) = 1 and dist_{P_1}((2,0)) = 4.
+    #[test]
+    fn section_4_dist_examples() {
+        let m = toy_model();
+        assert_eq!(m.dist(&p1(), &Class(vec![0, 1])), 1.0);
+        assert_eq!(m.dist(&p1(), &Class(vec![2, 0])), 4.0);
+    }
+
+    /// §5.2's example: dist_{P_3}((2,0)) = 4 for
+    /// P_3 = ⟨(0,0),(0,1),(1,1),(2,1),(2,2)⟩.
+    #[test]
+    fn section_5_2_dist_example() {
+        let m = toy_model();
+        let p3 = LatticePath::from_dims(toy_shape(), vec![1, 0, 0, 1]).unwrap();
+        assert_eq!(
+            p3.display_points(),
+            "⟨(0,0),(0,1),(1,1),(2,1),(2,2)⟩"
+        );
+        assert_eq!(m.dist(&p3, &Class(vec![2, 0])), 4.0);
+    }
+
+    #[test]
+    fn len_between_multiplies_fanouts() {
+        let m = toy_model();
+        assert_eq!(m.len_between(&Class(vec![0, 0]), &Class(vec![0, 0])), 1.0);
+        assert_eq!(m.len_between(&Class(vec![0, 0]), &Class(vec![2, 1])), 8.0);
+        assert_eq!(m.len_between(&Class(vec![1, 1]), &Class(vec![2, 2])), 4.0);
+    }
+
+    #[test]
+    fn edge_weight_is_next_fanout() {
+        // In Figure 3, wt((1,1),(2,1)) = f(A, 2).
+        let m = CostModel::new(
+            LatticeShape::new(vec![2, 2]),
+            vec![vec![3.0, 5.0], vec![2.0, 7.0]],
+        );
+        assert_eq!(m.edge_weight(&Class(vec![1, 1]), 0), 5.0);
+        assert_eq!(m.edge_weight(&Class(vec![1, 1]), 1), 7.0);
+        assert_eq!(m.edge_weight(&Class(vec![0, 0]), 0), 3.0);
+    }
+
+    #[test]
+    fn queries_in_class_counts_subgrids() {
+        let m = toy_model();
+        assert_eq!(m.queries_in_class(&Class(vec![0, 0])), 16.0);
+        assert_eq!(m.queries_in_class(&Class(vec![1, 1])), 4.0);
+        assert_eq!(m.queries_in_class(&Class(vec![2, 2])), 1.0);
+        assert_eq!(m.queries_in_class(&Class(vec![2, 0])), 4.0);
+        assert_eq!(m.num_cells(), 16.0);
+    }
+
+    #[test]
+    fn cost_on_path_classes_is_one() {
+        let m = toy_model();
+        for p in LatticePath::enumerate(&toy_shape()) {
+            for pt in p.points() {
+                assert_eq!(m.dist(&p, &pt), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn class_costs_indexes_by_rank() {
+        let m = toy_model();
+        let costs = m.class_costs(&p1());
+        let shape = toy_shape();
+        assert_eq!(costs.len(), 9);
+        assert_eq!(costs[shape.rank(&Class(vec![2, 0]))], 4.0);
+        assert_eq!(costs[shape.rank(&Class(vec![0, 1]))], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fanout vector per dimension")]
+    fn cost_model_validates_arity() {
+        CostModel::new(LatticeShape::new(vec![1, 1]), vec![vec![2.0]]);
+    }
+
+    #[test]
+    fn fractional_fanouts_supported() {
+        // Unbalanced hierarchy averages (§4.1): fanouts may be fractional.
+        let m = CostModel::new(
+            LatticeShape::new(vec![2, 1]),
+            vec![vec![1.5, 2.0], vec![10.0]],
+        );
+        let p = LatticePath::from_dims(LatticeShape::new(vec![2, 1]), vec![1, 0, 0]).unwrap();
+        // dist((2,0)): departure at (0,0); len = 1.5 * 2.0 = 3.
+        assert!((m.dist(&p, &Class(vec![2, 0])) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,371 @@
+//! Dimension tables: named hierarchy members over the leaf axis.
+//!
+//! The paper's star schema keeps dimension data in auxiliary tables
+//! (`location(state, city, lid)`, `jeans(type, gender, jid)` — §2). This
+//! module provides that auxiliary layer: every hierarchy level has named
+//! members, each member owns a contiguous range of leaves, and member
+//! lookups translate the user-facing query vocabulary ("state = NY") into
+//! grid coordinates. [`crate::query::GridQuery`] builds on it.
+
+use crate::error::{Error, Result};
+use crate::schema::Hierarchy;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// A named dimension: a [`Hierarchy`] plus member names for every node of
+/// every level.
+///
+/// Leaves are implicitly ordered `0..leaf_count`; the member at `(level,
+/// index)` covers the leaf range `hierarchy.leaf_range(level, index)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensionTable {
+    hierarchy: Hierarchy,
+    /// `names[level][index]` = member name; `names[0]` are the leaves.
+    names: Vec<Vec<String>>,
+    /// Reverse index: name → (level, index). Names must be unique within a
+    /// level; the same name at different levels is allowed (qualified
+    /// lookups disambiguate).
+    #[serde(skip)]
+    index: HashMap<(usize, String), u64>,
+}
+
+impl DimensionTable {
+    /// Builds a dimension table from per-level member names (leaf level
+    /// first; the implicit "all" root is added automatically and named
+    /// `ALL`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] if the name counts do not match
+    /// the hierarchy's node counts or a level contains duplicate names.
+    pub fn new(hierarchy: Hierarchy, mut names: Vec<Vec<String>>) -> Result<Self> {
+        let levels = hierarchy.levels();
+        if names.len() == levels {
+            names.push(vec!["ALL".to_string()]);
+        }
+        if names.len() != levels + 1 {
+            return Err(Error::InvalidHierarchy(format!(
+                "dimension `{}`: {} name levels supplied, need {} (or {} without ALL)",
+                hierarchy.name(),
+                names.len(),
+                levels + 1,
+                levels
+            )));
+        }
+        for (lvl, lvl_names) in names.iter().enumerate() {
+            let expect = if lvl == levels {
+                1
+            } else {
+                hierarchy.nodes_at_level(lvl) as usize
+            };
+            if lvl_names.len() != expect {
+                return Err(Error::InvalidHierarchy(format!(
+                    "dimension `{}` level {lvl}: {} names for {expect} members",
+                    hierarchy.name(),
+                    lvl_names.len()
+                )));
+            }
+        }
+        let mut index = HashMap::new();
+        for (lvl, lvl_names) in names.iter().enumerate() {
+            for (i, name) in lvl_names.iter().enumerate() {
+                if index.insert((lvl, name.clone()), i as u64).is_some() {
+                    return Err(Error::InvalidHierarchy(format!(
+                        "dimension `{}` level {lvl}: duplicate member `{name}`",
+                        hierarchy.name()
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            hierarchy,
+            names,
+            index,
+        })
+    }
+
+    /// Auto-names members `prefix-L<level>-<index>` — handy for synthetic
+    /// data.
+    pub fn synthetic(hierarchy: Hierarchy, prefix: &str) -> Self {
+        let levels = hierarchy.levels();
+        let mut names = Vec::with_capacity(levels + 1);
+        for lvl in 0..levels {
+            let count = hierarchy.nodes_at_level(lvl);
+            names.push(
+                (0..count)
+                    .map(|i| format!("{prefix}-L{lvl}-{i}"))
+                    .collect(),
+            );
+        }
+        names.push(vec!["ALL".to_string()]);
+        Self::new(hierarchy, names).expect("synthetic names are well-formed")
+    }
+
+    /// Rebuilds the reverse index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.index.clear();
+        for (lvl, lvl_names) in self.names.iter().enumerate() {
+            for (i, name) in lvl_names.iter().enumerate() {
+                self.index.insert((lvl, name.clone()), i as u64);
+            }
+        }
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        self.hierarchy.name()
+    }
+
+    /// Number of hierarchy levels (`ALL` is level `levels()`).
+    pub fn levels(&self) -> usize {
+        self.hierarchy.levels()
+    }
+
+    /// The name of member `index` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn member_name(&self, level: usize, index: u64) -> &str {
+        &self.names[level][index as usize]
+    }
+
+    /// Looks a member up by level and name.
+    pub fn member(&self, level: usize, name: &str) -> Option<Member<'_>> {
+        let &idx = self.index.get(&(level, name.to_string()))?;
+        Some(Member {
+            table: self,
+            level,
+            index: idx,
+        })
+    }
+
+    /// Looks a member up by name across all levels (leaf-most match wins).
+    pub fn find(&self, name: &str) -> Option<Member<'_>> {
+        (0..=self.levels()).find_map(|lvl| self.member(lvl, name))
+    }
+
+    /// The leaf member containing `leaf`.
+    pub fn leaf(&self, leaf: u64) -> Member<'_> {
+        assert!(leaf < self.hierarchy.leaf_count(), "leaf out of range");
+        Member {
+            table: self,
+            level: 0,
+            index: leaf,
+        }
+    }
+
+    /// The `ALL` member.
+    pub fn all(&self) -> Member<'_> {
+        Member {
+            table: self,
+            level: self.levels(),
+            index: 0,
+        }
+    }
+
+    /// Members of one level, in index order.
+    pub fn members_at(&self, level: usize) -> impl Iterator<Item = Member<'_>> {
+        let count = self.names[level].len() as u64;
+        (0..count).map(move |index| Member {
+            table: self,
+            level,
+            index,
+        })
+    }
+}
+
+/// One member of a dimension hierarchy (e.g. "NY" at the state level).
+#[derive(Debug, Clone, Copy)]
+pub struct Member<'a> {
+    table: &'a DimensionTable,
+    level: usize,
+    index: u64,
+}
+
+impl<'a> Member<'a> {
+    /// Hierarchy level (0 = leaf).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Index among the level's members.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The member's name.
+    pub fn name(&self) -> &'a str {
+        self.table.member_name(self.level, self.index)
+    }
+
+    /// The contiguous range of leaves this member covers.
+    pub fn leaf_range(&self) -> Range<u64> {
+        if self.level == self.table.levels() {
+            0..self.table.hierarchy().leaf_count()
+        } else {
+            self.table.hierarchy().leaf_range(self.level, self.index)
+        }
+    }
+
+    /// The parent member (`None` for `ALL`).
+    pub fn parent(&self) -> Option<Member<'a>> {
+        if self.level >= self.table.levels() {
+            return None;
+        }
+        let parent_level = self.level + 1;
+        let index = if parent_level == self.table.levels() {
+            0
+        } else {
+            self.index / self.table.hierarchy().fanout(parent_level)
+        };
+        Some(Member {
+            table: self.table,
+            level: parent_level,
+            index,
+        })
+    }
+
+    /// Child members (empty for leaves).
+    pub fn children(&self) -> Vec<Member<'a>> {
+        if self.level == 0 {
+            return Vec::new();
+        }
+        let child_level = self.level - 1;
+        let range = if self.level == self.table.levels() {
+            0..self.table.hierarchy().nodes_at_level(child_level)
+        } else {
+            let f = self.table.hierarchy().fanout(self.level);
+            self.index * f..(self.index + 1) * f
+        };
+        range
+            .map(|index| Member {
+                table: self.table,
+                level: child_level,
+                index,
+            })
+            .collect()
+    }
+
+    /// Whether `other` lies in this member's subtree.
+    pub fn contains(&self, other: &Member<'_>) -> bool {
+        std::ptr::eq(self.table, other.table)
+            && other.level <= self.level
+            && {
+                let r = self.leaf_range();
+                let o = other.leaf_range();
+                r.start <= o.start && o.end <= r.end
+            }
+    }
+}
+
+impl std::fmt::Display for Member<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]={}", self.table.name(), self.level, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's location dimension: 2 states x 2 cities each.
+    fn location() -> DimensionTable {
+        DimensionTable::new(
+            Hierarchy::uniform("location", 2, 2).unwrap(),
+            vec![
+                vec![
+                    "albany".into(),
+                    "nyc".into(),
+                    "ottawa".into(),
+                    "toronto".into(),
+                ],
+                vec!["NY".into(), "ONT".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn member_lookup_and_ranges() {
+        let loc = location();
+        let ny = loc.member(1, "NY").unwrap();
+        assert_eq!(ny.leaf_range(), 0..2);
+        assert_eq!(ny.name(), "NY");
+        let ont = loc.find("ONT").unwrap();
+        assert_eq!(ont.level(), 1);
+        assert_eq!(ont.leaf_range(), 2..4);
+        let toronto = loc.find("toronto").unwrap();
+        assert_eq!(toronto.level(), 0);
+        assert_eq!(toronto.leaf_range(), 3..4);
+        assert!(loc.find("paris").is_none());
+        assert_eq!(loc.all().leaf_range(), 0..4);
+    }
+
+    #[test]
+    fn parent_child_navigation() {
+        let loc = location();
+        let toronto = loc.find("toronto").unwrap();
+        let ont = toronto.parent().unwrap();
+        assert_eq!(ont.name(), "ONT");
+        assert!(ont.contains(&toronto));
+        assert!(!ont.contains(&loc.find("nyc").unwrap()));
+        let all = ont.parent().unwrap();
+        assert_eq!(all.name(), "ALL");
+        assert!(all.parent().is_none());
+        let kids: Vec<&str> = ont.children().iter().map(|m| m.name()).collect();
+        assert_eq!(kids, vec!["ottawa", "toronto"]);
+        let states: Vec<&str> = all.children().iter().map(|m| m.name()).collect();
+        assert_eq!(states, vec!["NY", "ONT"]);
+        assert!(toronto.children().is_empty());
+    }
+
+    #[test]
+    fn members_at_iterates_in_order() {
+        let loc = location();
+        let cities: Vec<&str> = loc.members_at(0).map(|m| m.name()).collect();
+        assert_eq!(cities, vec!["albany", "nyc", "ottawa", "toronto"]);
+        assert_eq!(loc.members_at(2).count(), 1);
+    }
+
+    #[test]
+    fn synthetic_naming() {
+        let d = DimensionTable::synthetic(Hierarchy::new("parts", vec![3, 2]).unwrap(), "P");
+        assert_eq!(d.member_name(0, 0), "P-L0-0");
+        assert_eq!(d.member_name(1, 1), "P-L1-1");
+        assert_eq!(d.member_name(2, 0), "ALL");
+        assert_eq!(d.find("P-L1-1").unwrap().leaf_range(), 3..6);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let h = Hierarchy::uniform("x", 2, 1).unwrap();
+        // Wrong count.
+        assert!(DimensionTable::new(h.clone(), vec![vec!["a".into()]]).is_err());
+        // Duplicate within a level.
+        assert!(
+            DimensionTable::new(h, vec![vec!["a".into(), "a".into()]]).is_err()
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let loc = location();
+        let json = serde_json::to_string(&loc).unwrap();
+        let mut back: DimensionTable = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back.find("NY").unwrap().leaf_range(), 0..2);
+    }
+
+    #[test]
+    fn display_member() {
+        let loc = location();
+        assert_eq!(loc.find("NY").unwrap().to_string(), "location[1]=NY");
+    }
+}

@@ -1,0 +1,720 @@
+//! The optimal-lattice-path dynamic program (paper §4, Figure 4, Theorem 1).
+//!
+//! [`optimal_lattice_path_2d`] is a verbatim port of the paper's Figure 4
+//! for two-dimensional schemas. [`optimal_lattice_path`] is the
+//! k-dimensional generalization the paper describes ("conceptually simple,
+//! and has been implemented by us"): it runs in `O(k² · |L|)` time — linear
+//! in the lattice size and quadratic in the number of dimensions — by
+//! computing, for each dimension `d`, the table
+//!
+//! ```text
+//! raw_d(u) = Σ_{v >= u, v_d = u_d} p_v · len(u → v)
+//! ```
+//!
+//! (the expected cost charged to the classes whose down-sets the path leaves
+//! when it steps dimension `d` at `u`), and then sweeping
+//!
+//! ```text
+//! cost(u) = min_d [ raw_d(u) + cost(u + e_d) ],   cost(⊤) = p_⊤.
+//! ```
+
+use crate::cost::CostModel;
+use crate::lattice::{Class, LatticeShape};
+use crate::path::LatticePath;
+use crate::workload::Workload;
+
+/// The output of the optimal-lattice-path DP.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// The optimal monotone lattice path `P_μ^opt`.
+    pub path: LatticePath,
+    /// Its expected cost `cost_μ(P_μ^opt)`.
+    pub cost: f64,
+    /// The full `cost_μ(u)` table (optimal cost of the sublattice rooted at
+    /// each class), indexed by [`LatticeShape::rank`]. Entry at `⊥`'s rank
+    /// equals `cost`.
+    pub cost_table: Vec<f64>,
+    /// The dimension stepped at each class on the optimal suffix from that
+    /// class (`usize::MAX` at `⊤`), indexed by [`LatticeShape::rank`] —
+    /// lets callers reconstruct the optimal path from *any* starting class.
+    pub choices: Vec<usize>,
+}
+
+impl DpResult {
+    /// The optimal path of the sublattice rooted at `from` (the suffix the
+    /// DP's Lemma 1 principle-of-optimality guarantees).
+    pub fn path_from(&self, shape: &LatticeShape, from: &Class) -> Vec<usize> {
+        let mut stride = vec![0usize; shape.k()];
+        let mut s = 1;
+        for d in 0..shape.k() {
+            stride[d] = s;
+            s *= shape.top_level(d) + 1;
+        }
+        let mut dims = Vec::new();
+        let mut r = shape.rank(from);
+        while self.choices[r] != usize::MAX {
+            let d = self.choices[r];
+            dims.push(d);
+            r += stride[d];
+        }
+        dims
+    }
+}
+
+/// Finds the optimal lattice path for a k-dimensional schema.
+///
+/// ```
+/// use snakes_core::prelude::*;
+///
+/// let schema = StarSchema::paper_toy();
+/// let model = CostModel::of_schema(&schema);
+/// let workload = Workload::uniform(model.shape().clone());
+/// let dp = optimal_lattice_path(&model, &workload);
+/// // The uniform optimum on the toy schema is the quadrant path of
+/// // Example 2 (up to the lattice's symmetry):
+/// assert_eq!(dp.path.len(), 4);
+/// assert!((model.expected_cost(&dp.path, &workload) - dp.cost).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics (debug) if the workload's lattice differs from the model's.
+pub fn optimal_lattice_path(model: &CostModel, workload: &Workload) -> DpResult {
+    let shape = model.shape();
+    debug_assert_eq!(workload.shape(), shape, "workload lattice mismatch");
+    let k = shape.k();
+    let n = shape.num_classes();
+
+    // Strides of the dense rank layout: rank(u + e_d) = rank(u) + stride[d].
+    let mut stride = vec![0usize; k];
+    let mut s = 1;
+    for d in 0..k {
+        stride[d] = s;
+        s *= shape.top_level(d) + 1;
+    }
+
+    // raw[d][r] = raw_d(class with rank r). Built by initializing with the
+    // probabilities and accumulating along every dimension except d:
+    // after folding dimension d', g(u) = g(u) + f(d', u_d'+1) · g(u + e_d').
+    let probs = workload.probs();
+    let mut raw: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for d in 0..k {
+        let mut g = probs.to_vec();
+        for dp in 0..k {
+            if dp == d {
+                continue;
+            }
+            fold_dim(&mut g, shape, model, dp, stride[dp]);
+        }
+        raw.push(g);
+    }
+
+    // Top-down cost sweep. Reverse rank order visits every class after all
+    // of its successors.
+    let mut cost = vec![0.0f64; n];
+    let mut choice = vec![usize::MAX; n];
+    for r in (0..n).rev() {
+        let u = shape.unrank(r);
+        let mut best = f64::INFINITY;
+        let mut best_d = usize::MAX;
+        for d in 0..k {
+            if u.level(d) < shape.top_level(d) {
+                let cand = raw[d][r] + cost[r + stride[d]];
+                if cand < best {
+                    best = cand;
+                    best_d = d;
+                }
+            }
+        }
+        if best_d == usize::MAX {
+            // ⊤: no successor; the path ends here.
+            cost[r] = probs[r];
+        } else {
+            cost[r] = best;
+            choice[r] = best_d;
+        }
+    }
+
+    // Reconstruct the path by following choices from ⊥.
+    let mut dims = Vec::with_capacity(shape.levels().iter().sum());
+    let mut r = 0usize;
+    while choice[r] != usize::MAX {
+        let d = choice[r];
+        dims.push(d);
+        r += stride[d];
+    }
+    let path = LatticePath::from_dims(shape.clone(), dims).expect("DP emits a valid path");
+    DpResult {
+        cost: cost[0],
+        path,
+        cost_table: cost,
+        choices: choice,
+    }
+}
+
+/// The optimal lattice path **through** a given class — the clustering the
+/// paper suggests for the chunked file organization of Deshpande et al.
+/// [2]: fixing `via = (chunk levels)` makes every chunk a contiguous run on
+/// disk (the loops below `via` fill one chunk before the loops above it
+/// move to the next), while both the intra-chunk and the inter-chunk orders
+/// are chosen optimally for the workload instead of [2]'s fixed row-major.
+///
+/// The decomposition is exact: classes not above `via` depart on the
+/// prefix, classes above it on the suffix, so
+/// `cost = prefix_cost(⊥ → via) + cost_table(via)`.
+///
+/// # Panics
+///
+/// Panics if `via` is outside the lattice, or (debug) on a workload
+/// lattice mismatch.
+pub fn optimal_lattice_path_through(
+    model: &CostModel,
+    workload: &Workload,
+    via: &Class,
+) -> DpResult {
+    let shape = model.shape();
+    shape.check(via).expect("via class out of bounds");
+    debug_assert_eq!(workload.shape(), shape, "workload lattice mismatch");
+    let k = shape.k();
+    let n = shape.num_classes();
+    let unconstrained = optimal_lattice_path(model, workload);
+
+    let mut stride = vec![0usize; k];
+    let mut s = 1;
+    for d in 0..k {
+        stride[d] = s;
+        s *= shape.top_level(d) + 1;
+    }
+    // raw_d tables (same as the unconstrained DP).
+    let probs = workload.probs();
+    let mut raw: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for d in 0..k {
+        let mut g = probs.to_vec();
+        for dp in 0..k {
+            if dp != d {
+                fold_dim(&mut g, shape, model, dp, stride[dp]);
+            }
+        }
+        raw.push(g);
+    }
+
+    // Prefix DP over the box [⊥, via], boundary condition at via.
+    let via_rank = shape.rank(via);
+    let mut cost = vec![f64::INFINITY; n];
+    let mut choice = vec![usize::MAX; n];
+    cost[via_rank] = unconstrained.cost_table[via_rank];
+    for r in (0..n).rev() {
+        let u = shape.unrank(r);
+        if !u.leq(via) || r == via_rank {
+            continue;
+        }
+        for d in 0..k {
+            if u.level(d) < via.level(d) {
+                let cand = raw[d][r] + cost[r + stride[d]];
+                if cand < cost[r] {
+                    cost[r] = cand;
+                    choice[r] = d;
+                }
+            }
+        }
+    }
+
+    // Reconstruct: prefix choices to via, then the unconstrained suffix.
+    let mut dims = Vec::new();
+    let mut r = 0usize;
+    while r != via_rank {
+        let d = choice[r];
+        debug_assert_ne!(d, usize::MAX, "prefix must reach via");
+        dims.push(d);
+        r += stride[d];
+    }
+    dims.extend(unconstrained.path_from(shape, via));
+    let total = cost[0];
+    let path = LatticePath::from_dims(shape.clone(), dims).expect("valid constrained path");
+    // Merge the two tables so cost_table(u) is the constrained value below
+    // via and the unconstrained one elsewhere (documented best-effort view).
+    let mut table = unconstrained.cost_table.clone();
+    for r in 0..n {
+        if shape.unrank(r).leq(via) {
+            table[r] = cost[r];
+        }
+    }
+    DpResult {
+        cost: total,
+        path,
+        cost_table: table,
+        choices: choice,
+    }
+}
+
+/// In-place reverse accumulation of `g` along dimension `dp`:
+/// `g(u) += f(dp, u_dp + 1) · g(u + e_dp)`. A single descending rank sweep
+/// suffices — `u + e_dp` always has a larger rank, so it is already folded
+/// when `u` is visited — keeping each fold `O(|L|)` and the whole DP
+/// `O(k²·|L|)` as Theorem 1 claims.
+fn fold_dim(g: &mut [f64], shape: &LatticeShape, model: &CostModel, dp: usize, stride: usize) {
+    let top = shape.top_level(dp);
+    for r in (0..g.len()).rev() {
+        // The dp-digit of rank r.
+        let digit = (r / stride) % (top + 1);
+        if digit < top {
+            g[r] += model.fanout(dp, digit + 1) * g[r + stride];
+        }
+    }
+}
+
+/// Verbatim port of the paper's Figure 4 (`Find-Optimal-Lattice-Path`) for
+/// two-dimensional schemas, kept separate from the general algorithm so the
+/// published pseudocode can be audited line by line. Dimension 0 is the
+/// paper's `A` (with `m` levels), dimension 1 its `B` (with `n` levels).
+///
+/// # Panics
+///
+/// Panics if the model is not two-dimensional, or (debug) on a workload
+/// lattice mismatch.
+pub fn optimal_lattice_path_2d(model: &CostModel, workload: &Workload) -> DpResult {
+    let shape = model.shape();
+    assert_eq!(shape.k(), 2, "Figure 4 is the two-dimensional algorithm");
+    debug_assert_eq!(workload.shape(), shape, "workload lattice mismatch");
+    let m = shape.top_level(0);
+    let n = shape.top_level(1);
+    let p = |i: usize, j: usize| workload.prob_by_rank(shape.rank(&Class(vec![i, j])));
+    let fa = |i: usize| model.fanout(0, i);
+    let fb = |j: usize| model.fanout(1, j);
+
+    let mut raw_a = vec![vec![0.0f64; n + 1]; m + 1];
+    let mut raw_b = vec![vec![0.0f64; n + 1]; m + 1];
+    let mut cost = vec![vec![0.0f64; n + 1]; m + 1];
+    // opt_path[i][j] holds the point sequence from (i,j) to (m,n).
+    let mut opt_path: Vec<Vec<Vec<Class>>> = vec![vec![Vec::new(); n + 1]; m + 1];
+
+    cost[m][n] = p(m, n);
+    opt_path[m][n] = vec![Class(vec![m, n])];
+    for i in (0..=m).rev() {
+        raw_a[i][n] = p(i, n);
+    }
+    for j in (0..=n).rev() {
+        raw_b[m][j] = p(m, j);
+    }
+    for j in (0..=n).rev() {
+        for i in (1..=m).rev() {
+            raw_b[i - 1][j] = p(i - 1, j) + fa(i) * raw_b[i][j];
+        }
+    }
+    for i in (0..=m).rev() {
+        for j in (1..=n).rev() {
+            raw_a[i][j - 1] = p(i, j - 1) + fb(j) * raw_a[i][j];
+        }
+    }
+    for i in (1..=m).rev() {
+        cost[i - 1][n] = p(i - 1, n) + cost[i][n];
+        let mut path = vec![Class(vec![i - 1, n])];
+        path.extend(opt_path[i][n].iter().cloned());
+        opt_path[i - 1][n] = path;
+    }
+    for j in (1..=n).rev() {
+        cost[m][j - 1] = p(m, j - 1) + cost[m][j];
+        let mut path = vec![Class(vec![m, j - 1])];
+        path.extend(opt_path[m][j].iter().cloned());
+        opt_path[m][j - 1] = path;
+    }
+    for i in (0..m).rev() {
+        for j in (0..n).rev() {
+            if cost[i + 1][j] + raw_a[i][j] < cost[i][j + 1] + raw_b[i][j] {
+                let mut path = vec![Class(vec![i, j])];
+                path.extend(opt_path[i + 1][j].iter().cloned());
+                opt_path[i][j] = path;
+                cost[i][j] = cost[i + 1][j] + raw_a[i][j];
+            } else {
+                let mut path = vec![Class(vec![i, j])];
+                path.extend(opt_path[i][j + 1].iter().cloned());
+                opt_path[i][j] = path;
+                cost[i][j] = cost[i][j + 1] + raw_b[i][j];
+            }
+        }
+    }
+
+    let path =
+        LatticePath::from_points(shape.clone(), &opt_path[0][0]).expect("DP emits a valid path");
+    let mut cost_table = vec![0.0f64; shape.num_classes()];
+    let mut choices = vec![usize::MAX; shape.num_classes()];
+    for i in 0..=m {
+        for j in 0..=n {
+            let r = shape.rank(&Class(vec![i, j]));
+            cost_table[r] = cost[i][j];
+            if opt_path[i][j].len() >= 2 {
+                choices[r] = opt_path[i][j][0]
+                    .successor_dim(&opt_path[i][j][1])
+                    .expect("consecutive DP points are successors");
+            }
+        }
+    }
+    DpResult {
+        cost: cost[0][0],
+        path,
+        cost_table,
+        choices,
+    }
+}
+
+/// The `k` cheapest lattice paths, in nondecreasing cost order — the k-best
+/// generalization of the DP. Useful when the best path is physically
+/// inconvenient (e.g. the outermost loop conflicts with a partitioning
+/// scheme) or to seed the minimax robust advisor
+/// ([`crate::advisor::robust_recommend`]).
+///
+/// Runs in `O(k'·log k' · k_dims · |L|)` where `k' = min(k, #paths)`.
+/// Returns fewer than `k` entries when the lattice has fewer paths.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, or (debug) on a workload lattice mismatch.
+pub fn k_best_lattice_paths(
+    model: &CostModel,
+    workload: &Workload,
+    k: usize,
+) -> Vec<(LatticePath, f64)> {
+    assert!(k > 0, "k must be positive");
+    let shape = model.shape();
+    debug_assert_eq!(workload.shape(), shape, "workload lattice mismatch");
+    let kd = shape.k();
+    let n = shape.num_classes();
+
+    let mut stride = vec![0usize; kd];
+    let mut s = 1;
+    for d in 0..kd {
+        stride[d] = s;
+        s *= shape.top_level(d) + 1;
+    }
+
+    // raw_d tables, as in the 1-best DP.
+    let probs = workload.probs();
+    let mut raw: Vec<Vec<f64>> = Vec::with_capacity(kd);
+    for d in 0..kd {
+        let mut g = probs.to_vec();
+        for dp in 0..kd {
+            if dp != d {
+                fold_dim(&mut g, shape, model, dp, stride[dp]);
+            }
+        }
+        raw.push(g);
+    }
+
+    // Per node: up to k best (cost, dim stepped, slot in successor's list).
+    // The top uses dim = usize::MAX as the end sentinel.
+    let mut best: Vec<Vec<(f64, usize, usize)>> = vec![Vec::new(); n];
+    for r in (0..n).rev() {
+        let u = shape.unrank(r);
+        let mut cands: Vec<(f64, usize, usize)> = Vec::new();
+        let mut any = false;
+        for d in 0..kd {
+            if u.level(d) < shape.top_level(d) {
+                any = true;
+                for (slot, &(c, _, _)) in best[r + stride[d]].iter().enumerate() {
+                    cands.push((raw[d][r] + c, d, slot));
+                }
+            }
+        }
+        if !any {
+            cands.push((probs[r], usize::MAX, 0));
+        }
+        cands.sort_by(|a, b| a.0.total_cmp(&b.0));
+        cands.truncate(k);
+        best[r] = cands;
+    }
+
+    // Reconstruct each ranked path from ⊥.
+    let mut out = Vec::with_capacity(best[0].len());
+    for slot0 in 0..best[0].len() {
+        let mut dims = Vec::new();
+        let mut r = 0usize;
+        let mut slot = slot0;
+        loop {
+            let (_, d, next_slot) = best[r][slot];
+            if d == usize::MAX {
+                break;
+            }
+            dims.push(d);
+            r += stride[d];
+            slot = next_slot;
+        }
+        let path = LatticePath::from_dims(shape.clone(), dims).expect("k-best emits valid paths");
+        out.push((path, best[0][slot0].0));
+    }
+    out
+}
+
+/// Exhaustive optimal path by enumerating every monotone lattice path — for
+/// validation and tests only (the path count is the multinomial
+/// `(Σ ℓ_d)! / Π ℓ_d!`).
+pub fn optimal_lattice_path_exhaustive(
+    model: &CostModel,
+    workload: &Workload,
+) -> (LatticePath, f64) {
+    let mut best: Option<(LatticePath, f64)> = None;
+    for p in LatticePath::enumerate(model.shape()) {
+        let c = model.expected_cost(&p, workload);
+        if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+            best = Some((p, c));
+        }
+    }
+    best.expect("a lattice always has at least one path")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StarSchema;
+    use crate::workload::{bias_family, Workload};
+
+    fn toy() -> (CostModel, LatticeShape) {
+        let m = CostModel::of_schema(&StarSchema::paper_toy());
+        let s = m.shape().clone();
+        (m, s)
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_toy_uniform() {
+        let (m, s) = toy();
+        let w = Workload::uniform(s);
+        let dp = optimal_lattice_path(&m, &w);
+        let (_, best) = optimal_lattice_path_exhaustive(&m, &w);
+        assert!((dp.cost - best).abs() < 1e-12);
+        assert!((m.expected_cost(&dp.path, &w) - dp.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_4_port_agrees_with_general_dp() {
+        let (m, s) = toy();
+        for (_, w) in bias_family(&s) {
+            let a = optimal_lattice_path(&m, &w);
+            let b = optimal_lattice_path_2d(&m, &w);
+            assert!((a.cost - b.cost).abs() < 1e-12);
+            assert!(
+                (m.expected_cost(&a.path, &w) - m.expected_cost(&b.path, &w)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn dp_is_optimal_across_bias_family_3d() {
+        // 3-D lattice with asymmetric fanouts, all 27 bias workloads.
+        let shape = LatticeShape::new(vec![2, 1, 2]);
+        let m = CostModel::new(
+            shape.clone(),
+            vec![vec![40.0, 5.0], vec![10.0], vec![12.0, 7.0]],
+        );
+        for (_, w) in bias_family(&shape) {
+            let dp = optimal_lattice_path(&m, &w);
+            let (_, best) = optimal_lattice_path_exhaustive(&m, &w);
+            assert!(
+                (dp.cost - best).abs() < 1e-9,
+                "dp {} vs exhaustive {}",
+                dp.cost,
+                best
+            );
+            assert!((m.expected_cost(&dp.path, &w) - dp.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn point_workload_pulls_path_through_class() {
+        // With all mass on (2,0), the optimal path must pass through (2,0)
+        // (cost 1); any path avoiding it pays at least f(A,1) = 2.
+        let (m, s) = toy();
+        let w = Workload::point(s, &Class(vec![2, 0])).unwrap();
+        let dp = optimal_lattice_path(&m, &w);
+        assert_eq!(dp.cost, 1.0);
+        assert!(dp.path.contains(&Class(vec![2, 0])));
+    }
+
+    #[test]
+    fn cost_table_entry_at_top_is_its_probability() {
+        let (m, s) = toy();
+        let w = Workload::uniform(s.clone());
+        let dp = optimal_lattice_path(&m, &w);
+        assert!((dp.cost_table[s.rank(&s.top())] - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn principle_of_optimality_lemma_1() {
+        // Every suffix of the optimal path is optimal for its sublattice:
+        // the DP cost table at any point on the optimal path must equal the
+        // best over enumerated paths restricted to that sublattice.
+        let (m, s) = toy();
+        let w = Workload::uniform(s.clone());
+        let dp = optimal_lattice_path(&m, &w);
+        for pt in dp.path.points() {
+            // Brute force: restrict to the sublattice rooted at pt by
+            // enumerating full paths through pt and measuring only classes
+            // v >= pt, charging each at its departure point within the
+            // suffix.
+            let table = dp.cost_table[s.rank(&pt)];
+            let mut best = f64::INFINITY;
+            for cand in LatticePath::enumerate(&s) {
+                if !cand.contains(&pt) {
+                    continue;
+                }
+                let mut c = 0.0;
+                for v in s.sublattice(&pt) {
+                    let dep = cand.departure_point(&v);
+                    // Departure within the suffix: clamp to pt if the global
+                    // departure precedes pt.
+                    let dep = if dep.leq(&pt) { pt.clone() } else { dep };
+                    c += w.prob(&v) * m.len_between(&dep, &v);
+                }
+                best = best.min(c);
+            }
+            assert!(
+                (table - best).abs() < 1e-9,
+                "sublattice at {pt}: table {table} vs best {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_handles_single_dimension() {
+        let shape = LatticeShape::new(vec![3]);
+        let m = CostModel::new(shape.clone(), vec![vec![2.0, 3.0, 4.0]]);
+        let w = Workload::uniform(shape);
+        let dp = optimal_lattice_path(&m, &w);
+        // Only one path exists; every class lies on it.
+        assert_eq!(dp.cost, 1.0);
+        assert_eq!(dp.path.len(), 3);
+    }
+
+    #[test]
+    fn dp_respects_fanout_asymmetry() {
+        // Two 1-level dims, fanouts 100 vs 2, mass split between the two
+        // "stranded" classes (1,0) and (0,1). Stepping the cheap dimension
+        // first strands (1,0) at distance 100 only if the path goes B first;
+        // the optimal path must go A (dim 0) first, stranding (0,1) at 2.
+        let shape = LatticeShape::new(vec![1, 1]);
+        let m = CostModel::new(shape.clone(), vec![vec![100.0], vec![2.0]]);
+        let w = Workload::from_weights(shape, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let dp = optimal_lattice_path(&m, &w);
+        assert_eq!(dp.path.dims(), &[0, 1]);
+        // (1,0) on path: 1; (0,1) departs at ⊥: distance 2.
+        assert!((dp.cost - (0.5 * 1.0 + 0.5 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_dp_matches_filtered_enumeration() {
+        // The through-DP equals the best path among those containing `via`,
+        // for every via and every bias workload.
+        let (m, s) = toy();
+        for (_, w) in bias_family(&s) {
+            for via in s.iter() {
+                let got = optimal_lattice_path_through(&m, &w, &via);
+                assert!(got.path.contains(&via), "path must pass through {via}");
+                let best = LatticePath::enumerate(&s)
+                    .into_iter()
+                    .filter(|p| p.contains(&via))
+                    .map(|p| m.expected_cost(&p, &w))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    (got.cost - best).abs() < 1e-9,
+                    "via {via}: {} vs {best}",
+                    got.cost
+                );
+                assert!((m.expected_cost(&got.path, &w) - got.cost).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_dp_through_bottom_or_top_is_unconstrained() {
+        let (m, s) = toy();
+        let w = Workload::uniform(s.clone());
+        let free = optimal_lattice_path(&m, &w);
+        for via in [s.bottom(), s.top()] {
+            let got = optimal_lattice_path_through(&m, &w, &via);
+            assert!((got.cost - free.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_from_reconstructs_suffixes() {
+        let (m, s) = toy();
+        let w = Workload::uniform(s.clone());
+        let dp = optimal_lattice_path(&m, &w);
+        // From ⊥ the reconstruction is the full optimal path.
+        assert_eq!(dp.path_from(&s, &s.bottom()), dp.path.dims());
+        // From any point on the path, it is the path's suffix.
+        let pts = dp.path.points();
+        for (i, pt) in pts.iter().enumerate() {
+            let suffix = dp.path_from(&s, pt);
+            assert_eq!(suffix, dp.path.dims()[i..].to_vec());
+        }
+        assert!(dp.path_from(&s, &s.top()).is_empty());
+    }
+
+    #[test]
+    fn k_best_matches_sorted_exhaustive() {
+        let (m, s) = toy();
+        for (_, w) in bias_family(&s) {
+            // Exhaustive ranking.
+            let mut all: Vec<(LatticePath, f64)> = LatticePath::enumerate(&s)
+                .into_iter()
+                .map(|p| {
+                    let c = m.expected_cost(&p, &w);
+                    (p, c)
+                })
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for k in [1usize, 3, 6, 10] {
+                let top = k_best_lattice_paths(&m, &w, k);
+                assert_eq!(top.len(), k.min(all.len()));
+                for (i, (p, c)) in top.iter().enumerate() {
+                    assert!(
+                        (c - all[i].1).abs() < 1e-9,
+                        "rank {i}: {c} vs {}",
+                        all[i].1
+                    );
+                    assert!((m.expected_cost(p, &w) - c).abs() < 1e-9);
+                }
+                // Paths are pairwise distinct.
+                let set: std::collections::HashSet<_> =
+                    top.iter().map(|(p, _)| p.dims().to_vec()).collect();
+                assert_eq!(set.len(), top.len());
+            }
+        }
+    }
+
+    #[test]
+    fn k_best_first_entry_is_the_dp_optimum() {
+        let shape = LatticeShape::new(vec![2, 1, 2]);
+        let m = CostModel::new(
+            shape.clone(),
+            vec![vec![40.0, 5.0], vec![10.0], vec![12.0, 7.0]],
+        );
+        for (_, w) in bias_family(&shape) {
+            let dp = optimal_lattice_path(&m, &w);
+            let top = k_best_lattice_paths(&m, &w, 4);
+            assert!((top[0].1 - dp.cost).abs() < 1e-9);
+            assert!(top.windows(2).all(|w2| w2[0].1 <= w2[1].1 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn k_best_caps_at_path_count() {
+        let (m, s) = toy();
+        let w = Workload::uniform(s);
+        let top = k_best_lattice_paths(&m, &w, 100);
+        assert_eq!(top.len(), 6); // C(4, 2) paths on the toy lattice
+    }
+
+    #[test]
+    fn exhaustive_smoke_4d() {
+        // A tiny 4-D lattice exercises the general DP beyond k = 3.
+        let shape = LatticeShape::new(vec![1, 1, 1, 1]);
+        let m = CostModel::new(
+            shape.clone(),
+            vec![vec![2.0], vec![3.0], vec![4.0], vec![5.0]],
+        );
+        let w = Workload::uniform(shape);
+        let dp = optimal_lattice_path(&m, &w);
+        let (_, best) = optimal_lattice_path_exhaustive(&m, &w);
+        assert!((dp.cost - best).abs() < 1e-12);
+    }
+}

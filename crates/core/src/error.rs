@@ -1,0 +1,82 @@
+//! Error type shared across the `snakes-core` crate.
+
+use std::fmt;
+
+/// Errors produced while building schemas, workloads, or clustering strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A hierarchy was declared with no levels or a fanout of zero.
+    InvalidHierarchy(String),
+    /// A query class lies outside the lattice of its schema.
+    ClassOutOfBounds {
+        /// The offending class, as raw level numbers.
+        class: Vec<usize>,
+        /// The lattice's per-dimension top levels.
+        levels: Vec<usize>,
+    },
+    /// A workload's probabilities do not form a distribution.
+    InvalidWorkload(String),
+    /// A sequence of lattice points is not a monotone lattice path.
+    InvalidPath(String),
+    /// A characteristic vector violates the consistency constraints of Lemma 2.
+    InconsistentVector(String),
+    /// Mismatched shapes (e.g. a workload built for a different lattice).
+    ShapeMismatch {
+        /// What the caller supplied.
+        got: String,
+        /// What was required.
+        expected: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+            Error::ClassOutOfBounds { class, levels } => write!(
+                f,
+                "query class {class:?} out of bounds for lattice with top {levels:?}"
+            ),
+            Error::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            Error::InvalidPath(msg) => write!(f, "invalid lattice path: {msg}"),
+            Error::InconsistentVector(msg) => {
+                write!(f, "inconsistent characteristic vector: {msg}")
+            }
+            Error::ShapeMismatch { got, expected } => {
+                write!(f, "shape mismatch: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidHierarchy("empty".into());
+        assert!(e.to_string().contains("invalid hierarchy"));
+        let e = Error::ClassOutOfBounds {
+            class: vec![3, 0],
+            levels: vec![2, 2],
+        };
+        assert!(e.to_string().contains("[3, 0]"));
+        let e = Error::ShapeMismatch {
+            got: "2 dims".into(),
+            expected: "3 dims".into(),
+        };
+        assert!(e.to_string().contains("got 2 dims"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidWorkload("x".into()));
+    }
+}

@@ -1,0 +1,195 @@
+//! Cost explanation: where a clustering's expected I/O actually goes.
+//!
+//! For a path and workload, breaks the expected cost into per-class
+//! contributions (probability × per-query fragments), so a DBA can see
+//! *which* query classes pay for a layout decision — the advisor's
+//! `EXPLAIN`.
+
+use crate::cost::CostModel;
+use crate::lattice::Class;
+use crate::path::LatticePath;
+use crate::snake::{snake_edge_counts, snaked_dist_from_counts};
+use crate::workload::Workload;
+use serde::Serialize;
+
+/// One class's share of the expected cost.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassContribution {
+    /// The query class.
+    pub class: Vec<usize>,
+    /// Workload probability.
+    pub probability: f64,
+    /// Per-query cost (average fragments) under the un-snaked path.
+    pub plain_cost: f64,
+    /// Per-query cost under the snaked path.
+    pub snaked_cost: f64,
+    /// `probability × snaked_cost`.
+    pub contribution: f64,
+    /// Share of the total snaked cost, in `[0, 1]`.
+    pub share: f64,
+    /// Whether the class lies on the path (cost 1 by construction).
+    pub on_path: bool,
+}
+
+/// The full explanation of a clustering's expected cost.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CostExplanation {
+    /// The explained path, as its step dimensions.
+    pub path_dims: Vec<usize>,
+    /// Total expected cost, un-snaked.
+    pub plain_total: f64,
+    /// Total expected cost, snaked.
+    pub snaked_total: f64,
+    /// Per-class breakdown, sorted by descending contribution.
+    pub classes: Vec<ClassContribution>,
+}
+
+impl CostExplanation {
+    /// The classes covering at least `fraction` of the total cost (the
+    /// "top movers"), in descending order.
+    pub fn top_contributors(&self, fraction: f64) -> &[ClassContribution] {
+        let target = fraction.clamp(0.0, 1.0) * self.snaked_total;
+        let mut acc = 0.0;
+        for (i, c) in self.classes.iter().enumerate() {
+            acc += c.contribution;
+            if acc >= target - 1e-12 {
+                return &self.classes[..=i];
+            }
+        }
+        &self.classes
+    }
+
+    /// Renders a terminal-friendly report.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "expected cost: {:.4} snaked ({:.4} un-snaked)\n",
+            self.snaked_total, self.plain_total
+        );
+        out.push_str("class       prob    plain   snaked  share  on-path\n");
+        for c in &self.classes {
+            let class = Class(c.class.clone());
+            out.push_str(&format!(
+                "{:<10} {:>6.3} {:>8.3} {:>8.3} {:>5.1}%  {}\n",
+                class.to_string(),
+                c.probability,
+                c.plain_cost,
+                c.snaked_cost,
+                100.0 * c.share,
+                if c.on_path { "yes" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// Explains where `path`'s expected cost goes under `workload`.
+///
+/// # Panics
+///
+/// Panics (debug) on a workload lattice mismatch.
+pub fn explain(model: &CostModel, path: &LatticePath, workload: &Workload) -> CostExplanation {
+    let shape = model.shape();
+    debug_assert_eq!(workload.shape(), shape, "workload lattice mismatch");
+    let ec = snake_edge_counts(model, path);
+    let mut classes = Vec::with_capacity(shape.num_classes());
+    let mut plain_total = 0.0;
+    let mut snaked_total = 0.0;
+    for r in 0..shape.num_classes() {
+        let class = shape.unrank(r);
+        let p = workload.prob_by_rank(r);
+        let plain = model.dist(path, &class);
+        let snaked = snaked_dist_from_counts(model, &ec, &class);
+        plain_total += p * plain;
+        snaked_total += p * snaked;
+        classes.push(ClassContribution {
+            on_path: path.contains(&class),
+            class: class.0,
+            probability: p,
+            plain_cost: plain,
+            snaked_cost: snaked,
+            contribution: p * snaked,
+            share: 0.0,
+        });
+    }
+    for c in &mut classes {
+        c.share = if snaked_total > 0.0 {
+            c.contribution / snaked_total
+        } else {
+            0.0
+        };
+    }
+    classes.sort_by(|a, b| b.contribution.total_cmp(&a.contribution));
+    CostExplanation {
+        path_dims: path.dims().to_vec(),
+        plain_total,
+        snaked_total,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::LatticeShape;
+    use crate::schema::StarSchema;
+    use crate::snake::snaked_expected_cost;
+
+    fn setup() -> (CostModel, LatticePath, Workload) {
+        let schema = StarSchema::paper_toy();
+        let model = CostModel::of_schema(&schema);
+        let shape = model.shape().clone();
+        let path = LatticePath::from_dims(shape.clone(), vec![1, 1, 0, 0]).unwrap();
+        let w = Workload::uniform(shape);
+        (model, path, w)
+    }
+
+    #[test]
+    fn totals_match_cost_functions() {
+        let (model, path, w) = setup();
+        let e = explain(&model, &path, &w);
+        assert!((e.plain_total - model.expected_cost(&path, &w)).abs() < 1e-12);
+        assert!((e.snaked_total - snaked_expected_cost(&model, &path, &w)).abs() < 1e-12);
+        let share_sum: f64 = e.classes.iter().map(|c| c.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_descending_and_top_contributors() {
+        let (model, path, w) = setup();
+        let e = explain(&model, &path, &w);
+        assert!(e
+            .classes
+            .windows(2)
+            .all(|p| p[0].contribution >= p[1].contribution - 1e-12));
+        // The top contributor under uniform load on P1 is the expensive
+        // stranded class (2,0) (cost 13/4 snaked).
+        assert_eq!(e.classes[0].class, vec![2, 0]);
+        let top = e.top_contributors(0.5);
+        assert!(!top.is_empty() && top.len() < e.classes.len());
+        let covered: f64 = top.iter().map(|c| c.share).sum();
+        assert!(covered >= 0.5 - 1e-9);
+        assert_eq!(e.top_contributors(1.0).len(), e.classes.len());
+    }
+
+    #[test]
+    fn on_path_classes_cost_one() {
+        let (model, path, w) = setup();
+        let e = explain(&model, &path, &w);
+        for c in &e.classes {
+            if c.on_path {
+                assert!((c.plain_cost - 1.0).abs() < 1e-12);
+                assert!((c.snaked_cost - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn text_report_renders() {
+        let (model, path, w) = setup();
+        let e = explain(&model, &path, &w);
+        let txt = e.to_text();
+        assert!(txt.contains("expected cost"));
+        assert!(txt.contains("(2,0)"));
+        assert_eq!(txt.lines().count(), 2 + 9);
+    }
+}

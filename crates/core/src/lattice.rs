@@ -1,0 +1,305 @@
+//! The query-class lattice (paper §3, Definition 1 and Figure 3).
+//!
+//! A query class is a `k`-vector of hierarchy levels `(i_1, ..., i_k)` with
+//! `0 <= i_d <= ℓ_d`. Under the componentwise order, the classes form a
+//! complete lattice with bottom `⊥ = (0,...,0)` and top `⊤ = (ℓ_1,...,ℓ_k)`.
+//! Dynamic programming tables index classes densely via mixed-radix ranks.
+
+use crate::error::{Error, Result};
+use crate::schema::StarSchema;
+use serde::{Deserialize, Serialize};
+
+/// A query class: one hierarchy level per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Class(pub Vec<usize>);
+
+impl Class {
+    /// The class's level in dimension `d`.
+    pub fn level(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Number of dimensions.
+    pub fn k(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Componentwise `<=` (the lattice order). Returns `false` when the
+    /// arities differ.
+    pub fn leq(&self, other: &Class) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Whether `other` is a `d`-successor of `self` for some `d`
+    /// (Definition in §3: equal everywhere except one coordinate larger by 1).
+    pub fn successor_dim(&self, other: &Class) -> Option<usize> {
+        if self.0.len() != other.0.len() {
+            return None;
+        }
+        let mut found = None;
+        for (d, (&a, &b)) in self.0.iter().zip(&other.0).enumerate() {
+            if a == b {
+                continue;
+            }
+            if b == a + 1 && found.is_none() {
+                found = Some(d);
+            } else {
+                return None;
+            }
+        }
+        found
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Class {
+    fn from(v: Vec<usize>) -> Self {
+        Class(v)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Class {
+    fn from(v: [usize; N]) -> Self {
+        Class(v.to_vec())
+    }
+}
+
+/// The shape of a query-class lattice: the top level `ℓ_d` per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LatticeShape {
+    levels: Vec<usize>,
+}
+
+impl LatticeShape {
+    /// Builds a lattice shape from per-dimension top levels.
+    pub fn new(levels: Vec<usize>) -> Self {
+        assert!(!levels.is_empty(), "lattice needs at least one dimension");
+        Self { levels }
+    }
+
+    /// The lattice of a star schema's query classes.
+    pub fn of_schema(schema: &StarSchema) -> Self {
+        Self::new(schema.levels())
+    }
+
+    /// Number of dimensions.
+    pub fn k(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-dimension top levels `ℓ_d`.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// `ℓ_d` for dimension `d`.
+    pub fn top_level(&self, d: usize) -> usize {
+        self.levels[d]
+    }
+
+    /// Number of classes `Π (ℓ_d + 1)`.
+    pub fn num_classes(&self) -> usize {
+        self.levels.iter().map(|&l| l + 1).product()
+    }
+
+    /// The bottom element `⊥ = (0, ..., 0)`.
+    pub fn bottom(&self) -> Class {
+        Class(vec![0; self.levels.len()])
+    }
+
+    /// The top element `⊤ = (ℓ_1, ..., ℓ_k)`.
+    pub fn top(&self) -> Class {
+        Class(self.levels.clone())
+    }
+
+    /// Whether `c` is a class of this lattice.
+    pub fn contains(&self, c: &Class) -> bool {
+        c.0.len() == self.levels.len()
+            && c.0.iter().zip(&self.levels).all(|(&v, &l)| v <= l)
+    }
+
+    /// Validates membership, for error propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClassOutOfBounds`] when `c` is not in the lattice.
+    pub fn check(&self, c: &Class) -> Result<()> {
+        if self.contains(c) {
+            Ok(())
+        } else {
+            Err(Error::ClassOutOfBounds {
+                class: c.0.clone(),
+                levels: self.levels.clone(),
+            })
+        }
+    }
+
+    /// Dense rank of a class (mixed radix, dimension 0 fastest-varying).
+    pub fn rank(&self, c: &Class) -> usize {
+        debug_assert!(self.contains(c), "class {c} not in lattice");
+        let mut r = 0;
+        for d in (0..self.levels.len()).rev() {
+            r = r * (self.levels[d] + 1) + c.0[d];
+        }
+        r
+    }
+
+    /// Inverse of [`LatticeShape::rank`].
+    pub fn unrank(&self, mut r: usize) -> Class {
+        let mut v = vec![0usize; self.levels.len()];
+        for (d, &l) in self.levels.iter().enumerate() {
+            v[d] = r % (l + 1);
+            r /= l + 1;
+        }
+        debug_assert_eq!(r, 0, "rank out of range");
+        Class(v)
+    }
+
+    /// Iterates over every class, in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = Class> + '_ {
+        (0..self.num_classes()).map(move |r| self.unrank(r))
+    }
+
+    /// Iterates classes in an order compatible with the lattice order
+    /// *reversed*: every class appears after all of its successors. This is
+    /// the sweep order used by the DP (paper Fig. 4 iterates `i, j`
+    /// downward).
+    pub fn iter_top_down(&self) -> impl Iterator<Item = Class> + '_ {
+        // Rank order enumerates coordinates ascending, so reversed rank order
+        // enumerates them descending; any class's successors have a strictly
+        // larger rank.
+        (0..self.num_classes()).rev().map(move |r| self.unrank(r))
+    }
+
+    /// The `d`-successors that exist for `c` (at most one per dimension).
+    pub fn successors<'a>(&'a self, c: &'a Class) -> impl Iterator<Item = (usize, Class)> + 'a {
+        (0..self.levels.len()).filter_map(move |d| {
+            if c.0[d] < self.levels[d] {
+                let mut v = c.0.clone();
+                v[d] += 1;
+                Some((d, Class(v)))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The sublattice rooted at `u`: all classes `v >= u` (paper §4).
+    pub fn sublattice<'a>(&'a self, u: &'a Class) -> impl Iterator<Item = Class> + 'a {
+        self.iter().filter(move |v| u.leq(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StarSchema;
+
+    fn toy() -> LatticeShape {
+        LatticeShape::of_schema(&StarSchema::paper_toy())
+    }
+
+    #[test]
+    fn toy_lattice_has_nine_classes() {
+        let l = toy();
+        assert_eq!(l.num_classes(), 9);
+        assert_eq!(l.bottom(), Class(vec![0, 0]));
+        assert_eq!(l.top(), Class(vec![2, 2]));
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        let l = LatticeShape::new(vec![2, 1, 3]);
+        for r in 0..l.num_classes() {
+            assert_eq!(l.rank(&l.unrank(r)), r);
+        }
+        assert_eq!(l.num_classes(), 3 * 2 * 4);
+    }
+
+    #[test]
+    fn leq_is_componentwise() {
+        let a = Class(vec![1, 0]);
+        let b = Class(vec![1, 2]);
+        let c = Class(vec![0, 2]);
+        assert!(a.leq(&b));
+        assert!(c.leq(&b));
+        assert!(!a.leq(&c));
+        assert!(!c.leq(&a));
+        assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn successor_dim_detects_single_steps() {
+        let a = Class(vec![1, 1]);
+        assert_eq!(a.successor_dim(&Class(vec![2, 1])), Some(0));
+        assert_eq!(a.successor_dim(&Class(vec![1, 2])), Some(1));
+        assert_eq!(a.successor_dim(&Class(vec![2, 2])), None);
+        assert_eq!(a.successor_dim(&Class(vec![1, 1])), None);
+        assert_eq!(a.successor_dim(&Class(vec![0, 1])), None);
+    }
+
+    #[test]
+    fn successors_respect_bounds() {
+        let l = toy();
+        let top = l.top();
+        assert_eq!(l.successors(&top).count(), 0);
+        let mid = Class(vec![2, 1]);
+        let succ: Vec<_> = l.successors(&mid).collect();
+        assert_eq!(succ, vec![(1, Class(vec![2, 2]))]);
+    }
+
+    #[test]
+    fn top_down_order_visits_successors_first() {
+        let l = LatticeShape::new(vec![2, 2, 1]);
+        let order: Vec<Class> = l.iter_top_down().collect();
+        let pos = |c: &Class| order.iter().position(|x| x == c).unwrap();
+        for c in l.iter() {
+            for (_, s) in l.successors(&c) {
+                assert!(pos(&s) < pos(&c), "{s} must precede {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn sublattice_of_figure_3() {
+        // L_{(1,1)} in Figure 3 is the diamond {(1,1),(2,1),(1,2),(2,2)}.
+        let l = toy();
+        let mut sub: Vec<Class> = l.sublattice(&Class(vec![1, 1])).collect();
+        sub.sort();
+        assert_eq!(
+            sub,
+            vec![
+                Class(vec![1, 1]),
+                Class(vec![1, 2]),
+                Class(vec![2, 1]),
+                Class(vec![2, 2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn check_rejects_out_of_bounds() {
+        let l = toy();
+        assert!(l.check(&Class(vec![3, 0])).is_err());
+        assert!(l.check(&Class(vec![0])).is_err());
+        assert!(l.check(&Class(vec![2, 2])).is_ok());
+    }
+
+    #[test]
+    fn display_formats_as_tuple() {
+        assert_eq!(Class(vec![1, 0, 2]).to_string(), "(1,0,2)");
+    }
+}

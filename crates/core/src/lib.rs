@@ -1,0 +1,86 @@
+//! # snakes-core
+//!
+//! Core algorithms of *Snakes and Sandwiches: Optimal Clustering Strategies
+//! for a Data Warehouse* (Jagadish, Lakshmanan, Srivastava; SIGMOD 1999):
+//!
+//! * [`schema`] — star schemas and (possibly unbalanced) dimension
+//!   hierarchies;
+//! * [`lattice`] — the query-class lattice;
+//! * [`workload`] — probability distributions over query classes, including
+//!   the paper's §6.2 bias families;
+//! * [`path`] — monotone lattice paths and the row-major family;
+//! * [`cost`] — the expected-fragment cost model `dist_P` / `cost_μ`;
+//! * [`dp`] — the optimal-lattice-path dynamic program (Figure 4) and its
+//!   k-dimensional generalization;
+//! * [`snake`] — snaking and its analytic cost (§5), the Theorem 3 benefit
+//!   bound;
+//! * [`cv`] — characteristic vectors of arbitrary strategies and the exact
+//!   fragment-count cost they induce;
+//! * [`sandwich`] — the 2-D binary CV calculus: Lemma 2 consistency, the
+//!   `⪯` order, Lemma 4 diagonal elimination, and Theorem 2's sandwich
+//!   construction;
+//! * [`dimension`] / [`query`] — named dimension tables, the user-facing
+//!   grid-query layer (the paper's Q1/Q2 vocabulary), and range queries;
+//! * [`session`] — OLAP session navigation (§1's rollup/drilldown);
+//! * [`explain`] — per-class cost breakdowns (the advisor's EXPLAIN);
+//! * [`stats`] — workload estimation from observed query streams;
+//! * [`advisor`] — the end-to-end recommendation API with the §5.3
+//!   factor-2 guarantee.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snakes_core::prelude::*;
+//!
+//! // The paper's toy schema: jeans × location, 2-level binary hierarchies.
+//! let schema = StarSchema::paper_toy();
+//! let shape = LatticeShape::of_schema(&schema);
+//! let workload = Workload::uniform(shape);
+//! let rec = recommend(&schema, &workload);
+//! assert!(rec.snaked_cost <= rec.plain_cost);
+//! println!("cluster by {} (snaked), expected cost {:.3}",
+//!          rec.optimal_path, rec.snaked_cost);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod advisor;
+pub mod cost;
+pub mod dimension;
+pub mod cv;
+pub mod dp;
+pub mod error;
+pub mod explain;
+pub mod lattice;
+pub mod path;
+pub mod query;
+pub mod sandwich;
+pub mod schema;
+pub mod session;
+pub mod snake;
+pub mod stats;
+pub mod workload;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::advisor::{recommend, recommend_with_model, reorg_decision, robust_recommend, Recommendation, ReorgDecision, RobustRecommendation};
+    pub use crate::cost::CostModel;
+    pub use crate::cv::{Cv, EdgeType};
+    pub use crate::dp::{k_best_lattice_paths, optimal_lattice_path, optimal_lattice_path_2d, optimal_lattice_path_through, DpResult};
+    pub use crate::dimension::{DimensionTable, Member};
+    pub use crate::error::{Error, Result};
+    pub use crate::explain::{explain, ClassContribution, CostExplanation};
+    pub use crate::lattice::{Class, LatticeShape};
+    pub use crate::path::{LatticePath, Step};
+    pub use crate::query::{GridQuery, GridQueryBuilder, RangeQuery, RangeQueryBuilder, Warehouse};
+    pub use crate::sandwich::Cv2;
+    pub use crate::schema::{Hierarchy, StarSchema, TreeHierarchy};
+    pub use crate::session::{OlapOp, OlapSession};
+    pub use crate::snake::{
+        benefit, max_benefit, snake_edge_counts, snaked_class_costs, snaked_dist,
+        snaked_expected_cost,
+    };
+    pub use crate::stats::{DecayingEstimator, WorkloadEstimator};
+    pub use crate::workload::{bias_family, LevelBias, Workload};
+}

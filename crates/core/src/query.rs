@@ -1,0 +1,559 @@
+//! Grid queries: the user-facing query layer over a warehouse of named
+//! dimensions.
+//!
+//! A *grid query* (paper §1) is a vector of `(dimension, member)` pairs —
+//! e.g. `(jeans = levi's, location = NY)` for the paper's Q1. Its *query
+//! class* is the vector of the members' hierarchy levels, and its physical
+//! footprint is an axis-aligned subgrid (one leaf range per dimension).
+//! This module resolves names to coordinates, so a query log can be
+//! classified straight into a [`crate::stats::WorkloadEstimator`] and a
+//! query can be executed against any linearized layout.
+
+use crate::dimension::DimensionTable;
+use crate::error::{Error, Result};
+use crate::lattice::{Class, LatticeShape};
+use crate::schema::StarSchema;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A set of named dimensions over one fact table.
+///
+/// ```
+/// use snakes_core::prelude::*;
+///
+/// // The paper's Q1: levi's jeans sold in NY.
+/// let wh = Warehouse::paper_toy();
+/// let q1 = wh
+///     .query()
+///     .select("jeans", "levi's")?
+///     .select("location", "NY")?
+///     .build();
+/// assert_eq!(q1.class(), Class(vec![1, 1]));
+/// assert_eq!(q1.cell_count(&wh), 4);
+/// # Ok::<(), snakes_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Warehouse {
+    dims: Vec<DimensionTable>,
+}
+
+impl Warehouse {
+    /// Builds a warehouse from its dimension tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] if no dimensions are supplied or
+    /// two share a name.
+    pub fn new(dims: Vec<DimensionTable>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(Error::InvalidHierarchy(
+                "a warehouse needs at least one dimension".into(),
+            ));
+        }
+        for i in 0..dims.len() {
+            for j in i + 1..dims.len() {
+                if dims[i].name() == dims[j].name() {
+                    return Err(Error::InvalidHierarchy(format!(
+                        "duplicate dimension name `{}`",
+                        dims[i].name()
+                    )));
+                }
+            }
+        }
+        Ok(Self { dims })
+    }
+
+    /// The paper's §2 toy warehouse with its member names.
+    pub fn paper_toy() -> Self {
+        use crate::schema::Hierarchy;
+        let jeans = DimensionTable::new(
+            Hierarchy::uniform("jeans", 2, 2).expect("valid"),
+            vec![
+                vec![
+                    "men's levi's".into(),
+                    "women's levi's".into(),
+                    "men's gitano".into(),
+                    "women's gitano".into(),
+                ],
+                vec!["levi's".into(), "gitano".into()],
+            ],
+        )
+        .expect("valid");
+        let location = DimensionTable::new(
+            Hierarchy::uniform("location", 2, 2).expect("valid"),
+            vec![
+                vec![
+                    "albany".into(),
+                    "nyc".into(),
+                    "ottawa".into(),
+                    "toronto".into(),
+                ],
+                vec!["NY".into(), "ONT".into()],
+            ],
+        )
+        .expect("valid");
+        Self::new(vec![jeans, location]).expect("valid")
+    }
+
+    /// The dimension tables, in declaration order.
+    pub fn dims(&self) -> &[DimensionTable] {
+        &self.dims
+    }
+
+    /// Looks a dimension up by name.
+    pub fn dim(&self, name: &str) -> Option<(usize, &DimensionTable)> {
+        self.dims
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name() == name)
+    }
+
+    /// The star schema (hierarchies only).
+    pub fn schema(&self) -> StarSchema {
+        StarSchema::new(self.dims.iter().map(|d| d.hierarchy().clone()).collect())
+            .expect("warehouse is non-empty")
+    }
+
+    /// The query-class lattice.
+    pub fn shape(&self) -> LatticeShape {
+        LatticeShape::of_schema(&self.schema())
+    }
+
+    /// Starts building a grid query; unselected dimensions default to
+    /// `ALL`.
+    pub fn query(&self) -> GridQueryBuilder<'_> {
+        GridQueryBuilder {
+            warehouse: self,
+            selections: self
+                .dims
+                .iter()
+                .map(|d| (d.levels(), 0u64))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds every dimension's reverse index after deserialization.
+    pub fn reindex(&mut self) {
+        for d in &mut self.dims {
+            d.reindex();
+        }
+    }
+}
+
+/// Builder for [`GridQuery`].
+#[derive(Debug, Clone)]
+pub struct GridQueryBuilder<'a> {
+    warehouse: &'a Warehouse,
+    /// `(level, member index)` per dimension.
+    selections: Vec<(usize, u64)>,
+}
+
+impl<'a> GridQueryBuilder<'a> {
+    /// Selects a member by dimension and member name. The member may sit at
+    /// any level (`select("location", "NY")` or `("location", "toronto")`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`]-style errors for unknown names.
+    pub fn select(mut self, dimension: &str, member: &str) -> Result<Self> {
+        let (d, table) = self.warehouse.dim(dimension).ok_or_else(|| {
+            Error::InvalidHierarchy(format!("unknown dimension `{dimension}`"))
+        })?;
+        let m = table.find(member).ok_or_else(|| {
+            Error::InvalidHierarchy(format!(
+                "unknown member `{member}` in dimension `{dimension}`"
+            ))
+        })?;
+        self.selections[d] = (m.level(), m.index());
+        Ok(self)
+    }
+
+    /// Selects by explicit level and member index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range coordinates.
+    pub fn select_at(mut self, dimension: &str, level: usize, index: u64) -> Result<Self> {
+        let (d, table) = self.warehouse.dim(dimension).ok_or_else(|| {
+            Error::InvalidHierarchy(format!("unknown dimension `{dimension}`"))
+        })?;
+        if level > table.levels() {
+            return Err(Error::ClassOutOfBounds {
+                class: vec![level],
+                levels: vec![table.levels()],
+            });
+        }
+        let nodes = if level == table.levels() {
+            1
+        } else {
+            table.hierarchy().nodes_at_level(level)
+        };
+        if index >= nodes {
+            return Err(Error::InvalidHierarchy(format!(
+                "member index {index} out of range at level {level} of `{dimension}`"
+            )));
+        }
+        self.selections[d] = (level, index);
+        Ok(self)
+    }
+
+    /// Finalizes the query.
+    pub fn build(self) -> GridQuery {
+        GridQuery {
+            selections: self.selections,
+        }
+    }
+}
+
+/// A resolved grid query: one `(level, member index)` per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridQuery {
+    selections: Vec<(usize, u64)>,
+}
+
+impl GridQuery {
+    /// The query's class: the level vector (Definition 1).
+    pub fn class(&self) -> Class {
+        Class(self.selections.iter().map(|&(l, _)| l).collect())
+    }
+
+    /// The selections `(level, member index)` per dimension.
+    pub fn selections(&self) -> &[(usize, u64)] {
+        &self.selections
+    }
+
+    /// The physical footprint: one leaf range per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query was built against a different warehouse shape.
+    pub fn ranges(&self, warehouse: &Warehouse) -> Vec<Range<u64>> {
+        assert_eq!(
+            self.selections.len(),
+            warehouse.dims().len(),
+            "query arity must match the warehouse"
+        );
+        self.selections
+            .iter()
+            .zip(warehouse.dims())
+            .map(|(&(level, index), table)| {
+                if level == table.levels() {
+                    0..table.hierarchy().leaf_count()
+                } else {
+                    table.hierarchy().leaf_range(level, index)
+                }
+            })
+            .collect()
+    }
+
+    /// Number of cells the query covers.
+    pub fn cell_count(&self, warehouse: &Warehouse) -> u64 {
+        self.ranges(warehouse)
+            .iter()
+            .map(|r| r.end - r.start)
+            .product()
+    }
+
+    /// Human-readable rendering using member names.
+    pub fn describe(&self, warehouse: &Warehouse) -> String {
+        let parts: Vec<String> = self
+            .selections
+            .iter()
+            .zip(warehouse.dims())
+            .map(|(&(level, index), table)| {
+                format!("{} = {}", table.name(), table.member_name(level, index))
+            })
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// Builder for [`RangeQuery`]: contiguous member ranges per dimension,
+/// not necessarily hierarchy-aligned — e.g. TPC-D's shipdate windows
+/// ("1994-03" through "1994-09"). Unconstrained dimensions default to the
+/// full extent.
+#[derive(Debug, Clone)]
+pub struct RangeQueryBuilder<'a> {
+    warehouse: &'a Warehouse,
+    ranges: Vec<Range<u64>>,
+}
+
+impl<'a> RangeQueryBuilder<'a> {
+    /// Constrains a dimension to the inclusive member span
+    /// `from ..= to` (both resolved by name at any level; their leaf
+    /// ranges' union must be a proper interval, i.e. `from` starts at or
+    /// before `to` ends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] for unknown names or an empty
+    /// span.
+    pub fn between(mut self, dimension: &str, from: &str, to: &str) -> Result<Self> {
+        let (d, table) = self.warehouse.dim(dimension).ok_or_else(|| {
+            Error::InvalidHierarchy(format!("unknown dimension `{dimension}`"))
+        })?;
+        let f = table.find(from).ok_or_else(|| {
+            Error::InvalidHierarchy(format!("unknown member `{from}` in `{dimension}`"))
+        })?;
+        let t = table.find(to).ok_or_else(|| {
+            Error::InvalidHierarchy(format!("unknown member `{to}` in `{dimension}`"))
+        })?;
+        let lo = f.leaf_range().start;
+        let hi = t.leaf_range().end;
+        if lo >= hi {
+            return Err(Error::InvalidHierarchy(format!(
+                "`{from}`..=`{to}` is an empty span in `{dimension}`"
+            )));
+        }
+        self.ranges[d] = lo..hi;
+        Ok(self)
+    }
+
+    /// Constrains a dimension to a single member (like
+    /// [`GridQueryBuilder::select`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] for unknown names.
+    pub fn at(self, dimension: &str, member: &str) -> Result<Self> {
+        self.between(dimension, member, member)
+    }
+
+    /// Finalizes the query.
+    pub fn build(self) -> RangeQuery {
+        RangeQuery {
+            ranges: self.ranges,
+        }
+    }
+}
+
+/// A contiguous (but not necessarily hierarchy-aligned) range query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RangeQuery {
+    ranges: Vec<Range<u64>>,
+}
+
+impl RangeQuery {
+    /// The physical footprint, ready for the storage executor.
+    pub fn ranges(&self) -> &[Range<u64>] {
+        &self.ranges
+    }
+
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> u64 {
+        self.ranges.iter().map(|r| r.end - r.start).product()
+    }
+
+    /// The query class this range is closest to, for workload estimation:
+    /// per dimension, the smallest level whose subtree is at least as wide
+    /// as the range (so an aligned query of that class has comparable
+    /// selectivity). Aligned ranges classify exactly.
+    pub fn covering_class(&self, warehouse: &Warehouse) -> Class {
+        let levels = self
+            .ranges
+            .iter()
+            .zip(warehouse.dims())
+            .map(|(r, table)| {
+                let width = r.end - r.start;
+                let h = table.hierarchy();
+                (0..=table.levels())
+                    .find(|&lvl| {
+                        let size = if lvl == table.levels() {
+                            h.leaf_count()
+                        } else {
+                            h.subtree_size(lvl)
+                        };
+                        size >= width
+                    })
+                    .unwrap_or(table.levels())
+            })
+            .collect();
+        Class(levels)
+    }
+}
+
+impl Warehouse {
+    /// Starts building a range query; unconstrained dimensions span their
+    /// full extent.
+    pub fn range_query(&self) -> RangeQueryBuilder<'_> {
+        RangeQueryBuilder {
+            warehouse: self,
+            ranges: self
+                .dims()
+                .iter()
+                .map(|d| 0..d.hierarchy().leaf_count())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_q1_is_class_1_1() {
+        // Q1: jeans.type = levi's AND location.state = NY.
+        let wh = Warehouse::paper_toy();
+        let q1 = wh
+            .query()
+            .select("jeans", "levi's")
+            .unwrap()
+            .select("location", "NY")
+            .unwrap()
+            .build();
+        assert_eq!(q1.class(), Class(vec![1, 1]));
+        assert_eq!(q1.ranges(&wh), vec![0..2, 0..2]);
+        assert_eq!(q1.cell_count(&wh), 4);
+        assert_eq!(q1.describe(&wh), "(jeans = levi's, location = NY)");
+    }
+
+    #[test]
+    fn paper_q2_is_class_2_1() {
+        // Q2: all jeans in ONT.
+        let wh = Warehouse::paper_toy();
+        let q2 = wh.query().select("location", "ONT").unwrap().build();
+        assert_eq!(q2.class(), Class(vec![2, 1]));
+        assert_eq!(q2.ranges(&wh), vec![0..4, 2..4]);
+    }
+
+    #[test]
+    fn cell_query_is_class_0_0() {
+        let wh = Warehouse::paper_toy();
+        let q = wh
+            .query()
+            .select("jeans", "men's levi's")
+            .unwrap()
+            .select("location", "toronto")
+            .unwrap()
+            .build();
+        assert_eq!(q.class(), Class(vec![0, 0]));
+        assert_eq!(q.cell_count(&wh), 1);
+    }
+
+    #[test]
+    fn default_is_top_class() {
+        let wh = Warehouse::paper_toy();
+        let q = wh.query().build();
+        assert_eq!(q.class(), wh.shape().top());
+        assert_eq!(q.cell_count(&wh), 16);
+    }
+
+    #[test]
+    fn select_at_by_coordinates() {
+        let wh = Warehouse::paper_toy();
+        let q = wh
+            .query()
+            .select_at("location", 1, 1)
+            .unwrap()
+            .build();
+        assert_eq!(q.ranges(&wh)[1], 2..4);
+        assert!(wh.query().select_at("location", 5, 0).is_err());
+        assert!(wh.query().select_at("location", 1, 9).is_err());
+        assert!(wh.query().select_at("nope", 0, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let wh = Warehouse::paper_toy();
+        assert!(wh.query().select("jeans", "wranglers").is_err());
+        assert!(wh.query().select("shoes", "any").is_err());
+    }
+
+    #[test]
+    fn warehouse_rejects_duplicate_dims() {
+        use crate::schema::Hierarchy;
+        let d = DimensionTable::synthetic(Hierarchy::uniform("d", 2, 1).unwrap(), "d");
+        assert!(Warehouse::new(vec![d.clone(), d]).is_err());
+        assert!(Warehouse::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn queries_feed_the_estimator() {
+        use crate::stats::WorkloadEstimator;
+        let wh = Warehouse::paper_toy();
+        let shape = wh.shape();
+        let mut est = WorkloadEstimator::new(shape);
+        let q1 = wh
+            .query()
+            .select("jeans", "levi's")
+            .unwrap()
+            .select("location", "NY")
+            .unwrap()
+            .build();
+        let q2 = wh.query().select("location", "ONT").unwrap().build();
+        for _ in 0..3 {
+            est.observe(&q1.class()).unwrap();
+        }
+        est.observe(&q2.class()).unwrap();
+        let w = est.to_workload().unwrap();
+        assert!((w.prob(&Class(vec![1, 1])) - 0.75).abs() < 1e-12);
+        assert!((w.prob(&Class(vec![2, 1])) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_query_spans_members() {
+        let wh = Warehouse::paper_toy();
+        // nyc through ottawa: leaves 1..3 — crosses the state boundary, so
+        // no single aligned query covers it tightly.
+        let q = wh
+            .range_query()
+            .between("location", "nyc", "ottawa")
+            .unwrap()
+            .build();
+        assert_eq!(q.ranges(), &[0..4, 1..3]);
+        assert_eq!(q.cell_count(), 8);
+        // Width 2 → level 1 cover in location; full span in jeans.
+        assert_eq!(q.covering_class(&wh), Class(vec![2, 1]));
+    }
+
+    #[test]
+    fn range_query_mixed_levels_and_single_member() {
+        let wh = Warehouse::paper_toy();
+        let q = wh
+            .range_query()
+            .between("location", "NY", "ottawa")
+            .unwrap()
+            .at("jeans", "levi's")
+            .unwrap()
+            .build();
+        assert_eq!(q.ranges(), &[0..2, 0..3]);
+        // Width 3 in location → needs the full dimension (level 2).
+        assert_eq!(q.covering_class(&wh), Class(vec![1, 2]));
+    }
+
+    #[test]
+    fn aligned_ranges_classify_exactly() {
+        let wh = Warehouse::paper_toy();
+        let aligned = wh
+            .range_query()
+            .at("location", "ONT")
+            .unwrap()
+            .at("jeans", "men's levi's")
+            .unwrap()
+            .build();
+        assert_eq!(aligned.covering_class(&wh), Class(vec![0, 1]));
+    }
+
+    #[test]
+    fn range_query_rejects_bad_spans() {
+        let wh = Warehouse::paper_toy();
+        assert!(wh
+            .range_query()
+            .between("location", "toronto", "albany")
+            .is_err());
+        assert!(wh.range_query().between("location", "albany", "paris").is_err());
+        assert!(wh.range_query().between("shoes", "a", "b").is_err());
+    }
+
+    #[test]
+    fn warehouse_serde_roundtrip() {
+        let wh = Warehouse::paper_toy();
+        let json = serde_json::to_string(&wh).unwrap();
+        let mut back: Warehouse = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back.dims().len(), 2);
+        let q = back.query().select("location", "NY").unwrap().build();
+        assert_eq!(q.class(), Class(vec![2, 1]));
+    }
+}

@@ -1,0 +1,857 @@
+//! The "sandwich" calculus on two-dimensional binary characteristic vectors
+//! (paper §5.1): Lemma 2's consistency constraints, the `⪯` order and
+//! minimalization, Lemma 4's diagonal elimination, and Theorem 2's sandwich
+//! construction, which together show that some snaked lattice path is
+//! globally optimal for every workload.
+//!
+//! The representative schema here is the paper's: two dimensions, each with
+//! a complete binary hierarchy of `n` levels (a `2^n × 2^n` grid). A CV is
+//! written `(a_1..a_n; b_1..b_n; d_11..d_nn)`: `a_i` counts edges crossing
+//! level `i` of dimension A only, `b_j` likewise for B, and `d_ij` counts
+//! diagonal edges crossing level `i` of A *and* level `j` of B.
+
+use crate::error::{Error, Result};
+use crate::lattice::{Class, LatticeShape};
+use crate::path::LatticePath;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A characteristic vector over the 2-D complete binary `n`-level schema.
+///
+/// The full Example 3 pipeline:
+///
+/// ```
+/// use snakes_core::sandwich::Cv2;
+///
+/// let diagonal = Cv2::new(
+///     3,
+///     vec![20, 5, 1],
+///     vec![21, 3, 1],
+///     vec![vec![4, 0, 0], vec![0, 4, 0], vec![0, 0, 4]],
+/// )?;
+/// let eliminated = diagonal.eliminate_diagonals()?; // Lemma 4
+/// assert_eq!(eliminated.a(), &[24, 9, 5]);
+/// let minimal = eliminated.minimalize(); // ⪯-minimalization
+/// assert_eq!(minimal.a(), &[27, 8, 3]);
+/// let leaves = minimal.sandwich_closure()?; // Theorem 2
+/// assert_eq!(leaves.len(), 4);
+/// assert!(leaves.iter().all(|l| l.to_snaked_path().is_some())); // Lemma 3
+/// # Ok::<(), snakes_core::error::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cv2 {
+    n: usize,
+    /// `a[i-1]` = `a_i`.
+    a: Vec<u64>,
+    /// `b[j-1]` = `b_j`.
+    b: Vec<u64>,
+    /// `d[i-1][j-1]` = `d_ij`; empty when non-diagonal.
+    d: Vec<Vec<u64>>,
+}
+
+impl Cv2 {
+    /// Builds a (possibly diagonal) CV. Pass an empty `d` for non-diagonal
+    /// vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InconsistentVector`] on arity mismatches. Use
+    /// [`Cv2::is_consistent`] / [`Cv2::check_consistent`] for Lemma 2.
+    pub fn new(n: usize, a: Vec<u64>, b: Vec<u64>, d: Vec<Vec<u64>>) -> Result<Self> {
+        if n == 0 || a.len() != n || b.len() != n {
+            return Err(Error::InconsistentVector(format!(
+                "need n = {n} entries in a and b"
+            )));
+        }
+        let d = if d.is_empty() {
+            vec![vec![0; n]; n]
+        } else {
+            d
+        };
+        if d.len() != n || d.iter().any(|row| row.len() != n) {
+            return Err(Error::InconsistentVector(format!(
+                "diagonal block must be {n} x {n}"
+            )));
+        }
+        Ok(Self { n, a, b, d })
+    }
+
+    /// Non-diagonal convenience constructor.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cv2::new`].
+    pub fn non_diagonal(n: usize, a: Vec<u64>, b: Vec<u64>) -> Result<Self> {
+        Self::new(n, a, b, Vec::new())
+    }
+
+    /// Hierarchy depth `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `a` entries.
+    pub fn a(&self) -> &[u64] {
+        &self.a
+    }
+
+    /// The `b` entries.
+    pub fn b(&self) -> &[u64] {
+        &self.b
+    }
+
+    /// `d_ij` (1-indexed).
+    pub fn d(&self, i: usize, j: usize) -> u64 {
+        self.d[i - 1][j - 1]
+    }
+
+    /// Whether any diagonal entry is non-zero.
+    pub fn is_diagonal(&self) -> bool {
+        self.d.iter().flatten().any(|&x| x > 0)
+    }
+
+    /// Total cell count `2^{2n}` of the grid.
+    pub fn num_cells(&self) -> u64 {
+        1u64 << (2 * self.n)
+    }
+
+    /// Prefix sum `S(ℓ, q) = Σ_{i<=ℓ} a_i + Σ_{j<=q} b_j + Σ_{i<=ℓ, j<=q}
+    /// d_ij` — the number of edges internal to class-`(ℓ, q)` subgrids.
+    pub fn prefix_sum(&self, l: usize, q: usize) -> u64 {
+        let mut s: u64 = self.a[..l].iter().sum();
+        s += self.b[..q].iter().sum::<u64>();
+        for row in &self.d[..l] {
+            s += row[..q].iter().sum::<u64>();
+        }
+        s
+    }
+
+    /// Lemma 2's bound for `(ℓ, q)`: `Σ_{i=1..ℓ+q} 2^{2n-i} = 2^{2n} -
+    /// 2^{2n-ℓ-q}` — the maximum number of edges that can be internal to
+    /// class-`(ℓ, q)` subgrids.
+    pub fn bound(&self, l: usize, q: usize) -> u64 {
+        let n2 = 2 * self.n as u32;
+        (1u64 << n2) - (1u64 << (n2 - (l + q) as u32))
+    }
+
+    /// Lemma 2 consistency: every prefix sum is within its bound, and the
+    /// total `(n, n)` sum meets it with equality (a strategy visiting all
+    /// `2^{2n}` cells has exactly `2^{2n} - 1` edges).
+    pub fn is_consistent(&self) -> bool {
+        self.violation().is_none()
+    }
+
+    /// The first violated constraint, if any.
+    pub fn violation(&self) -> Option<(usize, usize)> {
+        for l in 0..=self.n {
+            for q in 0..=self.n {
+                if l == 0 && q == 0 {
+                    continue;
+                }
+                let s = self.prefix_sum(l, q);
+                let bound = self.bound(l, q);
+                if s > bound || (l == self.n && q == self.n && s != bound) {
+                    return Some((l, q));
+                }
+            }
+        }
+        None
+    }
+
+    /// Validates Lemma 2, for error propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InconsistentVector`] naming the violated constraint.
+    pub fn check_consistent(&self) -> Result<()> {
+        match self.violation() {
+            None => Ok(()),
+            Some((l, q)) => Err(Error::InconsistentVector(format!(
+                "constraint at (ℓ,q) = ({l},{q}): prefix {} vs bound {}",
+                self.prefix_sum(l, q),
+                self.bound(l, q)
+            ))),
+        }
+    }
+
+    /// The extended expected cost `cost_μ(v̄)` of §5.1:
+    /// `Σ_{(i,j)} p_ij · (2^{2n} − S(i,j)) / 2^{2n−i−j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the workload is not over the `(n, n)` lattice.
+    pub fn cost(&self, workload: &Workload) -> f64 {
+        debug_assert_eq!(
+            workload.shape(),
+            &self.shape(),
+            "workload must be over the (n, n) lattice"
+        );
+        let n2 = 2 * self.n;
+        let cells = self.num_cells() as f64;
+        let mut total = 0.0;
+        for i in 0..=self.n {
+            for j in 0..=self.n {
+                let p = workload.prob(&Class(vec![i, j]));
+                if p > 0.0 {
+                    let subgrids = (1u64 << (n2 - i - j)) as f64;
+                    let frag = (cells - self.prefix_sum(i, j) as f64) / subgrids;
+                    total += p * frag;
+                }
+            }
+        }
+        total
+    }
+
+    /// Average fragment count of class `(i, j)` under this vector.
+    pub fn class_cost(&self, i: usize, j: usize) -> f64 {
+        let n2 = 2 * self.n;
+        let subgrids = (1u64 << (n2 - i - j)) as f64;
+        (self.num_cells() as f64 - self.prefix_sum(i, j) as f64) / subgrids
+    }
+
+    /// The `(n, n)` lattice shape this vector prices.
+    pub fn shape(&self) -> LatticeShape {
+        LatticeShape::new(vec![self.n, self.n])
+    }
+
+    /// The paper's `⪯` order (read with an allowed empty prefix, which is
+    /// what its own examples require): `u ⪯ v` iff in each of `a` and `b`,
+    /// either the entries are all equal or the first differing entry of `u`
+    /// is *larger*. Mass earlier (at finer levels) is smaller in `⪯`.
+    /// Diagonal entries must agree; the order is used on non-diagonal
+    /// vectors.
+    pub fn preceq(&self, other: &Cv2) -> bool {
+        if self.n != other.n || self.d != other.d {
+            return false;
+        }
+        rev_lex_leq(&self.a, &other.a) && rev_lex_leq(&self.b, &other.b)
+    }
+
+    /// Pushes edge mass toward finer levels: repeatedly moves count from a
+    /// later entry to an earlier one within each of `a` and `b`, as far as
+    /// Lemma 2 allows. The result `w` satisfies `w ⪯ self`, preserves
+    /// per-dimension totals, dominates every prefix sum (so `cost_μ(w) <=
+    /// cost_μ(self)` on every workload), and no further single move is
+    /// possible. Reproduces the paper's Example 3 pick
+    /// `(24,9,5;21,3,1) → (27,8,3;21,3,1)`.
+    ///
+    /// Only meaningful for non-diagonal vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is diagonal or inconsistent.
+    pub fn minimalize(&self) -> Cv2 {
+        assert!(!self.is_diagonal(), "minimalize expects a non-diagonal CV");
+        assert!(self.is_consistent(), "minimalize expects a consistent CV");
+        let mut v = self.clone();
+        // Alternate over the two dimensions until a fixpoint: moving mass in
+        // `a` can free or consume slack for `b` and vice versa.
+        loop {
+            let before = (v.a.clone(), v.b.clone());
+            v.push_earlier(Dim::A);
+            v.push_earlier(Dim::B);
+            if (v.a.clone(), v.b.clone()) == before {
+                break;
+            }
+        }
+        debug_assert!(v.is_consistent());
+        debug_assert!(v.preceq(self));
+        v
+    }
+
+    /// Whether no single unit of mass can move to an earlier entry in
+    /// either dimension without violating Lemma 2 — the operational
+    /// `⪯`-minimality the sandwich construction needs. [`Cv2::minimalize`]
+    /// always produces a vector satisfying this.
+    pub fn is_preceq_minimal(&self) -> bool {
+        if self.is_diagonal() || !self.is_consistent() {
+            return false;
+        }
+        let n = self.n;
+        for dim in [Dim::A, Dim::B] {
+            for dst in 1..=n {
+                for src in dst + 1..=n {
+                    let avail = match dim {
+                        Dim::A => self.a[src - 1],
+                        Dim::B => self.b[src - 1],
+                    };
+                    if avail == 0 {
+                        continue;
+                    }
+                    // A unit move is blocked iff some affected constraint
+                    // has zero slack.
+                    let mut blocked = false;
+                    'mids: for mid in dst..src {
+                        for other in 0..=n {
+                            let (l, q) = match dim {
+                                Dim::A => (mid, other),
+                                Dim::B => (other, mid),
+                            };
+                            if l == 0 && q == 0 {
+                                continue;
+                            }
+                            if self.bound(l, q) == self.prefix_sum(l, q) {
+                                blocked = true;
+                                break 'mids;
+                            }
+                        }
+                    }
+                    if !blocked {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// One sweep of earlier-pushing within one dimension.
+    fn push_earlier(&mut self, dim: Dim) {
+        let n = self.n;
+        for dst in 1..=n {
+            for src in (dst + 1..=n).rev() {
+                let avail = match dim {
+                    Dim::A => self.a[src - 1],
+                    Dim::B => self.b[src - 1],
+                };
+                if avail == 0 {
+                    continue;
+                }
+                // Moving δ from index `src` to `dst` raises exactly the
+                // prefix sums with dst <= ℓ < src (for A; q for B). Cap δ by
+                // the minimum slack among them.
+                let mut cap = avail;
+                for mid in dst..src {
+                    for other in 0..=n {
+                        let (l, q) = match dim {
+                            Dim::A => (mid, other),
+                            Dim::B => (other, mid),
+                        };
+                        if l == 0 && q == 0 {
+                            continue;
+                        }
+                        let slack = self.bound(l, q) - self.prefix_sum(l, q);
+                        cap = cap.min(slack);
+                    }
+                }
+                if cap > 0 {
+                    match dim {
+                        Dim::A => {
+                            self.a[src - 1] -= cap;
+                            self.a[dst - 1] += cap;
+                        }
+                        Dim::B => {
+                            self.b[src - 1] -= cap;
+                            self.b[dst - 1] += cap;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 4's transformation: splits every diagonal count `d_ij` into
+    /// `x` edges of type `A_i` and `d_ij − x` edges of type `B_j`, keeping
+    /// the vector consistent. Each resulting non-diagonal vector dominates
+    /// the input pointwise (`a_i' >= a_i`, `b_j' >= b_j`, totals per
+    /// constraint preserved), so its cost is never higher on any workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InconsistentVector`] if the input is inconsistent
+    /// or no valid split exists (which Lemma 4 proves cannot happen for the
+    /// CV of a real strategy).
+    pub fn eliminate_diagonals(&self) -> Result<Cv2> {
+        self.check_consistent()?;
+        let n = self.n;
+        let mut v = self.clone();
+        for i in 1..=n {
+            for j in 1..=n {
+                let dij = v.d[i - 1][j - 1];
+                if dij == 0 {
+                    continue;
+                }
+                // Adding x to a_i relaxes nothing but tightens constraints
+                // (ℓ >= i, q < j): those counted the diagonal edge in
+                // neither term before... more precisely, constraint (ℓ, q)
+                // gains +x iff ℓ >= i and q < j (it already counted d_ij
+                // when ℓ >= i and q >= j). Symmetrically for y = d_ij − x at
+                // b_j with (ℓ < i, q >= j).
+                let x_cap = v.split_cap(i, j, Dim::A).min(dij);
+                let y_needed = dij - x_cap;
+                if y_needed > v.split_cap(i, j, Dim::B) {
+                    return Err(Error::InconsistentVector(format!(
+                        "cannot split d_{i}{j} = {dij} (caps {x_cap} / {})",
+                        v.split_cap(i, j, Dim::B)
+                    )));
+                }
+                v.a[i - 1] += x_cap;
+                v.b[j - 1] += y_needed;
+                v.d[i - 1][j - 1] = 0;
+            }
+        }
+        v.check_consistent()?;
+        Ok(v)
+    }
+
+    /// Maximum mass movable from `d_ij` into `a_i` (`Dim::A`) or `b_j`
+    /// (`Dim::B`) without violating Lemma 2.
+    fn split_cap(&self, i: usize, j: usize, into: Dim) -> u64 {
+        let n = self.n;
+        let mut cap = u64::MAX;
+        for l in 0..=n {
+            for q in 0..=n {
+                if l == 0 && q == 0 {
+                    continue;
+                }
+                let affected = match into {
+                    Dim::A => l >= i && q < j,
+                    Dim::B => l < i && q >= j,
+                };
+                if affected {
+                    cap = cap.min(self.bound(l, q) - self.prefix_sum(l, q));
+                }
+            }
+        }
+        cap
+    }
+
+    /// One step of Theorem 2's sandwich construction. Returns `None` when
+    /// every entry is already a power of two (Lemma 3 then applies). For the
+    /// first non-power entries `a_i` and `b_j`, produces the two sandwiching
+    /// vectors with `(a_i, b_j)` replaced by `(2^{2n−i−j}, 2^{2n−i−j+1})`
+    /// and the swap. At least one of the two has cost `<=` the input's on
+    /// every workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InconsistentVector`] if the vector is diagonal, if
+    /// exactly one of `a`/`b` has a non-power entry (minimalize first; the
+    /// construction is stated for `⪯`-minimal vectors), or if the produced
+    /// vectors are inconsistent.
+    pub fn sandwich_step(&self) -> Result<Option<(Cv2, Cv2)>> {
+        if self.is_diagonal() {
+            return Err(Error::InconsistentVector(
+                "sandwich construction needs a non-diagonal vector".into(),
+            ));
+        }
+        let i = first_non_power(&self.a);
+        let j = first_non_power(&self.b);
+        let (i, j) = match (i, j) {
+            (None, None) => return Ok(None),
+            (Some(i), Some(j)) => (i, j),
+            _ => {
+                return Err(Error::InconsistentVector(format!(
+                    "non-power entries in only one dimension (a: {:?}, b: {:?}); \
+                     vector is not ⪯-minimal",
+                    self.a, self.b
+                )))
+            }
+        };
+        let n2 = 2 * self.n;
+        if i + j >= n2 {
+            return Err(Error::InconsistentVector(format!(
+                "sandwich indices ({i},{j}) out of range for n = {}",
+                self.n
+            )));
+        }
+        let lo = 1u64 << (n2 - i - j);
+        let hi = lo << 1;
+        let mk = |ai: u64, bj: u64| -> Result<Cv2> {
+            let mut v = self.clone();
+            v.a[i - 1] = ai;
+            v.b[j - 1] = bj;
+            v.check_consistent()?;
+            Ok(v)
+        };
+        Ok(Some((mk(lo, hi)?, mk(hi, lo)?)))
+    }
+
+    /// The full sandwich closure: recursively applies
+    /// [`Cv2::sandwich_step`] until every vector has only power-of-two
+    /// entries. Returns the de-duplicated leaf set; by Lemma 3 each leaf is
+    /// the CV of a snaked lattice path, and for every workload some leaf
+    /// costs no more than `self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cv2::sandwich_step`] failures.
+    pub fn sandwich_closure(&self) -> Result<Vec<Cv2>> {
+        let mut leaves = BTreeSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(v) = stack.pop() {
+            match v.sandwich_step()? {
+                None => {
+                    leaves.insert(v);
+                }
+                Some((v1, v2)) => {
+                    stack.push(v1);
+                    stack.push(v2);
+                }
+            }
+        }
+        Ok(leaves.into_iter().collect())
+    }
+
+    /// Lemma 3's constructive direction: if this vector is consistent,
+    /// non-diagonal, and all entries are powers of two forming the full
+    /// multiset `{2^{2n-1}, ..., 2, 1}` with each dimension's entries
+    /// decreasing, it is the CV of the snaked lattice path returned here
+    /// (steps ordered by decreasing edge count, the innermost loop first).
+    pub fn to_snaked_path(&self) -> Option<LatticePath> {
+        if self.is_diagonal() {
+            return None;
+        }
+        let n2 = 2 * self.n;
+        // Collect (count, dim, level); counts must be exactly the powers
+        // 2^{2n-1} .. 2^0, each used once.
+        let mut entries: Vec<(u64, usize)> = Vec::with_capacity(n2);
+        for (idx, &c) in self.a.iter().enumerate() {
+            entries.push((c, 0));
+            // Levels must appear in decreasing-count order per dimension for
+            // the loop nesting to be monotone; since level i+1's loop is
+            // outside level i's, a_i > a_{i+1} is required.
+            let _ = idx;
+        }
+        for &c in &self.b {
+            entries.push((c, 1));
+        }
+        let mut seen = vec![false; n2];
+        for &(c, _) in &entries {
+            if c == 0 || !c.is_power_of_two() {
+                return None;
+            }
+            let log = c.trailing_zeros() as usize;
+            if log >= n2 || seen[log] {
+                return None;
+            }
+            seen[log] = true;
+        }
+        if !strictly_decreasing(&self.a) || !strictly_decreasing(&self.b) {
+            return None;
+        }
+        // Sort by decreasing count: the innermost loop contributes the most
+        // edges. Each dimension's levels then appear in increasing order.
+        entries.sort_by(|x, y| y.0.cmp(&x.0));
+        let dims: Vec<usize> = entries.iter().map(|&(_, d)| d).collect();
+        LatticePath::from_dims(self.shape(), dims).ok()
+    }
+
+    /// The CV of the snaked version of `path` over the 2-D binary `n`-level
+    /// schema (the inverse of [`Cv2::to_snaked_path`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is not over the `(n, n)` lattice.
+    pub fn of_snaked_path(n: usize, path: &LatticePath) -> Cv2 {
+        assert_eq!(path.shape(), &LatticeShape::new(vec![n, n]));
+        let n2 = 2 * n;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        for (pos, s) in path.steps().iter().enumerate() {
+            // The (pos+1)-th loop contributes (f-1) N / 2^{pos+1} = 2^{2n-pos-1} edges.
+            let count = 1u64 << (n2 - pos - 1);
+            match s.dim {
+                0 => a[s.level - 1] = count,
+                _ => b[s.level - 1] = count,
+            }
+        }
+        Cv2 {
+            n,
+            a,
+            b,
+            d: vec![vec![0; n]; n],
+        }
+    }
+}
+
+impl std::fmt::Display for Cv2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fmt_vec = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(f, "({};{}", fmt_vec(&self.a), fmt_vec(&self.b))?;
+        if self.is_diagonal() {
+            write!(f, ";")?;
+            for (i, row) in self.d.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", fmt_vec(row))?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Dim {
+    A,
+    B,
+}
+
+/// `u <= v` in the reversed lexicographic sense of `⪯`: equal, or at the
+/// first difference `u`'s entry is larger.
+fn rev_lex_leq(u: &[u64], v: &[u64]) -> bool {
+    for (x, y) in u.iter().zip(v) {
+        if x != y {
+            return x > y;
+        }
+    }
+    true
+}
+
+/// 1-based index of the first entry that is not a positive power of two.
+fn first_non_power(v: &[u64]) -> Option<usize> {
+    v.iter()
+        .position(|&x| x == 0 || !x.is_power_of_two())
+        .map(|p| p + 1)
+}
+
+fn strictly_decreasing(v: &[u64]) -> bool {
+    v.windows(2).all(|w| w[0] > w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::schema::StarSchema;
+    use crate::snake::snaked_expected_cost;
+    use crate::workload::{bias_family, Workload};
+
+    /// Example 3's starting diagonal vector (n = 3).
+    fn example3_input() -> Cv2 {
+        Cv2::new(
+            3,
+            vec![20, 5, 1],
+            vec![21, 3, 1],
+            vec![vec![4, 0, 0], vec![0, 4, 0], vec![0, 0, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example3_input_is_consistent() {
+        assert!(example3_input().is_consistent());
+        // Total: 2^6 - 1 = 63 edges.
+        assert_eq!(example3_input().prefix_sum(3, 3), 63);
+    }
+
+    #[test]
+    fn example3_diagonal_elimination() {
+        // The paper splits each d_ii fully into a, yielding (24,9,5;21,3,1).
+        let v = example3_input().eliminate_diagonals().unwrap();
+        assert!(!v.is_diagonal());
+        assert!(v.is_consistent());
+        assert_eq!(v.a(), &[24, 9, 5]);
+        assert_eq!(v.b(), &[21, 3, 1]);
+    }
+
+    #[test]
+    fn example3_minimalization() {
+        let v = Cv2::non_diagonal(3, vec![24, 9, 5], vec![21, 3, 1]).unwrap();
+        let w = v.minimalize();
+        assert_eq!(w.a(), &[27, 8, 3]);
+        assert_eq!(w.b(), &[21, 3, 1]);
+        assert!(w.preceq(&v));
+        // Prefix sums dominate, so cost never increases on any workload.
+        for l in 0..=3 {
+            for q in 0..=3 {
+                assert!(w.prefix_sum(l, q) >= v.prefix_sum(l, q));
+            }
+        }
+    }
+
+    #[test]
+    fn example3_sandwich_first_level() {
+        let u = Cv2::non_diagonal(3, vec![27, 8, 3], vec![21, 3, 1]).unwrap();
+        let (v1, v2) = u.sandwich_step().unwrap().unwrap();
+        // Paper: ū1 = (32,8,3;16,3,1) and ū2 = (16,8,3;32,3,1).
+        assert_eq!(v1.a(), &[16, 8, 3]);
+        assert_eq!(v1.b(), &[32, 3, 1]);
+        assert_eq!(v2.a(), &[32, 8, 3]);
+        assert_eq!(v2.b(), &[16, 3, 1]);
+        assert!(v1.is_consistent() && v2.is_consistent());
+    }
+
+    #[test]
+    fn example3_sandwich_second_level() {
+        let u1 = Cv2::non_diagonal(3, vec![32, 8, 3], vec![16, 3, 1]).unwrap();
+        let (v1, v2) = u1.sandwich_step().unwrap().unwrap();
+        // Paper: ū11 = (32,8,2;16,4,1) and ū12 = (32,8,4;16,2,1).
+        assert_eq!(v1.a(), &[32, 8, 2]);
+        assert_eq!(v1.b(), &[16, 4, 1]);
+        assert_eq!(v2.a(), &[32, 8, 4]);
+        assert_eq!(v2.b(), &[16, 2, 1]);
+    }
+
+    #[test]
+    fn example3_leaves_are_snaked_paths() {
+        let u = Cv2::non_diagonal(3, vec![27, 8, 3], vec![21, 3, 1]).unwrap();
+        let leaves = u.sandwich_closure().unwrap();
+        assert_eq!(leaves.len(), 4);
+        for leaf in &leaves {
+            let p = leaf
+                .to_snaked_path()
+                .unwrap_or_else(|| panic!("leaf {leaf} is not a snaked path CV"));
+            // Round-trip.
+            assert_eq!(&Cv2::of_snaked_path(3, &p), leaf);
+        }
+    }
+
+    #[test]
+    fn example3_sandwich_dominates_on_workloads() {
+        // For every bias workload, some closure leaf costs no more than the
+        // eliminated/minimalized vector, which costs no more than the
+        // original diagonal strategy — Theorem 2's chain on Example 3.
+        let input = example3_input();
+        let elim = input.eliminate_diagonals().unwrap();
+        let min = elim.minimalize();
+        let leaves = min.sandwich_closure().unwrap();
+        let shape = LatticeShape::new(vec![3, 3]);
+        for (_, w) in bias_family(&shape) {
+            let c_in = input.cost(&w);
+            let c_elim = elim.cost(&w);
+            let c_min = min.cost(&w);
+            assert!(c_elim <= c_in + 1e-9);
+            assert!(c_min <= c_elim + 1e-9);
+            let best_leaf = leaves
+                .iter()
+                .map(|l| l.cost(&w))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best_leaf <= c_min + 1e-9,
+                "leaf {best_leaf} vs minimalized {c_min}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimalize_produces_minimal_vectors() {
+        // Example 3's vector and every snaked-path CV.
+        let v = Cv2::non_diagonal(3, vec![24, 9, 5], vec![21, 3, 1]).unwrap();
+        assert!(!v.is_preceq_minimal());
+        assert!(v.minimalize().is_preceq_minimal());
+        for p in LatticePath::enumerate(&LatticeShape::new(vec![2, 2])) {
+            let cv = Cv2::of_snaked_path(2, &p);
+            assert!(cv.minimalize().is_preceq_minimal());
+            // Snaked-path CVs are already fixpoints of minimalization or
+            // move to an equal-cost minimal vector; either way the result
+            // is consistent.
+            assert!(cv.minimalize().is_consistent());
+        }
+        // Diagonal vectors are never ⪯-minimal by our operational
+        // definition.
+        let d = Cv2::new(2, vec![8, 4], vec![0, 0], vec![vec![0, 0], vec![2, 1]]).unwrap();
+        assert!(!d.is_preceq_minimal());
+    }
+
+    #[test]
+    fn consistency_rejects_overfull_prefixes() {
+        // a = (8,5) violates Σ a_i <= 12 for n = 2 (needs b to fill to 15,
+        // but the a-prefix constraint alone already fails).
+        let v = Cv2::non_diagonal(2, vec![8, 5], vec![1, 1]).unwrap();
+        assert!(!v.is_consistent());
+        assert_eq!(v.violation(), Some((2, 0)));
+        // The paper's P1 CV (as a=(8,4) fast dimension) with its diagonals
+        // is consistent.
+        let p1 = Cv2::new(
+            2,
+            vec![8, 4],
+            vec![0, 0],
+            vec![vec![0, 0], vec![2, 1]],
+        )
+        .unwrap();
+        assert!(p1.is_consistent());
+    }
+
+    #[test]
+    fn total_equality_required() {
+        // 14 edges only: violates the (n, n) equality.
+        let v = Cv2::non_diagonal(2, vec![8, 4], vec![1, 1]).unwrap();
+        assert!(!v.is_consistent());
+        assert_eq!(v.violation(), Some((2, 2)));
+    }
+
+    #[test]
+    fn preceq_matches_paper_example() {
+        // (8,4;2,1) ⪯ (1,11;1,2) ⪯ (0,12;1,2).
+        let u = Cv2::non_diagonal(2, vec![8, 4], vec![2, 1]).unwrap();
+        let v = Cv2::non_diagonal(2, vec![1, 11], vec![1, 2]).unwrap();
+        let w = Cv2::non_diagonal(2, vec![0, 12], vec![1, 2]).unwrap();
+        assert!(u.preceq(&v));
+        assert!(v.preceq(&w));
+        assert!(u.preceq(&w));
+        assert!(!v.preceq(&u));
+        assert!(!w.preceq(&v));
+        assert!(u.preceq(&u));
+    }
+
+    #[test]
+    fn snaked_path_cv_roundtrip_all_paths() {
+        for n in 1..=3 {
+            let shape = LatticeShape::new(vec![n, n]);
+            for p in LatticePath::enumerate(&shape) {
+                let cv = Cv2::of_snaked_path(n, &p);
+                assert!(cv.is_consistent(), "snaked CV {cv} of {p} inconsistent");
+                let q = cv.to_snaked_path().expect("roundtrip");
+                assert_eq!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn snaked_cv_cost_agrees_with_snake_module() {
+        let schema = StarSchema::square(2, 2).unwrap();
+        let model = CostModel::of_schema(&schema);
+        let shape = model.shape().clone();
+        for p in LatticePath::enumerate(&shape) {
+            let cv = Cv2::of_snaked_path(2, &p);
+            for (_, w) in bias_family(&shape) {
+                let via_cv = cv.cost(&w);
+                let via_snake = snaked_expected_cost(&model, &p, &w);
+                assert!((via_cv - via_snake).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sandwich_leaf_membership_claim_ii() {
+        // Claim (ii) of Theorem 2's proof on random-ish vectors: for every
+        // workload, cost(v) >= min(cost(v1), cost(v2)).
+        let u = Cv2::non_diagonal(3, vec![27, 8, 3], vec![21, 3, 1]).unwrap();
+        let (v1, v2) = u.sandwich_step().unwrap().unwrap();
+        let shape = LatticeShape::new(vec![3, 3]);
+        for (_, w) in bias_family(&shape) {
+            let c = u.cost(&w);
+            let c1 = v1.cost(&w);
+            let c2 = v2.cost(&w);
+            assert!(c1.min(c2) <= c + 1e-9);
+        }
+        // And with point workloads on every class.
+        for cl in shape.iter() {
+            let w = Workload::point(shape.clone(), &cl).unwrap();
+            assert!(v1.cost(&w).min(v2.cost(&w)) <= u.cost(&w) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = example3_input();
+        assert_eq!(v.to_string(), "(20,5,1;21,3,1;4,0,0,0,4,0,0,0,4)");
+        let nd = Cv2::non_diagonal(2, vec![8, 4], vec![2, 1]).unwrap();
+        assert_eq!(nd.to_string(), "(8,4;2,1)");
+    }
+
+    #[test]
+    fn new_validates_arity() {
+        assert!(Cv2::new(2, vec![1], vec![1, 1], Vec::new()).is_err());
+        assert!(Cv2::new(0, vec![], vec![], Vec::new()).is_err());
+        assert!(Cv2::new(2, vec![1, 1], vec![1, 1], vec![vec![0]]).is_err());
+    }
+}

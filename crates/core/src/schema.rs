@@ -1,0 +1,539 @@
+//! Star schemas and dimension hierarchies.
+//!
+//! A star schema (paper §3) has `k` dimensions; each dimension carries a
+//! *balanced* hierarchy whose levels are counted from the leaves (level 0)
+//! upward. `f(d, i)` denotes the fanout of dimension `d` at level `i`, i.e.
+//! the (average) number of level-`i-1` children under a level-`i` node.
+//!
+//! Unbalanced hierarchies are supported via [`TreeHierarchy`], which pads
+//! short root-to-leaf paths with dummy single-child nodes (paper §4.1) and
+//! exposes level-wise *average* fanouts.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A balanced dimension hierarchy described by its per-level fanouts.
+///
+/// `fanouts[i]` is `f(d, i + 1)`: the number of children of a node at level
+/// `i + 1`. A hierarchy with `fanouts = [40, 5]` has 200 leaves (level 0),
+/// 5 level-1 nodes per level-2 node, and a single implicit root above the
+/// top level (the "all" member is the whole dimension, reached by query
+/// classes using level `levels()`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    name: String,
+    fanouts: Vec<u64>,
+    /// Optional level labels, leaf level first (e.g. `["city", "state"]`);
+    /// the implicit top is always "ALL".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    level_names: Option<Vec<String>>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from leaf-adjacent to root-adjacent fanouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] if `fanouts` is empty or contains
+    /// a zero.
+    pub fn new(name: impl Into<String>, fanouts: Vec<u64>) -> Result<Self> {
+        let name = name.into();
+        if fanouts.is_empty() {
+            return Err(Error::InvalidHierarchy(format!(
+                "dimension `{name}` must have at least one level"
+            )));
+        }
+        if fanouts.contains(&0) {
+            return Err(Error::InvalidHierarchy(format!(
+                "dimension `{name}` has a zero fanout"
+            )));
+        }
+        Ok(Self {
+            name,
+            fanouts,
+            level_names: None,
+        })
+    }
+
+    /// Attaches level labels (leaf level first, e.g. `["city", "state"]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] unless exactly `levels()` labels
+    /// are given.
+    pub fn with_level_names(
+        mut self,
+        names: Vec<String>,
+    ) -> Result<Self> {
+        if names.len() != self.fanouts.len() {
+            return Err(Error::InvalidHierarchy(format!(
+                "dimension `{}`: {} level names for {} levels",
+                self.name,
+                names.len(),
+                self.fanouts.len()
+            )));
+        }
+        self.level_names = Some(names);
+        Ok(self)
+    }
+
+    /// The label of a lattice level (`"leaf-0"`-style fallback; level
+    /// `levels()` is always `"ALL"`).
+    pub fn level_name(&self, level: usize) -> String {
+        assert!(level <= self.levels(), "level {level} out of range");
+        if level == self.levels() {
+            return "ALL".to_string();
+        }
+        match &self.level_names {
+            Some(names) => names[level].clone(),
+            None => format!("L{level}"),
+        }
+    }
+
+    /// A complete uniform hierarchy: `levels` levels, each with fanout `f`.
+    ///
+    /// `Hierarchy::uniform("A", 2, n)` is the complete binary `n`-level
+    /// hierarchy used throughout the paper's analysis (§5).
+    pub fn uniform(name: impl Into<String>, fanout: u64, levels: usize) -> Result<Self> {
+        Self::new(name, vec![fanout; levels])
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of hierarchy levels `ℓ_d` (query classes use `0..=ℓ_d`).
+    pub fn levels(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// `f(d, i)` for `1 <= i <= levels()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or exceeds the number of levels: level 0 is the
+    /// leaf level and has no fanout.
+    pub fn fanout(&self, i: usize) -> u64 {
+        assert!(
+            i >= 1 && i <= self.fanouts.len(),
+            "fanout level {i} out of range 1..={}",
+            self.fanouts.len()
+        );
+        self.fanouts[i - 1]
+    }
+
+    /// All fanouts, leaf-adjacent first (`f(d,1), f(d,2), ...`).
+    pub fn fanouts(&self) -> &[u64] {
+        &self.fanouts
+    }
+
+    /// Fanouts as `f64`, for the fractional cost model.
+    pub fn fanouts_f64(&self) -> Vec<f64> {
+        self.fanouts.iter().map(|&f| f as f64).collect()
+    }
+
+    /// Number of leaves: the extent of this dimension in the data grid.
+    pub fn leaf_count(&self) -> u64 {
+        self.fanouts.iter().product()
+    }
+
+    /// Number of nodes at `level`: `leaf_count / Π_{i<=level} f(d,i)`.
+    pub fn nodes_at_level(&self, level: usize) -> u64 {
+        assert!(level <= self.levels(), "level {level} out of range");
+        self.fanouts[level..].iter().product()
+    }
+
+    /// Size (in leaves) of the subtree rooted at a `level` node.
+    pub fn subtree_size(&self, level: usize) -> u64 {
+        assert!(level <= self.levels(), "level {level} out of range");
+        self.fanouts[..level].iter().product()
+    }
+
+    /// The leaf range `[lo, hi)` covered by the `node`-th node at `level`.
+    pub fn leaf_range(&self, level: usize, node: u64) -> std::ops::Range<u64> {
+        let size = self.subtree_size(level);
+        assert!(
+            node < self.nodes_at_level(level),
+            "node {node} out of range at level {level}"
+        );
+        node * size..(node + 1) * size
+    }
+
+    /// The ancestor node index at `level` of a given `leaf`.
+    pub fn ancestor_at_level(&self, level: usize, leaf: u64) -> u64 {
+        assert!(leaf < self.leaf_count(), "leaf {leaf} out of range");
+        leaf / self.subtree_size(level)
+    }
+
+    /// The finest level at which two leaves share an ancestor; equivalently,
+    /// the level crossed by a grid edge between them. Returns `None` when the
+    /// leaves are equal.
+    ///
+    /// An edge of "type `A_i`" in the paper connects cells whose
+    /// A-coordinates first share an ancestor at level `i`.
+    pub fn crossing_level(&self, leaf_a: u64, leaf_b: u64) -> Option<usize> {
+        if leaf_a == leaf_b {
+            return None;
+        }
+        let mut size = 1u64;
+        for (idx, &f) in self.fanouts.iter().enumerate() {
+            size *= f;
+            if leaf_a / size == leaf_b / size {
+                return Some(idx + 1);
+            }
+        }
+        // Distinct leaves always share the implicit root; the top level is
+        // `levels()`, and two leaves in different top-level subtrees cross it.
+        Some(self.levels())
+    }
+}
+
+/// An explicit, possibly unbalanced hierarchy given as a tree.
+///
+/// Use [`TreeHierarchy::balance`] to obtain the dummy-padded balanced view
+/// of §4.1 with level-wise average fanouts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeHierarchy {
+    name: String,
+    /// children[n] lists the child node ids of node n; node 0 is the root.
+    children: Vec<Vec<usize>>,
+}
+
+impl TreeHierarchy {
+    /// Builds a tree hierarchy from a parent array (`parent[0]` must be 0 and
+    /// denotes the root; every other node's parent must precede it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] on an empty tree or a forward
+    /// parent reference.
+    pub fn from_parents(name: impl Into<String>, parents: &[usize]) -> Result<Self> {
+        let name = name.into();
+        if parents.is_empty() {
+            return Err(Error::InvalidHierarchy(format!(
+                "dimension `{name}`: empty tree"
+            )));
+        }
+        let mut children = vec![Vec::new(); parents.len()];
+        for (node, &p) in parents.iter().enumerate().skip(1) {
+            if p >= node {
+                return Err(Error::InvalidHierarchy(format!(
+                    "dimension `{name}`: node {node} has forward parent {p}"
+                )));
+            }
+            children[p].push(node);
+        }
+        Ok(Self { name, children })
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.children.iter().filter(|c| c.is_empty()).count()
+    }
+
+    /// Depth of the deepest leaf (root at depth 0).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.children.len()];
+        let mut max = 0;
+        for (node, kids) in self.children.iter().enumerate() {
+            for &k in kids {
+                depth[k] = depth[node] + 1;
+                max = max.max(depth[k]);
+            }
+        }
+        max
+    }
+
+    /// Pads every leaf to the maximum depth with dummy single-child nodes
+    /// (paper §4.1) and returns the level-wise *average* fanouts, leaf level
+    /// first, exactly as the DP consumes them.
+    ///
+    /// A dummy node contributes fanout 1 at its level, so the averages are
+    /// `(#nodes at level i-1) / (#nodes at level i)` in the padded tree.
+    pub fn balance(&self) -> BalancedView {
+        let depth_max = self.depth();
+        let mut depth = vec![0usize; self.children.len()];
+        // nodes_per_depth[d] counts padded nodes at tree depth d
+        // (depth 0 = root). A leaf at depth d < depth_max contributes one
+        // dummy node at every depth in (d, depth_max].
+        let mut nodes_per_depth = vec![0u64; depth_max + 1];
+        nodes_per_depth[0] = 1;
+        for (node, kids) in self.children.iter().enumerate() {
+            for &k in kids {
+                depth[k] = depth[node] + 1;
+                nodes_per_depth[depth[k]] += 1;
+            }
+            if kids.is_empty() {
+                for d in nodes_per_depth.iter_mut().take(depth_max + 1).skip(depth[node] + 1) {
+                    *d += 1;
+                }
+            }
+        }
+        // Hierarchy levels count from leaves: level i sits at tree depth
+        // depth_max - i. Average fanout at level i is
+        // nodes(level i-1) / nodes(level i).
+        let mut avg = Vec::with_capacity(depth_max);
+        for i in 1..=depth_max {
+            let below = nodes_per_depth[depth_max - (i - 1)] as f64;
+            let at = nodes_per_depth[depth_max - i] as f64;
+            avg.push(below / at);
+        }
+        BalancedView {
+            levels: depth_max,
+            average_fanouts: avg,
+            leaves_per_level: nodes_per_depth.into_iter().rev().collect(),
+        }
+    }
+}
+
+/// The balanced, dummy-padded view of an unbalanced hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalancedView {
+    /// Number of levels after padding.
+    pub levels: usize,
+    /// `average_fanouts[i]` = average `f(d, i+1)` over the padded tree.
+    pub average_fanouts: Vec<f64>,
+    /// Node counts per level, `leaves_per_level[0]` = padded leaf count.
+    pub leaves_per_level: Vec<u64>,
+}
+
+/// A star schema: an ordered list of dimension hierarchies over one fact
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StarSchema {
+    dims: Vec<Hierarchy>,
+}
+
+impl StarSchema {
+    /// Builds a schema from its dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] if no dimensions are given.
+    pub fn new(dims: Vec<Hierarchy>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(Error::InvalidHierarchy(
+                "a star schema needs at least one dimension".into(),
+            ));
+        }
+        Ok(Self { dims })
+    }
+
+    /// The toy sales schema of the paper's Figure 1: two dimensions
+    /// (`jeans`, `location`), each a complete 2-level binary hierarchy,
+    /// giving a 4x4 grid of cells.
+    pub fn paper_toy() -> Self {
+        Self::new(vec![
+            Hierarchy::uniform("jeans", 2, 2).expect("valid"),
+            Hierarchy::uniform("location", 2, 2).expect("valid"),
+        ])
+        .expect("valid")
+    }
+
+    /// A two-dimensional schema with complete `n`-level hierarchies of the
+    /// given `fanout` on both dimensions — the representative class of §5.
+    pub fn square(fanout: u64, n: usize) -> Result<Self> {
+        Self::new(vec![
+            Hierarchy::uniform("A", fanout, n)?,
+            Hierarchy::uniform("B", fanout, n)?,
+        ])
+    }
+
+    /// Number of dimensions `k`.
+    pub fn k(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimensions in declaration order.
+    pub fn dims(&self) -> &[Hierarchy] {
+        &self.dims
+    }
+
+    /// The `d`-th dimension.
+    pub fn dim(&self, d: usize) -> &Hierarchy {
+        &self.dims[d]
+    }
+
+    /// `ℓ_d` for each dimension.
+    pub fn levels(&self) -> Vec<usize> {
+        self.dims.iter().map(Hierarchy::levels).collect()
+    }
+
+    /// `f(d, i)` as `f64` for each dimension, leaf-adjacent first.
+    pub fn fanouts_f64(&self) -> Vec<Vec<f64>> {
+        self.dims.iter().map(Hierarchy::fanouts_f64).collect()
+    }
+
+    /// The data grid shape: leaves per dimension.
+    pub fn grid_shape(&self) -> Vec<u64> {
+        self.dims.iter().map(Hierarchy::leaf_count).collect()
+    }
+
+    /// Total number of cells in the data grid.
+    pub fn num_cells(&self) -> u64 {
+        self.grid_shape().iter().product()
+    }
+
+    /// Number of query classes: `Π (ℓ_d + 1)`.
+    pub fn num_classes(&self) -> usize {
+        self.dims.iter().map(|h| h.levels() + 1).product()
+    }
+
+    /// A human-readable description of a query class, using level labels:
+    /// `(jeans: type, location: state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class arity mismatches the schema or a level is out of
+    /// range.
+    pub fn describe_class(&self, class: &crate::lattice::Class) -> String {
+        assert_eq!(class.k(), self.k(), "class arity mismatch");
+        let parts: Vec<String> = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(d, h)| format!("{}: {}", h.name(), h.level_name(class.level(d))))
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_hierarchy_counts() {
+        let h = Hierarchy::uniform("A", 2, 3).unwrap();
+        assert_eq!(h.levels(), 3);
+        assert_eq!(h.leaf_count(), 8);
+        assert_eq!(h.fanout(1), 2);
+        assert_eq!(h.fanout(3), 2);
+        assert_eq!(h.nodes_at_level(0), 8);
+        assert_eq!(h.nodes_at_level(3), 1);
+        assert_eq!(h.subtree_size(0), 1);
+        assert_eq!(h.subtree_size(2), 4);
+    }
+
+    #[test]
+    fn mixed_fanouts() {
+        // The paper's parts dimension: 40 parts per manufacturer, 5
+        // manufacturers.
+        let h = Hierarchy::new("parts", vec![40, 5]).unwrap();
+        assert_eq!(h.leaf_count(), 200);
+        assert_eq!(h.nodes_at_level(1), 5);
+        assert_eq!(h.leaf_range(1, 2), 80..120);
+        assert_eq!(h.ancestor_at_level(1, 119), 2);
+    }
+
+    #[test]
+    fn rejects_bad_hierarchies() {
+        assert!(Hierarchy::new("x", vec![]).is_err());
+        assert!(Hierarchy::new("x", vec![2, 0]).is_err());
+    }
+
+    #[test]
+    fn crossing_level_binary() {
+        let h = Hierarchy::uniform("A", 2, 2).unwrap(); // 4 leaves
+        assert_eq!(h.crossing_level(0, 0), None);
+        assert_eq!(h.crossing_level(0, 1), Some(1));
+        assert_eq!(h.crossing_level(1, 2), Some(2));
+        assert_eq!(h.crossing_level(0, 3), Some(2));
+        assert_eq!(h.crossing_level(2, 3), Some(1));
+    }
+
+    #[test]
+    fn crossing_level_is_symmetric() {
+        let h = Hierarchy::new("p", vec![3, 4]).unwrap();
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(h.crossing_level(a, b), h.crossing_level(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn toy_schema_matches_figure_1() {
+        let s = StarSchema::paper_toy();
+        assert_eq!(s.k(), 2);
+        assert_eq!(s.grid_shape(), vec![4, 4]);
+        assert_eq!(s.num_cells(), 16);
+        assert_eq!(s.num_classes(), 9);
+    }
+
+    #[test]
+    fn balanced_tree_view_is_identity_for_balanced_trees() {
+        // Complete binary tree of depth 2: root, 2 children, 4 leaves.
+        let parents = [0, 0, 0, 1, 1, 2, 2];
+        let t = TreeHierarchy::from_parents("A", &parents).unwrap();
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.depth(), 2);
+        let b = t.balance();
+        assert_eq!(b.levels, 2);
+        assert_eq!(b.average_fanouts, vec![2.0, 2.0]);
+        assert_eq!(b.leaves_per_level, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn unbalanced_tree_padding() {
+        // Root with two children; child 1 is a leaf at depth 1, child 2 has
+        // two leaf children at depth 2. Padding adds a dummy chain under the
+        // shallow leaf: padded leaves = 3.
+        let parents = [0, 0, 0, 2, 2];
+        let t = TreeHierarchy::from_parents("u", &parents).unwrap();
+        assert_eq!(t.depth(), 2);
+        let b = t.balance();
+        assert_eq!(b.levels, 2);
+        assert_eq!(b.leaves_per_level, vec![3, 2, 1]);
+        // Level 1: 3 padded leaves under 2 level-1 nodes; level 2: 2 under 1.
+        assert!((b.average_fanouts[0] - 1.5).abs() < 1e-12);
+        assert!((b.average_fanouts[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_hierarchy_rejects_forward_parents() {
+        assert!(TreeHierarchy::from_parents("x", &[0, 2, 1]).is_err());
+        assert!(TreeHierarchy::from_parents("x", &[]).is_err());
+    }
+
+    #[test]
+    fn level_names_and_describe_class() {
+        let jeans = Hierarchy::uniform("jeans", 2, 2)
+            .unwrap()
+            .with_level_names(vec!["item".into(), "type".into()])
+            .unwrap();
+        let location = Hierarchy::uniform("location", 2, 2).unwrap();
+        assert_eq!(jeans.level_name(0), "item");
+        assert_eq!(jeans.level_name(2), "ALL");
+        assert_eq!(location.level_name(1), "L1");
+        let schema = StarSchema::new(vec![jeans, location]).unwrap();
+        assert_eq!(
+            schema.describe_class(&crate::lattice::Class(vec![1, 2])),
+            "(jeans: type, location: ALL)"
+        );
+        // Wrong arity of names errors.
+        assert!(Hierarchy::uniform("x", 2, 2)
+            .unwrap()
+            .with_level_names(vec!["a".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn schema_serde_roundtrip() {
+        let s = StarSchema::paper_toy();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StarSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,241 @@
+//! OLAP session simulation: the paper's §1 observation that "even a
+//! typical OLAP session involving operations such as cube, rollup, and
+//! drilldown, repeatedly invokes various grid queries".
+//!
+//! An [`OlapSession`] holds a current grid query and applies navigation
+//! operations, recording every query it issues — feed the history into a
+//! [`crate::stats::WorkloadEstimator`] to obtain realistic session-driven
+//! workloads.
+
+use crate::error::{Error, Result};
+use crate::lattice::Class;
+use crate::query::{GridQuery, Warehouse};
+
+/// One OLAP navigation step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OlapOp {
+    /// Coarsen one dimension by a level (to the current member's parent).
+    RollUp(usize),
+    /// Refine one dimension by a level (to the current member's first
+    /// child).
+    DrillDown(usize),
+    /// Move to the next sibling member at the current level (wraps).
+    NextSibling(usize),
+    /// Jump to a named member of a dimension.
+    Slice(usize, String),
+    /// Back to the whole cube.
+    Reset,
+}
+
+/// A navigating OLAP session over a warehouse.
+#[derive(Debug, Clone)]
+pub struct OlapSession<'a> {
+    warehouse: &'a Warehouse,
+    /// `(level, member index)` per dimension.
+    position: Vec<(usize, u64)>,
+    history: Vec<GridQuery>,
+}
+
+impl<'a> OlapSession<'a> {
+    /// Starts at the whole cube (`⊤`); the initial query is recorded.
+    pub fn new(warehouse: &'a Warehouse) -> Self {
+        let position: Vec<(usize, u64)> = warehouse
+            .dims()
+            .iter()
+            .map(|d| (d.levels(), 0u64))
+            .collect();
+        let mut s = Self {
+            warehouse,
+            position,
+            history: Vec::new(),
+        };
+        s.record();
+        s
+    }
+
+    fn record(&mut self) {
+        self.history.push(self.current_query());
+    }
+
+    /// The query the session is currently looking at.
+    pub fn current_query(&self) -> GridQuery {
+        let mut b = self.warehouse.query();
+        for (d, &(level, index)) in self.position.iter().enumerate() {
+            let name = self.warehouse.dims()[d].name().to_string();
+            b = b
+                .select_at(&name, level, index)
+                .expect("session positions stay in range");
+        }
+        b.build()
+    }
+
+    /// The session's current class.
+    pub fn current_class(&self) -> Class {
+        Class(self.position.iter().map(|&(l, _)| l).collect())
+    }
+
+    /// Every query issued so far, in order.
+    pub fn history(&self) -> &[GridQuery] {
+        &self.history
+    }
+
+    /// Applies one operation; the resulting query is recorded and
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHierarchy`] on rolling up past `ALL`,
+    /// drilling below the leaves, an unknown dimension index, or an
+    /// unknown member name.
+    pub fn apply(&mut self, op: &OlapOp) -> Result<GridQuery> {
+        match op {
+            OlapOp::RollUp(d) => {
+                let (level, index) = self.dim_position(*d)?;
+                let table = &self.warehouse.dims()[*d];
+                if level >= table.levels() {
+                    return Err(Error::InvalidHierarchy(format!(
+                        "dimension `{}` is already at ALL",
+                        table.name()
+                    )));
+                }
+                let parent = if level + 1 == table.levels() {
+                    0
+                } else {
+                    index / table.hierarchy().fanout(level + 1)
+                };
+                self.position[*d] = (level + 1, parent);
+            }
+            OlapOp::DrillDown(d) => {
+                let (level, index) = self.dim_position(*d)?;
+                let table = &self.warehouse.dims()[*d];
+                if level == 0 {
+                    return Err(Error::InvalidHierarchy(format!(
+                        "dimension `{}` is already at the leaves",
+                        table.name()
+                    )));
+                }
+                let first_child = if level == table.levels() {
+                    0
+                } else {
+                    index * table.hierarchy().fanout(level)
+                };
+                self.position[*d] = (level - 1, first_child);
+            }
+            OlapOp::NextSibling(d) => {
+                let (level, index) = self.dim_position(*d)?;
+                let table = &self.warehouse.dims()[*d];
+                let count = if level == table.levels() {
+                    1
+                } else {
+                    table.hierarchy().nodes_at_level(level)
+                };
+                self.position[*d] = (level, (index + 1) % count);
+            }
+            OlapOp::Slice(d, member) => {
+                let _ = self.dim_position(*d)?;
+                let table = &self.warehouse.dims()[*d];
+                let m = table.find(member).ok_or_else(|| {
+                    Error::InvalidHierarchy(format!(
+                        "unknown member `{member}` in dimension `{}`",
+                        table.name()
+                    ))
+                })?;
+                self.position[*d] = (m.level(), m.index());
+            }
+            OlapOp::Reset => {
+                for (d, table) in self.warehouse.dims().iter().enumerate() {
+                    self.position[d] = (table.levels(), 0);
+                }
+            }
+        }
+        self.record();
+        Ok(self.history.last().expect("just recorded").clone())
+    }
+
+    fn dim_position(&self, d: usize) -> Result<(usize, u64)> {
+        self.position.get(d).copied().ok_or_else(|| {
+            Error::InvalidHierarchy(format!(
+                "dimension index {d} out of range for k={}",
+                self.position.len()
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::WorkloadEstimator;
+
+    #[test]
+    fn drill_roll_roundtrip() {
+        let wh = Warehouse::paper_toy();
+        let mut s = OlapSession::new(&wh);
+        assert_eq!(s.current_class(), Class(vec![2, 2]));
+        s.apply(&OlapOp::DrillDown(1)).unwrap();
+        assert_eq!(s.current_class(), Class(vec![2, 1]));
+        s.apply(&OlapOp::DrillDown(1)).unwrap();
+        assert_eq!(s.current_class(), Class(vec![2, 0]));
+        // First child chain: ALL -> NY -> albany.
+        let q = s.current_query();
+        assert_eq!(q.describe(&wh), "(jeans = ALL, location = albany)");
+        s.apply(&OlapOp::RollUp(1)).unwrap();
+        assert_eq!(s.current_query().describe(&wh), "(jeans = ALL, location = NY)");
+    }
+
+    #[test]
+    fn sibling_navigation_wraps() {
+        let wh = Warehouse::paper_toy();
+        let mut s = OlapSession::new(&wh);
+        s.apply(&OlapOp::Slice(1, "NY".into())).unwrap();
+        s.apply(&OlapOp::NextSibling(1)).unwrap();
+        assert_eq!(s.current_query().describe(&wh), "(jeans = ALL, location = ONT)");
+        s.apply(&OlapOp::NextSibling(1)).unwrap();
+        assert_eq!(s.current_query().describe(&wh), "(jeans = ALL, location = NY)");
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let wh = Warehouse::paper_toy();
+        let mut s = OlapSession::new(&wh);
+        assert!(s.apply(&OlapOp::RollUp(0)).is_err());
+        s.apply(&OlapOp::DrillDown(0)).unwrap();
+        s.apply(&OlapOp::DrillDown(0)).unwrap();
+        assert!(s.apply(&OlapOp::DrillDown(0)).is_err());
+        assert!(s.apply(&OlapOp::Slice(0, "nope".into())).is_err());
+        assert!(s.apply(&OlapOp::RollUp(7)).is_err());
+        // Errors do not advance the session.
+        assert_eq!(s.current_class(), Class(vec![0, 2]));
+    }
+
+    #[test]
+    fn reset_returns_to_top_and_history_accumulates() {
+        let wh = Warehouse::paper_toy();
+        let mut s = OlapSession::new(&wh);
+        s.apply(&OlapOp::DrillDown(0)).unwrap();
+        s.apply(&OlapOp::Slice(1, "toronto".into())).unwrap();
+        s.apply(&OlapOp::Reset).unwrap();
+        assert_eq!(s.current_class(), Class(vec![2, 2]));
+        assert_eq!(s.history().len(), 4); // initial + 3 ops
+    }
+
+    #[test]
+    fn session_history_feeds_the_estimator() {
+        // A drilldown-heavy session produces a leaf-biased workload.
+        let wh = Warehouse::paper_toy();
+        let mut s = OlapSession::new(&wh);
+        for _ in 0..2 {
+            s.apply(&OlapOp::DrillDown(0)).unwrap();
+            s.apply(&OlapOp::DrillDown(1)).unwrap();
+        }
+        for _ in 0..10 {
+            s.apply(&OlapOp::NextSibling(0)).unwrap();
+        }
+        let mut est = WorkloadEstimator::new(wh.shape());
+        for q in s.history() {
+            est.observe(&q.class()).unwrap();
+        }
+        let w = est.to_workload().unwrap();
+        assert!(w.prob(&Class(vec![0, 0])) > 0.5);
+    }
+}

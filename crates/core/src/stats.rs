@@ -1,0 +1,331 @@
+//! Compiling workloads from observed query streams.
+//!
+//! The paper motivates class-level workloads by noting that "statistics
+//! compiled over the query stream can be used to obtain a fairly good and
+//! stable characterization of the distribution of queries across query
+//! classes" (§1). This module is that statistics compiler: feed it the query
+//! classes of observed grid queries and ask for the empirical [`Workload`],
+//! optionally Laplace-smoothed so unseen classes keep a small probability.
+
+use crate::error::{Error, Result};
+use crate::lattice::{Class, LatticeShape};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-class query counts from an observed stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEstimator {
+    shape: LatticeShape,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl WorkloadEstimator {
+    /// An empty estimator over a lattice.
+    pub fn new(shape: LatticeShape) -> Self {
+        let n = shape.num_classes();
+        Self {
+            shape,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Records one query of the given class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClassOutOfBounds`] for classes outside the lattice.
+    pub fn observe(&mut self, class: &Class) -> Result<()> {
+        self.shape.check(class)?;
+        self.counts[self.shape.rank(class)] += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Records `n` queries of the given class at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClassOutOfBounds`] for classes outside the lattice.
+    pub fn observe_many(&mut self, class: &Class, n: u64) -> Result<()> {
+        self.shape.check(class)?;
+        self.counts[self.shape.rank(class)] += n;
+        self.total += n;
+        Ok(())
+    }
+
+    /// Merges another estimator's counts (e.g. from a second front-end).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the lattices differ.
+    pub fn merge(&mut self, other: &WorkloadEstimator) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                got: format!("{:?}", other.shape.levels()),
+                expected: format!("{:?}", self.shape.levels()),
+            });
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// Number of observed queries.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one class.
+    pub fn count(&self, class: &Class) -> u64 {
+        self.counts[self.shape.rank(class)]
+    }
+
+    /// The lattice shape.
+    pub fn shape(&self) -> &LatticeShape {
+        &self.shape
+    }
+
+    /// The empirical workload: relative class frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] when nothing has been observed.
+    pub fn to_workload(&self) -> Result<Workload> {
+        if self.total == 0 {
+            return Err(Error::InvalidWorkload(
+                "no queries observed; cannot estimate a workload".into(),
+            ));
+        }
+        Workload::from_weights(
+            self.shape.clone(),
+            self.counts.iter().map(|&c| c as f64).collect(),
+        )
+    }
+
+    /// Laplace-smoothed workload: `(count + alpha) / (total + alpha·|L|)`.
+    /// With `alpha > 0` this is defined even on an empty stream (uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] for a non-finite or negative
+    /// `alpha`, or `alpha == 0` on an empty stream.
+    pub fn to_workload_smoothed(&self, alpha: f64) -> Result<Workload> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(Error::InvalidWorkload(format!(
+                "smoothing parameter {alpha} must be a non-negative number"
+            )));
+        }
+        if alpha == 0.0 {
+            return self.to_workload();
+        }
+        Workload::from_weights(
+            self.shape.clone(),
+            self.counts.iter().map(|&c| c as f64 + alpha).collect(),
+        )
+    }
+}
+
+/// A workload estimator with exponential decay: recent queries weigh more,
+/// so the estimate tracks drifting workloads (the adaptive-DBA setting of
+/// the paper's acknowledgements — "how to adapt the design of databases in
+/// response to learned workload characteristics").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecayingEstimator {
+    shape: LatticeShape,
+    weights: Vec<f64>,
+    /// Multiplier applied to all existing weight per observed query.
+    per_query_decay: f64,
+    observed: u64,
+}
+
+impl DecayingEstimator {
+    /// Creates an estimator whose memory halves every `half_life` queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] unless `half_life` is positive.
+    pub fn with_half_life(shape: LatticeShape, half_life: f64) -> Result<Self> {
+        if !(half_life > 0.0) {
+            return Err(Error::InvalidWorkload(format!(
+                "half-life {half_life} must be positive"
+            )));
+        }
+        let n = shape.num_classes();
+        Ok(Self {
+            shape,
+            weights: vec![0.0; n],
+            per_query_decay: 0.5f64.powf(1.0 / half_life),
+            observed: 0,
+        })
+    }
+
+    /// Records one query of the given class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClassOutOfBounds`] for classes outside the lattice.
+    pub fn observe(&mut self, class: &Class) -> Result<()> {
+        self.shape.check(class)?;
+        for w in &mut self.weights {
+            *w *= self.per_query_decay;
+        }
+        self.weights[self.shape.rank(class)] += 1.0;
+        self.observed += 1;
+        Ok(())
+    }
+
+    /// Queries observed (undecayed count).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The current decayed estimate, Laplace-smoothed by `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] when nothing has been observed
+    /// and `alpha == 0`.
+    pub fn to_workload(&self, alpha: f64) -> Result<Workload> {
+        if self.observed == 0 && alpha <= 0.0 {
+            return Err(Error::InvalidWorkload(
+                "no queries observed; cannot estimate a workload".into(),
+            ));
+        }
+        Workload::from_weights(
+            self.shape.clone(),
+            self.weights.iter().map(|&w| w + alpha).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StarSchema;
+
+    fn toy_shape() -> LatticeShape {
+        LatticeShape::of_schema(&StarSchema::paper_toy())
+    }
+
+    #[test]
+    fn empirical_frequencies() {
+        let mut est = WorkloadEstimator::new(toy_shape());
+        for _ in 0..30 {
+            est.observe(&Class(vec![1, 2])).unwrap();
+        }
+        for _ in 0..70 {
+            est.observe(&Class(vec![0, 0])).unwrap();
+        }
+        let w = est.to_workload().unwrap();
+        assert!((w.prob(&Class(vec![1, 2])) - 0.3).abs() < 1e-12);
+        assert!((w.prob(&Class(vec![0, 0])) - 0.7).abs() < 1e-12);
+        assert_eq!(w.prob(&Class(vec![2, 2])), 0.0);
+        assert_eq!(est.total(), 100);
+    }
+
+    #[test]
+    fn observe_many_equivalent_to_loop() {
+        let mut a = WorkloadEstimator::new(toy_shape());
+        let mut b = WorkloadEstimator::new(toy_shape());
+        a.observe_many(&Class(vec![2, 1]), 5).unwrap();
+        for _ in 0..5 {
+            b.observe(&Class(vec![2, 1])).unwrap();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smoothing_keeps_unseen_classes_alive() {
+        let mut est = WorkloadEstimator::new(toy_shape());
+        est.observe_many(&Class(vec![0, 0]), 10).unwrap();
+        let w = est.to_workload_smoothed(1.0).unwrap();
+        assert!(w.prob(&Class(vec![2, 2])) > 0.0);
+        assert!((w.prob(&Class(vec![0, 0])) - 11.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_needs_smoothing() {
+        let est = WorkloadEstimator::new(toy_shape());
+        assert!(est.to_workload().is_err());
+        let w = est.to_workload_smoothed(0.5).unwrap();
+        assert!((w.prob(&Class(vec![1, 1])) - 1.0 / 9.0).abs() < 1e-12);
+        assert!(est.to_workload_smoothed(f64::NAN).is_err());
+        assert!(est.to_workload_smoothed(-1.0).is_err());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = WorkloadEstimator::new(toy_shape());
+        let mut b = WorkloadEstimator::new(toy_shape());
+        a.observe_many(&Class(vec![0, 1]), 3).unwrap();
+        b.observe_many(&Class(vec![0, 1]), 7).unwrap();
+        b.observe_many(&Class(vec![2, 2]), 10).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(&Class(vec![0, 1])), 10);
+        assert_eq!(a.total(), 20);
+        let other = WorkloadEstimator::new(LatticeShape::new(vec![1]));
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut est = WorkloadEstimator::new(toy_shape());
+        assert!(est.observe(&Class(vec![3, 3])).is_err());
+        assert_eq!(est.total(), 0);
+    }
+
+    #[test]
+    fn decaying_estimator_tracks_drift() {
+        let mut est = DecayingEstimator::with_half_life(toy_shape(), 50.0).unwrap();
+        // Old regime: class (0,0).
+        for _ in 0..500 {
+            est.observe(&Class(vec![0, 0])).unwrap();
+        }
+        // New regime: class (2,2) — after 500 queries (10 half-lives) the
+        // old mass is ~0.1%.
+        for _ in 0..500 {
+            est.observe(&Class(vec![2, 2])).unwrap();
+        }
+        let w = est.to_workload(0.0).unwrap();
+        assert!(w.prob(&Class(vec![2, 2])) > 0.99);
+        assert!(w.prob(&Class(vec![0, 0])) < 0.01);
+        // An undecayed estimator would still split 50/50.
+        assert_eq!(est.observed(), 1000);
+    }
+
+    #[test]
+    fn decaying_estimator_validates_inputs() {
+        assert!(DecayingEstimator::with_half_life(toy_shape(), 0.0).is_err());
+        assert!(DecayingEstimator::with_half_life(toy_shape(), -3.0).is_err());
+        let est = DecayingEstimator::with_half_life(toy_shape(), 10.0).unwrap();
+        assert!(est.to_workload(0.0).is_err());
+        let w = est.to_workload(1.0).unwrap();
+        assert!((w.prob(&Class(vec![1, 1])) - 1.0 / 9.0).abs() < 1e-12);
+        let mut est = est;
+        assert!(est.observe(&Class(vec![9, 9])).is_err());
+    }
+
+    #[test]
+    fn decaying_estimator_steady_state_matches_plain() {
+        // Under a stationary stream both estimators converge to the same
+        // distribution.
+        let mut plain = WorkloadEstimator::new(toy_shape());
+        let mut decay = DecayingEstimator::with_half_life(toy_shape(), 200.0).unwrap();
+        for i in 0..4000u64 {
+            let class = if i % 4 == 0 {
+                Class(vec![2, 1])
+            } else {
+                Class(vec![0, 0])
+            };
+            plain.observe(&class).unwrap();
+            decay.observe(&class).unwrap();
+        }
+        let a = plain.to_workload().unwrap();
+        let b = decay.to_workload(0.0).unwrap();
+        assert!((a.prob(&Class(vec![2, 1])) - b.prob(&Class(vec![2, 1]))).abs() < 0.02);
+    }
+}

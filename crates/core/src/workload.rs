@@ -1,0 +1,577 @@
+//! Workloads: probability distributions over query classes (Definition 2).
+//!
+//! The paper argues (§1) that while the space of individual grid queries is
+//! astronomically large, the space of query *classes* is small (`Π (ℓ_d+1)`),
+//! so the distribution of queries over classes is a stable, practically
+//! obtainable workload description. This module provides builders for the
+//! workloads used throughout the paper:
+//!
+//! * uniform over all classes (§2 workload 1),
+//! * uniform with some classes zeroed (§2 workloads 2 and 3),
+//! * products of per-dimension level distributions (§6.2's 27 workloads),
+//! * point workloads and arbitrary explicit distributions.
+
+use crate::error::{Error, Result};
+use crate::lattice::{Class, LatticeShape};
+use serde::{Deserialize, Serialize};
+
+/// Tolerance used when validating that probabilities sum to 1.
+pub const PROB_EPSILON: f64 = 1e-9;
+
+/// A probability distribution over the classes of a lattice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    shape: LatticeShape,
+    /// Probability per class, indexed by [`LatticeShape::rank`].
+    probs: Vec<f64>,
+}
+
+impl Workload {
+    /// Builds a workload from explicit per-class probabilities (rank order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] if the length mismatches the
+    /// lattice, any probability is negative or non-finite, or the sum is not
+    /// 1 within [`PROB_EPSILON`].
+    pub fn new(shape: LatticeShape, probs: Vec<f64>) -> Result<Self> {
+        if probs.len() != shape.num_classes() {
+            return Err(Error::InvalidWorkload(format!(
+                "{} probabilities supplied for {} classes",
+                probs.len(),
+                shape.num_classes()
+            )));
+        }
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(Error::InvalidWorkload(
+                "probabilities must be finite and non-negative".into(),
+            ));
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > PROB_EPSILON {
+            return Err(Error::InvalidWorkload(format!(
+                "probabilities sum to {sum}, expected 1"
+            )));
+        }
+        Ok(Self { shape, probs })
+    }
+
+    /// Builds a workload from non-negative weights, normalizing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] on negative/non-finite weights or
+    /// an all-zero weight vector.
+    pub fn from_weights(shape: LatticeShape, weights: Vec<f64>) -> Result<Self> {
+        if weights.len() != shape.num_classes() {
+            return Err(Error::InvalidWorkload(format!(
+                "{} weights supplied for {} classes",
+                weights.len(),
+                shape.num_classes()
+            )));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(Error::InvalidWorkload(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err(Error::InvalidWorkload("all weights are zero".into()));
+        }
+        let probs = weights.into_iter().map(|w| w / sum).collect();
+        Ok(Self { shape, probs })
+    }
+
+    /// The uniform workload: all classes equally likely (§2 workload 1).
+    pub fn uniform(shape: LatticeShape) -> Self {
+        let n = shape.num_classes();
+        Self {
+            shape,
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Uniform over all classes except the given ones, which get probability
+    /// zero (§2 workloads 2 and 3 are built this way).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an excluded class is out of bounds or every class
+    /// is excluded.
+    pub fn uniform_excluding(shape: LatticeShape, excluded: &[Class]) -> Result<Self> {
+        for c in excluded {
+            shape.check(c)?;
+        }
+        let mut weights = vec![1.0; shape.num_classes()];
+        for c in excluded {
+            weights[shape.rank(c)] = 0.0;
+        }
+        Self::from_weights(shape, weights)
+    }
+
+    /// Uniform over exactly the given classes (§2 workload 3: "only the
+    /// query classes (0,0), (0,1), (0,2), (1,2) are likely").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a class is out of bounds or the list is empty.
+    pub fn uniform_over(shape: LatticeShape, included: &[Class]) -> Result<Self> {
+        if included.is_empty() {
+            return Err(Error::InvalidWorkload("no classes included".into()));
+        }
+        let mut weights = vec![0.0; shape.num_classes()];
+        for c in included {
+            shape.check(c)?;
+            weights[shape.rank(c)] += 1.0;
+        }
+        Self::from_weights(shape, weights)
+    }
+
+    /// All probability mass on a single class.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the class is out of bounds.
+    pub fn point(shape: LatticeShape, class: &Class) -> Result<Self> {
+        shape.check(class)?;
+        let mut probs = vec![0.0; shape.num_classes()];
+        probs[shape.rank(class)] = 1.0;
+        Ok(Self { shape, probs })
+    }
+
+    /// The product workload of per-dimension level distributions (§6.2):
+    /// `p(i_1,...,i_k) = Π_d marginals[d][i_d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a marginal has the wrong arity or is not a
+    /// distribution.
+    pub fn product(shape: LatticeShape, marginals: &[Vec<f64>]) -> Result<Self> {
+        if marginals.len() != shape.k() {
+            return Err(Error::InvalidWorkload(format!(
+                "{} marginals for {} dimensions",
+                marginals.len(),
+                shape.k()
+            )));
+        }
+        for (d, m) in marginals.iter().enumerate() {
+            if m.len() != shape.top_level(d) + 1 {
+                return Err(Error::InvalidWorkload(format!(
+                    "marginal for dimension {d} has {} entries, expected {}",
+                    m.len(),
+                    shape.top_level(d) + 1
+                )));
+            }
+            let s: f64 = m.iter().sum();
+            if (s - 1.0).abs() > PROB_EPSILON || m.iter().any(|p| *p < 0.0) {
+                return Err(Error::InvalidWorkload(format!(
+                    "marginal for dimension {d} is not a distribution"
+                )));
+            }
+        }
+        let probs = (0..shape.num_classes())
+            .map(|r| {
+                let c = shape.unrank(r);
+                c.0.iter()
+                    .enumerate()
+                    .map(|(d, &lvl)| marginals[d][lvl])
+                    .product()
+            })
+            .collect();
+        Ok(Self { shape, probs })
+    }
+
+    /// The lattice this workload is defined over.
+    pub fn shape(&self) -> &LatticeShape {
+        &self.shape
+    }
+
+    /// Probability of a class.
+    pub fn prob(&self, c: &Class) -> f64 {
+        self.probs[self.shape.rank(c)]
+    }
+
+    /// Probability by dense rank.
+    pub fn prob_by_rank(&self, r: usize) -> f64 {
+        self.probs[r]
+    }
+
+    /// All probabilities, in rank order.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Iterates `(class, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Class, f64)> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(move |(r, &p)| (self.shape.unrank(r), p))
+    }
+
+    /// The support: classes with non-zero probability.
+    pub fn support(&self) -> Vec<Class> {
+        self.iter()
+            .filter(|(_, p)| *p > 0.0)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Shannon entropy (bits) — a handy summary of workload concentration.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Total-variation distance `½ Σ |p_c − q_c|` — a drift measure in
+    /// `[0, 1]` for deciding when to re-run the advisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the lattices differ.
+    pub fn total_variation(&self, other: &Workload) -> Result<f64> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                got: format!("{:?}", other.shape.levels()),
+                expected: format!("{:?}", self.shape.levels()),
+            });
+        }
+        Ok(self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0)
+    }
+
+    /// Kullback-Leibler divergence `Σ p log2(p/q)` (bits). Infinite when
+    /// `other` assigns zero to a class this workload uses — smooth first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the lattices differ.
+    pub fn kl_divergence(&self, other: &Workload) -> Result<f64> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                got: format!("{:?}", other.shape.levels()),
+                expected: format!("{:?}", self.shape.levels()),
+            });
+        }
+        Ok(self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(&p, &q)| {
+                if p == 0.0 {
+                    0.0
+                } else if q == 0.0 {
+                    f64::INFINITY
+                } else {
+                    p * (p / q).log2()
+                }
+            })
+            .sum())
+    }
+
+    /// Mixes two workloads over the same lattice: `λ·self + (1-λ)·other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the lattices differ, or
+    /// [`Error::InvalidWorkload`] if `lambda` is outside `[0, 1]`.
+    pub fn mix(&self, other: &Workload, lambda: f64) -> Result<Workload> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch {
+                got: format!("{:?}", other.shape.levels()),
+                expected: format!("{:?}", self.shape.levels()),
+            });
+        }
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(Error::InvalidWorkload(format!(
+                "mixing weight {lambda} outside [0,1]"
+            )));
+        }
+        let probs = self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(a, b)| lambda * a + (1.0 - lambda) * b)
+            .collect();
+        Ok(Workload {
+            shape: self.shape.clone(),
+            probs,
+        })
+    }
+}
+
+/// The three per-dimension level distributions of §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LevelBias {
+    /// Evenly split across levels (e.g. `0.33/0.33/0.34`, `0.5/0.5`).
+    Even,
+    /// "Ramping up": more probability at higher levels (`0.1/0.3/0.6`,
+    /// `0.2/0.8`).
+    RampUp,
+    /// "Ramping down": more probability at the leaves (`0.6/0.3/0.1`,
+    /// `0.8/0.2`).
+    RampDown,
+}
+
+impl LevelBias {
+    /// All three biases, in the paper's order.
+    pub const ALL: [LevelBias; 3] = [LevelBias::Even, LevelBias::RampUp, LevelBias::RampDown];
+
+    /// The distribution over `n_levels` lattice levels (`ℓ_d + 1` entries).
+    ///
+    /// Follows §6.2 exactly for 2 and 3 levels, and generalizes to other
+    /// arities: `Even` splits equally (rounding the last entry up as in the
+    /// paper's `0.33, 0.33, 0.34`), `RampUp` uses weights `1, 3, 6, ...`
+    /// (triangular ramp re-normalized) matching `0.1/0.3/0.6` and `0.2/0.8`,
+    /// and `RampDown` reverses it.
+    pub fn distribution(self, n_levels: usize) -> Vec<f64> {
+        assert!(n_levels >= 1);
+        match self {
+            LevelBias::Even => {
+                // The paper rounds to two decimals and gives the remainder to
+                // the last level (0.33, 0.33, 0.34). We use exact equal
+                // shares; the difference is below measurement noise and keeps
+                // the distribution exact.
+                vec![1.0 / n_levels as f64; n_levels]
+            }
+            LevelBias::RampUp => {
+                let w = ramp_weights(n_levels);
+                normalize(w)
+            }
+            LevelBias::RampDown => {
+                let mut w = ramp_weights(n_levels);
+                w.reverse();
+                normalize(w)
+            }
+        }
+    }
+}
+
+/// Ramp weights reproducing §6.2 exactly where the paper specifies them —
+/// `0.2/0.8` for two levels and `0.1/0.3/0.6` for three — and generalizing
+/// to other arities with triangular weights `1, 3, 6, 10, ...` (partial sums
+/// of `1, 2, 3, ...`), normalized by the caller.
+fn ramp_weights(n: usize) -> Vec<f64> {
+    match n {
+        2 => return vec![0.2, 0.8],
+        3 => return vec![0.1, 0.3, 0.6],
+        _ => {}
+    }
+    let mut w = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (i + 1) as f64;
+        w.push(acc);
+    }
+    w
+}
+
+fn normalize(mut w: Vec<f64>) -> Vec<f64> {
+    let s: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= s;
+    }
+    w
+}
+
+/// Generates the §6.2 family: one workload per combination of per-dimension
+/// biases (`3^k` workloads, 27 for the paper's 3-dimensional schema).
+///
+/// ```
+/// use snakes_core::prelude::*;
+///
+/// let shape = LatticeShape::new(vec![2, 1, 2]);
+/// let family = bias_family(&shape);
+/// assert_eq!(family.len(), 27);
+/// assert!(family.iter().all(|(combo, _)| combo.len() == 3));
+/// ```
+/// Workloads are returned with their bias combination, in odometer order
+/// (dimension 0 fastest), so "workload 7" of the paper family is index 6.
+pub fn bias_family(shape: &LatticeShape) -> Vec<(Vec<LevelBias>, Workload)> {
+    let k = shape.k();
+    let total = 3usize.pow(k as u32);
+    let mut out = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut rem = idx;
+        let mut combo = Vec::with_capacity(k);
+        for _ in 0..k {
+            combo.push(LevelBias::ALL[rem % 3]);
+            rem /= 3;
+        }
+        let marginals: Vec<Vec<f64>> = combo
+            .iter()
+            .enumerate()
+            .map(|(d, b)| b.distribution(shape.top_level(d) + 1))
+            .collect();
+        let w = Workload::product(shape.clone(), &marginals)
+            .expect("bias marginals are valid distributions");
+        out.push((combo, w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StarSchema;
+
+    fn toy_shape() -> LatticeShape {
+        LatticeShape::of_schema(&StarSchema::paper_toy())
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let w = Workload::uniform(toy_shape());
+        let s: f64 = w.probs().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((w.prob(&Class(vec![1, 1])) - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_workload_2_excludes_three_classes() {
+        // §2 workload 2: classes (0,1), (0,2), (1,1) unlikely; rest equal.
+        let w = Workload::uniform_excluding(
+            toy_shape(),
+            &[Class(vec![0, 1]), Class(vec![0, 2]), Class(vec![1, 1])],
+        )
+        .unwrap();
+        assert_eq!(w.prob(&Class(vec![0, 1])), 0.0);
+        assert!((w.prob(&Class(vec![0, 0])) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(w.support().len(), 6);
+    }
+
+    #[test]
+    fn paper_workload_3_is_uniform_over_four() {
+        let w = Workload::uniform_over(
+            toy_shape(),
+            &[
+                Class(vec![0, 0]),
+                Class(vec![0, 1]),
+                Class(vec![0, 2]),
+                Class(vec![1, 2]),
+            ],
+        )
+        .unwrap();
+        assert!((w.prob(&Class(vec![1, 2])) - 0.25).abs() < 1e-12);
+        assert_eq!(w.prob(&Class(vec![2, 2])), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_distribution() {
+        let shape = toy_shape();
+        assert!(Workload::new(shape.clone(), vec![0.5; 9]).is_err());
+        assert!(Workload::new(shape.clone(), vec![0.1; 8]).is_err());
+        let mut p = vec![0.0; 9];
+        p[0] = 2.0;
+        p[1] = -1.0;
+        assert!(Workload::new(shape, p).is_err());
+    }
+
+    #[test]
+    fn product_matches_manual_computation() {
+        let shape = LatticeShape::new(vec![2, 1]);
+        let m = vec![vec![0.1, 0.3, 0.6], vec![0.2, 0.8]];
+        let w = Workload::product(shape, &m).unwrap();
+        assert!((w.prob(&Class(vec![0, 0])) - 0.02).abs() < 1e-12);
+        assert!((w.prob(&Class(vec![2, 1])) - 0.48).abs() < 1e-12);
+        let s: f64 = w.probs().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_distributions_match_section_6_2() {
+        assert_eq!(LevelBias::Even.distribution(2), vec![0.5, 0.5]);
+        let up3 = LevelBias::RampUp.distribution(3);
+        assert!((up3[0] - 0.1).abs() < 1e-12);
+        assert!((up3[1] - 0.3).abs() < 1e-12);
+        assert!((up3[2] - 0.6).abs() < 1e-12);
+        let up2 = LevelBias::RampUp.distribution(2);
+        assert!((up2[0] - 0.2).abs() < 1e-12);
+        assert!((up2[1] - 0.8).abs() < 1e-12);
+        let down3 = LevelBias::RampDown.distribution(3);
+        assert!((down3[0] - 0.6).abs() < 1e-12);
+        assert!((down3[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_family_has_3_pow_k_members() {
+        let shape = LatticeShape::new(vec![2, 1, 2]);
+        let fam = bias_family(&shape);
+        assert_eq!(fam.len(), 27);
+        for (_, w) in &fam {
+            let s: f64 = w.probs().iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // Distinct bias combos give distinct workloads.
+        assert_ne!(fam[0].1, fam[1].1);
+    }
+
+    #[test]
+    fn point_workload() {
+        let w = Workload::point(toy_shape(), &Class(vec![2, 0])).unwrap();
+        assert_eq!(w.prob(&Class(vec![2, 0])), 1.0);
+        assert_eq!(w.entropy(), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform() {
+        let w = Workload::uniform(toy_shape());
+        assert!((w.entropy() - (9.0f64).log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_interpolates() {
+        let shape = toy_shape();
+        let a = Workload::point(shape.clone(), &Class(vec![0, 0])).unwrap();
+        let b = Workload::point(shape.clone(), &Class(vec![2, 2])).unwrap();
+        let m = a.mix(&b, 0.25).unwrap();
+        assert!((m.prob(&Class(vec![0, 0])) - 0.25).abs() < 1e-12);
+        assert!((m.prob(&Class(vec![2, 2])) - 0.75).abs() < 1e-12);
+        assert!(a.mix(&b, 1.5).is_err());
+    }
+
+    #[test]
+    fn mix_rejects_shape_mismatch() {
+        let a = Workload::uniform(toy_shape());
+        let b = Workload::uniform(LatticeShape::new(vec![1, 1]));
+        assert!(a.mix(&b, 0.5).is_err());
+    }
+
+    #[test]
+    fn distance_metrics() {
+        let shape = toy_shape();
+        let u = Workload::uniform(shape.clone());
+        let p = Workload::point(shape.clone(), &Class(vec![0, 0])).unwrap();
+        assert_eq!(u.total_variation(&u).unwrap(), 0.0);
+        assert_eq!(u.kl_divergence(&u).unwrap(), 0.0);
+        // TV(uniform, point) over 9 classes = (8/9 + 8·1/9)/2 = 8/9.
+        assert!((u.total_variation(&p).unwrap() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((p.total_variation(&u).unwrap() - 8.0 / 9.0).abs() < 1e-12);
+        // KL(point || uniform) = log2(9).
+        assert!((p.kl_divergence(&u).unwrap() - 9f64.log2()).abs() < 1e-12);
+        // KL(uniform || point) is infinite (unsupported classes).
+        assert_eq!(u.kl_divergence(&p).unwrap(), f64::INFINITY);
+        // Shape mismatches error.
+        let other = Workload::uniform(LatticeShape::new(vec![1, 1]));
+        assert!(u.total_variation(&other).is_err());
+        assert!(u.kl_divergence(&other).is_err());
+    }
+
+    #[test]
+    fn workload_serde_roundtrip() {
+        let w = Workload::uniform(toy_shape());
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,334 @@
+//! Fragment counting: the paper's cost surrogate, measured directly on a
+//! linearization.
+//!
+//! A query selects an axis-aligned set of cells; its cost is the number of
+//! maximal runs of consecutive ranks ("fragments") the linearization needs
+//! to cover them — each run is one seek. These routines measure per-query
+//! fragments, per-class averages (the entries of the paper's Table 1), and
+//! expected workload cost, and extract the characteristic vector of a curve
+//! for the analytic cost model of `snakes-core`.
+
+use crate::Linearization;
+use snakes_core::cv::Cv;
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::Workload;
+use std::ops::Range;
+
+/// Number of contiguous rank fragments covering the subgrid
+/// `ranges[0] × ranges[1] × ...`.
+///
+/// # Panics
+///
+/// Panics if a range is out of bounds or empty.
+pub fn query_fragments(lin: &impl Linearization, ranges: &[Range<u64>]) -> u64 {
+    let extents = lin.extents();
+    assert_eq!(ranges.len(), extents.len(), "one range per dimension");
+    for (r, &e) in ranges.iter().zip(extents) {
+        assert!(r.start < r.end && r.end <= e, "bad range {r:?} (extent {e})");
+    }
+    let mut ranks = ranks_of_subgrid(lin, ranges);
+    ranks.sort_unstable();
+    count_runs(&ranks)
+}
+
+fn ranks_of_subgrid(lin: &impl Linearization, ranges: &[Range<u64>]) -> Vec<u64> {
+    let count: u64 = ranges.iter().map(|r| r.end - r.start).product();
+    let mut ranks = Vec::with_capacity(count as usize);
+    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
+    loop {
+        ranks.push(lin.rank(&coords));
+        // Odometer over the subgrid.
+        let mut d = 0;
+        loop {
+            if d == coords.len() {
+                return ranks;
+            }
+            coords[d] += 1;
+            if coords[d] < ranges[d].end {
+                break;
+            }
+            coords[d] = ranges[d].start;
+            d += 1;
+        }
+    }
+}
+
+fn count_runs(sorted: &[u64]) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64
+}
+
+/// Average fragment count over all queries of a class — one entry of the
+/// paper's Table 1 — by enumerating every aligned subgrid of the class.
+///
+/// # Panics
+///
+/// Panics if the class is out of bounds or the linearization's grid differs
+/// from the schema's.
+pub fn class_average_cost(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+    class: &Class,
+) -> f64 {
+    let (total, queries) = class_total_fragments(schema, lin, class);
+    total as f64 / queries as f64
+}
+
+/// Total fragments over all queries of a class, with the query count.
+///
+/// # Panics
+///
+/// As [`class_average_cost`].
+pub fn class_total_fragments(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+    class: &Class,
+) -> (u64, u64) {
+    assert_eq!(
+        lin.extents(),
+        schema.grid_shape().as_slice(),
+        "linearization grid must match the schema"
+    );
+    LatticeShape::of_schema(schema)
+        .check(class)
+        .expect("class out of bounds");
+    let k = schema.k();
+    let nodes: Vec<u64> = (0..k)
+        .map(|d| schema.dim(d).nodes_at_level(class.level(d)))
+        .collect();
+    let queries: u64 = nodes.iter().product();
+    let mut total = 0u64;
+    let mut node = vec![0u64; k];
+    loop {
+        let ranges: Vec<Range<u64>> = (0..k)
+            .map(|d| schema.dim(d).leaf_range(class.level(d), node[d]))
+            .collect();
+        total += query_fragments(lin, &ranges);
+        let mut d = 0;
+        loop {
+            if d == k {
+                return (total, queries);
+            }
+            node[d] += 1;
+            if node[d] < nodes[d] {
+                break;
+            }
+            node[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// Per-class average costs, indexed by [`LatticeShape::rank`].
+///
+/// # Panics
+///
+/// As [`class_average_cost`].
+pub fn class_costs(schema: &StarSchema, lin: &impl Linearization) -> Vec<f64> {
+    let shape = LatticeShape::of_schema(schema);
+    (0..shape.num_classes())
+        .map(|r| class_average_cost(schema, lin, &shape.unrank(r)))
+        .collect()
+}
+
+/// Expected cost of the linearization over a workload, by brute-force
+/// fragment counting. Use [`cv_of`] + `Cv::expected_cost` for large grids.
+///
+/// # Panics
+///
+/// As [`class_average_cost`], plus (debug) workload lattice mismatch.
+pub fn expected_cost(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+    workload: &Workload,
+) -> f64 {
+    let shape = LatticeShape::of_schema(schema);
+    debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
+    (0..shape.num_classes())
+        .map(|r| {
+            let p = workload.prob_by_rank(r);
+            if p > 0.0 {
+                p * class_average_cost(schema, lin, &shape.unrank(r))
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// The characteristic vector of a linearization — one pass over the curve,
+/// `O(N · k)`; `Cv` then prices every class in closed form (§5.1's extended
+/// cost, exact for any strategy).
+///
+/// # Panics
+///
+/// Panics if the linearization's grid differs from the schema's.
+pub fn cv_of(schema: &StarSchema, lin: &impl Linearization) -> Cv {
+    assert_eq!(
+        lin.extents(),
+        schema.grid_shape().as_slice(),
+        "linearization grid must match the schema"
+    );
+    Cv::from_rank_fn(schema, |r, out| lin.coords(r, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hilbert::HilbertCurve;
+    use crate::lattice_path::{path_curve, snaked_path_curve};
+    use crate::nested::NestedLoops;
+    use snakes_core::cost::CostModel;
+    use snakes_core::path::LatticePath;
+    use snakes_core::snake::snaked_dist;
+
+    fn toy() -> (StarSchema, LatticeShape) {
+        let s = StarSchema::paper_toy();
+        let l = LatticeShape::of_schema(&s);
+        (s, l)
+    }
+
+    #[test]
+    fn row_major_column_query_fragments() {
+        // Under row-major (dim 0 fast), a full dim-1 line at fixed dim 0 is
+        // 4 fragments; a dim-0 line is 1.
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        assert_eq!(query_fragments(&rm, &[0..1, 0..4]), 4);
+        assert_eq!(query_fragments(&rm, &[0..4, 0..1]), 1);
+        assert_eq!(query_fragments(&rm, &[0..4, 0..4]), 1);
+        assert_eq!(query_fragments(&rm, &[1..3, 1..3]), 2);
+    }
+
+    /// Brute-force fragment counting reproduces every Table 1 column for
+    /// P_1, P_2 and their snaked versions — the cross-check between the
+    /// physical curves and the analytic cost model.
+    #[test]
+    fn table_1_by_brute_force() {
+        let (schema, shape) = toy();
+        let model = CostModel::of_schema(&schema);
+        let p1 = LatticePath::from_dims(shape.clone(), vec![1, 1, 0, 0]).unwrap();
+        let p2 = LatticePath::from_dims(shape.clone(), vec![1, 0, 1, 0]).unwrap();
+        for p in [&p1, &p2] {
+            let plain = path_curve(&schema, p);
+            let snaked = snaked_path_curve(&schema, p);
+            for u in shape.iter() {
+                let plain_bf = class_average_cost(&schema, &plain, &u);
+                assert!(
+                    (plain_bf - model.dist(p, &u)).abs() < 1e-12,
+                    "plain {p}, class {u}"
+                );
+                let snaked_bf = class_average_cost(&schema, &snaked, &u);
+                assert!(
+                    (snaked_bf - snaked_dist(&model, p, &u)).abs() < 1e-12,
+                    "snaked {p}, class {u}"
+                );
+            }
+        }
+    }
+
+    /// The analytic cost model equals brute force on *every* toy lattice
+    /// path, snaked and plain.
+    #[test]
+    fn analytic_equals_brute_force_all_paths() {
+        let (schema, shape) = toy();
+        let model = CostModel::of_schema(&schema);
+        for p in LatticePath::enumerate(&shape) {
+            let plain = path_curve(&schema, &p);
+            let snaked = snaked_path_curve(&schema, &p);
+            for u in shape.iter() {
+                assert!(
+                    (class_average_cost(&schema, &plain, &u) - model.dist(&p, &u)).abs()
+                        < 1e-12
+                );
+                assert!(
+                    (class_average_cost(&schema, &snaked, &u)
+                        - snaked_dist(&model, &p, &u))
+                    .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    /// The real 4x4 Hilbert curve's per-class costs match Table 1's H
+    /// column (up to the curve's orientation: the paper's drawing is the
+    /// transpose of the standard Skilling orientation, so dimensions swap).
+    #[test]
+    fn hilbert_4x4_class_costs_match_table_1() {
+        let (schema, shape) = toy();
+        let h = HilbertCurve::square(2);
+        let costs: std::collections::HashMap<Vec<usize>, f64> = shape
+            .iter()
+            .map(|u| (u.0.clone(), class_average_cost(&schema, &h, &u)))
+            .collect();
+        // Symmetric classes.
+        assert_eq!(costs[&vec![0, 0]], 1.0);
+        assert_eq!(costs[&vec![1, 1]], 1.0);
+        assert_eq!(costs[&vec![2, 2]], 1.0);
+        // Asymmetric classes: {(1,0),(0,1)} both 10/8; {(2,0),(0,2)} are
+        // {8/4, 9/4} in one order or the other; {(2,1),(1,2)} are {2/2, 3/2}.
+        assert_eq!(costs[&vec![1, 0]], 10.0 / 8.0);
+        assert_eq!(costs[&vec![0, 1]], 10.0 / 8.0);
+        let mut pair = [costs[&vec![2, 0]], costs[&vec![0, 2]]];
+        pair.sort_by(f64::total_cmp);
+        assert_eq!(pair, [8.0 / 4.0, 9.0 / 4.0]);
+        let mut pair = [costs[&vec![2, 1]], costs[&vec![1, 2]]];
+        pair.sort_by(f64::total_cmp);
+        assert_eq!(pair, [1.0, 1.5]);
+    }
+
+    /// CV-based pricing equals brute force for a non-lattice-path strategy
+    /// (Hilbert) — the extended cost of §5.1 is exact.
+    #[test]
+    fn cv_pricing_equals_brute_force_for_hilbert() {
+        let (schema, shape) = toy();
+        let h = HilbertCurve::square(2);
+        let cv = cv_of(&schema, &h);
+        assert!(cv.is_non_diagonal());
+        assert_eq!(cv.total_edges(), 15.0);
+        for u in shape.iter() {
+            let bf = class_average_cost(&schema, &h, &u);
+            assert!((cv.class_cost(&u) - bf).abs() < 1e-12, "class {u}");
+        }
+    }
+
+    /// The 4x4 Hilbert CV is the paper's (6,1;6,2) split across the two
+    /// dimensions.
+    #[test]
+    fn hilbert_cv_counts() {
+        let schema = StarSchema::paper_toy();
+        let cv = cv_of(&schema, &HilbertCurve::square(2));
+        use snakes_core::cv::EdgeType;
+        let a = [
+            cv.count(&EdgeType::axis(0, 1)),
+            cv.count(&EdgeType::axis(0, 2)),
+        ];
+        let b = [
+            cv.count(&EdgeType::axis(1, 1)),
+            cv.count(&EdgeType::axis(1, 2)),
+        ];
+        assert!(
+            (a == [6.0, 1.0] && b == [6.0, 2.0]) || (a == [6.0, 2.0] && b == [6.0, 1.0]),
+            "a = {a:?}, b = {b:?}"
+        );
+    }
+
+    #[test]
+    fn expected_cost_smoke() {
+        let (schema, shape) = toy();
+        let w = Workload::uniform(shape.clone());
+        let p1 = LatticePath::from_dims(shape, vec![1, 1, 0, 0]).unwrap();
+        let c = expected_cost(&schema, &path_curve(&schema, &p1), &w);
+        assert!((c - 17.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn query_fragments_rejects_bad_ranges() {
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        query_fragments(&rm, &[0..5, 0..4]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Gray-code curve (Faloutsos [3, 4]): cells are visited so that the
+//! *interleaved* bit string of consecutive cells differs in exactly one bit
+//! — the binary-reflected Gray code applied on top of Z-order.
+
+use crate::zorder::ZOrderCurve;
+use crate::Linearization;
+
+/// Gray-code ordering over a power-of-two grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayCurve {
+    z: ZOrderCurve,
+}
+
+impl GrayCurve {
+    /// Builds a Gray-code curve.
+    ///
+    /// # Panics
+    ///
+    /// As [`ZOrderCurve::new`].
+    pub fn new(extents: Vec<u64>) -> Self {
+        Self {
+            z: ZOrderCurve::new(extents),
+        }
+    }
+
+    /// A square 2-D curve of side `2^n`.
+    pub fn square(n: u32) -> Self {
+        Self {
+            z: ZOrderCurve::square(n),
+        }
+    }
+}
+
+/// Binary-reflected Gray code.
+#[inline]
+fn gray(x: u64) -> u64 {
+    x ^ (x >> 1)
+}
+
+/// Inverse of [`gray`].
+#[inline]
+fn gray_inverse(mut g: u64) -> u64 {
+    let mut x = g;
+    while g > 0 {
+        g >>= 1;
+        x ^= g;
+    }
+    x
+}
+
+impl Linearization for GrayCurve {
+    fn extents(&self) -> &[u64] {
+        self.z.extents()
+    }
+
+    fn rank(&self, coords: &[u64]) -> u64 {
+        gray_inverse(self.z.rank(coords))
+    }
+
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        self.z.coords(gray(rank), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_bijection;
+
+    #[test]
+    fn gray_code_basics() {
+        assert_eq!(gray(0), 0);
+        assert_eq!(gray(1), 1);
+        assert_eq!(gray(2), 3);
+        assert_eq!(gray(3), 2);
+        for x in 0..1024u64 {
+            assert_eq!(gray_inverse(gray(x)), x);
+            if x > 0 {
+                // Consecutive codes differ in exactly one bit.
+                assert_eq!((gray(x) ^ gray(x - 1)).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_differ_in_one_interleaved_bit() {
+        let g = GrayCurve::square(3);
+        let z = ZOrderCurve::square(3);
+        let mut prev = z.rank(&g.coords_vec(0));
+        for r in 1..g.num_cells() {
+            let cur = z.rank(&g.coords_vec(r));
+            assert_eq!((prev ^ cur).count_ones(), 1, "rank {r}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn bijective_on_assorted_grids() {
+        for extents in [vec![4, 4], vec![8, 8], vec![2, 4, 8]] {
+            assert_bijection(&GrayCurve::new(extents));
+        }
+    }
+
+    #[test]
+    fn gray_4x4_starts_like_reflected_z() {
+        let g = GrayCurve::square(2);
+        assert_eq!(g.coords_vec(0), vec![0, 0]);
+        assert_eq!(g.coords_vec(1), vec![1, 0]);
+        assert_eq!(g.coords_vec(2), vec![1, 1]);
+        assert_eq!(g.coords_vec(3), vec![0, 1]);
+    }
+}

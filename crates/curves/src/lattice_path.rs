@@ -1,0 +1,166 @@
+//! Clusterings induced by monotone lattice paths (paper §3 and §5).
+//!
+//! A lattice path's edges, innermost first, become the loop stack of a
+//! [`NestedLoops`] curve: the step raising dimension `d` from level `i` to
+//! `i + 1` is one loop over the level-`i` sibling groups, with radix
+//! `f(d, i + 1)`. Snaking the same stack gives the snaked lattice path.
+
+use crate::nested::{Loop, NestedLoops};
+use snakes_core::path::LatticePath;
+use snakes_core::schema::StarSchema;
+
+/// The (un-snaked) clustering of a lattice path over a schema's data grid.
+///
+/// # Panics
+///
+/// Panics if the path is not over the schema's class lattice.
+pub fn path_curve(schema: &StarSchema, path: &LatticePath) -> NestedLoops {
+    build(schema, path, false)
+}
+
+/// The snaked clustering of a lattice path (Definition 5).
+///
+/// # Panics
+///
+/// Panics if the path is not over the schema's class lattice.
+pub fn snaked_path_curve(schema: &StarSchema, path: &LatticePath) -> NestedLoops {
+    build(schema, path, true)
+}
+
+fn build(schema: &StarSchema, path: &LatticePath, snaked: bool) -> NestedLoops {
+    assert_eq!(
+        path.shape().levels(),
+        schema.levels().as_slice(),
+        "path must be over the schema's class lattice"
+    );
+    let loops = path
+        .steps()
+        .iter()
+        .map(|s| Loop {
+            dim: s.dim,
+            radix: schema.dim(s.dim).fanout(s.level),
+        })
+        .collect();
+    NestedLoops::new(schema.grid_shape(), loops, snaked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_bijection;
+    use crate::Linearization;
+    use snakes_core::lattice::LatticeShape;
+
+    fn toy() -> (StarSchema, LatticeShape) {
+        let s = StarSchema::paper_toy();
+        let l = LatticeShape::of_schema(&s);
+        (s, l)
+    }
+
+    #[test]
+    fn p1_is_row_major() {
+        // P_1 = ⟨(0,0),(0,1),(0,2),(1,2),(2,2)⟩ loops dimension 1 innermost:
+        // identical to row-major with dim 1 fastest.
+        let (schema, shape) = toy();
+        let p1 = LatticePath::from_dims(shape, vec![1, 1, 0, 0]).unwrap();
+        let curve = path_curve(&schema, &p1);
+        let rm = NestedLoops::row_major(vec![4, 4], &[1, 0]);
+        for r in 0..16 {
+            assert_eq!(curve.coords_vec(r), rm.coords_vec(r));
+        }
+    }
+
+    #[test]
+    fn p2_quadrant_order_matches_figure_2a() {
+        // P_2 = ⟨(0,0),(0,1),(1,1),(1,2),(2,2)⟩: 2x2 blocks visited
+        // block-row-major, row-major inside — Figure 2(a)'s Z-like layout
+        // with dimension 1 as the fast axis at both scales.
+        let (schema, shape) = toy();
+        let p2 = LatticePath::from_dims(shape, vec![1, 0, 1, 0]).unwrap();
+        let curve = path_curve(&schema, &p2);
+        let expected: Vec<Vec<u64>> = vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 0],
+            vec![1, 1],
+            vec![0, 2],
+            vec![0, 3],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 0],
+            vec![2, 1],
+            vec![3, 0],
+            vec![3, 1],
+            vec![2, 2],
+            vec![2, 3],
+            vec![3, 2],
+            vec![3, 3],
+        ];
+        for (r, want) in expected.iter().enumerate() {
+            assert_eq!(&curve.coords_vec(r as u64), want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn snaked_p2_matches_hand_enumeration() {
+        // The snaked P_2 order derived by hand while auditing Table 1 (see
+        // snakes-core::snake): coordinates as (dim0, dim1).
+        let (schema, shape) = toy();
+        let p2 = LatticePath::from_dims(shape, vec![1, 0, 1, 0]).unwrap();
+        let curve = snaked_path_curve(&schema, &p2);
+        let expected: Vec<Vec<u64>> = vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 1],
+            vec![1, 0],
+            vec![1, 2],
+            vec![1, 3],
+            vec![0, 3],
+            vec![0, 2],
+            vec![2, 2],
+            vec![2, 3],
+            vec![3, 3],
+            vec![3, 2],
+            vec![3, 0],
+            vec![3, 1],
+            vec![2, 1],
+            vec![2, 0],
+        ];
+        for (r, want) in expected.iter().enumerate() {
+            assert_eq!(&curve.coords_vec(r as u64), want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn all_toy_paths_bijective_both_ways() {
+        let (schema, shape) = toy();
+        for p in LatticePath::enumerate(&shape) {
+            assert_bijection(&path_curve(&schema, &p));
+            assert_bijection(&snaked_path_curve(&schema, &p));
+        }
+    }
+
+    #[test]
+    fn mixed_fanout_paths_bijective() {
+        let schema = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("p", vec![5, 3]).unwrap(),
+            snakes_core::schema::Hierarchy::new("s", vec![4]).unwrap(),
+            snakes_core::schema::Hierarchy::new("t", vec![2, 3]).unwrap(),
+        ])
+        .unwrap();
+        let shape = LatticeShape::of_schema(&schema);
+        for p in LatticePath::enumerate(&shape).into_iter().take(8) {
+            assert_bijection(&path_curve(&schema, &p));
+            assert_bijection(&snaked_path_curve(&schema, &p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "path must be over the schema's class lattice")]
+    fn rejects_mismatched_path() {
+        let schema = StarSchema::paper_toy();
+        let other = LatticeShape::new(vec![1, 1]);
+        let p = LatticePath::from_dims(other, vec![0, 1]).unwrap();
+        path_curve(&schema, &p);
+    }
+}

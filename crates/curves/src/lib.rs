@@ -1,0 +1,148 @@
+//! # snakes-curves
+//!
+//! Linearization curves over multidimensional grids, and the measurement
+//! tools to price them: row/column-major nested loops, boustrophedon snakes,
+//! Z-order (bit interleaving), the Gray-code curve, the Hilbert curve (2-D
+//! and k-D via Skilling's algorithm), and — the paper's contribution — the
+//! clusterings induced by monotone lattice paths over hierarchical grids,
+//! with or without snaking.
+//!
+//! Every curve implements [`Linearization`] (a bijection between cell
+//! coordinates and visit ranks). [`fragments`] counts the contiguous
+//! fragments a query needs under a curve — the paper's cost surrogate — and
+//! extracts characteristic vectors for the exact analytic cost of
+//! `snakes-core`. [`analysis`] certifies the §8 Hilbert-sandwich claim with
+//! an exact every-workload check, [`peano`] adds the classic 1890 curve,
+//! and [`search`] runs a 2-opt adversary over arbitrary strategies to
+//! attack Theorem 2 empirically.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod fragments;
+pub mod gray;
+pub mod hilbert;
+pub mod lattice_path;
+pub mod nested;
+pub mod peano;
+pub mod search;
+pub mod zorder;
+
+pub use analysis::{alternating_paths, hilbert_sandwich_certificate, hilbert_sandwich_pair, sandwich_certificate, SandwichCertificate};
+pub use fragments::{class_average_cost, class_costs, cv_of, expected_cost, query_fragments};
+pub use gray::GrayCurve;
+pub use hilbert::{CompactHilbert, HilbertCurve};
+pub use lattice_path::{path_curve, snaked_path_curve};
+pub use nested::{Loop, NestedLoops};
+pub use peano::PeanoCurve;
+pub use search::{two_opt_search, EdgeWeights, ExplicitStrategy};
+pub use zorder::ZOrderCurve;
+
+/// A bijection between the cells of a k-dimensional grid and visit ranks
+/// `0..num_cells`. Rank order is the clustering order on disk.
+///
+/// ```
+/// use snakes_curves::{HilbertCurve, Linearization, NestedLoops, ZOrderCurve};
+///
+/// let curves: Vec<Box<dyn Linearization>> = vec![
+///     Box::new(NestedLoops::row_major(vec![4, 4], &[0, 1])),
+///     Box::new(ZOrderCurve::square(2)),
+///     Box::new(HilbertCurve::square(2)),
+/// ];
+/// for curve in &curves {
+///     // Every curve is a bijection with rank inverting coords.
+///     for rank in 0..curve.num_cells() {
+///         let cell = curve.coords_vec(rank);
+///         assert_eq!(curve.rank(&cell), rank);
+///     }
+/// }
+/// ```
+pub trait Linearization {
+    /// Per-dimension extents of the grid.
+    fn extents(&self) -> &[u64];
+
+    /// Total number of cells.
+    fn num_cells(&self) -> u64 {
+        self.extents().iter().product()
+    }
+
+    /// The visit rank of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `coords` is out of range.
+    fn rank(&self, coords: &[u64]) -> u64;
+
+    /// The cell visited at `rank`, written into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `rank >= num_cells()` or `out` has the
+    /// wrong arity.
+    fn coords(&self, rank: u64, out: &mut [u64]);
+
+    /// Convenience allocating variant of [`Linearization::coords`].
+    fn coords_vec(&self, rank: u64) -> Vec<u64> {
+        let mut out = vec![0; self.extents().len()];
+        self.coords(rank, &mut out);
+        out
+    }
+}
+
+impl<T: Linearization + ?Sized> Linearization for &T {
+    fn extents(&self) -> &[u64] {
+        (**self).extents()
+    }
+    fn rank(&self, coords: &[u64]) -> u64 {
+        (**self).rank(coords)
+    }
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        (**self).coords(rank, out)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::Linearization;
+    use std::collections::HashSet;
+
+    /// Checks that `lin` is a bijection and that `rank` inverts `coords`.
+    pub fn assert_bijection(lin: &impl Linearization) {
+        let n = lin.num_cells();
+        assert!(n <= 1 << 20, "test grid too large");
+        let mut seen = HashSet::with_capacity(n as usize);
+        let mut buf = vec![0u64; lin.extents().len()];
+        for r in 0..n {
+            lin.coords(r, &mut buf);
+            for (d, (&c, &e)) in buf.iter().zip(lin.extents()).enumerate() {
+                assert!(c < e, "rank {r}: coord {c} out of range in dim {d}");
+            }
+            assert!(seen.insert(buf.clone()), "rank {r}: duplicate cell {buf:?}");
+            assert_eq!(lin.rank(&buf), r, "rank() does not invert coords()");
+        }
+    }
+
+    /// Checks that consecutive ranks are grid neighbours (differ by 1 in
+    /// exactly one dimension) — the defining property of Hilbert-style
+    /// curves and snakes over plain grids.
+    pub fn assert_grid_adjacent(lin: &impl Linearization) {
+        let n = lin.num_cells();
+        let mut prev = lin.coords_vec(0);
+        for r in 1..n {
+            let cur = lin.coords_vec(r);
+            let mut diffs = 0;
+            for (a, b) in prev.iter().zip(&cur) {
+                if a != b {
+                    diffs += 1;
+                    assert!(
+                        a.abs_diff(*b) == 1,
+                        "rank {r}: jump {prev:?} -> {cur:?}"
+                    );
+                }
+            }
+            assert_eq!(diffs, 1, "rank {r}: moved in {diffs} dims");
+            prev = cur;
+        }
+    }
+}

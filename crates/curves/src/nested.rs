@@ -1,0 +1,298 @@
+//! Nested-loop linearizations with optional snaking.
+//!
+//! A [`NestedLoops`] curve visits the grid by a stack of loops, innermost
+//! first. Each loop iterates one mixed-radix *digit* of one dimension's
+//! coordinate; a dimension may be split across several loops (that is
+//! exactly how lattice-path clusterings arise: one loop per hierarchy
+//! level). With `snaked = true` the traversal direction of each loop
+//! reverses on every increment of its enclosing loops — the paper's snaking
+//! (Definition 5) — which removes all diagonal transitions.
+
+use crate::Linearization;
+
+/// One loop of a nested-loop curve: iterates `radix` values of one digit of
+/// dimension `dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loop {
+    /// The dimension whose digit this loop scans.
+    pub dim: usize,
+    /// Number of iterations (the digit's radix); must be at least 1.
+    pub radix: u64,
+}
+
+/// A nested-loop linearization (optionally snaked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedLoops {
+    extents: Vec<u64>,
+    /// Loops, innermost first.
+    loops: Vec<Loop>,
+    snaked: bool,
+    /// Rank-space stride of each loop.
+    strides: Vec<u64>,
+    /// Coordinate-space divisor of each loop: the product of the radixes of
+    /// this dimension's earlier (inner) loops.
+    divisors: Vec<u64>,
+}
+
+impl NestedLoops {
+    /// Builds a nested-loop curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every dimension's loop radixes multiply to its extent,
+    /// every radix is `>= 1`, and every loop names a valid dimension.
+    pub fn new(extents: Vec<u64>, loops: Vec<Loop>, snaked: bool) -> Self {
+        assert!(!extents.is_empty(), "need at least one dimension");
+        let mut cover = vec![1u64; extents.len()];
+        let mut strides = Vec::with_capacity(loops.len());
+        let mut divisors = Vec::with_capacity(loops.len());
+        let mut stride = 1u64;
+        for l in &loops {
+            assert!(l.dim < extents.len(), "loop dimension {} out of range", l.dim);
+            assert!(l.radix >= 1, "loop radix must be at least 1");
+            strides.push(stride);
+            divisors.push(cover[l.dim]);
+            stride = stride
+                .checked_mul(l.radix)
+                .expect("grid too large for u64 ranks");
+            cover[l.dim] *= l.radix;
+        }
+        assert_eq!(
+            cover, extents,
+            "loop radixes must multiply to the dimension extents"
+        );
+        Self {
+            extents,
+            loops,
+            snaked,
+            strides,
+            divisors,
+        }
+    }
+
+    /// Plain row-major order: one loop per dimension, `order[0]` innermost
+    /// (fastest-varying).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `order` is a permutation of the dimensions.
+    pub fn row_major(extents: Vec<u64>, order: &[usize]) -> Self {
+        Self::from_order(extents, order, false)
+    }
+
+    /// Boustrophedon ("snake") order: row-major with alternate rows
+    /// reversed, in any number of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `order` is a permutation of the dimensions.
+    pub fn boustrophedon(extents: Vec<u64>, order: &[usize]) -> Self {
+        Self::from_order(extents, order, true)
+    }
+
+    fn from_order(extents: Vec<u64>, order: &[usize], snaked: bool) -> Self {
+        let mut seen = vec![false; extents.len()];
+        for &d in order {
+            assert!(
+                d < extents.len() && !seen[d],
+                "order must be a permutation of the dimensions"
+            );
+            seen[d] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "order must be a permutation of the dimensions"
+        );
+        let loops = order
+            .iter()
+            .map(|&d| Loop {
+                dim: d,
+                radix: extents[d],
+            })
+            .collect();
+        Self::new(extents, loops, snaked)
+    }
+
+    /// The loop stack, innermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Whether the curve is snaked.
+    pub fn is_snaked(&self) -> bool {
+        self.snaked
+    }
+
+    /// The digit of `coords` scanned by loop `j`.
+    #[inline]
+    fn digit_of_coords(&self, coords: &[u64], j: usize) -> u64 {
+        let l = self.loops[j];
+        (coords[l.dim] / self.divisors[j]) % l.radix
+    }
+}
+
+impl Linearization for NestedLoops {
+    fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    fn rank(&self, coords: &[u64]) -> u64 {
+        debug_assert_eq!(coords.len(), self.extents.len());
+        debug_assert!(coords.iter().zip(&self.extents).all(|(c, e)| c < e));
+        if !self.snaked {
+            let mut r = 0;
+            for j in 0..self.loops.len() {
+                r += self.digit_of_coords(coords, j) * self.strides[j];
+            }
+            return r;
+        }
+        // Snaked: convert actual digits to rank digits from the outermost
+        // loop inward, tracking the parity of the enclosing counter's value
+        // (the number of direction flips seen by the current loop).
+        let mut rank = 0u64;
+        let mut parity = 0u64; // parity of the value formed by outer rank digits
+        for j in (0..self.loops.len()).rev() {
+            let radix = self.loops[j].radix;
+            let actual = self.digit_of_coords(coords, j);
+            let rd = if parity == 1 { radix - 1 - actual } else { actual };
+            rank += rd * self.strides[j];
+            parity = (rd & 1) ^ ((radix & 1) & parity);
+        }
+        rank
+    }
+
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        debug_assert!(rank < self.num_cells(), "rank out of range");
+        debug_assert_eq!(out.len(), self.extents.len());
+        out.fill(0);
+        if !self.snaked {
+            for j in 0..self.loops.len() {
+                let d = (rank / self.strides[j]) % self.loops[j].radix;
+                out[self.loops[j].dim] += d * self.divisors[j];
+            }
+            return;
+        }
+        let mut parity = 0u64;
+        for j in (0..self.loops.len()).rev() {
+            let radix = self.loops[j].radix;
+            let rd = (rank / self.strides[j]) % radix;
+            let actual = if parity == 1 { radix - 1 - rd } else { rd };
+            out[self.loops[j].dim] += actual * self.divisors[j];
+            parity = (rd & 1) ^ ((radix & 1) & parity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{assert_bijection, assert_grid_adjacent};
+
+    #[test]
+    fn row_major_matches_figure_1() {
+        // Figure 1 numbers the 4x4 grid 1..16 row by row; with dimension 0
+        // as the fast axis, rank = 4*slow + fast.
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        assert_eq!(rm.rank(&[0, 0]), 0);
+        assert_eq!(rm.rank(&[3, 0]), 3);
+        assert_eq!(rm.rank(&[0, 1]), 4);
+        assert_eq!(rm.rank(&[3, 3]), 15);
+        assert_bijection(&rm);
+    }
+
+    #[test]
+    fn column_major_swaps_axes() {
+        let cm = NestedLoops::row_major(vec![4, 4], &[1, 0]);
+        assert_eq!(cm.rank(&[0, 1]), 1);
+        assert_eq!(cm.rank(&[1, 0]), 4);
+        assert_bijection(&cm);
+    }
+
+    #[test]
+    fn boustrophedon_is_grid_adjacent() {
+        for extents in [vec![4, 4], vec![3, 5], vec![2, 3, 4]] {
+            let order: Vec<usize> = (0..extents.len()).collect();
+            let s = NestedLoops::boustrophedon(extents, &order);
+            assert_bijection(&s);
+            assert_grid_adjacent(&s);
+        }
+    }
+
+    #[test]
+    fn snake_2x2_order() {
+        let s = NestedLoops::boustrophedon(vec![2, 2], &[0, 1]);
+        let cells: Vec<Vec<u64>> = (0..4).map(|r| s.coords_vec(r)).collect();
+        assert_eq!(
+            cells,
+            vec![vec![0, 0], vec![1, 0], vec![1, 1], vec![0, 1]]
+        );
+    }
+
+    #[test]
+    fn multi_level_loops_bijective() {
+        // 8x4 grid, dimension 0 split into 3 binary loops, dim 1 into 2,
+        // interleaved — a lattice-path-style loop stack.
+        let loops = vec![
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 1, radix: 2 },
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 1, radix: 2 },
+            Loop { dim: 0, radix: 2 },
+        ];
+        for snaked in [false, true] {
+            let c = NestedLoops::new(vec![8, 4], loops.clone(), snaked);
+            assert_bijection(&c);
+        }
+    }
+
+    #[test]
+    fn odd_radix_snake_is_bijective_and_adjacent() {
+        let s = NestedLoops::boustrophedon(vec![3, 3, 3], &[0, 1, 2]);
+        assert_bijection(&s);
+        assert_grid_adjacent(&s);
+    }
+
+    #[test]
+    fn snaked_multi_level_visits_blocks_contiguously() {
+        // With loops (A1, B1, A2, B2) over a 4x4 grid, the first 4 ranks
+        // must cover one 2x2 block even when snaked.
+        let loops = vec![
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 1, radix: 2 },
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 1, radix: 2 },
+        ];
+        let c = NestedLoops::new(vec![4, 4], loops, true);
+        let mut first_block: Vec<Vec<u64>> = (0..4).map(|r| c.coords_vec(r)).collect();
+        first_block.sort();
+        assert_eq!(
+            first_block,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+        assert_bijection(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "radixes must multiply")]
+    fn rejects_mismatched_radixes() {
+        NestedLoops::new(vec![4, 4], vec![Loop { dim: 0, radix: 4 }], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_bad_order() {
+        NestedLoops::row_major(vec![2, 2], &[0, 0]);
+    }
+
+    #[test]
+    fn singleton_loops_allowed() {
+        // Radix-1 loops arise from dummy levels of unbalanced hierarchies.
+        let loops = vec![
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 0, radix: 1 },
+            Loop { dim: 1, radix: 3 },
+        ];
+        let c = NestedLoops::new(vec![2, 3], loops, true);
+        assert_bijection(&c);
+    }
+}

@@ -1,0 +1,195 @@
+//! The Peano curve — the original 1890 space-filling curve, as another
+//! non-diagonal baseline alongside Hilbert.
+//!
+//! Uses Peano's digit construction: write the rank in base 3 as
+//! `t_0 t_1 ... t_{2n-1}` (most significant first, alternating x and y
+//! positions); the `i`-th x digit is `t_{2i}` complemented (`d ↦ 2 - d`)
+//! when the sum of the *raw* y digits before it is odd, and the `i`-th y
+//! digit is `t_{2i+1}` complemented when the sum of the raw x digits up to
+//! and including position `i` is odd. Consecutive ranks always differ by a
+//! unit grid step.
+//!
+//! (A tempting alternative — the snaked ternary lattice path — is *not*
+//! the Peano curve: snaked lattice paths take single non-unit jumps at
+//! higher-level transitions, trading grid adjacency for hierarchy
+//! alignment; see `snakes_core::snake`.)
+
+use crate::Linearization;
+
+/// A 2-D Peano curve over a `3^n x 3^n` grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeanoCurve {
+    n: usize,
+    extents: Vec<u64>,
+}
+
+/// Complements a ternary digit when `parity` is odd.
+#[inline]
+fn k(digit: u64, parity: u64) -> u64 {
+    if parity % 2 == 1 {
+        2 - digit
+    } else {
+        digit
+    }
+}
+
+impl PeanoCurve {
+    /// Builds the `3^n × 3^n` Peano curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the grid exceeds `u64` rank space.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one ternary level");
+        let side = 3u64
+            .checked_pow(n as u32)
+            .expect("grid too large for u64 ranks");
+        side.checked_mul(side).expect("grid too large for u64 ranks");
+        Self {
+            n,
+            extents: vec![side, side],
+        }
+    }
+}
+
+impl Linearization for PeanoCurve {
+    fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    fn rank(&self, coords: &[u64]) -> u64 {
+        debug_assert_eq!(coords.len(), 2);
+        let n = self.n;
+        // Ternary digits of x and y, most significant first.
+        let digits = |mut v: u64| -> Vec<u64> {
+            let mut d = vec![0u64; n];
+            for i in (0..n).rev() {
+                d[i] = v % 3;
+                v /= 3;
+            }
+            d
+        };
+        let xd = digits(coords[0]);
+        let yd = digits(coords[1]);
+        // Reconstruct raw rank digits sequentially (k is an involution for
+        // a fixed parity).
+        let mut sx = 0u64;
+        let mut sy = 0u64;
+        let mut rank = 0u64;
+        for i in 0..n {
+            let tx = k(xd[i], sy);
+            sx += tx;
+            let ty = k(yd[i], sx);
+            sy += ty;
+            rank = rank * 3 + tx;
+            rank = rank * 3 + ty;
+        }
+        rank
+    }
+
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), 2);
+        debug_assert!(rank < self.num_cells(), "rank out of range");
+        let n = self.n;
+        // Raw base-3 digits of the rank, most significant first.
+        let mut t = vec![0u64; 2 * n];
+        let mut v = rank;
+        for i in (0..2 * n).rev() {
+            t[i] = v % 3;
+            v /= 3;
+        }
+        let mut sx = 0u64;
+        let mut sy = 0u64;
+        let mut x = 0u64;
+        let mut y = 0u64;
+        for i in 0..n {
+            let tx = t[2 * i];
+            let ty = t[2 * i + 1];
+            x = x * 3 + k(tx, sy);
+            sx += tx;
+            y = y * 3 + k(ty, sx);
+            sy += ty;
+        }
+        out[0] = x;
+        out[1] = y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{assert_bijection, assert_grid_adjacent};
+
+    #[test]
+    fn peano_3x3_is_the_classic_vertical_serpentine() {
+        let p = PeanoCurve::new(1);
+        let cells: Vec<Vec<u64>> = (0..9).map(|r| p.coords_vec(r)).collect();
+        assert_eq!(
+            cells,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![1, 1],
+                vec![1, 0],
+                vec![2, 0],
+                vec![2, 1],
+                vec![2, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn peano_is_bijective_and_grid_adjacent() {
+        for n in 1..=4 {
+            let p = PeanoCurve::new(n);
+            assert_bijection(&p);
+            assert_grid_adjacent(&p);
+        }
+    }
+
+    #[test]
+    fn peano_starts_and_ends_at_corners() {
+        for n in 1..=3 {
+            let p = PeanoCurve::new(n);
+            let side = 3u64.pow(n as u32);
+            assert_eq!(p.coords_vec(0), vec![0, 0]);
+            // The Peano curve ends at the opposite corner.
+            assert_eq!(p.coords_vec(side * side - 1), vec![side - 1, side - 1]);
+        }
+    }
+
+    #[test]
+    fn peano_self_similarity() {
+        // The first 9^{n-1} cells of the level-n curve fill one 3x3-scaled
+        // sub-square.
+        let p = PeanoCurve::new(3);
+        let sub = 9u64.pow(2);
+        let side = 9u64;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..sub {
+            let c = p.coords_vec(r);
+            assert!(c[0] < side && c[1] < side, "rank {r} left the sub-square");
+            seen.insert(c);
+        }
+        assert_eq!(seen.len() as u64, sub);
+    }
+
+    #[test]
+    fn peano_has_no_diagonal_edges_and_prices_like_its_cv() {
+        // Peano on a ternary 2-level schema: the CV machinery prices it
+        // exactly (cross-check against brute-force fragments).
+        use snakes_core::schema::StarSchema;
+        let schema = StarSchema::square(3, 2).unwrap(); // 9x9
+        let p = PeanoCurve::new(2);
+        let cv = crate::fragments::cv_of(&schema, &p);
+        assert!(cv.is_non_diagonal());
+        assert_eq!(cv.total_edges(), 80.0);
+        let shape = snakes_core::lattice::LatticeShape::of_schema(&schema);
+        for class in shape.iter() {
+            let bf = crate::fragments::class_average_cost(&schema, &p, &class);
+            assert!((cv.class_cost(&class) - bf).abs() < 1e-9, "class {class}");
+        }
+    }
+}

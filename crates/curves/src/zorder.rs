@@ -1,0 +1,126 @@
+//! The Z-curve (bit interleaving / Morton order) — Orenstein & Merrett
+//! [17], the quadrant-based strategy of the paper's Figure 2(a) family.
+
+use crate::Linearization;
+
+/// Morton / Z-order over a grid whose extents are powers of two (dimensions
+/// may have different sizes; bits are interleaved round-robin starting from
+/// the least significant, skipping exhausted dimensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZOrderCurve {
+    extents: Vec<u64>,
+    bits: Vec<u32>,
+}
+
+impl ZOrderCurve {
+    /// Builds a Z-order curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is not a power of two, or the total bit count
+    /// exceeds 63.
+    pub fn new(extents: Vec<u64>) -> Self {
+        assert!(!extents.is_empty(), "need at least one dimension");
+        let bits: Vec<u32> = extents
+            .iter()
+            .map(|&e| {
+                assert!(e.is_power_of_two(), "extent {e} is not a power of two");
+                e.trailing_zeros()
+            })
+            .collect();
+        assert!(bits.iter().sum::<u32>() <= 63, "grid too large");
+        Self { extents, bits }
+    }
+
+    /// A square 2-D curve of side `2^n` — the paper's toy setting.
+    pub fn square(n: u32) -> Self {
+        Self::new(vec![1 << n, 1 << n])
+    }
+}
+
+impl Linearization for ZOrderCurve {
+    fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    fn rank(&self, coords: &[u64]) -> u64 {
+        debug_assert_eq!(coords.len(), self.extents.len());
+        let mut r = 0u64;
+        let mut out_bit = 0u32;
+        let max_bits = self.bits.iter().copied().max().unwrap_or(0);
+        for level in 0..max_bits {
+            for (d, &b) in self.bits.iter().enumerate() {
+                if level < b {
+                    r |= ((coords[d] >> level) & 1) << out_bit;
+                    out_bit += 1;
+                }
+            }
+        }
+        r
+    }
+
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.extents.len());
+        out.fill(0);
+        let mut in_bit = 0u32;
+        let max_bits = self.bits.iter().copied().max().unwrap_or(0);
+        for level in 0..max_bits {
+            for (d, &b) in self.bits.iter().enumerate() {
+                if level < b {
+                    out[d] |= ((rank >> in_bit) & 1) << level;
+                    in_bit += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_bijection;
+
+    #[test]
+    fn z_order_4x4_first_quadrant() {
+        // Z-order visits the 2x2 quadrant {0,1}^2 in ranks 0..4.
+        let z = ZOrderCurve::square(2);
+        let mut quad: Vec<Vec<u64>> = (0..4).map(|r| z.coords_vec(r)).collect();
+        quad.sort();
+        assert_eq!(
+            quad,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn z_order_matches_bit_interleave() {
+        let z = ZOrderCurve::square(3);
+        // rank(x, y) interleaves x (even bit positions) and y (odd).
+        assert_eq!(z.rank(&[1, 0]), 0b01);
+        assert_eq!(z.rank(&[0, 1]), 0b10);
+        assert_eq!(z.rank(&[3, 5]), 0b100111);
+        assert_eq!(z.rank(&[7, 7]), 63);
+    }
+
+    #[test]
+    fn bijective_on_assorted_grids() {
+        for extents in [vec![4, 4], vec![8, 2], vec![2, 4, 8], vec![16]] {
+            assert_bijection(&ZOrderCurve::new(extents));
+        }
+    }
+
+    #[test]
+    fn uneven_extents_interleave_low_bits_first() {
+        // 8x2: dim 1 contributes only the first round's bit.
+        let z = ZOrderCurve::new(vec![8, 2]);
+        assert_eq!(z.rank(&[0, 1]), 0b10);
+        assert_eq!(z.rank(&[4, 0]), 0b1000);
+        assert_bijection(&z);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn rejects_non_power_extent() {
+        ZOrderCurve::new(vec![3, 4]);
+    }
+}

@@ -1,0 +1,165 @@
+//! An LRU page cache — an extension beyond the paper, in the spirit of the
+//! caching systems it cites ([19], [2]): good clustering also improves
+//! cache behaviour, because a query touches fewer distinct pages.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A fixed-capacity LRU cache of page numbers.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// page -> last-access sequence number.
+    last_use: HashMap<u64, u64>,
+    /// (page, sequence) in access order; stale entries are skipped lazily.
+    queue: VecDeque<(u64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// A cache holding up to `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            last_use: HashMap::with_capacity(capacity * 2),
+            queue: VecDeque::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses a page; returns `true` on a hit.
+    pub fn access(&mut self, page: u64) -> bool {
+        self.clock += 1;
+        let hit = self.last_use.contains_key(&page);
+        self.last_use.insert(page, self.clock);
+        self.queue.push_back((page, self.clock));
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.evict_if_needed();
+        }
+        hit
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.last_use.len() > self.capacity {
+            let (page, seq) = self.queue.pop_front().expect("queue tracks map");
+            if self.last_use.get(&page) == Some(&seq) {
+                self.last_use.remove(&page);
+            }
+            // Otherwise the entry is stale (page re-accessed later); skip.
+        }
+    }
+
+    /// Pages currently resident.
+    pub fn len(&self) -> usize {
+        self.last_use.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.last_use.is_empty()
+    }
+
+    /// Whether a page is resident (without touching it).
+    pub fn contains(&self, page: u64) -> bool {
+        self.last_use.contains_key(&page)
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1));
+        assert!(!c.access(3)); // evicts 2 (LRU)
+        assert!(!c.access(2));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_order_respects_reuse() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 is now MRU
+        c.access(3); // must evict 2, not 1
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut c = LruCache::new(8);
+        for p in 0..1000u64 {
+            c.access(p % 16);
+        }
+        // Cyclic access over 16 pages thrashes an 8-page LRU: never a hit,
+        // but the resident set stays bounded.
+        assert!(c.len() <= 8);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = LruCache::new(8);
+        for p in 0..600u64 {
+            c.access(p % 6);
+        }
+        assert_eq!(c.misses(), 6);
+        assert_eq!(c.hits(), 594);
+    }
+
+    #[test]
+    fn sequential_scan_has_no_reuse() {
+        let mut c = LruCache::new(4);
+        for p in 0..100 {
+            assert!(!c.access(p));
+        }
+        assert_eq!(c.hit_rate(), 0.0);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        LruCache::new(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-cell record counts of a fact table viewed as a multidimensional
+//! grid. Cells may hold zero or more records (paper §6.1: "each cell in
+//! this data set was populated with zero or more records").
+
+use std::ops::Range;
+
+/// Record counts for every cell of a grid, stored densely in canonical
+/// row-major order (dimension 0 fastest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellData {
+    extents: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CellData {
+    /// An empty grid (all cells hold zero records).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty extent list, a zero extent, or a grid larger than
+    /// memory allows.
+    pub fn empty(extents: Vec<u64>) -> Self {
+        assert!(!extents.is_empty(), "need at least one dimension");
+        assert!(extents.iter().all(|&e| e > 0), "extents must be positive");
+        let n: u64 = extents.iter().product();
+        let n = usize::try_from(n).expect("grid too large");
+        Self {
+            extents,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Builds from a dense canonical-order count vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the cell count.
+    pub fn from_counts(extents: Vec<u64>, counts: Vec<u64>) -> Self {
+        let mut cd = Self::empty(extents);
+        assert_eq!(counts.len(), cd.counts.len(), "one count per cell");
+        cd.total = counts.iter().sum();
+        cd.counts = counts;
+        cd
+    }
+
+    /// Per-dimension extents.
+    pub fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Total records across all cells.
+    pub fn total_records(&self) -> u64 {
+        self.total
+    }
+
+    /// Canonical dense index of a cell (dimension 0 fastest).
+    pub fn index(&self, coords: &[u64]) -> usize {
+        debug_assert_eq!(coords.len(), self.extents.len());
+        let mut idx = 0u64;
+        for d in (0..self.extents.len()).rev() {
+            debug_assert!(coords[d] < self.extents[d], "coordinate out of range");
+            idx = idx * self.extents[d] + coords[d];
+        }
+        idx as usize
+    }
+
+    /// Record count of one cell.
+    pub fn count(&self, coords: &[u64]) -> u64 {
+        self.counts[self.index(coords)]
+    }
+
+    /// Adds records to a cell.
+    pub fn add(&mut self, coords: &[u64], records: u64) {
+        let idx = self.index(coords);
+        self.counts[idx] += records;
+        self.total += records;
+    }
+
+    /// Total records inside an axis-aligned subgrid.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on out-of-range ranges.
+    pub fn records_in(&self, ranges: &[Range<u64>]) -> u64 {
+        debug_assert_eq!(ranges.len(), self.extents.len());
+        let mut total = 0;
+        let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
+        if ranges.iter().any(|r| r.start >= r.end) {
+            return 0;
+        }
+        loop {
+            total += self.counts[self.index(&coords)];
+            let mut d = 0;
+            loop {
+                if d == coords.len() {
+                    return total;
+                }
+                coords[d] += 1;
+                if coords[d] < ranges[d].end {
+                    break;
+                }
+                coords[d] = ranges[d].start;
+                d += 1;
+            }
+        }
+    }
+
+    /// Iterates `(canonical index, count)` for non-empty cells.
+    pub fn non_empty(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major_dimension_0_fastest() {
+        let cd = CellData::empty(vec![4, 3]);
+        assert_eq!(cd.index(&[0, 0]), 0);
+        assert_eq!(cd.index(&[1, 0]), 1);
+        assert_eq!(cd.index(&[0, 1]), 4);
+        assert_eq!(cd.index(&[3, 2]), 11);
+        assert_eq!(cd.num_cells(), 12);
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut cd = CellData::empty(vec![2, 2]);
+        cd.add(&[1, 0], 3);
+        cd.add(&[1, 0], 2);
+        cd.add(&[0, 1], 7);
+        assert_eq!(cd.count(&[1, 0]), 5);
+        assert_eq!(cd.count(&[0, 0]), 0);
+        assert_eq!(cd.total_records(), 12);
+        let non_empty: Vec<_> = cd.non_empty().collect();
+        assert_eq!(non_empty, vec![(1, 5), (2, 7)]);
+    }
+
+    #[test]
+    fn records_in_subgrid() {
+        let mut cd = CellData::empty(vec![4, 4]);
+        for x in 0..4 {
+            for y in 0..4 {
+                cd.add(&[x, y], x + 10 * y);
+            }
+        }
+        assert_eq!(cd.records_in(&[0..4, 0..4]), cd.total_records());
+        assert_eq!(cd.records_in(&[0..2, 0..1]), 1);
+        assert_eq!(cd.records_in(&[2..4, 3..4]), 2 + 30 + 3 + 30);
+        assert_eq!(cd.records_in(&[0..0, 0..4]), 0);
+    }
+
+    #[test]
+    fn from_counts_roundtrip() {
+        let counts: Vec<u64> = (0..6).collect();
+        let cd = CellData::from_counts(vec![3, 2], counts.clone());
+        assert_eq!(cd.total_records(), 15);
+        assert_eq!(cd.count(&[2, 1]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per cell")]
+    fn from_counts_validates_len() {
+        CellData::from_counts(vec![2, 2], vec![1, 2, 3]);
+    }
+}

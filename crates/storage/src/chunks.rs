@@ -1,0 +1,289 @@
+//! Chunked file organization (Deshpande et al. [2]) with pluggable chunk
+//! ordering — the application the paper's §7 proposes: "[2] always chooses
+//! a row-major ordering to obtain a linearization of chunks. Our
+//! algorithms and results can be applied in a straightforward fashion to
+//! improve the performance of the chunked file organization."
+//!
+//! Chunks partition the grid along hierarchy boundaries (a *chunk class*
+//! fixes the level per dimension). Chunks are the unit of caching; on a
+//! miss, chunks are fetched from disk, and fetching consecutive chunks *in
+//! the chunk ordering* costs one seek. Ordering the chunks by a snaked
+//! optimal lattice path instead of row-major reduces those seeks for the
+//! same cache behaviour.
+
+use crate::cache::LruCache;
+use snakes_curves::Linearization;
+use std::ops::Range;
+
+/// The chunking of a grid: how many cells each chunk spans per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMap {
+    cell_extents: Vec<u64>,
+    chunk_size: Vec<u64>,
+    chunk_extents: Vec<u64>,
+}
+
+impl ChunkMap {
+    /// Builds a chunk map. `chunk_size[d]` cells per chunk in dimension
+    /// `d`; must divide the extent (hierarchy-aligned chunks always do).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, a zero size, or non-divisibility.
+    pub fn new(cell_extents: Vec<u64>, chunk_size: Vec<u64>) -> Self {
+        assert_eq!(cell_extents.len(), chunk_size.len(), "arity mismatch");
+        let chunk_extents = cell_extents
+            .iter()
+            .zip(&chunk_size)
+            .map(|(&e, &s)| {
+                assert!(s > 0, "chunk size must be positive");
+                assert_eq!(e % s, 0, "chunk size {s} must divide extent {e}");
+                e / s
+            })
+            .collect();
+        Self {
+            cell_extents,
+            chunk_size,
+            chunk_extents,
+        }
+    }
+
+    /// The chunk grid's extents.
+    pub fn chunk_extents(&self) -> &[u64] {
+        &self.chunk_extents
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> u64 {
+        self.chunk_extents.iter().product()
+    }
+
+    /// Cells per chunk.
+    pub fn cells_per_chunk(&self) -> u64 {
+        self.chunk_size.iter().product()
+    }
+
+    /// The chunk coordinate ranges touched by a cell-range query.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on out-of-range queries.
+    pub fn chunks_of_query(&self, ranges: &[Range<u64>]) -> Vec<Range<u64>> {
+        debug_assert_eq!(ranges.len(), self.cell_extents.len());
+        ranges
+            .iter()
+            .zip(&self.chunk_size)
+            .map(|(r, &s)| {
+                debug_assert!(r.start < r.end);
+                (r.start / s)..((r.end - 1) / s + 1)
+            })
+            .collect()
+    }
+}
+
+/// Per-query cost of a chunked store access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkQueryCost {
+    /// Chunks the query touches.
+    pub chunks: u64,
+    /// Chunks that had to be fetched from disk (cache misses).
+    pub fetched: u64,
+    /// Disk seeks: maximal runs of *consecutively ordered* fetched chunks.
+    pub seeks: u64,
+}
+
+/// A chunk cache in front of an ordered chunk store.
+///
+/// ```
+/// use snakes_curves::NestedLoops;
+/// use snakes_storage::{ChunkMap, ChunkedStore};
+///
+/// // 8x8 cells, 2x2 chunks, chunk order = column-friendly snake.
+/// let map = ChunkMap::new(vec![8, 8], vec![2, 2]);
+/// let order = NestedLoops::boustrophedon(vec![4, 4], &[1, 0]);
+/// let mut store = ChunkedStore::new(map, order, 8);
+/// let cost = store.run_query(&[0..2, 0..8]); // one chunk column, cold
+/// assert_eq!(cost.chunks, 4);
+/// assert_eq!(cost.fetched, 4);
+/// assert_eq!(cost.seeks, 1); // contiguous in this chunk order
+/// ```
+pub struct ChunkedStore<L> {
+    map: ChunkMap,
+    order: L,
+    cache: LruCache,
+    total: ChunkQueryCost,
+}
+
+impl<L: Linearization> ChunkedStore<L> {
+    /// Builds a store; `order` linearizes the *chunk grid* and
+    /// `cache_chunks` is the cache capacity in chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordering's grid differs from the chunk grid.
+    pub fn new(map: ChunkMap, order: L, cache_chunks: usize) -> Self {
+        assert_eq!(
+            order.extents(),
+            map.chunk_extents(),
+            "ordering must linearize the chunk grid"
+        );
+        Self {
+            map,
+            order,
+            cache: LruCache::new(cache_chunks),
+            total: ChunkQueryCost {
+                chunks: 0,
+                fetched: 0,
+                seeks: 0,
+            },
+        }
+    }
+
+    /// The chunk map.
+    pub fn map(&self) -> &ChunkMap {
+        &self.map
+    }
+
+    /// Runs one cell-range query through the cache; fetches misses in chunk
+    /// order and counts seeks.
+    pub fn run_query(&mut self, ranges: &[Range<u64>]) -> ChunkQueryCost {
+        let chunk_ranges = self.map.chunks_of_query(ranges);
+        // Enumerate touched chunk ranks.
+        let mut ranks = Vec::new();
+        let mut coords: Vec<u64> = chunk_ranges.iter().map(|r| r.start).collect();
+        'outer: loop {
+            ranks.push(self.order.rank(&coords));
+            let mut d = 0;
+            loop {
+                if d == coords.len() {
+                    break 'outer;
+                }
+                coords[d] += 1;
+                if coords[d] < chunk_ranges[d].end {
+                    break;
+                }
+                coords[d] = chunk_ranges[d].start;
+                d += 1;
+            }
+        }
+        ranks.sort_unstable();
+        let mut fetched = 0u64;
+        let mut seeks = 0u64;
+        let mut last_fetched: Option<u64> = None;
+        for &r in &ranks {
+            if !self.cache.access(r) {
+                fetched += 1;
+                if last_fetched != Some(r.wrapping_sub(1)) {
+                    seeks += 1;
+                }
+                last_fetched = Some(r);
+            }
+        }
+        let cost = ChunkQueryCost {
+            chunks: ranks.len() as u64,
+            fetched,
+            seeks,
+        };
+        self.total.chunks += cost.chunks;
+        self.total.fetched += cost.fetched;
+        self.total.seeks += cost.seeks;
+        cost
+    }
+
+    /// Totals across all queries so far.
+    pub fn totals(&self) -> ChunkQueryCost {
+        self.total
+    }
+
+    /// Cache hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snakes_curves::NestedLoops;
+
+    fn map_4x4_by_2() -> ChunkMap {
+        ChunkMap::new(vec![8, 8], vec![2, 2])
+    }
+
+    #[test]
+    fn chunk_geometry() {
+        let m = map_4x4_by_2();
+        assert_eq!(m.chunk_extents(), &[4, 4]);
+        assert_eq!(m.num_chunks(), 16);
+        assert_eq!(m.cells_per_chunk(), 4);
+    }
+
+    #[test]
+    fn query_to_chunk_ranges() {
+        let m = map_4x4_by_2();
+        assert_eq!(m.chunks_of_query(&[0..2, 0..2]), vec![0..1, 0..1]);
+        assert_eq!(m.chunks_of_query(&[1..3, 0..8]), vec![0..2, 0..4]);
+        assert_eq!(m.chunks_of_query(&[7..8, 5..6]), vec![3..4, 2..3]);
+    }
+
+    #[test]
+    fn cold_fetches_count_seeks_by_order_adjacency() {
+        let m = map_4x4_by_2();
+        // Row-major chunk order, column query (one chunk column = 4 chunks,
+        // strided by 4 in rank space): 4 seeks cold.
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let mut store = ChunkedStore::new(m.clone(), rm, 16);
+        let c = store.run_query(&[0..2, 0..8]);
+        assert_eq!(c.chunks, 4);
+        assert_eq!(c.fetched, 4);
+        assert_eq!(c.seeks, 4);
+        // Column-major chunk order: the same query is one contiguous run.
+        let cm = NestedLoops::row_major(vec![4, 4], &[1, 0]);
+        let mut store = ChunkedStore::new(m, cm, 16);
+        let c = store.run_query(&[0..2, 0..8]);
+        assert_eq!(c.seeks, 1);
+    }
+
+    #[test]
+    fn warm_cache_fetches_nothing() {
+        let m = map_4x4_by_2();
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let mut store = ChunkedStore::new(m, rm, 16);
+        store.run_query(&[0..8, 0..8]);
+        let c = store.run_query(&[2..6, 2..6]);
+        assert_eq!(c.fetched, 0);
+        assert_eq!(c.seeks, 0);
+        assert!(store.hit_rate() > 0.0);
+        assert_eq!(store.totals().fetched, 16);
+    }
+
+    #[test]
+    fn snaked_chunk_order_beats_row_major_on_column_stream() {
+        // The §7 claim in miniature: a stream of column queries against a
+        // small cache. Chunk ordering by the column-friendly snake needs
+        // far fewer seeks than row-major, with the identical cache.
+        let queries: Vec<Vec<std::ops::Range<u64>>> = (0..8)
+            .map(|x| vec![x..x + 1, 0..8])
+            .collect();
+        let run = |order: NestedLoops| {
+            let mut store = ChunkedStore::new(map_4x4_by_2(), order, 4);
+            let mut seeks = 0;
+            for q in &queries {
+                seeks += store.run_query(q).seeks;
+            }
+            seeks
+        };
+        let row_major_seeks = run(NestedLoops::row_major(vec![4, 4], &[0, 1]));
+        let snaked_col_seeks = run(NestedLoops::boustrophedon(vec![4, 4], &[1, 0]));
+        assert!(
+            snaked_col_seeks * 2 <= row_major_seeks,
+            "snaked {snaked_col_seeks} vs row-major {row_major_seeks}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_misaligned_chunks() {
+        ChunkMap::new(vec![8, 8], vec![3, 2]);
+    }
+}

@@ -1,0 +1,125 @@
+//! A simple analytic disk latency model and thread-safe I/O accounting.
+//!
+//! The paper optimizes seeks (non-sequential accesses) and reports blocks
+//! read; this module turns those counts into wall-clock estimates for a
+//! configurable device, and accumulates totals across queries — including
+//! from parallel sweeps (the accumulator is internally synchronized).
+
+use crate::exec::QueryCost;
+use parking_lot::Mutex;
+
+/// Seek/transfer latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Cost of one seek (positioning), in milliseconds.
+    pub seek_ms: f64,
+    /// Cost of transferring one page, in milliseconds.
+    pub transfer_ms_per_page: f64,
+}
+
+impl DiskModel {
+    /// A late-90s commodity disk, in the spirit of the paper's era: ~10 ms
+    /// seek, ~0.8 ms to transfer an 8 KB page (~10 MB/s).
+    pub const HDD_1999: DiskModel = DiskModel {
+        seek_ms: 10.0,
+        transfer_ms_per_page: 0.8,
+    };
+
+    /// A modern NVMe-ish device where seeks are nearly free — useful to
+    /// show when clustering stops mattering.
+    pub const NVME: DiskModel = DiskModel {
+        seek_ms: 0.02,
+        transfer_ms_per_page: 0.005,
+    };
+
+    /// Estimated latency of a query, in milliseconds.
+    pub fn query_ms(&self, cost: &QueryCost) -> f64 {
+        cost.seeks as f64 * self.seek_ms + cost.blocks as f64 * self.transfer_ms_per_page
+    }
+}
+
+/// Thread-safe accumulator of I/O counts.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    inner: Mutex<IoTotals>,
+}
+
+/// Accumulated totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoTotals {
+    /// Queries recorded.
+    pub queries: u64,
+    /// Total seeks.
+    pub seeks: u64,
+    /// Total blocks read.
+    pub blocks: u64,
+    /// Total records returned.
+    pub records: u64,
+}
+
+impl IoStats {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed query.
+    pub fn record(&self, cost: &QueryCost) {
+        let mut t = self.inner.lock();
+        t.queries += 1;
+        t.seeks += cost.seeks;
+        t.blocks += cost.blocks;
+        t.records += cost.records;
+    }
+
+    /// A snapshot of the totals.
+    pub fn totals(&self) -> IoTotals {
+        *self.inner.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(seeks: u64, blocks: u64) -> QueryCost {
+        QueryCost {
+            seeks,
+            blocks,
+            min_blocks: blocks,
+            records: blocks * 10,
+        }
+    }
+
+    #[test]
+    fn latency_model() {
+        let d = DiskModel {
+            seek_ms: 10.0,
+            transfer_ms_per_page: 1.0,
+        };
+        assert!((d.query_ms(&cost(3, 5)) - 35.0).abs() < 1e-12);
+        // Seek-dominated devices reward clustering.
+        let scattered = d.query_ms(&cost(10, 10));
+        let clustered = d.query_ms(&cost(1, 10));
+        assert!(scattered / clustered > 5.0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_threads() {
+        let stats = IoStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        stats.record(&cost(2, 3));
+                    }
+                });
+            }
+        });
+        let t = stats.totals();
+        assert_eq!(t.queries, 400);
+        assert_eq!(t.seeks, 800);
+        assert_eq!(t.blocks, 1200);
+        assert_eq!(t.records, 12000);
+    }
+}

@@ -1,0 +1,358 @@
+//! Grid-query execution over a packed layout: seeks, blocks read, and the
+//! paper's normalized metrics (§6.1), per query, per class, and per
+//! workload.
+
+use crate::layout::PackedLayout;
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::Workload;
+use snakes_curves::Linearization;
+use std::ops::Range;
+
+/// The I/O cost of one grid query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Maximal runs of consecutive pages read (1 under perfect clustering).
+    pub seeks: u64,
+    /// Distinct pages read.
+    pub blocks: u64,
+    /// Pages a perfect clustering would read: `ceil(bytes / page_size)`.
+    pub min_blocks: u64,
+    /// Records selected.
+    pub records: u64,
+}
+
+impl QueryCost {
+    /// Blocks read normalized by the perfect-clustering minimum (the
+    /// paper's headline metric). `None` for empty queries (0/0).
+    pub fn normalized_blocks(&self) -> Option<f64> {
+        if self.min_blocks == 0 {
+            None
+        } else {
+            Some(self.blocks as f64 / self.min_blocks as f64)
+        }
+    }
+}
+
+/// Executes one grid query (an axis-aligned cell range per dimension).
+///
+/// # Panics
+///
+/// Panics if the layout's grid differs from the linearization's, or a range
+/// is out of bounds.
+pub fn query_cost(
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    ranges: &[Range<u64>],
+) -> QueryCost {
+    assert_eq!(
+        lin.extents(),
+        layout.extents(),
+        "layout and linearization must agree"
+    );
+    assert_eq!(ranges.len(), lin.extents().len(), "one range per dimension");
+    for (r, &e) in ranges.iter().zip(lin.extents()) {
+        assert!(r.start < r.end && r.end <= e, "bad range {r:?} (extent {e})");
+    }
+    // Gather the page intervals of every non-empty selected cell.
+    let mut intervals: Vec<(u64, u64)> = Vec::new();
+    let mut records = 0u64;
+    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
+    'outer: loop {
+        let rank = lin.rank(&coords);
+        records += layout.records_at_rank(rank);
+        if let Some(span) = layout.page_span(rank) {
+            intervals.push(span);
+        }
+        let mut d = 0;
+        loop {
+            if d == coords.len() {
+                break 'outer;
+            }
+            coords[d] += 1;
+            if coords[d] < ranges[d].end {
+                break;
+            }
+            coords[d] = ranges[d].start;
+            d += 1;
+        }
+    }
+    let (seeks, blocks) = merge_intervals(&mut intervals);
+    QueryCost {
+        seeks,
+        blocks,
+        min_blocks: layout.config().min_pages(records),
+        records,
+    }
+}
+
+/// Merges inclusive page intervals; returns (number of maximal runs,
+/// distinct pages). Adjacent pages (`end + 1 == next start`) read
+/// sequentially, so they belong to one run.
+fn merge_intervals(intervals: &mut [(u64, u64)]) -> (u64, u64) {
+    if intervals.is_empty() {
+        return (0, 0);
+    }
+    intervals.sort_unstable();
+    let mut runs = 1u64;
+    let mut blocks = 0u64;
+    let (mut cur_start, mut cur_end) = intervals[0];
+    for &(s, e) in intervals[1..].iter() {
+        if s <= cur_end + 1 {
+            cur_end = cur_end.max(e);
+        } else {
+            blocks += cur_end - cur_start + 1;
+            runs += 1;
+            cur_start = s;
+            cur_end = e;
+        }
+    }
+    blocks += cur_end - cur_start + 1;
+    (runs, blocks)
+}
+
+/// Aggregate I/O statistics of one query class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The class measured.
+    pub class: Class,
+    /// Number of queries (aligned subgrids) in the class.
+    pub queries: u64,
+    /// Queries that selected at least one record.
+    pub non_empty_queries: u64,
+    /// Mean seeks per non-empty query.
+    pub avg_seeks: f64,
+    /// Mean normalized blocks per non-empty query.
+    pub avg_normalized_blocks: f64,
+    /// Worst seeks over the class's queries (tail behaviour).
+    pub max_seeks: u64,
+}
+
+/// Measures every query of a class (paper §6.3 averages over non-empty
+/// queries; empty queries read nothing and are excluded from the means).
+///
+/// # Panics
+///
+/// Panics on grid/schema mismatches or an out-of-bounds class.
+pub fn class_stats(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    class: &Class,
+) -> ClassStats {
+    assert_eq!(
+        lin.extents(),
+        schema.grid_shape().as_slice(),
+        "linearization grid must match the schema"
+    );
+    LatticeShape::of_schema(schema)
+        .check(class)
+        .expect("class out of bounds");
+    let k = schema.k();
+    let nodes: Vec<u64> = (0..k)
+        .map(|d| schema.dim(d).nodes_at_level(class.level(d)))
+        .collect();
+    let queries: u64 = nodes.iter().product();
+    let mut non_empty = 0u64;
+    let mut seeks_sum = 0.0;
+    let mut norm_sum = 0.0;
+    let mut max_seeks = 0u64;
+    let mut node = vec![0u64; k];
+    'outer: loop {
+        let ranges: Vec<Range<u64>> = (0..k)
+            .map(|d| schema.dim(d).leaf_range(class.level(d), node[d]))
+            .collect();
+        let cost = query_cost(lin, layout, &ranges);
+        if let Some(nb) = cost.normalized_blocks() {
+            non_empty += 1;
+            seeks_sum += cost.seeks as f64;
+            norm_sum += nb;
+            max_seeks = max_seeks.max(cost.seeks);
+        }
+        let mut d = 0;
+        loop {
+            if d == k {
+                break 'outer;
+            }
+            node[d] += 1;
+            if node[d] < nodes[d] {
+                break;
+            }
+            node[d] = 0;
+            d += 1;
+        }
+    }
+    let denom = non_empty.max(1) as f64;
+    ClassStats {
+        class: class.clone(),
+        queries,
+        non_empty_queries: non_empty,
+        avg_seeks: seeks_sum / denom,
+        avg_normalized_blocks: norm_sum / denom,
+        max_seeks,
+    }
+}
+
+/// Workload-level expectations: per-class averages weighted by class
+/// probability — the rows of the paper's Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Expected normalized blocks read per query.
+    pub avg_normalized_blocks: f64,
+    /// Expected seeks per query.
+    pub avg_seeks: f64,
+    /// The per-class measurements.
+    pub per_class: Vec<ClassStats>,
+}
+
+/// Measures a strategy under a workload.
+///
+/// # Panics
+///
+/// As [`class_stats`], plus (debug) a workload lattice mismatch.
+pub fn workload_stats(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    workload: &Workload,
+) -> WorkloadStats {
+    let shape = LatticeShape::of_schema(schema);
+    debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
+    let mut per_class = Vec::new();
+    let mut blocks = 0.0;
+    let mut seeks = 0.0;
+    for r in 0..shape.num_classes() {
+        let p = workload.prob_by_rank(r);
+        if p == 0.0 {
+            continue;
+        }
+        let stats = class_stats(schema, lin, layout, &shape.unrank(r));
+        blocks += p * stats.avg_normalized_blocks;
+        seeks += p * stats.avg_seeks;
+        per_class.push(stats);
+    }
+    WorkloadStats {
+        avg_normalized_blocks: blocks,
+        avg_seeks: seeks,
+        per_class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellData;
+    use crate::layout::StorageConfig;
+    use snakes_core::schema::StarSchema;
+    use snakes_curves::NestedLoops;
+
+    fn tiny_config() -> StorageConfig {
+        StorageConfig {
+            page_size: 500,
+            record_size: 125,
+        } // 4 records per page
+    }
+
+    /// 4x4 grid, 4 records per cell, 4 records per page: each cell is
+    /// exactly one page, so page-level behaviour mirrors cell-level
+    /// fragments exactly.
+    fn one_cell_per_page() -> (StarSchema, NestedLoops, PackedLayout) {
+        let schema = StarSchema::paper_toy();
+        let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let cells = CellData::from_counts(vec![4, 4], vec![4; 16]);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        (schema, lin, layout)
+    }
+
+    #[test]
+    fn query_cost_counts_seeks_and_blocks() {
+        let (_, lin, layout) = one_cell_per_page();
+        // A dim-1 line at fixed dim 0: 4 cells on pages 0, 4, 8, 12.
+        let c = query_cost(&lin, &layout, &[0..1, 0..4]);
+        assert_eq!(c.seeks, 4);
+        assert_eq!(c.blocks, 4);
+        assert_eq!(c.records, 16);
+        assert_eq!(c.min_blocks, 4);
+        assert_eq!(c.normalized_blocks(), Some(1.0));
+        // A dim-0 line: pages 0..3 consecutive -> one seek.
+        let c = query_cost(&lin, &layout, &[0..4, 0..1]);
+        assert_eq!(c.seeks, 1);
+        assert_eq!(c.blocks, 4);
+    }
+
+    #[test]
+    fn empty_query_reads_nothing() {
+        let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let mut cells = CellData::empty(vec![4, 4]);
+        cells.add(&[0, 0], 10);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        let c = query_cost(&lin, &layout, &[2..4, 2..4]);
+        assert_eq!(c.seeks, 0);
+        assert_eq!(c.blocks, 0);
+        assert_eq!(c.records, 0);
+        assert_eq!(c.normalized_blocks(), None);
+    }
+
+    #[test]
+    fn overlapping_cell_pages_counted_once() {
+        // Two consecutive cells share a page: blocks must not double-count.
+        let lin = NestedLoops::row_major(vec![4], &[0]);
+        let cells = CellData::from_counts(vec![4], vec![2, 2, 2, 2]);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        // Cells 0 and 1 share page 0.
+        let c = query_cost(&lin, &layout, &[0..2]);
+        assert_eq!(c.blocks, 1);
+        assert_eq!(c.seeks, 1);
+    }
+
+    #[test]
+    fn class_stats_match_fragments_when_cells_are_pages() {
+        let (schema, lin, layout) = one_cell_per_page();
+        // Class (2,0): column queries; row-major with dim 0 fast means a
+        // full dim-1 sweep at fixed dim-0 range... class (2,0) fixes dim 1
+        // at leaves and spans dim 0 fully: cells are contiguous -> 1 seek.
+        let s = class_stats(&schema, &lin, &layout, &Class(vec![2, 0]));
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.non_empty_queries, 4);
+        assert!((s.avg_seeks - 1.0).abs() < 1e-12);
+        assert!((s.avg_normalized_blocks - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_seeks, 1);
+        // Class (0,2) spans dim 1 at fixed dim-0 leaf: 4 separate pages.
+        let s = class_stats(&schema, &lin, &layout, &Class(vec![0, 2]));
+        assert!((s.avg_seeks - 4.0).abs() < 1e-12);
+        assert!((s.avg_normalized_blocks - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_seeks, 4);
+    }
+
+    #[test]
+    fn workload_stats_weight_by_probability() {
+        let (schema, lin, layout) = one_cell_per_page();
+        let shape = LatticeShape::of_schema(&schema);
+        let w = Workload::uniform_over(
+            shape,
+            &[Class(vec![2, 0]), Class(vec![0, 2])],
+        )
+        .unwrap();
+        let stats = workload_stats(&schema, &lin, &layout, &w);
+        // Mean of 1 seek and 4 seeks.
+        assert!((stats.avg_seeks - 2.5).abs() < 1e-12);
+        assert_eq!(stats.per_class.len(), 2);
+    }
+
+    #[test]
+    fn merge_intervals_handles_adjacency_and_overlap() {
+        let mut iv = vec![(0, 1), (2, 3), (7, 9), (8, 10)];
+        assert_eq!(merge_intervals(&mut iv), (2, 8));
+        let mut iv = vec![(5, 5)];
+        assert_eq!(merge_intervals(&mut iv), (1, 1));
+        let mut iv: Vec<(u64, u64)> = vec![];
+        assert_eq!(merge_intervals(&mut iv), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn query_cost_rejects_bad_ranges() {
+        let (_, lin, layout) = one_cell_per_page();
+        query_cost(&lin, &layout, &[0..1, 3..3]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Packing a grid's records into pages along a linearization (paper §6.1:
+//! "Once we chose a linearization (i.e., clustering) order, we packed the
+//! data along that linear order, splitting cells (but not records) across
+//! page boundaries").
+
+use crate::cells::CellData;
+use snakes_curves::Linearization;
+
+/// Page and record geometry. The paper uses 8 KB pages and ~125-byte
+/// records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Record size in bytes; records never straddle pages.
+    pub record_size: u64,
+}
+
+impl StorageConfig {
+    /// The paper's configuration: 8192-byte pages, 125-byte records.
+    pub const PAPER: StorageConfig = StorageConfig {
+        page_size: 8192,
+        record_size: 125,
+    };
+
+    /// Records that fit in one page.
+    pub fn records_per_page(&self) -> u64 {
+        assert!(
+            self.record_size > 0 && self.page_size >= self.record_size,
+            "page must hold at least one record"
+        );
+        self.page_size / self.record_size
+    }
+
+    /// Minimum pages needed to hold `records` under perfect clustering:
+    /// `ceil(bytes / page_size)` (paper §6.1's normalization denominator).
+    pub fn min_pages(&self, records: u64) -> u64 {
+        let bytes = records * self.record_size;
+        bytes.div_ceil(self.page_size)
+    }
+}
+
+/// A fact table packed into pages along a linearization: for each cell (by
+/// linearization rank) the span of pages holding its records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLayout {
+    config: StorageConfig,
+    /// `record_start[r]` = index of the first record of the rank-`r` cell
+    /// in the global record sequence; length `num_cells + 1`.
+    record_start: Vec<u64>,
+    extents: Vec<u64>,
+}
+
+impl PackedLayout {
+    /// Packs `cells` along `lin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linearization's grid differs from the cell data's, or
+    /// the page cannot hold a record.
+    pub fn pack(lin: &impl Linearization, cells: &CellData, config: StorageConfig) -> Self {
+        assert_eq!(
+            lin.extents(),
+            cells.extents(),
+            "linearization grid must match the cell data"
+        );
+        let _ = config.records_per_page(); // validate geometry
+        let n = cells.num_cells();
+        let mut record_start = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u64;
+        let mut coords = vec![0u64; cells.extents().len()];
+        for r in 0..n {
+            record_start.push(acc);
+            lin.coords(r, &mut coords);
+            acc += cells.count(&coords);
+        }
+        record_start.push(acc);
+        Self {
+            config,
+            record_start,
+            extents: cells.extents().to_vec(),
+        }
+    }
+
+    /// The storage geometry.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Grid extents.
+    pub fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    /// Total records packed.
+    pub fn total_records(&self) -> u64 {
+        *self.record_start.last().expect("non-empty")
+    }
+
+    /// Total pages used.
+    pub fn total_pages(&self) -> u64 {
+        let rpp = self.config.records_per_page();
+        self.total_records().div_ceil(rpp)
+    }
+
+    /// Record count of the cell at linearization rank `r`.
+    pub fn records_at_rank(&self, r: u64) -> u64 {
+        self.record_start[r as usize + 1] - self.record_start[r as usize]
+    }
+
+    /// Index (in the global packed record sequence) of the first record of
+    /// the cell at rank `r`.
+    pub fn record_start(&self, r: u64) -> u64 {
+        self.record_start[r as usize]
+    }
+
+    /// The inclusive page span `[first, last]` of the cell at rank `r`, or
+    /// `None` when the cell is empty.
+    pub fn page_span(&self, r: u64) -> Option<(u64, u64)> {
+        let start = self.record_start[r as usize];
+        let end = self.record_start[r as usize + 1];
+        if start == end {
+            return None;
+        }
+        let rpp = self.config.records_per_page();
+        Some((start / rpp, (end - 1) / rpp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snakes_curves::NestedLoops;
+
+    fn tiny_config() -> StorageConfig {
+        // 4 records per page.
+        StorageConfig {
+            page_size: 512,
+            record_size: 125,
+        }
+    }
+
+    #[test]
+    fn paper_config_geometry() {
+        let c = StorageConfig::PAPER;
+        assert_eq!(c.records_per_page(), 65);
+        assert_eq!(c.min_pages(0), 0);
+        assert_eq!(c.min_pages(65), 1);
+        assert_eq!(c.min_pages(66), 2);
+        // 66 records * 125 B = 8250 B -> 2 pages of 8192.
+        assert_eq!(c.min_pages(655), 10);
+    }
+
+    #[test]
+    fn pack_uniform_one_record_cells() {
+        let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let cells = CellData::from_counts(vec![4, 4], vec![1; 16]);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        assert_eq!(layout.total_records(), 16);
+        assert_eq!(layout.total_pages(), 4);
+        // Rank 0..3 on page 0, 4..7 on page 1, etc.
+        assert_eq!(layout.page_span(0), Some((0, 0)));
+        assert_eq!(layout.page_span(3), Some((0, 0)));
+        assert_eq!(layout.page_span(4), Some((1, 1)));
+        assert_eq!(layout.page_span(15), Some((3, 3)));
+    }
+
+    #[test]
+    fn cells_split_across_pages_but_not_records() {
+        let lin = NestedLoops::row_major(vec![4], &[0]);
+        // Cell sizes 3, 3, 0, 2 with 4 records/page: cell 1 spans pages 0-1.
+        let cells = CellData::from_counts(vec![4], vec![3, 3, 0, 2]);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        assert_eq!(layout.page_span(0), Some((0, 0)));
+        assert_eq!(layout.page_span(1), Some((0, 1)));
+        assert_eq!(layout.page_span(2), None);
+        assert_eq!(layout.page_span(3), Some((1, 1)));
+        assert_eq!(layout.total_pages(), 2);
+        assert_eq!(layout.records_at_rank(3), 2);
+    }
+
+    #[test]
+    fn pack_respects_linearization_order() {
+        // Column-major packing puts (0,1) right after (0,0).
+        let lin = NestedLoops::row_major(vec![2, 2], &[1, 0]);
+        let mut cells = CellData::empty(vec![2, 2]);
+        cells.add(&[0, 0], 4);
+        cells.add(&[0, 1], 4);
+        cells.add(&[1, 0], 4);
+        cells.add(&[1, 1], 4);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        // Rank order: (0,0), (0,1), (1,0), (1,1).
+        assert_eq!(layout.page_span(0), Some((0, 0)));
+        assert_eq!(layout.page_span(1), Some((1, 1)));
+        assert_eq!(layout.total_pages(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn pack_validates_extents() {
+        let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let cells = CellData::empty(vec![2, 2]);
+        PackedLayout::pack(&lin, &cells, tiny_config());
+    }
+}

@@ -1,0 +1,35 @@
+//! # snakes-storage
+//!
+//! The paper's §6.1 measurement harness as a library: pack fact-table
+//! records into fixed-size pages along a chosen linearization ("splitting
+//! cells (but not records) across page boundaries"), then count, per grid
+//! query, the number of *seeks* (maximal runs of consecutive pages) and
+//! *blocks read* (distinct pages), normalizing blocks by the perfect-
+//! clustering minimum exactly as the paper reports them.
+//!
+//! * [`cells`] — per-cell record counts over a grid;
+//! * [`layout`] — packing a grid into pages along a linearization;
+//! * [`exec`] — grid-query execution and per-class statistics;
+//! * [`file`] — a physical page-structured table file (bulk load + scans);
+//! * [`disk`] — a simple seek/transfer latency model;
+//! * [`cache`] — an LRU page cache (extension beyond the paper);
+//! * [`chunks`] — the chunked organization of Deshpande et al. [2] with
+//!   pluggable chunk ordering (the improvement §7 proposes).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod cells;
+pub mod chunks;
+pub mod disk;
+pub mod exec;
+pub mod file;
+pub mod layout;
+
+pub use cells::CellData;
+pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
+pub use disk::DiskModel;
+pub use exec::{class_stats, workload_stats, ClassStats, QueryCost, WorkloadStats};
+pub use file::TableFile;
+pub use layout::{PackedLayout, StorageConfig};

@@ -1,0 +1,172 @@
+//! Configuration of the synthetic TPC-D experiment (paper §6.1).
+
+use serde::{Deserialize, Serialize};
+use snakes_core::schema::{Hierarchy, StarSchema};
+use snakes_storage::StorageConfig;
+
+/// Parameters of the synthetic TPC-D setup. Defaults are the paper's: "12
+/// months, 7 years, 5 manufacturers supplying an average of 40 parts, and
+/// 10 suppliers", ~125-byte records, 8 KB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpcdConfig {
+    /// Parts per manufacturer (the fanout varied in Tables 5 and 6).
+    pub parts_per_manufacturer: u64,
+    /// Number of manufacturers.
+    pub manufacturers: u64,
+    /// Number of suppliers.
+    pub suppliers: u64,
+    /// Optional supplier grouping: when set, the supplier dimension gains a
+    /// nation level (`suppliers` per nation × `supplier_nations` nations),
+    /// matching the Q5/Q9 narrative ("selected by (supplier) nation /
+    /// region"). `None` reproduces §6.1's flat 10-supplier dimension.
+    #[serde(default)]
+    pub supplier_nations: Option<u64>,
+    /// Months per year (12).
+    pub months_per_year: u64,
+    /// Number of years (7).
+    pub years: u64,
+    /// LineItem records to generate.
+    pub records: u64,
+    /// RNG seed for deterministic generation.
+    pub seed: u64,
+    /// Zipf-style skew per dimension (0 = uniform). Popular parts /
+    /// suppliers / months receive more records.
+    pub skew: f64,
+    /// Record size in bytes (125 in the paper).
+    pub record_size: u64,
+    /// Page size in bytes (8192 in the paper).
+    pub page_size: u64,
+}
+
+impl Default for TpcdConfig {
+    fn default() -> Self {
+        Self {
+            parts_per_manufacturer: 40,
+            manufacturers: 5,
+            suppliers: 10,
+            supplier_nations: None,
+            months_per_year: 12,
+            years: 7,
+            records: 600_000,
+            seed: 0x5EED_5A4D,
+            skew: 0.5,
+            record_size: 125,
+            page_size: 8192,
+        }
+    }
+}
+
+impl TpcdConfig {
+    /// A smaller configuration for fast tests: same shape, fewer parts and
+    /// records.
+    pub fn small() -> Self {
+        Self {
+            parts_per_manufacturer: 4,
+            manufacturers: 5,
+            suppliers: 10,
+            months_per_year: 12,
+            years: 7,
+            records: 30_000,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with a different parts fanout — the Table 5/6
+    /// sweep knob.
+    pub fn with_parts_fanout(mut self, parts_per_manufacturer: u64) -> Self {
+        self.parts_per_manufacturer = parts_per_manufacturer;
+        self
+    }
+
+    /// Adds a nation level to the supplier dimension: `suppliers` becomes
+    /// suppliers *per nation*.
+    pub fn with_supplier_nations(mut self, nations: u64) -> Self {
+        self.supplier_nations = Some(nations);
+        self
+    }
+
+    /// The 3-dimensional star schema: dimension 0 = parts
+    /// (part → manufacturer), 1 = supplier, 2 = time (month → year).
+    pub fn star_schema(&self) -> StarSchema {
+        StarSchema::new(vec![
+            Hierarchy::new(
+                "parts",
+                vec![self.parts_per_manufacturer, self.manufacturers],
+            )
+            .expect("positive fanouts"),
+            match self.supplier_nations {
+                None => Hierarchy::new("supplier", vec![self.suppliers])
+                    .expect("positive fanouts"),
+                Some(nations) => {
+                    Hierarchy::new("supplier", vec![self.suppliers, nations])
+                        .expect("positive fanouts")
+                }
+            },
+            Hierarchy::new("time", vec![self.months_per_year, self.years])
+                .expect("positive fanouts"),
+        ])
+        .expect("non-empty schema")
+    }
+
+    /// The storage geometry.
+    pub fn storage(&self) -> StorageConfig {
+        StorageConfig {
+            page_size: self.page_size,
+            record_size: self.record_size,
+        }
+    }
+
+    /// Total grid cells.
+    pub fn num_cells(&self) -> u64 {
+        self.star_schema().num_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let c = TpcdConfig::default();
+        let s = c.star_schema();
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.grid_shape(), vec![200, 10, 84]);
+        assert_eq!(s.num_cells(), 168_000);
+        // 18 query classes: 3 (parts) x 2 (supplier) x 3 (time).
+        assert_eq!(s.num_classes(), 18);
+        assert_eq!(c.storage().records_per_page(), 65);
+    }
+
+    #[test]
+    fn fanout_sweep_changes_parts_only() {
+        let c = TpcdConfig::default().with_parts_fanout(10);
+        assert_eq!(c.star_schema().grid_shape(), vec![50, 10, 84]);
+        assert_eq!(c.suppliers, 10);
+    }
+
+    #[test]
+    fn supplier_nations_add_a_level() {
+        let c = TpcdConfig {
+            suppliers: 4,
+            ..TpcdConfig::small()
+        }
+        .with_supplier_nations(5);
+        let s = c.star_schema();
+        assert_eq!(s.dim(1).levels(), 2);
+        assert_eq!(s.dim(1).leaf_count(), 20);
+        // 3 x 3 x 3 = 27 classes now.
+        assert_eq!(s.num_classes(), 27);
+        // The workload family grows accordingly and still normalizes.
+        let ws = crate::workloads::tpcd_workloads(&c);
+        assert_eq!(ws.len(), 27);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = TpcdConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TpcdConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic synthetic population of the LineItem grid.
+//!
+//! Each record picks a coordinate per dimension independently, from either
+//! a uniform or a Zipf-like distribution (`skew > 0` concentrates sales on
+//! popular parts/suppliers/months). Cells therefore hold "zero or more
+//! records" exactly as in §6.1, with a seeded ChaCha RNG so every run —
+//! and every strategy compared within a run — sees the same data.
+
+use crate::config::TpcdConfig;
+use rand::distributions::Distribution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snakes_storage::CellData;
+
+/// A discrete distribution over `0..n` with Zipf-style weights
+/// `1 / (i + 1)^skew`, sampled by inverse CDF.
+struct ZipfLike {
+    cdf: Vec<f64>,
+}
+
+impl ZipfLike {
+    fn new(n: u64, skew: f64) -> Self {
+        assert!(n > 0);
+        assert!(skew >= 0.0 && skew.is_finite(), "skew must be >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+}
+
+impl Distribution<u64> for ZipfLike {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Generates the per-cell record counts for a configuration.
+pub fn generate_cells(config: &TpcdConfig) -> CellData {
+    let schema = config.star_schema();
+    let extents = schema.grid_shape();
+    let mut cells = CellData::empty(extents.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let dists: Vec<ZipfLike> = extents
+        .iter()
+        .map(|&e| ZipfLike::new(e, config.skew))
+        .collect();
+    let mut coords = vec![0u64; extents.len()];
+    for _ in 0..config.records {
+        for (d, dist) in dists.iter().enumerate() {
+            coords[d] = dist.sample(&mut rng);
+        }
+        cells.add(&coords, 1);
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = TpcdConfig::small();
+        let a = generate_cells(&c);
+        let b = generate_cells(&c);
+        assert_eq!(a, b);
+        assert_eq!(a.total_records(), c.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = TpcdConfig::small();
+        let mut c2 = c;
+        c2.seed += 1;
+        assert_ne!(generate_cells(&c), generate_cells(&c2));
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let mut c = TpcdConfig::small();
+        c.skew = 0.0;
+        c.records = 80_000;
+        let cells = generate_cells(&c);
+        let n = cells.num_cells() as f64;
+        let mean = c.records as f64 / n;
+        // Chebyshev-ish sanity: cell counts concentrate around the mean.
+        let extents = cells.extents().to_vec();
+        let mut max = 0u64;
+        let mut coords = vec![0u64; extents.len()];
+        let mut total_checked = 0u64;
+        for x in 0..extents[0] {
+            for y in 0..extents[1] {
+                for z in 0..extents[2] {
+                    coords[0] = x;
+                    coords[1] = y;
+                    coords[2] = z;
+                    let cnt = cells.count(&coords);
+                    max = max.max(cnt);
+                    total_checked += cnt;
+                }
+            }
+        }
+        assert_eq!(total_checked, c.records);
+        assert!((max as f64) < mean * 8.0, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_popular_coordinates() {
+        let mut c = TpcdConfig::small();
+        c.skew = 1.2;
+        let cells = generate_cells(&c);
+        // Sum records for part 0 vs the last part across all other coords.
+        let extents = cells.extents().to_vec();
+        let first = cells.records_in(&[0..1, 0..extents[1], 0..extents[2]]);
+        let last = cells.records_in(&[
+            extents[0] - 1..extents[0],
+            0..extents[1],
+            0..extents[2],
+        ]);
+        assert!(
+            first > last * 2,
+            "skewed: part 0 has {first}, last part has {last}"
+        );
+    }
+
+    #[test]
+    fn zipf_like_cdf_is_proper() {
+        let z = ZipfLike::new(10, 0.8);
+        assert_eq!(z.cdf.len(), 10);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(z.cdf.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn some_cells_are_empty_at_paper_scale_density() {
+        // ~30k records over 16.8k cells with skew leaves some cells empty
+        // ("zero or more records").
+        let c = TpcdConfig::small();
+        let cells = generate_cells(&c);
+        let empty = cells.num_cells() - cells.non_empty().count() as u64;
+        assert!(empty > 0, "expected some empty cells");
+    }
+}

@@ -1,0 +1,39 @@
+//! # snakes-tpcd
+//!
+//! The paper's §6 experimental setup, rebuilt as a deterministic synthetic
+//! generator (we do not ship TPC-D's `dbgen`; see DESIGN.md §5 for the
+//! substitution argument):
+//!
+//! * the 3-dimensional star schema over `LineItem` — **parts** (5
+//!   manufacturers × ~40 parts), **supplier** (10 suppliers), **time** (7
+//!   years × 12 months) — with configurable fanouts for the Table 5/6
+//!   sweeps;
+//! * seeded record generation with optional per-dimension skew, ~125-byte
+//!   records, 8 KB pages;
+//! * the §6.2 workload family (3 per-dimension level distributions → 27
+//!   workloads);
+//! * the 7 TPC-D query templates mapped to grid query classes;
+//! * [`sweep`] — the measurement driver producing the rows of Tables 4-6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chunked;
+pub mod config;
+pub mod gen;
+pub mod olap;
+pub mod queries;
+pub mod record;
+pub mod sweep;
+pub mod warehouse;
+pub mod workloads;
+
+pub use chunked::{chunked_comparison, ChunkedRun};
+pub use config::TpcdConfig;
+pub use gen::generate_cells;
+pub use olap::{group_by_sum, GroupByResult, GroupRow};
+pub use queries::{paper_queries, PaperQuery};
+pub use record::LineItem;
+pub use sweep::{evaluate_workload, fanout_sweep, Evaluator, StrategyKind, StrategyResult};
+pub use warehouse::warehouse;
+pub use workloads::{paper_workload_7, tpcd_workloads, NamedWorkload};

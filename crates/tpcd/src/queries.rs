@@ -1,0 +1,188 @@
+//! The TPC-D query templates the paper maps onto grid query classes
+//! (§6.1: "we found that 7 of the 17 different query types defined, used
+//! LineItem as the basic fact table, and could potentially be represented
+//! as a grid query").
+//!
+//! Class vectors are `(parts level, supplier level, time level)` with
+//! levels: parts 0 = part, 1 = manufacturer, 2 = all; supplier 0 =
+//! supplier, 1 = all; time 0 = month, 1 = year, 2 = all. Where the paper
+//! "made slight modifications to the queries as needed to fit [its]
+//! choices of dimension hierarchies", we do the same and say so per query.
+
+use snakes_core::lattice::Class;
+
+/// A TPC-D query template mapped to a grid query class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaperQuery {
+    /// TPC-D query number.
+    pub tpcd_number: u32,
+    /// Short name.
+    pub name: &'static str,
+    /// How the selection maps onto the dimension hierarchies.
+    pub mapping: &'static str,
+    /// The grid query class.
+    pub class: Class,
+}
+
+impl PaperQuery {
+    /// Renders the template as the SQL shape the paper displays (§2 shows
+    /// Q1/Q2 in this style): a selection on the dimension levels plus a
+    /// `group by` when any dimension stays below `ALL`.
+    pub fn to_sql(&self) -> String {
+        let level_col = |d: usize, lvl: usize| -> Option<String> {
+            match (d, lvl) {
+                (0, 0) => Some("parts.part".into()),
+                (0, 1) => Some("parts.manufacturer".into()),
+                (1, 0) => Some("supplier.name".into()),
+                (2, 0) => Some("time.month".into()),
+                (2, 1) => Some("time.year".into()),
+                _ => None, // ALL: no selection
+            }
+        };
+        let mut preds = Vec::new();
+        let mut groups = Vec::new();
+        for (d, &lvl) in self.class.0.iter().enumerate() {
+            if let Some(col) = level_col(d, lvl) {
+                preds.push(format!("{col} = :{}", col.replace('.', "_")));
+                groups.push(col);
+            }
+        }
+        let mut sql = String::from("select sum(l.extendedprice * (1 - l.discount))");
+        if !groups.is_empty() {
+            sql = format!("select {}, sum(l.extendedprice * (1 - l.discount))", groups.join(", "));
+        }
+        sql.push_str("\nfrom lineitem l, parts, supplier, time");
+        sql.push_str(
+            "\nwhere l.partkey = parts.id and l.suppkey = supplier.id and l.shipmonth = time.id",
+        );
+        for p in &preds {
+            sql.push_str(&format!("\n  and {p}"));
+        }
+        if !groups.is_empty() {
+            sql.push_str(&format!("\ngroup by {}", groups.join(", ")));
+        }
+        sql
+    }
+}
+
+/// The seven LineItem-based grid-query templates.
+pub fn paper_queries() -> Vec<PaperQuery> {
+    vec![
+        PaperQuery {
+            tpcd_number: 1,
+            name: "pricing summary",
+            mapping: "shipdate window → month-level time selection; no part \
+                      or supplier selection",
+            class: Class(vec![2, 1, 0]),
+        },
+        PaperQuery {
+            tpcd_number: 5,
+            name: "local supplier volume",
+            mapping: "year and supplier (region folded to supplier level) \
+                      selection; no part selection — the paper's own example",
+            class: Class(vec![2, 0, 1]),
+        },
+        PaperQuery {
+            tpcd_number: 6,
+            name: "forecast revenue change",
+            mapping: "one-year shipdate window → year-level time selection",
+            class: Class(vec![2, 1, 1]),
+        },
+        PaperQuery {
+            tpcd_number: 7,
+            name: "volume shipping",
+            mapping: "supplier (nation folded to supplier) and year selection",
+            class: Class(vec![2, 0, 1]),
+        },
+        PaperQuery {
+            tpcd_number: 9,
+            name: "product type profit",
+            mapping: "supplier nation, year, and part type (folded to \
+                      manufacturer) — the paper's own example",
+            class: Class(vec![1, 0, 1]),
+        },
+        PaperQuery {
+            tpcd_number: 14,
+            name: "promotion effect",
+            mapping: "one-month shipdate window and part selection",
+            class: Class(vec![0, 1, 0]),
+        },
+        PaperQuery {
+            tpcd_number: 15,
+            name: "top supplier",
+            mapping: "three-month shipdate window (month level) per supplier",
+            class: Class(vec![2, 0, 0]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpcdConfig;
+    use snakes_core::lattice::LatticeShape;
+    use snakes_core::stats::WorkloadEstimator;
+
+    #[test]
+    fn seven_queries_all_valid_classes() {
+        let shape = LatticeShape::of_schema(&TpcdConfig::default().star_schema());
+        let qs = paper_queries();
+        assert_eq!(qs.len(), 7);
+        for q in &qs {
+            shape.check(&q.class).expect("valid class");
+        }
+        let numbers: std::collections::HashSet<_> =
+            qs.iter().map(|q| q.tpcd_number).collect();
+        assert_eq!(numbers.len(), 7);
+    }
+
+    #[test]
+    fn q5_and_q9_match_paper_descriptions() {
+        // §6.1: "query 5 needs LineItem records selected by year and
+        // (supplier) region, with no selection on the parts attribute.
+        // Query 9 applies a selection by (supplier) nation, year, and
+        // part-type."
+        let qs = paper_queries();
+        let q5 = qs.iter().find(|q| q.tpcd_number == 5).unwrap();
+        assert_eq!(q5.class, Class(vec![2, 0, 1]));
+        let q9 = qs.iter().find(|q| q.tpcd_number == 9).unwrap();
+        assert_eq!(q9.class, Class(vec![1, 0, 1]));
+    }
+
+    #[test]
+    fn sql_rendering_reflects_the_class() {
+        let qs = paper_queries();
+        let q9 = qs.iter().find(|q| q.tpcd_number == 9).unwrap();
+        let sql = q9.to_sql();
+        // Q9 selects manufacturer, supplier, and year.
+        assert!(sql.contains("parts.manufacturer = :parts_manufacturer"));
+        assert!(sql.contains("supplier.name = :supplier_name"));
+        assert!(sql.contains("time.year = :time_year"));
+        assert!(sql.contains("group by parts.manufacturer, supplier.name, time.year"));
+        // Q6 has no parts or supplier selection predicates (the joins
+        // remain).
+        let q6 = qs.iter().find(|q| q.tpcd_number == 6).unwrap();
+        let sql6 = q6.to_sql();
+        assert!(!sql6.contains("parts.manufacturer ="));
+        assert!(!sql6.contains("parts.part ="));
+        assert!(!sql6.contains("supplier.name ="));
+        assert!(sql6.contains("time.year = :time_year"));
+    }
+
+    #[test]
+    fn templates_feed_the_workload_estimator() {
+        // "We then devised various workloads by altering the proportions of
+        // the different classes of queries in our expected query mix."
+        let shape = LatticeShape::of_schema(&TpcdConfig::default().star_schema());
+        let mut est = WorkloadEstimator::new(shape);
+        for (i, q) in paper_queries().iter().enumerate() {
+            est.observe_many(&q.class, (i as u64 + 1) * 10).unwrap();
+        }
+        let w = est.to_workload().unwrap();
+        let s: f64 = w.probs().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        // Q5 and Q7 share a class; its mass is their combined share.
+        let q5_class = Class(vec![2, 0, 1]);
+        assert!(w.prob(&q5_class) > 0.2);
+    }
+}

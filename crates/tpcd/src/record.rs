@@ -1,0 +1,144 @@
+//! Fixed-width LineItem record payloads (~125 bytes, §6.1: "the typical
+//! size of a record was 125 Bytes").
+//!
+//! The clustering algorithms only need record *counts*; the payloads exist
+//! so the storage path can be exercised end-to-end with real bytes (see the
+//! `tpcd_clustering` example) and to pin the record geometry the paper's
+//! numbers assume.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Size of an encoded [`LineItem`] in bytes.
+pub const RECORD_SIZE: usize = 125;
+
+/// One synthetic LineItem row, dimensionally keyed by (part, supplier,
+/// ship month) — the grid coordinates — plus measure attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineItem {
+    /// Part key (grid coordinate on the parts dimension).
+    pub part: u32,
+    /// Supplier key (grid coordinate on the supplier dimension).
+    pub supplier: u32,
+    /// Ship month index since the epoch year (grid coordinate on time).
+    pub ship_month: u32,
+    /// Order key this line belongs to.
+    pub order_key: u64,
+    /// Line number within the order.
+    pub line_number: u32,
+    /// Quantity sold.
+    pub quantity: f64,
+    /// Extended price.
+    pub extended_price: f64,
+    /// Discount fraction.
+    pub discount: f64,
+    /// Tax fraction.
+    pub tax: f64,
+    /// Free-text comment, truncated/padded to fill the record.
+    pub comment: [u8; 69],
+}
+
+impl LineItem {
+    /// Encodes into exactly [`RECORD_SIZE`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(RECORD_SIZE);
+        buf.put_u32_le(self.part);
+        buf.put_u32_le(self.supplier);
+        buf.put_u32_le(self.ship_month);
+        buf.put_u64_le(self.order_key);
+        buf.put_u32_le(self.line_number);
+        buf.put_f64_le(self.quantity);
+        buf.put_f64_le(self.extended_price);
+        buf.put_f64_le(self.discount);
+        buf.put_f64_le(self.tax);
+        buf.put_slice(&self.comment);
+        debug_assert_eq!(buf.len(), RECORD_SIZE);
+        buf.freeze()
+    }
+
+    /// Decodes from a [`RECORD_SIZE`]-byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`RECORD_SIZE`].
+    pub fn decode(bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= RECORD_SIZE, "record too short");
+        let mut buf = bytes;
+        let part = buf.get_u32_le();
+        let supplier = buf.get_u32_le();
+        let ship_month = buf.get_u32_le();
+        let order_key = buf.get_u64_le();
+        let line_number = buf.get_u32_le();
+        let quantity = buf.get_f64_le();
+        let extended_price = buf.get_f64_le();
+        let discount = buf.get_f64_le();
+        let tax = buf.get_f64_le();
+        let mut comment = [0u8; 69];
+        comment.copy_from_slice(&buf[..69]);
+        Self {
+            part,
+            supplier,
+            ship_month,
+            order_key,
+            line_number,
+            quantity,
+            extended_price,
+            discount,
+            tax,
+            comment,
+        }
+    }
+
+    /// A synthetic record for the given grid coordinates and sequence
+    /// number (deterministic; no RNG needed for payloads).
+    pub fn synthetic(part: u32, supplier: u32, ship_month: u32, seq: u64) -> Self {
+        let mut comment = [b' '; 69];
+        let text = b"synthetic lineitem payload";
+        comment[..text.len()].copy_from_slice(text);
+        Self {
+            part,
+            supplier,
+            ship_month,
+            order_key: seq / 4 + 1,
+            line_number: (seq % 4) as u32 + 1,
+            quantity: (seq % 50) as f64 + 1.0,
+            extended_price: 1000.0 + (seq % 9973) as f64,
+            discount: (seq % 11) as f64 / 100.0,
+            tax: (seq % 9) as f64 / 100.0,
+            comment,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_exactly_125_bytes() {
+        let r = LineItem::synthetic(3, 7, 42, 0);
+        assert_eq!(r.encode().len(), RECORD_SIZE);
+        assert_eq!(RECORD_SIZE, 125);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for seq in [0u64, 1, 17, 9999] {
+            let r = LineItem::synthetic(seq as u32 % 200, 5, 80, seq);
+            let bytes = r.encode();
+            let back = LineItem::decode(&bytes);
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn page_holds_65_records() {
+        // 8192 / 125 = 65 — the paper's geometry.
+        assert_eq!(8192 / RECORD_SIZE, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "record too short")]
+    fn decode_rejects_short_buffers() {
+        LineItem::decode(&[0u8; 10]);
+    }
+}

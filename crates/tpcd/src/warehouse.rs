@@ -1,0 +1,174 @@
+//! The TPC-D star schema with named dimension members, so the §6 setup can
+//! be queried in the paper's own vocabulary ("records shipped in 1994 by
+//! supplier 3 for manufacturer MFR#2").
+
+use crate::config::TpcdConfig;
+use snakes_core::dimension::DimensionTable;
+use snakes_core::query::Warehouse;
+use snakes_core::schema::Hierarchy;
+
+/// Epoch year of the time dimension (TPC-D data spans 1992-1998).
+pub const EPOCH_YEAR: u32 = 1992;
+
+/// Builds the named warehouse for a configuration: parts
+/// (`PART#<m>-<i>` under `MFR#<m>`), suppliers (`SUPP#<s>`), and time
+/// (`<year>-<month>` under `<year>`).
+pub fn warehouse(config: &TpcdConfig) -> Warehouse {
+    let parts_h = Hierarchy::new(
+        "parts",
+        vec![config.parts_per_manufacturer, config.manufacturers],
+    )
+    .expect("positive fanouts");
+    let mut part_names = Vec::with_capacity((config.parts_per_manufacturer * config.manufacturers) as usize);
+    for m in 0..config.manufacturers {
+        for i in 0..config.parts_per_manufacturer {
+            part_names.push(format!("PART#{}-{}", m + 1, i + 1));
+        }
+    }
+    let mfr_names: Vec<String> = (0..config.manufacturers)
+        .map(|m| format!("MFR#{}", m + 1))
+        .collect();
+    let parts = DimensionTable::new(parts_h, vec![part_names, mfr_names]).expect("valid names");
+
+    let supplier = match config.supplier_nations {
+        None => {
+            let h = Hierarchy::new("supplier", vec![config.suppliers]).expect("positive");
+            let names: Vec<String> = (0..config.suppliers)
+                .map(|s| format!("SUPP#{}", s + 1))
+                .collect();
+            DimensionTable::new(h, vec![names]).expect("valid names")
+        }
+        Some(nations) => {
+            let h = Hierarchy::new("supplier", vec![config.suppliers, nations])
+                .expect("positive");
+            let mut supp_names =
+                Vec::with_capacity((config.suppliers * nations) as usize);
+            for n in 0..nations {
+                for s in 0..config.suppliers {
+                    supp_names.push(format!("SUPP#{}-{}", n + 1, s + 1));
+                }
+            }
+            let nation_names: Vec<String> =
+                (0..nations).map(|n| format!("NATION#{}", n + 1)).collect();
+            DimensionTable::new(h, vec![supp_names, nation_names]).expect("valid names")
+        }
+    };
+
+    let time_h = Hierarchy::new("time", vec![config.months_per_year, config.years])
+        .expect("positive");
+    let mut month_names =
+        Vec::with_capacity((config.months_per_year * config.years) as usize);
+    for y in 0..config.years {
+        for m in 0..config.months_per_year {
+            month_names.push(format!("{}-{:02}", EPOCH_YEAR as u64 + y, m + 1));
+        }
+    }
+    let year_names: Vec<String> = (0..config.years)
+        .map(|y| format!("{}", EPOCH_YEAR as u64 + y))
+        .collect();
+    let time = DimensionTable::new(time_h, vec![month_names, year_names]).expect("valid names");
+
+    Warehouse::new(vec![parts, supplier, time]).expect("distinct dimension names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snakes_core::lattice::Class;
+
+    #[test]
+    fn warehouse_matches_schema_shape() {
+        let cfg = TpcdConfig::default();
+        let wh = warehouse(&cfg);
+        assert_eq!(wh.schema(), cfg.star_schema());
+        assert_eq!(wh.dims().len(), 3);
+    }
+
+    #[test]
+    fn named_queries_resolve() {
+        let cfg = TpcdConfig::default();
+        let wh = warehouse(&cfg);
+        // "Everything MFR#2 shipped in 1994": class (manufacturer, all
+        // suppliers, year) = (1, 1, 1).
+        let q = wh
+            .query()
+            .select("parts", "MFR#2")
+            .unwrap()
+            .select("time", "1994")
+            .unwrap()
+            .build();
+        assert_eq!(q.class(), Class(vec![1, 1, 1]));
+        let ranges = q.ranges(&wh);
+        assert_eq!(ranges[0], 40..80); // MFR#2's parts
+        assert_eq!(ranges[1], 0..10); // all suppliers
+        assert_eq!(ranges[2], 24..36); // months of 1994
+    }
+
+    #[test]
+    fn month_and_part_leaves_resolve() {
+        let cfg = TpcdConfig::default();
+        let wh = warehouse(&cfg);
+        let q = wh
+            .query()
+            .select("parts", "PART#1-3")
+            .unwrap()
+            .select("supplier", "SUPP#10")
+            .unwrap()
+            .select("time", "1992-01")
+            .unwrap()
+            .build();
+        assert_eq!(q.class(), Class(vec![0, 0, 0]));
+        assert_eq!(q.cell_count(&wh), 1);
+        assert_eq!(q.ranges(&wh), vec![2..3, 9..10, 0..1]);
+    }
+
+    #[test]
+    fn nation_level_warehouse_resolves() {
+        let cfg = TpcdConfig {
+            suppliers: 4,
+            ..TpcdConfig::small()
+        }
+        .with_supplier_nations(3);
+        let wh = warehouse(&cfg);
+        assert_eq!(wh.schema(), cfg.star_schema());
+        let q = wh
+            .query()
+            .select("supplier", "NATION#2")
+            .unwrap()
+            .build();
+        // Class: parts ALL (2), supplier nation (1), time ALL (2).
+        assert_eq!(q.class(), Class(vec![2, 1, 2]));
+        assert_eq!(q.ranges(&wh)[1], 4..8);
+        let q2 = wh
+            .query()
+            .select("supplier", "SUPP#3-2")
+            .unwrap()
+            .build();
+        assert_eq!(q2.ranges(&wh)[1], 9..10);
+    }
+
+    #[test]
+    fn shipdate_window_range_query() {
+        // TPC-D Q1/Q6-style shipdate window: 1994-03 through 1994-09 — a
+        // 7-month range that no single hierarchy node covers.
+        let cfg = TpcdConfig::default();
+        let wh = warehouse(&cfg);
+        let q = wh
+            .range_query()
+            .between("time", "1994-03", "1994-09")
+            .unwrap()
+            .build();
+        // 1994 starts at month index 24.
+        assert_eq!(q.ranges()[2], 26..33);
+        // Covers 7 months -> classified at the year level for estimation.
+        assert_eq!(q.covering_class(&wh).level(2), 1);
+    }
+
+    #[test]
+    fn unknown_members_error() {
+        let cfg = TpcdConfig::small();
+        let wh = warehouse(&cfg);
+        assert!(wh.query().select("time", "2024").is_err());
+        assert!(wh.query().select("parts", "PART#1-99").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! The §6.2 workload family over the TPC-D lattice: every combination of
+//! per-dimension level biases (even / ramp-up / ramp-down), `3^3 = 27`
+//! workloads.
+
+use crate::config::TpcdConfig;
+use snakes_core::lattice::LatticeShape;
+use snakes_core::workload::{bias_family, LevelBias, Workload};
+
+/// One of the 27 workloads, with its identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedWorkload {
+    /// 1-based index in odometer order (dimension 0 = parts fastest).
+    pub number: usize,
+    /// Per-dimension biases, `[parts, supplier, time]`.
+    pub biases: Vec<LevelBias>,
+    /// The distribution itself.
+    pub workload: Workload,
+}
+
+impl NamedWorkload {
+    /// Human-readable bias label like `up/down/even`.
+    pub fn label(&self) -> String {
+        self.biases
+            .iter()
+            .map(|b| match b {
+                LevelBias::Even => "even",
+                LevelBias::RampUp => "up",
+                LevelBias::RampDown => "down",
+            })
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+/// All 27 workloads for a configuration, numbered 1..=27.
+///
+/// The paper does not publish its numbering, so ours is canonical odometer
+/// order over `[Even, RampUp, RampDown]` per dimension; the *set* of
+/// workloads is exactly §6.2's.
+pub fn tpcd_workloads(config: &TpcdConfig) -> Vec<NamedWorkload> {
+    let shape = LatticeShape::of_schema(&config.star_schema());
+    bias_family(&shape)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (biases, workload))| NamedWorkload {
+            number: i + 1,
+            biases,
+            workload,
+        })
+        .collect()
+}
+
+/// The workload Tables 5 and 6 use ("low probabilities in lower levels of
+/// the time and parts hierarchies and higher probability at the higher
+/// levels, while keeping the opposite in the supplier dimension"):
+/// parts = ramp-up, supplier = ramp-down, time = ramp-up.
+pub fn paper_workload_7(config: &TpcdConfig) -> NamedWorkload {
+    let target = [LevelBias::RampUp, LevelBias::RampDown, LevelBias::RampUp];
+    tpcd_workloads(config)
+        .into_iter()
+        .find(|w| w.biases == target)
+        .expect("bias combination exists in the family")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snakes_core::lattice::Class;
+
+    #[test]
+    fn family_has_27_members() {
+        let ws = tpcd_workloads(&TpcdConfig::small());
+        assert_eq!(ws.len(), 27);
+        assert_eq!(ws[0].number, 1);
+        assert_eq!(ws[26].number, 27);
+        for w in &ws {
+            let s: f64 = w.workload.probs().iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_7_biases_match_paper_description() {
+        let w = paper_workload_7(&TpcdConfig::small());
+        assert_eq!(w.label(), "up/down/up");
+        // Parts ramp-up: top level (2) heavy; supplier ramp-down: leaf (0)
+        // heavy; time ramp-up.
+        // p(parts=2, supplier=0, time=2) = 0.6 * 0.8 * 0.6.
+        let p = w.workload.prob(&Class(vec![2, 0, 2]));
+        assert!((p - 0.6 * 0.8 * 0.6).abs() < 1e-12);
+        let q = w.workload.prob(&Class(vec![0, 1, 0]));
+        assert!((q - 0.1 * 0.2 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let ws = tpcd_workloads(&TpcdConfig::small());
+        let labels: std::collections::HashSet<_> = ws.iter().map(|w| w.label()).collect();
+        assert_eq!(labels.len(), 27);
+    }
+}

@@ -1,0 +1,89 @@
+//! A gallery of every linearization curve on an 8x8 grid, with its
+//! characteristic vector and per-class costs — Figures 1, 2, and 5 of the
+//! paper, generalized.
+//!
+//! ```text
+//! cargo run --release --example curve_gallery
+//! ```
+
+use snakes_sandwiches::core::cv::Cv;
+use snakes_sandwiches::curves::cv_of;
+use snakes_sandwiches::prelude::*;
+
+fn render(lin: &impl Linearization) -> String {
+    let mut grid = vec![vec![0u64; 8]; 8];
+    for r in 0..lin.num_cells() {
+        let c = lin.coords_vec(r);
+        grid[c[1] as usize][c[0] as usize] = r + 1;
+    }
+    grid.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| format!("{v:>2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn describe(name: &str, schema: &StarSchema, lin: &impl Linearization, workload: &Workload) {
+    let cv: Cv = cv_of(schema, lin);
+    println!("--- {name} ---");
+    println!("{}", render(lin));
+    let edges: Vec<String> = cv
+        .entries()
+        .map(|(t, c)| format!("{t}:{c}"))
+        .collect();
+    println!("CV: {}", edges.join(" "));
+    println!(
+        "diagonal edges: {}, expected cost (uniform workload): {:.3}\n",
+        cv.diagonal_edges(),
+        cv.expected_cost(workload)
+    );
+}
+
+fn main() -> Result<()> {
+    // 8x8 grid with 3-level binary hierarchies: the §5 representative class.
+    let schema = StarSchema::square(2, 3)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let uniform = Workload::uniform(shape.clone());
+
+    describe(
+        "row-major (Figure 1 family)",
+        &schema,
+        &NestedLoops::row_major(vec![8, 8], &[0, 1]),
+        &uniform,
+    );
+    describe(
+        "boustrophedon snake",
+        &schema,
+        &NestedLoops::boustrophedon(vec![8, 8], &[0, 1]),
+        &uniform,
+    );
+    describe("Z-order (Figure 2a)", &schema, &ZOrderCurve::square(3), &uniform);
+    describe("Gray-code curve", &schema, &GrayCurve::square(3), &uniform);
+    describe("Hilbert (Figure 2b)", &schema, &HilbertCurve::square(3), &uniform);
+
+    let p = LatticePath::from_dims(shape.clone(), vec![1, 0, 1, 0, 1, 0])?;
+    describe(
+        "lattice path (alternating levels)",
+        &schema,
+        &path_curve(&schema, &p),
+        &uniform,
+    );
+    describe(
+        "snaked lattice path (Figure 5 family)",
+        &schema,
+        &snaked_path_curve(&schema, &p),
+        &uniform,
+    );
+
+    // And the recommendation for this workload, to close the loop.
+    let rec = recommend(&schema, &uniform);
+    println!(
+        "optimal for the uniform workload: {} (snaked, cost {:.3})",
+        rec.optimal_path, rec.snaked_cost
+    );
+    Ok(())
+}

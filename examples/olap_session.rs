@@ -1,0 +1,106 @@
+//! A simulated analyst session (§1: "a typical OLAP session involving
+//! operations such as cube, rollup, and drilldown, repeatedly invokes
+//! various grid queries"): navigate the cube, let the estimator learn the
+//! session's class mix, and compare clusterings on the session replayed
+//! against real pages.
+//!
+//! ```text
+//! cargo run --release --example olap_session
+//! ```
+
+use snakes_sandwiches::core::session::{OlapOp, OlapSession};
+use snakes_sandwiches::core::stats::WorkloadEstimator;
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::TableFile;
+use snakes_sandwiches::tpcd::{generate_cells, warehouse, LineItem};
+
+fn main() -> Result<()> {
+    let config = TpcdConfig {
+        records: 50_000,
+        ..TpcdConfig::small()
+    };
+    let wh = warehouse(&config);
+    let schema = wh.schema();
+
+    // The analyst's morning: start from the cube, drill into a year, walk
+    // the months, compare manufacturers, repeat for the next year.
+    let mut session = OlapSession::new(&wh);
+    let script: Vec<OlapOp> = {
+        let mut ops = vec![OlapOp::Slice(2, "1993".into())];
+        for _ in 0..6 {
+            ops.push(OlapOp::DrillDown(2)); // into a month
+            ops.push(OlapOp::NextSibling(2));
+            ops.push(OlapOp::NextSibling(2));
+            ops.push(OlapOp::RollUp(2)); // back to the year
+            ops.push(OlapOp::NextSibling(2)); // next year
+        }
+        ops.push(OlapOp::Reset);
+        for _ in 0..4 {
+            ops.push(OlapOp::DrillDown(0)); // manufacturer level
+            ops.push(OlapOp::NextSibling(0));
+            ops.push(OlapOp::RollUp(0));
+        }
+        ops
+    };
+    for op in &script {
+        session.apply(op)?;
+    }
+    println!(
+        "session issued {} grid queries; last: {}",
+        session.history().len(),
+        session.current_query().describe(&wh)
+    );
+
+    // Learn the workload from the session.
+    let mut est = WorkloadEstimator::new(wh.shape());
+    for q in session.history() {
+        est.observe(&q.class())?;
+    }
+    let workload = est.to_workload_smoothed(0.5)?;
+    let rec = recommend(&schema, &workload);
+    println!(
+        "learned workload over {} classes; recommended path {}",
+        workload.support().len(),
+        rec.optimal_path
+    );
+
+    // Replay the session against two physical layouts.
+    let cells = generate_cells(&config);
+    let replay = |path: &LatticePath, label: &str| -> Result<()> {
+        let curve = snaked_path_curve(&schema, path);
+        let mut table = TableFile::create_in_memory(
+            &curve,
+            &cells,
+            config.storage(),
+            |c, i| {
+                LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
+                    .encode()
+                    .to_vec()
+            },
+        )
+        .expect("in-memory load");
+        for q in session.history() {
+            table
+                .scan(&curve, &q.ranges(&wh), |_| {})
+                .expect("in-memory scan");
+        }
+        println!(
+            "  {label:<24}: {} seeks, {} pages over the session",
+            table.seeks_performed(),
+            table.pages_read()
+        );
+        Ok(())
+    };
+    println!("\nreplaying the session:");
+    replay(&rec.optimal_path, "recommended (snaked)")?;
+    let shape = wh.shape();
+    replay(
+        &LatticePath::row_major(shape.clone(), &[0, 1, 2])?,
+        "row-major parts-first",
+    )?;
+    replay(
+        &LatticePath::row_major(shape, &[2, 1, 0])?,
+        "row-major time-first",
+    )?;
+    Ok(())
+}

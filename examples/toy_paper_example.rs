@@ -1,0 +1,102 @@
+//! The paper's §2 walk-through on the Figure 1 toy warehouse: jeans ×
+//! location, queries Q1/Q2 as grid queries, and the cost of the candidate
+//! clusterings.
+//!
+//! ```text
+//! cargo run --release --example toy_paper_example
+//! ```
+
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::snake::snaked_expected_cost;
+use snakes_sandwiches::prelude::*;
+
+fn main() -> Result<()> {
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+
+    println!("Star schema (Figure 1):");
+    for d in schema.dims() {
+        println!(
+            "  {}: {} leaves, fanouts {:?}",
+            d.name(),
+            d.leaf_count(),
+            d.fanouts()
+        );
+    }
+
+    // Q1: sum of sales for levi's (a type = level-1 jeans node) in NY (a
+    // state = level-1 location node): query class (1,1).
+    // Q2: sales by city for ONT: selects a whole state = class (0, 1) per
+    // returned group; as a single grid fetch it reads class (1, 1)'s cells
+    // grouped by city — the paper files it under (jeans=any, location=ONT).
+    let q1 = Class(vec![1, 1]);
+    let q2 = Class(vec![2, 1]);
+    println!("\nGrid queries: Q1 ∈ class {q1}, Q2 ∈ class {q2}");
+
+    let p1 = LatticePath::from_dims(shape.clone(), vec![1, 1, 0, 0])?;
+    let p2 = LatticePath::from_dims(shape.clone(), vec![1, 0, 1, 0])?;
+    println!("\nStrategies: P1 = {p1}\n            P2 = {p2}");
+    println!(
+        "\nPer-query cost (fragments): Q1 under P1 = {}, under P2 = {}",
+        model.dist(&p1, &q1),
+        model.dist(&p2, &q1)
+    );
+
+    for (i, w) in [
+        Workload::uniform(shape.clone()),
+        Workload::uniform_excluding(
+            shape.clone(),
+            &[Class(vec![0, 1]), Class(vec![0, 2]), Class(vec![1, 1])],
+        )?,
+        Workload::uniform_over(
+            shape.clone(),
+            &[
+                Class(vec![0, 0]),
+                Class(vec![0, 1]),
+                Class(vec![0, 2]),
+                Class(vec![1, 2]),
+            ],
+        )?,
+    ]
+    .iter()
+    .enumerate()
+    {
+        println!("\nWorkload {} (paper §2):", i + 1);
+        println!(
+            "  cost(P1) = {:.4}   cost(~P1) = {:.4}",
+            model.expected_cost(&p1, w),
+            snaked_expected_cost(&model, &p1, w)
+        );
+        println!(
+            "  cost(P2) = {:.4}   cost(~P2) = {:.4}",
+            model.expected_cost(&p2, w),
+            snaked_expected_cost(&model, &p2, w)
+        );
+        let rec = recommend(&schema, w);
+        println!(
+            "  optimal lattice path: {} → snaked cost {:.4}",
+            rec.optimal_path, rec.snaked_cost
+        );
+    }
+
+    // The physical orders, drawn like the paper's figures.
+    println!("\nP1's clustering of the 4x4 grid (dim 1 fastest):");
+    print_grid(&path_curve(&schema, &p1));
+    println!("\n~P2's snaked clustering:");
+    print_grid(&snaked_path_curve(&schema, &p2));
+    Ok(())
+}
+
+fn print_grid(lin: &impl Linearization) {
+    let n = lin.num_cells();
+    let mut grid = vec![vec![0u64; 4]; 4];
+    for r in 0..n {
+        let c = lin.coords_vec(r);
+        grid[c[0] as usize][c[1] as usize] = r + 1;
+    }
+    for row in grid {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:>2}")).collect();
+        println!("  {}", cells.join(" "));
+    }
+}

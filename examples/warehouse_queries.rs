@@ -1,0 +1,105 @@
+//! The full user journey with named dimensions: define a warehouse, ask
+//! questions in member vocabulary, watch the estimator learn the workload,
+//! re-cluster, bulk-load a real page file, and run the same queries against
+//! physical bytes.
+//!
+//! ```text
+//! cargo run --release --example warehouse_queries
+//! ```
+
+use snakes_sandwiches::core::stats::WorkloadEstimator;
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::TableFile;
+use snakes_sandwiches::tpcd::{generate_cells, warehouse, LineItem};
+
+fn main() -> Result<()> {
+    let config = TpcdConfig {
+        records: 60_000,
+        ..TpcdConfig::small()
+    };
+    let wh = warehouse(&config);
+    let schema = wh.schema();
+    println!("dimensions:");
+    for d in wh.dims() {
+        println!(
+            "  {}: {} leaves, {} levels",
+            d.name(),
+            d.hierarchy().leaf_count(),
+            d.levels()
+        );
+    }
+
+    // The analysts' question templates, in their own vocabulary.
+    let questions = [
+        ("monthly sales of one part", vec![("parts", "PART#1-1"), ("time", "1992-01")]),
+        ("a manufacturer's 1994", vec![("parts", "MFR#2"), ("time", "1994")]),
+        ("one supplier's whole history", vec![("supplier", "SUPP#3")]),
+        ("everything in 1995", vec![("time", "1995")]),
+    ];
+    let mut est = WorkloadEstimator::new(wh.shape());
+    let mut parsed = Vec::new();
+    for (name, sels) in &questions {
+        let mut b = wh.query();
+        for (dim, member) in sels {
+            b = b.select(dim, member)?;
+        }
+        let q = b.build();
+        println!("  `{name}` -> {} = class {}", q.describe(&wh), q.class());
+        parsed.push(q);
+    }
+    // The mix: mostly per-part monthly lookups, some rollups.
+    for (q, weight) in parsed.iter().zip([600u64, 150, 100, 50]) {
+        est.observe_many(&q.class(), weight)?;
+    }
+    let workload = est.to_workload_smoothed(1.0)?;
+
+    let rec = recommend(&schema, &workload);
+    println!(
+        "\nrecommended clustering: {} (snaked), expected {:.2} seeks/query",
+        rec.optimal_path, rec.snaked_cost
+    );
+
+    // Bulk-load real bytes in that order and answer the questions from the
+    // page file.
+    let cells = generate_cells(&config);
+    let curve = snaked_path_curve(&schema, &rec.optimal_path);
+    let mut table = TableFile::create_in_memory(
+        &curve,
+        &cells,
+        config.storage(),
+        |coords, i| {
+            LineItem::synthetic(coords[0] as u32, coords[1] as u32, coords[2] as u32, i).encode()
+                .to_vec()
+        },
+    )
+    .expect("in-memory load cannot fail on IO");
+    println!(
+        "loaded {} records into {} pages",
+        table.layout().total_records(),
+        table.layout().total_pages()
+    );
+
+    println!("\nanswering from the page file:");
+    for ((name, _), q) in questions.iter().zip(&parsed) {
+        let ranges = q.ranges(&wh);
+        let mut revenue = 0.0;
+        let mut rows = 0u64;
+        let cost = table
+            .scan(&curve, &ranges, |rec| {
+                let li = LineItem::decode(rec);
+                revenue += li.extended_price * (1.0 - li.discount);
+                rows += 1;
+            })
+            .expect("in-memory scan cannot fail on IO");
+        println!(
+            "  {name}: {rows} rows, revenue {revenue:.0}, {} seeks, {} pages",
+            cost.seeks, cost.blocks
+        );
+    }
+    println!(
+        "\ntotal physical I/O: {} pages, {} seeks",
+        table.pages_read(),
+        table.seeks_performed()
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The adaptive-DBA scenario the paper's introduction motivates: watch the
+//! query stream, compile class statistics, and re-derive the clustering
+//! when the workload drifts.
+//!
+//! ```text
+//! cargo run --release --example workload_advisor
+//! ```
+
+use snakes_sandwiches::core::stats::WorkloadEstimator;
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::tpcd::paper_queries;
+
+fn main() -> Result<()> {
+    let config = TpcdConfig::default();
+    let schema = config.star_schema();
+    let shape = LatticeShape::of_schema(&schema);
+
+    // Phase 1: the shop runs mostly monthly-promotion queries (TPC-D Q14)
+    // and per-supplier monthly rollups (Q15).
+    let mut estimator = WorkloadEstimator::new(shape.clone());
+    let templates = paper_queries();
+    println!("TPC-D LineItem query templates as grid classes:");
+    for q in &templates {
+        println!("  Q{:<2} {:<22} -> class {}", q.tpcd_number, q.name, q.class);
+    }
+    for q in &templates {
+        let weight = match q.tpcd_number {
+            14 => 500,
+            15 => 300,
+            _ => 25,
+        };
+        estimator.observe_many(&q.class, weight)?;
+    }
+    let w1 = estimator.to_workload_smoothed(1.0)?;
+    let rec1 = recommend(&schema, &w1);
+    println!(
+        "\nphase 1 ({} queries observed): cluster along {}",
+        estimator.total(),
+        rec1.optimal_path
+    );
+    println!(
+        "  expected seeks {:.3} (vs best row-major {:.3}, worst {:.3})",
+        rec1.snaked_cost,
+        rec1.best_row_major_cost(),
+        rec1.worst_row_major_cost()
+    );
+
+    // Phase 2: the analysts arrive — year-level profit rollups dominate
+    // (Q5, Q9): the workload drifts toward coarse classes.
+    for q in &templates {
+        let weight = match q.tpcd_number {
+            5 | 9 => 2_000,
+            _ => 10,
+        };
+        estimator.observe_many(&q.class, weight)?;
+    }
+    let w2 = estimator.to_workload_smoothed(1.0)?;
+    let rec2 = recommend(&schema, &w2);
+    println!(
+        "\nphase 2 ({} queries observed): cluster along {}",
+        estimator.total(),
+        rec2.optimal_path
+    );
+    println!(
+        "  expected seeks {:.3} (vs best row-major {:.3}, worst {:.3})",
+        rec2.snaked_cost,
+        rec2.best_row_major_cost(),
+        rec2.worst_row_major_cost()
+    );
+
+    // What would keeping the stale clustering cost under the new workload?
+    let model = snakes_sandwiches::core::cost::CostModel::of_schema(&schema);
+    let stale = snaked_expected_cost(&model, &rec1.optimal_path, &w2);
+    println!(
+        "\nkeeping phase-1 clustering under phase-2 workload: {:.3} expected \
+         seeks ({:.1}% worse than re-clustering)",
+        stale,
+        100.0 * (stale / rec2.snaked_cost - 1.0)
+    );
+    if rec1.optimal_path != rec2.optimal_path {
+        println!("=> the advisor recommends re-clustering.");
+    } else {
+        println!("=> the old clustering is still optimal; no action needed.");
+    }
+    Ok(())
+}

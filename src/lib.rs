@@ -1,0 +1,67 @@
+//! # Snakes and Sandwiches
+//!
+//! A full reproduction of *Snakes and Sandwiches: Optimal Clustering
+//! Strategies for a Data Warehouse* (H. V. Jagadish, Laks V. S. Lakshmanan,
+//! Divesh Srivastava; SIGMOD 1999) as a production-quality Rust workspace.
+//!
+//! Given a star schema (dimension hierarchies over a fact table) and a
+//! workload (a probability distribution over *query classes*), this library
+//! computes the clustering of fact-table records on disk that minimizes
+//! expected I/O:
+//!
+//! 1. the **optimal monotone lattice path** over the query-class lattice,
+//!    found by a dynamic program linear in the lattice size
+//!    (`core::dp`);
+//! 2. its **snaked** version, which never costs more on any workload
+//!    (`core::snake`) and — for 2-D complete binary hierarchies — is
+//!    within a factor of 2 of the *globally* optimal strategy
+//!    (`core::sandwich`, the paper's Theorem 2 and §5.3 guarantee).
+//!
+//! The workspace also contains every substrate needed to reproduce the
+//! paper's evaluation: linearization curves including Hilbert, Z-order and
+//! Gray-code baselines ([`curves`]), a page-based storage simulator
+//! counting seeks and normalized blocks ([`storage`]), and the TPC-D-style
+//! synthetic experiment ([`tpcd`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snakes_sandwiches::prelude::*;
+//!
+//! // Figure 1's toy warehouse: jeans × location, 4×4 grid of cells.
+//! let schema = StarSchema::paper_toy();
+//! let shape = LatticeShape::of_schema(&schema);
+//!
+//! // 40% of queries drill to individual cells, the rest are rollups.
+//! let workload = Workload::from_weights(
+//!     shape.clone(),
+//!     vec![0.4, 0.1, 0.05, 0.1, 0.1, 0.05, 0.05, 0.05, 0.1],
+//! )?;
+//!
+//! let rec = recommend(&schema, &workload);
+//! println!(
+//!     "cluster along {} (snaked); expected cost {:.3}, within 2x of optimal",
+//!     rec.optimal_path, rec.snaked_cost
+//! );
+//! assert!(rec.snaked_cost <= rec.plain_cost);
+//! # Ok::<(), snakes_sandwiches::core::error::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use snakes_core as core;
+pub use snakes_curves as curves;
+pub use snakes_storage as storage;
+pub use snakes_tpcd as tpcd;
+
+/// One-stop imports: the core prelude plus the most used cross-crate types.
+pub mod prelude {
+    pub use snakes_core::prelude::*;
+    pub use snakes_curves::{
+        path_curve, snaked_path_curve, GrayCurve, HilbertCurve, Linearization, NestedLoops,
+        ZOrderCurve,
+    };
+    pub use snakes_storage::{PackedLayout, StorageConfig};
+    pub use snakes_tpcd::{Evaluator, TpcdConfig};
+}

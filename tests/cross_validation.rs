@@ -1,0 +1,187 @@
+//! Cross-crate validation: the analytic cost model (snakes-core) against
+//! physical measurement (snakes-curves fragment counting and the
+//! snakes-storage page simulator).
+
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::snake::{snaked_dist, snaked_expected_cost};
+use snakes_sandwiches::curves::{class_average_cost, cv_of, expected_cost};
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::{class_stats, CellData};
+
+/// A few mixed-fanout schemas exercising 2 and 3 dimensions.
+fn schemas() -> Vec<StarSchema> {
+    vec![
+        StarSchema::paper_toy(),
+        StarSchema::new(vec![
+            Hierarchy::new("p", vec![3, 2]).unwrap(),
+            Hierarchy::new("q", vec![4]).unwrap(),
+        ])
+        .unwrap(),
+        StarSchema::new(vec![
+            Hierarchy::new("x", vec![2, 3]).unwrap(),
+            Hierarchy::new("y", vec![5]).unwrap(),
+            Hierarchy::new("z", vec![2, 2]).unwrap(),
+        ])
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn analytic_dist_equals_fragment_count_everywhere() {
+    for schema in schemas() {
+        let shape = LatticeShape::of_schema(&schema);
+        let model = CostModel::of_schema(&schema);
+        for path in LatticePath::enumerate(&shape) {
+            let plain = path_curve(&schema, &path);
+            let snaked = snaked_path_curve(&schema, &path);
+            for class in shape.iter() {
+                let bf_plain = class_average_cost(&schema, &plain, &class);
+                let an_plain = model.dist(&path, &class);
+                assert!(
+                    (bf_plain - an_plain).abs() < 1e-9,
+                    "{schema:?} {path} {class}: plain {bf_plain} vs {an_plain}"
+                );
+                let bf_snaked = class_average_cost(&schema, &snaked, &class);
+                let an_snaked = snaked_dist(&model, &path, &class);
+                assert!(
+                    (bf_snaked - an_snaked).abs() < 1e-9,
+                    "{schema:?} {path} {class}: snaked {bf_snaked} vs {an_snaked}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cv_pricing_is_exact_for_space_filling_curves() {
+    // For non-lattice-path strategies the CV-based extended cost must equal
+    // brute-force fragment counting on every class.
+    let schema = StarSchema::square(2, 3).unwrap(); // 8x8
+    let shape = LatticeShape::of_schema(&schema);
+    let curves: Vec<(&str, Box<dyn Linearization>)> = vec![
+        ("hilbert", Box::new(HilbertCurve::square(3))),
+        ("z-order", Box::new(ZOrderCurve::square(3))),
+        ("gray", Box::new(GrayCurve::square(3))),
+        (
+            "boustrophedon",
+            Box::new(NestedLoops::boustrophedon(vec![8, 8], &[0, 1])),
+        ),
+    ];
+    for (name, lin) in &curves {
+        let lin = lin.as_ref();
+        let cv = cv_of(&schema, &lin);
+        for class in shape.iter() {
+            let bf = class_average_cost(&schema, &lin, &class);
+            let an = cv.class_cost(&class);
+            assert!(
+                (bf - an).abs() < 1e-9,
+                "{name} class {class}: brute {bf} vs cv {an}"
+            );
+        }
+    }
+}
+
+#[test]
+fn page_simulator_agrees_with_fragments_when_cells_are_pages() {
+    // One record per cell, one record per page: physical page runs are
+    // exactly cell-level fragments, so the storage simulator must agree
+    // with the analytic model on every class, for several paths.
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("a", vec![2, 2]).unwrap(),
+        Hierarchy::new("b", vec![3]).unwrap(),
+    ])
+    .unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+    let extents = schema.grid_shape();
+    let n: u64 = extents.iter().product();
+    let cells = CellData::from_counts(extents, vec![1; n as usize]);
+    let cfg = snakes_sandwiches::storage::StorageConfig {
+        page_size: 128,
+        record_size: 125,
+    };
+    for path in LatticePath::enumerate(&shape) {
+        for (curve, analytic) in [
+            (
+                path_curve(&schema, &path),
+                model.class_costs(&path),
+            ),
+            (
+                snaked_path_curve(&schema, &path),
+                snakes_sandwiches::core::snake::snaked_class_costs(&model, &path),
+            ),
+        ] {
+            let layout = PackedLayout::pack(&curve, &cells, cfg);
+            for class in shape.iter() {
+                let st = class_stats(&schema, &curve, &layout, &class);
+                let want = analytic[shape.rank(&class)];
+                assert!(
+                    (st.avg_seeks - want).abs() < 1e-9,
+                    "{path} class {class}: seeks {} vs analytic {want}",
+                    st.avg_seeks
+                );
+                // One cell per page: every selected page is necessary, so
+                // normalized blocks is exactly 1 regardless of clustering —
+                // the paper's point that blocks read are only loosely
+                // correlated with seeks.
+                assert!((st.avg_normalized_blocks - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_cost_consistency_chain() {
+    // expected_cost (brute force) == CostModel::expected_cost (analytic)
+    // == Cv::expected_cost (CV pricing) for paths under random-ish
+    // workloads.
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+    for (i, path) in LatticePath::enumerate(&shape).into_iter().enumerate() {
+        let weights: Vec<f64> = (0..shape.num_classes())
+            .map(|r| ((r * 7 + i * 13) % 11 + 1) as f64)
+            .collect();
+        let w = Workload::from_weights(shape.clone(), weights).unwrap();
+        let curve = path_curve(&schema, &path);
+        let bf = expected_cost(&schema, &curve, &w);
+        let an = model.expected_cost(&path, &w);
+        let cv = cv_of(&schema, &curve).expected_cost(&w);
+        assert!((bf - an).abs() < 1e-9, "{path}: {bf} vs {an}");
+        assert!((bf - cv).abs() < 1e-9, "{path}: {bf} vs cv {cv}");
+        // Snaked chain.
+        let scurve = snaked_path_curve(&schema, &path);
+        let sbf = expected_cost(&schema, &scurve, &w);
+        let san = snaked_expected_cost(&model, &path, &w);
+        let scv = cv_of(&schema, &scurve).expected_cost(&w);
+        assert!((sbf - san).abs() < 1e-9);
+        assert!((sbf - scv).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn dp_beats_hilbert_when_workload_is_axis_aligned_and_loses_rarely() {
+    // §7: "Lattice path clusterings can be arbitrarily better than the
+    // well-known Hilbert curve clustering on some workloads, while it can
+    // be more expensive than Hilbert on others."
+    let schema = StarSchema::square(2, 3).unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+    let hilbert = cv_of(&schema, &HilbertCurve::square(3));
+
+    // Axis-aligned point workload: class (3,0) (full columns). The optimal
+    // snaked lattice path answers it in 1 fragment; Hilbert cannot.
+    let w = Workload::point(shape.clone(), &Class(vec![3, 0])).unwrap();
+    let dp = snakes_sandwiches::core::dp::optimal_lattice_path(&model, &w);
+    let snaked = snaked_expected_cost(&model, &dp.path, &w);
+    let h = hilbert.expected_cost(&w);
+    assert!((snaked - 1.0).abs() < 1e-9);
+    assert!(h > 3.0, "Hilbert pays {h} on column scans");
+
+    // And under the uniform workload the best snaked path still beats
+    // Hilbert (Theorem 2 guarantees it for every workload).
+    let uniform = Workload::uniform(shape);
+    let (_, best_snaked) =
+        snakes_sandwiches::core::snake::best_snaked_path_exhaustive(&model, &uniform);
+    assert!(best_snaked <= hilbert.expected_cost(&uniform) + 1e-9);
+}

@@ -1,0 +1,121 @@
+//! Degenerate and boundary configurations across the stack: fanout-1
+//! levels (dummy levels from §4.1 padding), single-cell grids, one
+//! dimension, and empty data.
+
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::dp::optimal_lattice_path;
+use snakes_sandwiches::core::snake::snaked_expected_cost;
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::exec::query_cost;
+use snakes_sandwiches::storage::CellData;
+
+#[test]
+fn fanout_one_levels_are_harmless() {
+    // §4.1 padding introduces fanout-1 dummy levels; everything must keep
+    // working and costs must be unchanged relative to the unpadded schema.
+    let padded = StarSchema::new(vec![
+        Hierarchy::new("a", vec![2, 1, 2]).unwrap(), // dummy middle level
+        Hierarchy::new("b", vec![3]).unwrap(),
+    ])
+    .unwrap();
+    let shape = LatticeShape::of_schema(&padded);
+    let model = CostModel::of_schema(&padded);
+    let w = Workload::uniform(shape.clone());
+    let dp = optimal_lattice_path(&model, &w);
+    assert!(dp.cost >= 1.0);
+    // Physical curves stay bijective with the dummy loop present.
+    for p in LatticePath::enumerate(&shape) {
+        let curve = snaked_path_curve(&padded, &p);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..curve.num_cells() {
+            assert!(seen.insert(curve.coords_vec(r)));
+        }
+        // Snaking still never hurts.
+        assert!(
+            snaked_expected_cost(&model, &p, &w) <= model.expected_cost(&p, &w) + 1e-9
+        );
+    }
+}
+
+#[test]
+fn single_cell_grid() {
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("x", vec![1]).unwrap(),
+        Hierarchy::new("y", vec![1]).unwrap(),
+    ])
+    .unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    assert_eq!(schema.num_cells(), 1);
+    let model = CostModel::of_schema(&schema);
+    let w = Workload::uniform(shape.clone());
+    let dp = optimal_lattice_path(&model, &w);
+    assert!((dp.cost - 1.0).abs() < 1e-12);
+    for p in LatticePath::enumerate(&shape) {
+        let curve = path_curve(&schema, &p);
+        assert_eq!(curve.num_cells(), 1);
+        assert_eq!(curve.coords_vec(0), vec![0, 0]);
+    }
+}
+
+#[test]
+fn one_dimensional_schema_end_to_end() {
+    let schema = StarSchema::new(vec![Hierarchy::new("t", vec![4, 3]).unwrap()]).unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    let w = Workload::uniform(shape.clone());
+    let rec = recommend(&schema, &w);
+    // One dimension has exactly one path; everything is on it.
+    assert!((rec.plain_cost - 1.0).abs() < 1e-12);
+    assert!((rec.snaked_cost - 1.0).abs() < 1e-12);
+    assert_eq!(rec.row_majors.len(), 1);
+    let curve = snaked_path_curve(&schema, &rec.optimal_path);
+    let cells = CellData::from_counts(vec![12], vec![2; 12]);
+    let layout = PackedLayout::pack(
+        &curve,
+        &cells,
+        StorageConfig {
+            page_size: 512,
+            record_size: 125,
+        },
+    );
+    let c = query_cost(&curve, &layout, &[0..12]);
+    assert_eq!(c.seeks, 1);
+    assert_eq!(c.records, 24);
+}
+
+#[test]
+fn empty_table_scans_cleanly() {
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let p = LatticePath::row_major(shape, &[0, 1]).unwrap();
+    let curve = path_curve(&schema, &p);
+    let cells = CellData::empty(vec![4, 4]);
+    let layout = PackedLayout::pack(
+        &curve,
+        &cells,
+        StorageConfig {
+            page_size: 512,
+            record_size: 125,
+        },
+    );
+    assert_eq!(layout.total_pages(), 0);
+    let c = query_cost(&curve, &layout, &[0..4, 0..4]);
+    assert_eq!(c.seeks, 0);
+    assert_eq!(c.blocks, 0);
+    assert_eq!(c.normalized_blocks(), None);
+}
+
+#[test]
+fn workload_mass_entirely_on_bottom_and_top() {
+    // Degenerate workloads: all mass on ⊥ (every strategy costs 1) and all
+    // on ⊤ (likewise), so the DP is indifferent but must stay correct.
+    let schema = StarSchema::paper_toy();
+    let model = CostModel::of_schema(&schema);
+    let shape = model.shape().clone();
+    for class in [shape.bottom(), shape.top()] {
+        let w = Workload::point(shape.clone(), &class).unwrap();
+        for p in LatticePath::enumerate(&shape) {
+            assert!((model.expected_cost(&p, &w) - 1.0).abs() < 1e-12);
+            assert!((snaked_expected_cost(&model, &p, &w) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end scenarios across all crates: stream → workload → DP →
+//! snaked curve → packed pages → measured I/O, plus unbalanced-hierarchy
+//! handling (§4.1).
+
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::dp::optimal_lattice_path;
+use snakes_sandwiches::core::stats::WorkloadEstimator;
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::workload_stats;
+use snakes_sandwiches::tpcd::{generate_cells, paper_queries, tpcd_workloads};
+
+#[test]
+fn stream_to_clustering_to_measured_io() {
+    // 1. Observe a query stream dominated by the Q9-style class.
+    let config = TpcdConfig {
+        records: 40_000,
+        ..TpcdConfig::small()
+    };
+    let schema = config.star_schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let mut est = WorkloadEstimator::new(shape.clone());
+    for q in paper_queries() {
+        let n = if q.tpcd_number == 9 { 800 } else { 40 };
+        est.observe_many(&q.class, n).unwrap();
+    }
+    let workload = est.to_workload_smoothed(1.0).unwrap();
+
+    // 2. Recommend and materialize.
+    let rec = recommend(&schema, &workload);
+    let curve = snaked_path_curve(&schema, &rec.optimal_path);
+
+    // 3. Pack generated data and measure.
+    let cells = generate_cells(&config);
+    let layout = PackedLayout::pack(&curve, &cells, config.storage());
+    let measured = workload_stats(&schema, &curve, &layout, &workload);
+
+    // 4. The recommendation must beat a deliberately bad clustering on the
+    //    same data by a wide margin.
+    let worst_order: Vec<usize> = {
+        // Pick the row-major with the worst analytic cost.
+        rec.row_majors
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(o, _, _)| o.clone())
+            .unwrap()
+    };
+    let bad_path = LatticePath::row_major(shape, &worst_order).unwrap();
+    let bad_curve = path_curve(&schema, &bad_path);
+    let bad_layout = PackedLayout::pack(&bad_curve, &cells, config.storage());
+    let bad = workload_stats(&schema, &bad_curve, &bad_layout, &workload);
+
+    assert!(
+        measured.avg_seeks * 2.0 < bad.avg_seeks,
+        "recommended {} seeks vs worst row-major {}",
+        measured.avg_seeks,
+        bad.avg_seeks
+    );
+}
+
+#[test]
+fn unbalanced_hierarchy_advisor_matches_padded_schema() {
+    // An unbalanced product hierarchy: one category with 3 leaf products at
+    // depth 2, another category whose 2 products are at depth 1 (padded by
+    // a dummy level per §4.1).
+    //   root(0) -> c1(1), c2(2); c1 -> p(3), p(4), p(5); c2 -> p(6), p(7)
+    let tree = TreeHierarchy::from_parents("product", &[0, 0, 0, 1, 1, 1, 2, 2]).unwrap();
+    let view = tree.balance();
+    assert_eq!(view.levels, 2);
+    // Padded leaves: 3 + 2 = 5; level-1 nodes: 2 real (+ 0 dummies at that
+    // depth... c2's products pad *below*, so level 1 holds c1, c2 and level
+    // 0 holds 5 padded leaves).
+    assert_eq!(view.leaves_per_level, vec![5, 2, 1]);
+
+    // Fractional average fanouts drive the DP directly.
+    let shape = LatticeShape::new(vec![view.levels, 1]);
+    let model = CostModel::new(
+        shape.clone(),
+        vec![view.average_fanouts.clone(), vec![4.0]],
+    );
+    let w = Workload::uniform(shape);
+    let dp = optimal_lattice_path(&model, &w);
+    assert!(dp.cost >= 1.0);
+    assert_eq!(dp.path.len(), 3);
+}
+
+#[test]
+fn advisor_guarantee_holds_against_best_snaked_path() {
+    // §5.3: snaked optimal lattice path within 2x of the optimal snaked
+    // lattice path, on every 27-family workload of a 2-D slice of the
+    // TPC-D schema.
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("parts", vec![4, 5]).unwrap(),
+        Hierarchy::new("time", vec![12, 7]).unwrap(),
+    ])
+    .unwrap();
+    let model = CostModel::of_schema(&schema);
+    for (_, w) in bias_family(model.shape()) {
+        let dp = optimal_lattice_path(&model, &w);
+        let snaked_opt =
+            snakes_sandwiches::core::snake::snaked_expected_cost(&model, &dp.path, &w);
+        let (_, best_snaked) =
+            snakes_sandwiches::core::snake::best_snaked_path_exhaustive(&model, &w);
+        assert!(
+            snaked_opt / best_snaked < 2.0,
+            "guarantee violated: {snaked_opt} vs {best_snaked}"
+        );
+    }
+}
+
+#[test]
+fn tpcd_family_snaking_is_monotone_improvement() {
+    // For every one of the 27 workloads, snaking the optimal path is a
+    // (weak) improvement in the analytic model.
+    let config = TpcdConfig::small();
+    let schema = config.star_schema();
+    let model = CostModel::of_schema(&schema);
+    for nw in tpcd_workloads(&config) {
+        let dp = optimal_lattice_path(&model, &nw.workload);
+        let snaked =
+            snakes_sandwiches::core::snake::snaked_expected_cost(&model, &dp.path, &nw.workload);
+        assert!(
+            snaked <= dp.cost + 1e-9,
+            "workload {}: snaked {snaked} vs plain {}",
+            nw.number,
+            dp.cost
+        );
+    }
+}
+
+#[test]
+fn prelude_covers_the_readme_flow() {
+    // The README's five-line flow compiles and runs against the prelude
+    // alone.
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let workload = Workload::uniform(shape);
+    let rec = recommend(&schema, &workload);
+    let curve = snaked_path_curve(&schema, &rec.optimal_path);
+    assert_eq!(curve.num_cells(), 16);
+    assert!(rec.snaked_cost <= rec.plain_cost);
+    assert_eq!(rec.guarantee_factor, 2.0);
+}

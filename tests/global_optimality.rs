@@ -1,0 +1,207 @@
+//! Theorem 2 end-to-end: for every workload, some snaked lattice path is
+//! globally optimal.
+//!
+//! Two attacks:
+//!
+//! 1. **Exhaustive over strategies** (2x2 grid, n = 1): every one of the
+//!    4! visiting orders of the grid is priced by brute-force fragment
+//!    counting; the best snaked lattice path must match the minimum.
+//! 2. **Exhaustive over characteristic vectors** (4x4 grid, n = 2): every
+//!    consistent CV — a superset of the CVs of real strategies (Lemma 2
+//!    gives necessary conditions) — is priced by the extended cost; the
+//!    best snaked lattice path must cost no more than any of them, which is
+//!    the strengthened claim the paper's sandwich proof establishes.
+
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::sandwich::Cv2;
+use snakes_sandwiches::core::snake::best_snaked_path_exhaustive;
+use snakes_sandwiches::prelude::*;
+
+/// All permutations of `0..n` (small n).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for i in 0..n {
+            let mut q: Vec<usize> = p.iter().map(|&x| if x >= i { x + 1 } else { x }).collect();
+            q.insert(0, i);
+            // q[0] = i, rest is p remapped: gives all perms with each first
+            // element.
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Fragment cost of an arbitrary cell visiting order, per class, on a 2x2
+/// grid (n = 1).
+fn order_class_costs(schema: &StarSchema, order: &[usize]) -> Vec<f64> {
+    // order[i] = canonical cell index visited at rank i; canonical index =
+    // x + 2*y.
+    let cells: Vec<Vec<u64>> = order
+        .iter()
+        .map(|&c| vec![(c % 2) as u64, (c / 2) as u64])
+        .collect();
+    snakes_sandwiches::core::cv::Cv::from_cells(schema, &cells).class_costs()
+}
+
+fn test_workloads(shape: &LatticeShape) -> Vec<Workload> {
+    let mut ws: Vec<Workload> = bias_family(shape).into_iter().map(|(_, w)| w).collect();
+    for c in shape.iter() {
+        ws.push(Workload::point(shape.clone(), &c).expect("valid"));
+    }
+    // A few fixed mixtures.
+    let n = shape.num_classes();
+    for k in 1..4 {
+        let weights: Vec<f64> = (0..n).map(|i| ((i * k + 1) % 5 + 1) as f64).collect();
+        ws.push(Workload::from_weights(shape.clone(), weights).expect("valid"));
+    }
+    ws
+}
+
+#[test]
+fn snaked_lattice_paths_beat_all_strategies_on_2x2() {
+    let schema = StarSchema::square(2, 1).expect("valid");
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+    // All 24 visiting orders of the 4 cells.
+    let all_costs: Vec<Vec<f64>> = permutations(4)
+        .into_iter()
+        .map(|p| order_class_costs(&schema, &p))
+        .collect();
+    assert_eq!(all_costs.len(), 24);
+    for w in test_workloads(&shape) {
+        let (_, best_snaked) = best_snaked_path_exhaustive(&model, &w);
+        let global_best = all_costs
+            .iter()
+            .map(|costs| {
+                costs
+                    .iter()
+                    .enumerate()
+                    .map(|(r, c)| w.prob_by_rank(r) * c)
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_snaked <= global_best + 1e-9,
+            "snaked {best_snaked} vs global {global_best}"
+        );
+        // And the bound is tight: some strategy achieves it (the snaked
+        // path itself is one of the 24 orders).
+        assert!(
+            (best_snaked - global_best).abs() < 1e-9,
+            "snaked paths should be among the strategies"
+        );
+    }
+}
+
+/// Every consistent non-negative CV with 15 edges on the 4x4 binary grid.
+fn all_consistent_cv2_n2() -> Vec<Cv2> {
+    let mut out = Vec::new();
+    for a1 in 0..=8u64 {
+        for a2 in 0..=(12 - a1.min(12)) {
+            if a1 + a2 > 12 {
+                continue;
+            }
+            for b1 in 0..=8u64 {
+                for b2 in 0..=(12 - b1.min(12)) {
+                    if b1 + b2 > 12 {
+                        continue;
+                    }
+                    let fixed = a1 + a2 + b1 + b2;
+                    if fixed > 15 {
+                        continue;
+                    }
+                    let rest = 15 - fixed;
+                    // Distribute `rest` over d11, d12, d21, d22.
+                    for d11 in 0..=rest {
+                        for d12 in 0..=(rest - d11) {
+                            for d21 in 0..=(rest - d11 - d12) {
+                                let d22 = rest - d11 - d12 - d21;
+                                let v = Cv2::new(
+                                    2,
+                                    vec![a1, a2],
+                                    vec![b1, b2],
+                                    vec![vec![d11, d12], vec![d21, d22]],
+                                )
+                                .expect("arity ok");
+                                if v.is_consistent() {
+                                    out.push(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn snaked_lattice_paths_beat_all_consistent_vectors_on_4x4() {
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+    let consistent = all_consistent_cv2_n2();
+    assert!(
+        consistent.len() > 1_000,
+        "expected a rich consistent set, got {}",
+        consistent.len()
+    );
+    // Real strategies' CVs are present: the snaked lattice paths' own CVs.
+    for p in LatticePath::enumerate(&shape) {
+        let cv = Cv2::of_snaked_path(2, &p);
+        assert!(consistent.contains(&cv), "snaked CV {cv} missing");
+    }
+    for w in test_workloads(&shape) {
+        let (_, best_snaked) = best_snaked_path_exhaustive(&model, &w);
+        let mut min_cv = f64::INFINITY;
+        for v in &consistent {
+            min_cv = min_cv.min(v.cost(&w));
+        }
+        assert!(
+            best_snaked <= min_cv + 1e-9,
+            "snaked {best_snaked} vs consistent-CV min {min_cv}"
+        );
+    }
+}
+
+#[test]
+fn sandwich_pipeline_handles_sampled_consistent_vectors() {
+    // Run the full Lemma 4 → minimalize → Theorem 2 pipeline on a sample of
+    // consistent vectors and check the domination chain on every bias
+    // workload.
+    let shape = LatticeShape::new(vec![2, 2]);
+    let consistent = all_consistent_cv2_n2();
+    let workloads: Vec<Workload> = bias_family(&shape).into_iter().map(|(_, w)| w).collect();
+    let mut checked = 0;
+    for v in consistent.iter().step_by(97) {
+        let nd = v.eliminate_diagonals().expect("Lemma 4 split exists");
+        let min = nd.minimalize();
+        let leaves = min.sandwich_closure().expect("closure terminates");
+        assert!(!leaves.is_empty());
+        for leaf in &leaves {
+            assert!(leaf.to_snaked_path().is_some(), "leaf {leaf} not a path CV");
+        }
+        for w in &workloads {
+            let c_v = v.cost(w);
+            let c_nd = nd.cost(w);
+            let c_min = min.cost(w);
+            assert!(c_nd <= c_v + 1e-9, "elimination must not increase cost");
+            assert!(c_min <= c_nd + 1e-9, "minimalization must not increase cost");
+            let best_leaf = leaves
+                .iter()
+                .map(|l| l.cost(w))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best_leaf <= c_min + 1e-9,
+                "sandwich leaves must dominate: {best_leaf} vs {c_min} for {v}"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 50, "sampled too few vectors: {checked}");
+}

@@ -1,0 +1,157 @@
+//! Cross-crate OLAP correctness: grouped aggregates computed through the
+//! full physical stack (generate → recommend → bulk load → scan → hash
+//! group-by) must equal aggregates recomputed independently from the
+//! generator's cell counts.
+
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::TableFile;
+use snakes_sandwiches::tpcd::{generate_cells, group_by_sum, warehouse, LineItem};
+
+/// The measure both sides aggregate.
+fn quantity(rec: &[u8]) -> f64 {
+    LineItem::decode(rec).quantity
+}
+
+/// Recomputes a group-by directly from the cell counts and the
+/// deterministic record synthesizer, bypassing storage entirely.
+fn reference_group_by(
+    wh: &Warehouse,
+    cells: &snakes_sandwiches::storage::CellData,
+    query: &GridQuery,
+    group_levels: &[usize],
+) -> std::collections::BTreeMap<Vec<u64>, (f64, u64)> {
+    let ranges = query.ranges(wh);
+    let mut out: std::collections::BTreeMap<Vec<u64>, (f64, u64)> = Default::default();
+    let extents: Vec<u64> = ranges.iter().map(|r| r.end).collect();
+    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
+    let _ = extents;
+    'outer: loop {
+        let count = cells.count(&coords);
+        if count > 0 {
+            let key: Vec<u64> = coords
+                .iter()
+                .zip(wh.dims())
+                .zip(group_levels)
+                .map(|((&leaf, dim), &lvl)| {
+                    if lvl == dim.levels() {
+                        0
+                    } else {
+                        dim.hierarchy().ancestor_at_level(lvl, leaf)
+                    }
+                })
+                .collect();
+            let entry = out.entry(key).or_insert((0.0, 0));
+            for i in 0..count {
+                let rec = LineItem::synthetic(
+                    coords[0] as u32,
+                    coords[1] as u32,
+                    coords[2] as u32,
+                    i,
+                );
+                entry.0 += rec.quantity;
+                entry.1 += 1;
+            }
+        }
+        let mut d = 0;
+        loop {
+            if d == coords.len() {
+                break 'outer;
+            }
+            coords[d] += 1;
+            if coords[d] < ranges[d].end {
+                break;
+            }
+            coords[d] = ranges[d].start;
+            d += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn physical_group_by_equals_reference() {
+    let config = TpcdConfig {
+        records: 25_000,
+        ..TpcdConfig::small()
+    };
+    let wh = warehouse(&config);
+    let schema = wh.schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let rec = recommend(&schema, &Workload::uniform(shape));
+    let curve = snaked_path_curve(&schema, &rec.optimal_path);
+    let cells = generate_cells(&config);
+    let mut table = TableFile::create_in_memory(&curve, &cells, config.storage(), |c, i| {
+        LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
+            .encode()
+            .to_vec()
+    })
+    .unwrap();
+
+    let cases = [
+        // (query selections, group levels)
+        (vec![("time", "1994")], vec![1, 1, 2]),
+        (vec![("parts", "MFR#1")], vec![0, 0, 1]),
+        (vec![("supplier", "SUPP#5"), ("time", "1993")], vec![1, 0, 1]),
+    ];
+    for (sels, group_levels) in cases {
+        let mut b = wh.query();
+        for (dim, member) in &sels {
+            b = b.select(dim, member).unwrap();
+        }
+        let q = b.build();
+        let physical = group_by_sum(&wh, &mut table, &curve, &q, &group_levels, quantity)
+            .unwrap();
+        let reference = reference_group_by(&wh, &cells, &q, &group_levels);
+        assert_eq!(
+            physical.groups.len(),
+            reference.len(),
+            "group count for {sels:?}"
+        );
+        for g in &physical.groups {
+            let (sum, rows) = reference
+                .get(&g.key)
+                .unwrap_or_else(|| panic!("missing group {:?}", g.key));
+            assert_eq!(g.rows, *rows, "rows of group {:?}", g.key);
+            assert!(
+                (g.sum - sum).abs() < 1e-6 * sum.abs().max(1.0),
+                "sum of group {:?}: {} vs {}",
+                g.key,
+                g.sum,
+                sum
+            );
+        }
+    }
+}
+
+#[test]
+fn group_by_is_layout_independent() {
+    // The same aggregate must come out of any clustering.
+    let config = TpcdConfig {
+        records: 15_000,
+        ..TpcdConfig::small()
+    };
+    let wh = warehouse(&config);
+    let schema = wh.schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let cells = generate_cells(&config);
+    let q = wh.query().select("time", "1995").unwrap().build();
+    let group_levels = vec![1, 1, 2];
+    let mut results = Vec::new();
+    for path in [
+        LatticePath::row_major(shape.clone(), &[0, 1, 2]).unwrap(),
+        LatticePath::row_major(shape.clone(), &[2, 1, 0]).unwrap(),
+    ] {
+        let curve = snaked_path_curve(&schema, &path);
+        let mut table =
+            TableFile::create_in_memory(&curve, &cells, config.storage(), |c, i| {
+                LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
+                    .encode()
+                    .to_vec()
+            })
+            .unwrap();
+        let out = group_by_sum(&wh, &mut table, &curve, &q, &group_levels, quantity)
+            .unwrap();
+        results.push(out.groups);
+    }
+    assert_eq!(results[0], results[1]);
+}

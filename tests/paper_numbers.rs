@@ -1,0 +1,122 @@
+//! One table-driven test per published number: every entry of the paper's
+//! Tables 1-3 (with the two documented errata), asserted against the
+//! regenerated tables of the reproduction harness.
+
+use snakes_bench::{toy, TextTable};
+
+fn cell(t: &TextTable, row_key: &str, col: &str) -> String {
+    let ci = t.column(col).unwrap_or_else(|| panic!("no column {col}"));
+    for r in 0..t.num_rows() {
+        if t.cell(r, 0) == row_key {
+            return t.cell(r, ci).to_string();
+        }
+    }
+    panic!("no row {row_key}");
+}
+
+#[test]
+fn table_1_every_entry() {
+    let t = toy::table1();
+    // (class, P1, P2, H, ~P1, ~P2) — the paper's Table 1 verbatim, except
+    // ~P2/(2,0) where the paper's own formula gives 11/4 (not 12/4).
+    let expected = [
+        ("(0,0)", "16/16", "16/16", "16/16", "16/16", "16/16"),
+        ("(1,1)", "8/4", "4/4", "4/4", "6/4", "4/4"),
+        ("(2,2)", "1/1", "1/1", "1/1", "1/1", "1/1"),
+        ("(1,0)", "16/8", "16/8", "10/8", "14/8", "12/8"),
+        ("(0,1)", "8/8", "8/8", "10/8", "8/8", "8/8"),
+        ("(2,0)", "16/4", "16/4", "8/4", "13/4", "11/4"),
+        ("(0,2)", "4/4", "8/4", "9/4", "4/4", "6/4"),
+        ("(2,1)", "8/2", "4/2", "2/2", "5/2", "3/2"),
+        ("(1,2)", "2/2", "2/2", "3/2", "2/2", "2/2"),
+    ];
+    for (class, p1, p2, h, sp1, sp2) in expected {
+        assert_eq!(cell(&t, class, "P1"), p1, "{class} P1");
+        assert_eq!(cell(&t, class, "P2"), p2, "{class} P2");
+        assert_eq!(cell(&t, class, "H"), h, "{class} H");
+        assert_eq!(cell(&t, class, "~P1"), sp1, "{class} ~P1");
+        assert_eq!(cell(&t, class, "~P2"), sp2, "{class} ~P2");
+    }
+}
+
+#[test]
+fn table_2_every_entry() {
+    let t = toy::table2();
+    // Paper fractions; ~P2 workloads 1-2 use the self-consistent values.
+    let expected: [(&str, [f64; 5]); 3] = [
+        (
+            "1",
+            [17.0 / 9.0, 15.0 / 9.0, 49.0 / 36.0, 14.0 / 9.0, 49.0 / 36.0],
+        ),
+        (
+            "2",
+            [13.0 / 6.0, 11.0 / 6.0, 31.0 / 24.0, 21.0 / 12.0, 35.0 / 24.0],
+        ),
+        ("3", [1.0, 5.0 / 4.0, 3.0 / 2.0, 1.0, 9.0 / 8.0]),
+    ];
+    for (row, vals) in expected {
+        for (col, want) in ["P1", "P2", "H", "~P1", "~P2"].iter().zip(vals) {
+            let got: f64 = cell(&t, row, col).parse().unwrap();
+            assert!(
+                (got - want).abs() < 5e-5,
+                "workload {row} {col}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_3_tracks_paper_percentages() {
+    // Paper: 72/61/52, 60/42/27, 67/30/0.7 (%), fanouts 2/4/32. The 32
+    // column is heavy (1M-cell Hilbert CV); keep this test at 2 and 4 and
+    // let the repro binary cover 32 (EXPERIMENTS.md records 51.5/27.0/0.7).
+    let t = toy::table3(&[2, 4]);
+    let pct = |row: &str, col: &str| -> f64 {
+        cell(&t, row, col).trim_end_matches('%').parse().unwrap()
+    };
+    let expected = [
+        ("1", 72.0, 61.0),
+        ("2", 60.0, 42.0),
+        ("3", 67.0, 30.0),
+    ];
+    for (row, f2, f4) in expected {
+        assert!((pct(row, "fanout=2") - f2).abs() < 1.5, "w{row} f2");
+        assert!((pct(row, "fanout=4") - f4).abs() < 1.5, "w{row} f4");
+    }
+}
+
+/// The fanout-32 column of Table 3 — heavy (the 1024x1024 Hilbert CV), so
+/// ignored by default; run with `cargo test --release -- --ignored`.
+/// Paper: 52 / 27 / 0.7 %.
+#[test]
+#[ignore = "1M-cell Hilbert CV; run with --release -- --ignored"]
+fn table_3_fanout_32_column() {
+    let t = toy::table3(&[32]);
+    let pct = |row: &str| -> f64 {
+        cell(&t, row, "fanout=32")
+            .trim_end_matches('%')
+            .parse()
+            .unwrap()
+    };
+    assert!((pct("1") - 52.0).abs() < 1.0);
+    assert!((pct("2") - 27.0).abs() < 1.0);
+    assert!((pct("3") - 0.7).abs() < 0.2);
+}
+
+#[test]
+fn theorem_3_numbers() {
+    let t = toy::theorem3(6);
+    // 1/(1/2 + 1/2^{n+1}) for n = 1..6.
+    let expected = [
+        4.0 / 3.0,
+        8.0 / 5.0,
+        16.0 / 9.0,
+        32.0 / 17.0,
+        64.0 / 33.0,
+        128.0 / 65.0,
+    ];
+    for (r, want) in expected.iter().enumerate() {
+        let measured: f64 = t.cell(r, 1).parse().unwrap();
+        assert!((measured - want).abs() < 1e-5, "n={}", r + 1);
+    }
+}

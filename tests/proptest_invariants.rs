@@ -1,0 +1,297 @@
+//! Property-based tests over the core invariants, with randomly generated
+//! schemas, paths, workloads, curves, and data.
+
+use proptest::prelude::*;
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::dp::{optimal_lattice_path, optimal_lattice_path_exhaustive};
+use snakes_sandwiches::core::sandwich::Cv2;
+use snakes_sandwiches::core::snake::{max_benefit, snaked_expected_cost};
+use snakes_sandwiches::curves::cv_of;
+use snakes_sandwiches::prelude::*;
+use snakes_sandwiches::storage::exec::query_cost;
+use snakes_sandwiches::storage::CellData;
+
+/// A random small schema: 2-3 dimensions, 1-2 levels, fanouts 2-4 (grids
+/// stay below ~4k cells).
+fn schema_strategy() -> impl Strategy<Value = StarSchema> {
+    proptest::collection::vec(
+        proptest::collection::vec(2u64..=4, 1..=2),
+        2..=3,
+    )
+    .prop_map(|dims| {
+        StarSchema::new(
+            dims.into_iter()
+                .enumerate()
+                .map(|(i, fanouts)| {
+                    Hierarchy::new(format!("d{i}"), fanouts).expect("valid fanouts")
+                })
+                .collect(),
+        )
+        .expect("non-empty")
+    })
+}
+
+/// A random workload over a shape, from positive integer weights.
+fn workload_strategy(shape: LatticeShape) -> impl Strategy<Value = Workload> {
+    let n = shape.num_classes();
+    proptest::collection::vec(0u32..100, n).prop_filter_map("all-zero weights", move |ws| {
+        let weights: Vec<f64> = ws.iter().map(|&w| w as f64).collect();
+        Workload::from_weights(shape.clone(), weights).ok()
+    })
+}
+
+/// A random lattice path as a shuffled dim multiset.
+fn path_strategy(shape: LatticeShape) -> impl Strategy<Value = LatticePath> {
+    let mut dims = Vec::new();
+    for (d, &l) in shape.levels().iter().enumerate() {
+        dims.extend(std::iter::repeat(d).take(l));
+    }
+    Just(dims)
+        .prop_shuffle()
+        .prop_map(move |dims| LatticePath::from_dims(shape.clone(), dims).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snaking never increases expected cost — any schema, path, workload.
+    #[test]
+    fn snaking_never_increases_cost(
+        (schema, path, workload) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), path_strategy(shape.clone()), workload_strategy(shape))
+        })
+    ) {
+        let model = CostModel::of_schema(&schema);
+        let plain = model.expected_cost(&path, &workload);
+        let snaked = snaked_expected_cost(&model, &path, &workload);
+        prop_assert!(snaked <= plain + 1e-9);
+        // Theorem 3: and the improvement is bounded by 2.
+        prop_assert!(plain / snaked < 2.0 + 1e-9);
+    }
+
+    /// Theorem 3's per-class form: max benefit < 2 for every path.
+    #[test]
+    fn max_benefit_below_two(
+        (schema, path) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), path_strategy(shape))
+        })
+    ) {
+        let model = CostModel::of_schema(&schema);
+        prop_assert!(max_benefit(&model, &path) < 2.0);
+    }
+
+    /// The DP is optimal: no enumerated path is cheaper.
+    #[test]
+    fn dp_is_optimal(
+        (schema, workload) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), workload_strategy(shape))
+        })
+    ) {
+        let model = CostModel::of_schema(&schema);
+        let dp = optimal_lattice_path(&model, &workload);
+        let (_, best) = optimal_lattice_path_exhaustive(&model, &workload);
+        prop_assert!((dp.cost - best).abs() < 1e-9);
+        // The returned path realizes the returned cost.
+        prop_assert!((model.expected_cost(&dp.path, &workload) - dp.cost).abs() < 1e-9);
+    }
+
+    /// Lattice-path curves are bijections, snaked or not, and their CVs
+    /// have exactly N - 1 edges.
+    #[test]
+    fn path_curves_are_bijective(
+        (schema, path, snaked) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), path_strategy(shape), any::<bool>())
+        })
+    ) {
+        let curve = if snaked {
+            snaked_path_curve(&schema, &path)
+        } else {
+            path_curve(&schema, &path)
+        };
+        let n = curve.num_cells();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..n {
+            let c = curve.coords_vec(r);
+            prop_assert_eq!(curve.rank(&c), r);
+            prop_assert!(seen.insert(c));
+        }
+        let cv = cv_of(&schema, &curve);
+        prop_assert!((cv.total_edges() - (n as f64 - 1.0)).abs() < 1e-9);
+        if snaked {
+            prop_assert!(cv.is_non_diagonal());
+        }
+    }
+
+    /// Storage packing conserves records and respects basic inequalities.
+    #[test]
+    fn storage_invariants(
+        (schema, path, counts_seed) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), path_strategy(shape), any::<u64>())
+        })
+    ) {
+        let extents = schema.grid_shape();
+        let n: u64 = extents.iter().product();
+        // Pseudo-random counts 0..6 per cell.
+        let counts: Vec<u64> = (0..n)
+            .map(|i| {
+                (counts_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i.wrapping_mul(1442695040888963407))
+                    >> 33)
+                    % 6
+            })
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let cells = CellData::from_counts(extents.clone(), counts);
+        prop_assert_eq!(cells.total_records(), total);
+        let cfg = StorageConfig { page_size: 512, record_size: 125 };
+        let curve = snaked_path_curve(&schema, &path);
+        let layout = PackedLayout::pack(&curve, &cells, cfg);
+        prop_assert_eq!(layout.total_records(), total);
+        // Full-grid query: reads everything, 1 seek (pages contiguous).
+        let ranges: Vec<std::ops::Range<u64>> = extents.iter().map(|&e| 0..e).collect();
+        let qc = query_cost(&curve, &layout, &ranges);
+        prop_assert_eq!(qc.records, total);
+        if total > 0 {
+            prop_assert_eq!(qc.seeks, 1);
+            prop_assert_eq!(qc.blocks, layout.total_pages());
+            prop_assert!(qc.blocks >= qc.min_blocks);
+            prop_assert!(qc.seeks <= qc.blocks);
+        }
+    }
+
+    /// Random consistent diagonal vectors survive the full sandwich
+    /// pipeline, and the chain never increases cost.
+    #[test]
+    fn sandwich_pipeline_on_perturbed_snaked_cvs(
+        (path_a, path_b, wseed) in {
+            let shape = LatticeShape::new(vec![2, 2]);
+            (path_strategy(shape.clone()), path_strategy(shape), any::<u32>())
+        }
+    ) {
+        // Build a consistent diagonal vector by averaging two snaked-path
+        // CVs and shifting one unit of mass to a diagonal entry when the
+        // result stays consistent.
+        let a = Cv2::of_snaked_path(2, &path_a);
+        let b = Cv2::of_snaked_path(2, &path_b);
+        let avg = |x: &[u64], y: &[u64]| -> Vec<u64> {
+            x.iter().zip(y).map(|(p, q)| (p + q) / 2).collect()
+        };
+        let mut av = avg(a.a(), b.a());
+        let bv = avg(a.b(), b.b());
+        let total: u64 = av.iter().sum::<u64>() + bv.iter().sum::<u64>();
+        // Repair rounding loss into a1 (always safe downward).
+        if total < 15 {
+            av[0] += 15 - total;
+        }
+        let base = Cv2::non_diagonal(2, av.clone(), bv.clone()).expect("arity");
+        prop_assume!(base.is_consistent());
+        // Move one unit into a diagonal slot if possible.
+        let mut candidates = vec![base.clone()];
+        if av[0] > 0 {
+            let mut a2 = av.clone();
+            a2[0] -= 1;
+            let d = vec![vec![1, 0], vec![0, 0]];
+            let v = Cv2::new(2, a2, bv.clone(), d).expect("arity");
+            if v.is_consistent() {
+                candidates.push(v);
+            }
+        }
+        let shape = LatticeShape::new(vec![2, 2]);
+        let weights: Vec<f64> = (0..shape.num_classes())
+            .map(|i| ((wseed as usize * 31 + i * 17) % 13 + 1) as f64)
+            .collect();
+        let w = Workload::from_weights(shape, weights).expect("valid");
+        for v in candidates {
+            let nd = v.eliminate_diagonals().expect("Lemma 4");
+            let min = nd.minimalize();
+            let leaves = min.sandwich_closure().expect("closure");
+            let best = leaves.iter().map(|l| l.cost(&w)).fold(f64::INFINITY, f64::min);
+            prop_assert!(nd.cost(&w) <= v.cost(&w) + 1e-9);
+            prop_assert!(min.cost(&w) <= nd.cost(&w) + 1e-9);
+            prop_assert!(best <= min.cost(&w) + 1e-9);
+            for l in &leaves {
+                prop_assert!(l.to_snaked_path().is_some());
+            }
+        }
+    }
+
+    /// Random *diagonal* consistent vectors at n = 3 survive the full
+    /// Lemma 4 → minimalize → Theorem 2 pipeline with the domination chain
+    /// intact. Vectors are built by rejection: random snaked-path CV plus
+    /// random moves of mass from axis entries into diagonal slots.
+    #[test]
+    fn sandwich_pipeline_on_random_n3_vectors(
+        (path, moves, wseed) in {
+            let shape = LatticeShape::new(vec![3, 3]);
+            (
+                path_strategy(shape),
+                proptest::collection::vec((0usize..3, 0usize..3, 0usize..2, 1u64..4), 0..6),
+                any::<u32>(),
+            )
+        }
+    ) {
+        let base = Cv2::of_snaked_path(3, &path);
+        let mut a = base.a().to_vec();
+        let mut b = base.b().to_vec();
+        let mut d = vec![vec![0u64; 3]; 3];
+        for &(i, j, from_a, amount) in &moves {
+            // Move `amount` from a_i (or b_j) into d_ij when available.
+            let src = if from_a == 0 { &mut a[i] } else { &mut b[j] };
+            let take = amount.min(*src);
+            *src -= take;
+            d[i][j] += take;
+        }
+        let v = Cv2::new(3, a, b, d).expect("arity ok");
+        prop_assume!(v.is_consistent());
+        let shape = LatticeShape::new(vec![3, 3]);
+        let weights: Vec<f64> = (0..shape.num_classes())
+            .map(|i| ((wseed as usize * 29 + i * 13) % 17 + 1) as f64)
+            .collect();
+        let w = Workload::from_weights(shape, weights).expect("valid");
+        let nd = v.eliminate_diagonals().expect("Lemma 4 split must exist");
+        let min = nd.minimalize();
+        let leaves = min.sandwich_closure().expect("closure terminates");
+        prop_assert!(nd.cost(&w) <= v.cost(&w) + 1e-9);
+        prop_assert!(min.cost(&w) <= nd.cost(&w) + 1e-9);
+        let best = leaves.iter().map(|l| l.cost(&w)).fold(f64::INFINITY, f64::min);
+        prop_assert!(best <= min.cost(&w) + 1e-9);
+        for l in &leaves {
+            prop_assert!(l.to_snaked_path().is_some(), "leaf {l} not a snaked path");
+        }
+    }
+
+    /// Hilbert, Z-order and Gray curves are bijective with inverse rank on
+    /// random sizes, and Hilbert stays grid-adjacent.
+    #[test]
+    fn space_filling_curves_bijective(bits in 1u32..=4, k in 2usize..=3) {
+        let curves: Vec<Box<dyn Linearization>> = vec![
+            Box::new(HilbertCurve::new(k, bits)),
+            Box::new(ZOrderCurve::new(vec![1u64 << bits; k])),
+            Box::new(GrayCurve::new(vec![1u64 << bits; k])),
+        ];
+        for lin in &curves {
+            let n = lin.num_cells();
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..n {
+                let c = lin.coords_vec(r);
+                prop_assert_eq!(lin.rank(&c), r);
+                prop_assert!(seen.insert(c));
+            }
+        }
+        // Hilbert adjacency.
+        let h = HilbertCurve::new(k, bits);
+        let mut prev = h.coords_vec(0);
+        for r in 1..h.num_cells() {
+            let cur = h.coords_vec(r);
+            let dist: u64 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
+            prop_assert_eq!(dist, 1);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Serialization round-trips across every serde-enabled artifact type: the
+//! ops pipeline (CLI, config files, saved recommendations) depends on
+//! these being stable.
+
+use snakes_sandwiches::core::sandwich::Cv2;
+use snakes_sandwiches::prelude::*;
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    value: &T,
+) {
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(value, &back);
+}
+
+#[test]
+fn core_types_roundtrip() {
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("p", vec![4, 5])
+            .unwrap()
+            .with_level_names(vec!["part".into(), "mfr".into()])
+            .unwrap(),
+        Hierarchy::new("t", vec![12, 7]).unwrap(),
+    ])
+    .unwrap();
+    roundtrip(&schema);
+    let shape = LatticeShape::of_schema(&schema);
+    roundtrip(&shape);
+    roundtrip(&Class(vec![1, 2]));
+    roundtrip(&Workload::uniform(shape.clone()));
+    roundtrip(&LatticePath::row_major(shape.clone(), &[1, 0]).unwrap());
+    roundtrip(&Cv2::non_diagonal(2, vec![8, 4], vec![2, 1]).unwrap());
+    let mut est = WorkloadEstimator::new(shape);
+    est.observe(&Class(vec![0, 0])).unwrap();
+    roundtrip(&est);
+}
+
+#[test]
+fn warehouse_roundtrip_keeps_resolving_after_reindex() {
+    let wh = Warehouse::paper_toy();
+    let json = serde_json::to_string(&wh).unwrap();
+    let mut back: Warehouse = serde_json::from_str(&json).unwrap();
+    back.reindex();
+    let q = back
+        .query()
+        .select("jeans", "gitano")
+        .unwrap()
+        .select("location", "toronto")
+        .unwrap()
+        .build();
+    assert_eq!(q.class(), Class(vec![1, 0]));
+    roundtrip(&q);
+}
+
+#[test]
+fn tpcd_config_roundtrips_with_and_without_nations() {
+    let base = TpcdConfig::default();
+    let json = serde_json::to_string(&base).unwrap();
+    let back: TpcdConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(base, back);
+    let nations = base.with_supplier_nations(5);
+    let json = serde_json::to_string(&nations).unwrap();
+    let back: TpcdConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(nations, back);
+    // Old documents without the field still parse (serde default).
+    let legacy = json.replace("\"supplier_nations\":5,", "");
+    let parsed: TpcdConfig = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(parsed.supplier_nations, None);
+}
+
+#[test]
+fn explanation_serializes_for_the_cli() {
+    let schema = StarSchema::paper_toy();
+    let model = snakes_sandwiches::core::cost::CostModel::of_schema(&schema);
+    let shape = model.shape().clone();
+    let path = LatticePath::row_major(shape.clone(), &[1, 0]).unwrap();
+    let w = Workload::uniform(shape);
+    let e = snakes_sandwiches::core::explain::explain(&model, &path, &w);
+    let json = serde_json::to_string(&e).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v["classes"].as_array().unwrap().len(), 9);
+    assert!(v["snaked_total"].as_f64().unwrap() > 0.0);
+}
