@@ -4,8 +4,8 @@
 //! once) and the time side (chunk lookup throughput).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use snakes_storage::chunks::{ChunkMap, ChunkedStore};
 use snakes_curves::NestedLoops;
+use snakes_storage::chunks::{ChunkMap, ChunkedStore};
 
 /// Column-scan query stream over a 64x64 grid chunked 8x8.
 fn stream() -> Vec<Vec<std::ops::Range<u64>>> {
@@ -13,11 +13,7 @@ fn stream() -> Vec<Vec<std::ops::Range<u64>>> {
 }
 
 fn seeks_with(order: NestedLoops, cache_chunks: usize) -> u64 {
-    let mut store = ChunkedStore::new(
-        ChunkMap::new(vec![64, 64], vec![8, 8]),
-        order,
-        cache_chunks,
-    );
+    let mut store = ChunkedStore::new(ChunkMap::new(vec![64, 64], vec![8, 8]), order, cache_chunks);
     stream().iter().map(|q| store.run_query(q).seeks).sum()
 }
 

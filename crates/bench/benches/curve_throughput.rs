@@ -6,8 +6,7 @@ use snakes_core::lattice::LatticeShape;
 use snakes_core::path::LatticePath;
 use snakes_core::schema::StarSchema;
 use snakes_curves::{
-    path_curve, snaked_path_curve, GrayCurve, HilbertCurve, Linearization, NestedLoops,
-    ZOrderCurve,
+    path_curve, snaked_path_curve, GrayCurve, HilbertCurve, Linearization, NestedLoops, ZOrderCurve,
 };
 
 const N: u64 = 1 << 16; // 256x256 grid

@@ -54,5 +54,10 @@ fn bench_dp_dimensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dp_2d, bench_dp_figure4_port, bench_dp_dimensions);
+criterion_group!(
+    benches,
+    bench_dp_2d,
+    bench_dp_figure4_port,
+    bench_dp_dimensions
+);
 criterion_main!(benches);

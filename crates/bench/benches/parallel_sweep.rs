@@ -1,0 +1,124 @@
+//! Serial vs parallel Table-4 sweep: the tentpole speedup benchmark.
+//!
+//! Measures one full `Evaluator::evaluate` (pack every candidate strategy,
+//! execute every query of every class) of the synthetic TPC-D scenario,
+//! first with `threads = 1` and then with one worker per core, verifies
+//! the two evaluations are **bit-identical**, and appends the observed
+//! speedup plus the metrics counters to `BENCH_parallel_sweep.json` at the
+//! workspace root so the perf trajectory is tracked across commits.
+//!
+//! On a multi-core machine the parallel sweep is expected to run ≥ 2× (at
+//! 4 cores) faster than serial; on a single core the engine falls back to
+//! the serial path and the speedup is ≈ 1 (reported, not asserted, so the
+//! bench is meaningful on any box).
+
+use serde::Serialize;
+use snakes_core::parallel::metrics;
+use snakes_tpcd::sweep::WorkloadEvaluation;
+use snakes_tpcd::{paper_workload_7, Evaluator, TpcdConfig};
+use std::time::Instant;
+
+/// One run of this bench, appended to `BENCH_parallel_sweep.json`.
+#[derive(Serialize)]
+struct TrajectoryEntry {
+    bench: &'static str,
+    unix_time: u64,
+    cores: usize,
+    records: u64,
+    serial_ns: u64,
+    parallel_ns: u64,
+    speedup: f64,
+    metrics: metrics::MetricsSnapshot,
+}
+
+const RECORDS: u64 = 60_000;
+const SAMPLES: usize = 5;
+
+fn base_config() -> TpcdConfig {
+    TpcdConfig {
+        records: RECORDS,
+        ..TpcdConfig::small()
+    }
+}
+
+/// Times one full evaluation at `threads` workers; a fresh `Evaluator` per
+/// sample so the per-curve cache never hides the measurement work.
+fn sample_sweep(threads: usize) -> (u128, WorkloadEvaluation) {
+    let config = base_config().with_threads(threads);
+    let workload = paper_workload_7(&config).workload;
+    let mut evaluator = Evaluator::new(config);
+    let start = Instant::now();
+    let evaluation = evaluator.evaluate(&workload);
+    (start.elapsed().as_nanos(), evaluation)
+}
+
+fn median_time(threads: usize) -> (u128, WorkloadEvaluation) {
+    let mut times: Vec<u128> = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let (ns, ev) = sample_sweep(threads);
+        times.push(ns);
+        last = Some(ev);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("at least one sample"))
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "parallel_sweep: TPC-D Table-4 scenario, {RECORDS} records, {cores} core(s), \
+         median of {SAMPLES}"
+    );
+
+    let (serial_ns, serial_eval) = median_time(1);
+    println!("  serial   (1 thread):  {:>12} ns", serial_ns);
+
+    metrics::reset();
+    let before = metrics::snapshot();
+    let (parallel_ns, parallel_eval) = median_time(0);
+    let delta = metrics::snapshot().since(&before);
+    println!("  parallel ({cores} threads): {:>12} ns", parallel_ns);
+
+    assert_eq!(
+        serial_eval, parallel_eval,
+        "parallel evaluation must be bit-identical to serial"
+    );
+    println!("  differential check: parallel output bit-identical to serial");
+
+    let speedup = serial_ns as f64 / parallel_ns as f64;
+    println!("  speedup: {speedup:.2}x");
+    if cores >= 4 && speedup < 2.0 {
+        eprintln!("  WARNING: expected >= 2x speedup on {cores} cores, got {speedup:.2}x");
+    }
+
+    // Append this run to the trajectory file at the workspace root.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = serde_json::to_value(&TrajectoryEntry {
+        bench: "parallel_sweep",
+        unix_time,
+        cores,
+        records: RECORDS,
+        serial_ns: serial_ns as u64,
+        parallel_ns: parallel_ns as u64,
+        speedup,
+        metrics: delta,
+    })
+    .expect("entry serializes");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_sweep.json"
+    );
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    runs.push(entry);
+    let body = serde_json::to_string_pretty(&runs).expect("trajectory serializes");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("  trajectory appended to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

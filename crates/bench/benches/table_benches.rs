@@ -19,9 +19,7 @@ fn bench_table3_fanout_32(c: &mut Criterion) {
     // The 1024x1024 Hilbert CV extraction dominates; one sample profile.
     let mut g = c.benchmark_group("paper_tables_large");
     g.sample_size(10);
-    g.bench_function("table3_fanout_32_column", |b| {
-        b.iter(|| toy::table3(&[32]))
-    });
+    g.bench_function("table3_fanout_32_column", |b| b.iter(|| toy::table3(&[32])));
     g.finish();
 }
 

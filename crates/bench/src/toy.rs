@@ -372,7 +372,9 @@ pub fn hilbert_sandwich_report(max_n: usize) -> String {
                 ));
             }
             None => {
-                out.push_str(&format!("n={n}: NO pair of snaked lattice paths sandwiches Hilbert\n"));
+                out.push_str(&format!(
+                    "n={n}: NO pair of snaked lattice paths sandwiches Hilbert\n"
+                ));
             }
         }
     }
@@ -456,12 +458,12 @@ pub fn theorem3(max_n: usize) -> TextTable {
         let shape = model.shape().clone();
         // The proof's extremal path: one B step, all A steps, rest of B.
         let mut dims = vec![1];
-        dims.extend(std::iter::repeat(0).take(n));
-        dims.extend(std::iter::repeat(1).take(n - 1));
+        dims.extend(std::iter::repeat_n(0, n));
+        dims.extend(std::iter::repeat_n(1, n - 1));
         let p = LatticePath::from_dims(shape.clone(), dims).expect("valid");
         let w = Workload::point(shape, &Class(vec![n, 0])).expect("valid");
-        let ratio = model.expected_cost(&p, &w)
-            / snakes_core::snake::snaked_expected_cost(&model, &p, &w);
+        let ratio =
+            model.expected_cost(&p, &w) / snakes_core::snake::snaked_expected_cost(&model, &p, &w);
         let predicted = 1.0 / (0.5 + 1.0 / 2f64.powi(n as i32 + 1));
         t.push_row(vec![
             n.to_string(),
@@ -508,9 +510,8 @@ mod tests {
     fn table2_reproduces_paper_entries() {
         let t = table2();
         assert_eq!(t.num_rows(), 3);
-        let get = |row: usize, col: &str| -> f64 {
-            t.cell(row, t.column(col).unwrap()).parse().unwrap()
-        };
+        let get =
+            |row: usize, col: &str| -> f64 { t.cell(row, t.column(col).unwrap()).parse().unwrap() };
         assert!((get(0, "P1") - 17.0 / 9.0).abs() < 1e-3);
         assert!((get(0, "P2") - 15.0 / 9.0).abs() < 1e-3);
         assert!((get(0, "H") - 49.0 / 36.0).abs() < 1e-3);
@@ -525,9 +526,8 @@ mod tests {
         // fanout=2 column: the paper reports 72% / 60% / 67%.
         let t = table3(&[2, 4]);
         let c2 = t.column("fanout=2").unwrap();
-        let pct = |r: usize, c: usize| -> f64 {
-            t.cell(r, c).trim_end_matches('%').parse().unwrap()
-        };
+        let pct =
+            |r: usize, c: usize| -> f64 { t.cell(r, c).trim_end_matches('%').parse().unwrap() };
         assert!((pct(0, c2) - 72.0).abs() < 1.0);
         assert!((pct(1, c2) - 60.0).abs() < 1.5);
         assert!((pct(2, c2) - 66.7).abs() < 1.0);
@@ -602,7 +602,10 @@ mod tests {
         let r = hilbert_sandwich_report(2);
         assert!(r.contains("n=1: sandwich pair found"));
         assert!(r.contains("n=2: sandwich pair found"));
-        assert!(r.contains("does NOT work"), "alternating pair fails for n=2");
+        assert!(
+            r.contains("does NOT work"),
+            "alternating pair fails for n=2"
+        );
     }
 
     #[test]

@@ -5,12 +5,14 @@
 use crate::spec::{SchemaSpec, SpecError, WorkloadSpec};
 use serde::Serialize;
 use snakes_core::advisor::recommend;
-use snakes_core::dp::k_best_lattice_paths;
 use snakes_core::cost::CostModel;
+use snakes_core::dp::k_best_lattice_paths;
 use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::parallel::metrics;
 use snakes_core::path::LatticePath;
 use snakes_core::stats::WorkloadEstimator;
 use snakes_curves::{path_curve, snaked_path_curve, Linearization};
+use snakes_tpcd::{tpcd_workloads, Evaluator, StrategyResult, TpcdConfig};
 
 /// CLI failures: usage errors carry exit-code semantics for `main`.
 #[derive(Debug)]
@@ -71,11 +73,7 @@ struct RowMajorOut {
 /// # Errors
 ///
 /// Returns [`CliError`] on invalid documents.
-pub fn advise(
-    schema_json: &str,
-    workload_json: &str,
-    explain: bool,
-) -> Result<String, CliError> {
+pub fn advise(schema_json: &str, workload_json: &str, explain: bool) -> Result<String, CliError> {
     let schema = SchemaSpec::parse(schema_json)?;
     let shape = LatticeShape::of_schema(&schema);
     let workload = WorkloadSpec::parse(workload_json, &shape)?;
@@ -87,7 +85,12 @@ pub fn advise(
     let out = AdviceOut {
         explanation,
         path_dims: rec.optimal_path.dims().to_vec(),
-        path_points: rec.optimal_path.points().iter().map(|c| c.0.clone()).collect(),
+        path_points: rec
+            .optimal_path
+            .points()
+            .iter()
+            .map(|c| c.0.clone())
+            .collect(),
         path: rec.optimal_path.to_string(),
         expected_cost_plain: rec.plain_cost,
         expected_cost_snaked: rec.snaked_cost,
@@ -124,9 +127,8 @@ pub fn estimate(schema_json: &str, queries_jsonl: &str, smooth: f64) -> Result<S
         if line.is_empty() {
             continue;
         }
-        let levels: Vec<usize> = serde_json::from_str(line).map_err(|e| {
-            CliError::Spec(SpecError::Invalid(format!("line {}: {e}", lineno + 1)))
-        })?;
+        let levels: Vec<usize> = serde_json::from_str(line)
+            .map_err(|e| CliError::Spec(SpecError::Invalid(format!("line {}: {e}", lineno + 1))))?;
         est.observe(&Class(levels))
             .map_err(|e| CliError::Spec(SpecError::Invalid(format!("line {}: {e}", lineno + 1))))?;
     }
@@ -273,6 +275,72 @@ pub fn reorg(
     .expect("output serializes"))
 }
 
+#[derive(Debug, Serialize)]
+struct SweepStrategyOut {
+    path: String,
+    dims: Vec<usize>,
+    avg_seeks: f64,
+    avg_normalized_blocks: f64,
+}
+
+impl From<&StrategyResult> for SweepStrategyOut {
+    fn from(r: &StrategyResult) -> Self {
+        Self {
+            path: r.path.to_string(),
+            dims: r.path.dims().to_vec(),
+            avg_seeks: r.avg_seeks,
+            avg_normalized_blocks: r.avg_normalized_blocks,
+        }
+    }
+}
+
+/// `snakes sweep`: one Table-4 row of the synthetic TPC-D experiment —
+/// generate `records` LineItems, pack along every candidate strategy, and
+/// measure workload `number` (1..=27, §6.2 numbering). `threads` sets the
+/// measurement worker count (0 = one per core, 1 = serial); the numbers
+/// are bit-identical for every value.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on a workload number outside 1..=27.
+pub fn sweep(records: u64, number: usize, threads: usize) -> Result<String, CliError> {
+    let config = TpcdConfig {
+        records,
+        ..TpcdConfig::small()
+    }
+    .with_threads(threads);
+    let nw = tpcd_workloads(&config)
+        .into_iter()
+        .find(|w| w.number == number)
+        .ok_or_else(|| CliError::Usage(format!("--number must be in 1..=27, got {number}")))?;
+    let mut evaluator = Evaluator::new(config);
+    let e = evaluator.evaluate(&nw.workload);
+    #[derive(Serialize)]
+    struct Out {
+        records: u64,
+        threads: usize,
+        workload_number: usize,
+        workload_label: String,
+        optimal: SweepStrategyOut,
+        snaked_optimal: SweepStrategyOut,
+        best_row_major: SweepStrategyOut,
+        worst_row_major: SweepStrategyOut,
+        hilbert: SweepStrategyOut,
+    }
+    Ok(serde_json::to_string_pretty(&Out {
+        records,
+        threads,
+        workload_number: nw.number,
+        workload_label: nw.label(),
+        optimal: (&e.optimal).into(),
+        snaked_optimal: (&e.snaked_optimal).into(),
+        best_row_major: e.best_row_major().into(),
+        worst_row_major: e.worst_row_major().into(),
+        hilbert: (&e.hilbert).into(),
+    })
+    .expect("output serializes"))
+}
+
 /// Dispatches a full argv (excluding the program name). Returns the output
 /// document to print.
 ///
@@ -280,7 +348,10 @@ pub fn reorg(
 ///
 /// Returns [`CliError::Usage`] for unknown commands/flags; the binary maps
 /// it to exit code 2.
-pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+pub fn run(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
     let mut pos = Vec::new();
     let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     let mut bools: std::collections::HashSet<String> = std::collections::HashSet::new();
@@ -305,7 +376,10 @@ pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>)
             .ok_or_else(|| CliError::Usage(format!("--{key} <file> is required")))?;
         read_file(path).map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))
     };
-    match pos.first().map(String::as_str) {
+    // Snapshot before dispatch so `--stats` reports this invocation only.
+    let want_stats = bools.contains("stats");
+    let before = metrics::snapshot();
+    let result = match pos.first().map(String::as_str) {
         Some("advise") => advise(
             &file("schema")?,
             &file("workload")?,
@@ -353,11 +427,46 @@ pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>)
                 .unwrap_or(0);
             order(&file("schema")?, path, !bools.contains("plain"), limit)
         }
+        Some("sweep") => {
+            let records = flags
+                .get("records")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --records: {e}")))?
+                .unwrap_or(30_000);
+            let number = flags
+                .get("number")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --number: {e}")))?
+                .unwrap_or(7);
+            let threads = flags
+                .get("threads")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?
+                .unwrap_or(0);
+            sweep(records, number, threads)
+        }
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
         None => Err(CliError::Usage(
-            "expected a command: advise | estimate | topk | order | reorg".into(),
+            "expected a command: advise | estimate | topk | order | reorg | sweep".into(),
         )),
+    };
+    if !want_stats {
+        return result;
     }
+    result.map(|out| {
+        #[derive(Serialize)]
+        struct StatsOut {
+            metrics: metrics::MetricsSnapshot,
+        }
+        let trailer = serde_json::to_string(&StatsOut {
+            metrics: metrics::snapshot().since(&before),
+        })
+        .expect("metrics serialize");
+        format!("{out}\n{trailer}")
+    })
 }
 
 #[cfg(test)]
@@ -366,15 +475,17 @@ mod tests {
 
     const SCHEMA: &str =
         r#"{"dims":[{"name":"jeans","fanouts":[2,2]},{"name":"location","fanouts":[2,2]}]}"#;
-    const UNIFORM: &str =
-        r#"{"marginals":[[0.34,0.33,0.33],[0.34,0.33,0.33]]}"#;
+    const UNIFORM: &str = r#"{"marginals":[[0.34,0.33,0.33],[0.34,0.33,0.33]]}"#;
 
     #[test]
     fn advise_produces_a_valid_document() {
         let out = advise(SCHEMA, UNIFORM, false).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["guarantee_factor"], 2.0);
-        assert!(v["expected_cost_snaked"].as_f64().unwrap() <= v["expected_cost_plain"].as_f64().unwrap());
+        assert!(
+            v["expected_cost_snaked"].as_f64().unwrap()
+                <= v["expected_cost_plain"].as_f64().unwrap()
+        );
         assert_eq!(v["row_majors"].as_array().unwrap().len(), 2);
         assert_eq!(v["path_dims"].as_array().unwrap().len(), 4);
     }
@@ -385,10 +496,7 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let classes = v["explanation"]["classes"].as_array().unwrap();
         assert_eq!(classes.len(), 9);
-        let share_sum: f64 = classes
-            .iter()
-            .map(|c| c["share"].as_f64().unwrap())
-            .sum();
+        let share_sum: f64 = classes.iter().map(|c| c["share"].as_f64().unwrap()).sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
         // Without the flag, the field is omitted.
         let plain = advise(SCHEMA, UNIFORM, false).unwrap();
@@ -465,15 +573,68 @@ mod tests {
     }
 
     #[test]
+    fn sweep_measures_a_table_4_row() {
+        let out = sweep(4_000, 7, 2).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["workload_number"], 7);
+        assert_eq!(v["workload_label"], "even/down/even");
+        let snaked = v["snaked_optimal"]["avg_seeks"].as_f64().unwrap();
+        let worst = v["worst_row_major"]["avg_seeks"].as_f64().unwrap();
+        assert!(snaked <= worst + 1e-9, "snaked {snaked} vs worst {worst}");
+        assert!(v["hilbert"]["avg_normalized_blocks"].as_f64().unwrap() >= 1.0);
+        assert!(sweep(4_000, 99, 1).is_err());
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let serial: serde_json::Value = serde_json::from_str(&sweep(4_000, 3, 1).unwrap()).unwrap();
+        for threads in [2, 4] {
+            let par: serde_json::Value =
+                serde_json::from_str(&sweep(4_000, 3, threads).unwrap()).unwrap();
+            // Only the echoed `threads` field may differ.
+            for key in [
+                "optimal",
+                "snaked_optimal",
+                "best_row_major",
+                "worst_row_major",
+                "hilbert",
+            ] {
+                assert_eq!(par[key], serial[key], "threads={threads} key={key}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_flag_appends_a_metrics_trailer() {
+        let read = |_: &str| -> std::io::Result<String> { Ok(SCHEMA.to_string()) };
+        let args: Vec<String> = "sweep --records 4000 --number 7 --threads 2 --stats"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let out = run(&args, &read).unwrap();
+        let trailer = out.lines().last().unwrap();
+        let v: serde_json::Value = serde_json::from_str(trailer).unwrap();
+        assert!(v["metrics"]["queries_executed"].as_u64().unwrap() > 0);
+        assert!(v["metrics"]["pages_touched"].as_u64().unwrap() > 0);
+        assert!(v["metrics"]["cache_misses"].as_u64().unwrap() > 0);
+        // The document before the trailer still parses on its own.
+        let doc: String = out
+            .lines()
+            .take(out.lines().count() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(serde_json::from_str::<serde_json::Value>(&doc).is_ok());
+    }
+
+    #[test]
     fn arbitrary_args_never_panic() {
         // Fuzz the dispatcher: any argv must yield Ok or a structured
         // error, never a panic.
         let read = |_: &str| -> std::io::Result<String> {
             Ok(SCHEMA.to_string()) // every "file" is a schema document
         };
-        let mut runner = proptest::test_runner::TestRunner::new(
-            proptest::test_runner::Config::with_cases(200),
-        );
+        let mut runner =
+            proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(200));
         runner
             .run(
                 &proptest::collection::vec("[a-z0-9,.=-]{0,12}", 0..6),
@@ -511,6 +672,10 @@ mod tests {
         .is_ok());
         assert!(run(&args("bogus"), &read).is_err());
         assert!(run(&[], &read).is_err());
-        assert!(run(&args("advise --schema missing.json --workload w.json"), &read).is_err());
+        assert!(run(
+            &args("advise --schema missing.json --workload w.json"),
+            &read
+        )
+        .is_err());
     }
 }

@@ -10,7 +10,16 @@
 //! snakes order    --schema schema.json --path 1,0,1,0 [--plain] [--limit N]
 //! snakes reorg    --schema schema.json --workload workload.json \
 //!                 --path 0,0,1,1 --cost 5000
+//! snakes sweep    [--records N] [--number W] [--threads N]
 //! ```
+//!
+//! `sweep` runs one Table-4 row of the synthetic TPC-D experiment
+//! (workload `--number`, 1..=27) with `--threads` measurement workers
+//! (0 = one per core; results are bit-identical for every thread count).
+//! Every command accepts `--stats`, which appends one JSON line
+//! `{"metrics": {...}}` after the output document with the counters from
+//! this invocation: queries executed, pages touched, curve-cache
+//! hits/misses, and per-phase wall times.
 //!
 //! Schema JSON: `{"dims": [{"name": "parts", "fanouts": [40, 5]}, ...]}`.
 //! Workload JSON (one of):

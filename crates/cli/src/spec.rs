@@ -138,7 +138,7 @@ impl WorkloadSpec {
             for cw in classes {
                 let class = Class(cw.class);
                 shape.check(&class)?;
-                if !(cw.weight >= 0.0) {
+                if cw.weight < 0.0 || cw.weight.is_nan() {
                     return Err(SpecError::Invalid(format!(
                         "negative weight for class {class}"
                     )));
@@ -158,7 +158,8 @@ mod tests {
 
     #[test]
     fn schema_roundtrip() {
-        let json = r#"{"dims":[{"name":"parts","fanouts":[40,5]},{"name":"time","fanouts":[12,7]}]}"#;
+        let json =
+            r#"{"dims":[{"name":"parts","fanouts":[40,5]},{"name":"time","fanouts":[12,7]}]}"#;
         let schema = SchemaSpec::parse(json).unwrap();
         assert_eq!(schema.k(), 2);
         assert_eq!(schema.grid_shape(), vec![200, 84]);
@@ -184,8 +185,7 @@ mod tests {
             &shape,
         )
         .unwrap();
-        let w3 =
-            WorkloadSpec::parse(r#"{"marginals":[[0.5,0.5],[0.5,0.5]]}"#, &shape).unwrap();
+        let w3 = WorkloadSpec::parse(r#"{"marginals":[[0.5,0.5],[0.5,0.5]]}"#, &shape).unwrap();
         assert_eq!(w1, w2);
         assert_eq!(w1, w3);
     }
@@ -194,22 +194,17 @@ mod tests {
     fn workload_rejects_ambiguous_and_invalid() {
         let shape = LatticeShape::new(vec![1, 1]);
         assert!(WorkloadSpec::parse("{}", &shape).is_err());
-        assert!(WorkloadSpec::parse(
-            r#"{"probs":[1.0,0,0,0],"marginals":[[1,0],[1,0]]}"#,
-            &shape
-        )
-        .is_err());
+        assert!(
+            WorkloadSpec::parse(r#"{"probs":[1.0,0,0,0],"marginals":[[1,0],[1,0]]}"#, &shape)
+                .is_err()
+        );
         assert!(WorkloadSpec::parse(r#"{"probs":[0.5,0.5]}"#, &shape).is_err());
-        assert!(WorkloadSpec::parse(
-            r#"{"classes":[{"class":[5,0],"weight":1}]}"#,
-            &shape
-        )
-        .is_err());
-        assert!(WorkloadSpec::parse(
-            r#"{"classes":[{"class":[0,0],"weight":-1}]}"#,
-            &shape
-        )
-        .is_err());
+        assert!(
+            WorkloadSpec::parse(r#"{"classes":[{"class":[5,0],"weight":1}]}"#, &shape).is_err()
+        );
+        assert!(
+            WorkloadSpec::parse(r#"{"classes":[{"class":[0,0],"weight":-1}]}"#, &shape).is_err()
+        );
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl ReorgDecision {
     /// Whether re-clustering pays off within `horizon_queries`.
     pub fn worth_it(&self, horizon_queries: f64) -> bool {
         self.break_even_queries
-            .map_or(false, |b| b <= horizon_queries)
+            .is_some_and(|b| b <= horizon_queries)
     }
 }
 
@@ -210,10 +210,7 @@ pub fn robust_recommend(
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &c)| (i, c))
             .expect("non-empty workloads");
-        if best
-            .as_ref()
-            .map_or(true, |b| worst < b.worst_case_cost)
-        {
+        if best.as_ref().is_none_or(|b| worst < b.worst_case_cost) {
             best = Some(RobustRecommendation {
                 path: p,
                 worst_case_cost: worst,

@@ -278,10 +278,7 @@ mod tests {
     fn section_5_2_dist_example() {
         let m = toy_model();
         let p3 = LatticePath::from_dims(toy_shape(), vec![1, 0, 0, 1]).unwrap();
-        assert_eq!(
-            p3.display_points(),
-            "⟨(0,0),(0,1),(1,1),(2,1),(2,2)⟩"
-        );
+        assert_eq!(p3.display_points(), "⟨(0,0),(0,1),(1,1),(2,1),(2,2)⟩");
         assert_eq!(m.dist(&p3, &Class(vec![2, 0])), 4.0);
     }
 

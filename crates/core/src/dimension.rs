@@ -92,11 +92,7 @@ impl DimensionTable {
         let mut names = Vec::with_capacity(levels + 1);
         for lvl in 0..levels {
             let count = hierarchy.nodes_at_level(lvl);
-            names.push(
-                (0..count)
-                    .map(|i| format!("{prefix}-L{lvl}-{i}"))
-                    .collect(),
-            );
+            names.push((0..count).map(|i| format!("{prefix}-L{lvl}-{i}")).collect());
         }
         names.push(vec!["ALL".to_string()]);
         Self::new(hierarchy, names).expect("synthetic names are well-formed")
@@ -255,13 +251,11 @@ impl<'a> Member<'a> {
 
     /// Whether `other` lies in this member's subtree.
     pub fn contains(&self, other: &Member<'_>) -> bool {
-        std::ptr::eq(self.table, other.table)
-            && other.level <= self.level
-            && {
-                let r = self.leaf_range();
-                let o = other.leaf_range();
-                r.start <= o.start && o.end <= r.end
-            }
+        std::ptr::eq(self.table, other.table) && other.level <= self.level && {
+            let r = self.leaf_range();
+            let o = other.leaf_range();
+            r.start <= o.start && o.end <= r.end
+        }
     }
 }
 
@@ -349,9 +343,7 @@ mod tests {
         // Wrong count.
         assert!(DimensionTable::new(h.clone(), vec![vec!["a".into()]]).is_err());
         // Duplicate within a level.
-        assert!(
-            DimensionTable::new(h, vec![vec!["a".into(), "a".into()]]).is_err()
-        );
+        assert!(DimensionTable::new(h, vec![vec!["a".into(), "a".into()]]).is_err());
     }
 
     #[test]

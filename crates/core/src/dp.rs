@@ -44,12 +44,7 @@ impl DpResult {
     /// The optimal path of the sublattice rooted at `from` (the suffix the
     /// DP's Lemma 1 principle-of-optimality guarantees).
     pub fn path_from(&self, shape: &LatticeShape, from: &Class) -> Vec<usize> {
-        let mut stride = vec![0usize; shape.k()];
-        let mut s = 1;
-        for d in 0..shape.k() {
-            stride[d] = s;
-            s *= shape.top_level(d) + 1;
-        }
+        let stride = rank_strides(shape);
         let mut dims = Vec::new();
         let mut r = shape.rank(from);
         while self.choices[r] != usize::MAX {
@@ -85,13 +80,7 @@ pub fn optimal_lattice_path(model: &CostModel, workload: &Workload) -> DpResult 
     let k = shape.k();
     let n = shape.num_classes();
 
-    // Strides of the dense rank layout: rank(u + e_d) = rank(u) + stride[d].
-    let mut stride = vec![0usize; k];
-    let mut s = 1;
-    for d in 0..k {
-        stride[d] = s;
-        s *= shape.top_level(d) + 1;
-    }
+    let stride = rank_strides(shape);
 
     // raw[d][r] = raw_d(class with rank r). Built by initializing with the
     // probabilities and accumulating along every dimension except d:
@@ -100,11 +89,11 @@ pub fn optimal_lattice_path(model: &CostModel, workload: &Workload) -> DpResult 
     let mut raw: Vec<Vec<f64>> = Vec::with_capacity(k);
     for d in 0..k {
         let mut g = probs.to_vec();
-        for dp in 0..k {
+        for (dp, &sd) in stride.iter().enumerate() {
             if dp == d {
                 continue;
             }
-            fold_dim(&mut g, shape, model, dp, stride[dp]);
+            fold_dim(&mut g, shape, model, dp, sd);
         }
         raw.push(g);
     }
@@ -179,20 +168,15 @@ pub fn optimal_lattice_path_through(
     let n = shape.num_classes();
     let unconstrained = optimal_lattice_path(model, workload);
 
-    let mut stride = vec![0usize; k];
-    let mut s = 1;
-    for d in 0..k {
-        stride[d] = s;
-        s *= shape.top_level(d) + 1;
-    }
+    let stride = rank_strides(shape);
     // raw_d tables (same as the unconstrained DP).
     let probs = workload.probs();
     let mut raw: Vec<Vec<f64>> = Vec::with_capacity(k);
     for d in 0..k {
         let mut g = probs.to_vec();
-        for dp in 0..k {
+        for (dp, &sd) in stride.iter().enumerate() {
             if dp != d {
-                fold_dim(&mut g, shape, model, dp, stride[dp]);
+                fold_dim(&mut g, shape, model, dp, sd);
             }
         }
         raw.push(g);
@@ -245,6 +229,17 @@ pub fn optimal_lattice_path_through(
         cost_table: table,
         choices: choice,
     }
+}
+
+/// Strides of the dense rank layout: rank(u + e_d) = rank(u) + stride[d].
+fn rank_strides(shape: &LatticeShape) -> Vec<usize> {
+    let mut stride = Vec::with_capacity(shape.k());
+    let mut s = 1;
+    for d in 0..shape.k() {
+        stride.push(s);
+        s *= shape.top_level(d) + 1;
+    }
+    stride
 }
 
 /// In-place reverse accumulation of `g` along dimension `dp`:
@@ -380,21 +375,16 @@ pub fn k_best_lattice_paths(
     let kd = shape.k();
     let n = shape.num_classes();
 
-    let mut stride = vec![0usize; kd];
-    let mut s = 1;
-    for d in 0..kd {
-        stride[d] = s;
-        s *= shape.top_level(d) + 1;
-    }
+    let stride = rank_strides(shape);
 
     // raw_d tables, as in the 1-best DP.
     let probs = workload.probs();
     let mut raw: Vec<Vec<f64>> = Vec::with_capacity(kd);
     for d in 0..kd {
         let mut g = probs.to_vec();
-        for dp in 0..kd {
+        for (dp, &sd) in stride.iter().enumerate() {
             if dp != d {
-                fold_dim(&mut g, shape, model, dp, stride[dp]);
+                fold_dim(&mut g, shape, model, dp, sd);
             }
         }
         raw.push(g);
@@ -454,7 +444,7 @@ pub fn optimal_lattice_path_exhaustive(
     let mut best: Option<(LatticePath, f64)> = None;
     for p in LatticePath::enumerate(model.shape()) {
         let c = model.expected_cost(&p, workload);
-        if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
             best = Some((p, c));
         }
     }
@@ -490,9 +480,7 @@ mod tests {
             let a = optimal_lattice_path(&m, &w);
             let b = optimal_lattice_path_2d(&m, &w);
             assert!((a.cost - b.cost).abs() < 1e-12);
-            assert!(
-                (m.expected_cost(&a.path, &w) - m.expected_cost(&b.path, &w)).abs() < 1e-12
-            );
+            assert!((m.expected_cost(&a.path, &w) - m.expected_cost(&b.path, &w)).abs() < 1e-12);
         }
     }
 
@@ -666,11 +654,7 @@ mod tests {
                 let top = k_best_lattice_paths(&m, &w, k);
                 assert_eq!(top.len(), k.min(all.len()));
                 for (i, (p, c)) in top.iter().enumerate() {
-                    assert!(
-                        (c - all[i].1).abs() < 1e-9,
-                        "rank {i}: {c} vs {}",
-                        all[i].1
-                    );
+                    assert!((c - all[i].1).abs() < 1e-9, "rank {i}: {c} vs {}", all[i].1);
                     assert!((m.expected_cost(p, &w) - c).abs() < 1e-9);
                 }
                 // Paths are pairwise distinct.

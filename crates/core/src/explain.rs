@@ -130,7 +130,6 @@ pub fn explain(model: &CostModel, path: &LatticePath, workload: &Workload) -> Co
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lattice::LatticeShape;
     use crate::schema::StarSchema;
     use crate::snake::snaked_expected_cost;
 

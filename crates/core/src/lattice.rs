@@ -27,8 +27,7 @@ impl Class {
     /// Componentwise `<=` (the lattice order). Returns `false` when the
     /// arities differ.
     pub fn leq(&self, other: &Class) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
     }
 
     /// Whether `other` is a `d`-successor of `self` for some `d`
@@ -127,8 +126,7 @@ impl LatticeShape {
 
     /// Whether `c` is a class of this lattice.
     pub fn contains(&self, c: &Class) -> bool {
-        c.0.len() == self.levels.len()
-            && c.0.iter().zip(&self.levels).all(|(&v, &l)| v <= l)
+        c.0.len() == self.levels.len() && c.0.iter().zip(&self.levels).all(|(&v, &l)| v <= l)
     }
 
     /// Validates membership, for error propagation.

@@ -47,12 +47,13 @@
 
 pub mod advisor;
 pub mod cost;
-pub mod dimension;
 pub mod cv;
+pub mod dimension;
 pub mod dp;
 pub mod error;
 pub mod explain;
 pub mod lattice;
+pub mod parallel;
 pub mod path;
 pub mod query;
 pub mod sandwich;
@@ -64,14 +65,21 @@ pub mod workload;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::advisor::{recommend, recommend_with_model, reorg_decision, robust_recommend, Recommendation, ReorgDecision, RobustRecommendation};
+    pub use crate::advisor::{
+        recommend, recommend_with_model, reorg_decision, robust_recommend, Recommendation,
+        ReorgDecision, RobustRecommendation,
+    };
     pub use crate::cost::CostModel;
     pub use crate::cv::{Cv, EdgeType};
-    pub use crate::dp::{k_best_lattice_paths, optimal_lattice_path, optimal_lattice_path_2d, optimal_lattice_path_through, DpResult};
     pub use crate::dimension::{DimensionTable, Member};
+    pub use crate::dp::{
+        k_best_lattice_paths, optimal_lattice_path, optimal_lattice_path_2d,
+        optimal_lattice_path_through, DpResult,
+    };
     pub use crate::error::{Error, Result};
     pub use crate::explain::{explain, ClassContribution, CostExplanation};
     pub use crate::lattice::{Class, LatticeShape};
+    pub use crate::parallel::ParallelConfig;
     pub use crate::path::{LatticePath, Step};
     pub use crate::query::{GridQuery, GridQueryBuilder, RangeQuery, RangeQueryBuilder, Warehouse};
     pub use crate::sandwich::Cv2;

@@ -1,0 +1,344 @@
+//! Work-stealing parallel evaluation engine with deterministic reduction,
+//! plus the global metrics layer.
+//!
+//! Everything expensive in this workspace — per-class query execution,
+//! per-strategy sweep measurement, multistart 2-opt — is a map over an
+//! index range whose results are then reduced. [`ParallelConfig::run_indexed`]
+//! parallelizes exactly that shape: workers steal fixed-size chunks of the
+//! index range from a shared atomic cursor, and results are placed *by
+//! index*, so the caller's reduction visits them in the same order as a
+//! serial loop would. With floating-point reductions performed by the
+//! caller over the index-ordered results, parallel output is bit-identical
+//! to serial output regardless of thread count or scheduling.
+//!
+//! The [`metrics`] module keeps global atomic counters (queries executed,
+//! pages touched, curve-cache hits/misses) and per-phase wall times,
+//! reported by the CLI's `--stats` flag and consumed by the benchmark
+//! trajectory files.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-pool shape for parallel evaluation.
+///
+/// `threads == 0` means "auto" (one per available core); `threads == 1`
+/// forces the serial path. `chunk_size == 0` picks a chunk automatically
+/// (≈ 4 chunks per thread, minimum 1) — small enough to balance skewed
+/// per-item costs, large enough to keep the shared cursor cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ParallelConfig {
+    /// Worker threads; 0 = one per available core.
+    #[serde(default)]
+    pub threads: usize,
+    /// Indices claimed per steal; 0 = automatic.
+    #[serde(default)]
+    pub chunk_size: usize,
+}
+
+impl ParallelConfig {
+    /// A config that always runs serially.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            chunk_size: 0,
+        }
+    }
+
+    /// A config with a fixed thread count (0 = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            chunk_size: 0,
+        }
+    }
+
+    /// The actual worker count for `n` items: the configured count (or
+    /// core count when auto), never more than `n`, never less than 1.
+    pub fn resolved_threads(&self, n: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        configured.min(n).max(1)
+    }
+
+    /// The steal granularity for `n` items on `threads` workers.
+    fn resolved_chunk(&self, n: usize, threads: usize) -> usize {
+        if self.chunk_size > 0 {
+            return self.chunk_size;
+        }
+        (n / (threads * 4)).max(1)
+    }
+
+    /// Computes `f(0), f(1), …, f(n-1)` and returns the results in index
+    /// order, stealing chunks across the configured threads.
+    ///
+    /// Results are identical to `(0..n).map(f).collect()` whatever the
+    /// thread count: each slot is written exactly once, by index, and `f`
+    /// observes only its own index. Reductions the caller performs over
+    /// the returned `Vec` therefore run in deterministic (serial) order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` (workers are joined before returning).
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.resolved_threads(n);
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = self.resolved_chunk(n, threads);
+        let cursor = AtomicUsize::new(0);
+        let slots: parking_lot::Mutex<Vec<Option<T>>> =
+            parking_lot::Mutex::new((0..n).map(|_| None).collect());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|_| loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            return;
+                        }
+                        let end = (start + chunk).min(n);
+                        // Compute outside the lock; placement is by index,
+                        // so steal order cannot affect the result.
+                        let computed: Vec<(usize, T)> = (start..end).map(|i| (i, f(i))).collect();
+                        let mut guard = slots.lock();
+                        for (i, v) in computed {
+                            guard[i] = Some(v);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel worker panicked");
+            }
+        })
+        .expect("parallel scope failed");
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every index computed exactly once"))
+            .collect()
+    }
+}
+
+/// Global atomic counters and per-phase wall time.
+///
+/// Counters are monotone across a process until [`metrics::reset`];
+/// callers that want per-run numbers snapshot before and after. All
+/// updates are `Relaxed` — the counters are statistics, not
+/// synchronization.
+pub mod metrics {
+    use serde::Serialize;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    static QUERIES_EXECUTED: AtomicU64 = AtomicU64::new(0);
+    static PAGES_TOUCHED: AtomicU64 = AtomicU64::new(0);
+    static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+    static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+    static PACK_NANOS: AtomicU64 = AtomicU64::new(0);
+    static MEASURE_NANOS: AtomicU64 = AtomicU64::new(0);
+    static SEARCH_NANOS: AtomicU64 = AtomicU64::new(0);
+
+    /// A wall-time bucket for [`PhaseTimer`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Phase {
+        /// Packing cell data into page layouts.
+        Pack,
+        /// Executing queries / measuring strategies.
+        Measure,
+        /// Adversarial / combinatorial search (2-opt, brute force).
+        Search,
+    }
+
+    fn phase_cell(phase: Phase) -> &'static AtomicU64 {
+        match phase {
+            Phase::Pack => &PACK_NANOS,
+            Phase::Measure => &MEASURE_NANOS,
+            Phase::Search => &SEARCH_NANOS,
+        }
+    }
+
+    /// Records `n` executed queries.
+    pub fn record_queries(n: u64) {
+        QUERIES_EXECUTED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` pages read.
+    pub fn record_pages(n: u64) {
+        PAGES_TOUCHED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a curve-cache hit.
+    pub fn record_cache_hit() {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a curve-cache miss.
+    pub fn record_cache_miss() {
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times a phase from construction to drop, adding the elapsed wall
+    /// time into the phase's bucket.
+    #[must_use = "the timer measures until it is dropped"]
+    pub struct PhaseTimer {
+        phase: Phase,
+        start: Instant,
+    }
+
+    impl PhaseTimer {
+        /// Starts timing `phase`.
+        pub fn start(phase: Phase) -> Self {
+            Self {
+                phase,
+                start: Instant::now(),
+            }
+        }
+    }
+
+    impl Drop for PhaseTimer {
+        fn drop(&mut self) {
+            let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            phase_cell(self.phase).fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of all counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+    pub struct MetricsSnapshot {
+        /// Grid queries executed (all queries of every measured class).
+        pub queries_executed: u64,
+        /// Pages read across those queries.
+        pub pages_touched: u64,
+        /// Curve-cache hits (sweeps reusing per-class measurements).
+        pub cache_hits: u64,
+        /// Curve-cache misses (measurements computed fresh).
+        pub cache_misses: u64,
+        /// Wall nanoseconds spent packing layouts.
+        pub pack_nanos: u64,
+        /// Wall nanoseconds spent measuring queries/strategies.
+        pub measure_nanos: u64,
+        /// Wall nanoseconds spent in combinatorial search.
+        pub search_nanos: u64,
+    }
+
+    impl MetricsSnapshot {
+        /// Counter deltas `self - earlier` (saturating).
+        #[must_use]
+        pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+            MetricsSnapshot {
+                queries_executed: self
+                    .queries_executed
+                    .saturating_sub(earlier.queries_executed),
+                pages_touched: self.pages_touched.saturating_sub(earlier.pages_touched),
+                cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+                cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+                pack_nanos: self.pack_nanos.saturating_sub(earlier.pack_nanos),
+                measure_nanos: self.measure_nanos.saturating_sub(earlier.measure_nanos),
+                search_nanos: self.search_nanos.saturating_sub(earlier.search_nanos),
+            }
+        }
+    }
+
+    /// Reads every counter.
+    pub fn snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_executed: QUERIES_EXECUTED.load(Ordering::Relaxed),
+            pages_touched: PAGES_TOUCHED.load(Ordering::Relaxed),
+            cache_hits: CACHE_HITS.load(Ordering::Relaxed),
+            cache_misses: CACHE_MISSES.load(Ordering::Relaxed),
+            pack_nanos: PACK_NANOS.load(Ordering::Relaxed),
+            measure_nanos: MEASURE_NANOS.load(Ordering::Relaxed),
+            search_nanos: SEARCH_NANOS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset() {
+        QUERIES_EXECUTED.store(0, Ordering::Relaxed);
+        PAGES_TOUCHED.store(0, Ordering::Relaxed);
+        CACHE_HITS.store(0, Ordering::Relaxed);
+        CACHE_MISSES.store(0, Ordering::Relaxed);
+        PACK_NANOS.store(0, Ordering::Relaxed);
+        MEASURE_NANOS.store(0, Ordering::Relaxed);
+        SEARCH_NANOS.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_matches_serial_map() {
+        let serial: Vec<u64> = (0..257).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [0, 1, 2, 4, 8] {
+            for chunk_size in [0, 1, 7] {
+                let cfg = ParallelConfig {
+                    threads,
+                    chunk_size,
+                };
+                let got = cfg.run_indexed(257, |i| (i as u64) * 3 + 1);
+                assert_eq!(got, serial, "threads={threads} chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        let cfg = ParallelConfig::with_threads(4);
+        assert_eq!(cfg.run_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(cfg.run_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical_across_thread_counts() {
+        // Sum in index order over parallel-computed values: the reduction
+        // happens serially over the ordered Vec, so bits must match.
+        let f = |i: usize| ((i as f64) * 0.1).sin() / ((i + 1) as f64);
+        let reduce = |values: Vec<f64>| values.iter().fold(0.0f64, |acc, v| acc + v);
+        let baseline = reduce(ParallelConfig::serial().run_indexed(1000, f));
+        for threads in [2, 3, 4, 8] {
+            let got = reduce(ParallelConfig::with_threads(threads).run_indexed(1000, f));
+            assert_eq!(got.to_bits(), baseline.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn resolved_threads_clamps() {
+        assert_eq!(ParallelConfig::serial().resolved_threads(100), 1);
+        assert_eq!(ParallelConfig::with_threads(8).resolved_threads(3), 3);
+        assert_eq!(ParallelConfig::with_threads(8).resolved_threads(100), 8);
+        assert!(ParallelConfig::default().resolved_threads(100) >= 1);
+    }
+
+    #[test]
+    fn metrics_counters_accumulate_and_reset() {
+        metrics::reset();
+        let before = metrics::snapshot();
+        metrics::record_queries(5);
+        metrics::record_pages(40);
+        metrics::record_cache_hit();
+        metrics::record_cache_miss();
+        {
+            let _t = metrics::PhaseTimer::start(metrics::Phase::Measure);
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        }
+        let delta = metrics::snapshot().since(&before);
+        assert_eq!(delta.queries_executed, 5);
+        assert_eq!(delta.pages_touched, 40);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.cache_misses, 1);
+        metrics::reset();
+        // Other tests may race on the globals; reset-to-zero is only
+        // meaningful for the phase buckets nobody else touches here.
+        assert_eq!(metrics::snapshot().pack_nanos, 0);
+    }
+}

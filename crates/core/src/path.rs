@@ -116,7 +116,7 @@ impl LatticePath {
         }
         let mut dims = Vec::new();
         for &d in order {
-            dims.extend(std::iter::repeat(d).take(shape.top_level(d)));
+            dims.extend(std::iter::repeat_n(d, shape.top_level(d)));
         }
         Self::from_dims(shape, dims)
     }
@@ -128,8 +128,7 @@ impl LatticePath {
         let mut out = Vec::new();
         permute(&mut order, 0, &mut |perm| {
             out.push(
-                LatticePath::row_major(shape.clone(), perm)
-                    .expect("permutation is a valid order"),
+                LatticePath::row_major(shape.clone(), perm).expect("permutation is a valid order"),
             );
         });
         out
@@ -304,11 +303,10 @@ mod tests {
     fn from_points_rejects_bad_sequences() {
         let shape = toy_shape();
         // Missing ⊥.
-        assert!(LatticePath::from_points(
-            shape.clone(),
-            &[Class(vec![0, 1]), Class(vec![2, 2])]
-        )
-        .is_err());
+        assert!(
+            LatticePath::from_points(shape.clone(), &[Class(vec![0, 1]), Class(vec![2, 2])])
+                .is_err()
+        );
         // Jumps two levels.
         assert!(LatticePath::from_points(
             shape.clone(),
@@ -370,8 +368,7 @@ mod tests {
         let shape = LatticeShape::new(vec![2, 1, 2]);
         let rms = LatticePath::all_row_majors(&shape);
         assert_eq!(rms.len(), 6);
-        let unique: std::collections::HashSet<_> =
-            rms.iter().map(|p| p.dims().to_vec()).collect();
+        let unique: std::collections::HashSet<_> = rms.iter().map(|p| p.dims().to_vec()).collect();
         assert_eq!(unique.len(), 6);
     }
 

@@ -102,10 +102,7 @@ impl Warehouse {
 
     /// Looks a dimension up by name.
     pub fn dim(&self, name: &str) -> Option<(usize, &DimensionTable)> {
-        self.dims
-            .iter()
-            .enumerate()
-            .find(|(_, d)| d.name() == name)
+        self.dims.iter().enumerate().find(|(_, d)| d.name() == name)
     }
 
     /// The star schema (hierarchies only).
@@ -124,11 +121,7 @@ impl Warehouse {
     pub fn query(&self) -> GridQueryBuilder<'_> {
         GridQueryBuilder {
             warehouse: self,
-            selections: self
-                .dims
-                .iter()
-                .map(|d| (d.levels(), 0u64))
-                .collect(),
+            selections: self.dims.iter().map(|d| (d.levels(), 0u64)).collect(),
         }
     }
 
@@ -156,9 +149,10 @@ impl<'a> GridQueryBuilder<'a> {
     ///
     /// Returns [`Error::InvalidWorkload`]-style errors for unknown names.
     pub fn select(mut self, dimension: &str, member: &str) -> Result<Self> {
-        let (d, table) = self.warehouse.dim(dimension).ok_or_else(|| {
-            Error::InvalidHierarchy(format!("unknown dimension `{dimension}`"))
-        })?;
+        let (d, table) = self
+            .warehouse
+            .dim(dimension)
+            .ok_or_else(|| Error::InvalidHierarchy(format!("unknown dimension `{dimension}`")))?;
         let m = table.find(member).ok_or_else(|| {
             Error::InvalidHierarchy(format!(
                 "unknown member `{member}` in dimension `{dimension}`"
@@ -174,9 +168,10 @@ impl<'a> GridQueryBuilder<'a> {
     ///
     /// Returns an error for out-of-range coordinates.
     pub fn select_at(mut self, dimension: &str, level: usize, index: u64) -> Result<Self> {
-        let (d, table) = self.warehouse.dim(dimension).ok_or_else(|| {
-            Error::InvalidHierarchy(format!("unknown dimension `{dimension}`"))
-        })?;
+        let (d, table) = self
+            .warehouse
+            .dim(dimension)
+            .ok_or_else(|| Error::InvalidHierarchy(format!("unknown dimension `{dimension}`")))?;
         if level > table.levels() {
             return Err(Error::ClassOutOfBounds {
                 class: vec![level],
@@ -289,9 +284,10 @@ impl<'a> RangeQueryBuilder<'a> {
     /// Returns [`Error::InvalidHierarchy`] for unknown names or an empty
     /// span.
     pub fn between(mut self, dimension: &str, from: &str, to: &str) -> Result<Self> {
-        let (d, table) = self.warehouse.dim(dimension).ok_or_else(|| {
-            Error::InvalidHierarchy(format!("unknown dimension `{dimension}`"))
-        })?;
+        let (d, table) = self
+            .warehouse
+            .dim(dimension)
+            .ok_or_else(|| Error::InvalidHierarchy(format!("unknown dimension `{dimension}`")))?;
         let f = table.find(from).ok_or_else(|| {
             Error::InvalidHierarchy(format!("unknown member `{from}` in `{dimension}`"))
         })?;
@@ -442,11 +438,7 @@ mod tests {
     #[test]
     fn select_at_by_coordinates() {
         let wh = Warehouse::paper_toy();
-        let q = wh
-            .query()
-            .select_at("location", 1, 1)
-            .unwrap()
-            .build();
+        let q = wh.query().select_at("location", 1, 1).unwrap().build();
         assert_eq!(q.ranges(&wh)[1], 2..4);
         assert!(wh.query().select_at("location", 5, 0).is_err());
         assert!(wh.query().select_at("location", 1, 9).is_err());
@@ -542,7 +534,10 @@ mod tests {
             .range_query()
             .between("location", "toronto", "albany")
             .is_err());
-        assert!(wh.range_query().between("location", "albany", "paris").is_err());
+        assert!(wh
+            .range_query()
+            .between("location", "albany", "paris")
+            .is_err());
         assert!(wh.range_query().between("shoes", "a", "b").is_err());
     }
 

@@ -64,11 +64,7 @@ impl Cv2 {
                 "need n = {n} entries in a and b"
             )));
         }
-        let d = if d.is_empty() {
-            vec![vec![0; n]; n]
-        } else {
-            d
-        };
+        let d = if d.is_empty() { vec![vec![0; n]; n] } else { d };
         if d.len() != n || d.iter().any(|row| row.len() != n) {
             return Err(Error::InconsistentVector(format!(
                 "diagonal block must be {n} x {n}"
@@ -533,7 +529,7 @@ impl Cv2 {
         }
         // Sort by decreasing count: the innermost loop contributes the most
         // edges. Each dimension's levels then appear in increasing order.
-        entries.sort_by(|x, y| y.0.cmp(&x.0));
+        entries.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
         let dims: Vec<usize> = entries.iter().map(|&(_, d)| d).collect();
         LatticePath::from_dims(self.shape(), dims).ok()
     }
@@ -760,13 +756,7 @@ mod tests {
         assert_eq!(v.violation(), Some((2, 0)));
         // The paper's P1 CV (as a=(8,4) fast dimension) with its diagonals
         // is consistent.
-        let p1 = Cv2::new(
-            2,
-            vec![8, 4],
-            vec![0, 0],
-            vec![vec![0, 0], vec![2, 1]],
-        )
-        .unwrap();
+        let p1 = Cv2::new(2, vec![8, 4], vec![0, 0], vec![vec![0, 0], vec![2, 1]]).unwrap();
         assert!(p1.is_consistent());
     }
 

@@ -61,10 +61,7 @@ impl Hierarchy {
     ///
     /// Returns [`Error::InvalidHierarchy`] unless exactly `levels()` labels
     /// are given.
-    pub fn with_level_names(
-        mut self,
-        names: Vec<String>,
-    ) -> Result<Self> {
+    pub fn with_level_names(mut self, names: Vec<String>) -> Result<Self> {
         if names.len() != self.fanouts.len() {
             return Err(Error::InvalidHierarchy(format!(
                 "dimension `{}`: {} level names for {} levels",
@@ -275,7 +272,11 @@ impl TreeHierarchy {
                 nodes_per_depth[depth[k]] += 1;
             }
             if kids.is_empty() {
-                for d in nodes_per_depth.iter_mut().take(depth_max + 1).skip(depth[node] + 1) {
+                for d in nodes_per_depth
+                    .iter_mut()
+                    .take(depth_max + 1)
+                    .skip(depth[node] + 1)
+                {
                     *d += 1;
                 }
             }

@@ -180,7 +180,10 @@ mod tests {
         let q = s.current_query();
         assert_eq!(q.describe(&wh), "(jeans = ALL, location = albany)");
         s.apply(&OlapOp::RollUp(1)).unwrap();
-        assert_eq!(s.current_query().describe(&wh), "(jeans = ALL, location = NY)");
+        assert_eq!(
+            s.current_query().describe(&wh),
+            "(jeans = ALL, location = NY)"
+        );
     }
 
     #[test]
@@ -189,9 +192,15 @@ mod tests {
         let mut s = OlapSession::new(&wh);
         s.apply(&OlapOp::Slice(1, "NY".into())).unwrap();
         s.apply(&OlapOp::NextSibling(1)).unwrap();
-        assert_eq!(s.current_query().describe(&wh), "(jeans = ALL, location = ONT)");
+        assert_eq!(
+            s.current_query().describe(&wh),
+            "(jeans = ALL, location = ONT)"
+        );
         s.apply(&OlapOp::NextSibling(1)).unwrap();
-        assert_eq!(s.current_query().describe(&wh), "(jeans = ALL, location = NY)");
+        assert_eq!(
+            s.current_query().describe(&wh),
+            "(jeans = ALL, location = NY)"
+        );
     }
 
     #[test]

@@ -137,14 +137,11 @@ pub fn max_benefit(model: &CostModel, path: &LatticePath) -> f64 {
 /// The best *snaked* lattice path by exhaustive path enumeration — the
 /// optimal snaked lattice path `~S` of Corollary 1. Exponential in the
 /// lattice; for analysis and tests.
-pub fn best_snaked_path_exhaustive(
-    model: &CostModel,
-    workload: &Workload,
-) -> (LatticePath, f64) {
+pub fn best_snaked_path_exhaustive(model: &CostModel, workload: &Workload) -> (LatticePath, f64) {
     let mut best: Option<(LatticePath, f64)> = None;
     for p in LatticePath::enumerate(model.shape()) {
         let c = snaked_expected_cost(model, &p, workload);
-        if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
             best = Some((p, c));
         }
     }
@@ -335,12 +332,11 @@ mod tests {
             let m = CostModel::of_schema(&schema);
             let s = m.shape().clone();
             let mut dims = vec![1];
-            dims.extend(std::iter::repeat(0).take(n));
-            dims.extend(std::iter::repeat(1).take(n - 1));
+            dims.extend(std::iter::repeat_n(0, n));
+            dims.extend(std::iter::repeat_n(1, n - 1));
             let p = LatticePath::from_dims(s.clone(), dims).unwrap();
             let w = Workload::point(s, &Class(vec![n, 0])).unwrap();
-            let ratio =
-                m.expected_cost(&p, &w) / snaked_expected_cost(&m, &p, &w);
+            let ratio = m.expected_cost(&p, &w) / snaked_expected_cost(&m, &p, &w);
             let predicted = 1.0 / (0.5 + 1.0 / 2f64.powi(n as i32 + 1));
             assert!(
                 (ratio - predicted).abs() < 1e-9,

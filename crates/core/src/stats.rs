@@ -149,7 +149,7 @@ impl DecayingEstimator {
     ///
     /// Returns [`Error::InvalidWorkload`] unless `half_life` is positive.
     pub fn with_half_life(shape: LatticeShape, half_life: f64) -> Result<Self> {
-        if !(half_life > 0.0) {
+        if half_life <= 0.0 || half_life.is_nan() {
             return Err(Error::InvalidWorkload(format!(
                 "half-life {half_life} must be positive"
             )));

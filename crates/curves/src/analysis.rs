@@ -17,6 +17,7 @@ use crate::fragments;
 use crate::hilbert::HilbertCurve;
 use crate::lattice_path::snaked_path_curve;
 use snakes_core::lattice::LatticeShape;
+use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::path::LatticePath;
 use snakes_core::schema::StarSchema;
 
@@ -116,7 +117,10 @@ pub fn sandwich_certificate(h: &[f64], a: &[f64], b: &[f64]) -> SandwichCertific
 /// paths cost 1.5) — see [`hilbert_sandwich_pair`] for the exhaustive
 /// search over all snaked-path pairs.
 pub fn hilbert_sandwich_certificate(n: usize) -> SandwichCertificate {
-    assert!((1..=6).contains(&n), "certificate implemented for n in 1..=6");
+    assert!(
+        (1..=6).contains(&n),
+        "certificate implemented for n in 1..=6"
+    );
     let schema = StarSchema::square(2, n).expect("valid");
     let (pa, pb) = alternating_paths(n);
     let h = fragments::cv_of(&schema, &HilbertCurve::square(n as u32)).class_costs();
@@ -130,15 +134,31 @@ pub fn hilbert_sandwich_certificate(n: usize) -> SandwichCertificate {
 /// proof was deferred to the never-published full version [14]). Returns
 /// the first certified pair, or `None` — itself a reproduction result.
 pub fn hilbert_sandwich_pair(n: usize) -> Option<(LatticePath, LatticePath)> {
-    assert!((1..=4).contains(&n), "pair search implemented for n in 1..=4");
+    hilbert_sandwich_pair_with(n, ParallelConfig::serial())
+}
+
+/// [`hilbert_sandwich_pair`] with the per-path cost vectors computed in
+/// parallel. The costly step — one characteristic vector per snaked
+/// lattice path — fans out across `par`'s workers; cost vectors come back
+/// in path-enumeration order, so the pair scan below (and hence the
+/// returned pair) is identical to the serial search for every thread
+/// count.
+pub fn hilbert_sandwich_pair_with(
+    n: usize,
+    par: ParallelConfig,
+) -> Option<(LatticePath, LatticePath)> {
+    assert!(
+        (1..=4).contains(&n),
+        "pair search implemented for n in 1..=4"
+    );
+    let _t = metrics::PhaseTimer::start(metrics::Phase::Search);
     let schema = StarSchema::square(2, n).expect("valid");
     let shape = LatticeShape::new(vec![n, n]);
     let h = fragments::cv_of(&schema, &HilbertCurve::square(n as u32)).class_costs();
     let paths = LatticePath::enumerate(&shape);
-    let costs: Vec<Vec<f64>> = paths
-        .iter()
-        .map(|p| fragments::cv_of(&schema, &snaked_path_curve(&schema, p)).class_costs())
-        .collect();
+    let costs: Vec<Vec<f64>> = par.run_indexed(paths.len(), |i| {
+        fragments::cv_of(&schema, &snaked_path_curve(&schema, &paths[i])).class_costs()
+    });
     for i in 0..paths.len() {
         for j in i..paths.len() {
             if sandwich_certificate(&h, &costs[i], &costs[j]).holds() {
@@ -181,8 +201,8 @@ mod tests {
         // ⟨(0,0),(1,0),(1,1),(1,2),(2,2)⟩ and its near-mirror) — not the
         // fully alternating pair.
         for n in 1..=3 {
-            let (a, b) = hilbert_sandwich_pair(n)
-                .unwrap_or_else(|| panic!("no sandwich pair for n={n}"));
+            let (a, b) =
+                hilbert_sandwich_pair(n).unwrap_or_else(|| panic!("no sandwich pair for n={n}"));
             assert_ne!(a.dims()[0], b.dims()[0], "pair spans both orientations");
         }
     }

@@ -25,7 +25,10 @@ pub fn query_fragments(lin: &impl Linearization, ranges: &[Range<u64>]) -> u64 {
     let extents = lin.extents();
     assert_eq!(ranges.len(), extents.len(), "one range per dimension");
     for (r, &e) in ranges.iter().zip(extents) {
-        assert!(r.start < r.end && r.end <= e, "bad range {r:?} (extent {e})");
+        assert!(
+            r.start < r.end && r.end <= e,
+            "bad range {r:?} (extent {e})"
+        );
     }
     let mut ranks = ranks_of_subgrid(lin, ranges);
     ranks.sort_unstable();
@@ -68,11 +71,7 @@ fn count_runs(sorted: &[u64]) -> u64 {
 ///
 /// Panics if the class is out of bounds or the linearization's grid differs
 /// from the schema's.
-pub fn class_average_cost(
-    schema: &StarSchema,
-    lin: &impl Linearization,
-    class: &Class,
-) -> f64 {
+pub fn class_average_cost(schema: &StarSchema, lin: &impl Linearization, class: &Class) -> f64 {
     let (total, queries) = class_total_fragments(schema, lin, class);
     total as f64 / queries as f64
 }
@@ -140,11 +139,7 @@ pub fn class_costs(schema: &StarSchema, lin: &impl Linearization) -> Vec<f64> {
 /// # Panics
 ///
 /// As [`class_average_cost`], plus (debug) workload lattice mismatch.
-pub fn expected_cost(
-    schema: &StarSchema,
-    lin: &impl Linearization,
-    workload: &Workload,
-) -> f64 {
+pub fn expected_cost(schema: &StarSchema, lin: &impl Linearization, workload: &Workload) -> f64 {
     let shape = LatticeShape::of_schema(schema);
     debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
     (0..shape.num_classes())
@@ -240,13 +235,10 @@ mod tests {
             let snaked = snaked_path_curve(&schema, &p);
             for u in shape.iter() {
                 assert!(
-                    (class_average_cost(&schema, &plain, &u) - model.dist(&p, &u)).abs()
-                        < 1e-12
+                    (class_average_cost(&schema, &plain, &u) - model.dist(&p, &u)).abs() < 1e-12
                 );
                 assert!(
-                    (class_average_cost(&schema, &snaked, &u)
-                        - snaked_dist(&model, &p, &u))
-                    .abs()
+                    (class_average_cost(&schema, &snaked, &u) - snaked_dist(&model, &p, &u)).abs()
                         < 1e-12
                 );
             }

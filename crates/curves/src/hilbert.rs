@@ -119,9 +119,9 @@ impl HilbertCurve {
     fn unpack(&self, r: u64, x: &mut [u64]) {
         x.fill(0);
         for b in 0..self.bits {
-            for i in 0..self.k {
+            for (i, xi) in x.iter_mut().enumerate() {
                 let pos = b as usize * self.k + (self.k - 1 - i);
-                x[i] |= ((r >> pos) & 1) << b;
+                *xi |= ((r >> pos) & 1) << b;
             }
         }
     }
@@ -184,11 +184,8 @@ impl CompactHilbert {
         let bits = side.trailing_zeros();
         let k = extents.len();
         let inner = HilbertCurve::new(k, bits);
-        let padded = side
-            .checked_pow(k as u32)
-            .expect("padded cube too large");
-        let mut occupied =
-            Vec::with_capacity(extents.iter().product::<u64>() as usize);
+        let padded = side.checked_pow(k as u32).expect("padded cube too large");
+        let mut occupied = Vec::with_capacity(extents.iter().product::<u64>() as usize);
         let mut buf = vec![0u64; k];
         for r in 0..padded {
             inner.coords(r, &mut buf);
@@ -335,6 +332,9 @@ mod tests {
                 r_total += query_fragments(&rm, &q);
             }
         }
-        assert!(h_total < r_total, "hilbert {h_total} vs row-major {r_total}");
+        assert!(
+            h_total < r_total,
+            "hilbert {h_total} vs row-major {r_total}"
+        );
     }
 }

@@ -29,14 +29,19 @@ pub mod peano;
 pub mod search;
 pub mod zorder;
 
-pub use analysis::{alternating_paths, hilbert_sandwich_certificate, hilbert_sandwich_pair, sandwich_certificate, SandwichCertificate};
+pub use analysis::{
+    alternating_paths, hilbert_sandwich_certificate, hilbert_sandwich_pair,
+    hilbert_sandwich_pair_with, sandwich_certificate, SandwichCertificate,
+};
 pub use fragments::{class_average_cost, class_costs, cv_of, expected_cost, query_fragments};
 pub use gray::GrayCurve;
 pub use hilbert::{CompactHilbert, HilbertCurve};
 pub use lattice_path::{path_curve, snaked_path_curve};
 pub use nested::{Loop, NestedLoops};
 pub use peano::PeanoCurve;
-pub use search::{two_opt_search, EdgeWeights, ExplicitStrategy};
+pub use search::{
+    multistart_two_opt, two_opt_search, EdgeWeights, ExplicitStrategy, MultistartResult,
+};
 pub use zorder::ZOrderCurve;
 
 /// A bijection between the cells of a k-dimensional grid and visit ranks
@@ -135,10 +140,7 @@ pub(crate) mod test_util {
             for (a, b) in prev.iter().zip(&cur) {
                 if a != b {
                     diffs += 1;
-                    assert!(
-                        a.abs_diff(*b) == 1,
-                        "rank {r}: jump {prev:?} -> {cur:?}"
-                    );
+                    assert!(a.abs_diff(*b) == 1, "rank {r}: jump {prev:?} -> {cur:?}");
                 }
             }
             assert_eq!(diffs, 1, "rank {r}: moved in {diffs} dims");

@@ -48,7 +48,11 @@ impl NestedLoops {
         let mut divisors = Vec::with_capacity(loops.len());
         let mut stride = 1u64;
         for l in &loops {
-            assert!(l.dim < extents.len(), "loop dimension {} out of range", l.dim);
+            assert!(
+                l.dim < extents.len(),
+                "loop dimension {} out of range",
+                l.dim
+            );
             assert!(l.radix >= 1, "loop radix must be at least 1");
             strides.push(stride);
             divisors.push(cover[l.dim]);
@@ -154,7 +158,11 @@ impl Linearization for NestedLoops {
         for j in (0..self.loops.len()).rev() {
             let radix = self.loops[j].radix;
             let actual = self.digit_of_coords(coords, j);
-            let rd = if parity == 1 { radix - 1 - actual } else { actual };
+            let rd = if parity == 1 {
+                radix - 1 - actual
+            } else {
+                actual
+            };
             rank += rd * self.strides[j];
             parity = (rd & 1) ^ ((radix & 1) & parity);
         }
@@ -222,10 +230,7 @@ mod tests {
     fn snake_2x2_order() {
         let s = NestedLoops::boustrophedon(vec![2, 2], &[0, 1]);
         let cells: Vec<Vec<u64>> = (0..4).map(|r| s.coords_vec(r)).collect();
-        assert_eq!(
-            cells,
-            vec![vec![0, 0], vec![1, 0], vec![1, 1], vec![0, 1]]
-        );
+        assert_eq!(cells, vec![vec![0, 0], vec![1, 0], vec![1, 1], vec![0, 1]]);
     }
 
     #[test]

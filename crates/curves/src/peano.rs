@@ -44,7 +44,8 @@ impl PeanoCurve {
         let side = 3u64
             .checked_pow(n as u32)
             .expect("grid too large for u64 ranks");
-        side.checked_mul(side).expect("grid too large for u64 ranks");
+        side.checked_mul(side)
+            .expect("grid too large for u64 ranks");
         Self {
             n,
             extents: vec![side, side],

@@ -17,6 +17,7 @@
 
 use crate::Linearization;
 use snakes_core::lattice::LatticeShape;
+use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
 use std::collections::HashMap;
@@ -97,11 +98,11 @@ impl EdgeWeights {
         let model = snakes_core::cost::CostModel::of_schema(schema);
         let mut class_factor = vec![0.0; shape.num_classes()];
         let mut base = 0.0;
-        for r in 0..shape.num_classes() {
+        for (r, factor) in class_factor.iter_mut().enumerate() {
             let u = shape.unrank(r);
             let p = workload.prob_by_rank(r);
             let f = p / model.queries_in_class(&u);
-            class_factor[r] = f;
+            *factor = f;
             base += f * n;
         }
         Self {
@@ -122,12 +123,7 @@ impl EdgeWeights {
     /// edge reduces expected cost.
     pub fn edge_weight(&mut self, a: &[u64], b: &[u64]) -> f64 {
         let key: Vec<usize> = (0..self.schema.k())
-            .map(|d| {
-                self.schema
-                    .dim(d)
-                    .crossing_level(a[d], b[d])
-                    .unwrap_or(0)
-            })
+            .map(|d| self.schema.dim(d).crossing_level(a[d], b[d]).unwrap_or(0))
             .collect();
         if let Some(&w) = self.memo.get(&key) {
             return w;
@@ -212,6 +208,63 @@ pub fn two_opt_search(
     cost
 }
 
+/// The winning restart of a [`multistart_two_opt`] run.
+#[derive(Debug, Clone)]
+pub struct MultistartResult {
+    /// Index into the `starts` slice of the winning restart.
+    pub restart: usize,
+    /// The winning restart's final cost.
+    pub cost: f64,
+    /// The improved strategy.
+    pub strategy: ExplicitStrategy,
+}
+
+/// Runs [`two_opt_search`] from every start in parallel and returns the
+/// best outcome.
+///
+/// Restarts are fully independent — each gets its own [`EdgeWeights`]
+/// (the memo is per-restart) and the deterministic seed
+/// `seed + restart_index` — so results do not depend on scheduling. The
+/// winner is chosen serially over the index-ordered outcomes, ties broken
+/// by lowest restart index, making the whole search bit-identical to a
+/// serial loop over `starts` for every thread count.
+///
+/// # Panics
+///
+/// As [`two_opt_search`]; also panics if `starts` is empty.
+pub fn multistart_two_opt(
+    schema: &StarSchema,
+    workload: &Workload,
+    starts: &[ExplicitStrategy],
+    iters: u64,
+    seed: u64,
+    par: ParallelConfig,
+) -> MultistartResult {
+    assert!(!starts.is_empty(), "multistart needs at least one start");
+    let _t = metrics::PhaseTimer::start(metrics::Phase::Search);
+    let outcomes = par.run_indexed(starts.len(), |i| {
+        let mut weights = EdgeWeights::new(schema, workload);
+        let mut strategy = starts[i].clone();
+        let cost = two_opt_search(
+            &mut weights,
+            &mut strategy,
+            iters,
+            seed.wrapping_add(i as u64),
+        );
+        (cost, strategy)
+    });
+    let (restart, (cost, strategy)) = outcomes
+        .into_iter()
+        .enumerate()
+        .min_by(|(_, (a, _)), (_, (b, _))| a.total_cmp(b))
+        .expect("at least one restart");
+    MultistartResult {
+        restart,
+        cost,
+        strategy,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +320,43 @@ mod tests {
     }
 
     #[test]
+    fn multistart_matches_serial_for_every_thread_count() {
+        let schema = StarSchema::square(2, 2).unwrap();
+        let shape = LatticeShape::of_schema(&schema);
+        let w = Workload::uniform(shape);
+        let starts: Vec<ExplicitStrategy> = [
+            ExplicitStrategy::from_linearization(&NestedLoops::row_major(vec![4, 4], &[0, 1])),
+            ExplicitStrategy::from_linearization(&NestedLoops::row_major(vec![4, 4], &[1, 0])),
+            ExplicitStrategy::from_linearization(&crate::hilbert::HilbertCurve::square(2)),
+            ExplicitStrategy::from_linearization(&crate::zorder::ZOrderCurve::square(2)),
+        ]
+        .into_iter()
+        .collect();
+        let baseline = multistart_two_opt(&schema, &w, &starts, 5_000, 7, ParallelConfig::serial());
+        for threads in [2, 4, 8] {
+            let got = multistart_two_opt(
+                &schema,
+                &w,
+                &starts,
+                5_000,
+                7,
+                ParallelConfig::with_threads(threads),
+            );
+            assert_eq!(got.restart, baseline.restart, "threads={threads}");
+            assert_eq!(
+                got.cost.to_bits(),
+                baseline.cost.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                got.strategy.order(),
+                baseline.strategy.order(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn theorem_2_adversary_cannot_beat_best_snaked_path() {
         // The strongest empirical attack on Theorem 2 in this repo: an
         // unconstrained 2-opt adversary, multiple restarts, multiple
@@ -285,12 +375,7 @@ mod tests {
                     _ => Box::new(crate::zorder::ZOrderCurve::square(2)),
                 };
                 let mut s = ExplicitStrategy::from_linearization(&start.as_ref());
-                let found = two_opt_search(
-                    &mut ew,
-                    &mut s,
-                    30_000,
-                    idx as u64 * 7 + restart,
-                );
+                let found = two_opt_search(&mut ew, &mut s, 30_000, idx as u64 * 7 + restart);
                 assert!(
                     found >= best_snaked - 1e-9,
                     "workload {idx} restart {restart}: adversary found {found} \

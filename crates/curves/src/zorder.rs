@@ -86,10 +86,7 @@ mod tests {
         let z = ZOrderCurve::square(2);
         let mut quad: Vec<Vec<u64>> = (0..4).map(|r| z.coords_vec(r)).collect();
         quad.sort();
-        assert_eq!(
-            quad,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(quad, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

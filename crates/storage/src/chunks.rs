@@ -262,9 +262,8 @@ mod tests {
         // The §7 claim in miniature: a stream of column queries against a
         // small cache. Chunk ordering by the column-friendly snake needs
         // far fewer seeks than row-major, with the identical cache.
-        let queries: Vec<Vec<std::ops::Range<u64>>> = (0..8)
-            .map(|x| vec![x..x + 1, 0..8])
-            .collect();
+        let queries: Vec<Vec<std::ops::Range<u64>>> =
+            (0..8).map(|x| vec![x..x + 1, 0..8]).collect();
         let run = |order: NestedLoops| {
             let mut store = ChunkedStore::new(map_4x4_by_2(), order, 4);
             let mut seeks = 0;

@@ -4,6 +4,7 @@
 
 use crate::layout::PackedLayout;
 use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
 use snakes_curves::Linearization;
@@ -52,7 +53,10 @@ pub fn query_cost(
     );
     assert_eq!(ranges.len(), lin.extents().len(), "one range per dimension");
     for (r, &e) in ranges.iter().zip(lin.extents()) {
-        assert!(r.start < r.end && r.end <= e, "bad range {r:?} (extent {e})");
+        assert!(
+            r.start < r.end && r.end <= e,
+            "bad range {r:?} (extent {e})"
+        );
     }
     // Gather the page intervals of every non-empty selected cell.
     let mut intervals: Vec<(u64, u64)> = Vec::new();
@@ -157,12 +161,14 @@ pub fn class_stats(
     let mut seeks_sum = 0.0;
     let mut norm_sum = 0.0;
     let mut max_seeks = 0u64;
+    let mut blocks_sum = 0u64;
     let mut node = vec![0u64; k];
     'outer: loop {
         let ranges: Vec<Range<u64>> = (0..k)
             .map(|d| schema.dim(d).leaf_range(class.level(d), node[d]))
             .collect();
         let cost = query_cost(lin, layout, &ranges);
+        blocks_sum += cost.blocks;
         if let Some(nb) = cost.normalized_blocks() {
             non_empty += 1;
             seeks_sum += cost.seeks as f64;
@@ -182,6 +188,8 @@ pub fn class_stats(
             d += 1;
         }
     }
+    metrics::record_queries(queries);
+    metrics::record_pages(blocks_sum);
     let denom = non_empty.max(1) as f64;
     ClassStats {
         class: class.clone(),
@@ -205,28 +213,56 @@ pub struct WorkloadStats {
     pub per_class: Vec<ClassStats>,
 }
 
-/// Measures a strategy under a workload.
+/// Measures a strategy under a workload (serial).
+///
+/// Equivalent to [`workload_stats_with`] under
+/// [`ParallelConfig::serial`]; kept as the simple entry point.
 ///
 /// # Panics
 ///
 /// As [`class_stats`], plus (debug) a workload lattice mismatch.
 pub fn workload_stats(
     schema: &StarSchema,
-    lin: &impl Linearization,
+    lin: &(impl Linearization + Sync),
     layout: &PackedLayout,
     workload: &Workload,
 ) -> WorkloadStats {
+    workload_stats_with(schema, lin, layout, workload, ParallelConfig::serial())
+}
+
+/// Measures a strategy under a workload, fanning the per-class
+/// measurements out across `par`'s worker threads.
+///
+/// Bit-identical to the serial path for every thread count: classes are
+/// measured independently (each [`class_stats`] call touches only its own
+/// class), results come back in rank order, and the probability-weighted
+/// reduction then runs serially over that ordered list — the exact
+/// floating-point operation sequence of the serial loop.
+///
+/// # Panics
+///
+/// As [`class_stats`], plus (debug) a workload lattice mismatch.
+pub fn workload_stats_with(
+    schema: &StarSchema,
+    lin: &(impl Linearization + Sync),
+    layout: &PackedLayout,
+    workload: &Workload,
+    par: ParallelConfig,
+) -> WorkloadStats {
+    let _timer = metrics::PhaseTimer::start(metrics::Phase::Measure);
     let shape = LatticeShape::of_schema(schema);
     debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
-    let mut per_class = Vec::new();
+    let live: Vec<(usize, f64)> = (0..shape.num_classes())
+        .map(|r| (r, workload.prob_by_rank(r)))
+        .filter(|&(_, p)| p != 0.0)
+        .collect();
+    let measured = par.run_indexed(live.len(), |i| {
+        class_stats(schema, lin, layout, &shape.unrank(live[i].0))
+    });
+    let mut per_class = Vec::with_capacity(measured.len());
     let mut blocks = 0.0;
     let mut seeks = 0.0;
-    for r in 0..shape.num_classes() {
-        let p = workload.prob_by_rank(r);
-        if p == 0.0 {
-            continue;
-        }
-        let stats = class_stats(schema, lin, layout, &shape.unrank(r));
+    for (&(_, p), stats) in live.iter().zip(measured) {
         blocks += p * stats.avg_normalized_blocks;
         seeks += p * stats.avg_seeks;
         per_class.push(stats);
@@ -299,7 +335,8 @@ mod tests {
         let lin = NestedLoops::row_major(vec![4], &[0]);
         let cells = CellData::from_counts(vec![4], vec![2, 2, 2, 2]);
         let layout = PackedLayout::pack(&lin, &cells, tiny_config());
-        // Cells 0 and 1 share page 0.
+        // Cells 0 and 1 share page 0 (one-element slice = 1-D query region).
+        #[allow(clippy::single_range_in_vec_init)]
         let c = query_cost(&lin, &layout, &[0..2]);
         assert_eq!(c.blocks, 1);
         assert_eq!(c.seeks, 1);
@@ -328,11 +365,7 @@ mod tests {
     fn workload_stats_weight_by_probability() {
         let (schema, lin, layout) = one_cell_per_page();
         let shape = LatticeShape::of_schema(&schema);
-        let w = Workload::uniform_over(
-            shape,
-            &[Class(vec![2, 0]), Class(vec![0, 2])],
-        )
-        .unwrap();
+        let w = Workload::uniform_over(shape, &[Class(vec![2, 0]), Class(vec![0, 2])]).unwrap();
         let stats = workload_stats(&schema, &lin, &layout, &w);
         // Mean of 1 seek and 4 seeks.
         assert!((stats.avg_seeks - 2.5).abs() < 1e-12);

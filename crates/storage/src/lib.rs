@@ -30,6 +30,8 @@ pub mod layout;
 pub use cells::CellData;
 pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
 pub use disk::DiskModel;
-pub use exec::{class_stats, workload_stats, ClassStats, QueryCost, WorkloadStats};
+pub use exec::{
+    class_stats, workload_stats, workload_stats_with, ClassStats, QueryCost, WorkloadStats,
+};
 pub use file::TableFile;
 pub use layout::{PackedLayout, StorageConfig};

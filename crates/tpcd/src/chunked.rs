@@ -141,12 +141,7 @@ pub fn chunked_comparison(
     queries: usize,
 ) -> (ChunkedRun, ChunkedRun) {
     let stream = sample_queries(config, &nw.workload, queries, config.seed ^ 0xC0FFEE);
-    let rm = run_chunked(
-        config,
-        row_major_chunk_order(config),
-        cache_chunks,
-        &stream,
-    );
+    let rm = run_chunked(config, row_major_chunk_order(config), cache_chunks, &stream);
     let opt = run_chunked(
         config,
         optimal_chunk_order(config, &nw.workload),

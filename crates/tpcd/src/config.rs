@@ -1,6 +1,7 @@
 //! Configuration of the synthetic TPC-D experiment (paper §6.1).
 
 use serde::{Deserialize, Serialize};
+use snakes_core::parallel::ParallelConfig;
 use snakes_core::schema::{Hierarchy, StarSchema};
 use snakes_storage::StorageConfig;
 
@@ -36,6 +37,10 @@ pub struct TpcdConfig {
     pub record_size: u64,
     /// Page size in bytes (8192 in the paper).
     pub page_size: u64,
+    /// Thread-pool shape for parallel measurement (`threads: 0` = one per
+    /// core, `threads: 1` = serial). Results are bit-identical either way.
+    #[serde(default)]
+    pub parallel: ParallelConfig,
 }
 
 impl Default for TpcdConfig {
@@ -52,6 +57,7 @@ impl Default for TpcdConfig {
             skew: 0.5,
             record_size: 125,
             page_size: 8192,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -78,6 +84,13 @@ impl TpcdConfig {
         self
     }
 
+    /// The same configuration with a fixed measurement thread count
+    /// (0 = one per core, 1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig::with_threads(threads);
+        self
+    }
+
     /// Adds a nation level to the supplier dimension: `suppliers` becomes
     /// suppliers *per nation*.
     pub fn with_supplier_nations(mut self, nations: u64) -> Self {
@@ -95,12 +108,9 @@ impl TpcdConfig {
             )
             .expect("positive fanouts"),
             match self.supplier_nations {
-                None => Hierarchy::new("supplier", vec![self.suppliers])
+                None => Hierarchy::new("supplier", vec![self.suppliers]).expect("positive fanouts"),
+                Some(nations) => Hierarchy::new("supplier", vec![self.suppliers, nations])
                     .expect("positive fanouts"),
-                Some(nations) => {
-                    Hierarchy::new("supplier", vec![self.suppliers, nations])
-                        .expect("positive fanouts")
-                }
             },
             Hierarchy::new("time", vec![self.months_per_year, self.years])
                 .expect("positive fanouts"),

@@ -122,11 +122,7 @@ mod tests {
         // Sum records for part 0 vs the last part across all other coords.
         let extents = cells.extents().to_vec();
         let first = cells.records_in(&[0..1, 0..extents[1], 0..extents[2]]);
-        let last = cells.records_in(&[
-            extents[0] - 1..extents[0],
-            0..extents[1],
-            0..extents[2],
-        ]);
+        let last = cells.records_in(&[extents[0] - 1..extents[0], 0..extents[1], 0..extents[2]]);
         assert!(
             first > last * 2,
             "skewed: part 0 has {first}, last part has {last}"

@@ -154,8 +154,7 @@ mod tests {
     fn fully_collapsed_group_by_equals_plain_aggregate() {
         let (wh, curve, mut table) = setup();
         let q = wh.query().select("parts", "MFR#1").unwrap().build();
-        let grouped =
-            group_by_sum(&wh, &mut table, &curve, &q, &[2, 1, 2], quantity).unwrap();
+        let grouped = group_by_sum(&wh, &mut table, &curve, &q, &[2, 1, 2], quantity).unwrap();
         assert_eq!(grouped.groups.len(), 1);
         // Cross-check against a manual scan.
         let ranges = q.ranges(&wh);

@@ -49,7 +49,10 @@ impl PaperQuery {
         }
         let mut sql = String::from("select sum(l.extendedprice * (1 - l.discount))");
         if !groups.is_empty() {
-            sql = format!("select {}, sum(l.extendedprice * (1 - l.discount))", groups.join(", "));
+            sql = format!(
+                "select {}, sum(l.extendedprice * (1 - l.discount))",
+                groups.join(", ")
+            );
         }
         sql.push_str("\nfrom lineitem l, parts, supplier, time");
         sql.push_str(
@@ -131,8 +134,7 @@ mod tests {
         for q in &qs {
             shape.check(&q.class).expect("valid class");
         }
-        let numbers: std::collections::HashSet<_> =
-            qs.iter().map(|q| q.tpcd_number).collect();
+        let numbers: std::collections::HashSet<_> = qs.iter().map(|q| q.tpcd_number).collect();
         assert_eq!(numbers.len(), 7);
     }
 

@@ -8,6 +8,7 @@ use crate::gen::generate_cells;
 use snakes_core::cost::CostModel;
 use snakes_core::dp::optimal_lattice_path;
 use snakes_core::lattice::LatticeShape;
+use snakes_core::parallel::metrics;
 use snakes_core::path::LatticePath;
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
@@ -71,10 +72,7 @@ impl WorkloadEvaluation {
     pub fn best_row_major(&self) -> &StrategyResult {
         self.row_majors
             .iter()
-            .min_by(|a, b| {
-                a.avg_normalized_blocks
-                    .total_cmp(&b.avg_normalized_blocks)
-            })
+            .min_by(|a, b| a.avg_normalized_blocks.total_cmp(&b.avg_normalized_blocks))
             .expect("at least one row-major")
     }
 
@@ -82,10 +80,7 @@ impl WorkloadEvaluation {
     pub fn worst_row_major(&self) -> &StrategyResult {
         self.row_majors
             .iter()
-            .max_by(|a, b| {
-                a.avg_normalized_blocks
-                    .total_cmp(&b.avg_normalized_blocks)
-            })
+            .max_by(|a, b| a.avg_normalized_blocks.total_cmp(&b.avg_normalized_blocks))
             .expect("at least one row-major")
     }
 }
@@ -148,7 +143,10 @@ impl Evaluator {
 
     /// Measures every class under a physical curve, memoized.
     fn stats_for(&mut self, key: CurveKey) -> &[ClassStats] {
-        if !self.cache.contains_key(&key) {
+        if self.cache.contains_key(&key) {
+            metrics::record_cache_hit();
+        } else {
+            metrics::record_cache_miss();
             let stats = match &key {
                 CurveKey::Path(dims, snaked) => {
                     let path = LatticePath::from_dims(self.shape.clone(), dims.clone())
@@ -171,35 +169,19 @@ impl Evaluator {
     }
 
     fn measure_curve<L: Linearization + Sync>(&self, curve: &L) -> Vec<ClassStats> {
-        let layout = PackedLayout::pack(curve, &self.cells, self.config.storage());
-        // Classes are independent; measure them in parallel.
-        let ranks: Vec<usize> = (0..self.shape.num_classes()).collect();
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4);
-        let chunk = ranks.len().div_ceil(threads);
-        let mut out: Vec<Option<ClassStats>> = vec![None; ranks.len()];
-        crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for chunk_ranks in ranks.chunks(chunk) {
-                let layout = &layout;
-                let schema = &self.schema;
-                let shape = &self.shape;
-                handles.push(s.spawn(move |_| {
-                    chunk_ranks
-                        .iter()
-                        .map(|&r| (r, class_stats(schema, curve, layout, &shape.unrank(r))))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                for (r, stats) in h.join().expect("measurement thread panicked") {
-                    out[r] = Some(stats);
-                }
-            }
-        })
-        .expect("measurement scope panicked");
-        out.into_iter().map(|s| s.expect("all classes measured")).collect()
+        let layout = {
+            let _t = metrics::PhaseTimer::start(metrics::Phase::Pack);
+            PackedLayout::pack(curve, &self.cells, self.config.storage())
+        };
+        // Classes are independent; fan them out across the configured
+        // workers. Results come back in rank order, so downstream
+        // probability-weighted reductions are bit-identical to serial.
+        let _t = metrics::PhaseTimer::start(metrics::Phase::Measure);
+        self.config
+            .parallel
+            .run_indexed(self.shape.num_classes(), |r| {
+                class_stats(&self.schema, curve, &layout, &self.shape.unrank(r))
+            })
     }
 
     fn result_for(
@@ -240,18 +222,9 @@ impl Evaluator {
     pub fn evaluate(&mut self, workload: &Workload) -> WorkloadEvaluation {
         debug_assert_eq!(workload.shape(), &self.shape, "workload lattice mismatch");
         let dp = optimal_lattice_path(&self.model, workload);
-        let optimal = self.result_for(
-            StrategyKind::OptimalPath,
-            dp.path.clone(),
-            false,
-            workload,
-        );
-        let snaked_optimal = self.result_for(
-            StrategyKind::SnakedOptimalPath,
-            dp.path,
-            true,
-            workload,
-        );
+        let optimal = self.result_for(StrategyKind::OptimalPath, dp.path.clone(), false, workload);
+        let snaked_optimal =
+            self.result_for(StrategyKind::SnakedOptimalPath, dp.path, true, workload);
         let row_majors = LatticePath::all_row_majors(&self.shape)
             .into_iter()
             .map(|p| {
@@ -264,12 +237,7 @@ impl Evaluator {
                 self.result_for(StrategyKind::RowMajor(order), p, false, workload)
             })
             .collect();
-        let hilbert = self.result_for(
-            StrategyKind::Hilbert,
-            optimal.path.clone(),
-            false,
-            workload,
-        );
+        let hilbert = self.result_for(StrategyKind::Hilbert, optimal.path.clone(), false, workload);
         WorkloadEvaluation {
             optimal,
             snaked_optimal,
@@ -322,9 +290,7 @@ mod tests {
         let mut ev = Evaluator::new(TpcdConfig::small());
         let w = paper_workload_7(ev.config());
         let e = ev.evaluate(&w.workload);
-        assert!(
-            e.snaked_optimal.avg_seeks <= e.worst_row_major().avg_seeks + 1e-9
-        );
+        assert!(e.snaked_optimal.avg_seeks <= e.worst_row_major().avg_seeks + 1e-9);
         assert_eq!(e.row_majors.len(), 6);
     }
 
@@ -387,9 +353,6 @@ mod tests {
         let e = ev.evaluate(&w.workload);
         assert_eq!(e.optimal.path, e.snaked_optimal.path);
         assert_eq!(e.optimal.kind, StrategyKind::OptimalPath);
-        assert!(matches!(
-            e.row_majors[0].kind,
-            StrategyKind::RowMajor(_)
-        ));
+        assert!(matches!(e.row_majors[0].kind, StrategyKind::RowMajor(_)));
     }
 }

@@ -19,7 +19,8 @@ pub fn warehouse(config: &TpcdConfig) -> Warehouse {
         vec![config.parts_per_manufacturer, config.manufacturers],
     )
     .expect("positive fanouts");
-    let mut part_names = Vec::with_capacity((config.parts_per_manufacturer * config.manufacturers) as usize);
+    let mut part_names =
+        Vec::with_capacity((config.parts_per_manufacturer * config.manufacturers) as usize);
     for m in 0..config.manufacturers {
         for i in 0..config.parts_per_manufacturer {
             part_names.push(format!("PART#{}-{}", m + 1, i + 1));
@@ -39,10 +40,8 @@ pub fn warehouse(config: &TpcdConfig) -> Warehouse {
             DimensionTable::new(h, vec![names]).expect("valid names")
         }
         Some(nations) => {
-            let h = Hierarchy::new("supplier", vec![config.suppliers, nations])
-                .expect("positive");
-            let mut supp_names =
-                Vec::with_capacity((config.suppliers * nations) as usize);
+            let h = Hierarchy::new("supplier", vec![config.suppliers, nations]).expect("positive");
+            let mut supp_names = Vec::with_capacity((config.suppliers * nations) as usize);
             for n in 0..nations {
                 for s in 0..config.suppliers {
                     supp_names.push(format!("SUPP#{}-{}", n + 1, s + 1));
@@ -54,10 +53,9 @@ pub fn warehouse(config: &TpcdConfig) -> Warehouse {
         }
     };
 
-    let time_h = Hierarchy::new("time", vec![config.months_per_year, config.years])
-        .expect("positive");
-    let mut month_names =
-        Vec::with_capacity((config.months_per_year * config.years) as usize);
+    let time_h =
+        Hierarchy::new("time", vec![config.months_per_year, config.years]).expect("positive");
+    let mut month_names = Vec::with_capacity((config.months_per_year * config.years) as usize);
     for y in 0..config.years {
         for m in 0..config.months_per_year {
             month_names.push(format!("{}-{:02}", EPOCH_YEAR as u64 + y, m + 1));
@@ -131,19 +129,11 @@ mod tests {
         .with_supplier_nations(3);
         let wh = warehouse(&cfg);
         assert_eq!(wh.schema(), cfg.star_schema());
-        let q = wh
-            .query()
-            .select("supplier", "NATION#2")
-            .unwrap()
-            .build();
+        let q = wh.query().select("supplier", "NATION#2").unwrap().build();
         // Class: parts ALL (2), supplier nation (1), time ALL (2).
         assert_eq!(q.class(), Class(vec![2, 1, 2]));
         assert_eq!(q.ranges(&wh)[1], 4..8);
-        let q2 = wh
-            .query()
-            .select("supplier", "SUPP#3-2")
-            .unwrap()
-            .build();
+        let q2 = wh.query().select("supplier", "SUPP#3-2").unwrap().build();
         assert_eq!(q2.ranges(&wh)[1], 9..10);
     }
 

@@ -31,10 +31,7 @@ fn describe(name: &str, schema: &StarSchema, lin: &impl Linearization, workload:
     let cv: Cv = cv_of(schema, lin);
     println!("--- {name} ---");
     println!("{}", render(lin));
-    let edges: Vec<String> = cv
-        .entries()
-        .map(|(t, c)| format!("{t}:{c}"))
-        .collect();
+    let edges: Vec<String> = cv.entries().map(|(t, c)| format!("{t}:{c}")).collect();
     println!("CV: {}", edges.join(" "));
     println!(
         "diagonal edges: {}, expected cost (uniform workload): {:.3}\n",
@@ -61,9 +58,19 @@ fn main() -> Result<()> {
         &NestedLoops::boustrophedon(vec![8, 8], &[0, 1]),
         &uniform,
     );
-    describe("Z-order (Figure 2a)", &schema, &ZOrderCurve::square(3), &uniform);
+    describe(
+        "Z-order (Figure 2a)",
+        &schema,
+        &ZOrderCurve::square(3),
+        &uniform,
+    );
     describe("Gray-code curve", &schema, &GrayCurve::square(3), &uniform);
-    describe("Hilbert (Figure 2b)", &schema, &HilbertCurve::square(3), &uniform);
+    describe(
+        "Hilbert (Figure 2b)",
+        &schema,
+        &HilbertCurve::square(3),
+        &uniform,
+    );
 
     let p = LatticePath::from_dims(shape.clone(), vec![1, 0, 1, 0, 1, 0])?;
     describe(

@@ -68,16 +68,11 @@ fn main() -> Result<()> {
     let cells = generate_cells(&config);
     let replay = |path: &LatticePath, label: &str| -> Result<()> {
         let curve = snaked_path_curve(&schema, path);
-        let mut table = TableFile::create_in_memory(
-            &curve,
-            &cells,
-            config.storage(),
-            |c, i| {
-                LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
-                    .encode()
-                    .to_vec()
-            },
-        )
+        let mut table = TableFile::create_in_memory(&curve, &cells, config.storage(), |c, i| {
+            LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
+                .encode()
+                .to_vec()
+        })
         .expect("in-memory load");
         for q in session.history() {
             table

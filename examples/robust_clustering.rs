@@ -64,7 +64,10 @@ fn main() -> Result<()> {
 
     // If the best path is physically inconvenient, the runner-ups are close:
     println!("\ntop-4 alternatives for the reporting future:");
-    for (i, (p, c)) in k_best_lattice_paths(&model, &reporting, 4).iter().enumerate() {
+    for (i, (p, c)) in k_best_lattice_paths(&model, &reporting, 4)
+        .iter()
+        .enumerate()
+    {
         println!("  #{:<2} {} — {:.3} seeks", i + 1, p, c);
     }
 

@@ -111,7 +111,11 @@ fn main() {
     // Per-class detail for the three most selective classes.
     let layout = PackedLayout::pack(&curve, &cells, storage);
     println!("\nper-class detail under the snaked optimal clustering:");
-    for class in [Class(vec![0, 0, 0]), Class(vec![1, 0, 1]), Class(vec![2, 1, 2])] {
+    for class in [
+        Class(vec![0, 0, 0]),
+        Class(vec![1, 0, 1]),
+        Class(vec![2, 1, 2]),
+    ] {
         let s = class_stats(ev.schema(), &curve, &layout, &class);
         println!(
             "  class {}: {} queries ({} non-empty), {:.2} seeks, {:.2} normalized blocks",

@@ -31,8 +31,14 @@ fn main() -> Result<()> {
 
     // The analysts' question templates, in their own vocabulary.
     let questions = [
-        ("monthly sales of one part", vec![("parts", "PART#1-1"), ("time", "1992-01")]),
-        ("a manufacturer's 1994", vec![("parts", "MFR#2"), ("time", "1994")]),
+        (
+            "monthly sales of one part",
+            vec![("parts", "PART#1-1"), ("time", "1992-01")],
+        ),
+        (
+            "a manufacturer's 1994",
+            vec![("parts", "MFR#2"), ("time", "1994")],
+        ),
         ("one supplier's whole history", vec![("supplier", "SUPP#3")]),
         ("everything in 1995", vec![("time", "1995")]),
     ];
@@ -63,15 +69,11 @@ fn main() -> Result<()> {
     // page file.
     let cells = generate_cells(&config);
     let curve = snaked_path_curve(&schema, &rec.optimal_path);
-    let mut table = TableFile::create_in_memory(
-        &curve,
-        &cells,
-        config.storage(),
-        |coords, i| {
-            LineItem::synthetic(coords[0] as u32, coords[1] as u32, coords[2] as u32, i).encode()
-                .to_vec()
-        },
-    )
+    let mut table = TableFile::create_in_memory(&curve, &cells, config.storage(), |coords, i| {
+        LineItem::synthetic(coords[0] as u32, coords[1] as u32, coords[2] as u32, i)
+            .encode()
+            .to_vec()
+    })
     .expect("in-memory load cannot fail on IO");
     println!(
         "loaded {} records into {} pages",

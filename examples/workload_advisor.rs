@@ -21,7 +21,10 @@ fn main() -> Result<()> {
     let templates = paper_queries();
     println!("TPC-D LineItem query templates as grid classes:");
     for q in &templates {
-        println!("  Q{:<2} {:<22} -> class {}", q.tpcd_number, q.name, q.class);
+        println!(
+            "  Q{:<2} {:<22} -> class {}",
+            q.tpcd_number, q.name, q.class
+        );
     }
     for q in &templates {
         let weight = match q.tpcd_number {

@@ -102,10 +102,7 @@ fn page_simulator_agrees_with_fragments_when_cells_are_pages() {
     };
     for path in LatticePath::enumerate(&shape) {
         for (curve, analytic) in [
-            (
-                path_curve(&schema, &path),
-                model.class_costs(&path),
-            ),
+            (path_curve(&schema, &path), model.class_costs(&path)),
             (
                 snaked_path_curve(&schema, &path),
                 snakes_sandwiches::core::snake::snaked_class_costs(&model, &path),

@@ -31,9 +31,7 @@ fn fanout_one_levels_are_harmless() {
             assert!(seen.insert(curve.coords_vec(r)));
         }
         // Snaking still never hurts.
-        assert!(
-            snaked_expected_cost(&model, &p, &w) <= model.expected_cost(&p, &w) + 1e-9
-        );
+        assert!(snaked_expected_cost(&model, &p, &w) <= model.expected_cost(&p, &w) + 1e-9);
     }
 }
 
@@ -77,6 +75,8 @@ fn one_dimensional_schema_end_to_end() {
             record_size: 125,
         },
     );
+    // One-element slice is intentional: a query region over the single dim.
+    #[allow(clippy::single_range_in_vec_init)]
     let c = query_cost(&curve, &layout, &[0..12]);
     assert_eq!(c.seeks, 1);
     assert_eq!(c.records, 24);

@@ -73,10 +73,7 @@ fn unbalanced_hierarchy_advisor_matches_padded_schema() {
 
     // Fractional average fanouts drive the DP directly.
     let shape = LatticeShape::new(vec![view.levels, 1]);
-    let model = CostModel::new(
-        shape.clone(),
-        vec![view.average_fanouts.clone(), vec![4.0]],
-    );
+    let model = CostModel::new(shape.clone(), vec![view.average_fanouts.clone(), vec![4.0]]);
     let w = Workload::uniform(shape);
     let dp = optimal_lattice_path(&model, &w);
     assert!(dp.cost >= 1.0);
@@ -96,8 +93,7 @@ fn advisor_guarantee_holds_against_best_snaked_path() {
     let model = CostModel::of_schema(&schema);
     for (_, w) in bias_family(model.shape()) {
         let dp = optimal_lattice_path(&model, &w);
-        let snaked_opt =
-            snakes_sandwiches::core::snake::snaked_expected_cost(&model, &dp.path, &w);
+        let snaked_opt = snakes_sandwiches::core::snake::snaked_expected_cost(&model, &dp.path, &w);
         let (_, best_snaked) =
             snakes_sandwiches::core::snake::best_snaked_path_exhaustive(&model, &w);
         assert!(

@@ -1,0 +1,60 @@
+//! Smoke tests for every example in `examples/`: run the built binary and
+//! require a clean exit with non-empty output. `cargo test` builds the
+//! examples alongside the test targets, so example rot (API drift, panics,
+//! stale imports) now fails tier-1 instead of lingering until someone
+//! happens to run the example by hand.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The directory cargo put the example binaries in: the test executable
+/// lives in `<target>/<profile>/deps`, examples in
+/// `<target>/<profile>/examples` (robust against a custom
+/// `CARGO_TARGET_DIR`).
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .join("examples")
+}
+
+fn run_example(name: &str) {
+    let bin = examples_dir().join(name);
+    assert!(
+        bin.exists(),
+        "example binary {} not built (cargo builds examples during `cargo test`)",
+        bin.display()
+    );
+    let output = Command::new(&bin)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(!output.stdout.is_empty(), "example {name} printed nothing");
+}
+
+macro_rules! example_smoke {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            run_example(stringify!($name));
+        }
+    )*};
+}
+
+example_smoke!(
+    curve_gallery,
+    olap_session,
+    quickstart,
+    robust_clustering,
+    toy_paper_example,
+    tpcd_clustering,
+    warehouse_queries,
+    workload_advisor,
+);

@@ -191,7 +191,10 @@ fn sandwich_pipeline_handles_sampled_consistent_vectors() {
             let c_nd = nd.cost(w);
             let c_min = min.cost(w);
             assert!(c_nd <= c_v + 1e-9, "elimination must not increase cost");
-            assert!(c_min <= c_nd + 1e-9, "minimalization must not increase cost");
+            assert!(
+                c_min <= c_nd + 1e-9,
+                "minimalization must not increase cost"
+            );
             let best_leaf = leaves
                 .iter()
                 .map(|l| l.cost(w))

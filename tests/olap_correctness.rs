@@ -42,12 +42,8 @@ fn reference_group_by(
                 .collect();
             let entry = out.entry(key).or_insert((0.0, 0));
             for i in 0..count {
-                let rec = LineItem::synthetic(
-                    coords[0] as u32,
-                    coords[1] as u32,
-                    coords[2] as u32,
-                    i,
-                );
+                let rec =
+                    LineItem::synthetic(coords[0] as u32, coords[1] as u32, coords[2] as u32, i);
                 entry.0 += rec.quantity;
                 entry.1 += 1;
             }
@@ -91,7 +87,10 @@ fn physical_group_by_equals_reference() {
         // (query selections, group levels)
         (vec![("time", "1994")], vec![1, 1, 2]),
         (vec![("parts", "MFR#1")], vec![0, 0, 1]),
-        (vec![("supplier", "SUPP#5"), ("time", "1993")], vec![1, 0, 1]),
+        (
+            vec![("supplier", "SUPP#5"), ("time", "1993")],
+            vec![1, 0, 1],
+        ),
     ];
     for (sels, group_levels) in cases {
         let mut b = wh.query();
@@ -99,8 +98,7 @@ fn physical_group_by_equals_reference() {
             b = b.select(dim, member).unwrap();
         }
         let q = b.build();
-        let physical = group_by_sum(&wh, &mut table, &curve, &q, &group_levels, quantity)
-            .unwrap();
+        let physical = group_by_sum(&wh, &mut table, &curve, &q, &group_levels, quantity).unwrap();
         let reference = reference_group_by(&wh, &cells, &q, &group_levels);
         assert_eq!(
             physical.groups.len(),
@@ -142,15 +140,13 @@ fn group_by_is_layout_independent() {
         LatticePath::row_major(shape.clone(), &[2, 1, 0]).unwrap(),
     ] {
         let curve = snaked_path_curve(&schema, &path);
-        let mut table =
-            TableFile::create_in_memory(&curve, &cells, config.storage(), |c, i| {
-                LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
-                    .encode()
-                    .to_vec()
-            })
-            .unwrap();
-        let out = group_by_sum(&wh, &mut table, &curve, &q, &group_levels, quantity)
-            .unwrap();
+        let mut table = TableFile::create_in_memory(&curve, &cells, config.storage(), |c, i| {
+            LineItem::synthetic(c[0] as u32, c[1] as u32, c[2] as u32, i)
+                .encode()
+                .to_vec()
+        })
+        .unwrap();
+        let out = group_by_sum(&wh, &mut table, &curve, &q, &group_levels, quantity).unwrap();
         results.push(out.groups);
     }
     assert_eq!(results[0], results[1]);

@@ -50,7 +50,13 @@ fn table_2_every_entry() {
         ),
         (
             "2",
-            [13.0 / 6.0, 11.0 / 6.0, 31.0 / 24.0, 21.0 / 12.0, 35.0 / 24.0],
+            [
+                13.0 / 6.0,
+                11.0 / 6.0,
+                31.0 / 24.0,
+                21.0 / 12.0,
+                35.0 / 24.0,
+            ],
         ),
         ("3", [1.0, 5.0 / 4.0, 3.0 / 2.0, 1.0, 9.0 / 8.0]),
     ];
@@ -71,14 +77,9 @@ fn table_3_tracks_paper_percentages() {
     // column is heavy (1M-cell Hilbert CV); keep this test at 2 and 4 and
     // let the repro binary cover 32 (EXPERIMENTS.md records 51.5/27.0/0.7).
     let t = toy::table3(&[2, 4]);
-    let pct = |row: &str, col: &str| -> f64 {
-        cell(&t, row, col).trim_end_matches('%').parse().unwrap()
-    };
-    let expected = [
-        ("1", 72.0, 61.0),
-        ("2", 60.0, 42.0),
-        ("3", 67.0, 30.0),
-    ];
+    let pct =
+        |row: &str, col: &str| -> f64 { cell(&t, row, col).trim_end_matches('%').parse().unwrap() };
+    let expected = [("1", 72.0, 61.0), ("2", 60.0, 42.0), ("3", 67.0, 30.0)];
     for (row, f2, f4) in expected {
         assert!((pct(row, "fanout=2") - f2).abs() < 1.5, "w{row} f2");
         assert!((pct(row, "fanout=4") - f4).abs() < 1.5, "w{row} f4");

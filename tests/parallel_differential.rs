@@ -1,0 +1,232 @@
+//! Differential harness for the parallel evaluation engine: for a matrix
+//! of grids (2-D and 3-D, uniform and skewed cell counts) and thread
+//! counts {1, 2, 4, 8}, the parallel paths must produce **bit-identical**
+//! results to the serial implementation — same `f64` bits, same structs,
+//! same winners. This is the tentpole correctness contract: parallelism
+//! may only change wall time, never a single output bit.
+
+use snakes_sandwiches::core::lattice::LatticeShape;
+use snakes_sandwiches::core::parallel::ParallelConfig;
+use snakes_sandwiches::core::path::LatticePath;
+use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
+use snakes_sandwiches::core::workload::Workload;
+use snakes_sandwiches::curves::search::{multistart_two_opt, ExplicitStrategy};
+use snakes_sandwiches::curves::{
+    hilbert_sandwich_pair, hilbert_sandwich_pair_with, snaked_path_curve, HilbertCurve,
+    NestedLoops, ZOrderCurve,
+};
+use snakes_sandwiches::storage::{
+    workload_stats, workload_stats_with, CellData, PackedLayout, StorageConfig,
+};
+use snakes_sandwiches::tpcd::{tpcd_workloads, Evaluator, TpcdConfig};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn storage_config() -> StorageConfig {
+    StorageConfig {
+        page_size: 500,
+        record_size: 125,
+    }
+}
+
+/// Deterministic skewed cell counts: cell `i` gets `(i * 7) % 23` records,
+/// so some cells are empty and page spans vary.
+fn skewed_counts(n: usize) -> Vec<u64> {
+    (0..n).map(|i| (i as u64 * 7) % 23).collect()
+}
+
+/// One measurement scenario: a schema, its packed grid, and a workload.
+struct Scenario {
+    name: &'static str,
+    schema: StarSchema,
+    curve: NestedLoops,
+    layout: PackedLayout,
+    workload: Workload,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // 2-D, uniform cells.
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let curve = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+    let cells = CellData::from_counts(vec![4, 4], vec![4; 16]);
+    let layout = PackedLayout::pack(&curve, &cells, storage_config());
+    out.push(Scenario {
+        name: "2d_uniform",
+        schema: schema.clone(),
+        curve,
+        layout,
+        workload: Workload::uniform(shape),
+    });
+
+    // 2-D, skewed cells (some empty).
+    let shape = LatticeShape::of_schema(&schema);
+    let curve = NestedLoops::row_major(vec![4, 4], &[1, 0]);
+    let cells = CellData::from_counts(vec![4, 4], skewed_counts(16));
+    let layout = PackedLayout::pack(&curve, &cells, storage_config());
+    out.push(Scenario {
+        name: "2d_skewed",
+        schema,
+        curve,
+        layout,
+        workload: Workload::uniform(shape),
+    });
+
+    // 3-D, unbalanced hierarchies, skewed cells.
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("a", vec![3, 2]).unwrap(),
+        Hierarchy::new("b", vec![4]).unwrap(),
+        Hierarchy::new("c", vec![2, 2]).unwrap(),
+    ])
+    .unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    let extents = schema.grid_shape();
+    let n = extents.iter().product::<u64>() as usize;
+    let curve = NestedLoops::row_major(extents.clone(), &[2, 0, 1]);
+    let cells = CellData::from_counts(extents, skewed_counts(n));
+    let layout = PackedLayout::pack(&curve, &cells, storage_config());
+    out.push(Scenario {
+        name: "3d_skewed",
+        schema,
+        curve,
+        layout,
+        workload: Workload::uniform(shape),
+    });
+
+    out
+}
+
+/// Asserts two `f64`s carry the same bits (stronger than `==`: also
+/// distinguishes `-0.0` from `0.0` and would catch NaN bit patterns).
+#[track_caller]
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} vs {b}");
+}
+
+#[test]
+fn workload_stats_bit_identical_across_thread_counts() {
+    for sc in scenarios() {
+        let serial = workload_stats(&sc.schema, &sc.curve, &sc.layout, &sc.workload);
+        for threads in THREADS {
+            for chunk_size in [0, 1, 3] {
+                let par = workload_stats_with(
+                    &sc.schema,
+                    &sc.curve,
+                    &sc.layout,
+                    &sc.workload,
+                    ParallelConfig {
+                        threads,
+                        chunk_size,
+                    },
+                );
+                let ctx = format!("{} threads={threads} chunk={chunk_size}", sc.name);
+                assert_bits(
+                    par.avg_normalized_blocks,
+                    serial.avg_normalized_blocks,
+                    &format!("{ctx} blocks"),
+                );
+                assert_bits(par.avg_seeks, serial.avg_seeks, &format!("{ctx} seeks"));
+                // Entire per-class payload, field by field (PartialEq on
+                // ClassStats compares the f64s with ==; identical bits
+                // imply equality and the bit asserts above cover the
+                // reduction).
+                assert_eq!(par.per_class, serial.per_class, "{ctx} per_class");
+            }
+        }
+    }
+}
+
+#[test]
+fn tpcd_sweep_tables_bit_identical_across_thread_counts() {
+    // The full Table-4 row: every strategy, every class, one workload —
+    // measured serially, then with every thread count.
+    let base = TpcdConfig {
+        records: 4_000,
+        ..TpcdConfig::small()
+    };
+    let workload = tpcd_workloads(&base)[6].workload.clone();
+    let serial = Evaluator::new(base.with_threads(1)).evaluate(&workload);
+    for threads in THREADS.into_iter().skip(1) {
+        let par = Evaluator::new(base.with_threads(threads)).evaluate(&workload);
+        // StrategyResult's PartialEq compares the f64 costs; equality
+        // here means every measured number matches the serial run.
+        assert_eq!(par, serial, "threads={threads}");
+        for (p, s) in [
+            (&par.optimal, &serial.optimal),
+            (&par.snaked_optimal, &serial.snaked_optimal),
+            (&par.hilbert, &serial.hilbert),
+        ] {
+            assert_bits(p.avg_seeks, s.avg_seeks, "sweep seeks");
+            assert_bits(
+                p.avg_normalized_blocks,
+                s.avg_normalized_blocks,
+                "sweep blocks",
+            );
+        }
+    }
+}
+
+#[test]
+fn two_opt_multistart_bit_identical_across_thread_counts() {
+    let schema = StarSchema::square(2, 2).unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    let path = LatticePath::row_major(shape.clone(), &[0, 1]).unwrap();
+    let starts: Vec<ExplicitStrategy> = vec![
+        ExplicitStrategy::from_linearization(&NestedLoops::row_major(vec![4, 4], &[0, 1])),
+        ExplicitStrategy::from_linearization(&NestedLoops::row_major(vec![4, 4], &[1, 0])),
+        ExplicitStrategy::from_linearization(&HilbertCurve::square(2)),
+        ExplicitStrategy::from_linearization(&ZOrderCurve::square(2)),
+        ExplicitStrategy::from_linearization(&snaked_path_curve(&schema, &path)),
+    ];
+    for (wi, (_, workload)) in snakes_sandwiches::core::workload::bias_family(&shape)
+        .into_iter()
+        .enumerate()
+        .step_by(4)
+    {
+        let serial = multistart_two_opt(
+            &schema,
+            &workload,
+            &starts,
+            10_000,
+            wi as u64,
+            ParallelConfig::serial(),
+        );
+        for threads in THREADS.into_iter().skip(1) {
+            let par = multistart_two_opt(
+                &schema,
+                &workload,
+                &starts,
+                10_000,
+                wi as u64,
+                ParallelConfig::with_threads(threads),
+            );
+            assert_eq!(
+                par.restart, serial.restart,
+                "workload {wi} threads={threads}"
+            );
+            assert_bits(
+                par.cost,
+                serial.cost,
+                &format!("workload {wi} threads={threads} cost"),
+            );
+            assert_eq!(
+                par.strategy.order(),
+                serial.strategy.order(),
+                "workload {wi} threads={threads} order"
+            );
+        }
+    }
+}
+
+#[test]
+fn sandwich_pair_search_bit_identical_across_thread_counts() {
+    for n in 1..=2 {
+        let serial = hilbert_sandwich_pair(n);
+        for threads in THREADS.into_iter().skip(1) {
+            let par = hilbert_sandwich_pair_with(n, ParallelConfig::with_threads(threads));
+            assert_eq!(par, serial, "n={n} threads={threads}");
+        }
+    }
+}

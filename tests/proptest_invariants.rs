@@ -4,21 +4,38 @@
 use proptest::prelude::*;
 use snakes_sandwiches::core::cost::CostModel;
 use snakes_sandwiches::core::dp::{optimal_lattice_path, optimal_lattice_path_exhaustive};
+use snakes_sandwiches::core::parallel::{metrics, ParallelConfig};
 use snakes_sandwiches::core::sandwich::Cv2;
 use snakes_sandwiches::core::snake::{max_benefit, snaked_expected_cost};
 use snakes_sandwiches::curves::cv_of;
 use snakes_sandwiches::prelude::*;
 use snakes_sandwiches::storage::exec::query_cost;
-use snakes_sandwiches::storage::CellData;
+use snakes_sandwiches::storage::{workload_stats_with, CellData};
+
+/// Serializes the two properties that read the process-global metrics
+/// counters, so concurrent test threads cannot pollute each other's
+/// deltas. `unwrap_or_else` keeps a poisoned lock (a failed case in the
+/// other property) from cascading into spurious failures here.
+static METRICS_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Pseudo-random per-cell record counts in 0..6 from a seed (the same
+/// generator `storage_invariants` uses).
+fn seeded_counts(seed: u64, n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407))
+                >> 33)
+                % 6
+        })
+        .collect()
+}
 
 /// A random small schema: 2-3 dimensions, 1-2 levels, fanouts 2-4 (grids
 /// stay below ~4k cells).
 fn schema_strategy() -> impl Strategy<Value = StarSchema> {
-    proptest::collection::vec(
-        proptest::collection::vec(2u64..=4, 1..=2),
-        2..=3,
-    )
-    .prop_map(|dims| {
+    proptest::collection::vec(proptest::collection::vec(2u64..=4, 1..=2), 2..=3).prop_map(|dims| {
         StarSchema::new(
             dims.into_iter()
                 .enumerate()
@@ -44,7 +61,7 @@ fn workload_strategy(shape: LatticeShape) -> impl Strategy<Value = Workload> {
 fn path_strategy(shape: LatticeShape) -> impl Strategy<Value = LatticePath> {
     let mut dims = Vec::new();
     for (d, &l) in shape.levels().iter().enumerate() {
-        dims.extend(std::iter::repeat(d).take(l));
+        dims.extend(std::iter::repeat_n(d, l));
     }
     Just(dims)
         .prop_shuffle()
@@ -263,6 +280,78 @@ proptest! {
         prop_assert!(best <= min.cost(&w) + 1e-9);
         for l in &leaves {
             prop_assert!(l.to_snaked_path().is_some(), "leaf {l} not a snaked path");
+        }
+    }
+
+    /// The parallel engine is thread-count invariant: measured expected
+    /// cost (and every per-class statistic) carries identical bits for
+    /// any worker count on any random schema, path, workload, and data.
+    #[test]
+    fn measured_cost_thread_count_invariant(
+        (schema, path, workload, counts_seed, threads) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (
+                Just(s),
+                path_strategy(shape.clone()),
+                workload_strategy(shape),
+                any::<u64>(),
+                2usize..=8,
+            )
+        })
+    ) {
+        let _g = METRICS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let extents = schema.grid_shape();
+        let n: u64 = extents.iter().product();
+        let cells = CellData::from_counts(extents, seeded_counts(counts_seed, n));
+        let cfg = StorageConfig { page_size: 512, record_size: 125 };
+        let curve = snaked_path_curve(&schema, &path);
+        let layout = PackedLayout::pack(&curve, &cells, cfg);
+        let serial = workload_stats_with(
+            &schema, &curve, &layout, &workload, ParallelConfig::serial(),
+        );
+        let par = workload_stats_with(
+            &schema, &curve, &layout, &workload, ParallelConfig::with_threads(threads),
+        );
+        prop_assert_eq!(
+            par.avg_normalized_blocks.to_bits(),
+            serial.avg_normalized_blocks.to_bits()
+        );
+        prop_assert_eq!(par.avg_seeks.to_bits(), serial.avg_seeks.to_bits());
+        prop_assert_eq!(par.per_class, serial.per_class);
+    }
+
+    /// Metrics-counter consistency: one measurement run advances
+    /// `queries_executed` by exactly the sum of per-class query counts,
+    /// for any thread count.
+    #[test]
+    fn metrics_count_queries_consistently(
+        (schema, path, counts_seed, threads) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), path_strategy(shape), any::<u64>(), 1usize..=8)
+        })
+    ) {
+        let _g = METRICS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let extents = schema.grid_shape();
+        let n: u64 = extents.iter().product();
+        let cells = CellData::from_counts(extents, seeded_counts(counts_seed, n));
+        let cfg = StorageConfig { page_size: 512, record_size: 125 };
+        let curve = snaked_path_curve(&schema, &path);
+        let layout = PackedLayout::pack(&curve, &cells, cfg);
+        let shape = LatticeShape::of_schema(&schema);
+        // Uniform workload: every class has positive probability, so the
+        // run measures all of them.
+        let workload = Workload::uniform(shape);
+        let before = metrics::snapshot();
+        let stats = workload_stats_with(
+            &schema, &curve, &layout, &workload, ParallelConfig::with_threads(threads),
+        );
+        let delta = metrics::snapshot().since(&before);
+        let expected: u64 = stats.per_class.iter().map(|c| c.queries).sum();
+        prop_assert_eq!(delta.queries_executed, expected);
+        // Every query of the finest class touches its cell's pages, so a
+        // non-empty grid must touch pages.
+        if cells.total_records() > 0 {
+            prop_assert!(delta.pages_touched > 0);
         }
     }
 

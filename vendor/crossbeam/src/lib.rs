@@ -1,0 +1,115 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/parking_lot`
+//! for why the workspace vendors its dependencies).
+//!
+//! Only `crossbeam::thread::scope` is provided — the workspace uses
+//! crossbeam exclusively for scoped fork/join parallelism. Since Rust
+//! 1.63, `std::thread::scope` offers the same guarantees, so this is a
+//! thin adapter that preserves crossbeam's call shape:
+//!
+//! ```
+//! crossbeam::thread::scope(|s| {
+//!     let h = s.spawn(|_| 40 + 2);
+//!     assert_eq!(h.join().unwrap(), 42);
+//! })
+//! .unwrap();
+//! ```
+
+/// Scoped threads (crossbeam's `crossbeam_utils::thread` module shape).
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// The result type of [`scope`]: `Err` carries a captured panic payload.
+    pub type ScopeResult<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure; `spawn` launches threads that
+    /// must finish before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable within the scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> ScopeResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Crossbeam passes the scope back into the
+        /// closure (enabling nested spawns); most callers ignore it
+        /// (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || {
+                let s = Scope { inner: inner_scope };
+                f(&s)
+            });
+            ScopedJoinHandle {
+                inner: handle,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all spawned threads are joined before `scope` returns.
+    ///
+    /// Matches crossbeam's signature: the closure's value comes back as
+    /// `Ok`; if the closure itself panics the panic propagates (std scope
+    /// semantics), so the `Err` arm exists only for API compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this std-backed implementation: unjoined
+    /// child panics propagate as panics instead (std scope semantics).
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let h1 = s.spawn(|_| lo.iter().sum::<u64>());
+            let h2 = s.spawn(|_| hi.iter().sum::<u64>());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `rand_chacha` (see `vendor/parking_lot` for why
+//! the workspace vendors its dependencies).
+//!
+//! Implements `ChaCha8Rng`: the real ChaCha stream cipher with 8
+//! double-rounds, keyed from a 32-byte seed, emitting the keystream as
+//! sequential little-endian `u32` words. Seeded streams are fully
+//! deterministic and of cryptographic quality; they are not guaranteed
+//! word-for-word identical to the upstream crate's stream layout.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 double-rounds, seeded by 32 bytes.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unconsumed word index in `buf`; 16 means "refill needed".
+    idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: the counter alone addresses the stream.
+        let initial = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column + diagonal).
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(0x5EED);
+        let mut b = ChaCha8Rng::seed_from_u64(0x5EED);
+        let mut c = ChaCha8Rng::seed_from_u64(0x5EEE);
+        let xs: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..40).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..40).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,672 @@
+//! Offline stand-in for `serde` (see `vendor/parking_lot` for why the
+//! workspace vendors its dependencies).
+//!
+//! Real serde abstracts over data formats with a visitor architecture;
+//! this workspace only ever round-trips through JSON, so the stand-in
+//! collapses the design to one concrete data model: [`Content`], a
+//! JSON-shaped tree. [`Serialize`] renders a value into a `Content`;
+//! [`Deserialize`] rebuilds a value from one. `serde_json` then only has
+//! to print and parse `Content`.
+//!
+//! The `Content` type doubles as `serde_json::Value` (re-exported there),
+//! which is why its JSON-flavored accessors (`as_f64`, indexing, …) live
+//! here: `serde_json` depends on this crate, so the shared tree type must
+//! sit at the bottom of the stack.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model everything serializes through.
+///
+/// Integer and float numbers are kept distinct (`U64`/`I64` vs `F64`) so
+/// integers round-trip exactly and floats print with a decimal point, as
+/// real serde_json does.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (positive values normalize to [`Content::U64`]).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: a human-readable message, optionally tagged
+/// with the field path where the mismatch occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Prefixes the message with a field or index context.
+    #[must_use]
+    pub fn in_context(self, ctx: &str) -> Self {
+        Self {
+            msg: format!("{ctx}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Content`] data model.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds `Self` from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Parses the value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape or types don't match.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Deserialization-related re-exports, mirroring serde's module layout.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    /// In this owned-only stand-in every [`Deserialize`](super::Deserialize)
+    /// qualifies.
+    pub trait DeserializeOwned: super::Deserialize {}
+
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization-related re-exports, mirroring serde's module layout.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}
+
+fn type_name(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::U64(_) | Content::I64(_) => "integer",
+        Content::F64(_) => "number",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "array",
+        Content::Map(_) => "object",
+    }
+}
+
+fn mismatch(expected: &str, got: &Content) -> Error {
+    Error::custom(format!("expected {expected}, found {}", type_name(got)))
+}
+
+// ---------------------------------------------------------------------------
+// JSON-value accessors (the `serde_json::Value` API surface).
+// ---------------------------------------------------------------------------
+
+impl Content {
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(x) => Some(x),
+            Content::U64(x) => Some(x as f64),
+            Content::I64(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (exact only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(x) => Some(x),
+            Content::I64(x) if x >= 0 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (exact only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(x) => Some(x),
+            Content::U64(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's entry list.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    /// Object field access; missing keys and non-objects yield `null`
+    /// (serde_json's behavior).
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    /// Array element access; out-of-range and non-arrays yield `null`.
+    fn index(&self, i: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! content_partial_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(clippy::cast_lossless, clippy::cast_precision_loss)]
+                match *self {
+                    Content::U64(x) => x as f64 == *other as f64,
+                    Content::I64(x) => x as f64 == *other as f64,
+                    Content::F64(x) => x == *other as f64,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Content> for $t {
+            fn eq(&self, other: &Content) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+content_partial_eq_num!(f64, i32, i64, u64, u32, usize);
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content.as_bool().ok_or_else(|| mismatch("bool", content))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let raw = match *content {
+                    Content::U64(x) => Some(x),
+                    Content::I64(x) if x >= 0 => Some(x as u64),
+                    // Accept integral floats: JSON writers may emit `3.0`.
+                    Content::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                        Some(x as u64)
+                    }
+                    _ => None,
+                };
+                raw.and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| mismatch(stringify!($t), content))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let raw = match *content {
+                    Content::I64(x) => Some(x),
+                    Content::U64(x) => i64::try_from(x).ok(),
+                    Content::F64(x)
+                        if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) =>
+                    {
+                        Some(x as i64)
+                    }
+                    _ => None,
+                };
+                raw.and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| mismatch(stringify!($t), content))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content.as_f64().ok_or_else(|| mismatch("number", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        content
+            .as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| mismatch("number", content))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| mismatch("string", content))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items = content
+            .as_array()
+            .ok_or_else(|| mismatch("array", content))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_content(item).map_err(|e| e.in_context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let items = content.as_array().ok_or_else(|| mismatch("array", content))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_content(&self) -> Content {
+        // serde serializes Range as a {"start", "end"} struct.
+        Content::Map(vec![
+            ("start".to_owned(), self.start.to_content()),
+            ("end".to_owned(), self.end.to_content()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let start = content
+            .get("start")
+            .ok_or_else(|| Error::custom("missing field `start`"))?;
+        let end = content
+            .get("end")
+            .ok_or_else(|| Error::custom("missing field `end`"))?;
+        Ok(T::from_content(start)?..T::from_content(end)?)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output (HashMap iteration order varies).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let entries = content
+            .as_object()
+            .ok_or_else(|| mismatch("object", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                V::from_content(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_context(k))
+            })
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let entries = content
+            .as_object()
+            .ok_or_else(|| mismatch("object", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                V::from_content(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_context(k))
+            })
+            .collect()
+    }
+}
+
+/// Support helpers used by `serde_derive`'s generated code. Not part of
+/// serde's public API; the derive output references them by path.
+pub mod __private {
+    use super::{Content, Deserialize, Error};
+
+    /// Looks up a struct field in a decoded object.
+    pub fn field<'c>(content: &'c Content, name: &str) -> Option<&'c Content> {
+        content.get(name)
+    }
+
+    /// Decodes a required field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the field is missing or mistyped.
+    pub fn required<T: Deserialize>(content: &Content, name: &str) -> Result<T, Error> {
+        match content.get(name) {
+            Some(v) => T::from_content(v).map_err(|e| e.in_context(name)),
+            None => Err(Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Decodes an optional field, falling back to `Default` when absent
+    /// or null (`#[serde(default)]` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the field is present but mistyped.
+    pub fn defaulted<T: Deserialize + Default>(content: &Content, name: &str) -> Result<T, Error> {
+        match content.get(name) {
+            Some(Content::Null) | None => Ok(T::default()),
+            Some(v) => T::from_content(v).map_err(|e| e.in_context(name)),
+        }
+    }
+
+    /// Asserts the content is an object (struct deserialization entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for non-objects.
+    pub fn expect_map(content: &Content, ty: &str) -> Result<(), Error> {
+        if matches!(content, Content::Map(_)) {
+            Ok(())
+        } else {
+            Err(Error::custom(format!("{ty}: expected object")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impl_roundtrips() {
+        let v = vec![(1usize, 2u64), (3, 4)];
+        let c = v.to_content();
+        let back: Vec<(usize, u64)> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, v);
+
+        let r = 3u64..9;
+        let back: std::ops::Range<u64> = Deserialize::from_content(&r.to_content()).unwrap();
+        assert_eq!(back, 3..9);
+
+        let o: Option<f64> = None;
+        assert_eq!(o.to_content(), Content::Null);
+        let s: Option<String> = Deserialize::from_content(&Content::Str("hi".into())).unwrap();
+        assert_eq!(s.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Content::Map(vec![
+            ("a".into(), Content::U64(3)),
+            ("b".into(), Content::Seq(vec![Content::F64(0.5)])),
+        ]);
+        assert_eq!(v["a"], 3);
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert_eq!(v["b"][0].as_f64(), Some(0.5));
+        assert!(v["missing"].is_null());
+        assert!(v.get("missing").is_none());
+        assert_eq!(v["b"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        let x: u64 = Deserialize::from_content(&Content::F64(4.0)).unwrap();
+        assert_eq!(x, 4);
+        let y: f64 = Deserialize::from_content(&Content::U64(7)).unwrap();
+        assert_eq!(y, 7.0);
+        assert!(<u64 as Deserialize>::from_content(&Content::F64(4.5)).is_err());
+        assert!(<u32 as Deserialize>::from_content(&Content::U64(1 << 40)).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline stand-in for `serde_derive` (see `vendor/parking_lot` for why
+//! the workspace vendors its dependencies).
+//!
+//! Derives the vendored serde's [`Serialize`]/[`Deserialize`] traits
+//! (which render through the `Content` tree) for the shapes this
+//! workspace uses: structs with named fields, newtype/tuple structs, and
+//! enums with unit variants. Honors the field attributes `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]`, and
+//! `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Implemented directly over `proc_macro::TokenStream` — no `syn`/`quote`
+//! — since the grammar needed here is tiny: the parser never has to
+//! understand field *types*, only names and attributes; generated code
+//! lets inference do the rest.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field-level `#[serde(...)]` attributes.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    /// `struct S { a: T, ... }`
+    Named(Vec<NamedField>),
+    /// `struct S(T, ...);` — the count of fields.
+    Tuple(usize),
+    /// `enum E { A, B, ... }` — unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Raw generics text including angle brackets (e.g. `<'a>`), or empty.
+    generics: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let push = format!(
+                    "__m.push((::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_content(&self.{})));",
+                    f.name, f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    pushes.push_str(&format!("if !(({pred})(&self.{})) {{ {push} }}\n", f.name));
+                } else {
+                    pushes.push_str(&push);
+                    pushes.push('\n');
+                }
+            }
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Content::Map(__m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{}::{v} => {:?}", parsed.name, v))
+                .collect();
+            format!(
+                "::serde::Content::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    let code = format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}",
+        g = parsed.generics,
+        name = parsed.name,
+    );
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let init = if f.attrs.skip {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    match &f.attrs.default {
+                        None => format!("::serde::__private::required(__c, {:?})?", f.name),
+                        Some(None) => {
+                            format!("::serde::__private::defaulted(__c, {:?})?", f.name)
+                        }
+                        Some(Some(path)) => format!(
+                            "match ::serde::__private::field(__c, {:?}) {{ \
+                                 ::std::option::Option::Some(__v) if !__v.is_null() => \
+                                     ::serde::Deserialize::from_content(__v)?, \
+                                 _ => ({path})() \
+                             }}",
+                            f.name
+                        ),
+                    }
+                };
+                inits.push_str(&format!("{}: {init},\n", f.name));
+            }
+            format!(
+                "::serde::__private::expect_map(__c, {:?})?;\n\
+                 ::std::result::Result::Ok(Self {{\n{inits}}})",
+                parsed.name
+            )
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_content(__c)?))".to_string()
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __c.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong tuple arity\")); }}\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some({:?}) => \
+                         ::std::result::Result::Ok({}::{v}),",
+                        v, parsed.name
+                    )
+                })
+                .collect();
+            format!(
+                "match __c.as_str() {{\n{}\n_ => ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"unknown variant for {}\")),\n}}",
+                arms.join("\n"),
+                parsed.name
+            )
+        }
+    };
+    let code = format!(
+        "impl{g} ::serde::Deserialize for {name}{g} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        g = parsed.generics,
+        name = parsed.name,
+    );
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes, visibility, and doc comments down to the
+    // `struct` / `enum` keyword.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends: skip the paren group.
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Optional generics: capture `<...>` verbatim (lifetimes only in this
+    // workspace, so the same text serves both impl positions).
+    let mut generics = String::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        loop {
+            let t = tokens.get(i).expect("unterminated generics");
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            generics.push_str(&t.to_string());
+            // A lifetime is two tokens (`'` + ident); a space between them
+            // would re-parse as a char literal.
+            if !matches!(&t, TokenTree::Punct(p) if p.as_char() == '\'') {
+                generics.push(' ');
+            }
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+
+    let shape = if is_enum {
+        let body = expect_group(&tokens[i], Delimiter::Brace);
+        Shape::UnitEnum(parse_unit_variants(body))
+    } else {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("expected struct body, found {other}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn expect_group(t: &TokenTree, delim: Delimiter) -> TokenStream {
+    match t {
+        TokenTree::Group(g) if g.delimiter() == delim => g.stream(),
+        other => panic!("expected {delim:?} group, found {other}"),
+    }
+}
+
+/// Parses `#[serde(...)]` arguments out of one attribute group's tokens.
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        };
+        i += 1;
+        let value = if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let lit = tokens
+                .get(i)
+                .unwrap_or_else(|| panic!("missing value for serde attr `{key}`"))
+                .to_string();
+            i += 1;
+            // Strip the literal's surrounding quotes: `"Option::is_none"`.
+            Some(lit.trim_matches('"').to_string())
+        } else {
+            None
+        };
+        match key.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = Some(value),
+            "skip_serializing_if" => {
+                attrs.skip_serializing_if = Some(value.expect("skip_serializing_if needs a path"));
+            }
+            other => panic!("unsupported serde attribute `{other}` (vendored serde_derive)"),
+        }
+    }
+}
+
+/// Walks a brace-group body collecting named fields and their serde attrs.
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes before the field.
+        let mut attrs = FieldAttrs::default();
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let group = expect_group(&tokens[i + 1], Delimiter::Bracket);
+                    let inner: Vec<TokenTree> = group.into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                parse_serde_args(args.stream(), &mut attrs);
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Field name and `:`.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 2; // name + ':'
+                // Skip the type: everything up to a comma at angle-bracket depth 0.
+                // (Commas inside `(...)`/`[...]` are hidden inside Groups; only
+                // generic-argument commas need the depth tracking.)
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct (top-level commas; types may nest).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+/// Collects unit variant names; any payload is unsupported.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // variant docs/attrs
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    panic!("vendored serde_derive supports unit enum variants only");
+                }
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
