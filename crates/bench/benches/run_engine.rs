@@ -1,0 +1,211 @@
+//! Run-based evaluation engine: the tentpole speedup benchmark.
+//!
+//! Two measurements on the paper's Table-4 scenario, each with a
+//! differential check proving the fast path **bit-identical** to the
+//! brute-force path before any speedup is reported:
+//!
+//! 1. **Whole-lattice fragment costs** on the full Table-4 grid
+//!    (200 × 10 × 84 = 168,000 cells, 18 classes): per-class brute force
+//!    (odometer + sort per query — the seed behaviour) vs per-class
+//!    structural rank-runs vs the single-pass `aggregate_class_costs`
+//!    aggregator. The single-pass aggregator is expected (and asserted)
+//!    to run ≥ 5× faster than per-class brute force.
+//! 2. **Storage sweep engines**: one full `Evaluator::evaluate` of the
+//!    synthetic TPC-D scenario under `EvalEngine::Cells` vs
+//!    `EvalEngine::Runs` (single-threaded, so the delta is the engine and
+//!    nothing else), verified bit-identical.
+//!
+//! Results append to `BENCH_run_engine.json` at the workspace root so the
+//! perf trajectory is tracked across commits.
+
+use serde::Serialize;
+use snakes_core::parallel::metrics;
+use snakes_curves::{aggregate_class_costs, class_costs, Linearization, NestedLoops};
+use snakes_storage::EvalEngine;
+use snakes_tpcd::sweep::WorkloadEvaluation;
+use snakes_tpcd::{paper_workload_7, Evaluator, TpcdConfig};
+use std::time::Instant;
+
+/// One run of this bench, appended to `BENCH_run_engine.json`.
+#[derive(Serialize)]
+struct TrajectoryEntry {
+    bench: &'static str,
+    unix_time: u64,
+    cores: usize,
+    grid_cells: u64,
+    classes: usize,
+    brute_force_ns: u64,
+    structural_runs_ns: u64,
+    single_pass_ns: u64,
+    speedup_runs_vs_brute: f64,
+    speedup_single_pass_vs_brute: f64,
+    aggregator_bit_identical: bool,
+    sweep_records: u64,
+    sweep_cells_ns: u64,
+    sweep_runs_ns: u64,
+    sweep_speedup: f64,
+    sweep_bit_identical: bool,
+    metrics: metrics::MetricsSnapshot,
+}
+
+const SWEEP_RECORDS: u64 = 40_000;
+const SAMPLES: usize = 5;
+
+/// Strips a curve's structural `rank_runs` override so the trait's
+/// brute-force default (enumerate every cell, sort, merge) is what runs —
+/// i.e. the seed's per-query evaluation strategy.
+struct BruteForce<'a, L: Linearization>(&'a L);
+
+impl<L: Linearization> Linearization for BruteForce<'_, L> {
+    fn extents(&self) -> &[u64] {
+        self.0.extents()
+    }
+    fn rank(&self, coords: &[u64]) -> u64 {
+        self.0.rank(coords)
+    }
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        self.0.coords(rank, out)
+    }
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Times `f` over `SAMPLES` runs, returning the median time and the last
+/// result (every sample recomputes from scratch — nothing is cached).
+fn time_samples<T>(mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed().as_nanos());
+        last = Some(out);
+    }
+    (median(times), last.expect("at least one sample"))
+}
+
+/// Times one full Table-4 evaluation under `engine`, single-threaded.
+fn sample_sweep(engine: EvalEngine) -> (u128, WorkloadEvaluation) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let config = TpcdConfig {
+            records: SWEEP_RECORDS,
+            ..TpcdConfig::small()
+        }
+        .with_threads(1)
+        .with_engine(engine);
+        let workload = paper_workload_7(&config).workload;
+        let mut evaluator = Evaluator::new(config);
+        let start = Instant::now();
+        let evaluation = evaluator.evaluate(&workload);
+        times.push(start.elapsed().as_nanos());
+        last = Some(evaluation);
+    }
+    (median(times), last.expect("at least one sample"))
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let schema = TpcdConfig::default().star_schema();
+    let extents = schema.grid_shape();
+    let grid_cells: u64 = extents.iter().product();
+    let order: Vec<usize> = (0..extents.len()).collect();
+    let curve = NestedLoops::boustrophedon(extents.clone(), &order);
+    println!(
+        "run_engine: Table-4 grid {extents:?} ({grid_cells} cells), {cores} core(s), \
+         median of {SAMPLES}"
+    );
+
+    // --- Whole-lattice class costs: brute force vs runs vs single pass ---
+    let (brute_ns, brute) = time_samples(|| class_costs(&schema, &BruteForce(&curve)));
+    println!("  per-class brute force:     {brute_ns:>12} ns");
+    let (runs_ns, via_runs) = time_samples(|| class_costs(&schema, &curve));
+    println!("  per-class structural runs: {runs_ns:>12} ns");
+    let (single_ns, single) = time_samples(|| aggregate_class_costs(&schema, &curve).class_costs());
+    println!("  single-pass aggregator:    {single_ns:>12} ns");
+
+    assert_eq!(brute.len(), via_runs.len());
+    assert_eq!(brute.len(), single.len());
+    for (r, b) in brute.iter().enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            via_runs[r].to_bits(),
+            "structural runs diverge from brute force at class rank {r}"
+        );
+        assert_eq!(
+            b.to_bits(),
+            single[r].to_bits(),
+            "single-pass aggregator diverges from brute force at class rank {r}"
+        );
+    }
+    println!(
+        "  differential check: all {} class costs bit-identical across the three paths",
+        brute.len()
+    );
+
+    let speedup_runs = brute_ns as f64 / runs_ns as f64;
+    let speedup_single = brute_ns as f64 / single_ns as f64;
+    println!("  speedup (runs vs brute):        {speedup_runs:.2}x");
+    println!("  speedup (single-pass vs brute): {speedup_single:.2}x");
+    assert!(
+        speedup_single >= 5.0,
+        "single-pass aggregator must be >= 5x over per-class brute force, got {speedup_single:.2}x"
+    );
+
+    // --- Storage sweep: cells engine vs runs engine ---
+    println!("run_engine: TPC-D sweep, {SWEEP_RECORDS} records, 1 thread");
+    let (cells_ns, cells_eval) = sample_sweep(EvalEngine::Cells);
+    println!("  cells engine: {cells_ns:>12} ns");
+    metrics::reset();
+    let before = metrics::snapshot();
+    let (runs_sweep_ns, runs_eval) = sample_sweep(EvalEngine::Runs);
+    let delta = metrics::snapshot().since(&before);
+    println!("  runs engine:  {runs_sweep_ns:>12} ns");
+    assert_eq!(
+        cells_eval, runs_eval,
+        "runs-engine sweep must be bit-identical to cells-engine sweep"
+    );
+    println!("  differential check: runs-engine sweep bit-identical to cells engine");
+    let sweep_speedup = cells_ns as f64 / runs_sweep_ns as f64;
+    println!("  sweep speedup (runs vs cells): {sweep_speedup:.2}x");
+
+    // Append this run to the trajectory file at the workspace root.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = serde_json::to_value(&TrajectoryEntry {
+        bench: "run_engine",
+        unix_time,
+        cores,
+        grid_cells,
+        classes: brute.len(),
+        brute_force_ns: brute_ns as u64,
+        structural_runs_ns: runs_ns as u64,
+        single_pass_ns: single_ns as u64,
+        speedup_runs_vs_brute: speedup_runs,
+        speedup_single_pass_vs_brute: speedup_single,
+        aggregator_bit_identical: true,
+        sweep_records: SWEEP_RECORDS,
+        sweep_cells_ns: cells_ns as u64,
+        sweep_runs_ns: runs_sweep_ns as u64,
+        sweep_speedup,
+        sweep_bit_identical: true,
+        metrics: delta,
+    })
+    .expect("entry serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_run_engine.json");
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    runs.push(entry);
+    let body = serde_json::to_string_pretty(&runs).expect("trajectory serializes");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("  trajectory appended to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -12,6 +12,7 @@ use snakes_core::parallel::metrics;
 use snakes_core::path::LatticePath;
 use snakes_core::stats::WorkloadEstimator;
 use snakes_curves::{path_curve, snaked_path_curve, Linearization};
+use snakes_storage::EvalEngine;
 use snakes_tpcd::{tpcd_workloads, Evaluator, StrategyResult, TpcdConfig};
 
 /// CLI failures: usage errors carry exit-code semantics for `main`.
@@ -297,18 +298,25 @@ impl From<&StrategyResult> for SweepStrategyOut {
 /// `snakes sweep`: one Table-4 row of the synthetic TPC-D experiment —
 /// generate `records` LineItems, pack along every candidate strategy, and
 /// measure workload `number` (1..=27, §6.2 numbering). `threads` sets the
-/// measurement worker count (0 = one per core, 1 = serial); the numbers
-/// are bit-identical for every value.
+/// measurement worker count (0 = one per core, 1 = serial) and `engine`
+/// the query evaluation engine (cells, runs, or auto); the numbers are
+/// bit-identical for every combination.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on a workload number outside 1..=27.
-pub fn sweep(records: u64, number: usize, threads: usize) -> Result<String, CliError> {
+pub fn sweep(
+    records: u64,
+    number: usize,
+    threads: usize,
+    engine: EvalEngine,
+) -> Result<String, CliError> {
     let config = TpcdConfig {
         records,
         ..TpcdConfig::small()
     }
-    .with_threads(threads);
+    .with_threads(threads)
+    .with_engine(engine);
     let nw = tpcd_workloads(&config)
         .into_iter()
         .find(|w| w.number == number)
@@ -319,6 +327,7 @@ pub fn sweep(records: u64, number: usize, threads: usize) -> Result<String, CliE
     struct Out {
         records: u64,
         threads: usize,
+        engine: String,
         workload_number: usize,
         workload_label: String,
         optimal: SweepStrategyOut,
@@ -330,6 +339,7 @@ pub fn sweep(records: u64, number: usize, threads: usize) -> Result<String, CliE
     Ok(serde_json::to_string_pretty(&Out {
         records,
         threads,
+        engine: engine.to_string(),
         workload_number: nw.number,
         workload_label: nw.label(),
         optimal: (&e.optimal).into(),
@@ -446,7 +456,13 @@ pub fn run(
                 .transpose()
                 .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?
                 .unwrap_or(0);
-            sweep(records, number, threads)
+            let engine = flags
+                .get("engine")
+                .map(|s| s.parse::<EvalEngine>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --engine: {e}")))?
+                .unwrap_or_default();
+            sweep(records, number, threads, engine)
         }
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
         None => Err(CliError::Usage(
@@ -574,7 +590,7 @@ mod tests {
 
     #[test]
     fn sweep_measures_a_table_4_row() {
-        let out = sweep(4_000, 7, 2).unwrap();
+        let out = sweep(4_000, 7, 2, EvalEngine::Auto).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["workload_number"], 7);
         assert_eq!(v["workload_label"], "even/down/even");
@@ -582,15 +598,16 @@ mod tests {
         let worst = v["worst_row_major"]["avg_seeks"].as_f64().unwrap();
         assert!(snaked <= worst + 1e-9, "snaked {snaked} vs worst {worst}");
         assert!(v["hilbert"]["avg_normalized_blocks"].as_f64().unwrap() >= 1.0);
-        assert!(sweep(4_000, 99, 1).is_err());
+        assert!(sweep(4_000, 99, 1, EvalEngine::Auto).is_err());
     }
 
     #[test]
     fn sweep_is_bit_identical_across_thread_counts() {
-        let serial: serde_json::Value = serde_json::from_str(&sweep(4_000, 3, 1).unwrap()).unwrap();
+        let serial: serde_json::Value =
+            serde_json::from_str(&sweep(4_000, 3, 1, EvalEngine::Auto).unwrap()).unwrap();
         for threads in [2, 4] {
             let par: serde_json::Value =
-                serde_json::from_str(&sweep(4_000, 3, threads).unwrap()).unwrap();
+                serde_json::from_str(&sweep(4_000, 3, threads, EvalEngine::Auto).unwrap()).unwrap();
             // Only the echoed `threads` field may differ.
             for key in [
                 "optimal",
@@ -600,6 +617,26 @@ mod tests {
                 "hilbert",
             ] {
                 assert_eq!(par[key], serial[key], "threads={threads} key={key}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_engines() {
+        let cells: serde_json::Value =
+            serde_json::from_str(&sweep(4_000, 3, 1, EvalEngine::Cells).unwrap()).unwrap();
+        for engine in [EvalEngine::Runs, EvalEngine::Auto] {
+            let other: serde_json::Value =
+                serde_json::from_str(&sweep(4_000, 3, 1, engine).unwrap()).unwrap();
+            // Only the echoed `engine` field may differ.
+            for key in [
+                "optimal",
+                "snaked_optimal",
+                "best_row_major",
+                "worst_row_major",
+                "hilbert",
+            ] {
+                assert_eq!(other[key], cells[key], "engine={engine} key={key}");
             }
         }
     }

@@ -14,7 +14,8 @@ fn main() {
                 "usage: snakes <advise|estimate|topk|order|reorg> --schema s.json \
                  [--workload w.json] [--queries q.jsonl] [--k K] \
                  [--path d0,d1,...] [--plain] [--limit N] [--smooth A] [--cost C]\n\
-                 \u{20}      snakes sweep [--records N] [--number W] [--threads N]\n\
+                 \u{20}      snakes sweep [--records N] [--number W] [--threads N] \
+                 [--engine cells|runs|auto]\n\
                  any command also accepts --stats (append a metrics trailer line)"
             );
             std::process::exit(2);

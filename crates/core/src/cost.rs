@@ -119,11 +119,8 @@ impl CostModel {
     pub fn expected_cost(&self, path: &LatticePath, workload: &Workload) -> f64 {
         debug_assert_eq!(workload.shape(), &self.shape, "workload lattice mismatch");
         let mut cost = 0.0;
-        for r in 0..self.shape.num_classes() {
-            let p = workload.prob_by_rank(r);
-            if p > 0.0 {
-                cost += p * self.dist(path, &self.shape.unrank(r));
-            }
+        for (r, p) in workload.support_by_rank() {
+            cost += p * self.dist(path, &self.shape.unrank(r));
         }
         cost
     }

@@ -142,6 +142,9 @@ pub mod metrics {
     static PAGES_TOUCHED: AtomicU64 = AtomicU64::new(0);
     static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
     static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+    static RUNS_ENUMERATED: AtomicU64 = AtomicU64::new(0);
+    static RUN_ENGINE_QUERIES: AtomicU64 = AtomicU64::new(0);
+    static CELL_ENGINE_QUERIES: AtomicU64 = AtomicU64::new(0);
     static PACK_NANOS: AtomicU64 = AtomicU64::new(0);
     static MEASURE_NANOS: AtomicU64 = AtomicU64::new(0);
     static SEARCH_NANOS: AtomicU64 = AtomicU64::new(0);
@@ -185,6 +188,21 @@ pub mod metrics {
         CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` rank runs enumerated by the run-based evaluation engine.
+    pub fn record_runs_enumerated(n: u64) {
+        RUNS_ENUMERATED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` queries evaluated by the run-based engine.
+    pub fn record_run_engine_queries(n: u64) {
+        RUN_ENGINE_QUERIES.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` queries evaluated by the cell-at-a-time engine.
+    pub fn record_cell_engine_queries(n: u64) {
+        CELL_ENGINE_QUERIES.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Times a phase from construction to drop, adding the elapsed wall
     /// time into the phase's bucket.
     #[must_use = "the timer measures until it is dropped"]
@@ -221,6 +239,12 @@ pub mod metrics {
         pub cache_hits: u64,
         /// Curve-cache misses (measurements computed fresh).
         pub cache_misses: u64,
+        /// Rank runs enumerated by the run-based evaluation engine.
+        pub runs_enumerated: u64,
+        /// Queries priced by the run-based engine.
+        pub run_engine_queries: u64,
+        /// Queries priced by the cell-at-a-time engine.
+        pub cell_engine_queries: u64,
         /// Wall nanoseconds spent packing layouts.
         pub pack_nanos: u64,
         /// Wall nanoseconds spent measuring queries/strategies.
@@ -240,6 +264,13 @@ pub mod metrics {
                 pages_touched: self.pages_touched.saturating_sub(earlier.pages_touched),
                 cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
                 cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+                runs_enumerated: self.runs_enumerated.saturating_sub(earlier.runs_enumerated),
+                run_engine_queries: self
+                    .run_engine_queries
+                    .saturating_sub(earlier.run_engine_queries),
+                cell_engine_queries: self
+                    .cell_engine_queries
+                    .saturating_sub(earlier.cell_engine_queries),
                 pack_nanos: self.pack_nanos.saturating_sub(earlier.pack_nanos),
                 measure_nanos: self.measure_nanos.saturating_sub(earlier.measure_nanos),
                 search_nanos: self.search_nanos.saturating_sub(earlier.search_nanos),
@@ -254,6 +285,9 @@ pub mod metrics {
             pages_touched: PAGES_TOUCHED.load(Ordering::Relaxed),
             cache_hits: CACHE_HITS.load(Ordering::Relaxed),
             cache_misses: CACHE_MISSES.load(Ordering::Relaxed),
+            runs_enumerated: RUNS_ENUMERATED.load(Ordering::Relaxed),
+            run_engine_queries: RUN_ENGINE_QUERIES.load(Ordering::Relaxed),
+            cell_engine_queries: CELL_ENGINE_QUERIES.load(Ordering::Relaxed),
             pack_nanos: PACK_NANOS.load(Ordering::Relaxed),
             measure_nanos: MEASURE_NANOS.load(Ordering::Relaxed),
             search_nanos: SEARCH_NANOS.load(Ordering::Relaxed),
@@ -266,6 +300,9 @@ pub mod metrics {
         PAGES_TOUCHED.store(0, Ordering::Relaxed);
         CACHE_HITS.store(0, Ordering::Relaxed);
         CACHE_MISSES.store(0, Ordering::Relaxed);
+        RUNS_ENUMERATED.store(0, Ordering::Relaxed);
+        RUN_ENGINE_QUERIES.store(0, Ordering::Relaxed);
+        CELL_ENGINE_QUERIES.store(0, Ordering::Relaxed);
         PACK_NANOS.store(0, Ordering::Relaxed);
         MEASURE_NANOS.store(0, Ordering::Relaxed);
         SEARCH_NANOS.store(0, Ordering::Relaxed);

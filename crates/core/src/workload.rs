@@ -210,11 +210,28 @@ impl Workload {
             .map(move |(r, &p)| (self.shape.unrank(r), p))
     }
 
-    /// The support: classes with non-zero probability.
+    /// Iterates `(rank, probability)` over the classes carrying positive
+    /// probability — the *single* definition of workload support, shared by
+    /// the analytic and the physical evaluation paths so they can never
+    /// disagree on which classes count. Zero-probability classes are
+    /// skipped; so is anything non-positive: the constructors already
+    /// reject negative and non-finite probabilities, but a workload
+    /// deserialized from external JSON bypasses that validation, and
+    /// clamping here keeps a malformed workload from silently diverging
+    /// between paths.
+    pub fn support_by_rank(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.probs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, p)| p > 0.0)
+    }
+
+    /// The support: classes with positive probability (see
+    /// [`Workload::support_by_rank`]).
     pub fn support(&self) -> Vec<Class> {
-        self.iter()
-            .filter(|(_, p)| *p > 0.0)
-            .map(|(c, _)| c)
+        self.support_by_rank()
+            .map(|(r, _)| self.shape.unrank(r))
             .collect()
     }
 

@@ -1,0 +1,265 @@
+//! Single-pass whole-lattice fragment aggregation.
+//!
+//! [`crate::fragments::class_costs`] prices each class by enumerating all
+//! of its subgrid queries — `|L|` independent scans, each touching every
+//! cell. This module derives the *entire* `class_costs` vector from one
+//! walk over the curve.
+//!
+//! The identity (cf. `snakes_core::cv`): a class-`u` subgrid holding `c`
+//! cells and `e` curve edges splits into `c − e` fragments, so summing
+//! over all subgrids of `u`,
+//!
+//! ```text
+//! total_fragments(u) = N − internal_edges(u)
+//! ```
+//!
+//! where an edge `(r, r+1)` is internal to `u` iff the hierarchy level it
+//! crosses in every dimension is at most `u`'s level there. Each edge is
+//! therefore summarized by its *crossing signature* `σ` — `σ_d` is the
+//! crossed level in dimension `d` (0 when the coordinates agree) — and
+//! `internal_edges(u) = Σ_{σ ≤ u} count[σ]`. Signatures live in the same
+//! mixed-radix index space as query classes, so the pass bumps one dense
+//! `u64` counter per edge (`O(N·k·ℓ)` total: per-dimension
+//! hierarchy-boundary detection is an `O(ℓ)` ancestor scan) and a
+//! k-dimensional prefix sum (`O(|L|·k)`) then yields every class's
+//! internal-edge count at once.
+//!
+//! Everything is exact `u64` arithmetic until the final
+//! `total as f64 / queries as f64` division — the same division the
+//! brute-force path performs — so averages are **bit-identical** to
+//! [`crate::fragments::class_average_cost`], not merely close.
+
+use crate::Linearization;
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::Workload;
+
+/// Exact per-class fragment totals for every class of the lattice,
+/// produced by one pass over the curve ([`aggregate_class_costs`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WholeLatticeCosts {
+    shape: LatticeShape,
+    num_cells: u64,
+    /// Curve edges internal to class-`r` subgrids, by class rank.
+    internal: Vec<u64>,
+    /// Number of subgrid queries in class `r`, by class rank.
+    queries: Vec<u64>,
+}
+
+/// Walks the curve once and aggregates fragment totals for the whole
+/// class lattice. See the module docs for the counting identity.
+///
+/// # Panics
+///
+/// Panics if the linearization's grid differs from the schema's.
+pub fn aggregate_class_costs(schema: &StarSchema, lin: &impl Linearization) -> WholeLatticeCosts {
+    assert_eq!(
+        lin.extents(),
+        schema.grid_shape().as_slice(),
+        "linearization grid must match the schema"
+    );
+    let shape = LatticeShape::of_schema(schema);
+    let k = schema.k();
+    let num_classes = shape.num_classes();
+    // Mixed-radix strides matching `LatticeShape::rank` (dim 0 fastest).
+    let mut strides = vec![1usize; k];
+    for d in 1..k {
+        strides[d] = strides[d - 1] * (shape.top_level(d - 1) + 1);
+    }
+
+    // One pass: count edges by crossing signature.
+    let mut counts = vec![0u64; num_classes];
+    let n = schema.num_cells();
+    let mut prev = vec![0u64; k];
+    let mut cur = vec![0u64; k];
+    lin.coords(0, &mut prev);
+    for r in 1..n {
+        lin.coords(r, &mut cur);
+        let mut idx = 0usize;
+        for d in 0..k {
+            if let Some(level) = schema.dim(d).crossing_level(prev[d], cur[d]) {
+                idx += level * strides[d];
+            }
+        }
+        counts[idx] += 1;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    // In-place k-dimensional prefix sum: counts[u] becomes
+    // Σ_{σ ≤ u componentwise} counts[σ] = internal_edges(u). Ascending
+    // index order makes `idx - strides[d]` the already-accumulated
+    // predecessor along dimension d.
+    for d in 0..k {
+        let radix = shape.top_level(d) + 1;
+        for idx in 0..num_classes {
+            if !(idx / strides[d]).is_multiple_of(radix) {
+                counts[idx] += counts[idx - strides[d]];
+            }
+        }
+    }
+
+    // Query counts are exact integers here (the fractional CostModel
+    // variant exists for unbalanced-average fanouts, which physical
+    // grids never have).
+    let queries = (0..num_classes)
+        .map(|r| {
+            let u = shape.unrank(r);
+            (0..k)
+                .map(|d| schema.dim(d).nodes_at_level(u.level(d)))
+                .product()
+        })
+        .collect();
+
+    WholeLatticeCosts {
+        shape,
+        num_cells: n,
+        internal: counts,
+        queries,
+    }
+}
+
+impl WholeLatticeCosts {
+    /// The class lattice the costs are indexed by.
+    pub fn shape(&self) -> &LatticeShape {
+        &self.shape
+    }
+
+    /// Total cells of the grid.
+    pub fn num_cells(&self) -> u64 {
+        self.num_cells
+    }
+
+    /// Total fragments over all queries of a class, with the query count —
+    /// exactly equal to `fragments::class_total_fragments`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of bounds.
+    pub fn class_total_fragments(&self, u: &Class) -> (u64, u64) {
+        let r = self.shape.rank(u);
+        (self.num_cells - self.internal[r], self.queries[r])
+    }
+
+    /// Average fragment count of a class-`u` query, bit-identical to
+    /// `fragments::class_average_cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of bounds.
+    pub fn class_average_cost(&self, u: &Class) -> f64 {
+        let (total, queries) = self.class_total_fragments(u);
+        total as f64 / queries as f64
+    }
+
+    /// Per-class average costs, indexed by [`LatticeShape::rank`] —
+    /// bit-identical to `fragments::class_costs`.
+    pub fn class_costs(&self) -> Vec<f64> {
+        (0..self.shape.num_classes())
+            .map(|r| (self.num_cells - self.internal[r]) as f64 / self.queries[r] as f64)
+            .collect()
+    }
+
+    /// Expected cost over a workload, summed over the workload's support
+    /// in rank order (the shared [`Workload::support_by_rank`] filter).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on a workload over a different lattice.
+    pub fn expected_cost(&self, workload: &Workload) -> f64 {
+        debug_assert_eq!(workload.shape(), &self.shape, "workload lattice mismatch");
+        workload
+            .support_by_rank()
+            .map(|(r, p)| p * ((self.num_cells - self.internal[r]) as f64 / self.queries[r] as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments;
+    use crate::hilbert::HilbertCurve;
+    use crate::lattice_path::{path_curve, snaked_path_curve};
+    use crate::nested::NestedLoops;
+    use crate::zorder::ZOrderCurve;
+    use snakes_core::path::LatticePath;
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "class rank {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn single_pass_matches_brute_force_on_toy_curves() {
+        let schema = StarSchema::paper_toy();
+        let shape = LatticeShape::of_schema(&schema);
+        let curves: Vec<Box<dyn Linearization>> = vec![
+            Box::new(NestedLoops::row_major(vec![4, 4], &[0, 1])),
+            Box::new(NestedLoops::boustrophedon(vec![4, 4], &[1, 0])),
+            Box::new(HilbertCurve::square(2)),
+            Box::new(ZOrderCurve::square(2)),
+        ];
+        for boxed in &curves {
+            let lin: &dyn Linearization = boxed.as_ref();
+            let agg = aggregate_class_costs(&schema, &lin);
+            assert_bits_eq(&agg.class_costs(), &fragments::class_costs(&schema, &lin));
+            for u in shape.iter() {
+                assert_eq!(
+                    agg.class_total_fragments(&u),
+                    fragments::class_total_fragments(&schema, &lin, &u),
+                    "class {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_pass_matches_brute_force_on_lattice_paths() {
+        let schema = StarSchema::paper_toy();
+        let shape = LatticeShape::of_schema(&schema);
+        for p in LatticePath::enumerate(&shape) {
+            for lin in [path_curve(&schema, &p), snaked_path_curve(&schema, &p)] {
+                let agg = aggregate_class_costs(&schema, &lin);
+                assert_bits_eq(&agg.class_costs(), &fragments::class_costs(&schema, &lin));
+            }
+        }
+    }
+
+    #[test]
+    fn expected_cost_matches_brute_force() {
+        let schema = StarSchema::paper_toy();
+        let shape = LatticeShape::of_schema(&schema);
+        let p1 = LatticePath::from_dims(shape.clone(), vec![1, 1, 0, 0]).unwrap();
+        let lin = path_curve(&schema, &p1);
+        let agg = aggregate_class_costs(&schema, &lin);
+        let w = Workload::uniform(shape);
+        let a = agg.expected_cost(&w);
+        let b = fragments::expected_cost(&schema, &lin, &w);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!((a - 17.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_dim_unbalanced_schema() {
+        let schema = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("a", vec![3, 2]).unwrap(),
+            snakes_core::schema::Hierarchy::new("b", vec![4]).unwrap(),
+            snakes_core::schema::Hierarchy::new("c", vec![2, 2]).unwrap(),
+        ])
+        .unwrap();
+        let extents = schema.grid_shape();
+        let lin = NestedLoops::boustrophedon(extents, &[2, 0, 1]);
+        let agg = aggregate_class_costs(&schema, &lin);
+        assert_bits_eq(&agg.class_costs(), &fragments::class_costs(&schema, &lin));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the schema")]
+    fn rejects_grid_mismatch() {
+        let schema = StarSchema::paper_toy();
+        let lin = NestedLoops::row_major(vec![2, 2], &[0, 1]);
+        aggregate_class_costs(&schema, &lin);
+    }
+}

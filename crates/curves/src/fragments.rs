@@ -18,50 +18,17 @@ use std::ops::Range;
 /// Number of contiguous rank fragments covering the subgrid
 /// `ranges[0] × ranges[1] × ...`.
 ///
+/// Counts the runs emitted by [`Linearization::rank_runs`], so curves with
+/// structural run enumeration are priced in closed form and the rest fall
+/// back to odometer + sort.
+///
 /// # Panics
 ///
 /// Panics if a range is out of bounds or empty.
 pub fn query_fragments(lin: &impl Linearization, ranges: &[Range<u64>]) -> u64 {
-    let extents = lin.extents();
-    assert_eq!(ranges.len(), extents.len(), "one range per dimension");
-    for (r, &e) in ranges.iter().zip(extents) {
-        assert!(
-            r.start < r.end && r.end <= e,
-            "bad range {r:?} (extent {e})"
-        );
-    }
-    let mut ranks = ranks_of_subgrid(lin, ranges);
-    ranks.sort_unstable();
-    count_runs(&ranks)
-}
-
-fn ranks_of_subgrid(lin: &impl Linearization, ranges: &[Range<u64>]) -> Vec<u64> {
-    let count: u64 = ranges.iter().map(|r| r.end - r.start).product();
-    let mut ranks = Vec::with_capacity(count as usize);
-    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
-    loop {
-        ranks.push(lin.rank(&coords));
-        // Odometer over the subgrid.
-        let mut d = 0;
-        loop {
-            if d == coords.len() {
-                return ranks;
-            }
-            coords[d] += 1;
-            if coords[d] < ranges[d].end {
-                break;
-            }
-            coords[d] = ranges[d].start;
-            d += 1;
-        }
-    }
-}
-
-fn count_runs(sorted: &[u64]) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    1 + sorted.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64
+    let mut fragments = 0u64;
+    lin.rank_runs(ranges, &mut |_start, _len| fragments += 1);
+    fragments
 }
 
 /// Average fragment count over all queries of a class — one entry of the
@@ -142,15 +109,9 @@ pub fn class_costs(schema: &StarSchema, lin: &impl Linearization) -> Vec<f64> {
 pub fn expected_cost(schema: &StarSchema, lin: &impl Linearization, workload: &Workload) -> f64 {
     let shape = LatticeShape::of_schema(schema);
     debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
-    (0..shape.num_classes())
-        .map(|r| {
-            let p = workload.prob_by_rank(r);
-            if p > 0.0 {
-                p * class_average_cost(schema, lin, &shape.unrank(r))
-            } else {
-                0.0
-            }
-        })
+    workload
+        .support_by_rank()
+        .map(|(r, p)| p * class_average_cost(schema, lin, &shape.unrank(r)))
         .sum()
 }
 

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 pub mod analysis;
 pub mod fragments;
 pub mod gray;
@@ -26,9 +27,11 @@ pub mod hilbert;
 pub mod lattice_path;
 pub mod nested;
 pub mod peano;
+pub mod runs;
 pub mod search;
 pub mod zorder;
 
+pub use aggregate::{aggregate_class_costs, WholeLatticeCosts};
 pub use analysis::{
     alternating_paths, hilbert_sandwich_certificate, hilbert_sandwich_pair,
     hilbert_sandwich_pair_with, sandwich_certificate, SandwichCertificate,
@@ -93,6 +96,33 @@ pub trait Linearization {
         self.coords(rank, &mut out);
         out
     }
+
+    /// Enumerates the maximal runs of consecutive ranks covering the
+    /// subgrid `ranges[0] × ranges[1] × ...`, in increasing rank order.
+    /// `sink` receives each run as `(start, len)`; runs never touch
+    /// (adjacent ranks are always merged into one run), so the number of
+    /// sink calls *is* the query's fragment count.
+    ///
+    /// The default implementation enumerates every selected cell and
+    /// sorts — `O(C·k + C log C)` in the number of selected cells.
+    /// Structured curves override it with closed-form decompositions
+    /// (see [`runs`]) and advertise that via
+    /// [`Linearization::has_structural_runs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is one range per dimension and every range is
+    /// non-empty and within its extent.
+    fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
+        runs::brute_force_runs(self, ranges, sink)
+    }
+
+    /// Whether [`Linearization::rank_runs`] is a structural (closed-form)
+    /// implementation rather than the brute-force default — the signal the
+    /// storage engine's `auto` mode keys on.
+    fn has_structural_runs(&self) -> bool {
+        false
+    }
 }
 
 impl<T: Linearization + ?Sized> Linearization for &T {
@@ -104,6 +134,12 @@ impl<T: Linearization + ?Sized> Linearization for &T {
     }
     fn coords(&self, rank: u64, out: &mut [u64]) {
         (**self).coords(rank, out)
+    }
+    fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
+        (**self).rank_runs(ranges, sink)
+    }
+    fn has_structural_runs(&self) -> bool {
+        (**self).has_structural_runs()
     }
 }
 

@@ -189,6 +189,22 @@ impl Linearization for NestedLoops {
             parity = (rd & 1) ^ ((radix & 1) & parity);
         }
     }
+
+    fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
+        crate::runs::loop_nest_runs(
+            &self.extents,
+            &self.loops,
+            &self.strides,
+            &self.divisors,
+            self.snaked,
+            ranges,
+            sink,
+        );
+    }
+
+    fn has_structural_runs(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

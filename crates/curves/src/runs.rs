@@ -1,0 +1,349 @@
+//! Closed-form rank-run enumeration: the machinery behind
+//! [`Linearization::rank_runs`].
+//!
+//! A query (an axis-aligned subgrid) touches a set of ranks; the cost
+//! surrogate only needs the *maximal runs* of consecutive ranks in that
+//! set, in increasing order. The brute-force route materializes every
+//! rank and sorts — `O(C·k + C log C)` in the number of selected cells.
+//! For curves with mixed-radix loop structure the runs are derivable
+//! directly: a run is a maximal fully-covered suffix of inner loops, so a
+//! recursive prefix decomposition over the loop nest visits only the
+//! `O(F)` covered blocks (plus the split path down to them) and emits
+//! them already sorted. Snaking only permutes *which* child block a rank
+//! digit selects (via the traversal parity), never the block boundaries,
+//! so the same recursion covers snaked curves.
+//!
+//! For [`ZOrderCurve`](crate::ZOrderCurve) the identical recursion over
+//! its radix-2 loop nest *is* the classic litmax/bigmin range splitting:
+//! each descent splits a Morton interval at the aligned midpoint and
+//! prunes the half that misses the query box.
+
+use crate::nested::Loop;
+use crate::Linearization;
+use std::ops::Range;
+
+/// Validates query ranges against grid extents, with the same panics the
+/// historical `query_fragments` used (shared by every `rank_runs` impl so
+/// structural overrides reject exactly what the default rejects).
+///
+/// # Panics
+///
+/// Panics unless there is one range per dimension and every range is
+/// non-empty and within its extent.
+pub fn check_ranges(extents: &[u64], ranges: &[Range<u64>]) {
+    assert_eq!(ranges.len(), extents.len(), "one range per dimension");
+    for (r, &e) in ranges.iter().zip(extents) {
+        assert!(
+            r.start < r.end && r.end <= e,
+            "bad range {r:?} (extent {e})"
+        );
+    }
+}
+
+/// Merges a stream of ascending, non-overlapping rank intervals into
+/// maximal runs before handing them to the sink. Structural enumerators
+/// emit covered blocks in rank order; adjacent blocks (`pending end ==
+/// next start`) belong to one seek and must reach the sink as one run.
+pub(crate) struct RunEmitter<'a> {
+    sink: &'a mut dyn FnMut(u64, u64),
+    pending: Option<(u64, u64)>,
+}
+
+impl<'a> RunEmitter<'a> {
+    pub(crate) fn new(sink: &'a mut dyn FnMut(u64, u64)) -> Self {
+        Self {
+            sink,
+            pending: None,
+        }
+    }
+
+    /// Feeds an interval whose start is `>=` the end of every interval fed
+    /// so far.
+    pub(crate) fn emit(&mut self, start: u64, len: u64) {
+        debug_assert!(len > 0);
+        match &mut self.pending {
+            Some((ps, pl)) if *ps + *pl == start => *pl += len,
+            _ => {
+                if let Some((ps, pl)) = self.pending.take() {
+                    (self.sink)(ps, pl);
+                }
+                self.pending = Some((start, len));
+            }
+        }
+    }
+
+    /// Flushes the trailing run.
+    pub(crate) fn finish(mut self) {
+        if let Some((ps, pl)) = self.pending.take() {
+            (self.sink)(ps, pl);
+        }
+    }
+}
+
+/// The default `rank_runs`: enumerate every selected cell, sort the ranks,
+/// emit maximal runs. Correct for any bijection; used by curves without
+/// exploitable loop structure (Gray, Hilbert, Peano).
+pub(crate) fn brute_force_runs<L: Linearization + ?Sized>(
+    lin: &L,
+    ranges: &[Range<u64>],
+    sink: &mut dyn FnMut(u64, u64),
+) {
+    check_ranges(lin.extents(), ranges);
+    // Deliberately no up-front `with_capacity(product)`: the cell count is
+    // a u64 product that can exceed usize (or available memory) and abort;
+    // growing from the first push keeps the failure mode a plain OOM at
+    // the point of actual use.
+    let mut ranks: Vec<u64> = Vec::new();
+    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
+    'cells: loop {
+        ranks.push(lin.rank(&coords));
+        // Odometer over the subgrid.
+        let mut d = 0;
+        loop {
+            if d == coords.len() {
+                break 'cells;
+            }
+            coords[d] += 1;
+            if coords[d] < ranges[d].end {
+                break;
+            }
+            coords[d] = ranges[d].start;
+            d += 1;
+        }
+    }
+    ranks.sort_unstable();
+    let mut i = 0;
+    while i < ranks.len() {
+        let start = ranks[i];
+        let mut len = 1usize;
+        while i + len < ranks.len() && ranks[i + len] == start + len as u64 {
+            len += 1;
+        }
+        sink(start, len as u64);
+        i += len;
+    }
+}
+
+/// Structural run enumeration for a mixed-radix loop nest (plain or
+/// snaked): recursive prefix decomposition from the outermost loop
+/// inward. The state at each node is a box (`lo[d] .. lo[d] + span[d]`
+/// per dimension) occupying a contiguous rank interval; a box fully
+/// inside the query emits its whole interval, a box that straddles the
+/// query splits on the next loop's digit, and a box that misses it is
+/// pruned before recursing.
+///
+/// `loops`/`strides`/`divisors` are exactly the fields of
+/// [`crate::NestedLoops`] (loops innermost first, `strides[j]` = rank
+/// stride of loop `j`, `divisors[j]` = coordinate stride of loop `j`).
+pub(crate) fn loop_nest_runs(
+    extents: &[u64],
+    loops: &[Loop],
+    strides: &[u64],
+    divisors: &[u64],
+    snaked: bool,
+    ranges: &[Range<u64>],
+    sink: &mut dyn FnMut(u64, u64),
+) {
+    check_ranges(extents, ranges);
+    let mut lo = vec![0u64; extents.len()];
+    let mut span = extents.to_vec();
+    let num_cells: u64 = extents.iter().product();
+    let mut rec = NestRec {
+        loops,
+        strides,
+        divisors,
+        snaked,
+        ranges,
+        em: RunEmitter::new(sink),
+    };
+    rec.descend(loops.len(), 0, 0, &mut lo, &mut span, num_cells);
+    rec.em.finish();
+}
+
+struct NestRec<'a> {
+    loops: &'a [Loop],
+    strides: &'a [u64],
+    divisors: &'a [u64],
+    snaked: bool,
+    ranges: &'a [Range<u64>],
+    em: RunEmitter<'a>,
+}
+
+impl NestRec<'_> {
+    /// `j` = number of still-unprocessed inner loops; the current box is
+    /// `lo[d] .. lo[d] + span[d]` and occupies ranks `base .. base + block`.
+    /// `parity` is the snake parity accumulated from the outer rank digits
+    /// (the recurrence of `NestedLoops::coords`).
+    fn descend(
+        &mut self,
+        j: usize,
+        base: u64,
+        parity: u64,
+        lo: &mut [u64],
+        span: &mut [u64],
+        block: u64,
+    ) {
+        let covered = lo
+            .iter()
+            .zip(span.iter())
+            .zip(self.ranges)
+            .all(|((&l, &s), r)| r.start <= l && l + s <= r.end);
+        if covered {
+            self.em.emit(base, block);
+            return;
+        }
+        // Not fully covered means some dimension's box is wider than its
+        // range, so at least one loop remains (at j == 0 every span is 1
+        // and any box that intersects the query is inside it).
+        let jj = j - 1;
+        let Loop { dim: d, radix } = self.loops[jj];
+        let div = self.divisors[jj];
+        let stride = self.strides[jj];
+        let range = &self.ranges[d];
+        let (old_lo, old_span) = (lo[d], span[d]);
+        // Child blocks along `d` are contiguous intervals of width `div`,
+        // so the ones intersecting the range form one contiguous window of
+        // actual digits [a_min, a_max] — jump straight to it instead of
+        // scanning and pruning all `radix` children (point queries would
+        // otherwise cost O(Σ radices) instead of O(depth) per descent).
+        let a_min = range.start.saturating_sub(old_lo) / div;
+        let a_max = ((range.end - 1 - old_lo) / div).min(radix - 1);
+        // Rank digit `rd` selects the child block holding actual digit
+        // `actual`; under snaking an odd parity reverses the scan, mapping
+        // the window to rank digits [radix-1-a_max, radix-1-a_min].
+        let reversed = self.snaked && parity == 1;
+        let (rd_lo, rd_hi) = if reversed {
+            (radix - 1 - a_max, radix - 1 - a_min)
+        } else {
+            (a_min, a_max)
+        };
+        for rd in rd_lo..=rd_hi {
+            let actual = if reversed { radix - 1 - rd } else { rd };
+            let child_lo = old_lo + actual * div;
+            debug_assert!(child_lo < range.end && child_lo + div > range.start);
+            let child_parity = if self.snaked {
+                (rd & 1) ^ ((radix & 1) & parity)
+            } else {
+                0
+            };
+            lo[d] = child_lo;
+            span[d] = div;
+            self.descend(jj, base + rd * stride, child_parity, lo, span, stride);
+        }
+        lo[d] = old_lo;
+        span[d] = old_span;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::NestedLoops;
+
+    fn collect_runs(lin: &impl Linearization, ranges: &[Range<u64>]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        lin.rank_runs(ranges, &mut |s, l| out.push((s, l)));
+        out
+    }
+
+    fn brute_runs(lin: &impl Linearization, ranges: &[Range<u64>]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        brute_force_runs(lin, ranges, &mut |s, l| out.push((s, l)));
+        out
+    }
+
+    #[test]
+    fn emitter_merges_adjacent_intervals() {
+        let mut got = Vec::new();
+        let mut sink = |s, l| got.push((s, l));
+        let mut em = RunEmitter::new(&mut sink);
+        em.emit(0, 2);
+        em.emit(2, 1); // adjacent: one run 0..3
+        em.emit(5, 1);
+        em.finish();
+        assert_eq!(got, vec![(0, 3), (5, 1)]);
+    }
+
+    #[test]
+    fn row_major_column_query_runs() {
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        // Fixed dim 0, full dim 1: four singleton runs 0,4,8,12.
+        assert_eq!(
+            collect_runs(&rm, &[0..1, 0..4]),
+            vec![(0, 1), (4, 1), (8, 1), (12, 1)]
+        );
+        // Full dim 0, fixed dim 1: one run of 4.
+        assert_eq!(collect_runs(&rm, &[0..4, 1..2]), vec![(4, 4)]);
+        // Whole grid: one run.
+        assert_eq!(collect_runs(&rm, &[0..4, 0..4]), vec![(0, 16)]);
+    }
+
+    /// The worked example in `docs/THEORY.md`: the column query `x = 0`
+    /// on a 4×4 grid is 4 singleton runs under row-major but only 3 runs
+    /// under the snake, because the boustrophedon turn at each row end
+    /// glues ranks 7,8 (and would glue 15,16 if the grid continued).
+    #[test]
+    fn snaked_column_query_merges_turnaround_runs() {
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let sn = NestedLoops::boustrophedon(vec![4, 4], &[0, 1]);
+        assert_eq!(
+            collect_runs(&rm, &[0..1, 0..4]),
+            vec![(0, 1), (4, 1), (8, 1), (12, 1)]
+        );
+        assert_eq!(
+            collect_runs(&sn, &[0..1, 0..4]),
+            vec![(0, 1), (7, 2), (15, 1)]
+        );
+    }
+
+    #[test]
+    fn structural_runs_match_brute_force_on_snakes() {
+        for snaked in [false, true] {
+            let c = NestedLoops::new(
+                vec![4, 4],
+                vec![
+                    Loop { dim: 0, radix: 2 },
+                    Loop { dim: 1, radix: 2 },
+                    Loop { dim: 0, radix: 2 },
+                    Loop { dim: 1, radix: 2 },
+                ],
+                snaked,
+            );
+            for a in 0..4u64 {
+                for b in a + 1..=4 {
+                    for x in 0..4u64 {
+                        for y in x + 1..=4 {
+                            let q = [a..b, x..y];
+                            assert_eq!(
+                                collect_runs(&c, &q),
+                                brute_runs(&c, &q),
+                                "snaked={snaked} query {q:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_radix_snake_runs_match_brute_force() {
+        let s = NestedLoops::boustrophedon(vec![3, 5, 2], &[1, 0, 2]);
+        let queries: [&[Range<u64>]; 4] = [
+            &[0..3, 1..4, 0..2],
+            &[1..2, 0..5, 1..2],
+            &[0..2, 2..3, 0..1],
+            &[2..3, 4..5, 1..2],
+        ];
+        for q in queries {
+            assert_eq!(collect_runs(&s, q), brute_runs(&s, q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn structural_runs_validate_ranges() {
+        let rm = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        rm.rank_runs(&[0..5, 0..4], &mut |_, _| {});
+    }
+}

@@ -20,7 +20,6 @@ use snakes_core::lattice::LatticeShape;
 use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
-use std::collections::HashMap;
 
 /// A mutable explicit strategy: a permutation of the grid's cells.
 #[derive(Debug, Clone)]
@@ -73,14 +72,20 @@ fn decanonical(mut idx: u64, extents: &[u64]) -> Vec<u64> {
 
 /// Precomputed per-edge-type weights for a workload: the cost of a
 /// strategy is `base − Σ count(type) · weight(type)`.
+///
+/// An edge's crossing signature `σ` (per-dimension crossed level, 0 when
+/// the coordinates agree) is internal to exactly the classes `u ≥ σ`, so
+/// `weight(σ) = Σ_{u ≥ σ} p_u / #subgrids(u)` — a k-dimensional suffix
+/// sum over the class lattice. The whole table is built once at
+/// construction (`O(|L|·k)`), making every `edge_weight` lookup a `O(k)`
+/// signature-to-rank computation on a shared (`&self`) table instead of
+/// the former `O(|L|)` scan behind a `&mut` memo.
 pub struct EdgeWeights {
     schema: StarSchema,
-    shape: LatticeShape,
-    /// Probability / subgrid-count sums per class, rank-indexed.
-    class_factor: Vec<f64>,
-    /// Memoized type weights, keyed by per-dimension crossing levels
-    /// (0 = no crossing).
-    memo: HashMap<Vec<usize>, f64>,
+    /// Mixed-radix strides matching `LatticeShape::rank` (dim 0 fastest).
+    strides: Vec<usize>,
+    /// `weight[rank(σ)] = Σ_{u ≥ σ} class_factor[u]`, suffix-summed.
+    weight: Vec<f64>,
     /// `Σ_u p_u · N / #subgrids(u)` — the zero-edge baseline.
     base: f64,
 }
@@ -96,20 +101,36 @@ impl EdgeWeights {
         debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
         let n = schema.num_cells() as f64;
         let model = snakes_core::cost::CostModel::of_schema(schema);
-        let mut class_factor = vec![0.0; shape.num_classes()];
+        let k = schema.k();
+        let num_classes = shape.num_classes();
+        let mut strides = vec![1usize; k];
+        for d in 1..k {
+            strides[d] = strides[d - 1] * (shape.top_level(d - 1) + 1);
+        }
+        let mut weight = vec![0.0; num_classes];
         let mut base = 0.0;
-        for (r, factor) in class_factor.iter_mut().enumerate() {
+        for (r, w) in weight.iter_mut().enumerate() {
             let u = shape.unrank(r);
-            let p = workload.prob_by_rank(r);
-            let f = p / model.queries_in_class(&u);
-            *factor = f;
+            let f = workload.prob_by_rank(r) / model.queries_in_class(&u);
+            *w = f;
             base += f * n;
+        }
+        // In-place k-dimensional suffix sum: weight[σ] becomes
+        // Σ_{u ≥ σ componentwise} class_factor[u]. Descending index order
+        // makes `idx + strides[d]` the already-accumulated successor
+        // along dimension d.
+        for d in 0..k {
+            let radix = shape.top_level(d) + 1;
+            for idx in (0..num_classes).rev() {
+                if (idx / strides[d]) % radix < radix - 1 {
+                    weight[idx] += weight[idx + strides[d]];
+                }
+            }
         }
         Self {
             schema: schema.clone(),
-            shape,
-            class_factor,
-            memo: HashMap::new(),
+            strides,
+            weight,
             base,
         }
     }
@@ -120,32 +141,19 @@ impl EdgeWeights {
     }
 
     /// The weight of the edge between two distinct cells: how much one such
-    /// edge reduces expected cost.
-    pub fn edge_weight(&mut self, a: &[u64], b: &[u64]) -> f64 {
-        let key: Vec<usize> = (0..self.schema.k())
-            .map(|d| self.schema.dim(d).crossing_level(a[d], b[d]).unwrap_or(0))
-            .collect();
-        if let Some(&w) = self.memo.get(&key) {
-            return w;
-        }
-        // Internal to class u iff every crossing level <= u's level.
-        let mut w = 0.0;
-        for r in 0..self.shape.num_classes() {
-            let u = self.shape.unrank(r);
-            let internal = key
-                .iter()
-                .enumerate()
-                .all(|(d, &l)| l == 0 || l <= u.level(d));
-            if internal {
-                w += self.class_factor[r];
+    /// edge reduces expected cost. `O(k)` table lookup.
+    pub fn edge_weight(&self, a: &[u64], b: &[u64]) -> f64 {
+        let mut idx = 0usize;
+        for d in 0..self.schema.k() {
+            if let Some(l) = self.schema.dim(d).crossing_level(a[d], b[d]) {
+                idx += l * self.strides[d];
             }
         }
-        self.memo.insert(key, w);
-        w
+        self.weight[idx]
     }
 
     /// Full cost of an explicit strategy.
-    pub fn cost(&mut self, s: &ExplicitStrategy) -> f64 {
+    pub fn cost(&self, s: &ExplicitStrategy) -> f64 {
         let mut edge_sum = 0.0;
         for w in s.order.windows(2) {
             let a = decanonical(w[0], &s.extents);
@@ -162,7 +170,7 @@ impl EdgeWeights {
 /// proposals from `seed`; stops after `iters` proposals. Returns the final
 /// cost (the strategy is improved in place).
 pub fn two_opt_search(
-    weights: &mut EdgeWeights,
+    weights: &EdgeWeights,
     strategy: &mut ExplicitStrategy,
     iters: u64,
     seed: u64,
@@ -222,8 +230,8 @@ pub struct MultistartResult {
 /// Runs [`two_opt_search`] from every start in parallel and returns the
 /// best outcome.
 ///
-/// Restarts are fully independent — each gets its own [`EdgeWeights`]
-/// (the memo is per-restart) and the deterministic seed
+/// Restarts are fully independent — each reads the shared [`EdgeWeights`]
+/// table and gets the deterministic seed
 /// `seed + restart_index` — so results do not depend on scheduling. The
 /// winner is chosen serially over the index-ordered outcomes, ties broken
 /// by lowest restart index, making the whole search bit-identical to a
@@ -242,15 +250,10 @@ pub fn multistart_two_opt(
 ) -> MultistartResult {
     assert!(!starts.is_empty(), "multistart needs at least one start");
     let _t = metrics::PhaseTimer::start(metrics::Phase::Search);
+    let weights = EdgeWeights::new(schema, workload);
     let outcomes = par.run_indexed(starts.len(), |i| {
-        let mut weights = EdgeWeights::new(schema, workload);
         let mut strategy = starts[i].clone();
-        let cost = two_opt_search(
-            &mut weights,
-            &mut strategy,
-            iters,
-            seed.wrapping_add(i as u64),
-        );
+        let cost = two_opt_search(&weights, &mut strategy, iters, seed.wrapping_add(i as u64));
         (cost, strategy)
     });
     let (restart, (cost, strategy)) = outcomes
@@ -279,7 +282,7 @@ mod tests {
         let schema = StarSchema::paper_toy();
         let shape = LatticeShape::of_schema(&schema);
         for (_, w) in bias_family(&shape).into_iter().take(5) {
-            let mut ew = EdgeWeights::new(&schema, &w);
+            let ew = EdgeWeights::new(&schema, &w);
             for p in LatticePath::enumerate(&shape).into_iter().take(3) {
                 let curve = snaked_path_curve(&schema, &p);
                 let s = ExplicitStrategy::from_linearization(&curve);
@@ -307,11 +310,11 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut ew = EdgeWeights::new(&schema, &w);
+        let ew = EdgeWeights::new(&schema, &w);
         let start = NestedLoops::row_major(vec![4, 4], &[1, 0]);
         let mut s = ExplicitStrategy::from_linearization(&start);
         let before = ew.cost(&s);
-        let after = two_opt_search(&mut ew, &mut s, 20_000, 42);
+        let after = two_opt_search(&ew, &mut s, 20_000, 42);
         assert!(after < before * 0.8, "search stuck: {before} -> {after}");
         // Still a permutation.
         let mut seen = s.order().to_vec();
@@ -367,7 +370,7 @@ mod tests {
         let shape = LatticeShape::of_schema(&schema);
         for (idx, (_, w)) in bias_family(&shape).into_iter().enumerate().step_by(4) {
             let (_, best_snaked) = best_snaked_path_exhaustive(&model, &w);
-            let mut ew = EdgeWeights::new(&schema, &w);
+            let ew = EdgeWeights::new(&schema, &w);
             for restart in 0..3u64 {
                 let start: Box<dyn Linearization> = match restart {
                     0 => Box::new(NestedLoops::row_major(vec![4, 4], &[0, 1])),
@@ -375,7 +378,7 @@ mod tests {
                     _ => Box::new(crate::zorder::ZOrderCurve::square(2)),
                 };
                 let mut s = ExplicitStrategy::from_linearization(&start.as_ref());
-                let found = two_opt_search(&mut ew, &mut s, 30_000, idx as u64 * 7 + restart);
+                let found = two_opt_search(&ew, &mut s, 30_000, idx as u64 * 7 + restart);
                 assert!(
                     found >= best_snaked - 1e-9,
                     "workload {idx} restart {restart}: adversary found {found} \

@@ -1,6 +1,7 @@
 //! The Z-curve (bit interleaving / Morton order) — Orenstein & Merrett
 //! [17], the quadrant-based strategy of the paper's Figure 2(a) family.
 
+use crate::nested::{Loop, NestedLoops};
 use crate::Linearization;
 
 /// Morton / Z-order over a grid whose extents are powers of two (dimensions
@@ -10,6 +11,11 @@ use crate::Linearization;
 pub struct ZOrderCurve {
     extents: Vec<u64>,
     bits: Vec<u32>,
+    /// The equivalent radix-2 loop nest: bit interleaving *is* a nested
+    /// loop per coordinate bit, innermost first. Only used for structural
+    /// run enumeration, where the generic prefix decomposition over this
+    /// nest is exactly litmax/bigmin range splitting on the Morton code.
+    nest: NestedLoops,
 }
 
 impl ZOrderCurve {
@@ -29,7 +35,21 @@ impl ZOrderCurve {
             })
             .collect();
         assert!(bits.iter().sum::<u32>() <= 63, "grid too large");
-        Self { extents, bits }
+        let max_bits = bits.iter().copied().max().unwrap_or(0);
+        let mut loops = Vec::new();
+        for level in 0..max_bits {
+            for (d, &b) in bits.iter().enumerate() {
+                if level < b {
+                    loops.push(Loop { dim: d, radix: 2 });
+                }
+            }
+        }
+        let nest = NestedLoops::new(extents.clone(), loops, false);
+        Self {
+            extents,
+            bits,
+            nest,
+        }
     }
 
     /// A square 2-D curve of side `2^n` — the paper's toy setting.
@@ -72,6 +92,14 @@ impl Linearization for ZOrderCurve {
                 }
             }
         }
+    }
+
+    fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
+        self.nest.rank_runs(ranges, sink);
+    }
+
+    fn has_structural_runs(&self) -> bool {
+        true
     }
 }
 
@@ -119,5 +147,28 @@ mod tests {
     #[should_panic(expected = "not a power of two")]
     fn rejects_non_power_extent() {
         ZOrderCurve::new(vec![3, 4]);
+    }
+
+    /// The private radix-2 loop nest is the same bijection as the
+    /// bit-twiddled rank/coords — the precondition for delegating
+    /// `rank_runs` to it.
+    #[test]
+    fn nest_matches_bit_interleave() {
+        for extents in [vec![4, 4], vec![8, 2], vec![2, 4, 8], vec![16]] {
+            let z = ZOrderCurve::new(extents);
+            for r in 0..z.num_cells() {
+                assert_eq!(z.nest.coords_vec(r), z.coords_vec(r), "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_runs_split_at_quadrants() {
+        // Left half of the 4x4 Z grid: quadrants 0 and 2, i.e. ranks 0..4
+        // and 8..12.
+        let z = ZOrderCurve::square(2);
+        let mut runs = Vec::new();
+        z.rank_runs(&[0..2, 0..4], &mut |s, l| runs.push((s, l)));
+        assert_eq!(runs, vec![(0, 4), (8, 4)]);
     }
 }

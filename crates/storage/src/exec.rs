@@ -1,14 +1,87 @@
 //! Grid-query execution over a packed layout: seeks, blocks read, and the
 //! paper's normalized metrics (§6.1), per query, per class, and per
 //! workload.
+//!
+//! Two evaluation engines produce **bit-identical** costs:
+//!
+//! * **Cells** — the classic odometer: visit every selected cell, collect
+//!   its page interval, sort, merge. `O(cells · k + cells log cells)` per
+//!   query.
+//! * **Runs** — consume [`Linearization::rank_runs`]: curves with
+//!   structural enumeration (nested loops, snakes, Z-order) emit the
+//!   maximal rank runs of the query in closed form and in ascending
+//!   order, so each run is priced with two prefix-sum lookups and the
+//!   page intervals merge in a single sort-free streaming pass.
+//!
+//! The engines agree exactly because every per-query figure is integer
+//! arithmetic until the final normalization: runs partition the same cell
+//! set the odometer visits, record counts are sums of the same prefix-sum
+//! deltas, and merging sorted inclusive intervals is deterministic — the
+//! `u64` seeks/blocks/records come out equal, hence every derived `f64`
+//! is bit-equal. `tests/run_engine_differential.rs` proves this per curve
+//! family.
 
 use crate::layout::PackedLayout;
+use serde::{Deserialize, Serialize};
 use snakes_core::lattice::{Class, LatticeShape};
 use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
 use snakes_curves::Linearization;
 use std::ops::Range;
+
+/// Which engine prices grid queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvalEngine {
+    /// Cell-at-a-time odometer: one page interval per selected cell,
+    /// merged after a sort.
+    Cells,
+    /// Run-based: price whole rank runs from [`Linearization::rank_runs`];
+    /// intervals arrive pre-sorted, so merging is a streaming pass. Works
+    /// for every curve (non-structural curves fall back to odometer+sort
+    /// *inside* `rank_runs`), but only pays off for structural ones.
+    Runs,
+    /// [`EvalEngine::Runs`] when the curve enumerates runs structurally
+    /// ([`Linearization::has_structural_runs`]), else [`EvalEngine::Cells`].
+    #[default]
+    Auto,
+}
+
+impl EvalEngine {
+    /// Resolves the engine choice against a concrete curve.
+    pub fn uses_runs(self, lin: &impl Linearization) -> bool {
+        match self {
+            EvalEngine::Cells => false,
+            EvalEngine::Runs => true,
+            EvalEngine::Auto => lin.has_structural_runs(),
+        }
+    }
+}
+
+impl std::str::FromStr for EvalEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cells" => Ok(EvalEngine::Cells),
+            "runs" => Ok(EvalEngine::Runs),
+            "auto" => Ok(EvalEngine::Auto),
+            other => Err(format!(
+                "unknown engine '{other}' (expected cells|runs|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EvalEngine::Cells => "cells",
+            EvalEngine::Runs => "runs",
+            EvalEngine::Auto => "auto",
+        })
+    }
+}
 
 /// The I/O cost of one grid query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +108,21 @@ impl QueryCost {
     }
 }
 
-/// Executes one grid query (an axis-aligned cell range per dimension).
+/// Reusable per-query buffers, shared across all queries of a class so a
+/// class measurement allocates O(1) times rather than O(queries).
+#[derive(Default)]
+struct QueryScratch {
+    /// Odometer cursor (cells engine).
+    coords: Vec<u64>,
+    /// Collected page intervals (cells engine); allocated lazily on the
+    /// first non-empty cell and reused afterwards.
+    intervals: Vec<(u64, u64)>,
+    /// Rank runs emitted (runs engine) — accumulated for metrics.
+    runs_enumerated: u64,
+}
+
+/// Executes one grid query (an axis-aligned cell range per dimension)
+/// with the default [`EvalEngine::Auto`] engine.
 ///
 /// # Panics
 ///
@@ -45,6 +132,40 @@ pub fn query_cost(
     lin: &impl Linearization,
     layout: &PackedLayout,
     ranges: &[Range<u64>],
+) -> QueryCost {
+    query_cost_with(lin, layout, ranges, EvalEngine::Auto)
+}
+
+/// Executes one grid query with an explicit engine choice.
+///
+/// # Panics
+///
+/// As [`query_cost`].
+pub fn query_cost_with(
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    ranges: &[Range<u64>],
+    engine: EvalEngine,
+) -> QueryCost {
+    let use_runs = engine.uses_runs(lin);
+    let mut scratch = QueryScratch::default();
+    let cost = query_cost_scratch(lin, layout, ranges, use_runs, &mut scratch);
+    if use_runs {
+        metrics::record_runs_enumerated(scratch.runs_enumerated);
+        metrics::record_run_engine_queries(1);
+    } else {
+        metrics::record_cell_engine_queries(1);
+    }
+    cost
+}
+
+/// Engine-dispatched query pricing over caller-owned scratch buffers.
+fn query_cost_scratch(
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    ranges: &[Range<u64>],
+    use_runs: bool,
+    scratch: &mut QueryScratch,
 ) -> QueryCost {
     assert_eq!(
         lin.extents(),
@@ -58,36 +179,90 @@ pub fn query_cost(
             "bad range {r:?} (extent {e})"
         );
     }
-    // Gather the page intervals of every non-empty selected cell.
-    let mut intervals: Vec<(u64, u64)> = Vec::new();
-    let mut records = 0u64;
-    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
-    'outer: loop {
-        let rank = lin.rank(&coords);
-        records += layout.records_at_rank(rank);
-        if let Some(span) = layout.page_span(rank) {
-            intervals.push(span);
-        }
-        let mut d = 0;
-        loop {
-            if d == coords.len() {
-                break 'outer;
-            }
-            coords[d] += 1;
-            if coords[d] < ranges[d].end {
-                break;
-            }
-            coords[d] = ranges[d].start;
-            d += 1;
-        }
-    }
-    let (seeks, blocks) = merge_intervals(&mut intervals);
+    let (seeks, blocks, records) = if use_runs {
+        run_based_cost(lin, layout, ranges, scratch)
+    } else {
+        cell_based_cost(lin, layout, ranges, scratch)
+    };
     QueryCost {
         seeks,
         blocks,
         min_blocks: layout.config().min_pages(records),
         records,
     }
+}
+
+/// Runs engine: price each maximal rank run with two prefix-sum lookups.
+/// Runs arrive in ascending rank order, so page intervals arrive sorted
+/// (with monotone ends) and merge in one streaming pass — no sort.
+fn run_based_cost(
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    ranges: &[Range<u64>],
+    scratch: &mut QueryScratch,
+) -> (u64, u64, u64) {
+    let mut records = 0u64;
+    let mut seeks = 0u64;
+    let mut blocks = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    let mut runs = 0u64;
+    lin.rank_runs(ranges, &mut |start, len| {
+        runs += 1;
+        records += layout.records_in_ranks(start, start + len);
+        if let Some((first, last)) = layout.page_span_of_ranks(start, start + len) {
+            match cur {
+                // Same page run: adjacent or overlapping with the open one.
+                Some((cs, ce)) if first <= ce + 1 => cur = Some((cs, ce.max(last))),
+                Some((cs, ce)) => {
+                    seeks += 1;
+                    blocks += ce - cs + 1;
+                    cur = Some((first, last));
+                }
+                None => cur = Some((first, last)),
+            }
+        }
+    });
+    if let Some((cs, ce)) = cur {
+        seeks += 1;
+        blocks += ce - cs + 1;
+    }
+    scratch.runs_enumerated += runs;
+    (seeks, blocks, records)
+}
+
+/// Cells engine: odometer over every selected cell, then sort + merge the
+/// collected page intervals.
+fn cell_based_cost(
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    ranges: &[Range<u64>],
+    scratch: &mut QueryScratch,
+) -> (u64, u64, u64) {
+    scratch.intervals.clear();
+    scratch.coords.clear();
+    scratch.coords.extend(ranges.iter().map(|r| r.start));
+    let mut records = 0u64;
+    'outer: loop {
+        let rank = lin.rank(&scratch.coords);
+        records += layout.records_at_rank(rank);
+        if let Some(span) = layout.page_span(rank) {
+            scratch.intervals.push(span);
+        }
+        let mut d = 0;
+        loop {
+            if d == scratch.coords.len() {
+                break 'outer;
+            }
+            scratch.coords[d] += 1;
+            if scratch.coords[d] < ranges[d].end {
+                break;
+            }
+            scratch.coords[d] = ranges[d].start;
+            d += 1;
+        }
+    }
+    let (seeks, blocks) = merge_intervals(&mut scratch.intervals);
+    (seeks, blocks, records)
 }
 
 /// Merges inclusive page intervals; returns (number of maximal runs,
@@ -132,8 +307,9 @@ pub struct ClassStats {
     pub max_seeks: u64,
 }
 
-/// Measures every query of a class (paper §6.3 averages over non-empty
-/// queries; empty queries read nothing and are excluded from the means).
+/// Measures every query of a class with the default [`EvalEngine::Auto`]
+/// engine (paper §6.3 averages over non-empty queries; empty queries read
+/// nothing and are excluded from the means).
 ///
 /// # Panics
 ///
@@ -144,6 +320,23 @@ pub fn class_stats(
     layout: &PackedLayout,
     class: &Class,
 ) -> ClassStats {
+    class_stats_with(schema, lin, layout, class, EvalEngine::Auto)
+}
+
+/// Measures every query of a class with an explicit engine choice.
+/// Scratch buffers (range list, odometer cursor, interval buffer) are
+/// reused across the class's queries.
+///
+/// # Panics
+///
+/// As [`class_stats`].
+pub fn class_stats_with(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+    layout: &PackedLayout,
+    class: &Class,
+    engine: EvalEngine,
+) -> ClassStats {
     assert_eq!(
         lin.extents(),
         schema.grid_shape().as_slice(),
@@ -152,6 +345,7 @@ pub fn class_stats(
     LatticeShape::of_schema(schema)
         .check(class)
         .expect("class out of bounds");
+    let use_runs = engine.uses_runs(lin);
     let k = schema.k();
     let nodes: Vec<u64> = (0..k)
         .map(|d| schema.dim(d).nodes_at_level(class.level(d)))
@@ -163,11 +357,12 @@ pub fn class_stats(
     let mut max_seeks = 0u64;
     let mut blocks_sum = 0u64;
     let mut node = vec![0u64; k];
+    let mut ranges: Vec<Range<u64>> = Vec::with_capacity(k);
+    let mut scratch = QueryScratch::default();
     'outer: loop {
-        let ranges: Vec<Range<u64>> = (0..k)
-            .map(|d| schema.dim(d).leaf_range(class.level(d), node[d]))
-            .collect();
-        let cost = query_cost(lin, layout, &ranges);
+        ranges.clear();
+        ranges.extend((0..k).map(|d| schema.dim(d).leaf_range(class.level(d), node[d])));
+        let cost = query_cost_scratch(lin, layout, &ranges, use_runs, &mut scratch);
         blocks_sum += cost.blocks;
         if let Some(nb) = cost.normalized_blocks() {
             non_empty += 1;
@@ -190,6 +385,12 @@ pub fn class_stats(
     }
     metrics::record_queries(queries);
     metrics::record_pages(blocks_sum);
+    if use_runs {
+        metrics::record_runs_enumerated(scratch.runs_enumerated);
+        metrics::record_run_engine_queries(queries);
+    } else {
+        metrics::record_cell_engine_queries(queries);
+    }
     let denom = non_empty.max(1) as f64;
     ClassStats {
         class: class.clone(),
@@ -213,7 +414,7 @@ pub struct WorkloadStats {
     pub per_class: Vec<ClassStats>,
 }
 
-/// Measures a strategy under a workload (serial).
+/// Measures a strategy under a workload (serial, [`EvalEngine::Auto`]).
 ///
 /// Equivalent to [`workload_stats_with`] under
 /// [`ParallelConfig::serial`]; kept as the simple entry point.
@@ -230,14 +431,8 @@ pub fn workload_stats(
     workload_stats_with(schema, lin, layout, workload, ParallelConfig::serial())
 }
 
-/// Measures a strategy under a workload, fanning the per-class
-/// measurements out across `par`'s worker threads.
-///
-/// Bit-identical to the serial path for every thread count: classes are
-/// measured independently (each [`class_stats`] call touches only its own
-/// class), results come back in rank order, and the probability-weighted
-/// reduction then runs serially over that ordered list — the exact
-/// floating-point operation sequence of the serial loop.
+/// Measures a strategy under a workload with [`EvalEngine::Auto`],
+/// fanning the per-class measurements out across `par`'s worker threads.
 ///
 /// # Panics
 ///
@@ -249,15 +444,36 @@ pub fn workload_stats_with(
     workload: &Workload,
     par: ParallelConfig,
 ) -> WorkloadStats {
+    workload_stats_engine(schema, lin, layout, workload, par, EvalEngine::Auto)
+}
+
+/// Measures a strategy under a workload with an explicit engine choice.
+///
+/// Bit-identical to the serial path for every thread count: classes are
+/// measured independently (each [`class_stats_with`] call touches only its
+/// own class), results come back in rank order, and the
+/// probability-weighted reduction then runs serially over that ordered
+/// list — the exact floating-point operation sequence of the serial loop.
+/// The class set is the workload's support via the single shared
+/// [`Workload::support_by_rank`] filter.
+///
+/// # Panics
+///
+/// As [`class_stats`], plus (debug) a workload lattice mismatch.
+pub fn workload_stats_engine(
+    schema: &StarSchema,
+    lin: &(impl Linearization + Sync),
+    layout: &PackedLayout,
+    workload: &Workload,
+    par: ParallelConfig,
+    engine: EvalEngine,
+) -> WorkloadStats {
     let _timer = metrics::PhaseTimer::start(metrics::Phase::Measure);
     let shape = LatticeShape::of_schema(schema);
     debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
-    let live: Vec<(usize, f64)> = (0..shape.num_classes())
-        .map(|r| (r, workload.prob_by_rank(r)))
-        .filter(|&(_, p)| p != 0.0)
-        .collect();
+    let live: Vec<(usize, f64)> = workload.support_by_rank().collect();
     let measured = par.run_indexed(live.len(), |i| {
-        class_stats(schema, lin, layout, &shape.unrank(live[i].0))
+        class_stats_with(schema, lin, layout, &shape.unrank(live[i].0), engine)
     });
     let mut per_class = Vec::with_capacity(measured.len());
     let mut blocks = 0.0;
@@ -317,16 +533,57 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_every_query_shape() {
+        let (_, lin, layout) = one_cell_per_page();
+        let snake = NestedLoops::boustrophedon(vec![4, 4], &[0, 1]);
+        let cells = CellData::from_counts(vec![4, 4], (0..16).map(|i| (i * 7) % 5).collect());
+        let snake_layout = PackedLayout::pack(&snake, &cells, tiny_config());
+        for (lin, layout) in [(&lin, &layout), (&snake, &snake_layout)] {
+            for lo0 in 0..4 {
+                for hi0 in lo0 + 1..=4 {
+                    for lo1 in 0..4 {
+                        for hi1 in lo1 + 1..=4 {
+                            let q = [lo0..hi0, lo1..hi1];
+                            let a = query_cost_with(lin, layout, &q, EvalEngine::Cells);
+                            let b = query_cost_with(lin, layout, &q, EvalEngine::Runs);
+                            assert_eq!(a, b, "query {q:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_by_structural_runs() {
+        let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        assert!(EvalEngine::Auto.uses_runs(&lin));
+        assert!(!EvalEngine::Cells.uses_runs(&lin));
+        assert!(EvalEngine::Runs.uses_runs(&snakes_curves::HilbertCurve::square(2)));
+        assert!(!EvalEngine::Auto.uses_runs(&snakes_curves::HilbertCurve::square(2)));
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        for e in [EvalEngine::Cells, EvalEngine::Runs, EvalEngine::Auto] {
+            assert_eq!(e.to_string().parse::<EvalEngine>(), Ok(e));
+        }
+        assert!("fast".parse::<EvalEngine>().is_err());
+    }
+
+    #[test]
     fn empty_query_reads_nothing() {
         let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
         let mut cells = CellData::empty(vec![4, 4]);
         cells.add(&[0, 0], 10);
         let layout = PackedLayout::pack(&lin, &cells, tiny_config());
-        let c = query_cost(&lin, &layout, &[2..4, 2..4]);
-        assert_eq!(c.seeks, 0);
-        assert_eq!(c.blocks, 0);
-        assert_eq!(c.records, 0);
-        assert_eq!(c.normalized_blocks(), None);
+        for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+            let c = query_cost_with(&lin, &layout, &[2..4, 2..4], engine);
+            assert_eq!(c.seeks, 0);
+            assert_eq!(c.blocks, 0);
+            assert_eq!(c.records, 0);
+            assert_eq!(c.normalized_blocks(), None);
+        }
     }
 
     #[test]
@@ -359,6 +616,22 @@ mod tests {
         assert!((s.avg_seeks - 4.0).abs() < 1e-12);
         assert!((s.avg_normalized_blocks - 1.0).abs() < 1e-12);
         assert_eq!(s.max_seeks, 4);
+    }
+
+    #[test]
+    fn class_stats_engines_agree_bitwise() {
+        let (schema, lin, layout) = one_cell_per_page();
+        let shape = LatticeShape::of_schema(&schema);
+        for u in shape.iter() {
+            let a = class_stats_with(&schema, &lin, &layout, &u, EvalEngine::Cells);
+            let b = class_stats_with(&schema, &lin, &layout, &u, EvalEngine::Runs);
+            assert_eq!(a, b, "class {u}");
+            assert_eq!(a.avg_seeks.to_bits(), b.avg_seeks.to_bits());
+            assert_eq!(
+                a.avg_normalized_blocks.to_bits(),
+                b.avg_normalized_blocks.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -117,8 +117,24 @@ impl PackedLayout {
     /// The inclusive page span `[first, last]` of the cell at rank `r`, or
     /// `None` when the cell is empty.
     pub fn page_span(&self, r: u64) -> Option<(u64, u64)> {
-        let start = self.record_start[r as usize];
-        let end = self.record_start[r as usize + 1];
+        self.page_span_of_ranks(r, r + 1)
+    }
+
+    /// Records held by the half-open rank interval `[lo, hi)` — O(1) via
+    /// the record-start prefix sums. This is what makes rank *runs* cheap
+    /// to price: a whole run costs the same two lookups as a single cell.
+    pub fn records_in_ranks(&self, lo: u64, hi: u64) -> u64 {
+        self.record_start[hi as usize] - self.record_start[lo as usize]
+    }
+
+    /// The inclusive page span of the records in the half-open rank
+    /// interval `[lo, hi)`, or `None` when those cells are all empty.
+    /// Because packing follows rank order, spans of ascending rank
+    /// intervals come out sorted (and with monotone ends), so a streaming
+    /// consumer can merge them without sorting.
+    pub fn page_span_of_ranks(&self, lo: u64, hi: u64) -> Option<(u64, u64)> {
+        let start = self.record_start[lo as usize];
+        let end = self.record_start[hi as usize];
         if start == end {
             return None;
         }

@@ -31,7 +31,8 @@ pub use cells::CellData;
 pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
 pub use disk::DiskModel;
 pub use exec::{
-    class_stats, workload_stats, workload_stats_with, ClassStats, QueryCost, WorkloadStats,
+    class_stats, class_stats_with, query_cost, query_cost_with, workload_stats,
+    workload_stats_engine, workload_stats_with, ClassStats, EvalEngine, QueryCost, WorkloadStats,
 };
 pub use file::TableFile;
 pub use layout::{PackedLayout, StorageConfig};

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use snakes_core::parallel::ParallelConfig;
 use snakes_core::schema::{Hierarchy, StarSchema};
-use snakes_storage::StorageConfig;
+use snakes_storage::{EvalEngine, StorageConfig};
 
 /// Parameters of the synthetic TPC-D setup. Defaults are the paper's: "12
 /// months, 7 years, 5 manufacturers supplying an average of 40 parts, and
@@ -41,6 +41,10 @@ pub struct TpcdConfig {
     /// core, `threads: 1` = serial). Results are bit-identical either way.
     #[serde(default)]
     pub parallel: ParallelConfig,
+    /// Query evaluation engine (cells odometer, closed-form runs, or auto
+    /// per curve). Results are bit-identical across engines.
+    #[serde(default)]
+    pub engine: EvalEngine,
 }
 
 impl Default for TpcdConfig {
@@ -58,6 +62,7 @@ impl Default for TpcdConfig {
             record_size: 125,
             page_size: 8192,
             parallel: ParallelConfig::default(),
+            engine: EvalEngine::default(),
         }
     }
 }
@@ -88,6 +93,12 @@ impl TpcdConfig {
     /// (0 = one per core, 1 = serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.parallel = ParallelConfig::with_threads(threads);
+        self
+    }
+
+    /// The same configuration with an explicit query evaluation engine.
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
         self
     }
 

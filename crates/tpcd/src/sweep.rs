@@ -13,7 +13,7 @@ use snakes_core::path::LatticePath;
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
 use snakes_curves::{path_curve, snaked_path_curve, CompactHilbert, Linearization};
-use snakes_storage::{class_stats, CellData, ClassStats, PackedLayout};
+use snakes_storage::{class_stats_with, CellData, ClassStats, PackedLayout};
 use std::collections::HashMap;
 
 /// Identifies a measured strategy.
@@ -180,7 +180,13 @@ impl Evaluator {
         self.config
             .parallel
             .run_indexed(self.shape.num_classes(), |r| {
-                class_stats(&self.schema, curve, &layout, &self.shape.unrank(r))
+                class_stats_with(
+                    &self.schema,
+                    curve,
+                    &layout,
+                    &self.shape.unrank(r),
+                    self.config.engine,
+                )
             })
     }
 
@@ -199,12 +205,10 @@ impl Evaluator {
         let stats = self.stats_for(key);
         let mut seeks = 0.0;
         let mut blocks = 0.0;
-        for (r, st) in stats.iter().enumerate() {
-            let p = workload.prob_by_rank(r);
-            if p > 0.0 {
-                seeks += p * st.avg_seeks;
-                blocks += p * st.avg_normalized_blocks;
-            }
+        // The single shared support filter (`Workload::support_by_rank`).
+        for (r, p) in workload.support_by_rank() {
+            seeks += p * stats[r].avg_seeks;
+            blocks += p * stats[r].avg_normalized_blocks;
         }
         StrategyResult {
             kind,

@@ -1,0 +1,267 @@
+//! Differential harness for the run-based evaluation engine: structural
+//! rank-run enumeration, the single-pass whole-lattice aggregator, and the
+//! run-based storage engine must all be **exactly** equal to the
+//! brute-force paths — `u64` counts equal, `f64` averages bit-equal — on
+//! random grids up to 4-D, for every curve family, snaked and plain,
+//! through every thread count and engine choice.
+
+use proptest::prelude::*;
+use snakes_sandwiches::core::lattice::LatticeShape;
+use snakes_sandwiches::core::parallel::ParallelConfig;
+use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
+use snakes_sandwiches::core::workload::Workload;
+use snakes_sandwiches::curves::{
+    aggregate_class_costs, class_costs, path_curve, snaked_path_curve, CompactHilbert, GrayCurve,
+    Linearization, NestedLoops, ZOrderCurve,
+};
+use snakes_sandwiches::storage::{
+    workload_stats_engine, CellData, EvalEngine, PackedLayout, StorageConfig,
+};
+use std::ops::Range;
+
+/// Independent reference: enumerate every selected cell's rank with an
+/// odometer, sort, and merge consecutive ranks into maximal runs.
+fn reference_runs(lin: &dyn Linearization, ranges: &[Range<u64>]) -> Vec<(u64, u64)> {
+    let mut ranks = Vec::new();
+    let mut coords: Vec<u64> = ranges.iter().map(|r| r.start).collect();
+    'outer: loop {
+        ranks.push(lin.rank(&coords));
+        let mut d = 0;
+        loop {
+            if d == coords.len() {
+                break 'outer;
+            }
+            coords[d] += 1;
+            if coords[d] < ranges[d].end {
+                break;
+            }
+            coords[d] = ranges[d].start;
+            d += 1;
+        }
+    }
+    ranks.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for r in ranks {
+        match out.last_mut() {
+            Some((start, len)) if *start + *len == r => *len += 1,
+            _ => out.push((r, 1)),
+        }
+    }
+    out
+}
+
+fn collected_runs(lin: &dyn Linearization, ranges: &[Range<u64>]) -> Vec<(u64, u64)> {
+    let mut got = Vec::new();
+    lin.rank_runs(ranges, &mut |start, len| got.push((start, len)));
+    got
+}
+
+/// Deterministic query boxes from a seed: `count` random sub-ranges per
+/// dimension via a splitmix-style generator.
+fn seeded_queries(seed: u64, extents: &[u64], count: usize) -> Vec<Vec<Range<u64>>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..count)
+        .map(|_| {
+            extents
+                .iter()
+                .map(|&e| {
+                    let lo = next() % e;
+                    let hi = lo + 1 + next() % (e - lo);
+                    lo..hi
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// All rotations of `0..k` as nesting orders, so every dimension gets to
+/// be innermost somewhere.
+fn rotated_orders(k: usize) -> Vec<Vec<usize>> {
+    (0..k)
+        .map(|s| (0..k).map(|i| (i + s) % k).collect())
+        .collect()
+}
+
+/// The curve families under test for arbitrary extents: nested loops
+/// (plain and snaked, every rotation) plus the brute-force-fallback
+/// curves (Gray, compact Hilbert).
+fn curve_family(extents: &[u64]) -> Vec<(String, Box<dyn Linearization>)> {
+    let mut out: Vec<(String, Box<dyn Linearization>)> = Vec::new();
+    for order in rotated_orders(extents.len()) {
+        out.push((
+            format!("row_major{order:?}"),
+            Box::new(NestedLoops::row_major(extents.to_vec(), &order)),
+        ));
+        out.push((
+            format!("boustrophedon{order:?}"),
+            Box::new(NestedLoops::boustrophedon(extents.to_vec(), &order)),
+        ));
+    }
+    out.push((
+        "compact_hilbert".to_string(),
+        Box::new(CompactHilbert::new(extents.to_vec())),
+    ));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `rank_runs` equals the odometer+sort reference for every curve
+    /// family on random grids up to 4-D — structural enumerations and
+    /// brute-force fallbacks alike, snaked and plain.
+    #[test]
+    fn rank_runs_match_reference(
+        extents in proptest::collection::vec(1u64..=6, 1..=4),
+        seed in any::<u64>(),
+    ) {
+        for (name, lin) in curve_family(&extents) {
+            for q in seeded_queries(seed, &extents, 4) {
+                let got = collected_runs(lin.as_ref(), &q);
+                let want = reference_runs(lin.as_ref(), &q);
+                prop_assert_eq!(&got, &want, "curve {} query {:?}", name, q);
+                // Runs partition the query box exactly.
+                let cells: u64 = q.iter().map(|r| r.end - r.start).product();
+                prop_assert_eq!(got.iter().map(|&(_, l)| l).sum::<u64>(), cells);
+            }
+        }
+    }
+
+    /// Z-order structural splitting (and Gray's brute-force fallback)
+    /// equal the reference on random power-of-two grids up to 4-D.
+    #[test]
+    fn zorder_runs_match_reference(
+        bits in proptest::collection::vec(0u32..=3, 1..=4),
+        seed in any::<u64>(),
+    ) {
+        let extents: Vec<u64> = bits.iter().map(|&b| 1u64 << b).collect();
+        let curves: [(&str, Box<dyn Linearization>); 2] = [
+            ("zorder", Box::new(ZOrderCurve::new(extents.clone()))),
+            ("gray", Box::new(GrayCurve::new(extents.clone()))),
+        ];
+        for (name, lin) in &curves {
+            for q in seeded_queries(seed, &extents, 6) {
+                let got = collected_runs(lin.as_ref(), &q);
+                let want = reference_runs(lin.as_ref(), &q);
+                prop_assert_eq!(got, want, "curve {} query {:?}", name, q);
+            }
+        }
+    }
+
+    /// The single-pass aggregator equals per-class brute force on random
+    /// schemas up to 3-D (grids up to 4 levels deep per dimension):
+    /// `u64` fragment totals exactly equal, `f64` averages bit-equal —
+    /// for plain and snaked nested loops and for lattice-path curves.
+    #[test]
+    fn aggregator_matches_brute_force(
+        dims in proptest::collection::vec(proptest::collection::vec(2u64..=3, 1..=2), 1..=3),
+    ) {
+        let schema = StarSchema::new(
+            dims.into_iter()
+                .enumerate()
+                .map(|(i, f)| Hierarchy::new(format!("d{i}"), f).expect("valid fanouts"))
+                .collect(),
+        )
+        .expect("non-empty");
+        let shape = LatticeShape::of_schema(&schema);
+        let extents = schema.grid_shape();
+        let mut curves: Vec<(String, Box<dyn Linearization>)> = curve_family(&extents);
+        for p in snakes_sandwiches::core::path::LatticePath::enumerate(&shape).into_iter().take(3) {
+            curves.push((format!("path {p}"), Box::new(path_curve(&schema, &p))));
+            curves.push((format!("snaked path {p}"), Box::new(snaked_path_curve(&schema, &p))));
+        }
+        for (name, boxed) in curves {
+            let lin: &dyn Linearization = boxed.as_ref();
+            let agg = aggregate_class_costs(&schema, &lin);
+            let brute = class_costs(&schema, &lin);
+            for (r, (a, b)) in agg.class_costs().iter().zip(&brute).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "curve {} class rank {}", name, r);
+            }
+            for u in shape.iter() {
+                prop_assert_eq!(
+                    agg.class_total_fragments(&u),
+                    snakes_sandwiches::curves::fragments::class_total_fragments(&schema, &lin, &u),
+                    "curve {} class {}", name, u
+                );
+            }
+        }
+    }
+}
+
+/// The storage engines (cells vs runs vs auto) are bit-identical through
+/// `workload_stats_engine` for thread counts {1, 4}, on uniform and
+/// skewed (partially empty) grids, for plain and snaked curves.
+#[test]
+fn workload_stats_engines_bit_identical() {
+    let config = StorageConfig {
+        page_size: 500,
+        record_size: 125,
+    };
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("a", vec![3, 2]).unwrap(),
+        Hierarchy::new("b", vec![4]).unwrap(),
+        Hierarchy::new("c", vec![2, 2]).unwrap(),
+    ])
+    .unwrap();
+    let shape = LatticeShape::of_schema(&schema);
+    let extents = schema.grid_shape();
+    let n = extents.iter().product::<u64>() as usize;
+    let counts: Vec<Vec<u64>> = vec![
+        vec![4; n],
+        (0..n).map(|i| (i as u64 * 7) % 23).collect(), // skewed, some empty
+    ];
+    for cell_counts in counts {
+        let cells = CellData::from_counts(extents.clone(), cell_counts);
+        for order in [[0, 1, 2], [2, 0, 1]] {
+            for snaked in [false, true] {
+                let curve = if snaked {
+                    NestedLoops::boustrophedon(extents.clone(), &order)
+                } else {
+                    NestedLoops::row_major(extents.clone(), &order)
+                };
+                let layout = PackedLayout::pack(&curve, &cells, config);
+                let workload = Workload::uniform(shape.clone());
+                let baseline = workload_stats_engine(
+                    &schema,
+                    &curve,
+                    &layout,
+                    &workload,
+                    ParallelConfig::serial(),
+                    EvalEngine::Cells,
+                );
+                for threads in [1usize, 4] {
+                    for engine in [EvalEngine::Cells, EvalEngine::Runs, EvalEngine::Auto] {
+                        let got = workload_stats_engine(
+                            &schema,
+                            &curve,
+                            &layout,
+                            &workload,
+                            ParallelConfig::with_threads(threads),
+                            engine,
+                        );
+                        let ctx = format!(
+                            "order {order:?} snaked {snaked} threads {threads} engine {engine}"
+                        );
+                        assert_eq!(
+                            got.avg_seeks.to_bits(),
+                            baseline.avg_seeks.to_bits(),
+                            "{ctx} seeks"
+                        );
+                        assert_eq!(
+                            got.avg_normalized_blocks.to_bits(),
+                            baseline.avg_normalized_blocks.to_bits(),
+                            "{ctx} blocks"
+                        );
+                        assert_eq!(got.per_class, baseline.per_class, "{ctx} per_class");
+                    }
+                }
+            }
+        }
+    }
+}
