@@ -1,0 +1,253 @@
+//! Incremental re-optimization: the workload-drift speedup benchmark.
+//!
+//! The online scenario: the physical layout is fixed, the workload drifts
+//! epoch by epoch, and every epoch must be re-priced and re-optimized.
+//! Two measurements on the paper's Table-4 grid
+//! (200 × 10 × 84 = 168,000 cells, 18 classes), each with a differential
+//! check proving the fast path **bit-identical** to the from-scratch path
+//! before any speedup is reported:
+//!
+//! 1. **Signature-cache re-pricing**: pricing a drifted workload against
+//!    a cached [`SignatureCache`] table (one O(|L|) dot product) vs
+//!    re-running the full `aggregate_class_costs` curve walk every epoch.
+//!    Crossing counts are workload-independent, so the cached table
+//!    prices any workload exactly; the cached path is asserted ≥ 10×
+//!    faster.
+//! 2. **DP warm restarts**: [`IncrementalDp::reoptimize`] (stability
+//!    certificate + stored-distance re-pricing, full DP fallback) vs a
+//!    from-scratch `optimal_lattice_path` per epoch, paths asserted
+//!    identical.
+//!
+//! Results append to `BENCH_incremental.json` at the workspace root so
+//! the perf trajectory is tracked across commits.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use snakes_core::cost::CostModel;
+use snakes_core::dp::{optimal_lattice_path, IncrementalDp};
+use snakes_core::lattice::LatticeShape;
+use snakes_core::parallel::metrics;
+use snakes_core::workload::{VersionedWorkload, WeightUpdate, Workload, WorkloadDelta};
+use snakes_curves::{aggregate_class_costs, snaked_path_curve, SignatureCache, StrategyId};
+use snakes_tpcd::{paper_workload_7, TpcdConfig};
+use std::time::Instant;
+
+/// One run of this bench, appended to `BENCH_incremental.json`.
+#[derive(Serialize)]
+struct TrajectoryEntry {
+    bench: &'static str,
+    unix_time: u64,
+    cores: usize,
+    grid_cells: u64,
+    classes: usize,
+    epochs: usize,
+    scratch_pricing_ns: u64,
+    cached_pricing_ns: u64,
+    pricing_speedup: f64,
+    pricing_bit_identical: bool,
+    scratch_dp_ns: u64,
+    incremental_dp_ns: u64,
+    dp_speedup: f64,
+    dp_paths_identical: bool,
+    dp_reuses: u64,
+    dp_full_runs: u64,
+    metrics: metrics::MetricsSnapshot,
+}
+
+const EPOCHS: usize = 16;
+const CHANGES_PER_EPOCH: usize = 4;
+/// Aggressive drift for the pricing benchmark (signature tables are
+/// workload-independent, so any drift re-prices exactly).
+const MAGNITUDE: f64 = 0.5;
+/// Gentle drift for the DP benchmark — the online regime warm restarts
+/// target, where each epoch nudges the mix without crossing the
+/// stability radius.
+const GENTLE_MAGNITUDE: f64 = 0.0001;
+const SEED: u64 = 0xD21F_7E57;
+const SAMPLES: usize = 5;
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Times `f` over `SAMPLES` runs, returning the median time and the last
+/// result.
+fn time_samples<T>(mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed().as_nanos());
+        last = Some(out);
+    }
+    (median(times), last.expect("at least one sample"))
+}
+
+/// The deterministic drift sequence: `EPOCHS` workloads obtained by
+/// repeatedly applying sparse random deltas to the paper's workload 7.
+fn drift_sequence(shape: &LatticeShape, base: Workload, magnitude: f64) -> Vec<Workload> {
+    let n = shape.num_classes();
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut versioned = VersionedWorkload::new(base);
+    let mut out = Vec::with_capacity(EPOCHS);
+    for _ in 0..EPOCHS {
+        let mut picked = std::collections::BTreeSet::new();
+        while picked.len() < CHANGES_PER_EPOCH.min(n) {
+            picked.insert(rng.gen_range(0..n));
+        }
+        let updates = picked
+            .into_iter()
+            .map(|rank| WeightUpdate {
+                rank,
+                // Drift *around* the current weight so gentle magnitudes
+                // produce gentle total-variation moves.
+                weight: (versioned.workload().prob_by_rank(rank)
+                    + (0.05 + rng.gen::<f64>()) * magnitude / n as f64)
+                    .max(1e-12),
+            })
+            .collect();
+        let delta = WorkloadDelta::new(updates).expect("weights are finite and non-negative");
+        versioned.apply(&delta).expect("drifted workload is valid");
+        out.push(versioned.workload().clone());
+    }
+    out
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let config = TpcdConfig::default();
+    let schema = config.star_schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let grid_cells: u64 = schema.grid_shape().iter().product();
+    let classes = shape.num_classes();
+    let model = CostModel::of_schema(&schema);
+    let base = paper_workload_7(&config).workload;
+    let epochs = drift_sequence(&shape, base.clone(), MAGNITUDE);
+    let gentle = drift_sequence(&shape, base.clone(), GENTLE_MAGNITUDE);
+    println!(
+        "incremental: Table-4 grid {:?} ({grid_cells} cells, {classes} classes), \
+         {EPOCHS} drift epochs, {cores} core(s), median of {SAMPLES}",
+        schema.grid_shape()
+    );
+
+    // --- Signature-cache re-pricing vs from-scratch aggregation ---
+    // The strategy being re-priced: the snaked optimal path for the base
+    // workload (the layout an online system would actually be running).
+    let dp0 = optimal_lattice_path(&model, &base);
+    let curve = snaked_path_curve(&schema, &dp0.path);
+    let id = StrategyId::Path {
+        dims: dp0.path.dims().to_vec(),
+        snaked: true,
+    };
+
+    let (scratch_ns, scratch_costs) = time_samples(|| {
+        epochs
+            .iter()
+            .map(|w| aggregate_class_costs(&schema, &curve).expected_cost(w))
+            .collect::<Vec<f64>>()
+    });
+    println!("  from-scratch aggregation per epoch: {scratch_ns:>12} ns total");
+
+    let mut cache = SignatureCache::new();
+    cache.get_or_compute(&schema, &curve, &id); // prime: one curve walk, ever
+    let (cached_ns, cached_costs) = time_samples(|| {
+        epochs
+            .iter()
+            .map(|w| cache.get_or_compute(&schema, &curve, &id).expected_cost(w))
+            .collect::<Vec<f64>>()
+    });
+    println!("  cached signature re-pricing:        {cached_ns:>12} ns total");
+
+    assert_eq!(scratch_costs.len(), cached_costs.len());
+    for (e, (s, c)) in scratch_costs.iter().zip(&cached_costs).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            c.to_bits(),
+            "cached re-pricing diverges from scratch aggregation at epoch {e}"
+        );
+    }
+    println!(
+        "  differential check: all {} epoch costs bit-identical",
+        scratch_costs.len()
+    );
+    let pricing_speedup = scratch_ns as f64 / cached_ns as f64;
+    println!("  pricing speedup (cached vs scratch): {pricing_speedup:.1}x");
+    assert!(
+        pricing_speedup >= 10.0,
+        "cached re-pricing must be >= 10x over from-scratch aggregation, got {pricing_speedup:.2}x"
+    );
+
+    // --- Incremental DP vs from-scratch DP over gentle drift ---
+    metrics::reset();
+    let before = metrics::snapshot();
+    let (scratch_dp_ns, scratch_paths) = time_samples(|| {
+        gentle
+            .iter()
+            .map(|w| optimal_lattice_path(&model, w).path)
+            .collect::<Vec<_>>()
+    });
+    println!("  from-scratch DP per epoch:  {scratch_dp_ns:>12} ns total");
+    let (incremental_ns, (incremental_paths, reuses, full_runs)) = time_samples(|| {
+        let mut engine = IncrementalDp::new(model.clone());
+        let paths = gentle
+            .iter()
+            .map(|w| engine.reoptimize(w).path)
+            .collect::<Vec<_>>();
+        (paths, engine.reuses(), engine.full_runs())
+    });
+    println!("  incremental DP per epoch:   {incremental_ns:>12} ns total");
+    let delta = metrics::snapshot().since(&before);
+
+    for (e, (s, i)) in scratch_paths.iter().zip(&incremental_paths).enumerate() {
+        assert_eq!(
+            s.dims(),
+            i.dims(),
+            "incremental DP chose a different path at epoch {e}"
+        );
+    }
+    println!(
+        "  differential check: all {EPOCHS} epoch paths identical \
+         ({reuses} warm reuses, {full_runs} full DP runs)"
+    );
+    let dp_speedup = scratch_dp_ns as f64 / incremental_ns as f64;
+    println!("  DP speedup (incremental vs scratch): {dp_speedup:.2}x");
+
+    // Append this run to the trajectory file at the workspace root.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = serde_json::to_value(&TrajectoryEntry {
+        bench: "incremental",
+        unix_time,
+        cores,
+        grid_cells,
+        classes,
+        epochs: EPOCHS,
+        scratch_pricing_ns: scratch_ns as u64,
+        cached_pricing_ns: cached_ns as u64,
+        pricing_speedup,
+        pricing_bit_identical: true,
+        scratch_dp_ns: scratch_dp_ns as u64,
+        incremental_dp_ns: incremental_ns as u64,
+        dp_speedup,
+        dp_paths_identical: true,
+        dp_reuses: reuses,
+        dp_full_runs: full_runs,
+        metrics: delta,
+    })
+    .expect("entry serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    runs.push(entry);
+    let body = serde_json::to_string_pretty(&runs).expect("trajectory serializes");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("  trajectory appended to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

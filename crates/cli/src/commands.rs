@@ -13,7 +13,9 @@ use snakes_core::path::LatticePath;
 use snakes_core::stats::WorkloadEstimator;
 use snakes_curves::{path_curve, snaked_path_curve, Linearization};
 use snakes_storage::EvalEngine;
-use snakes_tpcd::{tpcd_workloads, Evaluator, StrategyResult, TpcdConfig};
+use snakes_tpcd::{
+    drift_sweep, tpcd_workloads, DriftConfig, Evaluator, StrategyResult, TpcdConfig,
+};
 
 /// CLI failures: usage errors carry exit-code semantics for `main`.
 #[derive(Debug)]
@@ -351,6 +353,68 @@ pub fn sweep(
     .expect("output serializes"))
 }
 
+/// `snakes drift`: the online drifting-workload scenario — start from the
+/// paper's workload 7 over the synthetic TPC-D grid, drift it for `epochs`
+/// epochs (each re-weighting `changes` random classes by up to
+/// `magnitude`), and re-optimize each epoch with the incremental engine:
+/// DP warm restarts under the stability certificate plus signature-cache
+/// re-pricing. With `measure`, the snaked optimal curve is also measured
+/// physically each epoch through the per-class cost memo. Every reported
+/// cost is bit-identical to a from-scratch re-optimization.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when `magnitude` is not finite and non-negative
+/// or `changes` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn drift(
+    records: u64,
+    epochs: usize,
+    changes: usize,
+    magnitude: f64,
+    seed: u64,
+    measure: bool,
+    threads: usize,
+    engine: EvalEngine,
+) -> Result<String, CliError> {
+    if !(magnitude.is_finite() && magnitude >= 0.0) {
+        return Err(CliError::Usage(format!(
+            "--magnitude must be finite and non-negative, got {magnitude}"
+        )));
+    }
+    if changes == 0 {
+        return Err(CliError::Usage("--changes must be positive".into()));
+    }
+    let config = TpcdConfig {
+        records,
+        ..TpcdConfig::small()
+    }
+    .with_threads(threads)
+    .with_engine(engine);
+    let drift = DriftConfig {
+        epochs,
+        changes_per_epoch: changes,
+        magnitude,
+        seed,
+        measure,
+    };
+    let report = drift_sweep(&config, &drift);
+    #[derive(Serialize)]
+    struct Out {
+        records: u64,
+        engine: String,
+        drift: DriftConfig,
+        report: snakes_tpcd::DriftReport,
+    }
+    Ok(serde_json::to_string_pretty(&Out {
+        records,
+        engine: engine.to_string(),
+        drift,
+        report,
+    })
+    .expect("output serializes"))
+}
+
 /// Dispatches a full argv (excluding the program name). Returns the output
 /// document to print.
 ///
@@ -464,9 +528,63 @@ pub fn run(
                 .unwrap_or_default();
             sweep(records, number, threads, engine)
         }
+        Some("drift") => {
+            let records = flags
+                .get("records")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --records: {e}")))?
+                .unwrap_or(30_000);
+            let epochs = flags
+                .get("epochs")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --epochs: {e}")))?
+                .unwrap_or(8);
+            let changes = flags
+                .get("changes")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --changes: {e}")))?
+                .unwrap_or(4);
+            let magnitude = flags
+                .get("magnitude")
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --magnitude: {e}")))?
+                .unwrap_or(0.5);
+            let seed = flags
+                .get("seed")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --seed: {e}")))?
+                .unwrap_or_else(|| DriftConfig::default().seed);
+            let threads = flags
+                .get("threads")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?
+                .unwrap_or(0);
+            let engine = flags
+                .get("engine")
+                .map(|s| s.parse::<EvalEngine>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --engine: {e}")))?
+                .unwrap_or_default();
+            drift(
+                records,
+                epochs,
+                changes,
+                magnitude,
+                seed,
+                bools.contains("measure"),
+                threads,
+                engine,
+            )
+        }
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
         None => Err(CliError::Usage(
-            "expected a command: advise | estimate | topk | order | reorg | sweep".into(),
+            "expected a command: advise | estimate | topk | order | reorg | sweep | drift".into(),
         )),
     };
     if !want_stats {
@@ -661,6 +779,58 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(serde_json::from_str::<serde_json::Value>(&doc).is_ok());
+    }
+
+    #[test]
+    fn drift_runs_a_multi_epoch_scenario() {
+        let read = |_: &str| -> std::io::Result<String> { unreachable!("drift reads no files") };
+        let args: Vec<String> =
+            "drift --records 2000 --epochs 4 --changes 3 --magnitude 0.4 --seed 7 --threads 1"
+                .split(' ')
+                .map(String::from)
+                .collect();
+        let out = run(&args, &read).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let epochs = v["report"]["epochs"].as_array().unwrap();
+        assert_eq!(epochs.len(), 5);
+        for e in epochs {
+            assert!(e["expected_cost_snaked"].as_f64().unwrap().is_finite());
+            assert!(e["path_dims"].as_array().unwrap().len() == 5);
+            assert!(e.get("measured").is_none(), "not requested");
+        }
+        let reuses = v["report"]["dp_reuses"].as_u64().unwrap();
+        let fulls = v["report"]["dp_full_runs"].as_u64().unwrap();
+        assert_eq!(reuses + fulls, 5);
+        assert!(v["report"]["signature_hits"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn drift_with_measure_reports_physical_stats() {
+        let read = |_: &str| -> std::io::Result<String> { unreachable!("drift reads no files") };
+        let args: Vec<String> = "drift --records 2000 --epochs 2 --seed 7 --measure --threads 1"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let out = run(&args, &read).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        for e in v["report"]["epochs"].as_array().unwrap() {
+            assert!(e["measured"]["avg_seeks"].as_f64().unwrap() >= 1.0);
+        }
+        assert!(v["report"]["memo_misses"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn drift_rejects_bad_magnitude() {
+        let read = |_: &str| -> std::io::Result<String> { unreachable!() };
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert!(matches!(
+            run(&args("drift --magnitude nan"), &read),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("drift --changes 0"), &read),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -16,6 +16,9 @@ fn main() {
                  [--path d0,d1,...] [--plain] [--limit N] [--smooth A] [--cost C]\n\
                  \u{20}      snakes sweep [--records N] [--number W] [--threads N] \
                  [--engine cells|runs|auto]\n\
+                 \u{20}      snakes drift [--records N] [--epochs E] [--changes C] \
+                 [--magnitude M] [--seed S] [--measure] [--threads N] \
+                 [--engine cells|runs|auto]\n\
                  any command also accepts --stats (append a metrics trailer line)"
             );
             std::process::exit(2);

@@ -434,6 +434,276 @@ pub fn k_best_lattice_paths(
     out
 }
 
+/// The result of one [`IncrementalDp::reoptimize`] call.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The optimal monotone lattice path for the supplied workload —
+    /// identical to what [`optimal_lattice_path`] returns for it, whether
+    /// or not the warm restart fired (see [`IncrementalDp`]).
+    pub path: LatticePath,
+    /// Its expected cost under the supplied workload. On a warm restart
+    /// this is the linear re-pricing `Σ_u p_u · dist_P(u)` (the model's
+    /// [`CostModel::expected_cost`]); on a full run it is the DP's cost.
+    pub cost: f64,
+    /// Whether the previous optimum was reused (warm restart) instead of
+    /// re-running the full DP.
+    pub reused: bool,
+    /// The certified bound `Σ_u |μ′_u − c·μ_u| · (max_P dist_P(u) − 1)` on
+    /// how much any *pairwise cost difference* between paths can have
+    /// shifted since the anchor workload `μ`, after factoring out the best
+    /// uniform rescaling `c` (path ranking is invariant under positive
+    /// rescaling, so renormalization drift is free). Zero on a full run
+    /// (the anchor is reset to the supplied workload).
+    pub shift_bound: f64,
+    /// The optimality margin at the anchor: second-best full-path cost
+    /// minus best. Infinite when the lattice admits a single path.
+    pub gap: f64,
+}
+
+/// State retained from the last full DP run.
+#[derive(Debug, Clone)]
+struct WarmState {
+    /// Per-class probabilities of the anchor workload.
+    anchor: Vec<f64>,
+    /// The optimal path at the anchor.
+    path: LatticePath,
+    /// `dist_P(u)` per class rank of that path — workload-independent, so a
+    /// new workload is priced by one dot product.
+    dist: Vec<f64>,
+    /// Second-best minus best full-path cost at the anchor.
+    gap: f64,
+    /// Absolute scale of the anchor cost, used to size the float-safety
+    /// margin in the reuse test.
+    cost_scale: f64,
+}
+
+/// Warm-restarting wrapper around [`optimal_lattice_path`] for workload
+/// drift: `reoptimize` reuses the previous optimum when a *stability
+/// certificate* proves it still uniquely optimal, and falls back to the
+/// full DP otherwise.
+///
+/// The certificate is exact, not heuristic. Costs are linear in the
+/// workload — `cost_μ(P) = Σ_u μ_u · dist_P(u)` with `dist_P(u) ∈
+/// [1, len(⊥ → u)]` independent of `μ` — and path *ranking* is invariant
+/// under positive rescaling of `μ`. So decompose the drifted workload as
+/// `μ′ = c·μ + r` for the `c > 0` minimizing the weighted residual (a
+/// weighted-median choice; sparse deltas plus renormalization give a tiny
+/// `r` no matter how the normalizing constant moved). For any paths `P`,
+/// `P*`:
+///
+/// ```text
+/// cost_μ′(P) − cost_μ′(P*) = c·(cost_μ(P) − cost_μ(P*)) + Σ_u r_u·(dist_P(u) − dist_P*(u))
+///                          ≥ c·gap − Σ_u |r_u|·(len(⊥ → u) − 1)
+/// ```
+///
+/// since both dists live in `[1, len(⊥ → u)]`. If the anchor optimum beat
+/// the runner-up by `gap` with `c·gap > S = Σ_u |r_u|·(len(⊥ → u) − 1)`
+/// (plus a float-safety margin), it remains the strictly unique optimum at
+/// `μ′`, and the full DP — which breaks exact ties deterministically but
+/// is otherwise pinned by strict inequalities — would return the same
+/// path. Ties (`gap = 0`) and near-ties therefore always take the full-DP
+/// branch, which is what makes the warm restart safe to substitute for
+/// [`optimal_lattice_path`] anywhere (see `tests/incremental_differential.rs`).
+///
+/// ```
+/// use snakes_core::prelude::*;
+/// use snakes_core::workload::{WeightUpdate, WorkloadDelta};
+///
+/// let schema = StarSchema::paper_toy();
+/// let model = CostModel::of_schema(&schema);
+/// let mut inc = IncrementalDp::new(model);
+/// let w = Workload::uniform(inc.model().shape().clone());
+/// let first = inc.reoptimize(&w);
+/// assert!(!first.reused); // nothing to warm-start from
+/// let delta = WorkloadDelta::new(vec![WeightUpdate { rank: 0, weight: 0.112 }]).unwrap();
+/// let drifted = w.apply_delta(&delta).unwrap();
+/// let second = inc.reoptimize(&drifted);
+/// assert_eq!(second.path, first.path); // tiny drift: optimum certified stable
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDp {
+    model: CostModel,
+    /// `len(⊥ → u)` per class rank: the workload-independent upper bound on
+    /// `dist_P(u)` over all paths.
+    dmax: Vec<f64>,
+    state: Option<WarmState>,
+    reuses: u64,
+    full_runs: u64,
+}
+
+/// Relative float-safety margin subtracted from the certificate gap: the
+/// DP, the k-best runner-up cost, and the shift bound are each computed in
+/// floating point, so the reuse test demands daylight far above their
+/// rounding noise (~1e-13 relative) before trusting the certificate.
+const GAP_SAFETY: f64 = 1e-9;
+
+impl IncrementalDp {
+    /// Wraps a cost model with no warm state; the first `reoptimize` is a
+    /// full run.
+    pub fn new(model: CostModel) -> Self {
+        let shape = model.shape().clone();
+        let bottom = shape.bottom();
+        let dmax = (0..shape.num_classes())
+            .map(|r| model.len_between(&bottom, &shape.unrank(r)))
+            .collect();
+        Self {
+            model,
+            dmax,
+            state: None,
+            reuses: 0,
+            full_runs: 0,
+        }
+    }
+
+    /// The wrapped cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Warm restarts fired so far.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Full DP runs so far.
+    pub fn full_runs(&self) -> u64 {
+        self.full_runs
+    }
+
+    /// Drops the warm state, forcing the next `reoptimize` to run the full
+    /// DP (e.g. after the cost model's physical grid is reorganized).
+    pub fn invalidate(&mut self) {
+        self.state = None;
+    }
+
+    /// Returns the optimal lattice path for `workload`, warm-starting from
+    /// the previous optimum when the stability certificate allows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the workload's lattice differs from the model's.
+    pub fn reoptimize(&mut self, workload: &Workload) -> IncrementalOutcome {
+        debug_assert_eq!(
+            workload.shape(),
+            self.model.shape(),
+            "workload lattice mismatch"
+        );
+        let probs = workload.probs();
+        if let Some(s) = &self.state {
+            let (c, shift) = best_scaling(probs, &s.anchor, &self.dmax);
+            let margin = GAP_SAFETY * (1.0 + c * s.cost_scale + shift);
+            // `c * s.gap` with an infinite gap: a single-path lattice can
+            // never change its optimum, so any positive scale certifies
+            // (and `c > 0.0` guards the 0 · ∞ = NaN corner).
+            if c > 0.0 && shift + margin < c * s.gap {
+                self.reuses += 1;
+                // Linear re-pricing off the stored dist vector: the same
+                // values and accumulation order as
+                // `CostModel::expected_cost`, so the result is bit-identical
+                // to re-measuring the path — just O(|L|) instead of a
+                // departure-point walk per class.
+                let mut cost = 0.0;
+                for (r, p) in workload.support_by_rank() {
+                    cost += p * s.dist[r];
+                }
+                return IncrementalOutcome {
+                    path: s.path.clone(),
+                    cost,
+                    reused: true,
+                    shift_bound: shift,
+                    gap: s.gap,
+                };
+            }
+        }
+        self.full_runs += 1;
+        let dp = optimal_lattice_path(&self.model, workload);
+        let ranked = k_best_lattice_paths(&self.model, workload, 2);
+        let gap = if ranked.len() < 2 {
+            f64::INFINITY
+        } else {
+            ranked[1].1 - ranked[0].1
+        };
+        let dist = self.model.class_costs(&dp.path);
+        self.state = Some(WarmState {
+            anchor: probs.to_vec(),
+            path: dp.path.clone(),
+            dist,
+            gap,
+            cost_scale: dp.cost.abs(),
+        });
+        IncrementalOutcome {
+            path: dp.path,
+            cost: dp.cost,
+            reused: false,
+            shift_bound: 0.0,
+            gap,
+        }
+    }
+
+    /// The previous optimum's per-class `dist_P(u)` vector, when warm state
+    /// exists — the workload-independent half of the cost, exposed so
+    /// callers can re-price candidate workloads without touching the DP.
+    pub fn warm_dist(&self) -> Option<&[f64]> {
+        self.state.as_ref().map(|s| s.dist.as_slice())
+    }
+}
+
+/// The scale-invariant drift decomposition `μ′ = c·μ + r`: returns the
+/// `c ≥ 0` minimizing the certified shift `Σ_u |μ′_u − c·μ_u| ·
+/// (dmax_u − 1)`, together with that minimum.
+///
+/// The objective is a weighted L1 distance `Σ_u w_u·|ρ_u − c|` over the
+/// per-rank ratios `ρ_u = μ′_u / μ_u` with weights `w_u = μ_u·(dmax_u −
+/// 1)` (ranks with `μ_u = 0` contribute a `c`-independent constant), so
+/// the minimizer is a weighted median of the ratios. This is what makes
+/// the certificate immune to renormalization: a sparse delta rescales
+/// every untouched rank by the same factor, the median recovers that
+/// factor exactly, and only the touched ranks' residuals remain.
+fn best_scaling(probs: &[f64], anchor: &[f64], dmax: &[f64]) -> (f64, f64) {
+    let mut ratios: Vec<(f64, f64)> = Vec::with_capacity(anchor.len());
+    let mut total_weight = 0.0;
+    for ((p, a), m) in probs.iter().zip(anchor).zip(dmax) {
+        let w = a * (m - 1.0);
+        if w > 0.0 {
+            ratios.push((p / a, w));
+            total_weight += w;
+        }
+    }
+    let c = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let mut acc = 0.0;
+        let mut median = ratios[ratios.len() - 1].0;
+        for &(r, w) in &ratios {
+            acc += w;
+            if acc >= 0.5 * total_weight {
+                median = r;
+                break;
+            }
+        }
+        median
+    };
+    let shift = probs
+        .iter()
+        .zip(anchor)
+        .zip(dmax)
+        .map(|((p, a), m)| (p - c * a).abs() * (m - 1.0).max(0.0))
+        .sum();
+    (c, shift)
+}
+
+/// One-shot convenience over [`IncrementalDp`]: re-optimizes `workload`
+/// given the previous optimum's state, returning the outcome and the state
+/// to carry to the next epoch. Callers holding the engine across many
+/// epochs should use [`IncrementalDp`] directly.
+pub fn optimal_lattice_path_incremental(
+    engine: &mut IncrementalDp,
+    workload: &Workload,
+) -> IncrementalOutcome {
+    engine.reoptimize(workload)
+}
+
 /// Exhaustive optimal path by enumerating every monotone lattice path — for
 /// validation and tests only (the path count is the multinomial
 /// `(Σ ℓ_d)! / Π ℓ_d!`).
@@ -686,6 +956,93 @@ mod tests {
         let w = Workload::uniform(s);
         let top = k_best_lattice_paths(&m, &w, 100);
         assert_eq!(top.len(), 6); // C(4, 2) paths on the toy lattice
+    }
+
+    #[test]
+    fn incremental_matches_scratch_under_drift() {
+        use crate::workload::{WeightUpdate, WorkloadDelta};
+        let (m, s) = toy();
+        let mut inc = IncrementalDp::new(m.clone());
+        let mut w = Workload::uniform(s.clone());
+        // A deterministic drift sequence mixing tiny and large updates so
+        // both branches (reuse and fallback) fire.
+        let weights = [0.112, 0.5, 0.111, 0.9, 0.109, 0.108];
+        for (i, &wt) in weights.iter().enumerate() {
+            let delta = WorkloadDelta::new(vec![WeightUpdate {
+                rank: i % s.num_classes(),
+                weight: wt,
+            }])
+            .unwrap();
+            w = w.apply_delta(&delta).unwrap();
+            let out = inc.reoptimize(&w);
+            let scratch = optimal_lattice_path(&m, &w);
+            assert_eq!(out.path, scratch.path, "epoch {i}: paths diverge");
+            assert!(
+                (out.cost - scratch.cost).abs() < 1e-9,
+                "epoch {i}: {} vs {}",
+                out.cost,
+                scratch.cost
+            );
+        }
+        assert_eq!(inc.reuses() + inc.full_runs(), weights.len() as u64);
+    }
+
+    #[test]
+    fn incremental_reuses_on_tiny_drift_and_rebuilds_on_large() {
+        use crate::workload::{WeightUpdate, WorkloadDelta};
+        // Asymmetric fanouts so the uniform optimum is unique (the paper
+        // toy's symmetry ties the two mirror paths, gap 0, and a tie must
+        // never be warm-restarted).
+        let s = LatticeShape::new(vec![2, 1, 2]);
+        let m = CostModel::new(s.clone(), vec![vec![3.0, 2.0], vec![2.0], vec![2.0, 5.0]]);
+        let mut inc = IncrementalDp::new(m.clone());
+        // Irregular weights so no two paths tie.
+        let n = s.num_classes();
+        let w = Workload::from_weights(s.clone(), (0..n).map(|r| 1.0 + r as f64 * 0.13).collect())
+            .unwrap();
+        let first = inc.reoptimize(&w);
+        assert!(!first.reused, "first call has no warm state");
+        assert!(
+            first.gap.is_finite() && first.gap > 0.0,
+            "test needs a unique optimum, gap {}",
+            first.gap
+        );
+        // A perturbation far inside the stability radius cannot overcome
+        // the gap: scale it by the worst-case distance bound len(⊥ → ⊤).
+        let dmax_top = m.len_between(&s.bottom(), &s.top());
+        let tiny = WeightUpdate {
+            rank: 0,
+            weight: w.prob_by_rank(0) + first.gap / (1000.0 * dmax_top),
+        };
+        let tiny = WorkloadDelta::new(vec![tiny]).unwrap();
+        let out = inc.reoptimize(&w.apply_delta(&tiny).unwrap());
+        assert!(out.reused);
+        assert!(out.shift_bound > 0.0 && 2.0 * out.shift_bound < out.gap);
+        // Slamming all mass onto one off-path class forces a full rerun.
+        let point = Workload::point(s.clone(), &s.unrank(s.num_classes() - 2)).unwrap();
+        let out = inc.reoptimize(&point);
+        assert!(!out.reused);
+        assert_eq!(inc.reuses(), 1);
+        assert_eq!(inc.full_runs(), 2);
+        // Invalidation drops the warm state.
+        inc.invalidate();
+        assert!(inc.warm_dist().is_none());
+        assert!(!inc.reoptimize(&point).reused);
+    }
+
+    #[test]
+    fn incremental_single_path_lattice_always_reuses() {
+        // One dimension → one path → infinite gap: every drift reuses.
+        let shape = LatticeShape::new(vec![3]);
+        let m = CostModel::new(shape.clone(), vec![vec![2.0, 3.0, 4.0]]);
+        let mut inc = IncrementalDp::new(m);
+        let w = Workload::uniform(shape.clone());
+        assert!(!inc.reoptimize(&w).reused);
+        let p = Workload::point(shape.clone(), &shape.top()).unwrap();
+        let out = optimal_lattice_path_incremental(&mut inc, &p);
+        assert!(out.reused);
+        assert_eq!(out.gap, f64::INFINITY);
+        assert!((out.cost - 1.0).abs() < 1e-12);
     }
 
     #[test]

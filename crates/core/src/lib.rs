@@ -74,7 +74,8 @@ pub mod prelude {
     pub use crate::dimension::{DimensionTable, Member};
     pub use crate::dp::{
         k_best_lattice_paths, optimal_lattice_path, optimal_lattice_path_2d,
-        optimal_lattice_path_through, DpResult,
+        optimal_lattice_path_incremental, optimal_lattice_path_through, DpResult, IncrementalDp,
+        IncrementalOutcome,
     };
     pub use crate::error::{Error, Result};
     pub use crate::explain::{explain, ClassContribution, CostExplanation};
@@ -90,5 +91,7 @@ pub mod prelude {
         snaked_expected_cost,
     };
     pub use crate::stats::{DecayingEstimator, WorkloadEstimator};
-    pub use crate::workload::{bias_family, LevelBias, Workload};
+    pub use crate::workload::{
+        bias_family, LevelBias, VersionedWorkload, WeightUpdate, Workload, WorkloadDelta,
+    };
 }

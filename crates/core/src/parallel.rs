@@ -148,6 +148,7 @@ pub mod metrics {
     static PACK_NANOS: AtomicU64 = AtomicU64::new(0);
     static MEASURE_NANOS: AtomicU64 = AtomicU64::new(0);
     static SEARCH_NANOS: AtomicU64 = AtomicU64::new(0);
+    static DP_NANOS: AtomicU64 = AtomicU64::new(0);
 
     /// A wall-time bucket for [`PhaseTimer`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +159,8 @@ pub mod metrics {
         Measure,
         /// Adversarial / combinatorial search (2-opt, brute force).
         Search,
+        /// Lattice-path optimization (full DP or warm restart).
+        Dp,
     }
 
     fn phase_cell(phase: Phase) -> &'static AtomicU64 {
@@ -165,6 +168,7 @@ pub mod metrics {
             Phase::Pack => &PACK_NANOS,
             Phase::Measure => &MEASURE_NANOS,
             Phase::Search => &SEARCH_NANOS,
+            Phase::Dp => &DP_NANOS,
         }
     }
 
@@ -251,6 +255,8 @@ pub mod metrics {
         pub measure_nanos: u64,
         /// Wall nanoseconds spent in combinatorial search.
         pub search_nanos: u64,
+        /// Wall nanoseconds spent optimizing lattice paths.
+        pub dp_nanos: u64,
     }
 
     impl MetricsSnapshot {
@@ -274,6 +280,7 @@ pub mod metrics {
                 pack_nanos: self.pack_nanos.saturating_sub(earlier.pack_nanos),
                 measure_nanos: self.measure_nanos.saturating_sub(earlier.measure_nanos),
                 search_nanos: self.search_nanos.saturating_sub(earlier.search_nanos),
+                dp_nanos: self.dp_nanos.saturating_sub(earlier.dp_nanos),
             }
         }
     }
@@ -291,6 +298,7 @@ pub mod metrics {
             pack_nanos: PACK_NANOS.load(Ordering::Relaxed),
             measure_nanos: MEASURE_NANOS.load(Ordering::Relaxed),
             search_nanos: SEARCH_NANOS.load(Ordering::Relaxed),
+            dp_nanos: DP_NANOS.load(Ordering::Relaxed),
         }
     }
 
@@ -306,6 +314,7 @@ pub mod metrics {
         PACK_NANOS.store(0, Ordering::Relaxed);
         MEASURE_NANOS.store(0, Ordering::Relaxed);
         SEARCH_NANOS.store(0, Ordering::Relaxed);
+        DP_NANOS.store(0, Ordering::Relaxed);
     }
 }
 

@@ -391,6 +391,33 @@ impl StarSchema {
         self.dims.iter().map(|h| h.levels() + 1).product()
     }
 
+    /// A structural fingerprint of the schema: an FNV-1a hash over the
+    /// dimension count and every per-dimension fanout. Two schemas with the
+    /// same fingerprint induce the same grid, the same class lattice, *and*
+    /// the same hierarchy boundaries (the inputs to crossing-signature
+    /// counting), so caches keyed on it cannot alias schemas that price
+    /// differently. Names and level labels are deliberately excluded —
+    /// they never affect costs.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.dims.len() as u64);
+        for dim in &self.dims {
+            mix(dim.levels() as u64);
+            for &f in dim.fanouts() {
+                mix(f);
+            }
+        }
+        h
+    }
+
     /// A human-readable description of a query class, using level labels:
     /// `(jeans: type, location: state)`.
     ///

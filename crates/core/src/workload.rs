@@ -325,6 +325,141 @@ impl Workload {
             probs,
         })
     }
+
+    /// Applies a sparse [`WorkloadDelta`]: the listed classes' probabilities
+    /// are replaced by the delta's weights (the untouched classes keep their
+    /// current probabilities as weights) and the whole vector is
+    /// renormalized. Returns a new workload; `self` is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] if an update rank is out of
+    /// bounds or the updated weight vector is all zero.
+    pub fn apply_delta(&self, delta: &WorkloadDelta) -> Result<Workload> {
+        let mut weights = self.probs.clone();
+        for u in delta.updates() {
+            if u.rank >= weights.len() {
+                return Err(Error::InvalidWorkload(format!(
+                    "delta touches class rank {} but the lattice has {} classes",
+                    u.rank,
+                    weights.len()
+                )));
+            }
+            weights[u.rank] = u.weight;
+        }
+        Workload::from_weights(self.shape.clone(), weights)
+    }
+}
+
+/// One sparse update: class `rank` gets (unnormalized) weight `weight`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightUpdate {
+    /// Dense class rank ([`LatticeShape::rank`]).
+    pub rank: usize,
+    /// New non-negative weight for the class, in the same units as the
+    /// untouched classes' current probabilities.
+    pub weight: f64,
+}
+
+/// A sparse workload update: new weights for a few classes, applied by
+/// [`Workload::apply_delta`] with renormalization over the full vector.
+/// This is the drift primitive of the incremental re-optimization engine —
+/// an epoch of observed traffic shifts a handful of class frequencies, and
+/// the optimizer re-prices without rebuilding anything workload-independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadDelta {
+    updates: Vec<WeightUpdate>,
+}
+
+impl WorkloadDelta {
+    /// Builds a delta from `(rank, weight)` updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWorkload`] on a negative or non-finite
+    /// weight, or on duplicate ranks (the intent would be ambiguous).
+    pub fn new(updates: Vec<WeightUpdate>) -> Result<Self> {
+        let mut updates = updates;
+        if updates
+            .iter()
+            .any(|u| !u.weight.is_finite() || u.weight < 0.0)
+        {
+            return Err(Error::InvalidWorkload(
+                "delta weights must be finite and non-negative".into(),
+            ));
+        }
+        updates.sort_by_key(|u| u.rank);
+        if updates.windows(2).any(|w| w[0].rank == w[1].rank) {
+            return Err(Error::InvalidWorkload(
+                "delta lists the same class rank twice".into(),
+            ));
+        }
+        Ok(Self { updates })
+    }
+
+    /// The updates, sorted by class rank.
+    pub fn updates(&self) -> &[WeightUpdate] {
+        &self.updates
+    }
+
+    /// Number of classes touched.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the delta touches no class (applying it renormalizes only).
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// A workload with a monotonically increasing version, advanced by applying
+/// [`WorkloadDelta`]s. The version lets downstream caches (the incremental
+/// DP, sweep evaluators) detect "same workload object, new distribution"
+/// without comparing probability vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionedWorkload {
+    current: Workload,
+    version: u64,
+}
+
+impl VersionedWorkload {
+    /// Wraps an initial workload at version 0.
+    pub fn new(initial: Workload) -> Self {
+        Self {
+            current: initial,
+            version: 0,
+        }
+    }
+
+    /// The current distribution.
+    pub fn workload(&self) -> &Workload {
+        &self.current
+    }
+
+    /// The current version (number of successfully applied deltas).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Applies a delta, bumping the version on success. Returns the
+    /// total-variation distance drifted, a convenient per-epoch drift
+    /// magnitude for logs and re-optimization policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`Workload::apply_delta`] error; the version
+    /// and distribution are unchanged on failure.
+    pub fn apply(&mut self, delta: &WorkloadDelta) -> Result<f64> {
+        let next = self.current.apply_delta(delta)?;
+        let tv = self
+            .current
+            .total_variation(&next)
+            .expect("apply_delta preserves the lattice");
+        self.current = next;
+        self.version += 1;
+        Ok(tv)
+    }
 }
 
 /// The three per-dimension level distributions of §6.2.
@@ -590,5 +725,62 @@ mod tests {
         let json = serde_json::to_string(&w).unwrap();
         let back: Workload = serde_json::from_str(&json).unwrap();
         assert_eq!(w, back);
+    }
+
+    fn upd(rank: usize, weight: f64) -> WeightUpdate {
+        WeightUpdate { rank, weight }
+    }
+
+    #[test]
+    fn apply_delta_renormalizes() {
+        // Uniform over 9 classes; doubling one class's weight to 2/9 gives
+        // it 2/10 of the renormalized mass and every other class 1/10.
+        let w = Workload::uniform(toy_shape());
+        let d = WorkloadDelta::new(vec![upd(4, 2.0 / 9.0)]).unwrap();
+        let next = w.apply_delta(&d).unwrap();
+        assert!((next.prob_by_rank(4) - 0.2).abs() < 1e-12);
+        assert!((next.prob_by_rank(0) - 0.1).abs() < 1e-12);
+        let s: f64 = next.probs().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Zeroing a class removes it from the support.
+        let z = WorkloadDelta::new(vec![upd(4, 0.0)]).unwrap();
+        assert_eq!(next.apply_delta(&z).unwrap().prob_by_rank(4), 0.0);
+    }
+
+    #[test]
+    fn delta_validation() {
+        assert!(WorkloadDelta::new(vec![upd(0, -1.0)]).is_err());
+        assert!(WorkloadDelta::new(vec![upd(0, f64::NAN)]).is_err());
+        assert!(WorkloadDelta::new(vec![upd(1, 0.5), upd(1, 0.7)]).is_err());
+        let w = Workload::uniform(toy_shape());
+        // Out-of-bounds rank rejected at application time.
+        let oob = WorkloadDelta::new(vec![upd(99, 0.5)]).unwrap();
+        assert!(w.apply_delta(&oob).is_err());
+        // Zeroing every class leaves nothing to normalize.
+        let point = Workload::point(toy_shape(), &Class(vec![0, 0])).unwrap();
+        let kill = WorkloadDelta::new(vec![upd(0, 0.0)]).unwrap();
+        assert!(point.apply_delta(&kill).is_err());
+    }
+
+    #[test]
+    fn versioned_workload_tracks_drift() {
+        let mut v = VersionedWorkload::new(Workload::uniform(toy_shape()));
+        assert_eq!(v.version(), 0);
+        let tv0 = v
+            .apply(&WorkloadDelta::new(vec![]).unwrap())
+            .expect("empty delta renormalizes only");
+        assert!(tv0 < 1e-12, "renormalization noise only, got {tv0}");
+        assert_eq!(v.version(), 1);
+        let tv = v
+            .apply(&WorkloadDelta::new(vec![upd(0, 1.0)]).unwrap())
+            .unwrap();
+        assert!(tv > 0.0);
+        assert_eq!(v.version(), 2);
+        // A failing delta leaves version and distribution untouched.
+        let before = v.workload().clone();
+        let oob = WorkloadDelta::new(vec![upd(99, 0.5)]).unwrap();
+        assert!(v.apply(&oob).is_err());
+        assert_eq!(v.version(), 2);
+        assert_eq!(v.workload(), &before);
     }
 }

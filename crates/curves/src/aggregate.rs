@@ -30,17 +30,32 @@
 //! [`crate::fragments::class_average_cost`], not merely close.
 
 use crate::Linearization;
+use serde::{Deserialize, Serialize};
 use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::parallel::metrics;
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
+use std::collections::HashMap;
 
 /// Exact per-class fragment totals for every class of the lattice,
 /// produced by one pass over the curve ([`aggregate_class_costs`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// This is the *crossing-signature table* of the incremental
+/// re-optimization engine: everything in it is workload-independent
+/// geometry (the curve walk fixes which edges cross which hierarchy
+/// boundaries), so once built — or fetched from a [`SignatureCache`] — any
+/// workload is priced by the O(|L|) dot product [`Self::expected_cost`]
+/// with results bit-identical to a fresh walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WholeLatticeCosts {
     shape: LatticeShape,
     num_cells: u64,
-    /// Curve edges internal to class-`r` subgrids, by class rank.
+    /// Raw edge counts by crossing signature (before the prefix sum):
+    /// `signature[σ]` is the number of curve edges whose crossed hierarchy
+    /// level is exactly `σ_d` in every dimension `d`.
+    signature: Vec<u64>,
+    /// Curve edges internal to class-`r` subgrids, by class rank
+    /// (`Σ_{σ ≤ r} signature[σ]`).
     internal: Vec<u64>,
     /// Number of subgrid queries in class `r`, by class rank.
     queries: Vec<u64>,
@@ -84,6 +99,7 @@ pub fn aggregate_class_costs(schema: &StarSchema, lin: &impl Linearization) -> W
         counts[idx] += 1;
         std::mem::swap(&mut prev, &mut cur);
     }
+    let signature = counts.clone();
 
     // In-place k-dimensional prefix sum: counts[u] becomes
     // Σ_{σ ≤ u componentwise} counts[σ] = internal_edges(u). Ascending
@@ -113,6 +129,7 @@ pub fn aggregate_class_costs(schema: &StarSchema, lin: &impl Linearization) -> W
     WholeLatticeCosts {
         shape,
         num_cells: n,
+        signature,
         internal: counts,
         queries,
     }
@@ -171,6 +188,236 @@ impl WholeLatticeCosts {
             .support_by_rank()
             .map(|(r, p)| p * ((self.num_cells - self.internal[r]) as f64 / self.queries[r] as f64))
             .sum()
+    }
+
+    /// The raw crossing-signature table: entry `σ` (in
+    /// [`LatticeShape::rank`] index space) counts the curve edges whose
+    /// crossed hierarchy level is exactly `σ_d` in each dimension. Sums to
+    /// `num_cells − 1` (every edge has exactly one signature).
+    pub fn signature_counts(&self) -> &[u64] {
+        &self.signature
+    }
+
+    /// Edges with crossing signature exactly `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is out of bounds.
+    pub fn signature_count(&self, sigma: &Class) -> u64 {
+        self.signature[self.shape.rank(sigma)]
+    }
+}
+
+/// Identity of a clustering strategy for [`SignatureCache`] keying.
+///
+/// A signature table is a function of (schema structure, visiting order),
+/// so a cache key must pin the order down. For the structured families the
+/// identity is closed-form and free to compute; for arbitrary curves
+/// [`StrategyId::of_order`] hashes the full visiting order (one `coords`
+/// walk — as expensive as the aggregation itself, so it only pays off when
+/// the table is re-used across processes via [`SignatureCache::to_json`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrategyId {
+    /// The clustering induced by a monotone lattice path, identified by
+    /// its step dimensions, plain or snaked.
+    Path {
+        /// The path's step dimensions (as in `LatticePath::dims`).
+        dims: Vec<usize>,
+        /// Whether the curve is the snaked variant.
+        snaked: bool,
+    },
+    /// A named fixed curve family over the schema's grid (`"hilbert"`,
+    /// `"zorder"`, ...). The caller owns the naming discipline: one name
+    /// per distinct order on a given grid.
+    Named(String),
+    /// A content hash of the full visiting order — safe for arbitrary
+    /// curves.
+    OrderHash(u64),
+}
+
+impl StrategyId {
+    /// Hashes a curve's full visiting order (FNV-1a over every cell
+    /// coordinate in rank order).
+    pub fn of_order(lin: &impl Linearization) -> Self {
+        let mut h = Fnv::new();
+        let k = lin.extents().len();
+        let mut coords = vec![0u64; k];
+        for r in 0..lin.num_cells() {
+            lin.coords(r, &mut coords);
+            for &c in &coords {
+                h.mix(c);
+            }
+        }
+        StrategyId::OrderHash(h.finish())
+    }
+
+    /// The cache-key fragment for this identity — unambiguous and stable
+    /// across processes (used in the serialized cache format).
+    fn key_fragment(&self) -> String {
+        match self {
+            StrategyId::Path { dims, snaked } => {
+                let dims: Vec<String> = dims.iter().map(usize::to_string).collect();
+                let kind = if *snaked { "snaked" } else { "plain" };
+                format!("path:{kind}:{}", dims.join(","))
+            }
+            StrategyId::Named(name) => format!("named:{name}"),
+            StrategyId::OrderHash(h) => format!("order:{h:016x}"),
+        }
+    }
+}
+
+/// Incremental FNV-1a hasher over `u64` words (stable across platforms,
+/// unlike `DefaultHasher`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn mix(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One serialized cache entry (named struct rather than a tuple so the
+/// JSON format is self-describing).
+#[derive(Serialize, Deserialize)]
+struct SignatureEntry {
+    key: String,
+    table: WholeLatticeCosts,
+}
+
+/// Memoized crossing-signature tables, keyed by
+/// `(schema fingerprint, strategy identity)`.
+///
+/// The schema fingerprint ([`StarSchema::fingerprint`]) covers the grid
+/// *and* the hierarchy boundaries, so two schemas sharing a grid but
+/// splitting it differently can never alias. Tables returned by
+/// [`Self::get_or_compute`] are the exact structs a fresh
+/// [`aggregate_class_costs`] walk would build — cache hits are
+/// bit-identical, not approximations.
+///
+/// ```
+/// use snakes_core::prelude::*;
+/// use snakes_curves::{SignatureCache, StrategyId, path_curve};
+///
+/// let schema = StarSchema::paper_toy();
+/// let shape = LatticeShape::of_schema(&schema);
+/// let path = LatticePath::from_dims(shape.clone(), vec![0, 1, 0, 1]).unwrap();
+/// let curve = path_curve(&schema, &path);
+/// let id = StrategyId::Path { dims: path.dims().to_vec(), snaked: false };
+///
+/// let mut cache = SignatureCache::new();
+/// let w = Workload::uniform(shape);
+/// let first = cache.get_or_compute(&schema, &curve, &id).expected_cost(&w);
+/// let again = cache.get_or_compute(&schema, &curve, &id).expected_cost(&w);
+/// assert_eq!(first.to_bits(), again.to_bits());
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SignatureCache {
+    map: HashMap<String, WholeLatticeCosts>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SignatureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(schema: &StarSchema, id: &StrategyId) -> String {
+        format!("{:016x}/{}", schema.fingerprint(), id.key_fragment())
+    }
+
+    /// The signature table for `(schema, id)`, walking the curve only on a
+    /// cache miss. The caller vouches that `id` identifies `lin`'s visiting
+    /// order (use [`StrategyId::of_order`] when in doubt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linearization's grid differs from the schema's.
+    pub fn get_or_compute(
+        &mut self,
+        schema: &StarSchema,
+        lin: &impl Linearization,
+        id: &StrategyId,
+    ) -> &WholeLatticeCosts {
+        let key = Self::key(schema, id);
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                metrics::record_cache_hit();
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                metrics::record_cache_miss();
+                e.insert(aggregate_class_costs(schema, lin))
+            }
+        }
+    }
+
+    /// The cached table for `(schema, id)`, if present.
+    pub fn get(&self, schema: &StarSchema, id: &StrategyId) -> Option<&WholeLatticeCosts> {
+        self.map.get(&Self::key(schema, id))
+    }
+
+    /// Cache hits since construction (or [`Self::from_json`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (i.e. curve walks performed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached tables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Serializes every cached table to JSON (entries sorted by key, so
+    /// the output is deterministic).
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<SignatureEntry> = self
+            .map
+            .iter()
+            .map(|(key, table)| SignatureEntry {
+                key: key.clone(),
+                table: table.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        serde_json::to_string(&entries).expect("signature tables serialize")
+    }
+
+    /// Restores a cache serialized with [`Self::to_json`]. Counters start
+    /// at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let entries: Vec<SignatureEntry> = serde_json::from_str(json)?;
+        Ok(Self {
+            map: entries.into_iter().map(|e| (e.key, e.table)).collect(),
+            hits: 0,
+            misses: 0,
+        })
     }
 }
 
@@ -261,5 +508,108 @@ mod tests {
         let schema = StarSchema::paper_toy();
         let lin = NestedLoops::row_major(vec![2, 2], &[0, 1]);
         aggregate_class_costs(&schema, &lin);
+    }
+
+    #[test]
+    fn signature_counts_sum_to_edge_count() {
+        let schema = StarSchema::paper_toy();
+        let lin = HilbertCurve::square(2);
+        let agg = aggregate_class_costs(&schema, &lin);
+        let total: u64 = agg.signature_counts().iter().sum();
+        assert_eq!(total, schema.num_cells() - 1);
+        // Signature (0,0) counts edges crossing no boundary in either
+        // dimension — impossible for distinct consecutive cells.
+        assert_eq!(
+            agg.signature_count(&snakes_core::lattice::Class(vec![0, 0])),
+            0
+        );
+    }
+
+    #[test]
+    fn cache_hit_is_the_same_table() {
+        let schema = StarSchema::paper_toy();
+        let shape = LatticeShape::of_schema(&schema);
+        let path = LatticePath::from_dims(shape.clone(), vec![0, 0, 1, 1]).unwrap();
+        let mut cache = SignatureCache::new();
+        for snaked in [false, true] {
+            let id = StrategyId::Path {
+                dims: path.dims().to_vec(),
+                snaked,
+            };
+            let fresh = if snaked {
+                aggregate_class_costs(&schema, &snaked_path_curve(&schema, &path))
+            } else {
+                aggregate_class_costs(&schema, &path_curve(&schema, &path))
+            };
+            for _ in 0..3 {
+                let got = if snaked {
+                    cache.get_or_compute(&schema, &snaked_path_curve(&schema, &path), &id)
+                } else {
+                    cache.get_or_compute(&schema, &path_curve(&schema, &path), &id)
+                };
+                assert_eq!(got, &fresh, "cached table must be u64-exact");
+            }
+        }
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn schemas_sharing_a_grid_do_not_alias() {
+        // Both schemas induce an 8-cell line but split it 2×4 vs 4×2 —
+        // different hierarchy boundaries, different signature tables.
+        let a = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("d", vec![2, 4]).unwrap()
+        ])
+        .unwrap();
+        let b = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("d", vec![4, 2]).unwrap()
+        ])
+        .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let lin = NestedLoops::row_major(vec![8], &[0]);
+        let id = StrategyId::Named("line".into());
+        let mut cache = SignatureCache::new();
+        let ta = cache.get_or_compute(&a, &lin, &id).clone();
+        let tb = cache.get_or_compute(&b, &lin, &id).clone();
+        assert_eq!(cache.misses(), 2, "distinct schemas must not share entries");
+        assert_ne!(ta.signature_counts(), tb.signature_counts());
+    }
+
+    #[test]
+    fn order_hash_distinguishes_orders() {
+        let row = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let col = NestedLoops::row_major(vec![4, 4], &[1, 0]);
+        let snake = NestedLoops::boustrophedon(vec![4, 4], &[0, 1]);
+        let ids: Vec<StrategyId> = [&row, &col, &snake]
+            .iter()
+            .map(StrategyId::of_order)
+            .collect();
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2]);
+        assert_eq!(ids[0], StrategyId::of_order(&row), "hash is deterministic");
+    }
+
+    #[test]
+    fn cache_serde_roundtrip_preserves_tables_exactly() {
+        let schema = StarSchema::paper_toy();
+        let mut cache = SignatureCache::new();
+        let hilbert = HilbertCurve::square(2);
+        let z = ZOrderCurve::square(2);
+        cache.get_or_compute(&schema, &hilbert, &StrategyId::Named("hilbert".into()));
+        cache.get_or_compute(&schema, &z, &StrategyId::Named("zorder".into()));
+        let json = cache.to_json();
+        let mut restored = SignatureCache::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!((restored.hits(), restored.misses()), (0, 0));
+        // A hit on the restored cache returns the identical table.
+        let id = StrategyId::Named("hilbert".into());
+        let got = restored.get_or_compute(&schema, &hilbert, &id).clone();
+        assert_eq!(got, aggregate_class_costs(&schema, &hilbert));
+        assert_eq!(restored.hits(), 1);
+        // Deterministic serialization.
+        assert_eq!(json, SignatureCache::from_json(&json).unwrap().to_json());
+        assert!(SignatureCache::from_json("not json").is_err());
     }
 }

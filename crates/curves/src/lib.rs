@@ -31,7 +31,7 @@ pub mod runs;
 pub mod search;
 pub mod zorder;
 
-pub use aggregate::{aggregate_class_costs, WholeLatticeCosts};
+pub use aggregate::{aggregate_class_costs, SignatureCache, StrategyId, WholeLatticeCosts};
 pub use analysis::{
     alternating_paths, hilbert_sandwich_certificate, hilbert_sandwich_pair,
     hilbert_sandwich_pair_with, sandwich_certificate, SandwichCertificate,

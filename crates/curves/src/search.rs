@@ -152,13 +152,28 @@ impl EdgeWeights {
         self.weight[idx]
     }
 
+    /// [`Self::edge_weight`] on canonical cell indices: digits are peeled
+    /// per dimension in place, so no coordinate vector is materialized —
+    /// this is what keeps the 2-opt inner loop allocation-free. Same table
+    /// lookup, bit-identical result.
+    pub fn edge_weight_canonical(&self, mut a: u64, mut b: u64, extents: &[u64]) -> f64 {
+        let mut idx = 0usize;
+        for (d, &e) in extents.iter().enumerate() {
+            let (ca, cb) = (a % e, b % e);
+            a /= e;
+            b /= e;
+            if let Some(l) = self.schema.dim(d).crossing_level(ca, cb) {
+                idx += l * self.strides[d];
+            }
+        }
+        self.weight[idx]
+    }
+
     /// Full cost of an explicit strategy.
     pub fn cost(&self, s: &ExplicitStrategy) -> f64 {
         let mut edge_sum = 0.0;
         for w in s.order.windows(2) {
-            let a = decanonical(w[0], &s.extents);
-            let b = decanonical(w[1], &s.extents);
-            edge_sum += self.edge_weight(&a, &b);
+            edge_sum += self.edge_weight_canonical(w[0], w[1], &s.extents);
         }
         self.base - edge_sum
     }
@@ -198,12 +213,14 @@ pub fn two_opt_search(
         // interior edges reverse direction (same type).
         let delta = {
             let ext = &strategy.extents;
-            let cell = |r: usize| decanonical(strategy.order[r], ext);
-            let mut removed = weights.edge_weight(&cell(i), &cell(i + 1));
-            let mut added = weights.edge_weight(&cell(i), &cell(j));
+            let ew = |x: usize, y: usize| {
+                weights.edge_weight_canonical(strategy.order[x], strategy.order[y], ext)
+            };
+            let mut removed = ew(i, i + 1);
+            let mut added = ew(i, j);
             if j + 1 < n {
-                removed += weights.edge_weight(&cell(j), &cell(j + 1));
-                added += weights.edge_weight(&cell(i + 1), &cell(j + 1));
+                removed += ew(j, j + 1);
+                added += ew(i + 1, j + 1);
             }
             removed - added // cost change: removing weight raises cost
         };
@@ -293,6 +310,34 @@ mod tests {
                     "{p}: {via_weights} vs {via_cv}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn canonical_edge_weight_matches_coordinate_form() {
+        // The allocation-free canonical lookup must agree bit-for-bit with
+        // the coordinate-vector form on every adjacent-rank pair of an
+        // unbalanced 3-D grid.
+        let schema = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("a", vec![3, 2]).unwrap(),
+            snakes_core::schema::Hierarchy::new("b", vec![4]).unwrap(),
+            snakes_core::schema::Hierarchy::new("c", vec![2, 2]).unwrap(),
+        ])
+        .unwrap();
+        let shape = LatticeShape::of_schema(&schema);
+        let w = Workload::uniform(shape);
+        let ew = EdgeWeights::new(&schema, &w);
+        let extents = schema.grid_shape();
+        let curve = NestedLoops::boustrophedon(extents.clone(), &[2, 0, 1]);
+        let s = ExplicitStrategy::from_linearization(&curve);
+        for pair in s.order().windows(2) {
+            let a = decanonical(pair[0], &extents);
+            let b = decanonical(pair[1], &extents);
+            assert_eq!(
+                ew.edge_weight(&a, &b).to_bits(),
+                ew.edge_weight_canonical(pair[0], pair[1], &extents)
+                    .to_bits()
+            );
         }
     }
 

@@ -47,6 +47,7 @@ impl LruCache {
             self.misses += 1;
             self.evict_if_needed();
         }
+        self.compact_if_bloated();
         hit
     }
 
@@ -57,6 +58,21 @@ impl LruCache {
                 self.last_use.remove(&page);
             }
             // Otherwise the entry is stale (page re-accessed later); skip.
+        }
+    }
+
+    /// Drops stale queue entries once they outnumber live ones by 2×
+    /// capacity. Every resident page's *latest* access is a live entry, so
+    /// stale count is `queue.len() − last_use.len()`; without this the
+    /// queue grows with every hit — O(total accesses), not O(capacity).
+    /// Amortized O(1): each compaction scans ≤ 3·capacity entries after at
+    /// least 2·capacity pushes. Relative order of live entries (and hence
+    /// eviction order) is untouched.
+    fn compact_if_bloated(&mut self) {
+        if self.queue.len() - self.last_use.len() > 2 * self.capacity {
+            let last_use = &self.last_use;
+            self.queue
+                .retain(|(page, seq)| last_use.get(page) == Some(seq));
         }
     }
 
@@ -161,5 +177,48 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         LruCache::new(0);
+    }
+
+    #[test]
+    fn queue_stays_bounded_under_hit_heavy_stream() {
+        // A hot working set far under capacity: every access after warmup
+        // is a hit, which is exactly the stream that used to grow the lazy
+        // queue without bound (evictions never ran). The queue must stay
+        // O(capacity) regardless of stream length.
+        let mut c = LruCache::new(16);
+        for p in 0..100_000u64 {
+            c.access(p % 4);
+        }
+        assert_eq!(c.hits(), 100_000 - 4);
+        assert!(
+            c.queue.len() <= 3 * 16 + 1,
+            "queue grew to {} entries for capacity 16",
+            c.queue.len()
+        );
+        // Behaviour is unchanged: eviction order still respects recency.
+        for p in 100..116u64 {
+            c.access(p);
+        }
+        assert!(!c.contains(0), "cold page evicted");
+        assert!(c.contains(115));
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn compaction_preserves_eviction_order() {
+        // Interleave hits and misses so compaction fires mid-stream, then
+        // verify the LRU victim is still the least recently used page.
+        let mut c = LruCache::new(4);
+        for round in 0..1000u64 {
+            c.access(round % 3); // hot trio: 0, 1, 2
+        }
+        c.access(7); // fourth resident
+        c.access(0); // 0 is MRU; LRU order now 1, 2, 7, 0
+        c.access(8); // evicts 1
+        assert!(!c.contains(1));
+        for page in [0, 2, 7, 8] {
+            assert!(c.contains(page), "page {page} should be resident");
+        }
+        assert!(c.queue.len() <= 3 * 4 + 1);
     }
 }

@@ -49,6 +49,9 @@ pub struct PackedLayout {
     /// in the global record sequence; length `num_cells + 1`.
     record_start: Vec<u64>,
     extents: Vec<u64>,
+    /// Content fingerprint computed during the pack walk; see
+    /// [`PackedLayout::fingerprint`].
+    fingerprint: u64,
 }
 
 impl PackedLayout {
@@ -69,17 +72,45 @@ impl PackedLayout {
         let mut record_start = Vec::with_capacity(n as usize + 1);
         let mut acc = 0u64;
         let mut coords = vec![0u64; cells.extents().len()];
+        // Fingerprint accumulates alongside the pack walk (no extra
+        // traversal): geometry, extents, then every visited cell's
+        // coordinates *and* record count. Hashing the coordinates — not
+        // just the per-rank counts — is what pins down the curve itself:
+        // two curves yielding coincidentally equal record_start vectors
+        // still place different cells at each rank and must not collide.
+        let mut fp = Fnv::new();
+        fp.mix(config.page_size);
+        fp.mix(config.record_size);
+        fp.mix(cells.extents().len() as u64);
+        for &e in cells.extents() {
+            fp.mix(e);
+        }
         for r in 0..n {
             record_start.push(acc);
             lin.coords(r, &mut coords);
-            acc += cells.count(&coords);
+            for &c in &coords {
+                fp.mix(c);
+            }
+            let count = cells.count(&coords);
+            fp.mix(count);
+            acc += count;
         }
         record_start.push(acc);
         Self {
             config,
             record_start,
             extents: cells.extents().to_vec(),
+            fingerprint: fp.finish(),
         }
+    }
+
+    /// A content fingerprint of the layout: FNV-1a over the storage
+    /// geometry, the grid extents, and the `(cell coordinates, record
+    /// count)` sequence in visit order. Equal fingerprints mean the same
+    /// data packed the same way by the same curve — the key ingredient of
+    /// the per-class cost memo ([`crate::memo::CostMemo`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The storage geometry.
@@ -140,6 +171,26 @@ impl PackedLayout {
         }
         let rpp = self.config.records_per_page();
         Some((start / rpp, (end - 1) / rpp))
+    }
+}
+
+/// Incremental FNV-1a hasher over `u64` words — stable across platforms
+/// and processes (unlike `DefaultHasher`), so fingerprints can key
+/// persisted caches.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    pub(crate) fn mix(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -209,6 +260,42 @@ mod tests {
         assert_eq!(layout.page_span(0), Some((0, 0)));
         assert_eq!(layout.page_span(1), Some((1, 1)));
         assert_eq!(layout.total_pages(), 4);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_curve_data_and_geometry() {
+        let row = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+        let col = NestedLoops::row_major(vec![4, 4], &[1, 0]);
+        let cells = CellData::from_counts(vec![4, 4], vec![1; 16]);
+        let base = PackedLayout::pack(&row, &cells, tiny_config());
+        // Deterministic across re-packs.
+        assert_eq!(
+            base.fingerprint(),
+            PackedLayout::pack(&row, &cells, tiny_config()).fingerprint()
+        );
+        // A different curve over identical uniform counts produces the
+        // same record_start vector — the fingerprint must still differ,
+        // because each rank holds a different cell.
+        let other = PackedLayout::pack(&col, &cells, tiny_config());
+        assert_eq!(base.record_start, other.record_start);
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        // Different data.
+        let mut skewed = vec![1u64; 16];
+        skewed[3] = 2;
+        let data = CellData::from_counts(vec![4, 4], skewed);
+        assert_ne!(
+            base.fingerprint(),
+            PackedLayout::pack(&row, &data, tiny_config()).fingerprint()
+        );
+        // Different page geometry.
+        let big = StorageConfig {
+            page_size: 1024,
+            record_size: 125,
+        };
+        assert_ne!(
+            base.fingerprint(),
+            PackedLayout::pack(&row, &cells, big).fingerprint()
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * [`file`] — a physical page-structured table file (bulk load + scans);
 //! * [`disk`] — a simple seek/transfer latency model;
 //! * [`cache`] — an LRU page cache (extension beyond the paper);
+//! * [`memo`] — per-class cost memoization keyed by layout fingerprints;
 //! * [`chunks`] — the chunked organization of Deshpande et al. [2] with
 //!   pluggable chunk ordering (the improvement §7 proposes).
 
@@ -26,6 +27,7 @@ pub mod disk;
 pub mod exec;
 pub mod file;
 pub mod layout;
+pub mod memo;
 
 pub use cells::CellData;
 pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
@@ -36,3 +38,4 @@ pub use exec::{
 };
 pub use file::TableFile;
 pub use layout::{PackedLayout, StorageConfig};
+pub use memo::CostMemo;

@@ -1,0 +1,254 @@
+//! Per-class cost memoization across queries and sweep epochs.
+//!
+//! Physically measuring a class ([`class_stats_with`]) enumerates every
+//! query of the class against the packed layout — work that depends only
+//! on `(layout, class, engine)`, not on the workload weighting it. Under
+//! workload drift the layout is typically untouched for many epochs, so a
+//! sweep re-measures identical classes over and over. [`CostMemo`] caches
+//! each measurement behind the layout's content fingerprint
+//! ([`PackedLayout::fingerprint`]) plus the schema's structural
+//! fingerprint, making repeat pricings O(support) lookups while staying
+//! bit-identical: a hit returns the exact `ClassStats` the measurement
+//! produced, and [`CostMemo::workload_stats`] reduces in the same rank
+//! order as [`crate::exec::workload_stats_engine`].
+
+use crate::exec::{class_stats_with, ClassStats, EvalEngine, WorkloadStats};
+use crate::layout::PackedLayout;
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::parallel::metrics;
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::Workload;
+use snakes_curves::Linearization;
+use std::collections::HashMap;
+
+/// Cache key: what a physical class measurement actually depends on.
+///
+/// The layout fingerprint covers the storage geometry, the grid, and the
+/// `(cell, count)` sequence in visit order — i.e. the curve and the data.
+/// The schema fingerprint pins the hierarchy boundaries that define the
+/// class's queries. `runs` is the *resolved* engine
+/// ([`EvalEngine::uses_runs`]), so `Auto` shares entries with whichever
+/// concrete engine it resolves to — they are the same measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    schema: u64,
+    layout: u64,
+    class: usize,
+    runs: bool,
+}
+
+/// A memo of per-class physical measurements keyed by
+/// `(layout fingerprint, class, engine)`.
+///
+/// ```
+/// use snakes_core::prelude::*;
+/// use snakes_curves::NestedLoops;
+/// use snakes_storage::{CellData, CostMemo, EvalEngine, PackedLayout, StorageConfig};
+///
+/// let schema = StarSchema::paper_toy();
+/// let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
+/// let cells = CellData::from_counts(vec![4, 4], vec![2; 16]);
+/// let layout = PackedLayout::pack(&lin, &cells, StorageConfig::PAPER);
+/// let shape = LatticeShape::of_schema(&schema);
+/// let w = Workload::uniform(shape);
+///
+/// let mut memo = CostMemo::new();
+/// let first = memo.workload_stats(&schema, &lin, &layout, &w, EvalEngine::Auto);
+/// let again = memo.workload_stats(&schema, &lin, &layout, &w, EvalEngine::Auto);
+/// assert_eq!(first, again);
+/// assert_eq!(memo.misses(), 9); // 9 classes measured once ...
+/// assert_eq!(memo.hits(), 9);   // ... then all served from the memo
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CostMemo {
+    map: HashMap<MemoKey, ClassStats>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CostMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`class_stats_with`], memoized. A hit returns a clone of the stored
+    /// measurement — bit-identical to re-measuring, since the measurement
+    /// is a pure function of the key.
+    ///
+    /// # Panics
+    ///
+    /// As [`class_stats_with`].
+    pub fn class_stats(
+        &mut self,
+        schema: &StarSchema,
+        lin: &impl Linearization,
+        layout: &PackedLayout,
+        class: &Class,
+        engine: EvalEngine,
+    ) -> ClassStats {
+        let key = MemoKey {
+            schema: schema.fingerprint(),
+            layout: layout.fingerprint(),
+            class: LatticeShape::of_schema(schema).rank(class),
+            runs: engine.uses_runs(lin),
+        };
+        if let Some(stats) = self.map.get(&key) {
+            self.hits += 1;
+            metrics::record_cache_hit();
+            return stats.clone();
+        }
+        self.misses += 1;
+        metrics::record_cache_miss();
+        let stats = class_stats_with(schema, lin, layout, class, engine);
+        self.map.insert(key, stats.clone());
+        stats
+    }
+
+    /// Workload-level expectations off memoized class measurements:
+    /// the same support filter, rank order, and probability-weighted
+    /// reduction as [`crate::exec::workload_stats_engine`], so the result
+    /// is bit-identical to the serial unmemoized path.
+    ///
+    /// # Panics
+    ///
+    /// As [`class_stats_with`], plus (debug) a workload lattice mismatch.
+    pub fn workload_stats(
+        &mut self,
+        schema: &StarSchema,
+        lin: &impl Linearization,
+        layout: &PackedLayout,
+        workload: &Workload,
+        engine: EvalEngine,
+    ) -> WorkloadStats {
+        let shape = LatticeShape::of_schema(schema);
+        debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
+        let live: Vec<(usize, f64)> = workload.support_by_rank().collect();
+        let mut per_class = Vec::with_capacity(live.len());
+        let mut blocks = 0.0;
+        let mut seeks = 0.0;
+        for &(r, p) in &live {
+            let stats = self.class_stats(schema, lin, layout, &shape.unrank(r), engine);
+            blocks += p * stats.avg_normalized_blocks;
+            seeks += p * stats.avg_seeks;
+            per_class.push(stats);
+        }
+        WorkloadStats {
+            avg_normalized_blocks: blocks,
+            avg_seeks: seeks,
+            per_class,
+        }
+    }
+
+    /// Memo hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo misses (i.e. physical measurements performed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoized class measurements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry (counters keep running) — call after rewriting
+    /// data in place if layout fingerprints could be stale.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellData;
+    use crate::exec::workload_stats_engine;
+    use crate::layout::StorageConfig;
+    use snakes_core::parallel::ParallelConfig;
+    use snakes_curves::NestedLoops;
+
+    fn setup() -> (StarSchema, NestedLoops, PackedLayout, Workload) {
+        let schema = StarSchema::paper_toy();
+        let lin = NestedLoops::boustrophedon(vec![4, 4], &[0, 1]);
+        let counts: Vec<u64> = (0..16).map(|i| (i * 7 + 3) % 5).collect();
+        let cells = CellData::from_counts(vec![4, 4], counts);
+        let layout = PackedLayout::pack(
+            &lin,
+            &cells,
+            StorageConfig {
+                page_size: 512,
+                record_size: 125,
+            },
+        );
+        let shape = LatticeShape::of_schema(&schema);
+        let w = Workload::uniform(shape);
+        (schema, lin, layout, w)
+    }
+
+    #[test]
+    fn memoized_stats_bit_identical_to_direct() {
+        let (schema, lin, layout, w) = setup();
+        let mut memo = CostMemo::new();
+        for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+            let direct =
+                workload_stats_engine(&schema, &lin, &layout, &w, ParallelConfig::serial(), engine);
+            let via_memo = memo.workload_stats(&schema, &lin, &layout, &w, engine);
+            assert_eq!(direct, via_memo);
+            assert_eq!(
+                direct.avg_normalized_blocks.to_bits(),
+                via_memo.avg_normalized_blocks.to_bits()
+            );
+            // And again, now fully from the memo.
+            let hits_before = memo.hits();
+            let replay = memo.workload_stats(&schema, &lin, &layout, &w, engine);
+            assert_eq!(direct, replay);
+            assert_eq!(memo.hits(), hits_before + 9);
+        }
+        // Cells and Runs entries are distinct (18 = 9 classes × 2 engines).
+        assert_eq!(memo.len(), 18);
+    }
+
+    #[test]
+    fn auto_shares_entries_with_resolved_engine() {
+        let (schema, lin, layout, w) = setup();
+        let mut memo = CostMemo::new();
+        memo.workload_stats(&schema, &lin, &layout, &w, EvalEngine::Auto);
+        let misses = memo.misses();
+        // NestedLoops has structural runs, so Auto resolves to Runs and
+        // the explicit Runs engine must hit the same entries.
+        memo.workload_stats(&schema, &lin, &layout, &w, EvalEngine::Runs);
+        assert_eq!(memo.misses(), misses);
+    }
+
+    #[test]
+    fn different_layout_or_data_misses() {
+        let (schema, lin, layout, w) = setup();
+        let mut memo = CostMemo::new();
+        memo.workload_stats(&schema, &lin, &layout, &w, EvalEngine::Cells);
+        let misses = memo.misses();
+        // Same grid, different record counts → new fingerprint → re-measure.
+        let cells = CellData::from_counts(vec![4, 4], vec![1; 16]);
+        let other = PackedLayout::pack(
+            &lin,
+            &cells,
+            StorageConfig {
+                page_size: 512,
+                record_size: 125,
+            },
+        );
+        memo.workload_stats(&schema, &lin, &other, &w, EvalEngine::Cells);
+        assert_eq!(memo.misses(), misses + 9);
+        // clear() empties the memo.
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! The drifting-workload scenario: an online system whose query mix
+//! shifts epoch by epoch, re-optimized incrementally each time.
+//!
+//! Each epoch applies a sparse random [`WorkloadDelta`] to a
+//! [`VersionedWorkload`], re-optimizes via [`IncrementalDp`] (warm restart
+//! with the stability-radius certificate, full DP fallback), and re-prices
+//! the chosen path's plain and snaked curves through a [`SignatureCache`]
+//! — an O(|L|) dot product on every epoch after the first, since crossing
+//! signatures are workload-independent. With [`DriftConfig::measure`] set,
+//! the snaked curve is additionally measured physically against the packed
+//! LineItem data, with per-class measurements served from a [`CostMemo`]
+//! (the layout is untouched by drift, so every epoch after the first is
+//! pure cache hits).
+//!
+//! Every number in the report is bit-identical to what a from-scratch
+//! pipeline (fresh DP, fresh aggregation, fresh measurement) would
+//! produce; `tests/incremental_differential.rs` proves this property for
+//! the underlying engines.
+
+use crate::config::TpcdConfig;
+use crate::gen::generate_cells;
+use crate::workloads::paper_workload_7;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use snakes_core::cost::CostModel;
+use snakes_core::dp::IncrementalDp;
+use snakes_core::lattice::LatticeShape;
+use snakes_core::parallel::metrics;
+use snakes_core::path::LatticePath;
+use snakes_core::workload::{VersionedWorkload, WeightUpdate, WorkloadDelta};
+use snakes_curves::{path_curve, snaked_path_curve, SignatureCache, StrategyId};
+use snakes_storage::{CostMemo, PackedLayout};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Shape of a drift experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Drift epochs after the baseline (the report carries `epochs + 1`
+    /// entries; entry 0 is the undrifted anchor).
+    pub epochs: usize,
+    /// Class ranks re-weighted per epoch (clamped to the lattice size).
+    pub changes_per_epoch: usize,
+    /// Scale of each new weight relative to the uniform mass `1/|L|`: a
+    /// re-weighted rank receives `uniform() · magnitude / |L|` before
+    /// renormalization. Small values are gentle drift, large values slam
+    /// the mix around.
+    pub magnitude: f64,
+    /// RNG seed; the whole scenario is deterministic given the seed.
+    pub seed: u64,
+    /// Also measure the snaked optimal curve physically (pack + execute
+    /// every query) each epoch, through the per-class cost memo.
+    pub measure: bool,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            changes_per_epoch: 4,
+            magnitude: 0.5,
+            seed: 0xD21F_7E57,
+            measure: false,
+        }
+    }
+}
+
+/// Physical measurement of one epoch's snaked optimal curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeasuredStats {
+    /// Expected seeks per query under the epoch's workload.
+    pub avg_seeks: f64,
+    /// Expected normalized blocks per query.
+    pub avg_normalized_blocks: f64,
+}
+
+/// One epoch of the drift scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EpochOutcome {
+    /// Epoch index; 0 is the undrifted baseline.
+    pub epoch: usize,
+    /// Workload version after this epoch's delta.
+    pub workload_version: u64,
+    /// Total-variation distance moved this epoch
+    /// (`½·Σ|μ′ − μ|`, 0 for the baseline).
+    pub drift_tv: f64,
+    /// Whether the DP warm restart reused the previous optimum (stability
+    /// certificate held) instead of re-running the full DP.
+    pub dp_reused: bool,
+    /// Wall time of the re-optimization step in nanoseconds.
+    pub reoptimize_ns: u64,
+    /// Wall time of re-pricing plain + snaked curves through the
+    /// signature cache, in nanoseconds.
+    pub pricing_ns: u64,
+    /// The chosen optimal path's step dimensions.
+    pub path_dims: Vec<usize>,
+    /// The chosen path, human-readable.
+    pub path: String,
+    /// Expected cost (fragments/query) of the plain path curve.
+    pub expected_cost_plain: f64,
+    /// Expected cost of the snaked path curve.
+    pub expected_cost_snaked: f64,
+    /// Physical measurement of the snaked curve, when requested.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub measured: Option<MeasuredStats>,
+}
+
+/// The full drift-scenario report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DriftReport {
+    /// Per-epoch outcomes; entry 0 is the undrifted baseline.
+    pub epochs: Vec<EpochOutcome>,
+    /// Epochs served by the DP warm restart.
+    pub dp_reuses: u64,
+    /// Epochs that ran the full DP (including the baseline).
+    pub dp_full_runs: u64,
+    /// Signature-cache hits across all pricings.
+    pub signature_hits: u64,
+    /// Signature-cache misses (curve aggregations actually performed).
+    pub signature_misses: u64,
+    /// Distinct signature tables held at the end.
+    pub signature_entries: usize,
+    /// Per-class measurement memo hits (0 unless `measure`).
+    pub memo_hits: u64,
+    /// Per-class measurements actually performed (0 unless `measure`).
+    pub memo_misses: u64,
+    /// Total re-optimization time, nanoseconds.
+    pub total_reoptimize_ns: u64,
+    /// Total signature-pricing time, nanoseconds.
+    pub total_pricing_ns: u64,
+}
+
+/// A sparse random delta: `changes` distinct ranks get fresh weights in
+/// `[0, magnitude / n)` (plus a small positive floor so the workload can
+/// never renormalize to zero).
+fn random_delta(
+    rng: &mut ChaCha8Rng,
+    num_ranks: usize,
+    changes: usize,
+    magnitude: f64,
+) -> WorkloadDelta {
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < changes.min(num_ranks) {
+        picked.insert(rng.gen_range(0..num_ranks));
+    }
+    let updates = picked
+        .into_iter()
+        .map(|rank| WeightUpdate {
+            rank,
+            weight: (0.05 + rng.gen::<f64>()) * magnitude / num_ranks as f64,
+        })
+        .collect();
+    WorkloadDelta::new(updates).expect("generated weights are finite and non-negative")
+}
+
+/// Runs the drift scenario: start from the paper's workload 7, drift it
+/// for [`DriftConfig::epochs`] epochs, re-optimize and re-price each one.
+///
+/// # Panics
+///
+/// Panics if `drift.magnitude` is not finite and non-negative.
+pub fn drift_sweep(config: &TpcdConfig, drift: &DriftConfig) -> DriftReport {
+    assert!(
+        drift.magnitude.is_finite() && drift.magnitude >= 0.0,
+        "drift magnitude must be finite and non-negative"
+    );
+    let schema = config.star_schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let model = CostModel::of_schema(&schema);
+    let num_ranks = shape.num_classes();
+    let mut rng = ChaCha8Rng::seed_from_u64(drift.seed);
+
+    let mut versioned = VersionedWorkload::new(paper_workload_7(config).workload);
+    let mut dp = IncrementalDp::new(model);
+    let mut signatures = SignatureCache::new();
+    let mut memo = CostMemo::new();
+    // Physical layouts per path (the data never changes under drift, so a
+    // repeated path reuses its packing). Only populated when measuring.
+    let cells = drift.measure.then(|| generate_cells(config));
+    let mut layouts: HashMap<Vec<usize>, PackedLayout> = HashMap::new();
+
+    let mut epochs = Vec::with_capacity(drift.epochs + 1);
+    let mut total_reoptimize_ns = 0u64;
+    let mut total_pricing_ns = 0u64;
+
+    for epoch in 0..=drift.epochs {
+        let drift_tv = if epoch == 0 {
+            0.0
+        } else {
+            let delta = random_delta(
+                &mut rng,
+                num_ranks,
+                drift.changes_per_epoch,
+                drift.magnitude,
+            );
+            versioned
+                .apply(&delta)
+                .expect("generated delta keeps the workload valid")
+        };
+        let workload = versioned.workload().clone();
+
+        let t = Instant::now();
+        let outcome = {
+            let _t = metrics::PhaseTimer::start(metrics::Phase::Dp);
+            dp.reoptimize(&workload)
+        };
+        let reoptimize_ns = t.elapsed().as_nanos() as u64;
+
+        let path = LatticePath::from_dims(shape.clone(), outcome.path.dims().to_vec())
+            .expect("DP paths are valid");
+        let t = Instant::now();
+        let (plain_cost, snaked_cost) = {
+            let plain_id = StrategyId::Path {
+                dims: path.dims().to_vec(),
+                snaked: false,
+            };
+            let snaked_id = StrategyId::Path {
+                dims: path.dims().to_vec(),
+                snaked: true,
+            };
+            let plain = signatures
+                .get_or_compute(&schema, &path_curve(&schema, &path), &plain_id)
+                .expected_cost(&workload);
+            let snaked = signatures
+                .get_or_compute(&schema, &snaked_path_curve(&schema, &path), &snaked_id)
+                .expected_cost(&workload);
+            (plain, snaked)
+        };
+        let pricing_ns = t.elapsed().as_nanos() as u64;
+
+        let measured = cells.as_ref().map(|cells| {
+            let curve = snaked_path_curve(&schema, &path);
+            let layout = layouts
+                .entry(path.dims().to_vec())
+                .or_insert_with(|| PackedLayout::pack(&curve, cells, config.storage()));
+            let stats = memo.workload_stats(&schema, &curve, layout, &workload, config.engine);
+            MeasuredStats {
+                avg_seeks: stats.avg_seeks,
+                avg_normalized_blocks: stats.avg_normalized_blocks,
+            }
+        });
+
+        total_reoptimize_ns += reoptimize_ns;
+        total_pricing_ns += pricing_ns;
+        epochs.push(EpochOutcome {
+            epoch,
+            workload_version: versioned.version(),
+            drift_tv,
+            dp_reused: outcome.reused,
+            reoptimize_ns,
+            pricing_ns,
+            path_dims: path.dims().to_vec(),
+            path: path.to_string(),
+            expected_cost_plain: plain_cost,
+            expected_cost_snaked: snaked_cost,
+            measured,
+        });
+    }
+
+    DriftReport {
+        epochs,
+        dp_reuses: dp.reuses(),
+        dp_full_runs: dp.full_runs(),
+        signature_hits: signatures.hits(),
+        signature_misses: signatures.misses(),
+        signature_entries: signatures.len(),
+        memo_hits: memo.hits(),
+        memo_misses: memo.misses(),
+        total_reoptimize_ns,
+        total_pricing_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snakes_core::dp::optimal_lattice_path;
+    use snakes_core::workload::Workload;
+
+    fn fast_config() -> TpcdConfig {
+        TpcdConfig {
+            records: 2_000,
+            ..TpcdConfig::small()
+        }
+        .with_threads(1)
+    }
+
+    fn fast_drift() -> DriftConfig {
+        DriftConfig {
+            epochs: 5,
+            changes_per_epoch: 3,
+            magnitude: 0.4,
+            seed: 7,
+            measure: false,
+        }
+    }
+
+    #[test]
+    fn report_covers_every_epoch_and_accounts_for_the_dp() {
+        let report = drift_sweep(&fast_config(), &fast_drift());
+        assert_eq!(report.epochs.len(), 6);
+        assert_eq!(report.dp_reuses + report.dp_full_runs, 6);
+        // Baseline epoch always runs the full DP (no warm state yet).
+        assert!(!report.epochs[0].dp_reused);
+        assert_eq!(report.epochs[0].drift_tv, 0.0);
+        // Versions advance once per drift epoch.
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!(e.workload_version, i as u64);
+            assert!(e.expected_cost_plain.is_finite());
+            assert!(e.expected_cost_snaked <= e.expected_cost_plain + 1e-9);
+            assert!(e.measured.is_none());
+            if i > 0 {
+                assert!(e.drift_tv > 0.0, "epoch {i} moved no mass");
+            }
+        }
+        // Every epoch prices exactly two curves; repeated paths hit.
+        assert_eq!(report.signature_hits + report.signature_misses, 12);
+        assert_eq!(report.signature_misses as usize, report.signature_entries);
+        assert!(report.signature_hits > 0, "no path ever repeated");
+        assert_eq!(report.memo_misses, 0);
+    }
+
+    #[test]
+    fn drift_is_deterministic_given_the_seed() {
+        let a = drift_sweep(&fast_config(), &fast_drift());
+        let b = drift_sweep(&fast_config(), &fast_drift());
+        // Timings differ run to run; everything else is bit-identical.
+        for (x, y) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(x.path_dims, y.path_dims);
+            assert_eq!(x.drift_tv.to_bits(), y.drift_tv.to_bits());
+            assert_eq!(
+                x.expected_cost_snaked.to_bits(),
+                y.expected_cost_snaked.to_bits()
+            );
+            assert_eq!(x.dp_reused, y.dp_reused);
+        }
+        let c = drift_sweep(
+            &fast_config(),
+            &DriftConfig {
+                seed: 8,
+                ..fast_drift()
+            },
+        );
+        assert!(
+            a.epochs
+                .iter()
+                .zip(&c.epochs)
+                .any(|(x, y)| x.drift_tv.to_bits() != y.drift_tv.to_bits()),
+            "different seeds should drift differently"
+        );
+    }
+
+    #[test]
+    fn epoch_costs_match_a_from_scratch_pipeline() {
+        // Replay the same drift sequence by hand: scratch DP + fresh
+        // aggregation every epoch must reproduce the report bit for bit.
+        let config = fast_config();
+        let drift = fast_drift();
+        let report = drift_sweep(&config, &drift);
+
+        let schema = config.star_schema();
+        let shape = LatticeShape::of_schema(&schema);
+        let model = CostModel::of_schema(&schema);
+        let mut rng = ChaCha8Rng::seed_from_u64(drift.seed);
+        let mut w = paper_workload_7(&config).workload;
+        for e in &report.epochs {
+            if e.epoch > 0 {
+                let delta = random_delta(
+                    &mut rng,
+                    shape.num_classes(),
+                    drift.changes_per_epoch,
+                    drift.magnitude,
+                );
+                w = w.apply_delta(&delta).unwrap();
+            }
+            let dp = optimal_lattice_path(&model, &w);
+            assert_eq!(dp.path.dims(), &e.path_dims[..], "epoch {}", e.epoch);
+            let fresh = snakes_curves::aggregate_class_costs(
+                &schema,
+                &snaked_path_curve(&schema, &dp.path),
+            )
+            .expected_cost(&w);
+            assert_eq!(
+                fresh.to_bits(),
+                e.expected_cost_snaked.to_bits(),
+                "epoch {}",
+                e.epoch
+            );
+        }
+    }
+
+    #[test]
+    fn physical_measurement_rides_the_memo() {
+        let drift = DriftConfig {
+            measure: true,
+            epochs: 4,
+            ..fast_drift()
+        };
+        let report = drift_sweep(&fast_config(), &drift);
+        let classes = LatticeShape::of_schema(&fast_config().star_schema()).num_classes() as u64;
+        for e in &report.epochs {
+            let m = e.measured.expect("measurement requested");
+            assert!(m.avg_seeks >= 1.0);
+            assert!(m.avg_normalized_blocks >= 1.0);
+        }
+        // The layout never changes, so distinct paths bound the misses.
+        assert!(report.memo_misses <= classes * report.signature_entries as u64 / 2);
+        assert!(report.memo_hits > 0, "no epoch reused a measurement");
+    }
+
+    #[test]
+    fn random_delta_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = random_delta(&mut rng, 18, 4, 0.5);
+        assert_eq!(d.len(), 4);
+        for u in d.updates() {
+            assert!(u.rank < 18);
+            assert!(u.weight >= 0.0 && u.weight.is_finite());
+        }
+        // More changes than ranks clamps.
+        let d = random_delta(&mut rng, 3, 10, 0.5);
+        assert_eq!(d.len(), 3);
+        // A point workload stays valid because weights are strictly
+        // positive.
+        let shape = LatticeShape::new(vec![2, 2]);
+        let w = Workload::point(shape.clone(), &shape.unrank(0)).unwrap();
+        let d = random_delta(&mut rng, shape.num_classes(), 2, 0.1);
+        assert!(w.apply_delta(&d).is_ok());
+    }
+}

@@ -13,13 +13,17 @@
 //! * the §6.2 workload family (3 per-dimension level distributions → 27
 //!   workloads);
 //! * the 7 TPC-D query templates mapped to grid query classes;
-//! * [`sweep`] — the measurement driver producing the rows of Tables 4-6.
+//! * [`sweep`] — the measurement driver producing the rows of Tables 4-6;
+//! * [`drift`] — the online drifting-workload scenario, re-optimized
+//!   incrementally each epoch (warm DP restarts + signature-cache
+//!   re-pricing).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod chunked;
 pub mod config;
+pub mod drift;
 pub mod gen;
 pub mod olap;
 pub mod queries;
@@ -30,6 +34,7 @@ pub mod workloads;
 
 pub use chunked::{chunked_comparison, ChunkedRun};
 pub use config::TpcdConfig;
+pub use drift::{drift_sweep, DriftConfig, DriftReport, EpochOutcome};
 pub use gen::generate_cells;
 pub use olap::{group_by_sum, GroupByResult, GroupRow};
 pub use queries::{paper_queries, PaperQuery};

@@ -1,0 +1,295 @@
+//! Differential harness for the incremental re-optimization engine: over
+//! random schemas up to 4-D and random sparse drift sequences, every fast
+//! path must be **exactly** equal to its from-scratch counterpart —
+//! `u64` counts equal, `f64` costs bit-equal:
+//!
+//! 1. [`IncrementalDp::reoptimize`] (stability certificate + warm
+//!    re-pricing, full-DP fallback) vs a fresh `optimal_lattice_path`
+//!    per epoch;
+//! 2. the [`SignatureCache`] table vs a fresh `aggregate_class_costs`
+//!    walk, both as a structure (crossing counts are
+//!    workload-independent, so the tables are `Eq`) and as a price on
+//!    every drifted workload;
+//! 3. [`CostMemo::workload_stats`] vs the unmemoized serial
+//!    [`workload_stats_engine`], for both the cell-walking and run-based
+//!    engines.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::dp::{optimal_lattice_path, IncrementalDp};
+use snakes_sandwiches::core::lattice::LatticeShape;
+use snakes_sandwiches::core::parallel::ParallelConfig;
+use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
+use snakes_sandwiches::core::workload::{VersionedWorkload, WeightUpdate, Workload, WorkloadDelta};
+use snakes_sandwiches::curves::{
+    aggregate_class_costs, path_curve, snaked_path_curve, SignatureCache, StrategyId,
+};
+use snakes_sandwiches::storage::{
+    workload_stats_engine, CellData, CostMemo, EvalEngine, PackedLayout, StorageConfig,
+};
+use std::collections::BTreeSet;
+
+/// Random hierarchies up to 4-D, capped so the densest grid stays small
+/// enough for the physical-measurement test to brute-force every class.
+fn arb_dims() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(2u64..=3, 1..=2), 1..=4).prop_filter(
+        "grid fits the brute-force budget",
+        |dims| {
+            dims.iter()
+                .map(|f| f.iter().product::<u64>())
+                .product::<u64>()
+                <= 96
+        },
+    )
+}
+
+fn schema_of(dims: Vec<Vec<u64>>) -> StarSchema {
+    StarSchema::new(
+        dims.into_iter()
+            .enumerate()
+            .map(|(i, f)| Hierarchy::new(format!("d{i}"), f).expect("valid fanouts"))
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+/// An irregular base workload: every class live, weights seeded so ties
+/// between paths are rare but not impossible.
+fn seeded_workload(shape: &LatticeShape, rng: &mut ChaCha8Rng) -> Workload {
+    let weights = (0..shape.num_classes())
+        .map(|_| 0.05 + rng.gen::<f64>())
+        .collect();
+    Workload::from_weights(shape.clone(), weights).expect("positive weights")
+}
+
+/// One sparse random delta: `changes` distinct ranks get fresh absolute
+/// weights scaled by `magnitude`, everything else renormalizes.
+fn random_delta(
+    rng: &mut ChaCha8Rng,
+    num_ranks: usize,
+    changes: usize,
+    magnitude: f64,
+) -> WorkloadDelta {
+    let mut picked = BTreeSet::new();
+    while picked.len() < changes.min(num_ranks) {
+        picked.insert(rng.gen_range(0..num_ranks));
+    }
+    let updates = picked
+        .into_iter()
+        .map(|rank| WeightUpdate {
+            rank,
+            weight: (0.05 + rng.gen::<f64>()) * magnitude / num_ranks as f64,
+        })
+        .collect();
+    WorkloadDelta::new(updates).expect("generated weights are finite and non-negative")
+}
+
+/// The drifted workload per epoch (index 0 is the base), via
+/// [`VersionedWorkload`] so renormalization happens exactly as in
+/// production.
+fn drift_sequence(
+    shape: &LatticeShape,
+    rng: &mut ChaCha8Rng,
+    epochs: usize,
+    changes: usize,
+    magnitude: f64,
+) -> Vec<Workload> {
+    let mut versioned = VersionedWorkload::new(seeded_workload(shape, rng));
+    let mut out = vec![versioned.workload().clone()];
+    for _ in 0..epochs {
+        let delta = random_delta(rng, shape.num_classes(), changes, magnitude);
+        versioned.apply(&delta).expect("drifted workload is valid");
+        out.push(versioned.workload().clone());
+    }
+    out
+}
+
+/// Drift magnitudes spanning both regimes: gentle (where the stability
+/// certificate should mostly fire) through aggressive (where full DP
+/// fallbacks dominate).
+fn arb_magnitude() -> impl Strategy<Value = f64> {
+    (0usize..3).prop_map(|i| [1e-4, 1e-2, 0.5][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental DP returns the same optimal path as a from-scratch
+    /// DP on every epoch of a random drift sequence, its warm-restart
+    /// cost is bit-identical to the model's linear re-pricing, and the
+    /// reuse/full-run accounting covers every call.
+    #[test]
+    fn incremental_dp_matches_scratch_dp_under_drift(
+        dims in arb_dims(),
+        seed in any::<u64>(),
+        epochs in 1usize..=4,
+        changes in 1usize..=4,
+        magnitude in arb_magnitude(),
+    ) {
+        let schema = schema_of(dims);
+        let shape = LatticeShape::of_schema(&schema);
+        let model = CostModel::of_schema(&schema);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let workloads = drift_sequence(&shape, &mut rng, epochs, changes, magnitude);
+
+        let mut dp = IncrementalDp::new(model.clone());
+        for (e, w) in workloads.iter().enumerate() {
+            let out = dp.reoptimize(w);
+            let scratch = optimal_lattice_path(&model, w);
+            prop_assert_eq!(
+                out.path.dims(), scratch.path.dims(),
+                "epoch {} (reused: {})", e, out.reused
+            );
+            if out.reused {
+                // The warm-restart price is the model's own dot product —
+                // not an approximation of it.
+                prop_assert_eq!(
+                    out.cost.to_bits(),
+                    model.expected_cost(&out.path, w).to_bits(),
+                    "epoch {} warm re-pricing", e
+                );
+                prop_assert!(
+                    (out.cost - scratch.cost).abs() <= 1e-9 * scratch.cost.abs().max(1.0),
+                    "epoch {}: warm cost {} vs scratch {}", e, out.cost, scratch.cost
+                );
+            } else {
+                // A full run *is* the scratch DP.
+                prop_assert_eq!(
+                    out.cost.to_bits(), scratch.cost.to_bits(),
+                    "epoch {} full run", e
+                );
+                prop_assert_eq!(out.shift_bound.to_bits(), 0f64.to_bits());
+            }
+        }
+        prop_assert_eq!(dp.reuses() + dp.full_runs(), workloads.len() as u64);
+        prop_assert!(dp.full_runs() >= 1, "epoch 0 has no anchor to reuse");
+    }
+
+    /// The cached signature table is structurally identical (`u64`-exact
+    /// crossing counts) to a fresh aggregation, and prices every drifted
+    /// workload bit-identically — for the plain and snaked curves of the
+    /// base workload's optimal path.
+    #[test]
+    fn signature_cache_prices_drift_bit_identically(
+        dims in arb_dims(),
+        seed in any::<u64>(),
+        epochs in 1usize..=4,
+        changes in 1usize..=4,
+        magnitude in arb_magnitude(),
+    ) {
+        let schema = schema_of(dims);
+        let shape = LatticeShape::of_schema(&schema);
+        let model = CostModel::of_schema(&schema);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let workloads = drift_sequence(&shape, &mut rng, epochs, changes, magnitude);
+
+        let path = optimal_lattice_path(&model, &workloads[0]).path;
+        let plain = path_curve(&schema, &path);
+        let snaked = snaked_path_curve(&schema, &path);
+        let plain_id = StrategyId::Path { dims: path.dims().to_vec(), snaked: false };
+        let snaked_id = StrategyId::Path { dims: path.dims().to_vec(), snaked: true };
+
+        let mut cache = SignatureCache::new();
+        // Prime once; crossing counts are workload-independent, so the
+        // tables are reused verbatim for every epoch that follows.
+        prop_assert_eq!(
+            cache.get_or_compute(&schema, &plain, &plain_id),
+            &aggregate_class_costs(&schema, &plain)
+        );
+        prop_assert_eq!(
+            cache.get_or_compute(&schema, &snaked, &snaked_id),
+            &aggregate_class_costs(&schema, &snaked)
+        );
+        for (e, w) in workloads.iter().enumerate() {
+            let cached_plain = cache.get_or_compute(&schema, &plain, &plain_id).expected_cost(w);
+            let cached_snaked = cache.get_or_compute(&schema, &snaked, &snaked_id).expected_cost(w);
+            prop_assert_eq!(
+                cached_plain.to_bits(),
+                aggregate_class_costs(&schema, &plain).expected_cost(w).to_bits(),
+                "plain curve, epoch {}", e
+            );
+            prop_assert_eq!(
+                cached_snaked.to_bits(),
+                aggregate_class_costs(&schema, &snaked).expected_cost(w).to_bits(),
+                "snaked curve, epoch {}", e
+            );
+            // Paper §4.2: snaking never costs more on any workload.
+            prop_assert!(cached_snaked <= cached_plain + 1e-9 * cached_plain.max(1.0));
+        }
+        prop_assert_eq!(cache.misses(), 2, "exactly one walk per strategy, ever");
+        prop_assert_eq!(cache.hits(), 2 * workloads.len() as u64);
+    }
+}
+
+proptest! {
+    // Physical measurement is the expensive leg; fewer cases suffice
+    // because each one covers two curves × two engines × every epoch.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The per-class cost memo reduces to bit-identical workload stats as
+    /// the unmemoized serial engine — for the cell-walking and run-based
+    /// engines, plain and snaked curves, on a skewed grid with empty
+    /// cells, across a full drift sequence.
+    #[test]
+    fn cost_memo_matches_serial_engine_under_drift(
+        dims in arb_dims(),
+        seed in any::<u64>(),
+        epochs in 1usize..=3,
+        changes in 1usize..=4,
+        magnitude in arb_magnitude(),
+    ) {
+        let schema = schema_of(dims);
+        let shape = LatticeShape::of_schema(&schema);
+        let model = CostModel::of_schema(&schema);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let workloads = drift_sequence(&shape, &mut rng, epochs, changes, magnitude);
+
+        let extents = schema.grid_shape();
+        let n = extents.iter().product::<u64>() as usize;
+        // Skewed deterministic counts, some cells empty.
+        let counts: Vec<u64> = (0..n as u64).map(|r| (r * 7 + 3) % 5).collect();
+        let cells = CellData::from_counts(extents.clone(), counts);
+        let config = StorageConfig { page_size: 500, record_size: 125 };
+
+        let path = optimal_lattice_path(&model, &workloads[0]).path;
+        let curves = [
+            ("plain", path_curve(&schema, &path)),
+            ("snaked", snaked_path_curve(&schema, &path)),
+        ];
+        let mut memo = CostMemo::new();
+        for (name, curve) in &curves {
+            let layout = PackedLayout::pack(curve, &cells, config);
+            for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+                for (e, w) in workloads.iter().enumerate() {
+                    let got = memo.workload_stats(&schema, curve, &layout, w, engine);
+                    let want = workload_stats_engine(
+                        &schema, curve, &layout, w, ParallelConfig::serial(), engine,
+                    );
+                    let ctx = format!("curve {name} engine {engine} epoch {e}");
+                    prop_assert_eq!(
+                        got.avg_seeks.to_bits(), want.avg_seeks.to_bits(),
+                        "{} seeks", &ctx
+                    );
+                    prop_assert_eq!(
+                        got.avg_normalized_blocks.to_bits(),
+                        want.avg_normalized_blocks.to_bits(),
+                        "{} blocks", &ctx
+                    );
+                    prop_assert_eq!(&got.per_class, &want.per_class, "{} per_class", &ctx);
+                }
+            }
+        }
+        // Drift never invalidates class measurements (they are
+        // workload-independent): after the first pass over a distinct
+        // (layout, engine) key, every class is a memo hit. The plain and
+        // snaked layouts can coincide (single-level paths), so the miss
+        // count is bounded, not pinned.
+        let classes = workloads[0].support_by_rank().count() as u64;
+        let passes = 2 * 2 * workloads.len() as u64;
+        prop_assert_eq!(memo.hits() + memo.misses(), passes * classes);
+        prop_assert!(memo.misses() >= classes, "at least one cold pass");
+        prop_assert!(memo.misses() <= 2 * 2 * classes, "drift epochs never re-measure");
+    }
+}
