@@ -13,6 +13,7 @@
 //! bench is meaningful on any box).
 
 use serde::Serialize;
+use snakes_core::eval::EvalOptions;
 use snakes_core::parallel::metrics;
 use snakes_tpcd::sweep::WorkloadEvaluation;
 use snakes_tpcd::{paper_workload_7, Evaluator, TpcdConfig};
@@ -44,7 +45,7 @@ fn base_config() -> TpcdConfig {
 /// Times one full evaluation at `threads` workers; a fresh `Evaluator` per
 /// sample so the per-curve cache never hides the measurement work.
 fn sample_sweep(threads: usize) -> (u128, WorkloadEvaluation) {
-    let config = base_config().with_threads(threads);
+    let config = base_config().with_eval(EvalOptions::new().threads(threads));
     let workload = paper_workload_7(&config).workload;
     let mut evaluator = Evaluator::new(config);
     let start = Instant::now();

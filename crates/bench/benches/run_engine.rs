@@ -21,7 +21,7 @@
 use serde::Serialize;
 use snakes_core::parallel::metrics;
 use snakes_curves::{aggregate_class_costs, class_costs, Linearization, NestedLoops};
-use snakes_storage::EvalEngine;
+use snakes_storage::{EvalEngine, EvalOptions};
 use snakes_tpcd::sweep::WorkloadEvaluation;
 use snakes_tpcd::{paper_workload_7, Evaluator, TpcdConfig};
 use std::time::Instant;
@@ -96,8 +96,7 @@ fn sample_sweep(engine: EvalEngine) -> (u128, WorkloadEvaluation) {
             records: SWEEP_RECORDS,
             ..TpcdConfig::small()
         }
-        .with_threads(1)
-        .with_engine(engine);
+        .with_eval(EvalOptions::serial().engine(engine));
         let workload = paper_workload_7(&config).workload;
         let mut evaluator = Evaluator::new(config);
         let start = Instant::now();

@@ -1,0 +1,191 @@
+//! Sustained throughput and latency of the advisor daemon over loopback
+//! TCP: one connection per core issuing a mixed `recommend`/`price`/
+//! `drift`/`stats` stream, with client-observed p50/p99 from the full
+//! latency population. A fidelity check first proves one priced answer
+//! bit-identical to the direct library call, so the numbers measure the
+//! real service path, not a stub. Appends to `BENCH_service.json` at the
+//! workspace root so the perf trajectory is tracked across commits.
+
+use serde::Serialize;
+use snakes_core::lattice::LatticeShape;
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::{WeightUpdate, Workload};
+use snakes_curves::{aggregate_class_costs, snaked_path_curve};
+use snakes_service::protocol::{DeltaSpec, SchemaSpec, StrategySpec, WorkloadSpec};
+use snakes_service::{Client, Request, Server, ServerConfig};
+use std::time::Instant;
+
+/// One run of this bench, appended to `BENCH_service.json`.
+#[derive(Serialize)]
+struct TrajectoryEntry {
+    bench: &'static str,
+    unix_time: u64,
+    cores: usize,
+    connections: usize,
+    requests: u64,
+    elapsed_ns: u64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    shed: u64,
+}
+
+const REQUESTS_PER_CONNECTION: usize = 400;
+
+fn salted_workload(shape: &LatticeShape, salt: usize) -> Workload {
+    let n = shape.num_classes();
+    Workload::from_weights(
+        shape.clone(),
+        (0..n)
+            .map(|r| 1.0 + ((r * (salt + 2) + salt) % 11) as f64 * 0.17)
+            .collect(),
+    )
+    .expect("positive weights")
+}
+
+fn mixed_request(schema: &StarSchema, shape: &LatticeShape, conn: usize, i: usize) -> Request {
+    let w = salted_workload(shape, conn * 7 + i % 5);
+    let spec = (SchemaSpec::of(schema), WorkloadSpec::of(&w));
+    match i % 4 {
+        0 => Request::recommend(spec.0, spec.1),
+        1 => Request::price(
+            spec.0,
+            spec.1,
+            StrategySpec::snaked_path(vec![i % 2, 1 - i % 2, i % 2, 1 - i % 2]),
+        ),
+        2 => {
+            let mut req = Request::drift(
+                &format!("bench-{conn}"),
+                vec![DeltaSpec {
+                    updates: vec![WeightUpdate {
+                        rank: i % shape.num_classes(),
+                        weight: 0.2,
+                    }],
+                }],
+            );
+            // First drift call on each session must carry the inputs.
+            req.schema = Some(spec.0);
+            req.workload = Some(spec.1);
+            req
+        }
+        _ => Request::new("stats"),
+    }
+}
+
+fn fidelity_check(addr: std::net::SocketAddr, schema: &StarSchema, shape: &LatticeShape) {
+    let mut client = Client::connect(addr).expect("connect");
+    let w = salted_workload(shape, 99);
+    let dims = vec![0, 1, 0, 1];
+    let resp = client
+        .call(Request::price(
+            SchemaSpec::of(schema),
+            WorkloadSpec::of(&w),
+            StrategySpec::snaked_path(dims.clone()),
+        ))
+        .expect("price call");
+    assert!(resp.ok, "{:?}", resp.error);
+    let priced = resp.price.expect("price body").expected_cost;
+    let path = snakes_core::path::LatticePath::from_dims(shape.clone(), dims).unwrap();
+    let direct = aggregate_class_costs(schema, &snaked_path_curve(schema, &path)).expected_cost(&w);
+    assert_eq!(
+        priced.to_bits(),
+        direct.to_bits(),
+        "service answer must be bit-identical to the direct call"
+    );
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let connections = cores.max(2);
+    let server = Server::spawn(ServerConfig::default()).expect("spawn server");
+    let addr = server.local_addr();
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+
+    fidelity_check(addr, &schema, &shape);
+    println!("service_loopback: fidelity check passed (priced ≡ direct, bit-identical)");
+    println!(
+        "  {connections} connection(s) x {REQUESTS_PER_CONNECTION} mixed requests \
+         (recommend/price/drift/stats), {cores} worker core(s)"
+    );
+
+    let start = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                let schema = &schema;
+                let shape = &shape;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(REQUESTS_PER_CONNECTION);
+                    for i in 0..REQUESTS_PER_CONNECTION {
+                        let req = mixed_request(schema, shape, conn, i);
+                        let t0 = Instant::now();
+                        let resp = client.call(req).expect("call");
+                        lats.push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        assert!(resp.ok, "{:?}", resp.error);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let requests = (connections * REQUESTS_PER_CONNECTION) as u64;
+    let throughput = requests as f64 / elapsed.as_secs_f64();
+    latencies_us.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let idx = ((q * latencies_us.len() as f64).ceil() as usize).max(1) - 1;
+        latencies_us[idx.min(latencies_us.len() - 1)]
+    };
+    let (p50, p99, max) = (
+        quantile(0.50),
+        quantile(0.99),
+        *latencies_us.last().unwrap(),
+    );
+    println!("  {requests} requests in {:.2}s", elapsed.as_secs_f64());
+    println!("  throughput: {throughput:.0} req/s");
+    println!("  latency: p50 {p50} us, p99 {p99} us, max {max} us");
+
+    let stats = server.engine().stats_body();
+    let shed: u64 = stats.endpoints.iter().map(|e| e.shed).sum();
+    println!(
+        "  server-side: sig-cache {}h/{}m, sessions {}, shed {shed}",
+        stats.signature_cache.hits, stats.signature_cache.misses, stats.sessions
+    );
+    server.join();
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = serde_json::to_value(&TrajectoryEntry {
+        bench: "service_loopback",
+        unix_time,
+        cores,
+        connections,
+        requests,
+        elapsed_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        throughput_rps: throughput,
+        p50_us: p50,
+        p99_us: p99,
+        max_us: max,
+        shed,
+    })
+    .expect("entry serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    runs.push(entry);
+    let body = serde_json::to_string_pretty(&runs).expect("trajectory serializes");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("  trajectory appended to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -96,7 +96,7 @@ pub fn tables_5_and_6(config: &TpcdConfig, fanouts: &[u64]) -> (TextTable, TextT
 
 /// The §7 chunked-organization experiment (extension table, not in the
 /// paper): replay a workload-7 query stream against a chunk cache, with
-/// chunks ordered row-major (Deshpande et al. [2]) vs by the snaked
+/// chunks ordered row-major (Deshpande et al. \[2\]) vs by the snaked
 /// optimal lattice path through the chunk boundary.
 pub fn chunked_table(config: &TpcdConfig, cache_sizes: &[usize], queries: usize) -> TextTable {
     let mut t = TextTable::new(

@@ -12,7 +12,7 @@ use snakes_core::parallel::metrics;
 use snakes_core::path::LatticePath;
 use snakes_core::stats::WorkloadEstimator;
 use snakes_curves::{path_curve, snaked_path_curve, Linearization};
-use snakes_storage::EvalEngine;
+use snakes_storage::{EvalEngine, EvalOptions};
 use snakes_tpcd::{
     drift_sweep, tpcd_workloads, DriftConfig, Evaluator, StrategyResult, TpcdConfig,
 };
@@ -24,6 +24,8 @@ pub enum CliError {
     Usage(String),
     /// Bad input document.
     Spec(SpecError),
+    /// Failure talking to (or running) the advisor service.
+    Service(snakes_service::ServiceError),
 }
 
 impl std::fmt::Display for CliError {
@@ -31,6 +33,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Spec(e) => write!(f, "{e}"),
+            CliError::Service(e) => write!(f, "service error: {e}"),
         }
     }
 }
@@ -40,6 +43,12 @@ impl std::error::Error for CliError {}
 impl From<SpecError> for CliError {
     fn from(e: SpecError) -> Self {
         CliError::Spec(e)
+    }
+}
+
+impl From<snakes_service::ServiceError> for CliError {
+    fn from(e: snakes_service::ServiceError) -> Self {
+        CliError::Service(e)
     }
 }
 
@@ -299,26 +308,20 @@ impl From<&StrategyResult> for SweepStrategyOut {
 
 /// `snakes sweep`: one Table-4 row of the synthetic TPC-D experiment —
 /// generate `records` LineItems, pack along every candidate strategy, and
-/// measure workload `number` (1..=27, §6.2 numbering). `threads` sets the
-/// measurement worker count (0 = one per core, 1 = serial) and `engine`
-/// the query evaluation engine (cells, runs, or auto); the numbers are
-/// bit-identical for every combination.
+/// measure workload `number` (1..=27, §6.2 numbering). `eval` carries the
+/// measurement worker count (0 = one per core, 1 = serial) and the query
+/// evaluation engine (cells, runs, or auto); the numbers are bit-identical
+/// for every combination.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on a workload number outside 1..=27.
-pub fn sweep(
-    records: u64,
-    number: usize,
-    threads: usize,
-    engine: EvalEngine,
-) -> Result<String, CliError> {
+pub fn sweep(records: u64, number: usize, eval: EvalOptions) -> Result<String, CliError> {
     let config = TpcdConfig {
         records,
         ..TpcdConfig::small()
     }
-    .with_threads(threads)
-    .with_engine(engine);
+    .with_eval(eval);
     let nw = tpcd_workloads(&config)
         .into_iter()
         .find(|w| w.number == number)
@@ -340,8 +343,8 @@ pub fn sweep(
     }
     Ok(serde_json::to_string_pretty(&Out {
         records,
-        threads,
-        engine: engine.to_string(),
+        threads: eval.parallel.threads,
+        engine: eval.engine.to_string(),
         workload_number: nw.number,
         workload_label: nw.label(),
         optimal: (&e.optimal).into(),
@@ -374,8 +377,7 @@ pub fn drift(
     magnitude: f64,
     seed: u64,
     measure: bool,
-    threads: usize,
-    engine: EvalEngine,
+    eval: EvalOptions,
 ) -> Result<String, CliError> {
     if !(magnitude.is_finite() && magnitude >= 0.0) {
         return Err(CliError::Usage(format!(
@@ -389,8 +391,7 @@ pub fn drift(
         records,
         ..TpcdConfig::small()
     }
-    .with_threads(threads)
-    .with_engine(engine);
+    .with_eval(eval);
     let drift = DriftConfig {
         epochs,
         changes_per_epoch: changes,
@@ -408,11 +409,160 @@ pub fn drift(
     }
     Ok(serde_json::to_string_pretty(&Out {
         records,
-        engine: engine.to_string(),
+        engine: eval.engine.to_string(),
         drift,
         report,
     })
     .expect("output serializes"))
+}
+
+/// `snakes call`: one request against a running advisor daemon. The
+/// request is either a full protocol document (`request_json`) or
+/// assembled by [`build_request`] from command-line flags; the response
+/// line comes back pretty-printed.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on a malformed request document or a transport
+/// failure. Server-side failures are *not* errors: they are `ok: false`
+/// response documents.
+pub fn call(addr: &str, request_json: &str) -> Result<String, CliError> {
+    let request = snakes_service::Request::parse(request_json)
+        .map_err(|e| CliError::Spec(SpecError::Invalid(format!("bad request document: {e}"))))?;
+    let mut client = snakes_service::Client::connect(addr)
+        .map_err(|e| CliError::Service(snakes_service::ServiceError::Io(e)))?;
+    let response = client.call(request)?;
+    Ok(serde_json::to_string_pretty(&response).expect("responses serialize"))
+}
+
+/// Assembles a protocol request from `snakes call` flags: `--endpoint`,
+/// `--schema`/`--workload` documents, `--strategy d0,d1,…` or
+/// `--kind hilbert` (with `--plain` to disable snaking), `--session`,
+/// `--deltas` document, `--deadline-ms`, and the shared
+/// `--threads`/`--engine` pair.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on missing/contradictory flags and
+/// [`CliError::Spec`] on malformed documents.
+#[allow(clippy::implicit_hasher)]
+pub fn build_request(
+    endpoint: &str,
+    schema_json: Option<&str>,
+    workload_json: Option<&str>,
+    deltas_json: Option<&str>,
+    flags: &std::collections::HashMap<String, String>,
+    bools: &std::collections::HashSet<String>,
+) -> Result<String, CliError> {
+    use snakes_service::protocol::{DeltaSpec, StrategySpec};
+    let mut request = snakes_service::Request::new(endpoint);
+    if let Some(json) = schema_json {
+        // Validate now for a file-and-line error instead of a server round trip.
+        SchemaSpec::parse(json)?;
+        request.schema = Some(serde_json::from_str(json).expect("parsed above"));
+    }
+    if let Some(json) = workload_json {
+        request.workload =
+            Some(serde_json::from_str(json).map_err(|e| SpecError::Invalid(e.to_string()))?);
+    }
+    match (flags.get("strategy"), flags.get("kind")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "give either --strategy or --kind, not both".into(),
+            ))
+        }
+        (Some(dims), None) => {
+            let dims: Vec<usize> = dims
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<usize>()
+                        .map_err(|e| CliError::Usage(format!("bad --strategy `{dims}`: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            request.strategy = Some(if bools.contains("plain") {
+                StrategySpec::plain_path(dims)
+            } else {
+                StrategySpec::snaked_path(dims)
+            });
+        }
+        (None, Some(kind)) => {
+            request.strategy = Some(StrategySpec {
+                kind: Some(kind.clone()),
+                ..StrategySpec::default()
+            });
+        }
+        (None, None) => {}
+    }
+    request.session = flags.get("session").cloned();
+    if let Some(json) = deltas_json {
+        let deltas: Vec<DeltaSpec> = serde_json::from_str(json)
+            .map_err(|e| SpecError::Invalid(format!("bad --deltas document: {e}")))?;
+        request.deltas = Some(deltas);
+    }
+    request.deadline_ms = flags
+        .get("deadline-ms")
+        .map(|s| s.parse::<u64>())
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("bad --deadline-ms: {e}")))?;
+    if flags.contains_key("threads") || flags.contains_key("engine") {
+        request.eval = Some(eval_flags(flags)?);
+    }
+    Ok(request.to_line())
+}
+
+/// Builds the server configuration for `snakes serve` from `--addr`,
+/// `--workers`, `--queue`, and `--retry-after-ms`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on malformed values.
+#[allow(clippy::implicit_hasher)]
+pub fn serve_config(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<snakes_service::ServerConfig, CliError> {
+    let defaults = snakes_service::ServerConfig::default();
+    Ok(snakes_service::ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".into()),
+        workers: flags
+            .get("workers")
+            .map(|s| s.parse::<usize>())
+            .transpose()
+            .map_err(|e| CliError::Usage(format!("bad --workers: {e}")))?
+            .unwrap_or(defaults.workers),
+        queue_capacity: flags
+            .get("queue")
+            .map(|s| s.parse::<usize>())
+            .transpose()
+            .map_err(|e| CliError::Usage(format!("bad --queue: {e}")))?
+            .unwrap_or(defaults.queue_capacity),
+        retry_after_ms: flags
+            .get("retry-after-ms")
+            .map(|s| s.parse::<u64>())
+            .transpose()
+            .map_err(|e| CliError::Usage(format!("bad --retry-after-ms: {e}")))?
+            .unwrap_or(defaults.retry_after_ms),
+    })
+}
+
+/// Builds [`EvalOptions`] from the shared `--threads` / `--engine` flags.
+fn eval_flags(flags: &std::collections::HashMap<String, String>) -> Result<EvalOptions, CliError> {
+    let threads = flags
+        .get("threads")
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?
+        .unwrap_or(0);
+    let engine = flags
+        .get("engine")
+        .map(|s| s.parse::<EvalEngine>())
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("bad --engine: {e}")))?
+        .unwrap_or_default();
+    Ok(EvalOptions::new().threads(threads).engine(engine))
 }
 
 /// Dispatches a full argv (excluding the program name). Returns the output
@@ -514,19 +664,7 @@ pub fn run(
                 .transpose()
                 .map_err(|e| CliError::Usage(format!("bad --number: {e}")))?
                 .unwrap_or(7);
-            let threads = flags
-                .get("threads")
-                .map(|s| s.parse::<usize>())
-                .transpose()
-                .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?
-                .unwrap_or(0);
-            let engine = flags
-                .get("engine")
-                .map(|s| s.parse::<EvalEngine>())
-                .transpose()
-                .map_err(|e| CliError::Usage(format!("bad --engine: {e}")))?
-                .unwrap_or_default();
-            sweep(records, number, threads, engine)
+            sweep(records, number, eval_flags(&flags)?)
         }
         Some("drift") => {
             let records = flags
@@ -559,18 +697,6 @@ pub fn run(
                 .transpose()
                 .map_err(|e| CliError::Usage(format!("bad --seed: {e}")))?
                 .unwrap_or_else(|| DriftConfig::default().seed);
-            let threads = flags
-                .get("threads")
-                .map(|s| s.parse::<usize>())
-                .transpose()
-                .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?
-                .unwrap_or(0);
-            let engine = flags
-                .get("engine")
-                .map(|s| s.parse::<EvalEngine>())
-                .transpose()
-                .map_err(|e| CliError::Usage(format!("bad --engine: {e}")))?
-                .unwrap_or_default();
             drift(
                 records,
                 epochs,
@@ -578,13 +704,55 @@ pub fn run(
                 magnitude,
                 seed,
                 bools.contains("measure"),
-                threads,
-                engine,
+                eval_flags(&flags)?,
             )
+        }
+        Some("serve") => {
+            let config = serve_config(&flags)?;
+            let every = flags
+                .get("metrics-every")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --metrics-every: {e}")))?
+                .map(std::time::Duration::from_secs);
+            snakes_service::serve_forever(config, every)
+                .map_err(|e| CliError::Service(snakes_service::ServiceError::Io(e)))?;
+            Ok(String::new())
+        }
+        Some("call") => {
+            let addr = flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".into());
+            let request_json = match flags.get("request") {
+                Some(_) => file("request")?,
+                None => {
+                    let endpoint = flags.get("endpoint").ok_or_else(|| {
+                        CliError::Usage("--endpoint or --request <file> is required".into())
+                    })?;
+                    let schema = flags.get("schema").map(|_| file("schema")).transpose()?;
+                    let workload = flags
+                        .get("workload")
+                        .map(|_| file("workload"))
+                        .transpose()?;
+                    let deltas = flags.get("deltas").map(|_| file("deltas")).transpose()?;
+                    build_request(
+                        endpoint,
+                        schema.as_deref(),
+                        workload.as_deref(),
+                        deltas.as_deref(),
+                        &flags,
+                        &bools,
+                    )?
+                }
+            };
+            call(&addr, &request_json)
         }
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
         None => Err(CliError::Usage(
-            "expected a command: advise | estimate | topk | order | reorg | sweep | drift".into(),
+            "expected a command: advise | estimate | topk | order | reorg | sweep | drift \
+             | serve | call"
+                .into(),
         )),
     };
     if !want_stats {
@@ -708,7 +876,7 @@ mod tests {
 
     #[test]
     fn sweep_measures_a_table_4_row() {
-        let out = sweep(4_000, 7, 2, EvalEngine::Auto).unwrap();
+        let out = sweep(4_000, 7, EvalOptions::new().threads(2)).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["workload_number"], 7);
         assert_eq!(v["workload_label"], "even/down/even");
@@ -716,16 +884,18 @@ mod tests {
         let worst = v["worst_row_major"]["avg_seeks"].as_f64().unwrap();
         assert!(snaked <= worst + 1e-9, "snaked {snaked} vs worst {worst}");
         assert!(v["hilbert"]["avg_normalized_blocks"].as_f64().unwrap() >= 1.0);
-        assert!(sweep(4_000, 99, 1, EvalEngine::Auto).is_err());
+        assert!(sweep(4_000, 99, EvalOptions::serial()).is_err());
     }
 
     #[test]
     fn sweep_is_bit_identical_across_thread_counts() {
         let serial: serde_json::Value =
-            serde_json::from_str(&sweep(4_000, 3, 1, EvalEngine::Auto).unwrap()).unwrap();
+            serde_json::from_str(&sweep(4_000, 3, EvalOptions::serial()).unwrap()).unwrap();
         for threads in [2, 4] {
-            let par: serde_json::Value =
-                serde_json::from_str(&sweep(4_000, 3, threads, EvalEngine::Auto).unwrap()).unwrap();
+            let par: serde_json::Value = serde_json::from_str(
+                &sweep(4_000, 3, EvalOptions::new().threads(threads)).unwrap(),
+            )
+            .unwrap();
             // Only the echoed `threads` field may differ.
             for key in [
                 "optimal",
@@ -741,11 +911,15 @@ mod tests {
 
     #[test]
     fn sweep_is_bit_identical_across_engines() {
-        let cells: serde_json::Value =
-            serde_json::from_str(&sweep(4_000, 3, 1, EvalEngine::Cells).unwrap()).unwrap();
+        let cells: serde_json::Value = serde_json::from_str(
+            &sweep(4_000, 3, EvalOptions::serial().engine(EvalEngine::Cells)).unwrap(),
+        )
+        .unwrap();
         for engine in [EvalEngine::Runs, EvalEngine::Auto] {
-            let other: serde_json::Value =
-                serde_json::from_str(&sweep(4_000, 3, 1, engine).unwrap()).unwrap();
+            let other: serde_json::Value = serde_json::from_str(
+                &sweep(4_000, 3, EvalOptions::serial().engine(engine)).unwrap(),
+            )
+            .unwrap();
             // Only the echoed `engine` field may differ.
             for key in [
                 "optimal",
@@ -831,6 +1005,116 @@ mod tests {
             run(&args("drift --changes 0"), &read),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_config_parses_flags() {
+        let flags: std::collections::HashMap<String, String> = [
+            ("addr", "127.0.0.1:0"),
+            ("workers", "2"),
+            ("queue", "7"),
+            ("retry-after-ms", "9"),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let config = serve_config(&flags).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_capacity, 7);
+        assert_eq!(config.retry_after_ms, 9);
+        let bad: std::collections::HashMap<String, String> =
+            [("workers".to_string(), "lots".to_string())].into();
+        assert!(matches!(serve_config(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn build_request_assembles_and_validates() {
+        let flags: std::collections::HashMap<String, String> = [
+            ("strategy", "1,1,0,0"),
+            ("deadline-ms", "250"),
+            ("threads", "1"),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let line = build_request(
+            "price",
+            Some(SCHEMA),
+            Some(UNIFORM),
+            None,
+            &flags,
+            &Default::default(),
+        )
+        .unwrap();
+        let req = snakes_service::Request::parse(&line).unwrap();
+        assert_eq!(req.endpoint, "price");
+        assert_eq!(req.deadline_ms, Some(250));
+        let strategy = req.strategy.unwrap();
+        assert_eq!(strategy.dims, Some(vec![1, 1, 0, 0]));
+        assert!(strategy.snaked);
+        assert_eq!(req.eval.unwrap().parallel.threads, 1);
+        // Contradictory strategy flags are a usage error.
+        let mut both = flags.clone();
+        both.insert("kind".into(), "hilbert".into());
+        assert!(matches!(
+            build_request(
+                "price",
+                Some(SCHEMA),
+                None,
+                None,
+                &both,
+                &Default::default()
+            ),
+            Err(CliError::Usage(_))
+        ));
+        // A bad schema document fails client-side.
+        assert!(build_request(
+            "price",
+            Some("{\"dims\":[]}"),
+            None,
+            None,
+            &Default::default(),
+            &Default::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn call_round_trips_against_a_live_server() {
+        let server =
+            snakes_service::Server::spawn(snakes_service::ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let flags: std::collections::HashMap<String, String> =
+            [("strategy".to_string(), "1,1,0,0".to_string())].into();
+        let req = build_request(
+            "price",
+            Some(SCHEMA),
+            Some(UNIFORM),
+            None,
+            &flags,
+            &Default::default(),
+        )
+        .unwrap();
+        let out = call(&addr, &req).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["ok"].as_bool().unwrap());
+        assert!(v["price"]["expected_cost"].as_f64().unwrap() > 0.0);
+        // The dispatcher path: `call --request <file>`.
+        let read = |path: &str| -> std::io::Result<String> {
+            assert_eq!(path, "r.json");
+            Ok(req.clone())
+        };
+        let args: Vec<String> = ["call", "--addr", &addr, "--request", "r.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let via_run = run(&args, &read).unwrap();
+        let v2: serde_json::Value = serde_json::from_str(&via_run).unwrap();
+        assert_eq!(v2["price"]["expected_cost"], v["price"]["expected_cost"]);
+        server.join();
+        // With the server gone, the same call is a service error.
+        assert!(matches!(call(&addr, &req), Err(CliError::Service(_))));
     }
 
     #[test]

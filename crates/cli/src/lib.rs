@@ -11,6 +11,9 @@
 //! snakes reorg    --schema schema.json --workload workload.json \
 //!                 --path 0,0,1,1 --cost 5000
 //! snakes sweep    [--records N] [--number W] [--threads N]
+//! snakes serve    [--addr H:P] [--workers N] [--queue N] [--metrics-every S]
+//! snakes call     [--addr H:P] --endpoint recommend --schema s.json \
+//!                 --workload w.json
 //! ```
 //!
 //! `sweep` runs one Table-4 row of the synthetic TPC-D experiment

@@ -6,7 +6,10 @@ fn main() {
     let read = |path: &str| std::fs::read_to_string(path);
     match snakes_cli::run(&args, &read) {
         Ok(out) => {
-            println!("{out}");
+            // `serve` prints its own lifecycle lines and returns empty.
+            if !out.is_empty() {
+                println!("{out}");
+            }
         }
         Err(e @ snakes_cli::CliError::Usage(_)) => {
             eprintln!("{e}");
@@ -19,6 +22,12 @@ fn main() {
                  \u{20}      snakes drift [--records N] [--epochs E] [--changes C] \
                  [--magnitude M] [--seed S] [--measure] [--threads N] \
                  [--engine cells|runs|auto]\n\
+                 \u{20}      snakes serve [--addr H:P] [--workers N] [--queue N] \
+                 [--retry-after-ms MS] [--metrics-every SECS]\n\
+                 \u{20}      snakes call [--addr H:P] --request r.json | --endpoint E \
+                 [--schema s.json] [--workload w.json] [--strategy d0,d1,...] \
+                 [--kind hilbert] [--plain] [--session S] [--deltas d.json] \
+                 [--deadline-ms MS]\n\
                  any command also accepts --stats (append a metrics trailer line)"
             );
             std::process::exit(2);

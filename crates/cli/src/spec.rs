@@ -1,221 +1,9 @@
-//! JSON input/output schemas of the CLI.
+//! Input document specs, re-exported from the service protocol.
+//!
+//! The schema/workload JSON formats started life here as CLI input files;
+//! the advisor service speaks the same documents on the wire, so the specs
+//! now live in [`snakes_service::protocol`] and this module re-exports
+//! them under their historical path for existing `snakes_cli::spec::…`
+//! users.
 
-use serde::{Deserialize, Serialize};
-use snakes_core::lattice::{Class, LatticeShape};
-use snakes_core::schema::{Hierarchy, StarSchema};
-use snakes_core::workload::Workload;
-
-/// Errors from spec parsing and validation.
-#[derive(Debug)]
-pub enum SpecError {
-    /// Malformed JSON.
-    Json(serde_json::Error),
-    /// Structurally valid JSON that does not describe a valid object.
-    Invalid(String),
-}
-
-impl std::fmt::Display for SpecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
-            SpecError::Invalid(m) => write!(f, "invalid specification: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for SpecError {}
-
-impl From<serde_json::Error> for SpecError {
-    fn from(e: serde_json::Error) -> Self {
-        SpecError::Json(e)
-    }
-}
-
-impl From<snakes_core::error::Error> for SpecError {
-    fn from(e: snakes_core::error::Error) -> Self {
-        SpecError::Invalid(e.to_string())
-    }
-}
-
-/// `{"dims": [{"name": ..., "fanouts": [...]}]}`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SchemaSpec {
-    /// The dimensions, leaf-adjacent fanouts first.
-    pub dims: Vec<DimSpec>,
-}
-
-/// One dimension of a [`SchemaSpec`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct DimSpec {
-    /// Dimension name.
-    pub name: String,
-    /// Per-level fanouts, `f(d, 1)` first.
-    pub fanouts: Vec<u64>,
-}
-
-impl SchemaSpec {
-    /// Parses and validates a schema document.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError`] on malformed JSON or invalid hierarchies.
-    pub fn parse(json: &str) -> Result<StarSchema, SpecError> {
-        let spec: SchemaSpec = serde_json::from_str(json)?;
-        let dims = spec
-            .dims
-            .into_iter()
-            .map(|d| Hierarchy::new(d.name, d.fanouts))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(StarSchema::new(dims)?)
-    }
-
-    /// Renders a schema back to its JSON spec.
-    pub fn render(schema: &StarSchema) -> String {
-        let spec = SchemaSpec {
-            dims: schema
-                .dims()
-                .iter()
-                .map(|h| DimSpec {
-                    name: h.name().to_string(),
-                    fanouts: h.fanouts().to_vec(),
-                })
-                .collect(),
-        };
-        serde_json::to_string_pretty(&spec).expect("spec serializes")
-    }
-}
-
-/// A sparse class weight.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ClassWeight {
-    /// Level per dimension.
-    pub class: Vec<usize>,
-    /// Non-negative weight (normalized across entries).
-    pub weight: f64,
-}
-
-/// One of three workload encodings (see crate docs).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct WorkloadSpec {
-    /// Dense probabilities in rank order.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub probs: Option<Vec<f64>>,
-    /// Sparse class weights.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub classes: Option<Vec<ClassWeight>>,
-    /// Per-dimension level distributions, multiplied.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub marginals: Option<Vec<Vec<f64>>>,
-}
-
-impl WorkloadSpec {
-    /// Parses and validates a workload document against a lattice.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError`] on malformed JSON, multiple encodings, or an
-    /// invalid distribution.
-    pub fn parse(json: &str, shape: &LatticeShape) -> Result<Workload, SpecError> {
-        let spec: WorkloadSpec = serde_json::from_str(json)?;
-        let provided = [
-            spec.probs.is_some(),
-            spec.classes.is_some(),
-            spec.marginals.is_some(),
-        ]
-        .iter()
-        .filter(|&&x| x)
-        .count();
-        if provided != 1 {
-            return Err(SpecError::Invalid(format!(
-                "exactly one of `probs`, `classes`, `marginals` must be given ({provided} were)"
-            )));
-        }
-        if let Some(probs) = spec.probs {
-            return Ok(Workload::new(shape.clone(), probs)?);
-        }
-        if let Some(classes) = spec.classes {
-            let mut weights = vec![0.0; shape.num_classes()];
-            for cw in classes {
-                let class = Class(cw.class);
-                shape.check(&class)?;
-                if cw.weight < 0.0 || cw.weight.is_nan() {
-                    return Err(SpecError::Invalid(format!(
-                        "negative weight for class {class}"
-                    )));
-                }
-                weights[shape.rank(&class)] += cw.weight;
-            }
-            return Ok(Workload::from_weights(shape.clone(), weights)?);
-        }
-        let marginals = spec.marginals.expect("one branch must hold");
-        Ok(Workload::product(shape.clone(), &marginals)?)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn schema_roundtrip() {
-        let json =
-            r#"{"dims":[{"name":"parts","fanouts":[40,5]},{"name":"time","fanouts":[12,7]}]}"#;
-        let schema = SchemaSpec::parse(json).unwrap();
-        assert_eq!(schema.k(), 2);
-        assert_eq!(schema.grid_shape(), vec![200, 84]);
-        let rendered = SchemaSpec::render(&schema);
-        let again = SchemaSpec::parse(&rendered).unwrap();
-        assert_eq!(schema, again);
-    }
-
-    #[test]
-    fn schema_rejects_bad_input() {
-        assert!(SchemaSpec::parse("{").is_err());
-        assert!(SchemaSpec::parse(r#"{"dims":[]}"#).is_err());
-        assert!(SchemaSpec::parse(r#"{"dims":[{"name":"x","fanouts":[0]}]}"#).is_err());
-    }
-
-    #[test]
-    fn workload_three_encodings() {
-        let shape = LatticeShape::new(vec![1, 1]);
-        let w1 = WorkloadSpec::parse(r#"{"probs":[0.25,0.25,0.25,0.25]}"#, &shape).unwrap();
-        let w2 = WorkloadSpec::parse(
-            r#"{"classes":[{"class":[0,0],"weight":1},{"class":[1,0],"weight":1},
-                           {"class":[0,1],"weight":1},{"class":[1,1],"weight":1}]}"#,
-            &shape,
-        )
-        .unwrap();
-        let w3 = WorkloadSpec::parse(r#"{"marginals":[[0.5,0.5],[0.5,0.5]]}"#, &shape).unwrap();
-        assert_eq!(w1, w2);
-        assert_eq!(w1, w3);
-    }
-
-    #[test]
-    fn workload_rejects_ambiguous_and_invalid() {
-        let shape = LatticeShape::new(vec![1, 1]);
-        assert!(WorkloadSpec::parse("{}", &shape).is_err());
-        assert!(
-            WorkloadSpec::parse(r#"{"probs":[1.0,0,0,0],"marginals":[[1,0],[1,0]]}"#, &shape)
-                .is_err()
-        );
-        assert!(WorkloadSpec::parse(r#"{"probs":[0.5,0.5]}"#, &shape).is_err());
-        assert!(
-            WorkloadSpec::parse(r#"{"classes":[{"class":[5,0],"weight":1}]}"#, &shape).is_err()
-        );
-        assert!(
-            WorkloadSpec::parse(r#"{"classes":[{"class":[0,0],"weight":-1}]}"#, &shape).is_err()
-        );
-    }
-
-    #[test]
-    fn sparse_weights_accumulate() {
-        let shape = LatticeShape::new(vec![1]);
-        let w = WorkloadSpec::parse(
-            r#"{"classes":[{"class":[0],"weight":1},{"class":[0],"weight":1},
-                           {"class":[1],"weight":2}]}"#,
-            &shape,
-        )
-        .unwrap();
-        assert!((w.prob(&Class(vec![0])) - 0.5).abs() < 1e-12);
-    }
-}
+pub use snakes_service::protocol::{ClassWeight, DimSpec, SchemaSpec, SpecError, WorkloadSpec};

@@ -21,7 +21,7 @@ use std::ops::Range;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DimensionTable {
     hierarchy: Hierarchy,
-    /// `names[level][index]` = member name; `names[0]` are the leaves.
+    /// `names[level][index]` = member name; `names\[0\]` are the leaves.
     names: Vec<Vec<String>>,
     /// Reverse index: name → (level, index). Names must be unique within a
     /// level; the same name at different levels is allowed (qualified

@@ -143,10 +143,10 @@ pub fn optimal_lattice_path(model: &CostModel, workload: &Workload) -> DpResult 
 
 /// The optimal lattice path **through** a given class — the clustering the
 /// paper suggests for the chunked file organization of Deshpande et al.
-/// [2]: fixing `via = (chunk levels)` makes every chunk a contiguous run on
+/// \[2\]: fixing `via = (chunk levels)` makes every chunk a contiguous run on
 /// disk (the loops below `via` fill one chunk before the loops above it
 /// move to the next), while both the intra-chunk and the inter-chunk orders
-/// are chosen optimally for the workload instead of [2]'s fixed row-major.
+/// are chosen optimally for the workload instead of \[2\]'s fixed row-major.
 ///
 /// The decomposition is exact: classes not above `via` depart on the
 /// prefix, classes above it on the suffix, so

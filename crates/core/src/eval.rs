@@ -1,0 +1,200 @@
+//! Unified evaluation options: one builder for every measurement knob.
+//!
+//! Earlier revisions scattered the evaluation configuration across crates:
+//! thread counts lived in [`ParallelConfig`], the query-pricing engine in
+//! `snakes-storage`'s `EvalEngine`, and each API grew its own setter
+//! (`TpcdConfig::with_threads`, `with_engine`, engine arguments on
+//! `workload_stats_with`, …). [`EvalOptions`] collapses them into a single
+//! value accepted everywhere an evaluation runs — storage measurement,
+//! TPC-D sweeps, curve search, and the advisor service. The old setters
+//! remain as `#[deprecated]` delegates.
+//!
+//! ```
+//! use snakes_core::eval::{EvalEngine, EvalOptions};
+//!
+//! // Serial, explicit runs engine:
+//! let opts = EvalOptions::serial().engine(EvalEngine::Runs);
+//! assert_eq!(opts.parallel.threads, 1);
+//!
+//! // Four worker threads, engine picked per curve:
+//! let opts = EvalOptions::new().threads(4);
+//! assert_eq!(opts.engine, EvalEngine::Auto);
+//! ```
+//!
+//! Results are **bit-identical** across every option combination: thread
+//! counts only change scheduling (reductions stay index-ordered), and the
+//! engines price the same integer costs (see `snakes-storage::exec`).
+
+use crate::parallel::ParallelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which engine prices grid queries.
+///
+/// Moved here from `snakes-storage` so every crate can accept it inside
+/// [`EvalOptions`]; `snakes_storage::EvalEngine` re-exports this type, so
+/// existing imports keep working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvalEngine {
+    /// Cell-at-a-time odometer: one page interval per selected cell,
+    /// merged after a sort.
+    Cells,
+    /// Run-based: price whole rank runs emitted by the curve's
+    /// `rank_runs`; intervals arrive pre-sorted, so merging is a
+    /// streaming pass. Works for every curve (non-structural curves fall
+    /// back to odometer+sort *inside* `rank_runs`), but only pays off for
+    /// structural ones.
+    Runs,
+    /// [`EvalEngine::Runs`] when the curve enumerates runs structurally,
+    /// else [`EvalEngine::Cells`].
+    #[default]
+    Auto,
+}
+
+impl EvalEngine {
+    /// Resolves the engine choice given whether the curve enumerates rank
+    /// runs structurally. (`snakes-storage` wraps this as `uses_runs`,
+    /// passing `Linearization::has_structural_runs`.)
+    #[must_use]
+    pub fn resolve(self, structural_runs: bool) -> bool {
+        match self {
+            EvalEngine::Cells => false,
+            EvalEngine::Runs => true,
+            EvalEngine::Auto => structural_runs,
+        }
+    }
+}
+
+impl std::str::FromStr for EvalEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cells" => Ok(EvalEngine::Cells),
+            "runs" => Ok(EvalEngine::Runs),
+            "auto" => Ok(EvalEngine::Auto),
+            other => Err(format!(
+                "unknown engine '{other}' (expected cells|runs|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EvalEngine::Cells => "cells",
+            EvalEngine::Runs => "runs",
+            EvalEngine::Auto => "auto",
+        })
+    }
+}
+
+/// Every evaluation knob in one place: thread-pool shape and query
+/// engine. The default is fully automatic (one worker per core, engine
+/// picked per curve); the builder methods override one knob at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// Thread-pool shape for parallel measurement (`threads: 0` = one per
+    /// core, `threads: 1` = serial). Results are bit-identical either way.
+    #[serde(default)]
+    pub parallel: ParallelConfig,
+    /// Query evaluation engine. Results are bit-identical across engines.
+    #[serde(default)]
+    pub engine: EvalEngine,
+}
+
+impl EvalOptions {
+    /// Fully automatic options: one worker per core, engine per curve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options that always evaluate serially (thread count 1).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            parallel: ParallelConfig::serial(),
+            engine: EvalEngine::default(),
+        }
+    }
+
+    /// Sets the worker thread count (0 = one per core, 1 = serial).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.parallel.threads = threads;
+        self
+    }
+
+    /// Sets the steal granularity (0 = automatic).
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.parallel.chunk_size = chunk_size;
+        self
+    }
+
+    /// Sets the query evaluation engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the whole thread-pool shape.
+    #[must_use]
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_each_knob() {
+        let opts = EvalOptions::new()
+            .threads(4)
+            .chunk_size(7)
+            .engine(EvalEngine::Runs);
+        assert_eq!(opts.parallel.threads, 4);
+        assert_eq!(opts.parallel.chunk_size, 7);
+        assert_eq!(opts.engine, EvalEngine::Runs);
+        assert_eq!(EvalOptions::serial().parallel, ParallelConfig::serial());
+        assert_eq!(
+            EvalOptions::new()
+                .parallel(ParallelConfig::with_threads(3))
+                .parallel
+                .threads,
+            3
+        );
+    }
+
+    #[test]
+    fn engine_resolution() {
+        assert!(!EvalEngine::Cells.resolve(true));
+        assert!(EvalEngine::Runs.resolve(false));
+        assert!(EvalEngine::Auto.resolve(true));
+        assert!(!EvalEngine::Auto.resolve(false));
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        for e in [EvalEngine::Cells, EvalEngine::Runs, EvalEngine::Auto] {
+            assert_eq!(e.to_string().parse::<EvalEngine>(), Ok(e));
+        }
+        assert!("fast".parse::<EvalEngine>().is_err());
+    }
+
+    #[test]
+    fn options_serde_roundtrip_and_defaults() {
+        let opts = EvalOptions::new().threads(2).engine(EvalEngine::Cells);
+        let json = serde_json::to_string(&opts).unwrap();
+        let back: EvalOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(opts, back);
+        // Missing fields default — forward compatible with older documents.
+        let sparse: EvalOptions = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, EvalOptions::default());
+    }
+}

@@ -10,10 +10,10 @@ use crate::lattice::Class;
 use crate::path::LatticePath;
 use crate::snake::{snake_edge_counts, snaked_dist_from_counts};
 use crate::workload::Workload;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One class's share of the expected cost.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassContribution {
     /// The query class.
     pub class: Vec<usize>,
@@ -32,7 +32,7 @@ pub struct ClassContribution {
 }
 
 /// The full explanation of a clustering's expected cost.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostExplanation {
     /// The explained path, as its step dimensions.
     pub path_dims: Vec<usize>,

@@ -51,6 +51,7 @@ pub mod cv;
 pub mod dimension;
 pub mod dp;
 pub mod error;
+pub mod eval;
 pub mod explain;
 pub mod lattice;
 pub mod parallel;
@@ -78,6 +79,7 @@ pub mod prelude {
         IncrementalOutcome,
     };
     pub use crate::error::{Error, Result};
+    pub use crate::eval::{EvalEngine, EvalOptions};
     pub use crate::explain::{explain, ClassContribution, CostExplanation};
     pub use crate::lattice::{Class, LatticeShape};
     pub use crate::parallel::ParallelConfig;

@@ -198,7 +198,7 @@ pub struct TreeHierarchy {
 }
 
 impl TreeHierarchy {
-    /// Builds a tree hierarchy from a parent array (`parent[0]` must be 0 and
+    /// Builds a tree hierarchy from a parent array (`parent\[0\]` must be 0 and
     /// denotes the root; every other node's parent must precede it).
     ///
     /// # Errors
@@ -305,7 +305,7 @@ pub struct BalancedView {
     pub levels: usize,
     /// `average_fanouts[i]` = average `f(d, i+1)` over the padded tree.
     pub average_fanouts: Vec<f64>,
-    /// Node counts per level, `leaves_per_level[0]` = padded leaf count.
+    /// Node counts per level, `leaves_per_level\[0\]` = padded leaf count.
     pub leaves_per_level: Vec<u64>,
 }
 

@@ -131,7 +131,7 @@ pub fn hilbert_sandwich_certificate(n: usize) -> SandwichCertificate {
 
 /// Searches every pair of snaked lattice paths for one whose costs
 /// sandwich the Hilbert curve's on every workload (the §8 claim, whose
-/// proof was deferred to the never-published full version [14]). Returns
+/// proof was deferred to the never-published full version \[14\]). Returns
 /// the first certified pair, or `None` — itself a reproduction result.
 pub fn hilbert_sandwich_pair(n: usize) -> Option<(LatticePath, LatticePath)> {
     hilbert_sandwich_pair_with(n, ParallelConfig::serial())

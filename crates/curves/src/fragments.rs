@@ -16,7 +16,7 @@ use snakes_core::workload::Workload;
 use std::ops::Range;
 
 /// Number of contiguous rank fragments covering the subgrid
-/// `ranges[0] × ranges[1] × ...`.
+/// `ranges\[0\] × ranges\[1\] × ...`.
 ///
 /// Counts the runs emitted by [`Linearization::rank_runs`], so curves with
 /// structural run enumeration are priced in closed form and the rest fall

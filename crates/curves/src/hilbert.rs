@@ -1,4 +1,4 @@
-//! The Hilbert curve (Faloutsos & Roseman [6], Jagadish [12]) in any number
+//! The Hilbert curve (Faloutsos & Roseman \[6\], Jagadish \[12\]) in any number
 //! of dimensions, via John Skilling's transpose algorithm
 //! ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
 //!

@@ -98,7 +98,7 @@ pub trait Linearization {
     }
 
     /// Enumerates the maximal runs of consecutive ranks covering the
-    /// subgrid `ranges[0] × ranges[1] × ...`, in increasing rank order.
+    /// subgrid `ranges\[0\] × ranges\[1\] × ...`, in increasing rank order.
     /// `sink` receives each run as `(start, len)`; runs never touch
     /// (adjacent ranks are always merged into one run), so the number of
     /// sink calls *is* the query's fragment count.

@@ -74,7 +74,7 @@ impl NestedLoops {
         }
     }
 
-    /// Plain row-major order: one loop per dimension, `order[0]` innermost
+    /// Plain row-major order: one loop per dimension, `order\[0\]` innermost
     /// (fastest-varying).
     ///
     /// # Panics

@@ -16,6 +16,7 @@
 //! checks exactly that (and that it does escape bad row-major starts).
 
 use crate::Linearization;
+use snakes_core::eval::EvalOptions;
 use snakes_core::lattice::LatticeShape;
 use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
@@ -283,6 +284,25 @@ pub fn multistart_two_opt(
         cost,
         strategy,
     }
+}
+
+/// [`multistart_two_opt`] driven by [`EvalOptions`]: restarts fan out
+/// across `opts.parallel`'s workers. (The engine knob is irrelevant here —
+/// the search prices explicit strategies through [`EdgeWeights`], not a
+/// storage measurement.)
+///
+/// # Panics
+///
+/// As [`multistart_two_opt`].
+pub fn multistart_two_opt_opts(
+    schema: &StarSchema,
+    workload: &Workload,
+    starts: &[ExplicitStrategy],
+    iters: u64,
+    seed: u64,
+    opts: &EvalOptions,
+) -> MultistartResult {
+    multistart_two_opt(schema, workload, starts, iters, seed, opts.parallel)
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! The Z-curve (bit interleaving / Morton order) — Orenstein & Merrett
-//! [17], the quadrant-based strategy of the paper's Figure 2(a) family.
+//! \[17\], the quadrant-based strategy of the paper's Figure 2(a) family.
 
 use crate::nested::{Loop, NestedLoops};
 use crate::Linearization;

@@ -1,0 +1,76 @@
+//! A small blocking client for the JSON-lines protocol: one request in
+//! flight per connection; open several connections for concurrency.
+
+use crate::error::ServiceError;
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its response. A request with id 0
+    /// is assigned the connection's next sequence number; the response's
+    /// echoed id is verified either way.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on transport failure, [`ServiceError::Protocol`]
+    /// on a malformed or mismatched response line. Server-side failures are
+    /// *not* errors here — they come back as `ok: false` responses.
+    pub fn call(&mut self, mut request: Request) -> Result<Response, ServiceError> {
+        if request.id == 0 {
+            request.id = self.next_id;
+            self.next_id += 1;
+        }
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServiceError::Protocol(
+                "server closed the connection".into(),
+            ));
+        }
+        let response = Response::parse(&reply)
+            .map_err(|e| ServiceError::Protocol(format!("malformed response: {e}")))?;
+        if response.id != request.id {
+            return Err(ServiceError::Protocol(format!(
+                "response id {} does not match request id {}",
+                response.id, request.id
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<Response, ServiceError> {
+        self.call(Request::new("shutdown"))
+    }
+}

@@ -1,0 +1,665 @@
+//! The advisor engine: endpoint handlers executing against state shared
+//! by every connection — the crossing-signature cache, the physical cost
+//! memo, and the drift-session registry.
+//!
+//! The engine is transport-agnostic: [`Engine::handle`] maps one
+//! [`Request`] to one [`Response`], so tests (and the in-process client)
+//! can drive it without a socket. Everything it computes is bit-identical
+//! to the corresponding direct library call — caches only ever memoize
+//! pure functions of their keys, and f64s survive the JSON wire because
+//! Rust formats them shortest-roundtrip.
+
+use crate::error::ServiceError;
+use crate::metrics::Registry;
+use crate::protocol::{
+    CacheStatsBody, DriftBody, MeasuredBody, PriceBody, RecommendationBody, Request, Response,
+    RowMajorBody, StatsBody, StrategySpec,
+};
+use parking_lot::Mutex;
+use snakes_core::advisor::{recommend_with_model, Recommendation};
+use snakes_core::cost::CostModel;
+use snakes_core::dp::IncrementalDp;
+use snakes_core::lattice::LatticeShape;
+use snakes_core::path::LatticePath;
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::{VersionedWorkload, Workload, WorkloadDelta};
+use snakes_curves::{
+    path_curve, snaked_path_curve, CompactHilbert, Linearization, SignatureCache, StrategyId,
+};
+use snakes_storage::{CellData, PackedLayout, SharedCostMemo, StorageConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest grid a `measure` request may pack (cells). Keeps one hostile
+/// request from allocating the machine away; analytic pricing has no such
+/// bound (signature tables are O(|L|)).
+pub const MAX_MEASURE_CELLS: u64 = 1 << 22;
+
+/// A per-request deadline, measured from admission. Handlers check it
+/// cooperatively at stage boundaries (between parse, optimize, pack and
+/// measure), so an expired request stops consuming its worker early.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `ms` milliseconds after `start` (`None` = unbounded).
+    pub fn from_ms(start: Instant, ms: Option<u64>) -> Self {
+        Deadline {
+            at: ms.map(|m| start + std::time::Duration::from_millis(m)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Errors with [`ServiceError::DeadlineExceeded`] once expired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::DeadlineExceeded`] when expired.
+    pub fn check(&self) -> Result<(), ServiceError> {
+        if self.expired() {
+            Err(ServiceError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// One drift session: a versioned workload and its incremental DP, pinned
+/// to the schema it was created with.
+struct DriftSession {
+    schema_fingerprint: u64,
+    versioned: VersionedWorkload,
+    dp: IncrementalDp,
+}
+
+/// The shared advisor state. One engine serves every connection of a
+/// server; `Arc<Engine>` is the unit of sharing.
+pub struct Engine {
+    signatures: Mutex<SignatureCache>,
+    memo: SharedCostMemo,
+    sessions: Mutex<HashMap<String, Arc<Mutex<DriftSession>>>>,
+    /// Request-outcome counters, shared with the server's admission path.
+    pub registry: Registry,
+    started: Instant,
+    workers: u64,
+    queue_capacity: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with empty caches.
+    pub fn new() -> Self {
+        Engine {
+            signatures: Mutex::new(SignatureCache::new()),
+            memo: SharedCostMemo::new(),
+            sessions: Mutex::new(HashMap::new()),
+            registry: Registry::new(),
+            started: Instant::now(),
+            workers: 0,
+            queue_capacity: 0,
+        }
+    }
+
+    /// As [`Engine::new`], recording the server's worker count and queue
+    /// capacity for the `stats` endpoint.
+    pub fn with_limits(workers: usize, queue_capacity: usize) -> Self {
+        Engine {
+            workers: workers as u64,
+            queue_capacity: queue_capacity as u64,
+            ..Engine::new()
+        }
+    }
+
+    /// Executes one request. Transport errors aside, every failure is
+    /// reported in-band as an error body; the response always echoes the
+    /// request id.
+    pub fn handle(&self, req: &Request, deadline: &Deadline) -> Response {
+        let result = match req.endpoint.as_str() {
+            "recommend" => self.recommend(req, deadline),
+            "price" => self.price(req, deadline),
+            "drift" => self.drift(req, deadline),
+            "explain" => self.explain(req, deadline),
+            "stats" => self.stats(req),
+            "ping" => Ok(Response::ok(req.id)),
+            other => Err(ServiceError::BadRequest(format!(
+                "unknown endpoint `{other}`"
+            ))),
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(e) => Response::err(req.id, e.to_body()),
+        }
+    }
+
+    fn parse_inputs(&self, req: &Request) -> Result<(StarSchema, Workload), ServiceError> {
+        let schema = req
+            .schema
+            .clone()
+            .ok_or_else(|| ServiceError::BadRequest("`schema` is required".into()))?
+            .build()?;
+        let shape = LatticeShape::of_schema(&schema);
+        let workload = req
+            .workload
+            .clone()
+            .ok_or_else(|| ServiceError::BadRequest("`workload` is required".into()))?
+            .build(&shape)?;
+        Ok((schema, workload))
+    }
+
+    fn recommend(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
+        let (schema, workload) = self.parse_inputs(req)?;
+        deadline.check()?;
+        let model = CostModel::of_schema(&schema);
+        let rec = recommend_with_model(&model, &workload);
+        Ok(Response {
+            recommendation: Some(recommendation_body(&rec)),
+            ..Response::ok(req.id)
+        })
+    }
+
+    fn price(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
+        let (schema, workload) = self.parse_inputs(req)?;
+        let strategy = req
+            .strategy
+            .clone()
+            .ok_or_else(|| ServiceError::BadRequest("`strategy` is required".into()))?;
+        let (curve, id, label) = resolve_strategy(&schema, &strategy)?;
+        deadline.check()?;
+        let (expected_cost, cache_hit) = {
+            let mut cache = self.signatures.lock();
+            let hits_before = cache.hits();
+            let table = cache.get_or_compute(&schema, &curve, &id);
+            (table.expected_cost(&workload), cache.hits() > hits_before)
+        };
+        deadline.check()?;
+        let measured = match &req.measure {
+            None => None,
+            Some(m) => {
+                let cells = schema.num_cells();
+                if cells > MAX_MEASURE_CELLS {
+                    return Err(ServiceError::BadRequest(format!(
+                        "grid has {cells} cells; physical measurement is capped at \
+                         {MAX_MEASURE_CELLS}"
+                    )));
+                }
+                if m.records_per_cell == 0 || m.page_size == 0 || m.record_size == 0 {
+                    return Err(ServiceError::BadRequest(
+                        "`measure` fields must be positive".into(),
+                    ));
+                }
+                let data = CellData::from_counts(
+                    schema.grid_shape(),
+                    vec![m.records_per_cell; cells as usize],
+                );
+                let layout = PackedLayout::pack(
+                    &curve,
+                    &data,
+                    StorageConfig {
+                        page_size: m.page_size,
+                        record_size: m.record_size,
+                    },
+                );
+                deadline.check()?;
+                let eval = req.eval.unwrap_or_default();
+                let stats =
+                    self.memo
+                        .workload_stats(&schema, &curve, &layout, &workload, eval.engine);
+                Some(MeasuredBody {
+                    avg_seeks: stats.avg_seeks,
+                    avg_normalized_blocks: stats.avg_normalized_blocks,
+                })
+            }
+        };
+        Ok(Response {
+            price: Some(PriceBody {
+                strategy: label,
+                expected_cost,
+                cache_hit,
+                measured,
+            }),
+            ..Response::ok(req.id)
+        })
+    }
+
+    fn drift(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
+        let name = req
+            .session
+            .clone()
+            .ok_or_else(|| ServiceError::BadRequest("`session` is required".into()))?;
+        let session = {
+            let mut sessions = self.sessions.lock();
+            match sessions.get(&name) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let (schema, workload) = self.parse_inputs(req).map_err(|e| {
+                        ServiceError::BadRequest(format!(
+                            "session `{name}` does not exist and cannot be created: {e}"
+                        ))
+                    })?;
+                    let model = CostModel::of_schema(&schema);
+                    let s = Arc::new(Mutex::new(DriftSession {
+                        schema_fingerprint: schema.fingerprint(),
+                        versioned: VersionedWorkload::new(workload),
+                        dp: IncrementalDp::new(model),
+                    }));
+                    sessions.insert(name.clone(), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        let mut session = session.lock();
+        if let Some(spec) = &req.schema {
+            // A schema on a follow-up call must agree with the session's.
+            let schema = spec.clone().build()?;
+            if schema.fingerprint() != session.schema_fingerprint {
+                return Err(ServiceError::BadRequest(format!(
+                    "session `{name}` was created for a different schema"
+                )));
+            }
+        }
+        deadline.check()?;
+        // Coalesce: apply every delta (each bumps the version), then
+        // re-optimize once, on the final distribution.
+        let deltas = req.deltas.as_deref().unwrap_or(&[]);
+        let mut drift_tv = 0.0;
+        for spec in deltas {
+            let delta = WorkloadDelta::new(spec.updates.clone())?;
+            drift_tv += session.versioned.apply(&delta)?;
+        }
+        deadline.check()?;
+        let workload = session.versioned.workload().clone();
+        let outcome = session.dp.reoptimize(&workload);
+        Ok(Response {
+            drift: Some(DriftBody {
+                session: name,
+                version: session.versioned.version(),
+                coalesced: deltas.len(),
+                drift_tv,
+                path_dims: outcome.path.dims().to_vec(),
+                path: outcome.path.to_string(),
+                cost: outcome.cost,
+                reused: outcome.reused,
+                shift_bound: outcome.shift_bound,
+                gap: outcome.gap,
+            }),
+            ..Response::ok(req.id)
+        })
+    }
+
+    fn explain(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
+        let (schema, workload) = self.parse_inputs(req)?;
+        let model = CostModel::of_schema(&schema);
+        deadline.check()?;
+        let path = match &req.strategy {
+            Some(s) => {
+                let dims = s.dims.clone().ok_or_else(|| {
+                    ServiceError::BadRequest("`explain` strategies must carry `dims`".into())
+                })?;
+                LatticePath::from_dims(model.shape().clone(), dims)?
+            }
+            None => snakes_core::dp::optimal_lattice_path(&model, &workload).path,
+        };
+        let explanation = snakes_core::explain::explain(&model, &path, &workload);
+        Ok(Response {
+            explanation: Some(explanation),
+            ..Response::ok(req.id)
+        })
+    }
+
+    fn stats(&self, req: &Request) -> Result<Response, ServiceError> {
+        Ok(Response {
+            stats: Some(self.stats_body()),
+            ..Response::ok(req.id)
+        })
+    }
+
+    /// The current `stats` payload (also used by the serve ticker).
+    pub fn stats_body(&self) -> StatsBody {
+        let signature_cache = {
+            let cache = self.signatures.lock();
+            CacheStatsBody {
+                hits: cache.hits(),
+                misses: cache.misses(),
+                entries: cache.len() as u64,
+            }
+        };
+        StatsBody {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            workers: self.workers,
+            queue_capacity: self.queue_capacity,
+            queue_depth: self
+                .registry
+                .queue_depth
+                .load(std::sync::atomic::Ordering::Relaxed),
+            sessions: self.sessions.lock().len() as u64,
+            signature_cache,
+            cost_memo: CacheStatsBody {
+                hits: self.memo.hits(),
+                misses: self.memo.misses(),
+                entries: self.memo.len() as u64,
+            },
+            endpoints: self.registry.to_bodies(),
+        }
+    }
+}
+
+/// An owned linearization over a schema's grid: the two families the wire
+/// protocol can name.
+enum WireCurve {
+    Path(snakes_curves::nested::NestedLoops),
+    Hilbert(CompactHilbert),
+}
+
+impl Linearization for WireCurve {
+    fn extents(&self) -> &[u64] {
+        match self {
+            WireCurve::Path(c) => c.extents(),
+            WireCurve::Hilbert(c) => c.extents(),
+        }
+    }
+    fn rank(&self, coords: &[u64]) -> u64 {
+        match self {
+            WireCurve::Path(c) => c.rank(coords),
+            WireCurve::Hilbert(c) => c.rank(coords),
+        }
+    }
+    fn coords(&self, rank: u64, out: &mut [u64]) {
+        match self {
+            WireCurve::Path(c) => c.coords(rank, out),
+            WireCurve::Hilbert(c) => c.coords(rank, out),
+        }
+    }
+    fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
+        match self {
+            WireCurve::Path(c) => c.rank_runs(ranges, sink),
+            WireCurve::Hilbert(c) => c.rank_runs(ranges, sink),
+        }
+    }
+    fn has_structural_runs(&self) -> bool {
+        match self {
+            WireCurve::Path(c) => c.has_structural_runs(),
+            WireCurve::Hilbert(c) => c.has_structural_runs(),
+        }
+    }
+}
+
+fn resolve_strategy(
+    schema: &StarSchema,
+    spec: &StrategySpec,
+) -> Result<(WireCurve, StrategyId, String), ServiceError> {
+    match (&spec.dims, spec.kind.as_deref()) {
+        (Some(dims), None) => {
+            let shape = LatticeShape::of_schema(schema);
+            let path = LatticePath::from_dims(shape, dims.clone())?;
+            let curve = if spec.snaked {
+                snaked_path_curve(schema, &path)
+            } else {
+                path_curve(schema, &path)
+            };
+            let label = if spec.snaked {
+                format!("{path} (snaked)")
+            } else {
+                path.to_string()
+            };
+            Ok((
+                WireCurve::Path(curve),
+                StrategyId::Path {
+                    dims: dims.clone(),
+                    snaked: spec.snaked,
+                },
+                label,
+            ))
+        }
+        (None, Some("hilbert")) => Ok((
+            WireCurve::Hilbert(CompactHilbert::new(schema.grid_shape())),
+            StrategyId::Named("hilbert".into()),
+            "hilbert".into(),
+        )),
+        (None, Some(other)) => Err(ServiceError::BadRequest(format!(
+            "unknown strategy kind `{other}`"
+        ))),
+        (Some(_), Some(_)) => Err(ServiceError::BadRequest(
+            "give either `dims` or `kind`, not both".into(),
+        )),
+        (None, None) => Err(ServiceError::BadRequest(
+            "`strategy` needs `dims` or `kind`".into(),
+        )),
+    }
+}
+
+fn recommendation_body(rec: &Recommendation) -> RecommendationBody {
+    RecommendationBody {
+        path_dims: rec.optimal_path.dims().to_vec(),
+        path: rec.optimal_path.to_string(),
+        expected_cost_plain: rec.plain_cost,
+        expected_cost_snaked: rec.snaked_cost,
+        guarantee_factor: rec.guarantee_factor,
+        max_snaking_benefit: rec.max_snaking_benefit,
+        row_majors: rec
+            .row_majors
+            .iter()
+            .map(|(order, plain, snaked)| RowMajorBody {
+                order_innermost_first: order.clone(),
+                cost_plain: *plain,
+                cost_snaked: *snaked,
+            })
+            .collect(),
+        savings_vs_worst_row_major: rec.savings_vs_worst_row_major(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DeltaSpec, SchemaSpec, WorkloadSpec};
+    use snakes_core::workload::WeightUpdate;
+
+    fn toy_schema() -> SchemaSpec {
+        SchemaSpec::of(&StarSchema::paper_toy())
+    }
+
+    fn uniform_workload() -> WorkloadSpec {
+        let shape = LatticeShape::of_schema(&StarSchema::paper_toy());
+        WorkloadSpec::of(&Workload::uniform(shape))
+    }
+
+    #[test]
+    fn recommend_matches_direct_library_call() {
+        let engine = Engine::new();
+        let req = Request::recommend(toy_schema(), uniform_workload());
+        let resp = engine.handle(&req, &Deadline::none());
+        assert!(resp.ok, "{:?}", resp.error);
+        let body = resp.recommendation.unwrap();
+        let schema = StarSchema::paper_toy();
+        let w = Workload::uniform(LatticeShape::of_schema(&schema));
+        let direct = snakes_core::advisor::recommend(&schema, &w);
+        assert_eq!(body.path_dims, direct.optimal_path.dims().to_vec());
+        assert_eq!(
+            body.expected_cost_snaked.to_bits(),
+            direct.snaked_cost.to_bits()
+        );
+        assert_eq!(
+            body.expected_cost_plain.to_bits(),
+            direct.plain_cost.to_bits()
+        );
+        assert_eq!(body.row_majors.len(), direct.row_majors.len());
+    }
+
+    #[test]
+    fn price_is_bit_identical_and_caches() {
+        let engine = Engine::new();
+        let schema = StarSchema::paper_toy();
+        let shape = LatticeShape::of_schema(&schema);
+        let w = Workload::uniform(shape.clone());
+        let dims = snakes_core::dp::optimal_lattice_path(&CostModel::of_schema(&schema), &w)
+            .path
+            .dims()
+            .to_vec();
+        let req = Request::price(
+            toy_schema(),
+            uniform_workload(),
+            StrategySpec::snaked_path(dims.clone()),
+        );
+        let first = engine.handle(&req, &Deadline::none());
+        assert!(first.ok, "{:?}", first.error);
+        let body = first.price.unwrap();
+        assert!(!body.cache_hit);
+        // Direct: aggregate the same curve, price the same workload.
+        let path = LatticePath::from_dims(shape, dims).unwrap();
+        let curve = snaked_path_curve(&schema, &path);
+        let direct = snakes_curves::aggregate_class_costs(&schema, &curve).expected_cost(&w);
+        assert_eq!(body.expected_cost.to_bits(), direct.to_bits());
+        // Second identical request hits the shared cache.
+        let second = engine.handle(&req, &Deadline::none()).price.unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.expected_cost.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn price_measures_physically_through_the_memo() {
+        let engine = Engine::new();
+        let mut req = Request::price(
+            toy_schema(),
+            uniform_workload(),
+            StrategySpec::snaked_path(vec![0, 1, 0, 1]),
+        );
+        req.measure = Some(crate::protocol::MeasureSpec {
+            records_per_cell: 3,
+            page_size: 512,
+            record_size: 125,
+        });
+        let resp = engine.handle(&req, &Deadline::none());
+        assert!(resp.ok, "{:?}", resp.error);
+        let m = resp.price.unwrap().measured.unwrap();
+        assert!(m.avg_normalized_blocks >= 1.0);
+        assert!(m.avg_seeks >= 1.0);
+        let stats = engine.stats_body();
+        assert!(stats.cost_memo.misses > 0);
+        // Identical measurement: all memo hits, identical numbers.
+        let again = engine.handle(&req, &Deadline::none());
+        let m2 = again.price.unwrap().measured.unwrap();
+        assert_eq!(m2.avg_seeks.to_bits(), m.avg_seeks.to_bits());
+        let stats2 = engine.stats_body();
+        assert_eq!(stats2.cost_memo.misses, stats.cost_memo.misses);
+        assert!(stats2.cost_memo.hits > stats.cost_memo.hits);
+    }
+
+    #[test]
+    fn drift_session_coalesces_and_warm_restarts() {
+        let engine = Engine::new();
+        // Irregular weights so no two paths tie and the stability gap is
+        // positive (mirrors the core dp warm-restart test).
+        let schema = StarSchema::paper_toy();
+        let shape = LatticeShape::of_schema(&schema);
+        let n = shape.num_classes();
+        let w = Workload::from_weights(
+            shape.clone(),
+            (0..n).map(|r| 1.0 + r as f64 * 0.13).collect(),
+        )
+        .unwrap();
+        // Initialize the session.
+        let mut init = Request::drift("s1", vec![]);
+        init.schema = Some(toy_schema());
+        init.workload = Some(crate::protocol::WorkloadSpec::of(&w));
+        let r0 = engine.handle(&init, &Deadline::none());
+        assert!(r0.ok, "{:?}", r0.error);
+        let d0 = r0.drift.unwrap();
+        assert_eq!(d0.version, 0);
+        assert!(!d0.reused, "first call runs the full DP");
+        assert!(
+            d0.gap.is_finite() && d0.gap > 0.0,
+            "test needs a unique optimum, gap {}",
+            d0.gap
+        );
+        // Two tiny deltas in one request: versions advance by 2, one
+        // re-optimization, warm restart — each perturbation far inside
+        // the stability radius certified by the gap.
+        let model = CostModel::of_schema(&schema);
+        let dmax_top = model.len_between(&shape.bottom(), &shape.top());
+        let eps = d0.gap / (1000.0 * dmax_top);
+        let deltas = vec![
+            DeltaSpec {
+                updates: vec![WeightUpdate {
+                    rank: 0,
+                    weight: w.prob_by_rank(0) + eps,
+                }],
+            },
+            DeltaSpec {
+                updates: vec![WeightUpdate {
+                    rank: 1,
+                    weight: w.prob_by_rank(1) + eps / 2.0,
+                }],
+            },
+        ];
+        let r1 = engine.handle(&Request::drift("s1", deltas), &Deadline::none());
+        let d1 = r1.drift.unwrap();
+        assert_eq!(d1.version, 2);
+        assert_eq!(d1.coalesced, 2);
+        assert!(d1.drift_tv > 0.0);
+        assert!(d1.reused, "tiny drift must warm-restart");
+        assert_eq!(engine.stats_body().sessions, 1);
+        // Unknown session without schema/workload is a bad request.
+        let r2 = engine.handle(&Request::drift("nope", vec![]), &Deadline::none());
+        assert!(!r2.ok);
+        assert_eq!(r2.error.unwrap().code, "bad_request");
+    }
+
+    #[test]
+    fn explain_names_the_top_contributors() {
+        let engine = Engine::new();
+        let mut req = Request::new("explain");
+        req.schema = Some(toy_schema());
+        req.workload = Some(uniform_workload());
+        let resp = engine.handle(&req, &Deadline::none());
+        assert!(resp.ok, "{:?}", resp.error);
+        let e = resp.explanation.unwrap();
+        assert!(!e.classes.is_empty());
+        assert!(e.snaked_total > 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_short_circuits() {
+        let engine = Engine::new();
+        let req = Request::recommend(toy_schema(), uniform_workload());
+        let past = Deadline::from_ms(Instant::now() - std::time::Duration::from_secs(1), Some(0));
+        let resp = engine.handle(&req, &past);
+        assert!(!resp.ok);
+        assert_eq!(resp.error.unwrap().code, "deadline_exceeded");
+    }
+
+    #[test]
+    fn bad_requests_are_reported_in_band() {
+        let engine = Engine::new();
+        let resp = engine.handle(&Request::new("frobnicate"), &Deadline::none());
+        assert!(!resp.ok);
+        assert_eq!(resp.error.unwrap().code, "bad_request");
+        let resp = engine.handle(&Request::new("price"), &Deadline::none());
+        assert_eq!(resp.error.unwrap().code, "bad_request");
+        let mut req = Request::price(toy_schema(), uniform_workload(), StrategySpec::default());
+        let resp = engine.handle(&req, &Deadline::none());
+        assert_eq!(resp.error.unwrap().code, "bad_request");
+        req.strategy = Some(StrategySpec {
+            kind: Some("peano".into()),
+            ..StrategySpec::default()
+        });
+        let resp = engine.handle(&req, &Deadline::none());
+        assert!(resp.error.unwrap().message.contains("peano"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Service-side failures and their wire mapping.
+
+use crate::protocol::{ErrorBody, SpecError};
+
+/// Everything that can go wrong serving a request (or, client-side,
+/// issuing one).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The request document is invalid (bad spec, missing field, unknown
+    /// endpoint or strategy).
+    BadRequest(String),
+    /// The admission queue is full; retry after the suggested backoff.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before or during execution.
+    DeadlineExceeded,
+    /// The server is draining and no longer admits new work.
+    ShuttingDown,
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The peer broke the line protocol (malformed JSON, closed stream).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::ShuttingDown => write!(f, "shutting down"),
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for ServiceError {
+    fn from(e: SpecError) -> Self {
+        ServiceError::BadRequest(e.to_string())
+    }
+}
+
+impl From<snakes_core::error::Error> for ServiceError {
+    fn from(e: snakes_core::error::Error) -> Self {
+        ServiceError::BadRequest(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl ServiceError {
+    /// The stable wire code for this failure.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline_exceeded",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Io(_) | ServiceError::Protocol(_) => "internal",
+        }
+    }
+
+    /// The wire error body for this failure.
+    pub fn to_body(&self) -> ErrorBody {
+        ErrorBody {
+            code: self.code().into(),
+            message: self.to_string(),
+            retry_after_ms: match self {
+                ServiceError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_bodies() {
+        let e = ServiceError::Overloaded { retry_after_ms: 40 };
+        assert_eq!(e.code(), "overloaded");
+        let body = e.to_body();
+        assert_eq!(body.retry_after_ms, Some(40));
+        assert_eq!(ServiceError::DeadlineExceeded.code(), "deadline_exceeded");
+        assert_eq!(ServiceError::ShuttingDown.code(), "shutting_down");
+        assert_eq!(ServiceError::BadRequest("x".into()).code(), "bad_request");
+        assert!(ServiceError::BadRequest("missing schema".into())
+            .to_string()
+            .contains("missing schema"));
+    }
+}

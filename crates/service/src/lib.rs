@@ -1,0 +1,54 @@
+//! # snakes-service
+//!
+//! A long-running clustering **advisor daemon** over the `snakes`
+//! libraries: a versioned JSON-lines protocol on TCP serving
+//!
+//! * `recommend` — the paper's full advice (optimal lattice path, snaked
+//!   vs. plain costs, Theorem 3 guarantee) for a posted schema + workload;
+//! * `price` — expected cost of a named strategy through a shared
+//!   [crossing-signature cache](snakes_curves::SignatureCache), with
+//!   optional physical measurement through a shared cost memo;
+//! * `drift` — named sessions streaming sparse workload deltas into an
+//!   [incremental DP](snakes_core::dp::IncrementalDp) warm restart,
+//!   coalescing each request's deltas into one re-optimization;
+//! * `explain` — per-class cost attribution for a strategy;
+//! * `stats` — cache hit rates, per-endpoint latency histograms, queue
+//!   depth.
+//!
+//! The daemon is plain `std::net` + threads: a bounded admission queue
+//! sheds load instead of stalling, per-request deadlines cancel
+//! cooperatively, and `shutdown`/SIGTERM drains without losing in-flight
+//! responses. Every answer is bit-identical to the corresponding direct
+//! library call.
+//!
+//! ```no_run
+//! use snakes_service::{Client, Request, Server, ServerConfig};
+//! # use snakes_service::protocol::{SchemaSpec, WorkloadSpec};
+//! # use snakes_core::{lattice::LatticeShape, schema::StarSchema, workload::Workload};
+//! let server = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! # let schema = StarSchema::paper_toy();
+//! # let workload = Workload::uniform(LatticeShape::of_schema(&schema));
+//! let resp = client
+//!     .call(Request::recommend(SchemaSpec::of(&schema), WorkloadSpec::of(&workload)))
+//!     .unwrap();
+//! println!("{}", resp.recommendation.unwrap().path);
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use engine::{Deadline, Engine};
+pub use error::ServiceError;
+pub use metrics::{Endpoint, Registry};
+pub use protocol::{Request, Response, PROTOCOL_VERSION};
+pub use server::{metrics_digest, serve_forever, Server, ServerConfig};

@@ -1,0 +1,749 @@
+//! The versioned JSON-lines wire protocol of the clustering advisor
+//! service, plus the schema/workload input specs it shares with the CLI.
+//!
+//! One request per line, one response per line, both UTF-8 JSON documents.
+//! Every request carries the protocol version (`v`), an opaque client
+//! correlation id (`id`, echoed verbatim), and the endpoint name; endpoint
+//! payloads are flat optional fields, so unknown fields added by newer
+//! clients or servers are ignored by older peers — the forward-compat
+//! contract pinned by the golden-fixture tests.
+//!
+//! The endpoints:
+//!
+//! | endpoint    | input                                   | output |
+//! |-------------|-----------------------------------------|--------|
+//! | `recommend` | `schema`, `workload`                    | [`RecommendationBody`] |
+//! | `price`     | `schema`, `workload`, `strategy`, opt. `measure`, `eval` | [`PriceBody`] |
+//! | `drift`     | `session` (+ `schema`/`workload` once), `deltas` | [`DriftBody`] |
+//! | `explain`   | `schema`, `workload`, opt. `strategy`   | [`snakes_core::explain::CostExplanation`] |
+//! | `stats`     | —                                       | [`StatsBody`] |
+//! | `ping`      | —                                       | `ok` only |
+//! | `shutdown`  | —                                       | `ok`, then graceful drain |
+
+use serde::{Deserialize, Serialize};
+use snakes_core::eval::EvalOptions;
+use snakes_core::explain::CostExplanation;
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::schema::{Hierarchy, StarSchema};
+use snakes_core::workload::{WeightUpdate, Workload};
+
+/// The wire protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+fn default_version() -> u32 {
+    PROTOCOL_VERSION
+}
+
+// ---------------------------------------------------------------------------
+// Input specs (shared with the CLI's file-based commands).
+// ---------------------------------------------------------------------------
+
+/// Errors from spec parsing and validation.
+#[derive(Debug)]
+pub enum SpecError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Structurally valid JSON that does not describe a valid object.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SpecError::Invalid(m) => write!(f, "invalid specification: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<serde_json::Error> for SpecError {
+    fn from(e: serde_json::Error) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+impl From<snakes_core::error::Error> for SpecError {
+    fn from(e: snakes_core::error::Error) -> Self {
+        SpecError::Invalid(e.to_string())
+    }
+}
+
+/// `{"dims": [{"name": ..., "fanouts": [...]}]}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaSpec {
+    /// The dimensions, leaf-adjacent fanouts first.
+    pub dims: Vec<DimSpec>,
+}
+
+/// One dimension of a [`SchemaSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimSpec {
+    /// Dimension name.
+    pub name: String,
+    /// Per-level fanouts, `f(d, 1)` first.
+    pub fanouts: Vec<u64>,
+}
+
+impl SchemaSpec {
+    /// Parses and validates a schema document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed JSON or invalid hierarchies.
+    pub fn parse(json: &str) -> Result<StarSchema, SpecError> {
+        let spec: SchemaSpec = serde_json::from_str(json)?;
+        spec.build()
+    }
+
+    /// Validates an already-deserialized spec into a [`StarSchema`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on invalid hierarchies.
+    pub fn build(self) -> Result<StarSchema, SpecError> {
+        let dims = self
+            .dims
+            .into_iter()
+            .map(|d| Hierarchy::new(d.name, d.fanouts))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StarSchema::new(dims)?)
+    }
+
+    /// The spec describing `schema` (the inverse of [`SchemaSpec::build`]).
+    pub fn of(schema: &StarSchema) -> Self {
+        SchemaSpec {
+            dims: schema
+                .dims()
+                .iter()
+                .map(|h| DimSpec {
+                    name: h.name().to_string(),
+                    fanouts: h.fanouts().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders a schema back to its JSON spec.
+    pub fn render(schema: &StarSchema) -> String {
+        serde_json::to_string_pretty(&Self::of(schema)).expect("spec serializes")
+    }
+}
+
+/// A sparse class weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassWeight {
+    /// Level per dimension.
+    pub class: Vec<usize>,
+    /// Non-negative weight (normalized across entries).
+    pub weight: f64,
+}
+
+/// One of three workload encodings (see crate docs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Dense probabilities in rank order.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub probs: Option<Vec<f64>>,
+    /// Sparse class weights.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub classes: Option<Vec<ClassWeight>>,
+    /// Per-dimension level distributions, multiplied.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub marginals: Option<Vec<Vec<f64>>>,
+}
+
+impl WorkloadSpec {
+    /// Parses and validates a workload document against a lattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed JSON, multiple encodings, or an
+    /// invalid distribution.
+    pub fn parse(json: &str, shape: &LatticeShape) -> Result<Workload, SpecError> {
+        let spec: WorkloadSpec = serde_json::from_str(json)?;
+        spec.build(shape)
+    }
+
+    /// Validates an already-deserialized spec against a lattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on multiple encodings or an invalid
+    /// distribution.
+    pub fn build(self, shape: &LatticeShape) -> Result<Workload, SpecError> {
+        let provided = [
+            self.probs.is_some(),
+            self.classes.is_some(),
+            self.marginals.is_some(),
+        ]
+        .iter()
+        .filter(|&&x| x)
+        .count();
+        if provided != 1 {
+            return Err(SpecError::Invalid(format!(
+                "exactly one of `probs`, `classes`, `marginals` must be given ({provided} were)"
+            )));
+        }
+        if let Some(probs) = self.probs {
+            return Ok(Workload::new(shape.clone(), probs)?);
+        }
+        if let Some(classes) = self.classes {
+            let mut weights = vec![0.0; shape.num_classes()];
+            for cw in classes {
+                let class = Class(cw.class);
+                shape.check(&class)?;
+                if cw.weight < 0.0 || cw.weight.is_nan() {
+                    return Err(SpecError::Invalid(format!(
+                        "negative weight for class {class}"
+                    )));
+                }
+                weights[shape.rank(&class)] += cw.weight;
+            }
+            return Ok(Workload::from_weights(shape.clone(), weights)?);
+        }
+        let marginals = self.marginals.expect("one branch must hold");
+        Ok(Workload::product(shape.clone(), &marginals)?)
+    }
+
+    /// A dense-probability spec describing `workload`.
+    pub fn of(workload: &Workload) -> Self {
+        WorkloadSpec {
+            probs: Some(workload.probs().to_vec()),
+            classes: None,
+            marginals: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// A clustering strategy named on the wire: either a lattice path (step
+/// dimensions, plain or snaked) or a fixed curve family by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StrategySpec {
+    /// Step dimensions of a lattice path (as `LatticePath::dims`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dims: Option<Vec<usize>>,
+    /// Whether the lattice-path curve is snaked.
+    #[serde(default)]
+    pub snaked: bool,
+    /// A named curve family over the schema's grid (`"hilbert"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kind: Option<String>,
+}
+
+impl StrategySpec {
+    /// A snaked lattice-path strategy.
+    pub fn snaked_path(dims: Vec<usize>) -> Self {
+        StrategySpec {
+            dims: Some(dims),
+            snaked: true,
+            kind: None,
+        }
+    }
+
+    /// A plain (un-snaked) lattice-path strategy.
+    pub fn plain_path(dims: Vec<usize>) -> Self {
+        StrategySpec {
+            dims: Some(dims),
+            snaked: false,
+            kind: None,
+        }
+    }
+
+    /// The compact Hilbert curve over the schema's grid.
+    pub fn hilbert() -> Self {
+        StrategySpec {
+            dims: None,
+            snaked: false,
+            kind: Some("hilbert".into()),
+        }
+    }
+}
+
+fn default_records_per_cell() -> u64 {
+    1
+}
+fn default_page_size() -> u64 {
+    8192
+}
+fn default_record_size() -> u64 {
+    125
+}
+
+/// Optional physical measurement attached to a `price` request: pack a
+/// uniformly filled grid (`records_per_cell` records in every cell) along
+/// the strategy and measure seeks/normalized blocks through the server's
+/// shared cost memo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureSpec {
+    /// Records in every grid cell.
+    #[serde(default = "default_records_per_cell")]
+    pub records_per_cell: u64,
+    /// Page size in bytes.
+    #[serde(default = "default_page_size")]
+    pub page_size: u64,
+    /// Record size in bytes.
+    #[serde(default = "default_record_size")]
+    pub record_size: u64,
+}
+
+impl Default for MeasureSpec {
+    fn default() -> Self {
+        MeasureSpec {
+            records_per_cell: default_records_per_cell(),
+            page_size: default_page_size(),
+            record_size: default_record_size(),
+        }
+    }
+}
+
+/// One sparse workload delta of a `drift` request. Multiple deltas in one
+/// request are coalesced: each advances the session's workload version,
+/// but the incremental re-optimization runs once, on the final
+/// distribution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeltaSpec {
+    /// The sparse `(rank, weight)` updates.
+    #[serde(default)]
+    pub updates: Vec<WeightUpdate>,
+}
+
+/// One request line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    #[serde(default = "default_version")]
+    pub v: u32,
+    /// Client correlation id, echoed verbatim in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Endpoint name (`recommend`, `price`, `drift`, `explain`, `stats`,
+    /// `ping`, `shutdown`).
+    #[serde(default)]
+    pub endpoint: String,
+    /// Per-request deadline in milliseconds, measured from admission.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+    /// Star schema (recommend / price / explain; drift initialization).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema: Option<SchemaSpec>,
+    /// Workload (recommend / price / explain; drift initialization).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workload: Option<WorkloadSpec>,
+    /// Strategy to price/explain.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub strategy: Option<StrategySpec>,
+    /// Optional physical measurement of a `price` request.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub measure: Option<MeasureSpec>,
+    /// Drift session name. Sessions are created on first use and survive
+    /// across connections.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub session: Option<String>,
+    /// Sparse workload deltas of a `drift` request (coalesced).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deltas: Option<Vec<DeltaSpec>>,
+    /// Evaluation options for physical measurement.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eval: Option<EvalOptions>,
+}
+
+impl Request {
+    /// A request for `endpoint` with every payload field empty.
+    pub fn new(endpoint: &str) -> Self {
+        Request {
+            v: PROTOCOL_VERSION,
+            endpoint: endpoint.into(),
+            ..Request::default()
+        }
+    }
+
+    /// A `recommend` request.
+    pub fn recommend(schema: SchemaSpec, workload: WorkloadSpec) -> Self {
+        Request {
+            schema: Some(schema),
+            workload: Some(workload),
+            ..Request::new("recommend")
+        }
+    }
+
+    /// A `price` request.
+    pub fn price(schema: SchemaSpec, workload: WorkloadSpec, strategy: StrategySpec) -> Self {
+        Request {
+            schema: Some(schema),
+            workload: Some(workload),
+            strategy: Some(strategy),
+            ..Request::new("price")
+        }
+    }
+
+    /// A `drift` request carrying `deltas` for `session`.
+    pub fn drift(session: &str, deltas: Vec<DeltaSpec>) -> Self {
+        Request {
+            session: Some(session.into()),
+            deltas: Some(deltas),
+            ..Request::new("drift")
+        }
+    }
+
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("requests serialize")
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn parse(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+/// A wire-level failure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable code (`bad_request`, `overloaded`,
+    /// `deadline_exceeded`, `shutting_down`, `internal`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// For `overloaded`: suggested client backoff before retrying.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_ms: Option<u64>,
+}
+
+/// One row-major baseline of a recommendation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RowMajorBody {
+    /// Dimension order, innermost loop first.
+    pub order_innermost_first: Vec<usize>,
+    /// Expected cost without snaking.
+    pub cost_plain: f64,
+    /// Expected cost with snaking.
+    pub cost_snaked: f64,
+}
+
+/// The `recommend` payload: the optimal snaked lattice path with its
+/// sandwich-bound diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationBody {
+    /// Step dimensions of the optimal path, innermost first.
+    pub path_dims: Vec<usize>,
+    /// Human-readable path.
+    pub path: String,
+    /// Expected cost of the path without snaking.
+    pub expected_cost_plain: f64,
+    /// Expected cost of the recommended snaked path.
+    pub expected_cost_snaked: f64,
+    /// Upper bound on `snaked / global optimum` (2 by §5.3).
+    pub guarantee_factor: f64,
+    /// Largest per-class improvement snaking achieved (`< 2`).
+    pub max_snaking_benefit: f64,
+    /// Every row-major baseline.
+    pub row_majors: Vec<RowMajorBody>,
+    /// `1 − snaked / worst row-major`.
+    pub savings_vs_worst_row_major: f64,
+}
+
+/// Physical measurement results of a `price` request.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredBody {
+    /// Expected seeks per query.
+    pub avg_seeks: f64,
+    /// Expected blocks read, normalized by the per-query minimum.
+    pub avg_normalized_blocks: f64,
+}
+
+/// The `price` payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PriceBody {
+    /// Human-readable strategy identity.
+    pub strategy: String,
+    /// Analytic expected cost (average fragments per query) via the
+    /// crossing-signature table.
+    pub expected_cost: f64,
+    /// Whether the signature table came from the shared cache.
+    pub cache_hit: bool,
+    /// Physical measurement, when requested.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub measured: Option<MeasuredBody>,
+}
+
+/// The `drift` payload: the session's re-optimization outcome.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftBody {
+    /// Session name.
+    pub session: String,
+    /// Workload version after applying this request's deltas.
+    pub version: u64,
+    /// Number of deltas coalesced into the single re-optimization.
+    pub coalesced: usize,
+    /// Total-variation distance drifted by this request's deltas.
+    pub drift_tv: f64,
+    /// Step dimensions of the current optimal path.
+    pub path_dims: Vec<usize>,
+    /// Human-readable path.
+    pub path: String,
+    /// Expected cost of the optimal path under the current workload.
+    pub cost: f64,
+    /// Whether the warm restart fired (stability certificate held).
+    pub reused: bool,
+    /// The certified cost-shift bound backing the reuse decision.
+    pub shift_bound: f64,
+    /// The optimality margin at the anchor workload.
+    pub gap: f64,
+}
+
+/// Hit/miss counters of one shared cache.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStatsBody {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (i.e. recomputations performed).
+    pub misses: u64,
+    /// Resident entries.
+    pub entries: u64,
+}
+
+/// Latency/outcome counters of one endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStatsBody {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Completed requests (including errored ones).
+    pub requests: u64,
+    /// Requests that returned an error body.
+    pub errors: u64,
+    /// Requests rejected at admission (queue full).
+    pub shed: u64,
+    /// Requests that exceeded their deadline.
+    pub deadline_exceeded: u64,
+    /// Median end-to-end latency (admission to response), microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Maximum observed latency, microseconds.
+    pub max_us: u64,
+}
+
+/// The `stats` payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Worker threads executing requests.
+    pub workers: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: u64,
+    /// Requests currently queued (admitted, not yet executing).
+    pub queue_depth: u64,
+    /// Live drift sessions.
+    pub sessions: u64,
+    /// Shared crossing-signature cache counters.
+    pub signature_cache: CacheStatsBody,
+    /// Shared physical cost memo counters.
+    pub cost_memo: CacheStatsBody,
+    /// Per-endpoint counters.
+    pub endpoints: Vec<EndpointStatsBody>,
+}
+
+/// One response line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Protocol version.
+    #[serde(default = "default_version")]
+    pub v: u32,
+    /// The request's correlation id, echoed.
+    #[serde(default)]
+    pub id: u64,
+    /// Whether the request succeeded.
+    #[serde(default)]
+    pub ok: bool,
+    /// Failure detail when `ok` is false.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<ErrorBody>,
+    /// `recommend` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recommendation: Option<RecommendationBody>,
+    /// `price` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub price: Option<PriceBody>,
+    /// `drift` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub drift: Option<DriftBody>,
+    /// `explain` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub explanation: Option<CostExplanation>,
+    /// `stats` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stats: Option<StatsBody>,
+}
+
+impl Response {
+    /// A success response echoing `id`.
+    pub fn ok(id: u64) -> Self {
+        Response {
+            v: PROTOCOL_VERSION,
+            id,
+            ok: true,
+            ..Response::default()
+        }
+    }
+
+    /// A failure response echoing `id`.
+    pub fn err(id: u64, error: ErrorBody) -> Self {
+        Response {
+            v: PROTOCOL_VERSION,
+            id,
+            ok: false,
+            error: Some(error),
+            ..Response::default()
+        }
+    }
+
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("responses serialize")
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn parse(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_roundtrip() {
+        let json =
+            r#"{"dims":[{"name":"parts","fanouts":[40,5]},{"name":"time","fanouts":[12,7]}]}"#;
+        let schema = SchemaSpec::parse(json).unwrap();
+        assert_eq!(schema.k(), 2);
+        assert_eq!(schema.grid_shape(), vec![200, 84]);
+        let rendered = SchemaSpec::render(&schema);
+        let again = SchemaSpec::parse(&rendered).unwrap();
+        assert_eq!(schema, again);
+    }
+
+    #[test]
+    fn schema_rejects_bad_input() {
+        assert!(SchemaSpec::parse("{").is_err());
+        assert!(SchemaSpec::parse(r#"{"dims":[]}"#).is_err());
+        assert!(SchemaSpec::parse(r#"{"dims":[{"name":"x","fanouts":[0]}]}"#).is_err());
+    }
+
+    #[test]
+    fn workload_three_encodings() {
+        let shape = LatticeShape::new(vec![1, 1]);
+        let w1 = WorkloadSpec::parse(r#"{"probs":[0.25,0.25,0.25,0.25]}"#, &shape).unwrap();
+        let w2 = WorkloadSpec::parse(
+            r#"{"classes":[{"class":[0,0],"weight":1},{"class":[1,0],"weight":1},
+                           {"class":[0,1],"weight":1},{"class":[1,1],"weight":1}]}"#,
+            &shape,
+        )
+        .unwrap();
+        let w3 = WorkloadSpec::parse(r#"{"marginals":[[0.5,0.5],[0.5,0.5]]}"#, &shape).unwrap();
+        assert_eq!(w1, w2);
+        assert_eq!(w1, w3);
+    }
+
+    #[test]
+    fn workload_rejects_ambiguous_and_invalid() {
+        let shape = LatticeShape::new(vec![1, 1]);
+        assert!(WorkloadSpec::parse("{}", &shape).is_err());
+        assert!(
+            WorkloadSpec::parse(r#"{"probs":[1.0,0,0,0],"marginals":[[1,0],[1,0]]}"#, &shape)
+                .is_err()
+        );
+        assert!(WorkloadSpec::parse(r#"{"probs":[0.5,0.5]}"#, &shape).is_err());
+        assert!(
+            WorkloadSpec::parse(r#"{"classes":[{"class":[5,0],"weight":1}]}"#, &shape).is_err()
+        );
+        assert!(
+            WorkloadSpec::parse(r#"{"classes":[{"class":[0,0],"weight":-1}]}"#, &shape).is_err()
+        );
+    }
+
+    #[test]
+    fn sparse_weights_accumulate() {
+        let shape = LatticeShape::new(vec![1]);
+        let w = WorkloadSpec::parse(
+            r#"{"classes":[{"class":[0],"weight":1},{"class":[0],"weight":1},
+                           {"class":[1],"weight":2}]}"#,
+            &shape,
+        )
+        .unwrap();
+        assert!((w.prob(&Class(vec![0])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_line_roundtrip_and_defaults() {
+        let req = Request::recommend(
+            SchemaSpec {
+                dims: vec![DimSpec {
+                    name: "d".into(),
+                    fanouts: vec![2, 2],
+                }],
+            },
+            WorkloadSpec {
+                probs: Some(vec![0.5, 0.25, 0.25]),
+                ..WorkloadSpec::default()
+            },
+        );
+        let back = Request::parse(&req.to_line()).unwrap();
+        assert_eq!(req, back);
+        // A bare `{}` is a valid (if useless) request at the current
+        // version with an empty endpoint.
+        let bare = Request::parse("{}").unwrap();
+        assert_eq!(bare.v, PROTOCOL_VERSION);
+        assert_eq!(bare.endpoint, "");
+        assert!(bare.schema.is_none());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        // Forward compat: newer peers may add fields; older ones skip them.
+        let req =
+            Request::parse(r#"{"endpoint":"ping","id":7,"some_future_field":{"x":1}}"#).unwrap();
+        assert_eq!(req.endpoint, "ping");
+        assert_eq!(req.id, 7);
+        let resp = Response::parse(r#"{"id":7,"ok":true,"expansion":[1,2,3]}"#).unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.id, 7);
+    }
+
+    #[test]
+    fn response_error_shape() {
+        let resp = Response::err(
+            3,
+            ErrorBody {
+                code: "overloaded".into(),
+                message: "queue full".into(),
+                retry_after_ms: Some(25),
+            },
+        );
+        let line = resp.to_line();
+        assert!(line.contains("\"retry_after_ms\":25"));
+        let back = Response::parse(&line).unwrap();
+        assert_eq!(back, resp);
+        assert!(!back.ok);
+    }
+}

@@ -1,0 +1,572 @@
+//! The TCP front end: a bounded admission queue, a fixed worker pool, and
+//! a connection-per-thread acceptor speaking the JSON-lines protocol.
+//!
+//! Production posture over raw throughput:
+//!
+//! * **Load shedding** — admission is `try_push` against a bounded queue;
+//!   when full the request is rejected immediately with `overloaded` and a
+//!   `retry_after_ms` hint instead of stalling the connection.
+//! * **Deadlines** — `deadline_ms` starts ticking at admission; expired
+//!   jobs are failed at dequeue without touching the engine, and handlers
+//!   re-check cooperatively at stage boundaries.
+//! * **Graceful drain** — `shutdown` (the endpoint, or SIGTERM in
+//!   [`serve_forever`]) stops admission, then the workers finish every
+//!   already-admitted job before exiting, so no in-flight response is
+//!   lost.
+
+use crate::engine::{Deadline, Engine};
+use crate::error::ServiceError;
+use crate::metrics::Endpoint;
+use crate::protocol::{Request, Response};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means one per core.
+    pub workers: usize,
+    /// Admission-queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Backoff hint attached to shed responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 128,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    endpoint: Endpoint,
+    admitted: Instant,
+    deadline: Deadline,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Why a job was refused at admission.
+enum Refused {
+    /// Queue at capacity.
+    Full,
+    /// The server is draining.
+    Closed,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded admission queue. parking_lot has no condvar in this
+/// workspace's vendored build, so the queue uses `std` primitives.
+struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `job` unless the queue is full or closed. Never blocks —
+    /// this is the load-shedding point.
+    fn try_push(&self, job: Job) -> Result<(), Refused> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(Refused::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(Refused::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// The next job, blocking while the queue is open and empty. `None`
+    /// once the queue is closed *and* drained — workers therefore finish
+    /// every admitted job before exiting.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Stops admission; queued jobs still drain.
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A running server: its bound address, shared engine, and thread pool.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    queue: Arc<AdmissionQueue>,
+    draining: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    retry_after_ms: u64,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let engine = Arc::new(Engine::with_limits(workers, config.queue_capacity));
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let draining = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("snakes-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &queue))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let draining = Arc::clone(&draining);
+            let retry_after_ms = config.retry_after_ms;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("snakes-acceptor".into())
+                    .spawn(move || {
+                        accept_loop(&listener, &engine, &queue, &draining, retry_after_ms);
+                    })
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(Server {
+            addr,
+            engine,
+            queue,
+            draining,
+            threads,
+            retry_after_ms: config.retry_after_ms,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine (caches, sessions, metrics).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Whether a drain has been requested (via [`Server::shutdown`], the
+    /// `shutdown` endpoint, or SIGTERM).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: admission stops, queued work finishes.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Drains and waits for every worker and the acceptor to exit.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// The suggested client backoff attached to shed responses.
+    pub fn retry_after_ms(&self) -> u64 {
+        self.retry_after_ms
+    }
+}
+
+fn worker_loop(engine: &Engine, queue: &AdmissionQueue) {
+    while let Some(job) = queue.pop() {
+        engine.registry.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let response = if job.deadline.expired() {
+            // Expired while queued: fail without touching the engine.
+            Response::err(job.request.id, ServiceError::DeadlineExceeded.to_body())
+        } else {
+            engine.handle(&job.request, &job.deadline)
+        };
+        if response
+            .error
+            .as_ref()
+            .is_some_and(|e| e.code == "deadline_exceeded")
+        {
+            engine.registry.record_deadline(job.endpoint);
+        }
+        engine
+            .registry
+            .record_completion(job.endpoint, job.admitted.elapsed(), response.ok);
+        // The connection may already be gone; dropping the reply is fine.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    queue: &Arc<AdmissionQueue>,
+    draining: &Arc<AtomicBool>,
+    retry_after_ms: u64,
+) {
+    loop {
+        if draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = Arc::clone(engine);
+                let queue = Arc::clone(queue);
+                let draining = Arc::clone(draining);
+                // Connections are detached: they exit on peer close, i/o
+                // error, or at the first idle poll after a drain begins.
+                let _ = std::thread::Builder::new()
+                    .name("snakes-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &engine, &queue, &draining, retry_after_ms);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one line, tolerating the read timeout used to poll the drain
+/// flag. `line` accumulates across timeouts so a split line is never
+/// dropped. `Ok(None)` means end-of-stream or drain.
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    draining: &AtomicBool,
+) -> std::io::Result<Option<()>> {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(())),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if draining.load(Ordering::SeqCst) && line.is_empty() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    queue: &Arc<AdmissionQueue>,
+    draining: &Arc<AtomicBool>,
+    retry_after_ms: u64,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_polled(&mut reader, &mut line, draining) {
+            Ok(Some(())) => {}
+            Ok(None) | Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                let body = ServiceError::BadRequest(format!("malformed request: {e}")).to_body();
+                if write_response(&mut writer, &Response::err(0, body)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = dispatch(&request, engine, queue, draining, retry_after_ms);
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission and synchronous wait for one parsed request. The `shutdown`
+/// endpoint is handled here — it must work even when the queue is full.
+fn dispatch(
+    request: &Request,
+    engine: &Arc<Engine>,
+    queue: &Arc<AdmissionQueue>,
+    draining: &Arc<AtomicBool>,
+    retry_after_ms: u64,
+) -> Response {
+    let endpoint = Endpoint::of(&request.endpoint);
+    if endpoint == Endpoint::Shutdown {
+        draining.store(true, Ordering::SeqCst);
+        queue.close();
+        engine
+            .registry
+            .record_completion(endpoint, Duration::ZERO, true);
+        return Response::ok(request.id);
+    }
+    let admitted = Instant::now();
+    let deadline = Deadline::from_ms(admitted, request.deadline_ms);
+    let (reply, inbox) = mpsc::channel();
+    let job = Job {
+        request: request.clone(),
+        endpoint,
+        admitted,
+        deadline,
+        reply,
+    };
+    match queue.try_push(job) {
+        Ok(()) => {
+            engine.registry.queue_depth.fetch_add(1, Ordering::Relaxed);
+            match inbox.recv() {
+                Ok(response) => response,
+                // Worker died or the job was dropped: report, don't hang.
+                Err(_) => Response::err(
+                    request.id,
+                    ServiceError::Protocol("request dropped during drain".into()).to_body(),
+                ),
+            }
+        }
+        Err(Refused::Full) => {
+            engine.registry.record_shed(endpoint);
+            Response::err(
+                request.id,
+                ServiceError::Overloaded { retry_after_ms }.to_body(),
+            )
+        }
+        Err(Refused::Closed) => Response::err(request.id, ServiceError::ShuttingDown.to_body()),
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    writer.write_all(line.as_bytes())
+}
+
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGTERM and SIGINT to the drain flag.
+    pub(super) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    pub(super) fn terminated() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub(super) fn install() {}
+    pub(super) fn terminated() -> bool {
+        false
+    }
+}
+
+/// Runs a server until a `shutdown` request or SIGTERM/SIGINT arrives,
+/// then drains and returns. With `metrics_every`, prints a one-line
+/// metrics digest to stdout on that period. This is the body of
+/// `snakes serve`.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_forever(config: ServerConfig, metrics_every: Option<Duration>) -> std::io::Result<()> {
+    sigterm::install();
+    let server = Server::spawn(config)?;
+    println!("listening on {}", server.local_addr());
+    let mut last_tick = Instant::now();
+    loop {
+        if sigterm::terminated() || server.draining() {
+            break;
+        }
+        if let Some(every) = metrics_every {
+            if last_tick.elapsed() >= every {
+                last_tick = Instant::now();
+                println!("{}", metrics_digest(server.engine()));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("draining");
+    server.join();
+    println!("stopped");
+    Ok(())
+}
+
+/// A one-line human digest of the live metrics, used by the serve ticker.
+pub fn metrics_digest(engine: &Engine) -> String {
+    let stats = engine.stats_body();
+    let mut parts = vec![format!(
+        "up={}s queue={}/{} sessions={} sig-cache={}h/{}m memo={}h/{}m",
+        stats.uptime_ms / 1000,
+        stats.queue_depth,
+        stats.queue_capacity,
+        stats.sessions,
+        stats.signature_cache.hits,
+        stats.signature_cache.misses,
+        stats.cost_memo.hits,
+        stats.cost_memo.misses,
+    )];
+    for e in &stats.endpoints {
+        if e.requests > 0 || e.shed > 0 {
+            parts.push(format!(
+                "{}: n={} err={} shed={} p50={}us p99={}us",
+                e.endpoint, e.requests, e.errors, e.shed, e.p50_us, e.p99_us
+            ));
+        }
+    }
+    parts.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::protocol::{SchemaSpec, WorkloadSpec};
+    use snakes_core::lattice::LatticeShape;
+    use snakes_core::schema::StarSchema;
+    use snakes_core::workload::Workload;
+
+    fn toy_request() -> Request {
+        let schema = StarSchema::paper_toy();
+        let workload = Workload::uniform(LatticeShape::of_schema(&schema));
+        Request::recommend(SchemaSpec::of(&schema), WorkloadSpec::of(&workload))
+    }
+
+    #[test]
+    fn round_trip_over_loopback() {
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let resp = client.call(toy_request()).unwrap();
+        assert!(resp.ok, "{:?}", resp.error);
+        assert!(resp.recommendation.is_some());
+        let pong = client.call(Request::new("ping")).unwrap();
+        assert!(pong.ok);
+        server.join();
+    }
+
+    #[test]
+    fn malformed_lines_get_in_band_errors() {
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"this is not json\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Response::parse(&line).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.error.unwrap().code, "bad_request");
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains() {
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let bye = client.call(Request::new("shutdown")).unwrap();
+        assert!(bye.ok);
+        let refused = client.call(toy_request()).unwrap();
+        assert!(!refused.ok);
+        assert_eq!(refused.error.unwrap().code, "shutting_down");
+        server.join();
+    }
+
+    #[test]
+    fn queued_deadline_zero_expires() {
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut req = toy_request();
+        req.deadline_ms = Some(0);
+        let resp = client.call(req).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.error.unwrap().code, "deadline_exceeded");
+        server.join();
+    }
+}

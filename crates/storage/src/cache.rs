@@ -1,5 +1,5 @@
 //! An LRU page cache — an extension beyond the paper, in the spirit of the
-//! caching systems it cites ([19], [2]): good clustering also improves
+//! caching systems it cites (\[19\], \[2\]): good clustering also improves
 //! cache behaviour, because a query touches fewer distinct pages.
 
 use std::collections::{HashMap, VecDeque};

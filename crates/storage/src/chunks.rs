@@ -1,5 +1,5 @@
-//! Chunked file organization (Deshpande et al. [2]) with pluggable chunk
-//! ordering — the application the paper's §7 proposes: "[2] always chooses
+//! Chunked file organization (Deshpande et al. \[2\]) with pluggable chunk
+//! ordering — the application the paper's §7 proposes: "\[2\] always chooses
 //! a row-major ordering to obtain a linearization of chunks. Our
 //! algorithms and results can be applied in a straightforward fashion to
 //! improve the performance of the chunked file organization."

@@ -22,7 +22,6 @@
 //! family.
 
 use crate::layout::PackedLayout;
-use serde::{Deserialize, Serialize};
 use snakes_core::lattice::{Class, LatticeShape};
 use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
@@ -30,56 +29,19 @@ use snakes_core::workload::Workload;
 use snakes_curves::Linearization;
 use std::ops::Range;
 
-/// Which engine prices grid queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum EvalEngine {
-    /// Cell-at-a-time odometer: one page interval per selected cell,
-    /// merged after a sort.
-    Cells,
-    /// Run-based: price whole rank runs from [`Linearization::rank_runs`];
-    /// intervals arrive pre-sorted, so merging is a streaming pass. Works
-    /// for every curve (non-structural curves fall back to odometer+sort
-    /// *inside* `rank_runs`), but only pays off for structural ones.
-    Runs,
-    /// [`EvalEngine::Runs`] when the curve enumerates runs structurally
-    /// ([`Linearization::has_structural_runs`]), else [`EvalEngine::Cells`].
-    #[default]
-    Auto,
-}
+pub use snakes_core::eval::{EvalEngine, EvalOptions};
 
-impl EvalEngine {
+/// Curve-aware engine resolution: [`EvalEngine`] lives in `snakes-core`
+/// (inside [`EvalOptions`]), which cannot see the [`Linearization`] trait,
+/// so the curve-facing half of the resolution lives here.
+pub trait EvalEngineExt {
     /// Resolves the engine choice against a concrete curve.
-    pub fn uses_runs(self, lin: &impl Linearization) -> bool {
-        match self {
-            EvalEngine::Cells => false,
-            EvalEngine::Runs => true,
-            EvalEngine::Auto => lin.has_structural_runs(),
-        }
-    }
+    fn uses_runs(&self, lin: &impl Linearization) -> bool;
 }
 
-impl std::str::FromStr for EvalEngine {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "cells" => Ok(EvalEngine::Cells),
-            "runs" => Ok(EvalEngine::Runs),
-            "auto" => Ok(EvalEngine::Auto),
-            other => Err(format!(
-                "unknown engine '{other}' (expected cells|runs|auto)"
-            )),
-        }
-    }
-}
-
-impl std::fmt::Display for EvalEngine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            EvalEngine::Cells => "cells",
-            EvalEngine::Runs => "runs",
-            EvalEngine::Auto => "auto",
-        })
+impl EvalEngineExt for EvalEngine {
+    fn uses_runs(&self, lin: &impl Linearization) -> bool {
+        self.resolve(lin.has_structural_runs())
     }
 }
 
@@ -416,8 +378,8 @@ pub struct WorkloadStats {
 
 /// Measures a strategy under a workload (serial, [`EvalEngine::Auto`]).
 ///
-/// Equivalent to [`workload_stats_with`] under
-/// [`ParallelConfig::serial`]; kept as the simple entry point.
+/// Equivalent to [`workload_stats_opts`] under [`EvalOptions::serial`];
+/// kept as the simple entry point.
 ///
 /// # Panics
 ///
@@ -428,15 +390,15 @@ pub fn workload_stats(
     layout: &PackedLayout,
     workload: &Workload,
 ) -> WorkloadStats {
-    workload_stats_with(schema, lin, layout, workload, ParallelConfig::serial())
+    workload_stats_opts(schema, lin, layout, workload, &EvalOptions::serial())
 }
 
 /// Measures a strategy under a workload with [`EvalEngine::Auto`],
 /// fanning the per-class measurements out across `par`'s worker threads.
-///
-/// # Panics
-///
-/// As [`class_stats`], plus (debug) a workload lattice mismatch.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `workload_stats_opts` with an `EvalOptions` instead"
+)]
 pub fn workload_stats_with(
     schema: &StarSchema,
     lin: &(impl Linearization + Sync),
@@ -444,10 +406,40 @@ pub fn workload_stats_with(
     workload: &Workload,
     par: ParallelConfig,
 ) -> WorkloadStats {
-    workload_stats_engine(schema, lin, layout, workload, par, EvalEngine::Auto)
+    workload_stats_opts(
+        schema,
+        lin,
+        layout,
+        workload,
+        &EvalOptions::new().parallel(par),
+    )
 }
 
 /// Measures a strategy under a workload with an explicit engine choice.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `workload_stats_opts` with an `EvalOptions` instead"
+)]
+pub fn workload_stats_engine(
+    schema: &StarSchema,
+    lin: &(impl Linearization + Sync),
+    layout: &PackedLayout,
+    workload: &Workload,
+    par: ParallelConfig,
+    engine: EvalEngine,
+) -> WorkloadStats {
+    workload_stats_opts(
+        schema,
+        lin,
+        layout,
+        workload,
+        &EvalOptions::new().parallel(par).engine(engine),
+    )
+}
+
+/// Measures a strategy under a workload with explicit [`EvalOptions`]
+/// (thread-pool shape + query engine) — the single entry point every
+/// other variant delegates to.
 ///
 /// Bit-identical to the serial path for every thread count: classes are
 /// measured independently (each [`class_stats_with`] call touches only its
@@ -460,20 +452,19 @@ pub fn workload_stats_with(
 /// # Panics
 ///
 /// As [`class_stats`], plus (debug) a workload lattice mismatch.
-pub fn workload_stats_engine(
+pub fn workload_stats_opts(
     schema: &StarSchema,
     lin: &(impl Linearization + Sync),
     layout: &PackedLayout,
     workload: &Workload,
-    par: ParallelConfig,
-    engine: EvalEngine,
+    opts: &EvalOptions,
 ) -> WorkloadStats {
     let _timer = metrics::PhaseTimer::start(metrics::Phase::Measure);
     let shape = LatticeShape::of_schema(schema);
     debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
     let live: Vec<(usize, f64)> = workload.support_by_rank().collect();
-    let measured = par.run_indexed(live.len(), |i| {
-        class_stats_with(schema, lin, layout, &shape.unrank(live[i].0), engine)
+    let measured = opts.parallel.run_indexed(live.len(), |i| {
+        class_stats_with(schema, lin, layout, &shape.unrank(live[i].0), opts.engine)
     });
     let mut per_class = Vec::with_capacity(measured.len());
     let mut blocks = 0.0;

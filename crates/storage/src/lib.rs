@@ -10,11 +10,11 @@
 //! * [`cells`] — per-cell record counts over a grid;
 //! * [`layout`] — packing a grid into pages along a linearization;
 //! * [`exec`] — grid-query execution and per-class statistics;
-//! * [`file`] — a physical page-structured table file (bulk load + scans);
+//! * [`file`](mod@file) — a physical page-structured table file (bulk load + scans);
 //! * [`disk`] — a simple seek/transfer latency model;
 //! * [`cache`] — an LRU page cache (extension beyond the paper);
 //! * [`memo`] — per-class cost memoization keyed by layout fingerprints;
-//! * [`chunks`] — the chunked organization of Deshpande et al. [2] with
+//! * [`chunks`] — the chunked organization of Deshpande et al. \[2\] with
 //!   pluggable chunk ordering (the improvement §7 proposes).
 
 #![warn(missing_docs)]
@@ -34,8 +34,11 @@ pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
 pub use disk::DiskModel;
 pub use exec::{
     class_stats, class_stats_with, query_cost, query_cost_with, workload_stats,
-    workload_stats_engine, workload_stats_with, ClassStats, EvalEngine, QueryCost, WorkloadStats,
+    workload_stats_opts, ClassStats, EvalEngine, EvalEngineExt, EvalOptions, QueryCost,
+    WorkloadStats,
 };
+#[allow(deprecated)]
+pub use exec::{workload_stats_engine, workload_stats_with};
 pub use file::TableFile;
 pub use layout::{PackedLayout, StorageConfig};
-pub use memo::CostMemo;
+pub use memo::{CostMemo, SharedCostMemo};

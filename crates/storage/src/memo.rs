@@ -12,7 +12,7 @@
 //! produced, and [`CostMemo::workload_stats`] reduces in the same rank
 //! order as [`crate::exec::workload_stats_engine`].
 
-use crate::exec::{class_stats_with, ClassStats, EvalEngine, WorkloadStats};
+use crate::exec::{class_stats_with, ClassStats, EvalEngine, EvalEngineExt, WorkloadStats};
 use crate::layout::PackedLayout;
 use snakes_core::lattice::{Class, LatticeShape};
 use snakes_core::parallel::metrics;
@@ -167,13 +167,76 @@ impl CostMemo {
     }
 }
 
+/// A [`CostMemo`] shared across threads (e.g. every connection of the
+/// advisor service prices against one memo), behind a mutex with a
+/// `&self` API. Measurements are pure functions of the key, so whichever
+/// thread fills an entry, every later reader observes the identical
+/// `ClassStats`.
+#[derive(Debug, Default, Clone)]
+pub struct SharedCostMemo {
+    inner: std::sync::Arc<parking_lot::Mutex<CostMemo>>,
+}
+
+impl SharedCostMemo {
+    /// An empty shared memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`CostMemo::workload_stats`] behind the shared lock.
+    ///
+    /// The lock is held for the duration of the measurement, so
+    /// concurrent pricings of the same layout serialize instead of
+    /// duplicating work.
+    ///
+    /// # Panics
+    ///
+    /// As [`CostMemo::workload_stats`].
+    pub fn workload_stats(
+        &self,
+        schema: &StarSchema,
+        lin: &impl Linearization,
+        layout: &PackedLayout,
+        workload: &Workload,
+        engine: EvalEngine,
+    ) -> WorkloadStats {
+        self.inner
+            .lock()
+            .workload_stats(schema, lin, layout, workload, engine)
+    }
+
+    /// Memo hits so far.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits()
+    }
+
+    /// Memo misses (physical measurements performed).
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().misses()
+    }
+
+    /// Number of memoized class measurements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drops every entry (counters keep running).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cells::CellData;
-    use crate::exec::workload_stats_engine;
+    use crate::exec::{workload_stats_opts, EvalOptions};
     use crate::layout::StorageConfig;
-    use snakes_core::parallel::ParallelConfig;
     use snakes_curves::NestedLoops;
 
     fn setup() -> (StarSchema, NestedLoops, PackedLayout, Workload) {
@@ -199,8 +262,13 @@ mod tests {
         let (schema, lin, layout, w) = setup();
         let mut memo = CostMemo::new();
         for engine in [EvalEngine::Cells, EvalEngine::Runs] {
-            let direct =
-                workload_stats_engine(&schema, &lin, &layout, &w, ParallelConfig::serial(), engine);
+            let direct = workload_stats_opts(
+                &schema,
+                &lin,
+                &layout,
+                &w,
+                &EvalOptions::serial().engine(engine),
+            );
             let via_memo = memo.workload_stats(&schema, &lin, &layout, &w, engine);
             assert_eq!(direct, via_memo);
             assert_eq!(
@@ -250,5 +318,38 @@ mod tests {
         // clear() empties the memo.
         memo.clear();
         assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn shared_memo_serves_concurrent_pricings_bit_identically() {
+        let (schema, lin, layout, w) = setup();
+        let direct = workload_stats_opts(&schema, &lin, &layout, &w, &EvalOptions::serial());
+        let shared = SharedCostMemo::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shared = shared.clone();
+                    let (schema, lin, layout, w) = (&schema, &lin, &layout, &w);
+                    s.spawn(move |_| {
+                        shared.workload_stats(schema, lin, layout, w, EvalEngine::Auto)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let got = h.join().unwrap();
+                assert_eq!(got, direct);
+                assert_eq!(
+                    got.avg_normalized_blocks.to_bits(),
+                    direct.avg_normalized_blocks.to_bits()
+                );
+            }
+        })
+        .unwrap();
+        // One thread measured, the rest hit.
+        assert_eq!(shared.misses(), 9);
+        assert_eq!(shared.hits(), 27);
+        assert_eq!(shared.len(), 9);
+        shared.clear();
+        assert!(shared.is_empty());
     }
 }

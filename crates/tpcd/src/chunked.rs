@@ -1,7 +1,7 @@
 //! The §7 application experiment: a chunked file organization over the
 //! TPC-D grid (chunks = manufacturer × supplier × year blocks, as
-//! Deshpande et al. [2] would chunk along hierarchy boundaries), with the
-//! chunk *ordering* chosen either row-major (as in [2]) or by the snaked
+//! Deshpande et al. \[2\] would chunk along hierarchy boundaries), with the
+//! chunk *ordering* chosen either row-major (as in \[2\]) or by the snaked
 //! optimal lattice path above the chunk boundary — the paper's proposed
 //! improvement.
 
@@ -25,7 +25,7 @@ pub fn chunk_class() -> Class {
     Class(vec![1, 0, 1])
 }
 
-/// The chunk ordering [2] uses: row-major over the chunk grid.
+/// The chunk ordering \[2\] uses: row-major over the chunk grid.
 pub fn row_major_chunk_order(config: &TpcdConfig) -> NestedLoops {
     let extents = chunk_extents(config);
     NestedLoops::row_major(extents, &[0, 1, 2])
@@ -132,7 +132,7 @@ pub fn run_chunked(
     }
 }
 
-/// The full comparison for one workload: `[2]`'s row-major chunk order vs
+/// The full comparison for one workload: `\[2\]`'s row-major chunk order vs
 /// the snaked optimal order, identical cache and stream.
 pub fn chunked_comparison(
     config: &TpcdConfig,

@@ -1,9 +1,9 @@
 //! Configuration of the synthetic TPC-D experiment (paper §6.1).
 
 use serde::{Deserialize, Serialize};
-use snakes_core::parallel::ParallelConfig;
+use snakes_core::eval::{EvalEngine, EvalOptions};
 use snakes_core::schema::{Hierarchy, StarSchema};
-use snakes_storage::{EvalEngine, StorageConfig};
+use snakes_storage::StorageConfig;
 
 /// Parameters of the synthetic TPC-D setup. Defaults are the paper's: "12
 /// months, 7 years, 5 manufacturers supplying an average of 40 parts, and
@@ -37,14 +37,12 @@ pub struct TpcdConfig {
     pub record_size: u64,
     /// Page size in bytes (8192 in the paper).
     pub page_size: u64,
-    /// Thread-pool shape for parallel measurement (`threads: 0` = one per
-    /// core, `threads: 1` = serial). Results are bit-identical either way.
+    /// Evaluation options: thread-pool shape (`threads: 0` = one per
+    /// core, `threads: 1` = serial) and query engine (cells odometer,
+    /// closed-form runs, or auto per curve). Results are bit-identical
+    /// across every combination.
     #[serde(default)]
-    pub parallel: ParallelConfig,
-    /// Query evaluation engine (cells odometer, closed-form runs, or auto
-    /// per curve). Results are bit-identical across engines.
-    #[serde(default)]
-    pub engine: EvalEngine,
+    pub eval: EvalOptions,
 }
 
 impl Default for TpcdConfig {
@@ -61,8 +59,7 @@ impl Default for TpcdConfig {
             skew: 0.5,
             record_size: 125,
             page_size: 8192,
-            parallel: ParallelConfig::default(),
-            engine: EvalEngine::default(),
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -89,17 +86,31 @@ impl TpcdConfig {
         self
     }
 
-    /// The same configuration with a fixed measurement thread count
-    /// (0 = one per core, 1 = serial).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.parallel = ParallelConfig::with_threads(threads);
+    /// The same configuration with the given evaluation options.
+    pub fn with_eval(mut self, eval: EvalOptions) -> Self {
+        self.eval = eval;
         self
     }
 
+    /// The same configuration with a fixed measurement thread count
+    /// (0 = one per core, 1 = serial).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_eval` with an `EvalOptions` instead"
+    )]
+    pub fn with_threads(self, threads: usize) -> Self {
+        let eval = self.eval.threads(threads);
+        self.with_eval(eval)
+    }
+
     /// The same configuration with an explicit query evaluation engine.
-    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
-        self.engine = engine;
-        self
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_eval` with an `EvalOptions` instead"
+    )]
+    pub fn with_engine(self, engine: EvalEngine) -> Self {
+        let eval = self.eval.engine(engine);
+        self.with_eval(eval)
     }
 
     /// Adds a nation level to the supplier dimension: `suppliers` becomes

@@ -234,7 +234,7 @@ pub fn drift_sweep(config: &TpcdConfig, drift: &DriftConfig) -> DriftReport {
             let layout = layouts
                 .entry(path.dims().to_vec())
                 .or_insert_with(|| PackedLayout::pack(&curve, cells, config.storage()));
-            let stats = memo.workload_stats(&schema, &curve, layout, &workload, config.engine);
+            let stats = memo.workload_stats(&schema, &curve, layout, &workload, config.eval.engine);
             MeasuredStats {
                 avg_seeks: stats.avg_seeks,
                 avg_normalized_blocks: stats.avg_normalized_blocks,
@@ -276,6 +276,7 @@ pub fn drift_sweep(config: &TpcdConfig, drift: &DriftConfig) -> DriftReport {
 mod tests {
     use super::*;
     use snakes_core::dp::optimal_lattice_path;
+    use snakes_core::eval::EvalOptions;
     use snakes_core::workload::Workload;
 
     fn fast_config() -> TpcdConfig {
@@ -283,7 +284,7 @@ mod tests {
             records: 2_000,
             ..TpcdConfig::small()
         }
-        .with_threads(1)
+        .with_eval(EvalOptions::serial())
     }
 
     fn fast_drift() -> DriftConfig {

@@ -6,7 +6,7 @@
 //! Class vectors are `(parts level, supplier level, time level)` with
 //! levels: parts 0 = part, 1 = manufacturer, 2 = all; supplier 0 =
 //! supplier, 1 = all; time 0 = month, 1 = year, 2 = all. Where the paper
-//! "made slight modifications to the queries as needed to fit [its]
+//! "made slight modifications to the queries as needed to fit \[its\]
 //! choices of dimension hierarchies", we do the same and say so per query.
 
 use snakes_core::lattice::Class;

@@ -178,6 +178,7 @@ impl Evaluator {
         // probability-weighted reductions are bit-identical to serial.
         let _t = metrics::PhaseTimer::start(metrics::Phase::Measure);
         self.config
+            .eval
             .parallel
             .run_indexed(self.shape.num_classes(), |r| {
                 class_stats_with(
@@ -185,7 +186,7 @@ impl Evaluator {
                     curve,
                     &layout,
                     &self.shape.unrank(r),
-                    self.config.engine,
+                    self.config.eval.engine,
                 )
             })
     }

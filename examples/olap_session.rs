@@ -97,5 +97,17 @@ fn main() -> Result<()> {
         &LatticePath::row_major(shape, &[2, 1, 0])?,
         "row-major time-first",
     )?;
+
+    // The same verdict from the measurement engine, through the one
+    // evaluation-options builder shared by every measuring API (0 threads =
+    // one per core; results are bit-identical to the serial path).
+    let opts = EvalOptions::new().threads(0);
+    let curve = snaked_path_curve(&schema, &rec.optimal_path);
+    let layout = PackedLayout::pack(&curve, &cells, config.storage());
+    let stats = workload_stats_opts(&schema, &curve, &layout, &workload, &opts);
+    println!(
+        "\nmeasured on the learned workload: {:.2} avg seeks, {:.2} avg normalized blocks",
+        stats.avg_seeks, stats.avg_normalized_blocks
+    );
     Ok(())
 }

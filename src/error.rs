@@ -1,0 +1,116 @@
+//! The one workspace-wide error type.
+//!
+//! Each crate keeps its own precise error enum; this facade type unifies
+//! them so applications composing several layers (library + CLI documents
+//! + the advisor service) can use one `Result` with `?` throughout.
+
+use snakes_cli::CliError;
+use snakes_service::protocol::SpecError;
+use snakes_service::ServiceError;
+
+/// Any failure from the `snakes_sandwiches` workspace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A core modelling error (invalid schema, workload, or path).
+    Core(snakes_core::error::Error),
+    /// A malformed schema/workload/request document.
+    Spec(SpecError),
+    /// A CLI usage or dispatch failure.
+    Cli(CliError),
+    /// An advisor-service failure (client- or server-side).
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Spec(e) => write!(f, "{e}"),
+            Error::Cli(e) => write!(f, "{e}"),
+            Error::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Spec(e) => Some(e),
+            Error::Cli(e) => Some(e),
+            Error::Service(e) => Some(e),
+        }
+    }
+}
+
+impl From<snakes_core::error::Error> for Error {
+    fn from(e: snakes_core::error::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<SpecError> for Error {
+    fn from(e: SpecError) -> Self {
+        Error::Spec(e)
+    }
+}
+
+impl From<CliError> for Error {
+    fn from(e: CliError) -> Self {
+        Error::Cli(e)
+    }
+}
+
+impl From<ServiceError> for Error {
+    fn from(e: ServiceError) -> Self {
+        Error::Service(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_err() -> snakes_core::error::Error {
+        use snakes_core::lattice::LatticeShape;
+        use snakes_core::workload::Workload;
+        Workload::from_weights(LatticeShape::new(vec![1, 1]), vec![0.0; 4]).unwrap_err()
+    }
+
+    #[test]
+    fn conversions_compose_with_question_mark() {
+        fn through_core() -> Result<()> {
+            Err(core_err())?;
+            Ok(())
+        }
+        fn through_spec() -> Result<()> {
+            Err(SpecError::Invalid("x".into()))?;
+            Ok(())
+        }
+        fn through_cli() -> Result<()> {
+            Err(CliError::Usage("y".into()))?;
+            Ok(())
+        }
+        fn through_service() -> Result<()> {
+            Err(ServiceError::DeadlineExceeded)?;
+            Ok(())
+        }
+        assert!(matches!(through_core(), Err(Error::Core(_))));
+        assert!(matches!(through_spec(), Err(Error::Spec(_))));
+        assert!(matches!(through_cli(), Err(Error::Cli(_))));
+        assert!(matches!(through_service(), Err(Error::Service(_))));
+    }
+
+    #[test]
+    fn display_and_source_delegate() {
+        let e = Error::from(ServiceError::DeadlineExceeded);
+        assert_eq!(e.to_string(), "deadline exceeded");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::from(core_err());
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -50,18 +50,28 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use snakes_cli as cli;
 pub use snakes_core as core;
 pub use snakes_curves as curves;
+pub use snakes_service as service;
 pub use snakes_storage as storage;
 pub use snakes_tpcd as tpcd;
 
+pub mod error;
+
+pub use error::{Error, Result};
+
 /// One-stop imports: the core prelude plus the most used cross-crate types.
 pub mod prelude {
-    pub use snakes_core::prelude::*;
+    pub use crate::error::{Error, Result};
     pub use snakes_curves::{
         path_curve, snaked_path_curve, GrayCurve, HilbertCurve, Linearization, NestedLoops,
-        ZOrderCurve,
+        SignatureCache, StrategyId, ZOrderCurve,
     };
-    pub use snakes_storage::{PackedLayout, StorageConfig};
+    pub use snakes_service::{Client, Request, Response, Server, ServerConfig};
+    pub use snakes_storage::{workload_stats_opts, PackedLayout, SharedCostMemo, StorageConfig};
     pub use snakes_tpcd::{Evaluator, TpcdConfig};
+    // The explicit facade-wide `Error`/`Result` above shadow the core
+    // crate's pair inside this glob.
+    pub use snakes_core::prelude::*;
 }

@@ -11,7 +11,7 @@
 //!    workload-independent, so the tables are `Eq`) and as a price on
 //!    every drifted workload;
 //! 3. [`CostMemo::workload_stats`] vs the unmemoized serial
-//!    [`workload_stats_engine`], for both the cell-walking and run-based
+//!    [`workload_stats_opts`], for both the cell-walking and run-based
 //!    engines.
 
 use proptest::prelude::*;
@@ -20,14 +20,13 @@ use rand_chacha::ChaCha8Rng;
 use snakes_sandwiches::core::cost::CostModel;
 use snakes_sandwiches::core::dp::{optimal_lattice_path, IncrementalDp};
 use snakes_sandwiches::core::lattice::LatticeShape;
-use snakes_sandwiches::core::parallel::ParallelConfig;
 use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
 use snakes_sandwiches::core::workload::{VersionedWorkload, WeightUpdate, Workload, WorkloadDelta};
 use snakes_sandwiches::curves::{
     aggregate_class_costs, path_curve, snaked_path_curve, SignatureCache, StrategyId,
 };
 use snakes_sandwiches::storage::{
-    workload_stats_engine, CellData, CostMemo, EvalEngine, PackedLayout, StorageConfig,
+    workload_stats_opts, CellData, CostMemo, EvalEngine, EvalOptions, PackedLayout, StorageConfig,
 };
 use std::collections::BTreeSet;
 
@@ -264,8 +263,8 @@ proptest! {
             for engine in [EvalEngine::Cells, EvalEngine::Runs] {
                 for (e, w) in workloads.iter().enumerate() {
                     let got = memo.workload_stats(&schema, curve, &layout, w, engine);
-                    let want = workload_stats_engine(
-                        &schema, curve, &layout, w, ParallelConfig::serial(), engine,
+                    let want = workload_stats_opts(
+                        &schema, curve, &layout, w, &EvalOptions::serial().engine(engine),
                     );
                     let ctx = format!("curve {name} engine {engine} epoch {e}");
                     prop_assert_eq!(

@@ -16,7 +16,7 @@ use snakes_sandwiches::curves::{
     NestedLoops, ZOrderCurve,
 };
 use snakes_sandwiches::storage::{
-    workload_stats, workload_stats_with, CellData, PackedLayout, StorageConfig,
+    workload_stats, workload_stats_opts, CellData, EvalOptions, PackedLayout, StorageConfig,
 };
 use snakes_sandwiches::tpcd::{tpcd_workloads, Evaluator, TpcdConfig};
 
@@ -111,15 +111,12 @@ fn workload_stats_bit_identical_across_thread_counts() {
         let serial = workload_stats(&sc.schema, &sc.curve, &sc.layout, &sc.workload);
         for threads in THREADS {
             for chunk_size in [0, 1, 3] {
-                let par = workload_stats_with(
+                let par = workload_stats_opts(
                     &sc.schema,
                     &sc.curve,
                     &sc.layout,
                     &sc.workload,
-                    ParallelConfig {
-                        threads,
-                        chunk_size,
-                    },
+                    &EvalOptions::new().threads(threads).chunk_size(chunk_size),
                 );
                 let ctx = format!("{} threads={threads} chunk={chunk_size}", sc.name);
                 assert_bits(
@@ -147,9 +144,10 @@ fn tpcd_sweep_tables_bit_identical_across_thread_counts() {
         ..TpcdConfig::small()
     };
     let workload = tpcd_workloads(&base)[6].workload.clone();
-    let serial = Evaluator::new(base.with_threads(1)).evaluate(&workload);
+    let serial = Evaluator::new(base.with_eval(EvalOptions::serial())).evaluate(&workload);
     for threads in THREADS.into_iter().skip(1) {
-        let par = Evaluator::new(base.with_threads(threads)).evaluate(&workload);
+        let par =
+            Evaluator::new(base.with_eval(EvalOptions::new().threads(threads))).evaluate(&workload);
         // StrategyResult's PartialEq compares the f64 costs; equality
         // here means every measured number matches the serial run.
         assert_eq!(par, serial, "threads={threads}");

@@ -4,13 +4,13 @@
 use proptest::prelude::*;
 use snakes_sandwiches::core::cost::CostModel;
 use snakes_sandwiches::core::dp::{optimal_lattice_path, optimal_lattice_path_exhaustive};
-use snakes_sandwiches::core::parallel::{metrics, ParallelConfig};
+use snakes_sandwiches::core::parallel::metrics;
 use snakes_sandwiches::core::sandwich::Cv2;
 use snakes_sandwiches::core::snake::{max_benefit, snaked_expected_cost};
 use snakes_sandwiches::curves::cv_of;
 use snakes_sandwiches::prelude::*;
 use snakes_sandwiches::storage::exec::query_cost;
-use snakes_sandwiches::storage::{workload_stats_with, CellData};
+use snakes_sandwiches::storage::{workload_stats_opts, CellData, EvalOptions};
 
 /// Serializes the two properties that read the process-global metrics
 /// counters, so concurrent test threads cannot pollute each other's
@@ -306,11 +306,11 @@ proptest! {
         let cfg = StorageConfig { page_size: 512, record_size: 125 };
         let curve = snaked_path_curve(&schema, &path);
         let layout = PackedLayout::pack(&curve, &cells, cfg);
-        let serial = workload_stats_with(
-            &schema, &curve, &layout, &workload, ParallelConfig::serial(),
+        let serial = workload_stats_opts(
+            &schema, &curve, &layout, &workload, &EvalOptions::serial(),
         );
-        let par = workload_stats_with(
-            &schema, &curve, &layout, &workload, ParallelConfig::with_threads(threads),
+        let par = workload_stats_opts(
+            &schema, &curve, &layout, &workload, &EvalOptions::new().threads(threads),
         );
         prop_assert_eq!(
             par.avg_normalized_blocks.to_bits(),
@@ -342,8 +342,8 @@ proptest! {
         // run measures all of them.
         let workload = Workload::uniform(shape);
         let before = metrics::snapshot();
-        let stats = workload_stats_with(
-            &schema, &curve, &layout, &workload, ParallelConfig::with_threads(threads),
+        let stats = workload_stats_opts(
+            &schema, &curve, &layout, &workload, &EvalOptions::new().threads(threads),
         );
         let delta = metrics::snapshot().since(&before);
         let expected: u64 = stats.per_class.iter().map(|c| c.queries).sum();

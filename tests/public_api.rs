@@ -1,0 +1,172 @@
+//! Public-API snapshot: the declared `pub` surface of the redesigned
+//! layers (the facade, the service crate, and the unified evaluation
+//! options) against a checked-in listing.
+//!
+//! The point is to make API changes *deliberate*: adding, removing, or
+//! re-signaturing a public item fails this test until the snapshot is
+//! regenerated and the diff reviewed. Regenerate with
+//!
+//! ```text
+//! UPDATE_API_SNAPSHOT=1 cargo test --test public_api
+//! ```
+//!
+//! The extractor is a line scanner, not a parser: it records the first
+//! line of every `pub` declaration outside `#[cfg(test)]` modules, with
+//! whitespace normalized. `cargo fmt --check` in CI keeps the layout
+//! canonical, so the listing is stable across machines.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The files whose `pub` surface this snapshot pins — the layers this
+/// redesign owns. Paths are workspace-relative.
+const SURFACE: &[&str] = &[
+    "src/lib.rs",
+    "src/error.rs",
+    "crates/core/src/eval.rs",
+    "crates/service/src/lib.rs",
+    "crates/service/src/client.rs",
+    "crates/service/src/engine.rs",
+    "crates/service/src/error.rs",
+    "crates/service/src/metrics.rs",
+    "crates/service/src/protocol.rs",
+    "crates/service/src/server.rs",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// True when the trimmed line begins a public declaration worth pinning.
+fn is_public_decl(line: &str) -> bool {
+    const KINDS: &[&str] = &[
+        "pub fn ",
+        "pub const fn ",
+        "pub unsafe fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub type ",
+        "pub const ",
+        "pub static ",
+        "pub mod ",
+        "pub use ",
+    ];
+    KINDS.iter().any(|k| line.starts_with(k))
+}
+
+/// Extracts the normalized `pub` declarations of one source file,
+/// skipping `#[cfg(test)] mod … { … }` blocks by brace counting.
+fn extract(path: &Path) -> Vec<String> {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut decls = Vec::new();
+    let mut lines = src.lines().peekable();
+    let mut pending: Option<String> = None;
+    while let Some(raw) = lines.next() {
+        let line = raw.trim();
+        if line == "#[cfg(test)]" {
+            // Skip the attached item (almost always `mod tests { … }`)
+            // by consuming until its braces balance.
+            let mut depth = 0i64;
+            let mut opened = false;
+            for skipped in lines.by_ref() {
+                depth += skipped.matches('{').count() as i64;
+                depth -= skipped.matches('}').count() as i64;
+                opened |= skipped.contains('{');
+                if opened && depth <= 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Multi-line signatures: accumulate until the opening brace or a
+        // terminating semicolon so rustfmt re-wraps don't split entries.
+        if let Some(acc) = pending.as_mut() {
+            write!(acc, " {line}").unwrap();
+        } else if is_public_decl(line) {
+            pending = Some(line.to_string());
+        }
+        if let Some(acc) = &pending {
+            // `pub use` braces enclose the re-export list itself — keep
+            // it whole; everywhere else `{` opens a body we drop.
+            let is_use = acc.starts_with("pub use ");
+            let done = if is_use {
+                acc.trim_end().ends_with(';')
+            } else {
+                acc.contains('{') || acc.trim_end().ends_with(';')
+            };
+            if done {
+                let sig = if is_use {
+                    acc.clone()
+                } else {
+                    acc.split('{').next().unwrap().to_string()
+                };
+                let sig = sig.trim().trim_end_matches(';').trim().to_string();
+                let sig = sig.split_whitespace().collect::<Vec<_>>().join(" ");
+                decls.push(sig);
+                pending = None;
+            }
+        }
+    }
+    decls
+}
+
+fn render_surface() -> String {
+    let root = workspace_root();
+    let mut out = String::from(
+        "# Public-API snapshot. Regenerate with:\n\
+         #   UPDATE_API_SNAPSHOT=1 cargo test --test public_api\n",
+    );
+    for file in SURFACE {
+        let decls = extract(&root.join(file));
+        writeln!(out, "\n== {file}").unwrap();
+        for d in decls {
+            writeln!(out, "{d}").unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let root = workspace_root();
+    let snapshot_path = root.join("tests/snapshots/public_api.txt");
+    let actual = render_surface();
+    if std::env::var("UPDATE_API_SNAPSHOT").as_deref() == Ok("1") {
+        std::fs::create_dir_all(snapshot_path.parent().unwrap()).unwrap();
+        std::fs::write(&snapshot_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&snapshot_path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run UPDATE_API_SNAPSHOT=1 cargo test --test public_api",
+            snapshot_path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "public API surface changed; review the diff, then regenerate \
+         with UPDATE_API_SNAPSHOT=1 cargo test --test public_api"
+    );
+}
+
+#[test]
+fn snapshot_covers_the_redesigned_entry_points() {
+    // Guard the extractor itself: if the scanner ever regresses to
+    // extracting nothing, the snapshot comparison would vacuously pass
+    // on an empty listing.
+    let surface = render_surface();
+    for needle in [
+        "pub struct EvalOptions",
+        "pub fn threads(mut self, threads: usize) -> Self",
+        "pub enum Error",
+        "pub struct Request",
+        "pub struct Response",
+        "pub fn spawn(config: ServerConfig) -> std::io::Result<Server>",
+        "pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client>",
+        "pub const PROTOCOL_VERSION: u32 = 1",
+    ] {
+        assert!(surface.contains(needle), "missing from surface: {needle}");
+    }
+}

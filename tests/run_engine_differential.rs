@@ -7,7 +7,6 @@
 
 use proptest::prelude::*;
 use snakes_sandwiches::core::lattice::LatticeShape;
-use snakes_sandwiches::core::parallel::ParallelConfig;
 use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
 use snakes_sandwiches::core::workload::Workload;
 use snakes_sandwiches::curves::{
@@ -15,7 +14,7 @@ use snakes_sandwiches::curves::{
     Linearization, NestedLoops, ZOrderCurve,
 };
 use snakes_sandwiches::storage::{
-    workload_stats_engine, CellData, EvalEngine, PackedLayout, StorageConfig,
+    workload_stats_opts, CellData, EvalEngine, EvalOptions, PackedLayout, StorageConfig,
 };
 use std::ops::Range;
 
@@ -195,7 +194,7 @@ proptest! {
 }
 
 /// The storage engines (cells vs runs vs auto) are bit-identical through
-/// `workload_stats_engine` for thread counts {1, 4}, on uniform and
+/// `workload_stats_opts` for thread counts {1, 4}, on uniform and
 /// skewed (partially empty) grids, for plain and snaked curves.
 #[test]
 fn workload_stats_engines_bit_identical() {
@@ -227,23 +226,21 @@ fn workload_stats_engines_bit_identical() {
                 };
                 let layout = PackedLayout::pack(&curve, &cells, config);
                 let workload = Workload::uniform(shape.clone());
-                let baseline = workload_stats_engine(
+                let baseline = workload_stats_opts(
                     &schema,
                     &curve,
                     &layout,
                     &workload,
-                    ParallelConfig::serial(),
-                    EvalEngine::Cells,
+                    &EvalOptions::serial().engine(EvalEngine::Cells),
                 );
                 for threads in [1usize, 4] {
                     for engine in [EvalEngine::Cells, EvalEngine::Runs, EvalEngine::Auto] {
-                        let got = workload_stats_engine(
+                        let got = workload_stats_opts(
                             &schema,
                             &curve,
                             &layout,
                             &workload,
-                            ParallelConfig::with_threads(threads),
-                            engine,
+                            &EvalOptions::new().threads(threads).engine(engine),
                         );
                         let ctx = format!(
                             "order {order:?} snaked {snaked} threads {threads} engine {engine}"

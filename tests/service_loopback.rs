@@ -1,0 +1,302 @@
+//! End-to-end loopback tests of the advisor daemon: a real TCP server,
+//! real concurrent clients, and three production-hardening guarantees —
+//!
+//! 1. **Fidelity**: 64+ concurrent mixed `recommend`/`price`/`drift`
+//!    requests return answers bit-identical to direct library calls;
+//! 2. **Load shedding**: with a tiny admission queue, a thundering herd is
+//!    rejected with `overloaded` + `retry_after_ms` instead of stalling;
+//! 3. **Graceful drain**: `shutdown` stops admission but every already
+//!    admitted request still gets its response.
+
+use snakes_sandwiches::core::cost::CostModel;
+use snakes_sandwiches::core::dp::IncrementalDp;
+use snakes_sandwiches::core::lattice::LatticeShape;
+use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
+use snakes_sandwiches::core::workload::{VersionedWorkload, WeightUpdate, Workload, WorkloadDelta};
+use snakes_sandwiches::curves::{aggregate_class_costs, snaked_path_curve};
+use snakes_sandwiches::prelude::{recommend, LatticePath};
+use snakes_sandwiches::service::protocol::{
+    DeltaSpec, MeasureSpec, SchemaSpec, StrategySpec, WorkloadSpec,
+};
+use snakes_sandwiches::service::{Client, Request, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// A deterministic per-thread workload: irregular weights keyed by `salt`
+/// so every thread prices a different distribution.
+fn salted_workload(shape: &LatticeShape, salt: usize) -> Workload {
+    let n = shape.num_classes();
+    Workload::from_weights(
+        shape.clone(),
+        (0..n)
+            .map(|r| 1.0 + ((r * (salt + 2) + salt) % 11) as f64 * 0.17)
+            .collect(),
+    )
+    .expect("positive weights")
+}
+
+#[test]
+fn sixty_four_concurrent_mixed_requests_are_bit_identical_to_direct_calls() {
+    const CLIENTS: usize = 64;
+    let server = Server::spawn(ServerConfig::default()).expect("spawn");
+    let addr = server.local_addr();
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let checked = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..CLIENTS {
+            let schema = &schema;
+            let shape = &shape;
+            let checked = &checked;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let w = salted_workload(shape, i);
+                let spec = |w: &Workload| (SchemaSpec::of(schema), WorkloadSpec::of(w));
+                match i % 3 {
+                    0 => {
+                        // recommend ≡ core::advisor::recommend
+                        let (s, ws) = spec(&w);
+                        let resp = client.call(Request::recommend(s, ws)).expect("call");
+                        assert!(resp.ok, "{:?}", resp.error);
+                        let body = resp.recommendation.unwrap();
+                        let direct = recommend(schema, &w);
+                        assert_eq!(body.path_dims, direct.optimal_path.dims().to_vec());
+                        assert_eq!(
+                            body.expected_cost_plain.to_bits(),
+                            direct.plain_cost.to_bits()
+                        );
+                        assert_eq!(
+                            body.expected_cost_snaked.to_bits(),
+                            direct.snaked_cost.to_bits()
+                        );
+                        for (got, want) in body.row_majors.iter().zip(&direct.row_majors) {
+                            assert_eq!(got.order_innermost_first, want.0);
+                            assert_eq!(got.cost_plain.to_bits(), want.1.to_bits());
+                            assert_eq!(got.cost_snaked.to_bits(), want.2.to_bits());
+                        }
+                    }
+                    1 => {
+                        // price ≡ curves::aggregate_class_costs + expected_cost
+                        let dims = vec![i % 2, 1 - i % 2, i % 2, 1 - i % 2];
+                        let (s, ws) = spec(&w);
+                        let resp = client
+                            .call(Request::price(
+                                s,
+                                ws,
+                                StrategySpec::snaked_path(dims.clone()),
+                            ))
+                            .expect("call");
+                        assert!(resp.ok, "{:?}", resp.error);
+                        let body = resp.price.unwrap();
+                        let path = LatticePath::from_dims(shape.clone(), dims).unwrap();
+                        let curve = snaked_path_curve(schema, &path);
+                        let direct = aggregate_class_costs(schema, &curve).expected_cost(&w);
+                        assert_eq!(body.expected_cost.to_bits(), direct.to_bits());
+                    }
+                    _ => {
+                        // drift ≡ VersionedWorkload + IncrementalDp, coalesced
+                        let session = format!("session-{i}");
+                        let mut init = Request::drift(&session, vec![]);
+                        let (s, ws) = spec(&w);
+                        init.schema = Some(s);
+                        init.workload = Some(ws);
+                        let r0 = client.call(init).expect("call");
+                        assert!(r0.ok, "{:?}", r0.error);
+                        let update = WeightUpdate {
+                            rank: i % shape.num_classes(),
+                            weight: 0.9,
+                        };
+                        let r1 = client
+                            .call(Request::drift(
+                                &session,
+                                vec![DeltaSpec {
+                                    updates: vec![update],
+                                }],
+                            ))
+                            .expect("call");
+                        assert!(r1.ok, "{:?}", r1.error);
+                        let body = r1.drift.unwrap();
+                        // Replay the session directly.
+                        let mut versioned = VersionedWorkload::new(w.clone());
+                        let mut dp = IncrementalDp::new(CostModel::of_schema(schema));
+                        let first = dp.reoptimize(versioned.workload());
+                        let d0 = r0.drift.unwrap();
+                        assert_eq!(d0.cost.to_bits(), first.cost.to_bits());
+                        let tv = versioned
+                            .apply(&WorkloadDelta::new(vec![update]).unwrap())
+                            .unwrap();
+                        let second = dp.reoptimize(versioned.workload());
+                        assert_eq!(body.version, 1);
+                        assert_eq!(body.coalesced, 1);
+                        assert_eq!(body.drift_tv.to_bits(), tv.to_bits());
+                        assert_eq!(body.path_dims, second.path.dims().to_vec());
+                        assert_eq!(body.cost.to_bits(), second.cost.to_bits());
+                        assert_eq!(body.reused, second.reused);
+                    }
+                }
+                checked.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(checked.load(Ordering::Relaxed), CLIENTS as u64);
+    // The shared caches saw real cross-connection traffic.
+    let stats = server.engine().stats_body();
+    let price_stats = stats
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "price")
+        .unwrap();
+    assert!(price_stats.requests > 0);
+    assert_eq!(stats.sessions, (CLIENTS / 3) as u64);
+    server.join();
+}
+
+/// A schema whose uniform measurement grid is large enough that a `price`
+/// + `measure` request holds a worker for a while.
+fn big_schema() -> StarSchema {
+    StarSchema::new(vec![
+        Hierarchy::new("a", vec![32, 16]).unwrap(),
+        Hierarchy::new("b", vec![32, 16]).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn slow_price_request(salt: usize) -> Request {
+    let schema = big_schema();
+    let shape = LatticeShape::of_schema(&schema);
+    let w = salted_workload(&shape, salt);
+    let mut req = Request::price(
+        SchemaSpec::of(&schema),
+        WorkloadSpec::of(&w),
+        StrategySpec::snaked_path(vec![0, 1, 0, 1]),
+    );
+    // Distinct records_per_cell per caller defeats the cost memo, so every
+    // request does real packing + measurement work.
+    req.measure = Some(MeasureSpec {
+        records_per_cell: 1 + (salt as u64 % 7),
+        page_size: 4_096,
+        record_size: 125,
+    });
+    req
+}
+
+#[test]
+fn thundering_herd_is_shed_not_stalled() {
+    const HERD: usize = 16;
+    let server = Server::spawn(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 42,
+        ..ServerConfig::default()
+    })
+    .expect("spawn");
+    let addr = server.local_addr();
+    let barrier = Barrier::new(HERD);
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..HERD {
+            let barrier = &barrier;
+            let (ok, shed) = (&ok, &shed);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let req = slow_price_request(i);
+                barrier.wait();
+                let resp = client.call(req).expect("shed replies arrive immediately");
+                if resp.ok {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let err = resp.error.unwrap();
+                    assert_eq!(err.code, "overloaded", "{err:?}");
+                    assert_eq!(err.retry_after_ms, Some(42));
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    assert_eq!(ok + shed, HERD as u64);
+    assert!(ok >= 1, "at least the admitted requests complete");
+    assert!(
+        shed >= 1,
+        "a {HERD}-client herd against workers=1/queue=1 must shed"
+    );
+    // The metrics registry agrees with the clients' view.
+    let stats = server.engine().stats_body();
+    let price_stats = stats
+        .endpoints
+        .iter()
+        .find(|e| e.endpoint == "price")
+        .unwrap();
+    assert_eq!(price_stats.shed, shed);
+    assert_eq!(price_stats.requests, ok);
+    server.join();
+}
+
+#[test]
+fn deadlines_cancel_queued_and_running_work() {
+    let server = Server::spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn");
+    let addr = server.local_addr();
+    // Occupy the single worker, then submit with an already-expired
+    // deadline: the request must fail fast without being executed.
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let _ = client.call(slow_price_request(0));
+        });
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let mut client = Client::connect(addr).expect("connect");
+            let mut req = slow_price_request(1);
+            req.deadline_ms = Some(0);
+            let resp = client.call(req).expect("deadline reply arrives");
+            assert!(!resp.ok);
+            assert_eq!(resp.error.unwrap().code, "deadline_exceeded");
+        });
+    });
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_without_losing_admitted_responses() {
+    let server = Server::spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn");
+    let addr = server.local_addr();
+    let delivered = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Two slow requests: one runs, one queues.
+        for i in 0..2 {
+            let delivered = &delivered;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let resp = client.call(slow_price_request(i)).expect("drained reply");
+                assert!(resp.ok, "{:?}", resp.error);
+                delivered.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        scope.spawn(move || {
+            // Let both requests get admitted, then pull the plug.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let mut client = Client::connect(addr).expect("connect");
+            let bye = client.shutdown().expect("shutdown acks");
+            assert!(bye.ok);
+            // Post-drain, new work is refused in-band.
+            let refused = client.call(Request::new("ping")).expect("refusal arrives");
+            assert!(!refused.ok);
+            assert_eq!(refused.error.unwrap().code, "shutting_down");
+        });
+    });
+    assert_eq!(
+        delivered.load(Ordering::Relaxed),
+        2,
+        "every admitted request keeps its response across the drain"
+    );
+    server.join();
+}

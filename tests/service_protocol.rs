@@ -1,0 +1,379 @@
+//! Wire-format stability of the advisor-service protocol: every public
+//! DTO round-trips through JSON bit-identically, unknown fields are
+//! ignored (the forward-compat contract), and representative documents
+//! are pinned as golden fixtures under `tests/fixtures/service/`.
+//!
+//! Regenerate the fixtures after an intentional protocol change with
+//! `UPDATE_SERVICE_FIXTURES=1 cargo test --test service_protocol`.
+
+use snakes_sandwiches::core::eval::{EvalEngine, EvalOptions};
+use snakes_sandwiches::core::explain::{ClassContribution, CostExplanation};
+use snakes_sandwiches::core::workload::WeightUpdate;
+use snakes_sandwiches::service::protocol::{
+    CacheStatsBody, ClassWeight, DeltaSpec, DimSpec, DriftBody, EndpointStatsBody, ErrorBody,
+    MeasureSpec, MeasuredBody, PriceBody, RecommendationBody, RowMajorBody, SchemaSpec, StatsBody,
+    StrategySpec, WorkloadSpec,
+};
+use snakes_sandwiches::service::{Request, Response, PROTOCOL_VERSION};
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    value: &T,
+) -> String {
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(value, &back, "round trip changed the value");
+    json
+}
+
+fn sample_schema() -> SchemaSpec {
+    SchemaSpec {
+        dims: vec![
+            DimSpec {
+                name: "parts".into(),
+                fanouts: vec![40, 5],
+            },
+            DimSpec {
+                name: "time".into(),
+                fanouts: vec![12, 7],
+            },
+        ],
+    }
+}
+
+fn sample_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        probs: None,
+        classes: Some(vec![
+            ClassWeight {
+                class: vec![0, 2],
+                weight: 3.0,
+            },
+            ClassWeight {
+                class: vec![2, 0],
+                weight: 1.0,
+            },
+        ]),
+        marginals: None,
+    }
+}
+
+fn sample_request() -> Request {
+    let mut req = Request::price(
+        sample_schema(),
+        sample_workload(),
+        StrategySpec::snaked_path(vec![0, 1, 0, 1]),
+    );
+    req.id = 42;
+    req.deadline_ms = Some(2_000);
+    req.measure = Some(MeasureSpec {
+        records_per_cell: 3,
+        page_size: 4_096,
+        record_size: 125,
+    });
+    req.eval = Some(EvalOptions::serial().engine(EvalEngine::Runs));
+    req
+}
+
+fn sample_drift_request() -> Request {
+    let mut req = Request::drift(
+        "etl-night",
+        vec![DeltaSpec {
+            updates: vec![
+                WeightUpdate {
+                    rank: 0,
+                    weight: 0.25,
+                },
+                WeightUpdate {
+                    rank: 7,
+                    weight: 0.5,
+                },
+            ],
+        }],
+    );
+    req.id = 43;
+    req
+}
+
+fn sample_response() -> Response {
+    Response {
+        recommendation: Some(RecommendationBody {
+            path_dims: vec![0, 1, 0, 1],
+            path: "(0,0) -> (1,0) -> (1,1) -> (2,1) -> (2,2)".into(),
+            expected_cost_plain: 12.5,
+            expected_cost_snaked: 10.25,
+            guarantee_factor: 2.0,
+            max_snaking_benefit: 1.5,
+            row_majors: vec![RowMajorBody {
+                order_innermost_first: vec![0, 1],
+                cost_plain: 14.0,
+                cost_snaked: 12.0,
+            }],
+            savings_vs_worst_row_major: 0.125,
+        }),
+        ..Response::ok(42)
+    }
+}
+
+fn sample_stats() -> StatsBody {
+    StatsBody {
+        uptime_ms: 60_000,
+        workers: 4,
+        queue_capacity: 128,
+        queue_depth: 2,
+        sessions: 1,
+        signature_cache: CacheStatsBody {
+            hits: 10,
+            misses: 3,
+            entries: 3,
+        },
+        cost_memo: CacheStatsBody {
+            hits: 5,
+            misses: 2,
+            entries: 2,
+        },
+        endpoints: vec![EndpointStatsBody {
+            endpoint: "price".into(),
+            requests: 13,
+            errors: 1,
+            shed: 2,
+            deadline_exceeded: 1,
+            p50_us: 512,
+            p99_us: 4_096,
+            max_us: 3_900,
+        }],
+    }
+}
+
+#[test]
+fn every_public_dto_round_trips() {
+    roundtrip(&sample_schema());
+    roundtrip(&sample_workload());
+    roundtrip(&WorkloadSpec {
+        probs: Some(vec![0.5, 0.25, 0.25]),
+        classes: None,
+        marginals: None,
+    });
+    roundtrip(&WorkloadSpec {
+        probs: None,
+        classes: None,
+        marginals: Some(vec![vec![0.4, 0.6], vec![1.0]]),
+    });
+    roundtrip(&StrategySpec::snaked_path(vec![1, 0]));
+    roundtrip(&StrategySpec::plain_path(vec![0, 1]));
+    roundtrip(&StrategySpec::hilbert());
+    roundtrip(&MeasureSpec::default());
+    roundtrip(&DeltaSpec {
+        updates: vec![WeightUpdate {
+            rank: 3,
+            weight: 0.125,
+        }],
+    });
+    roundtrip(&sample_request());
+    roundtrip(&sample_drift_request());
+    roundtrip(&sample_response());
+    roundtrip(&Response::err(
+        9,
+        ErrorBody {
+            code: "overloaded".into(),
+            message: "overloaded; retry after 50 ms".into(),
+            retry_after_ms: Some(50),
+        },
+    ));
+    roundtrip(&Response {
+        price: Some(PriceBody {
+            strategy: "(0,0) -> (0,1) (snaked)".into(),
+            expected_cost: 3.75,
+            cache_hit: true,
+            measured: Some(MeasuredBody {
+                avg_seeks: 2.5,
+                avg_normalized_blocks: 1.25,
+            }),
+        }),
+        ..Response::ok(7)
+    });
+    roundtrip(&Response {
+        drift: Some(DriftBody {
+            session: "etl-night".into(),
+            version: 12,
+            coalesced: 3,
+            drift_tv: 0.0625,
+            path_dims: vec![1, 0],
+            path: "(0,0) -> (0,1) -> (1,1)".into(),
+            cost: 4.5,
+            reused: true,
+            shift_bound: 0.001,
+            gap: 0.75,
+        }),
+        ..Response::ok(8)
+    });
+    roundtrip(&Response {
+        stats: Some(sample_stats()),
+        ..Response::ok(10)
+    });
+    roundtrip(&Response {
+        explanation: Some(CostExplanation {
+            path_dims: vec![1, 0],
+            plain_total: 5.0,
+            snaked_total: 4.0,
+            classes: vec![ClassContribution {
+                class: vec![0, 1],
+                probability: 0.5,
+                plain_cost: 6.0,
+                snaked_cost: 5.0,
+                contribution: 2.5,
+                share: 0.625,
+                on_path: true,
+            }],
+        }),
+        ..Response::ok(11)
+    });
+}
+
+#[test]
+fn floats_survive_the_wire_bit_for_bit() {
+    // Rust's f64 Display is shortest-roundtrip, so JSON carries the exact
+    // bits — the bedrock of the loopback ≡ direct-call guarantee.
+    for value in [
+        0.1f64,
+        1.0 / 3.0,
+        f64::MIN_POSITIVE,
+        1.2345678901234567e300,
+        -7.0 / 11.0,
+    ] {
+        let body = MeasuredBody {
+            avg_seeks: value,
+            avg_normalized_blocks: value * 3.0,
+        };
+        let json = serde_json::to_string(&body).unwrap();
+        let back: MeasuredBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.avg_seeks.to_bits(), body.avg_seeks.to_bits());
+        assert_eq!(
+            back.avg_normalized_blocks.to_bits(),
+            body.avg_normalized_blocks.to_bits()
+        );
+    }
+}
+
+#[test]
+fn unknown_fields_are_ignored_everywhere() {
+    // A newer peer may add fields; every DTO must tolerate them.
+    let req: Request = serde_json::from_str(
+        r#"{"endpoint":"recommend","id":5,"priority":"high","trace_ctx":{"span":1}}"#,
+    )
+    .expect("unknown request fields ignored");
+    assert_eq!(req.endpoint, "recommend");
+    assert_eq!(req.id, 5);
+    assert_eq!(req.v, PROTOCOL_VERSION, "missing v defaults to current");
+    let resp: Response =
+        serde_json::from_str(r#"{"v":1,"id":5,"ok":true,"server_build":"abcdef","shard":3}"#)
+            .expect("unknown response fields ignored");
+    assert!(resp.ok);
+    let spec: SchemaSpec = serde_json::from_str(
+        r#"{"dims":[{"name":"p","fanouts":[2],"collation":"binary"}],"owner":"dba"}"#,
+    )
+    .expect("unknown spec fields ignored");
+    assert_eq!(spec.dims[0].fanouts, vec![2]);
+    let strat: StrategySpec =
+        serde_json::from_str(r#"{"dims":[0,1],"snaked":true,"hint":"cold"}"#).unwrap();
+    assert_eq!(strat.dims, Some(vec![0, 1]));
+}
+
+#[test]
+fn minimal_documents_fill_defaults() {
+    let req: Request = serde_json::from_str(r#"{"endpoint":"ping"}"#).unwrap();
+    assert_eq!(req.v, PROTOCOL_VERSION);
+    assert_eq!(req.id, 0);
+    assert!(req.schema.is_none() && req.deadline_ms.is_none() && req.eval.is_none());
+    let m: MeasureSpec = serde_json::from_str("{}").unwrap();
+    assert_eq!(m.records_per_cell, 1);
+    assert_eq!(m.page_size, 8_192);
+    assert_eq!(m.record_size, 125);
+    let resp: Response = serde_json::from_str("{}").unwrap();
+    assert!(!resp.ok, "ok defaults to false");
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: the serialized form of representative documents is part
+// of the public contract. A diff here is a wire-format change — bump
+// PROTOCOL_VERSION or prove compatibility before regenerating.
+// ---------------------------------------------------------------------------
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/service")
+        .join(name)
+}
+
+fn check_fixture(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_SERVICE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{actual}\n")).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {name} ({e}); run with UPDATE_SERVICE_FIXTURES=1 to create it")
+    });
+    assert_eq!(
+        expected.trim_end(),
+        actual,
+        "wire format drifted from fixture {name}; if intentional, regenerate \
+         with UPDATE_SERVICE_FIXTURES=1"
+    );
+}
+
+#[test]
+fn golden_request_price() {
+    check_fixture("request_price.json", &sample_request().to_line());
+}
+
+#[test]
+fn golden_request_drift() {
+    check_fixture("request_drift.json", &sample_drift_request().to_line());
+}
+
+#[test]
+fn golden_response_recommendation() {
+    check_fixture("response_recommendation.json", &sample_response().to_line());
+}
+
+#[test]
+fn golden_response_overloaded() {
+    let resp = Response::err(
+        9,
+        ErrorBody {
+            code: "overloaded".into(),
+            message: "overloaded; retry after 50 ms".into(),
+            retry_after_ms: Some(50),
+        },
+    );
+    check_fixture("response_overloaded.json", &resp.to_line());
+}
+
+#[test]
+fn golden_response_stats() {
+    let resp = Response {
+        stats: Some(sample_stats()),
+        ..Response::ok(10)
+    };
+    check_fixture("response_stats.json", &resp.to_line());
+}
+
+#[test]
+fn golden_fixtures_still_parse_as_current_protocol() {
+    // The pinned bytes must parse with today's code (backward compat),
+    // not just compare equal when regenerated.
+    for name in ["request_price.json", "request_drift.json"] {
+        let raw = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
+        let req = Request::parse(raw.trim()).expect("fixture parses");
+        assert_eq!(req.v, PROTOCOL_VERSION);
+    }
+    for name in [
+        "response_recommendation.json",
+        "response_overloaded.json",
+        "response_stats.json",
+    ] {
+        let raw = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
+        Response::parse(raw.trim()).expect("fixture parses");
+    }
+}
