@@ -512,7 +512,9 @@ pub fn build_request(
 }
 
 /// Builds the server configuration for `snakes serve` from `--addr`,
-/// `--workers`, `--queue`, and `--retry-after-ms`.
+/// `--workers`, `--queue`, `--retry-after-ms`, and `--fault-plan`
+/// (a `key=value,...` fault spec for chaos testing — see
+/// [`snakes_service::FaultConfig::parse`]).
 ///
 /// # Errors
 ///
@@ -545,6 +547,11 @@ pub fn serve_config(
             .transpose()
             .map_err(|e| CliError::Usage(format!("bad --retry-after-ms: {e}")))?
             .unwrap_or(defaults.retry_after_ms),
+        fault: flags
+            .get("fault-plan")
+            .map(|s| snakes_service::FaultConfig::parse(s))
+            .transpose()
+            .map_err(|e| CliError::Usage(format!("bad --fault-plan: {e}")))?,
     })
 }
 
@@ -1014,6 +1021,7 @@ mod tests {
             ("workers", "2"),
             ("queue", "7"),
             ("retry-after-ms", "9"),
+            ("fault-plan", "seed=42,panic=5,torn=3"),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -1023,9 +1031,16 @@ mod tests {
         assert_eq!(config.workers, 2);
         assert_eq!(config.queue_capacity, 7);
         assert_eq!(config.retry_after_ms, 9);
+        let fault = config.fault.expect("fault plan parsed");
+        assert_eq!(fault.seed, 42);
+        assert_eq!(fault.panic_pct, 5);
+        assert_eq!(fault.torn_write_pct, 3);
         let bad: std::collections::HashMap<String, String> =
             [("workers".to_string(), "lots".to_string())].into();
         assert!(matches!(serve_config(&bad), Err(CliError::Usage(_))));
+        let bad_plan: std::collections::HashMap<String, String> =
+            [("fault-plan".to_string(), "panic=200".to_string())].into();
+        assert!(matches!(serve_config(&bad_plan), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -1,10 +1,20 @@
-//! A small blocking client for the JSON-lines protocol: one request in
-//! flight per connection; open several connections for concurrency.
+//! Clients for the JSON-lines protocol.
+//!
+//! * [`Client`] — the minimal blocking TCP client: one request in flight
+//!   per connection, no retries. Open several connections for
+//!   concurrency.
+//! * [`RetryingClient`] — the production client: generic over a
+//!   [`Transport`]/[`Dialer`] pair, it retries transient failures with
+//!   capped exponential backoff plus deterministic jitter, honors the
+//!   server's `retry_after_ms` hint on load-shed responses, and stamps
+//!   `recommend`/`price`/`drift` requests with idempotency keys so a
+//!   retry of an acknowledged mutation is deduplicated server-side.
 
 use crate::error::ServiceError;
+use crate::fault::SplitMix64;
 use crate::protocol::{Request, Response};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
@@ -72,5 +82,305 @@ impl Client {
     /// As [`Client::call`].
     pub fn shutdown(&mut self) -> Result<Response, ServiceError> {
         self.call(Request::new("shutdown"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport abstraction + retrying client.
+// ---------------------------------------------------------------------------
+
+/// One bidirectional protocol conversation: a place to send request lines
+/// and receive response lines. Implemented by [`TcpTransport`] and by the
+/// simulation harness's fault-injecting pipes.
+pub trait Transport: Send {
+    /// Sends one request line (the transport appends the newline).
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure; the connection must be considered dead.
+    fn send_line(&mut self, line: &str) -> Result<(), ServiceError>;
+
+    /// Receives one response line (without its newline).
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure or end-of-stream; the connection must be
+    /// considered dead.
+    fn recv_line(&mut self) -> Result<String, ServiceError>;
+}
+
+/// Opens fresh [`Transport`]s; a [`RetryingClient`] re-dials after any
+/// transport failure.
+pub trait Dialer: Send {
+    /// Opens a fresh connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure (connection refused, server gone).
+    fn dial(&mut self) -> Result<Box<dyn Transport>, ServiceError>;
+}
+
+/// [`Transport`] over one TCP connection.
+pub struct TcpTransport {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpTransport {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), ServiceError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn recv_line(&mut self) -> Result<String, ServiceError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServiceError::Protocol(
+                "server closed the connection".into(),
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// [`Dialer`] for TCP.
+#[derive(Debug, Clone)]
+pub struct TcpDialer {
+    /// The server address.
+    pub addr: SocketAddr,
+}
+
+impl Dialer for TcpDialer {
+    fn dial(&mut self) -> Result<Box<dyn Transport>, ServiceError> {
+        Ok(Box::new(TcpTransport::connect(self.addr)?))
+    }
+}
+
+/// Retry tuning of a [`RetryingClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap on the exponential backoff, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 10,
+            max_backoff_ms: 2_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based): capped
+    /// exponential with equal-jitter (half fixed, half uniform), floored
+    /// by the server's `retry_after_ms` hint when one was given.
+    pub fn backoff_ms(&self, retry: u32, rng: &mut SplitMix64, floor: Option<u64>) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << retry.saturating_sub(1).min(20))
+            .min(self.max_backoff_ms);
+        let half = exp / 2;
+        let jittered = half + rng.below(exp - half + 1);
+        // The server's hint wins even over the cap — it knows its queue.
+        jittered.max(floor.unwrap_or(0))
+    }
+}
+
+/// Counters of one [`RetryingClient`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts sent (including first tries).
+    pub attempts: u64,
+    /// Retries performed (attempts beyond each request's first).
+    pub retries: u64,
+    /// Fresh connections dialed after a transport failure.
+    pub redials: u64,
+    /// Responses served from the server's idempotency cache.
+    pub deduplicated: u64,
+    /// Total backoff slept, milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// Which in-band error codes a retry can fix. `bad_request` is
+/// deterministic and `shutting_down` is terminal, so neither retries.
+fn retryable_code(code: &str) -> bool {
+    matches!(code, "overloaded" | "deadline_exceeded" | "internal")
+}
+
+/// A protocol client with transparent retries and idempotency keys. One
+/// request in flight at a time; the underlying connection is re-dialed
+/// after any transport failure.
+///
+/// `recommend`, `price`, and `drift` requests without an explicit
+/// idempotency key are stamped with `{key_prefix}-{n}` — the same key
+/// across every retry of one logical request — so the server deduplicates
+/// re-executions and a retried `drift` applies its deltas exactly once.
+/// **`key_prefix` must be unique per client instance** (e.g. include a
+/// host/pid/connection discriminator); colliding prefixes would replay
+/// another client's cached answers.
+pub struct RetryingClient {
+    dialer: Box<dyn Dialer>,
+    transport: Option<Box<dyn Transport>>,
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    next_id: u64,
+    next_key: u64,
+    key_prefix: String,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// A client dialing through `dialer` under `policy`.
+    pub fn new(dialer: impl Dialer + 'static, policy: RetryPolicy, key_prefix: &str) -> Self {
+        let rng = SplitMix64::new(policy.jitter_seed);
+        RetryingClient {
+            dialer: Box::new(dialer),
+            transport: None,
+            policy,
+            rng,
+            next_id: 1,
+            next_key: 1,
+            key_prefix: key_prefix.to_string(),
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// A TCP client with the default policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure of the eager first dial.
+    pub fn connect_tcp(addr: SocketAddr, key_prefix: &str) -> Result<Self, ServiceError> {
+        let mut client =
+            RetryingClient::new(TcpDialer { addr }, RetryPolicy::default(), key_prefix);
+        client.transport = Some(client.dialer.dial()?);
+        Ok(client)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Sends one logical request, retrying transient failures (transport
+    /// errors, `overloaded`, `deadline_exceeded`, `internal`) up to the
+    /// policy's attempt budget. Responses with `ok: false` and a
+    /// non-retryable code are returned, not errors.
+    ///
+    /// # Errors
+    ///
+    /// The final transport-level failure once every attempt is exhausted.
+    pub fn call(&mut self, mut request: Request) -> Result<Response, ServiceError> {
+        if request.id == 0 {
+            request.id = self.next_id;
+            self.next_id += 1;
+        }
+        if request.idempotency_key.is_none()
+            && matches!(request.endpoint.as_str(), "recommend" | "price" | "drift")
+        {
+            request.idempotency_key = Some(format!("{}-{}", self.key_prefix, self.next_key));
+            self.next_key += 1;
+        }
+        let line = request.to_line();
+        let mut last_failure: Option<ServiceError> = None;
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                let floor = last_failure.as_ref().and_then(|f| match f {
+                    ServiceError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                    _ => None,
+                });
+                let backoff = self.policy.backoff_ms(attempt - 1, &mut self.rng, floor);
+                self.stats.backoff_ms += backoff;
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            self.stats.attempts += 1;
+            let transport = match &mut self.transport {
+                Some(t) => t,
+                None => match self.dialer.dial() {
+                    Ok(t) => {
+                        self.stats.redials += 1;
+                        self.transport.insert(t)
+                    }
+                    Err(e) => {
+                        last_failure = Some(e);
+                        continue;
+                    }
+                },
+            };
+            let outcome = transport
+                .send_line(&line)
+                .and_then(|()| transport.recv_line());
+            let reply = match outcome {
+                Ok(reply) => reply,
+                Err(e) => {
+                    // The connection is unusable; re-dial on the retry.
+                    self.transport = None;
+                    last_failure = Some(e);
+                    continue;
+                }
+            };
+            let response = match Response::parse(&reply) {
+                Ok(r) if r.id == request.id => r,
+                Ok(r) => {
+                    self.transport = None;
+                    last_failure = Some(ServiceError::Protocol(format!(
+                        "response id {} does not match request id {}",
+                        r.id, request.id
+                    )));
+                    continue;
+                }
+                Err(e) => {
+                    self.transport = None;
+                    last_failure = Some(ServiceError::Protocol(format!("malformed response: {e}")));
+                    continue;
+                }
+            };
+            if response.deduplicated {
+                self.stats.deduplicated += 1;
+            }
+            match &response.error {
+                Some(e) if retryable_code(&e.code) => {
+                    last_failure = Some(match e.retry_after_ms {
+                        Some(retry_after_ms) => ServiceError::Overloaded { retry_after_ms },
+                        None => ServiceError::Protocol(e.message.clone()),
+                    });
+                    continue;
+                }
+                _ => return Ok(response),
+            }
+        }
+        Err(last_failure.unwrap_or_else(|| {
+            ServiceError::Protocol("retry budget exhausted before any attempt".into())
+        }))
     }
 }

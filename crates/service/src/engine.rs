@@ -10,6 +10,7 @@
 //! Rust formats them shortest-roundtrip.
 
 use crate::error::ServiceError;
+use crate::fault::{request_token, FaultPlan};
 use crate::metrics::Registry;
 use crate::protocol::{
     CacheStatsBody, DriftBody, MeasuredBody, PriceBody, RecommendationBody, Request, Response,
@@ -84,12 +85,24 @@ struct DriftSession {
     dp: IncrementalDp,
 }
 
+/// Bound on the idempotency cache. Far beyond any retry window; when hit,
+/// the cache recycles wholesale (a key older than 2¹⁶ distinct successors
+/// has no live retries).
+const IDEMPOTENCY_CAPACITY: usize = 1 << 16;
+
+/// One idempotency slot: `None` while the first arrival executes (the
+/// slot's mutex serializes duplicates behind it), `Some` once an
+/// authoritative response is stored.
+type IdempotencySlot = Arc<Mutex<Option<Response>>>;
+
 /// The shared advisor state. One engine serves every connection of a
 /// server; `Arc<Engine>` is the unit of sharing.
 pub struct Engine {
     signatures: Mutex<SignatureCache>,
     memo: SharedCostMemo,
     sessions: Mutex<HashMap<String, Arc<Mutex<DriftSession>>>>,
+    idempotency: Mutex<HashMap<String, IdempotencySlot>>,
+    fault: Option<FaultPlan>,
     /// Request-outcome counters, shared with the server's admission path.
     pub registry: Registry,
     started: Instant,
@@ -110,6 +123,8 @@ impl Engine {
             signatures: Mutex::new(SignatureCache::new()),
             memo: SharedCostMemo::new(),
             sessions: Mutex::new(HashMap::new()),
+            idempotency: Mutex::new(HashMap::new()),
+            fault: None,
             registry: Registry::new(),
             started: Instant::now(),
             workers: 0,
@@ -127,10 +142,98 @@ impl Engine {
         }
     }
 
+    /// Arms deterministic fault injection: every executed request rolls
+    /// for a handler panic or delay against `plan`. Replays from the
+    /// idempotency cache do not roll (they execute nothing).
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Executes one request. Transport errors aside, every failure is
     /// reported in-band as an error body; the response always echoes the
     /// request id.
+    ///
+    /// With an idempotency key, the dedup lookup happens before anything
+    /// else — before even the deadline check — so a retry of an already
+    /// acknowledged mutation replays the stored response instead of
+    /// re-executing. Only authoritative outcomes (`ok` and `bad_request`)
+    /// are stored; transient failures (`overloaded`, `deadline_exceeded`,
+    /// `internal`, `shutting_down`) leave the slot empty for the retry.
+    ///
+    /// # Panics
+    ///
+    /// Only under an armed fault plan (injected handler panics); the
+    /// server's workers catch those and answer in-band.
     pub fn handle(&self, req: &Request, deadline: &Deadline) -> Response {
+        match req.idempotency_key.as_deref().filter(|k| !k.is_empty()) {
+            None => self.execute(req, deadline),
+            Some(key) => {
+                let slot = self.claim_slot(key);
+                let mut slot = slot.lock();
+                if let Some(stored) = slot.as_ref() {
+                    self.registry.record_deduplicated();
+                    let mut resp = stored.clone();
+                    resp.id = req.id;
+                    resp.deduplicated = true;
+                    return resp;
+                }
+                let resp = self.execute(req, deadline);
+                if is_authoritative(&resp) {
+                    self.registry.record_idempotency_stored();
+                    *slot = Some(resp.clone());
+                }
+                resp
+            }
+        }
+    }
+
+    /// The slot for `key`, created empty on first sight. Duplicates of an
+    /// in-flight request serialize behind the slot's own mutex, so the map
+    /// lock is never held across execution.
+    fn claim_slot(&self, key: &str) -> IdempotencySlot {
+        let mut map = self.idempotency.lock();
+        if map.len() >= IDEMPOTENCY_CAPACITY && !map.contains_key(key) {
+            map.clear();
+        }
+        Arc::clone(map.entry(key.to_string()).or_default())
+    }
+
+    /// The stored response for `key`, if an authoritative outcome was
+    /// recorded. Lets a client (or the simulation harness) recover the
+    /// answer of a request whose response was lost in transit.
+    pub fn idempotent_replay(&self, key: &str) -> Option<Response> {
+        let slot = {
+            let map = self.idempotency.lock();
+            Arc::clone(map.get(key)?)
+        };
+        let slot = slot.lock();
+        slot.clone()
+    }
+
+    /// `(workload version, class probabilities)` of a drift session, for
+    /// state-equivalence checks. `None` for unknown sessions.
+    pub fn session_state(&self, name: &str) -> Option<(u64, Vec<f64>)> {
+        let session = {
+            let sessions = self.sessions.lock();
+            Arc::clone(sessions.get(name)?)
+        };
+        let session = session.lock();
+        Some((
+            session.versioned.version(),
+            session.versioned.workload().probs().to_vec(),
+        ))
+    }
+
+    fn execute(&self, req: &Request, deadline: &Deadline) -> Response {
+        if let Some(plan) = &self.fault {
+            plan.perturb(request_token(
+                &req.endpoint,
+                req.id,
+                req.idempotency_key.as_deref(),
+            ));
+        }
         let result = match req.endpoint.as_str() {
             "recommend" => self.recommend(req, deadline),
             "price" => self.price(req, deadline),
@@ -276,14 +379,20 @@ impl Engine {
         }
         deadline.check()?;
         // Coalesce: apply every delta (each bumps the version), then
-        // re-optimize once, on the final distribution.
+        // re-optimize once, on the final distribution. The deltas are
+        // applied to a scratch copy and committed only if every one is
+        // valid — and no fallible check (deadline included) runs after the
+        // commit — so a request mutates the session exactly-wholly or
+        // not at all. That atomicity is what makes an idempotent retry of
+        // an acknowledged `drift` apply its deltas exactly once.
         let deltas = req.deltas.as_deref().unwrap_or(&[]);
+        let mut scratch = session.versioned.clone();
         let mut drift_tv = 0.0;
         for spec in deltas {
             let delta = WorkloadDelta::new(spec.updates.clone())?;
-            drift_tv += session.versioned.apply(&delta)?;
+            drift_tv += scratch.apply(&delta)?;
         }
-        deadline.check()?;
+        session.versioned = scratch;
         let workload = session.versioned.workload().clone();
         let outcome = session.dp.reoptimize(&workload);
         Ok(Response {
@@ -356,8 +465,31 @@ impl Engine {
                 entries: self.memo.len() as u64,
             },
             endpoints: self.registry.to_bodies(),
+            idempotency: CacheStatsBody {
+                hits: self
+                    .registry
+                    .deduplicated
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                misses: self
+                    .registry
+                    .idempotency_stored
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                entries: self.idempotency.lock().len() as u64,
+            },
+            panics_caught: self
+                .registry
+                .panics_caught
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
+}
+
+/// Whether a response settles its request for good. Authoritative
+/// outcomes are cached under the idempotency key; transient ones
+/// (shedding, deadlines, panics, drains) must stay uncached so a retry
+/// re-executes.
+fn is_authoritative(resp: &Response) -> bool {
+    resp.ok || resp.error.as_ref().is_some_and(|e| e.code == "bad_request")
 }
 
 /// An owned linearization over a schema's grid: the two families the wire
@@ -661,5 +793,124 @@ mod tests {
         });
         let resp = engine.handle(&req, &Deadline::none());
         assert!(resp.error.unwrap().message.contains("peano"));
+    }
+
+    #[test]
+    fn idempotent_drift_applies_exactly_once() {
+        let engine = Engine::new();
+        let mut init = Request::drift("s", vec![]);
+        init.schema = Some(toy_schema());
+        init.workload = Some(uniform_workload());
+        assert!(engine.handle(&init, &Deadline::none()).ok);
+        let req = Request::drift(
+            "s",
+            vec![DeltaSpec {
+                updates: vec![WeightUpdate {
+                    rank: 0,
+                    weight: 0.5,
+                }],
+            }],
+        )
+        .with_idempotency_key("drift-1");
+        let first = engine.handle(&req, &Deadline::none());
+        assert!(first.ok, "{:?}", first.error);
+        assert!(!first.deduplicated);
+        let (version, probs) = engine.session_state("s").unwrap();
+        assert_eq!(version, 1);
+        // The retry replays the stored response; the session does not move.
+        let mut retry = req.clone();
+        retry.id = 999;
+        let second = engine.handle(&retry, &Deadline::none());
+        assert!(second.deduplicated);
+        assert_eq!(second.id, 999, "replay echoes the retry's own id");
+        assert_eq!(
+            second.drift.as_ref().unwrap().version,
+            first.drift.as_ref().unwrap().version
+        );
+        let (version2, probs2) = engine.session_state("s").unwrap();
+        assert_eq!(version2, 1, "retried delta applied exactly once");
+        for (a, b) in probs.iter().zip(&probs2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The stored answer is recoverable out-of-band too.
+        let replay = engine.idempotent_replay("drift-1").unwrap();
+        assert_eq!(
+            replay.drift.unwrap().cost.to_bits(),
+            first.drift.unwrap().cost.to_bits()
+        );
+        assert!(engine.idempotent_replay("unseen").is_none());
+        let stats = engine.stats_body();
+        assert_eq!(stats.idempotency.hits, 1);
+        assert_eq!(stats.idempotency.misses, 1);
+        assert_eq!(stats.idempotency.entries, 1);
+    }
+
+    #[test]
+    fn transient_failures_are_not_cached_but_bad_requests_are() {
+        let engine = Engine::new();
+        // deadline_exceeded is transient: the retry executes for real.
+        let req = Request::recommend(toy_schema(), uniform_workload()).with_idempotency_key("k1");
+        let past = Deadline::from_ms(Instant::now() - std::time::Duration::from_secs(1), Some(0));
+        let miss = engine.handle(&req, &past);
+        assert_eq!(miss.error.unwrap().code, "deadline_exceeded");
+        let retry = engine.handle(&req, &Deadline::none());
+        assert!(retry.ok, "{:?}", retry.error);
+        assert!(!retry.deduplicated, "transient outcome was not cached");
+        // bad_request is authoritative: the retry is deduplicated.
+        let bad = Request::new("frobnicate").with_idempotency_key("k2");
+        let first = engine.handle(&bad, &Deadline::none());
+        assert_eq!(first.error.unwrap().code, "bad_request");
+        let second = engine.handle(&bad, &Deadline::none());
+        assert!(second.deduplicated);
+    }
+
+    #[test]
+    fn invalid_delta_in_batch_leaves_session_untouched() {
+        let engine = Engine::new();
+        let mut init = Request::drift("s", vec![]);
+        init.schema = Some(toy_schema());
+        init.workload = Some(uniform_workload());
+        assert!(engine.handle(&init, &Deadline::none()).ok);
+        let (_, before) = engine.session_state("s").unwrap();
+        // First delta valid, second out of bounds: nothing may apply.
+        let req = Request::drift(
+            "s",
+            vec![
+                DeltaSpec {
+                    updates: vec![WeightUpdate {
+                        rank: 0,
+                        weight: 0.9,
+                    }],
+                },
+                DeltaSpec {
+                    updates: vec![WeightUpdate {
+                        rank: 1_000_000,
+                        weight: 0.1,
+                    }],
+                },
+            ],
+        );
+        let resp = engine.handle(&req, &Deadline::none());
+        assert_eq!(resp.error.unwrap().code, "bad_request");
+        let (version, after) = engine.session_state("s").unwrap();
+        assert_eq!(version, 0, "failed batch must not advance the version");
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn armed_fault_plan_perturbs_execution() {
+        use crate::fault::{silence_injected_panics, FaultConfig};
+        silence_injected_panics();
+        let engine = Engine::new().with_fault(FaultPlan::new(FaultConfig {
+            panic_pct: 100,
+            ..FaultConfig::quiet(1)
+        }));
+        let req = Request::new("ping");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.handle(&req, &Deadline::none())
+        }));
+        assert!(outcome.is_err(), "100% panic plan must panic");
     }
 }

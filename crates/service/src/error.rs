@@ -23,6 +23,9 @@ pub enum ServiceError {
     Io(std::io::Error),
     /// The peer broke the line protocol (malformed JSON, closed stream).
     Protocol(String),
+    /// A handler panicked inside a worker; the panic was caught, the
+    /// worker survived, and the failure is surfaced in-band.
+    HandlerPanic(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -36,6 +39,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "shutting down"),
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::HandlerPanic(m) => write!(f, "handler panicked: {m}"),
         }
     }
 }
@@ -75,7 +79,9 @@ impl ServiceError {
             ServiceError::Overloaded { .. } => "overloaded",
             ServiceError::DeadlineExceeded => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
-            ServiceError::Io(_) | ServiceError::Protocol(_) => "internal",
+            ServiceError::Io(_) | ServiceError::Protocol(_) | ServiceError::HandlerPanic(_) => {
+                "internal"
+            }
         }
     }
 

@@ -1,0 +1,532 @@
+//! Deterministic fault injection for the advisor service.
+//!
+//! Everything here is driven by seeds, never by ambient entropy, so any
+//! failure a fault schedule provokes can be replayed exactly:
+//!
+//! * [`SplitMix64`] — the tiny, dependency-free RNG every fault decision
+//!   draws from;
+//! * [`FaultConfig`] — the knob set (percent probabilities per fault
+//!   class), parseable from the compact `key=value,...` form used by
+//!   `snakes serve --fault-plan`;
+//! * [`FaultPlan`] — server-side handler faults (worker panics, handler
+//!   delays that skew execution against per-request deadlines). Decisions
+//!   are a pure function of `(seed, request token, occurrence)`, so a
+//!   retried request re-rolls while a replayed schedule reproduces;
+//! * [`TransportFaults`] — client-side transport faults (torn frames,
+//!   chunked slow writes, dropped connections around the response),
+//!   consumed by the simulation harness in [`crate::sim`].
+//!
+//! Injected panics carry the [`InjectedPanic`] payload; call
+//! [`silence_injected_panics`] once to keep them out of stderr while the
+//! worker-side `catch_unwind` turns them into in-band `internal` errors.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A tiny deterministic RNG (Sebastiano Vigna's SplitMix64). Not
+/// cryptographic; exactly reproducible from its seed on every platform,
+/// which is the property fault schedules need.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, n)`; 0 when `n` is 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `pct`/100.
+    pub fn chance(&mut self, pct: u8) -> bool {
+        self.below(100) < u64::from(pct)
+    }
+}
+
+/// The fault mix of one schedule: per-class probabilities in percent.
+/// Transport faults apply on the client side of the simulated link;
+/// handler faults apply inside the worker executing the request.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultConfig {
+    /// Seed for every fault decision derived from this config.
+    #[serde(default)]
+    pub seed: u64,
+    /// % of request frames torn mid-line, then the connection dropped.
+    #[serde(default)]
+    pub torn_write_pct: u8,
+    /// % of request frames written in small chunks with pauses (the
+    /// server sees partial reads and read-timeout polls).
+    #[serde(default)]
+    pub chunked_write_pct: u8,
+    /// % of requests whose connection drops after the frame is sent but
+    /// before the response is read.
+    #[serde(default)]
+    pub drop_before_read_pct: u8,
+    /// % of requests whose connection drops after a partial response read.
+    #[serde(default)]
+    pub drop_mid_read_pct: u8,
+    /// % of handled requests that panic inside the worker.
+    #[serde(default)]
+    pub panic_pct: u8,
+    /// % of handled requests delayed inside the handler (clock skew
+    /// against the request deadline).
+    #[serde(default)]
+    pub delay_pct: u8,
+    /// Upper bound on the injected handler delay, milliseconds.
+    #[serde(default)]
+    pub max_delay_ms: u64,
+    /// % of schedules that fire a drain (shutdown) while requests are
+    /// still in flight.
+    #[serde(default)]
+    pub shutdown_race_pct: u8,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::quiet(0)
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free plan (the control group): every probability zero.
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            torn_write_pct: 0,
+            chunked_write_pct: 0,
+            drop_before_read_pct: 0,
+            drop_mid_read_pct: 0,
+            panic_pct: 0,
+            delay_pct: 0,
+            max_delay_ms: 0,
+            shutdown_race_pct: 0,
+        }
+    }
+
+    /// A moderately vicious default mix for manual chaos runs.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            torn_write_pct: 8,
+            chunked_write_pct: 12,
+            drop_before_read_pct: 8,
+            drop_mid_read_pct: 6,
+            panic_pct: 5,
+            delay_pct: 10,
+            max_delay_ms: 2,
+            shutdown_race_pct: 10,
+        }
+    }
+
+    /// Parses the compact `key=value[,key=value...]` form used by
+    /// `snakes serve --fault-plan`, e.g.
+    /// `"seed=42,panic=5,delay=10,max_delay_ms=3"`. Unset keys default to
+    /// zero; the key set is documented in `docs/API.md`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token on unknown keys or
+    /// unparseable values.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut config = FaultConfig::quiet(0);
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan token `{token}` is not key=value"))?;
+            let pct = |v: &str| -> Result<u8, String> {
+                let n: u8 = v
+                    .parse()
+                    .map_err(|e| format!("fault-plan `{key}={v}`: {e}"))?;
+                if n > 100 {
+                    return Err(format!("fault-plan `{key}={v}`: percent exceeds 100"));
+                }
+                Ok(n)
+            };
+            match key.trim() {
+                "seed" => {
+                    config.seed = value
+                        .parse()
+                        .map_err(|e| format!("fault-plan `seed={value}`: {e}"))?;
+                }
+                "torn" => config.torn_write_pct = pct(value)?,
+                "chunked" => config.chunked_write_pct = pct(value)?,
+                "drop_before" => config.drop_before_read_pct = pct(value)?,
+                "drop_mid" => config.drop_mid_read_pct = pct(value)?,
+                "panic" => config.panic_pct = pct(value)?,
+                "delay" => config.delay_pct = pct(value)?,
+                "max_delay_ms" => {
+                    config.max_delay_ms = value
+                        .parse()
+                        .map_err(|e| format!("fault-plan `max_delay_ms={value}`: {e}"))?;
+                }
+                "shutdown_race" => config.shutdown_race_pct = pct(value)?,
+                other => return Err(format!("unknown fault-plan key `{other}`")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// The payload of every injected handler panic. The worker's
+/// `catch_unwind` maps it to an in-band `internal` error; the panic hook
+/// installed by [`silence_injected_panics`] keeps it off stderr.
+#[derive(Debug)]
+pub struct InjectedPanic;
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// [`InjectedPanic`] payloads and delegates everything else to the
+/// previously installed hook.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// What a [`FaultPlan`] does to one handled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerFault {
+    /// Panic inside the worker (caught, surfaced as `internal`).
+    Panic,
+    /// Sleep this long before executing (skews execution relative to the
+    /// request's deadline).
+    DelayMs(u64),
+}
+
+/// Server-side fault injector: decides, per handled request, whether to
+/// panic or delay. The decision is a pure function of the plan seed, a
+/// caller-supplied request token, and how many times that token has been
+/// seen — so a fixed seed replays identically while a *retried* request
+/// (same token, next occurrence) re-rolls and eventually passes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    seen: Mutex<HashMap<u64, u32>>,
+    panics_injected: AtomicU64,
+    delays_injected: AtomicU64,
+}
+
+/// Bound on the occurrence map; beyond it the map resets (a long-running
+/// chaos daemon must not grow without bound).
+const SEEN_CAPACITY: usize = 1 << 16;
+
+impl FaultPlan {
+    /// A plan executing `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            config,
+            seen: Mutex::new(HashMap::new()),
+            panics_injected: AtomicU64::new(0),
+            delays_injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The fault (if any) for this arrival of `token`. Stateful only in
+    /// the per-token occurrence counter.
+    pub fn handler_fault(&self, token: u64) -> Option<HandlerFault> {
+        let occurrence = {
+            let mut seen = self.seen.lock().expect("fault plan lock");
+            if seen.len() >= SEEN_CAPACITY {
+                seen.clear();
+            }
+            let n = seen.entry(token).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let mut rng = SplitMix64::new(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(token)
+                .wrapping_add(u64::from(occurrence) << 32),
+        );
+        if rng.chance(self.config.panic_pct) {
+            self.panics_injected.fetch_add(1, Ordering::Relaxed);
+            return Some(HandlerFault::Panic);
+        }
+        if rng.chance(self.config.delay_pct) && self.config.max_delay_ms > 0 {
+            self.delays_injected.fetch_add(1, Ordering::Relaxed);
+            return Some(HandlerFault::DelayMs(
+                1 + rng.below(self.config.max_delay_ms),
+            ));
+        }
+        None
+    }
+
+    /// Executes the fault for this arrival of `token`: sleeps for a delay
+    /// fault, panics (with [`InjectedPanic`]) for a panic fault.
+    pub fn perturb(&self, token: u64) {
+        match self.handler_fault(token) {
+            Some(HandlerFault::Panic) => std::panic::panic_any(InjectedPanic),
+            Some(HandlerFault::DelayMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            None => {}
+        }
+    }
+
+    /// Panics injected so far.
+    pub fn panics_injected(&self) -> u64 {
+        self.panics_injected.load(Ordering::Relaxed)
+    }
+
+    /// Delays injected so far.
+    pub fn delays_injected(&self) -> u64 {
+        self.delays_injected.load(Ordering::Relaxed)
+    }
+}
+
+/// A stable request token for fault decisions: FNV-1a over the endpoint,
+/// the correlation id, and the idempotency key (when present). Retries of
+/// one logical request map to one token; distinct requests to distinct
+/// tokens (up to hashing).
+pub fn request_token(endpoint: &str, id: u64, idempotency_key: Option<&str>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(endpoint.as_bytes());
+    eat(&id.to_le_bytes());
+    if let Some(key) = idempotency_key {
+        eat(key.as_bytes());
+    }
+    h
+}
+
+/// What happens to one outbound request frame on the simulated link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The frame goes out whole.
+    Clean,
+    /// The frame is cut after `at` bytes and the connection dropped.
+    Torn {
+        /// Bytes delivered before the cut (may equal the frame length:
+        /// the frame arrives whole but unterminated, then the link dies).
+        at: usize,
+    },
+    /// The frame goes out whole, but in `chunk`-byte pieces with
+    /// `pause_ms` pauses in between (partial reads server-side).
+    Chunked {
+        /// Bytes per piece (≥ 1).
+        chunk: usize,
+        /// Pause between pieces, milliseconds.
+        pause_ms: u64,
+    },
+}
+
+/// What happens on the read side after a frame was delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The response is read normally.
+    Clean,
+    /// The connection drops before any of the response is read.
+    DropBeforeRead,
+    /// The connection drops after a partial response read.
+    DropMidRead,
+}
+
+/// Client-side transport fault source: one per simulated client, seeded,
+/// consumed attempt-by-attempt. Deterministic because each simulated
+/// client owns its generator (no cross-thread interleaving in the draw
+/// order).
+#[derive(Debug)]
+pub struct TransportFaults {
+    config: FaultConfig,
+    rng: SplitMix64,
+    torn: u64,
+    chunked: u64,
+    dropped: u64,
+}
+
+impl TransportFaults {
+    /// A fault source for one simulated client. `salt` separates clients
+    /// sharing one schedule seed.
+    pub fn new(config: FaultConfig, salt: u64) -> Self {
+        let seed = config.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+        TransportFaults {
+            config,
+            rng: SplitMix64::new(seed),
+            torn: 0,
+            chunked: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The fate of an outbound frame of `len` bytes.
+    pub fn write_fault(&mut self, len: usize) -> WriteFault {
+        if self.rng.chance(self.config.torn_write_pct) {
+            self.torn += 1;
+            return WriteFault::Torn {
+                at: self.rng.below(len as u64 + 1) as usize,
+            };
+        }
+        if len > 1 && self.rng.chance(self.config.chunked_write_pct) {
+            self.chunked += 1;
+            return WriteFault::Chunked {
+                chunk: 1 + self.rng.below((len / 2) as u64) as usize,
+                pause_ms: self.rng.below(2),
+            };
+        }
+        WriteFault::Clean
+    }
+
+    /// The fate of the response read following a delivered frame.
+    pub fn read_fault(&mut self) -> ReadFault {
+        if self.rng.chance(self.config.drop_before_read_pct) {
+            self.dropped += 1;
+            return ReadFault::DropBeforeRead;
+        }
+        if self.rng.chance(self.config.drop_mid_read_pct) {
+            self.dropped += 1;
+            return ReadFault::DropMidRead;
+        }
+        ReadFault::Clean
+    }
+
+    /// `(torn, chunked, dropped)` counts injected so far.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.torn, self.chunked, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_reproducible_and_uniformish() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            if c.chance(25) {
+                hits += 1;
+            }
+        }
+        assert!((2_000..3_000).contains(&hits), "25% chance drew {hits}");
+    }
+
+    #[test]
+    fn config_parses_and_rejects() {
+        let c = FaultConfig::parse("seed=42, panic=5,delay=10,max_delay_ms=3").unwrap();
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.panic_pct, 5);
+        assert_eq!(c.delay_pct, 10);
+        assert_eq!(c.max_delay_ms, 3);
+        assert_eq!(c.torn_write_pct, 0);
+        assert!(FaultConfig::parse("panic").is_err());
+        assert!(FaultConfig::parse("panic=101").is_err());
+        assert!(FaultConfig::parse("frobnicate=1").is_err());
+        assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::quiet(0));
+    }
+
+    #[test]
+    fn handler_faults_are_token_deterministic_and_reroll_per_occurrence() {
+        let config = FaultConfig {
+            panic_pct: 50,
+            ..FaultConfig::quiet(99)
+        };
+        let a = FaultPlan::new(config.clone());
+        let b = FaultPlan::new(config);
+        // Same seed, same tokens in any order: identical decisions per
+        // (token, occurrence).
+        let tokens: Vec<u64> = (0..64).map(|i| request_token("price", i, None)).collect();
+        let first_a: Vec<_> = tokens.iter().map(|&t| a.handler_fault(t)).collect();
+        let first_b: Vec<_> = tokens.iter().rev().map(|&t| b.handler_fault(t)).collect();
+        let first_b: Vec<_> = first_b.into_iter().rev().collect();
+        assert_eq!(first_a, first_b);
+        // At 50% panic odds, 20 occurrences of one token must eventually
+        // draw a pass (else retries could never succeed).
+        let plan = FaultPlan::new(FaultConfig {
+            panic_pct: 50,
+            ..FaultConfig::quiet(3)
+        });
+        let token = request_token("drift", 1, Some("k"));
+        assert!((0..20).any(|_| plan.handler_fault(token).is_none()));
+        assert!(plan.panics_injected() > 0);
+    }
+
+    #[test]
+    fn transport_faults_cover_all_classes() {
+        let config = FaultConfig {
+            torn_write_pct: 30,
+            chunked_write_pct: 30,
+            drop_before_read_pct: 20,
+            drop_mid_read_pct: 20,
+            ..FaultConfig::quiet(5)
+        };
+        let mut faults = TransportFaults::new(config, 1);
+        let mut saw = (false, false, false, false, false);
+        for _ in 0..500 {
+            match faults.write_fault(100) {
+                WriteFault::Clean => saw.0 = true,
+                WriteFault::Torn { at } => {
+                    assert!(at <= 100);
+                    saw.1 = true;
+                }
+                WriteFault::Chunked { chunk, .. } => {
+                    assert!(chunk >= 1);
+                    saw.2 = true;
+                }
+            }
+            match faults.read_fault() {
+                ReadFault::Clean => {}
+                ReadFault::DropBeforeRead => saw.3 = true,
+                ReadFault::DropMidRead => saw.4 = true,
+            }
+        }
+        assert_eq!(saw, (true, true, true, true, true));
+        let (torn, chunked, dropped) = faults.counts();
+        assert!(torn > 0 && chunked > 0 && dropped > 0);
+    }
+
+    #[test]
+    fn request_tokens_separate_requests() {
+        let a = request_token("price", 1, None);
+        let b = request_token("price", 2, None);
+        let c = request_token("drift", 1, None);
+        let d = request_token("price", 1, Some("key"));
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

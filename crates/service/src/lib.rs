@@ -42,13 +42,17 @@
 pub mod client;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod sim;
 
-pub use client::Client;
+pub use client::{Client, Dialer, RetryPolicy, RetryStats, RetryingClient, TcpDialer, Transport};
 pub use engine::{Deadline, Engine};
 pub use error::ServiceError;
+pub use fault::{FaultConfig, FaultPlan};
 pub use metrics::{Endpoint, Registry};
 pub use protocol::{Request, Response, PROTOCOL_VERSION};
-pub use server::{metrics_digest, serve_forever, Server, ServerConfig};
+pub use server::{metrics_digest, serve_forever, Core, Server, ServerConfig, MAX_LINE_BYTES};
+pub use sim::{run_schedule, SimConfig, SimReport, SimServer};

@@ -188,6 +188,19 @@ pub struct Registry {
     per_endpoint: [EndpointMetrics; ENDPOINTS.len()],
     /// Requests currently admitted and queued (not yet executing).
     pub queue_depth: AtomicU64,
+    /// Requests admitted to the queue over the server's lifetime. After a
+    /// full drain this must equal [`Registry::jobs_finished`] — an
+    /// admitted job that never finishes was dropped on the floor.
+    pub admitted: AtomicU64,
+    /// Admitted jobs a worker finished (produced a response for, whether
+    /// ok, errored, deadline-expired, or panic-contained).
+    pub jobs_finished: AtomicU64,
+    /// Responses replayed from the idempotency cache.
+    pub deduplicated: AtomicU64,
+    /// First executions stored under an idempotency key.
+    pub idempotency_stored: AtomicU64,
+    /// Handler panics caught in workers and surfaced in-band.
+    pub panics_caught: AtomicU64,
 }
 
 impl Registry {
@@ -221,6 +234,21 @@ impl Registry {
         self.endpoint(endpoint)
             .deadline_exceeded
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an idempotent replay (a stored response was returned).
+    pub fn record_deduplicated(&self) {
+        self.deduplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a first execution stored under an idempotency key.
+    pub fn record_idempotency_stored(&self) {
+        self.idempotency_stored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a caught handler panic.
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Wire bodies for every endpoint, in [`ENDPOINTS`] order.

@@ -34,6 +34,11 @@ fn default_version() -> u32 {
     PROTOCOL_VERSION
 }
 
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
 // ---------------------------------------------------------------------------
 // Input specs (shared with the CLI's file-based commands).
 // ---------------------------------------------------------------------------
@@ -351,6 +356,11 @@ pub struct Request {
     /// Evaluation options for physical measurement.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub eval: Option<EvalOptions>,
+    /// Idempotency key: requests sharing a key are deduplicated
+    /// server-side, so a retry of an acknowledged mutation (notably a
+    /// `drift` delta) replays the stored response instead of re-applying.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub idempotency_key: Option<String>,
 }
 
 impl Request {
@@ -389,6 +399,13 @@ impl Request {
             deltas: Some(deltas),
             ..Request::new("drift")
         }
+    }
+
+    /// This request tagged with `key` for server-side deduplication.
+    #[must_use]
+    pub fn with_idempotency_key(mut self, key: impl Into<String>) -> Self {
+        self.idempotency_key = Some(key.into());
+        self
     }
 
     /// Serializes to one protocol line (no trailing newline).
@@ -556,6 +573,13 @@ pub struct StatsBody {
     pub cost_memo: CacheStatsBody,
     /// Per-endpoint counters.
     pub endpoints: Vec<EndpointStatsBody>,
+    /// Idempotency-cache counters (`hits` = deduplicated replays,
+    /// `misses` = first executions stored under a key).
+    #[serde(default)]
+    pub idempotency: CacheStatsBody,
+    /// Handler panics caught and surfaced as in-band `internal` errors.
+    #[serde(default)]
+    pub panics_caught: u64,
 }
 
 /// One response line.
@@ -588,6 +612,10 @@ pub struct Response {
     /// `stats` payload.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<StatsBody>,
+    /// True when this response was replayed from the idempotency cache
+    /// instead of re-executing the request.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub deduplicated: bool,
 }
 
 impl Response {

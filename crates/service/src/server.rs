@@ -16,8 +16,9 @@
 
 use crate::engine::{Deadline, Engine};
 use crate::error::ServiceError;
+use crate::fault::{silence_injected_panics, FaultConfig, FaultPlan, InjectedPanic};
 use crate::metrics::Endpoint;
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,6 +26,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Hard cap on one request line. A frame beyond it is discarded up to its
+/// newline and answered with an in-band protocol error, so a hostile or
+/// broken client cannot grow server memory without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +44,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Backoff hint attached to shed responses.
     pub retry_after_ms: u64,
+    /// Deterministic fault injection for chaos runs
+    /// (`snakes serve --fault-plan`); `None` in production.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +56,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 128,
             retry_after_ms: 50,
+            fault: None,
         }
     }
 }
@@ -130,16 +140,234 @@ impl AdmissionQueue {
         self.state.lock().expect("queue lock").closed = true;
         self.available.notify_all();
     }
+
+    /// Drops every job still queued, disconnecting their reply channels
+    /// so blocked dispatchers answer in-band instead of hanging. With
+    /// correctly draining workers this is a no-op; it is the backstop
+    /// that turns a lost-job bug into a visible error.
+    fn purge(&self) -> usize {
+        let jobs: Vec<Job> = self
+            .state
+            .lock()
+            .expect("queue lock")
+            .jobs
+            .drain(..)
+            .collect();
+        jobs.len()
+    }
 }
 
-/// A running server: its bound address, shared engine, and thread pool.
-pub struct Server {
-    addr: SocketAddr,
+/// The transport-independent heart of a server: the engine, the admission
+/// queue, and the drain flag. [`Server`] runs a `Core` behind a TCP
+/// acceptor; the simulation harness ([`crate::sim`]) runs the same `Core`
+/// behind in-memory pipes, so every admission, deadline, drain, and
+/// panic-containment path under test is the production path.
+#[derive(Clone)]
+pub struct Core {
     engine: Arc<Engine>,
     queue: Arc<AdmissionQueue>,
     draining: Arc<AtomicBool>,
-    threads: Vec<std::thread::JoinHandle<()>>,
     retry_after_ms: u64,
+}
+
+impl Core {
+    /// Spawns `workers` worker threads against a fresh admission queue and
+    /// returns the core plus the worker handles (join them after
+    /// [`Core::shutdown`] to complete a drain).
+    pub fn start(
+        engine: Engine,
+        workers: usize,
+        queue_capacity: usize,
+        retry_after_ms: u64,
+    ) -> (Core, Vec<std::thread::JoinHandle<()>>) {
+        let engine = Arc::new(engine);
+        let queue = Arc::new(AdmissionQueue::new(queue_capacity));
+        let mut threads = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("snakes-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &queue))
+                    .expect("spawn worker"),
+            );
+        }
+        let core = Core {
+            engine,
+            queue,
+            draining: Arc::new(AtomicBool::new(false)),
+            retry_after_ms,
+        };
+        (core, threads)
+    }
+
+    /// The shared engine (caches, sessions, metrics).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: admission stops, queued work finishes.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Drops any jobs still queued **after the workers have exited**.
+    /// Normally a no-op (workers drain the queue before exiting); if a
+    /// drain bug ever strands a job, this unblocks its dispatcher with an
+    /// in-band `request dropped during drain` error instead of a hang,
+    /// and the admitted/finished counters record the loss. Returns the
+    /// number of stranded jobs.
+    pub fn purge_queue(&self) -> usize {
+        let stranded = self.queue.purge();
+        self.engine
+            .registry
+            .queue_depth
+            .fetch_sub(stranded as u64, Ordering::Relaxed);
+        stranded
+    }
+
+    /// Serves one connection until end-of-stream, i/o error, or the first
+    /// idle poll after a drain begins. Works over any buffered byte
+    /// stream whose reads surface `WouldBlock`/`TimedOut` periodically
+    /// (a TCP stream with a read timeout, or a sim pipe).
+    pub fn serve_connection<R: BufRead, W: Write>(&self, reader: &mut R, writer: &mut W) {
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            match read_frame(reader, &mut buf, &self.draining) {
+                Ok(LineOutcome::Eof) | Err(_) => return,
+                Ok(LineOutcome::TooLong) => {
+                    let body =
+                        ServiceError::BadRequest(format!("line exceeds {MAX_LINE_BYTES} bytes"))
+                            .to_body();
+                    if write_response(writer, &Response::err(0, body)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Ok(LineOutcome::Line) => {}
+            }
+            let text = match std::str::from_utf8(&buf) {
+                Ok(t) => t.trim(),
+                Err(_) => {
+                    let body =
+                        ServiceError::BadRequest("frame is not valid UTF-8".into()).to_body();
+                    if write_response(writer, &Response::err(0, body)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if text.is_empty() {
+                continue;
+            }
+            let request = match Request::parse(text) {
+                Ok(r) => r,
+                Err(e) => {
+                    let body =
+                        ServiceError::BadRequest(format!("malformed request: {e}")).to_body();
+                    if write_response(writer, &Response::err(0, body)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let response = self.dispatch(&request);
+            if write_response(writer, &response).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Admission and synchronous wait for one parsed request. The
+    /// `shutdown` endpoint is handled here — it must work even when the
+    /// queue is full.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        if request.v != PROTOCOL_VERSION {
+            return Response::err(
+                request.id,
+                ServiceError::BadRequest(format!(
+                    "unsupported protocol version {} (this server speaks {PROTOCOL_VERSION})",
+                    request.v
+                ))
+                .to_body(),
+            );
+        }
+        let endpoint = Endpoint::of(&request.endpoint);
+        if endpoint == Endpoint::Shutdown {
+            self.shutdown();
+            self.engine
+                .registry
+                .record_completion(endpoint, Duration::ZERO, true);
+            return Response::ok(request.id);
+        }
+        let admitted = Instant::now();
+        let deadline = Deadline::from_ms(admitted, request.deadline_ms);
+        let (reply, inbox) = mpsc::channel();
+        let job = Job {
+            request: request.clone(),
+            endpoint,
+            admitted,
+            deadline,
+            reply,
+        };
+        // Count the job before pushing: the worker decrements at dequeue,
+        // and it can pop the job before this thread resumes — counting
+        // after a successful push underflowed the gauge in that window.
+        let depth = &self.engine.registry.queue_depth;
+        depth.fetch_add(1, Ordering::Relaxed);
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.engine
+                    .registry
+                    .admitted
+                    .fetch_add(1, Ordering::Relaxed);
+                match inbox.recv() {
+                    Ok(response) => response,
+                    // The job was dropped without a reply: report in-band,
+                    // don't hang. With draining workers this is unreachable
+                    // (the queue drains fully and panics are caught), but a
+                    // response is owed no matter what.
+                    Err(_) => Response::err(
+                        request.id,
+                        ServiceError::Protocol("request dropped during drain".into()).to_body(),
+                    ),
+                }
+            }
+            Err(refused) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                match refused {
+                    Refused::Full => {
+                        self.engine.registry.record_shed(endpoint);
+                        Response::err(
+                            request.id,
+                            ServiceError::Overloaded {
+                                retry_after_ms: self.retry_after_ms,
+                            }
+                            .to_body(),
+                        )
+                    }
+                    Refused::Closed => {
+                        Response::err(request.id, ServiceError::ShuttingDown.to_body())
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running server: its bound address, shared core, and thread pool.
+pub struct Server {
+    addr: SocketAddr,
+    core: Core,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -158,41 +386,30 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let engine = Arc::new(Engine::with_limits(workers, config.queue_capacity));
-        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
-        let draining = Arc::new(AtomicBool::new(false));
-        let mut threads = Vec::with_capacity(workers + 1);
-        for i in 0..workers {
-            let engine = Arc::clone(&engine);
-            let queue = Arc::clone(&queue);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("snakes-worker-{i}"))
-                    .spawn(move || worker_loop(&engine, &queue))
-                    .expect("spawn worker"),
-            );
+        let mut engine = Engine::with_limits(workers, config.queue_capacity);
+        if let Some(fault) = config.fault.clone() {
+            silence_injected_panics();
+            engine = engine.with_fault(FaultPlan::new(fault));
         }
+        let (core, mut threads) = Core::start(
+            engine,
+            workers,
+            config.queue_capacity,
+            config.retry_after_ms,
+        );
         {
-            let engine = Arc::clone(&engine);
-            let queue = Arc::clone(&queue);
-            let draining = Arc::clone(&draining);
-            let retry_after_ms = config.retry_after_ms;
+            let core = core.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("snakes-acceptor".into())
-                    .spawn(move || {
-                        accept_loop(&listener, &engine, &queue, &draining, retry_after_ms);
-                    })
+                    .spawn(move || accept_loop(&listener, &core))
                     .expect("spawn acceptor"),
             );
         }
         Ok(Server {
             addr,
-            engine,
-            queue,
-            draining,
+            core,
             threads,
-            retry_after_ms: config.retry_after_ms,
         })
     }
 
@@ -203,19 +420,18 @@ impl Server {
 
     /// The shared engine (caches, sessions, metrics).
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        self.core.engine()
     }
 
     /// Whether a drain has been requested (via [`Server::shutdown`], the
     /// `shutdown` endpoint, or SIGTERM).
     pub fn draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
+        self.core.draining()
     }
 
     /// Begins a graceful drain: admission stops, queued work finishes.
     pub fn shutdown(&self) {
-        self.draining.store(true, Ordering::SeqCst);
-        self.queue.close();
+        self.core.shutdown();
     }
 
     /// Drains and waits for every worker and the acceptor to exit.
@@ -228,7 +444,20 @@ impl Server {
 
     /// The suggested client backoff attached to shed responses.
     pub fn retry_after_ms(&self) -> u64 {
-        self.retry_after_ms
+        self.core.retry_after_ms
+    }
+}
+
+/// The human-facing description of a caught worker panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if payload.downcast_ref::<InjectedPanic>().is_some() {
+        "injected fault".into()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
     }
 }
 
@@ -239,7 +468,22 @@ fn worker_loop(engine: &Engine, queue: &AdmissionQueue) {
             // Expired while queued: fail without touching the engine.
             Response::err(job.request.id, ServiceError::DeadlineExceeded.to_body())
         } else {
-            engine.handle(&job.request, &job.deadline)
+            // Contain handler panics: the worker survives, keeps its queue
+            // slot, and the client gets an in-band `internal` error. The
+            // engine guards its own state for unwind safety (parking_lot
+            // locks release on unwind; mutations are clone-then-commit).
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.handle(&job.request, &job.deadline)
+            })) {
+                Ok(response) => response,
+                Err(payload) => {
+                    engine.registry.record_panic_caught();
+                    Response::err(
+                        job.request.id,
+                        ServiceError::HandlerPanic(panic_message(payload.as_ref())).to_body(),
+                    )
+                }
+            }
         };
         if response
             .error
@@ -253,32 +497,26 @@ fn worker_loop(engine: &Engine, queue: &AdmissionQueue) {
             .record_completion(job.endpoint, job.admitted.elapsed(), response.ok);
         // The connection may already be gone; dropping the reply is fine.
         let _ = job.reply.send(response);
+        engine
+            .registry
+            .jobs_finished
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    engine: &Arc<Engine>,
-    queue: &Arc<AdmissionQueue>,
-    draining: &Arc<AtomicBool>,
-    retry_after_ms: u64,
-) {
+fn accept_loop(listener: &TcpListener, core: &Core) {
     loop {
-        if draining.load(Ordering::SeqCst) {
+        if core.draining() {
             return;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let engine = Arc::clone(engine);
-                let queue = Arc::clone(queue);
-                let draining = Arc::clone(draining);
+                let core = core.clone();
                 // Connections are detached: they exit on peer close, i/o
                 // error, or at the first idle poll after a drain begins.
                 let _ = std::thread::Builder::new()
                     .name("snakes-conn".into())
-                    .spawn(move || {
-                        connection_loop(stream, &engine, &queue, &draining, retry_after_ms);
-                    });
+                    .spawn(move || connection_loop(stream, &core));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -288,38 +526,66 @@ fn accept_loop(
     }
 }
 
-/// Reads one line, tolerating the read timeout used to poll the drain
-/// flag. `line` accumulates across timeouts so a split line is never
-/// dropped. `Ok(None)` means end-of-stream or drain.
-fn read_line_polled(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
+/// What [`read_frame`] produced.
+enum LineOutcome {
+    /// A complete line (newline included) is in the buffer.
+    Line,
+    /// The line exceeded [`MAX_LINE_BYTES`]; it was discarded through its
+    /// newline and the buffer is empty.
+    TooLong,
+    /// End-of-stream, or drain with no partial line pending.
+    Eof,
+}
+
+/// Reads one newline-terminated frame into `buf`, tolerating the periodic
+/// `WouldBlock`/`TimedOut` errors used to poll the drain flag. Partial
+/// frames accumulate across polls so a slow writer is never corrupted;
+/// frames beyond [`MAX_LINE_BYTES`] are discarded through their newline.
+fn read_frame<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
     draining: &AtomicBool,
-) -> std::io::Result<Option<()>> {
+) -> std::io::Result<LineOutcome> {
+    let mut discarding = false;
     loop {
-        match reader.read_line(line) {
-            Ok(0) => return Ok(None),
-            Ok(_) => return Ok(Some(())),
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return Ok(LineOutcome::Eof),
+            Ok(chunk) => chunk,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if draining.load(Ordering::SeqCst) && line.is_empty() {
-                    return Ok(None);
+                if draining.load(Ordering::SeqCst) && buf.is_empty() && !discarding {
+                    return Ok(LineOutcome::Eof);
                 }
+                continue;
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
+        };
+        let (consume, complete) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if !discarding {
+            buf.extend_from_slice(&chunk[..consume]);
+            if buf.len() > MAX_LINE_BYTES {
+                discarding = true;
+                buf.clear();
+            }
+        }
+        reader.consume(consume);
+        if complete {
+            return Ok(if discarding {
+                LineOutcome::TooLong
+            } else {
+                LineOutcome::Line
+            });
         }
     }
 }
 
-fn connection_loop(
-    stream: TcpStream,
-    engine: &Arc<Engine>,
-    queue: &Arc<AdmissionQueue>,
-    draining: &Arc<AtomicBool>,
-    retry_after_ms: u64,
-) {
+fn connection_loop(stream: TcpStream, core: &Core) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
@@ -327,88 +593,14 @@ fn connection_loop(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match read_line_polled(&mut reader, &mut line, draining) {
-            Ok(Some(())) => {}
-            Ok(None) | Err(_) => return,
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match Request::parse(&line) {
-            Ok(r) => r,
-            Err(e) => {
-                let body = ServiceError::BadRequest(format!("malformed request: {e}")).to_body();
-                if write_response(&mut writer, &Response::err(0, body)).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
-        let response = dispatch(&request, engine, queue, draining, retry_after_ms);
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-    }
+    core.serve_connection(&mut reader, &mut writer);
 }
 
-/// Admission and synchronous wait for one parsed request. The `shutdown`
-/// endpoint is handled here — it must work even when the queue is full.
-fn dispatch(
-    request: &Request,
-    engine: &Arc<Engine>,
-    queue: &Arc<AdmissionQueue>,
-    draining: &Arc<AtomicBool>,
-    retry_after_ms: u64,
-) -> Response {
-    let endpoint = Endpoint::of(&request.endpoint);
-    if endpoint == Endpoint::Shutdown {
-        draining.store(true, Ordering::SeqCst);
-        queue.close();
-        engine
-            .registry
-            .record_completion(endpoint, Duration::ZERO, true);
-        return Response::ok(request.id);
-    }
-    let admitted = Instant::now();
-    let deadline = Deadline::from_ms(admitted, request.deadline_ms);
-    let (reply, inbox) = mpsc::channel();
-    let job = Job {
-        request: request.clone(),
-        endpoint,
-        admitted,
-        deadline,
-        reply,
-    };
-    match queue.try_push(job) {
-        Ok(()) => {
-            engine.registry.queue_depth.fetch_add(1, Ordering::Relaxed);
-            match inbox.recv() {
-                Ok(response) => response,
-                // Worker died or the job was dropped: report, don't hang.
-                Err(_) => Response::err(
-                    request.id,
-                    ServiceError::Protocol("request dropped during drain".into()).to_body(),
-                ),
-            }
-        }
-        Err(Refused::Full) => {
-            engine.registry.record_shed(endpoint);
-            Response::err(
-                request.id,
-                ServiceError::Overloaded { retry_after_ms }.to_body(),
-            )
-        }
-        Err(Refused::Closed) => Response::err(request.id, ServiceError::ShuttingDown.to_body()),
-    }
-}
-
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
     let mut line = response.to_line();
     line.push('\n');
-    writer.write_all(line.as_bytes())
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
 }
 
 #[cfg(unix)]

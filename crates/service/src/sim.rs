@@ -1,0 +1,966 @@
+//! Deterministic simulation of the full advisor service under injected
+//! faults.
+//!
+//! The harness runs the **production** server core ([`crate::server::Core`]
+//! — real admission queue, real workers, real drain logic) against
+//! in-memory duplex pipes instead of TCP sockets, with a seeded
+//! [`FaultConfig`] driving every fault decision:
+//!
+//! * client-side transport faults (torn frames, slow chunked writes,
+//!   connections dropped before/during the response) via
+//!   [`crate::fault::TransportFaults`];
+//! * server-side handler faults (worker panics, execution delays that
+//!   skew against per-request deadlines) via an armed
+//!   [`crate::fault::FaultPlan`] on the engine;
+//! * an optional shutdown racing the in-flight requests.
+//!
+//! [`run_schedule`] drives a whole schedule — several concurrent
+//! [`RetryingClient`]s issuing mixed traffic — and verifies the three
+//! harness invariants:
+//!
+//! 1. **Exactly-once visibility** — every admitted request produces
+//!    exactly one response or in-band error; nothing hangs, nothing is
+//!    silently dropped.
+//! 2. **Bit-identity** — every successful answer equals the direct
+//!    library call (`f64::to_bits` equality).
+//! 3. **State equivalence** — after any fault schedule, each drift
+//!    session's state equals a fault-free replay of exactly the
+//!    acknowledged (committed) deltas, in order.
+//!
+//! Fault *decisions* are pure functions of the seed, so a failing seed
+//! replays the same fault pattern; thread interleavings still vary with
+//! the OS scheduler, which is the point — the invariants must hold for
+//! every interleaving of a given fault schedule.
+
+use crate::client::{Dialer, RetryPolicy, RetryingClient, Transport};
+use crate::engine::Engine;
+use crate::error::ServiceError;
+use crate::fault::{
+    silence_injected_panics, FaultConfig, FaultPlan, ReadFault, SplitMix64, TransportFaults,
+    WriteFault,
+};
+use crate::protocol::{DeltaSpec, Request, Response, SchemaSpec, StrategySpec, WorkloadSpec};
+use crate::server::Core;
+use snakes_core::cost::CostModel;
+use snakes_core::dp::IncrementalDp;
+use snakes_core::lattice::LatticeShape;
+use snakes_core::path::LatticePath;
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::{VersionedWorkload, WeightUpdate, Workload, WorkloadDelta};
+use snakes_curves::{aggregate_class_costs, path_curve, snaked_path_curve};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// In-memory pipes.
+// ---------------------------------------------------------------------------
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One unidirectional in-memory byte stream. Reads surface `WouldBlock`
+/// after a short empty wait, mimicking the read-timeout poll the TCP
+/// front end uses to watch the drain flag — so the production
+/// `serve_connection` runs unmodified over a pair of these.
+struct Pipe {
+    state: Mutex<PipeState>,
+    available: Condvar,
+}
+
+impl Pipe {
+    fn new() -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        })
+    }
+
+    fn write(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut state = self.state.lock().expect("pipe lock");
+        if state.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe closed",
+            ));
+        }
+        state.buf.extend(bytes);
+        drop(state);
+        self.available.notify_all();
+        Ok(())
+    }
+
+    fn read(&self, out: &mut [u8]) -> std::io::Result<usize> {
+        let mut state = self.state.lock().expect("pipe lock");
+        loop {
+            if !state.buf.is_empty() {
+                let n = out.len().min(state.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = state.buf.pop_front().expect("non-empty");
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            let (guard, timeout) = self
+                .available
+                .wait_timeout(state, Duration::from_millis(1))
+                .expect("pipe lock");
+            state = guard;
+            if timeout.timed_out() && state.buf.is_empty() && !state.closed {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "pipe poll",
+                ));
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("pipe lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Read half of a [`Pipe`]; closes it on drop.
+struct PipeReader(Arc<Pipe>);
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(out)
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Write half of a [`Pipe`]; closes it on drop.
+struct PipeWriter(Arc<Pipe>);
+
+impl std::io::Write for PipeWriter {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.0.write(bytes)?;
+        Ok(bytes.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The simulated server.
+// ---------------------------------------------------------------------------
+
+/// The full server core behind in-memory connections: real workers, real
+/// admission queue, fault plan armed on the engine.
+pub struct SimServer {
+    core: Core,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SimServer {
+    /// Starts workers against an engine armed with `config`'s fault plan.
+    pub fn start(workers: usize, queue_capacity: usize, fault: FaultConfig) -> Arc<SimServer> {
+        silence_injected_panics();
+        let engine = Engine::with_limits(workers, queue_capacity).with_fault(FaultPlan::new(fault));
+        let (core, handles) = Core::start(engine, workers, queue_capacity, 1);
+        Arc::new(SimServer {
+            core,
+            workers: Mutex::new(handles),
+            conns: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The shared engine (caches, sessions, metrics, fault counters).
+    pub fn engine(&self) -> &Arc<Engine> {
+        self.core.engine()
+    }
+
+    /// Requests a graceful drain, exactly like SIGTERM on the daemon.
+    pub fn shutdown(&self) {
+        self.core.shutdown();
+    }
+
+    /// Drains and joins every worker and connection thread. Call after
+    /// all clients have finished (their dropped pipes unblock the
+    /// connection threads). Workers join first; any job they stranded is
+    /// then purged — disconnecting its reply channel so the blocked
+    /// connection thread answers in-band and exits instead of deadlocking
+    /// the harness — and the loss shows up in the admitted/finished
+    /// counters.
+    pub fn join(&self) {
+        self.core.shutdown();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.core.purge_queue();
+        let conns: Vec<_> = self.conns.lock().expect("conns lock").drain(..).collect();
+        for handle in conns {
+            let _ = handle.join();
+        }
+    }
+
+    /// Opens one simulated connection, spawning a server-side connection
+    /// thread running the production `serve_connection`. Returns the
+    /// client-side (write half, read half).
+    fn open_connection(&self) -> (PipeWriter, PipeReader) {
+        let to_server = Pipe::new();
+        let from_server = Pipe::new();
+        let core = self.core.clone();
+        let server_read = PipeReader(Arc::clone(&to_server));
+        let server_write = PipeWriter(Arc::clone(&from_server));
+        let handle = std::thread::Builder::new()
+            .name("snakes-sim-conn".into())
+            .spawn(move || {
+                let mut reader = std::io::BufReader::new(server_read);
+                let mut writer = server_write;
+                core.serve_connection(&mut reader, &mut writer);
+            })
+            .expect("spawn sim connection");
+        self.conns.lock().expect("conns lock").push(handle);
+        (PipeWriter(to_server), PipeReader(from_server))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fault-injecting client transport.
+// ---------------------------------------------------------------------------
+
+/// [`Dialer`] opening fault-injected connections to a [`SimServer`]. The
+/// fault stream persists across re-dials, so a client's fault pattern is
+/// a deterministic function of `(config seed, client salt)`.
+pub struct SimDialer {
+    server: Arc<SimServer>,
+    faults: Arc<Mutex<TransportFaults>>,
+}
+
+impl SimDialer {
+    /// A dialer for one simulated client (`salt` separates clients).
+    pub fn new(server: Arc<SimServer>, fault: FaultConfig, salt: u64) -> Self {
+        SimDialer {
+            server,
+            faults: Arc::new(Mutex::new(TransportFaults::new(fault, salt))),
+        }
+    }
+
+    /// `(torn, chunked, dropped)` transport faults injected so far.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        self.faults.lock().expect("faults lock").counts()
+    }
+
+    /// A handle to the fault counters that survives moving the dialer
+    /// into a [`RetryingClient`].
+    pub fn counters(&self) -> Arc<Mutex<TransportFaults>> {
+        Arc::clone(&self.faults)
+    }
+}
+
+impl Dialer for SimDialer {
+    fn dial(&mut self) -> Result<Box<dyn Transport>, ServiceError> {
+        let (writer, reader) = self.server.open_connection();
+        Ok(Box::new(FaultedTransport {
+            writer,
+            reader,
+            faults: Arc::clone(&self.faults),
+        }))
+    }
+}
+
+/// A pipe transport that executes the client-side fault plan.
+struct FaultedTransport {
+    writer: PipeWriter,
+    reader: PipeReader,
+    faults: Arc<Mutex<TransportFaults>>,
+}
+
+impl FaultedTransport {
+    /// Hard-drops the connection (both directions), as a crashed client
+    /// or cut network would.
+    fn kill(&self) {
+        self.writer.0.close();
+        self.reader.0.close();
+    }
+}
+
+impl Transport for FaultedTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), ServiceError> {
+        let mut frame = Vec::with_capacity(line.len() + 1);
+        frame.extend_from_slice(line.as_bytes());
+        frame.push(b'\n');
+        let fault = self
+            .faults
+            .lock()
+            .expect("faults lock")
+            .write_fault(frame.len());
+        match fault {
+            WriteFault::Clean => {
+                self.writer.0.write(&frame)?;
+                Ok(())
+            }
+            WriteFault::Torn { at } => {
+                let _ = self.writer.0.write(&frame[..at]);
+                self.kill();
+                Err(ServiceError::Protocol(
+                    "connection torn mid-frame (injected)".into(),
+                ))
+            }
+            WriteFault::Chunked { chunk, pause_ms } => {
+                for piece in frame.chunks(chunk.max(1)) {
+                    self.writer.0.write(piece)?;
+                    if pause_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(pause_ms));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn recv_line(&mut self) -> Result<String, ServiceError> {
+        match self.faults.lock().expect("faults lock").read_fault() {
+            ReadFault::Clean => {}
+            ReadFault::DropBeforeRead => {
+                self.kill();
+                return Err(ServiceError::Protocol(
+                    "connection dropped before response (injected)".into(),
+                ));
+            }
+            ReadFault::DropMidRead => {
+                // Pull a few response bytes (maybe none arrived yet), then
+                // cut the line.
+                let mut scratch = [0u8; 3];
+                let _ = self.reader.0.read(&mut scratch);
+                self.kill();
+                return Err(ServiceError::Protocol(
+                    "connection dropped mid-response (injected)".into(),
+                ));
+            }
+        }
+        let mut line = Vec::new();
+        let mut chunk = [0u8; 256];
+        // Bounded wait (~10 s of 1 ms polls): a server that never answers
+        // is itself an invariant violation, and the client must surface
+        // it as a transport error rather than wedge the harness.
+        let mut polls = 0u32;
+        loop {
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ServiceError::Protocol(
+                        "server closed the connection".into(),
+                    ))
+                }
+                Ok(n) => {
+                    line.extend_from_slice(&chunk[..n]);
+                    if let Some(pos) = line.iter().position(|&b| b == b'\n') {
+                        line.truncate(pos);
+                        return String::from_utf8(line).map_err(|_| {
+                            ServiceError::Protocol("response is not valid UTF-8".into())
+                        });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    polls += 1;
+                    if polls > 10_000 {
+                        self.kill();
+                        return Err(ServiceError::Protocol(
+                            "timed out waiting for a response".into(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(ServiceError::Io(e)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedules.
+// ---------------------------------------------------------------------------
+
+/// One simulated fault schedule: topology, traffic volume, and fault mix,
+/// all derived from a seed.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The schedule seed (also the fault seed).
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Logical requests per client.
+    pub requests_per_client: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// The fault mix.
+    pub fault: FaultConfig,
+    /// When set, a drain fires this many milliseconds into the schedule,
+    /// racing the in-flight requests.
+    pub shutdown_after_ms: Option<u64>,
+}
+
+impl SimConfig {
+    /// The canonical schedule for `seed`: small randomized topology and a
+    /// randomized fault mix. Every 8th seed is a fault-free control
+    /// schedule (all probabilities zero, no shutdown race), so the suite
+    /// continuously re-proves the baseline too.
+    pub fn for_seed(seed: u64) -> SimConfig {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1));
+        let quiet = seed.is_multiple_of(8);
+        let fault = if quiet {
+            FaultConfig::quiet(seed)
+        } else {
+            FaultConfig {
+                seed,
+                torn_write_pct: rng.below(13) as u8,
+                chunked_write_pct: rng.below(16) as u8,
+                drop_before_read_pct: rng.below(11) as u8,
+                drop_mid_read_pct: rng.below(9) as u8,
+                panic_pct: rng.below(11) as u8,
+                delay_pct: rng.below(16) as u8,
+                max_delay_ms: 1 + rng.below(2),
+                shutdown_race_pct: 0,
+            }
+        };
+        let shutdown_after_ms = if !quiet && rng.chance(25) {
+            Some(2 + rng.below(20))
+        } else {
+            None
+        };
+        SimConfig {
+            seed,
+            clients: 2 + rng.below(3) as usize,
+            requests_per_client: 3 + rng.below(5) as usize,
+            workers: 1 + rng.below(3) as usize,
+            queue_capacity: 1 + rng.below(4) as usize,
+            fault,
+            shutdown_after_ms,
+        }
+    }
+}
+
+/// The outcome of one schedule.
+#[derive(Debug, Default)]
+pub struct SimReport {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Logical requests issued across all clients.
+    pub requests: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// Responses served from the idempotency cache.
+    pub deduplicated: u64,
+    /// Requests refused with `shutting_down` (drain races).
+    pub rejected: u64,
+    /// Requests whose retry budget ran out with no response.
+    pub unresolved: u64,
+    /// Handler panics injected and caught server-side.
+    pub panics_caught: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Client-side transport faults injected: `(torn, chunked, dropped)`.
+    pub transport_faults: (u64, u64, u64),
+    /// Invariant violations (empty = the schedule passed).
+    pub violations: Vec<String>,
+}
+
+/// What one client recorded about one logical request.
+#[allow(clippy::large_enum_variant)] // harness-internal; almost always Answered
+enum Outcome {
+    /// A response arrived (possibly `ok: false`).
+    Answered(Response),
+    /// The retry budget ran out with no response.
+    Unresolved,
+}
+
+/// The snaked/plain lattice paths of the 2×2-level toy grid.
+const TOY_PATH_DIMS: [[usize; 4]; 6] = [
+    [0, 1, 0, 1],
+    [1, 0, 1, 0],
+    [0, 0, 1, 1],
+    [1, 1, 0, 0],
+    [0, 1, 1, 0],
+    [1, 0, 0, 1],
+];
+
+/// A deterministic irregular workload, distinct per `salt`.
+fn salted_workload(shape: &LatticeShape, salt: u64) -> Workload {
+    let n = shape.num_classes();
+    Workload::from_weights(
+        shape.clone(),
+        (0..n)
+            .map(|r| 1.0 + ((r as u64 * (salt + 2) + salt) % 11) as f64 * 0.17)
+            .collect(),
+    )
+    .expect("positive weights")
+}
+
+/// Runs one schedule end to end and verifies the three harness
+/// invariants. An empty `violations` list means the schedule passed.
+pub fn run_schedule(config: &SimConfig) -> SimReport {
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+    let server = SimServer::start(config.workers, config.queue_capacity, config.fault.clone());
+    let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let note = |msg: String| {
+        violations
+            .lock()
+            .expect("violations lock")
+            .push(format!("seed {}: {}", config.seed, msg));
+    };
+    // Per client: (workload, per-request log). Indexed by client id.
+    let mut logs: Vec<(Workload, Vec<(Request, Outcome)>)> = Vec::new();
+    let mut fault_totals = (0u64, 0u64, 0u64);
+    let mut deduplicated = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..config.clients {
+            let server = Arc::clone(&server);
+            let schema = &schema;
+            let shape = &shape;
+            let note = &note;
+            let fault = config.fault.clone();
+            handles.push(
+                scope.spawn(move || client_script(config, i, server, schema, shape, fault, note)),
+            );
+        }
+        // An explicit shutdown time wins; otherwise the fault plan's
+        // `shutdown_race_pct` rolls one deterministically.
+        let shutdown_after_ms = config.shutdown_after_ms.or_else(|| {
+            let mut rng = SplitMix64::new(config.seed ^ 0x053D_011C_EBAD_C0DE);
+            (config.fault.shutdown_race_pct > 0 && rng.chance(config.fault.shutdown_race_pct))
+                .then(|| 2 + rng.below(20))
+        });
+        if let Some(ms) = shutdown_after_ms {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(ms));
+                server.shutdown();
+            });
+        }
+        for handle in handles {
+            let (workload, log, counts, dedup) = handle.join().expect("client thread");
+            fault_totals.0 += counts.0;
+            fault_totals.1 += counts.1;
+            fault_totals.2 += counts.2;
+            deduplicated += dedup;
+            logs.push((workload, log));
+        }
+    });
+    // Full drain: every admitted job finishes before verification reads
+    // the final state.
+    server.join();
+    let engine = Arc::clone(server.engine());
+    // Invariant 3: per-session state equivalence against a fault-free
+    // replay of exactly the committed deltas, in order; and invariant 2
+    // for every drift response body, resolved through the idempotency
+    // cache for responses lost in transit.
+    // Invariant 1, server side: after a full drain, every admitted job
+    // was finished by a worker. A gap means the drain dropped work.
+    let admitted = engine
+        .registry
+        .admitted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let finished = engine
+        .registry
+        .jobs_finished
+        .load(std::sync::atomic::Ordering::Relaxed);
+    if admitted != finished {
+        note(format!(
+            "{admitted} requests were admitted but only {finished} finished — the drain \
+             dropped admitted work"
+        ));
+    }
+    for (i, (workload, log)) in logs.iter().enumerate() {
+        verify_drift_replay(config, i, &schema, workload, log, &engine, &note);
+    }
+    let stats = engine.stats_body();
+    let mut report = SimReport {
+        seed: config.seed,
+        transport_faults: fault_totals,
+        deduplicated,
+        panics_caught: stats.panics_caught,
+        shed: stats.endpoints.iter().map(|e| e.shed).sum(),
+        ..SimReport::default()
+    };
+    for (_, log) in &logs {
+        for (_, outcome) in log {
+            report.requests += 1;
+            match outcome {
+                Outcome::Answered(resp) if resp.ok => report.ok += 1,
+                Outcome::Answered(resp) => {
+                    if resp
+                        .error
+                        .as_ref()
+                        .is_some_and(|e| e.code == "shutting_down")
+                    {
+                        report.rejected += 1;
+                    }
+                }
+                Outcome::Unresolved => report.unresolved += 1,
+            }
+        }
+    }
+    report.violations = violations.into_inner().expect("violations lock");
+    report
+}
+
+/// One client's record: its workload, request log, transport-fault
+/// counts `(torn, chunked, dropped)`, and deduplicated-reply count.
+type ClientLog = (Workload, Vec<(Request, Outcome)>, (u64, u64, u64), u64);
+
+/// One simulated client: issues a deterministic mix of requests through a
+/// retrying idempotent client, verifying `recommend`/`price` bit-identity
+/// inline. Returns its workload, log, transport-fault counts, and
+/// deduplicated-reply count.
+fn client_script(
+    config: &SimConfig,
+    i: usize,
+    server: Arc<SimServer>,
+    schema: &StarSchema,
+    shape: &LatticeShape,
+    fault: FaultConfig,
+    note: &dyn Fn(String),
+) -> ClientLog {
+    let seed = config.seed;
+    let mut rng = SplitMix64::new(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let workload = salted_workload(shape, seed ^ (i as u64));
+    let dialer = SimDialer::new(server, fault, i as u64 + 1);
+    let counters = dialer.counters();
+    let policy = RetryPolicy {
+        // Generous budget: with per-occurrence fault re-rolls, a logical
+        // request is effectively always resolved unless a drain stops it,
+        // which keeps per-session commit order equal to issue order.
+        max_attempts: 25,
+        base_backoff_ms: 1,
+        max_backoff_ms: 4,
+        jitter_seed: seed ^ ((i as u64 + 1) << 17),
+    };
+    let mut client = RetryingClient::new(dialer, policy, &format!("s{seed}-c{i}"));
+    let session = format!("s{seed}-c{i}");
+    let mut log: Vec<(Request, Outcome)> = Vec::new();
+    let n = shape.num_classes();
+    for j in 0..config.requests_per_client {
+        let spec_schema = SchemaSpec::of(schema);
+        let spec_workload = WorkloadSpec::of(&workload);
+        let kind = rng.below(100);
+        let mut req = if kind < 25 {
+            Request::recommend(spec_schema, spec_workload)
+        } else if kind < 55 {
+            let dims = TOY_PATH_DIMS[rng.below(TOY_PATH_DIMS.len() as u64) as usize].to_vec();
+            let strategy = if rng.chance(70) {
+                StrategySpec::snaked_path(dims)
+            } else {
+                StrategySpec::plain_path(dims)
+            };
+            Request::price(spec_schema, spec_workload, strategy)
+        } else if kind < 90 {
+            // Distinct ranks: a delta listing the same class twice is a
+            // (correctly rejected) bad request, and the harness only
+            // sends valid traffic.
+            let mut ranks: Vec<usize> = Vec::new();
+            for _ in 0..1 + rng.below(2) {
+                let rank = rng.below(n as u64) as usize;
+                if !ranks.contains(&rank) {
+                    ranks.push(rank);
+                }
+            }
+            let updates = ranks
+                .into_iter()
+                .map(|rank| WeightUpdate {
+                    rank,
+                    weight: 0.1 + rng.below(90) as f64 / 100.0,
+                })
+                .collect();
+            let mut req = Request::drift(&session, vec![DeltaSpec { updates }]);
+            // Schema + workload on every drift request: any of them can
+            // create the session if an earlier one was lost to a fault.
+            req.schema = Some(spec_schema);
+            req.workload = Some(spec_workload);
+            req
+        } else if kind < 95 {
+            Request::new("ping")
+        } else {
+            Request::new("stats")
+        };
+        if matches!(req.endpoint.as_str(), "recommend" | "price" | "drift") {
+            req = req.with_idempotency_key(format!("s{seed}-c{i}-r{j}"));
+        }
+        if rng.chance(15) {
+            req.deadline_ms = Some(40 + rng.below(60));
+        }
+        let outcome = match client.call(req.clone()) {
+            Ok(resp) => Outcome::Answered(resp),
+            Err(_) => Outcome::Unresolved,
+        };
+        let stop = match &outcome {
+            Outcome::Answered(resp) if resp.ok => {
+                verify_read_response(&req, resp, schema, &workload, note);
+                false
+            }
+            Outcome::Answered(resp) => {
+                let code = resp
+                    .error
+                    .as_ref()
+                    .map_or("<missing error body>", |e| e.code.as_str());
+                match code {
+                    "shutting_down" => true,
+                    other => {
+                        // Retryable codes are consumed by the retry loop;
+                        // the harness never sends an invalid request.
+                        let detail = resp
+                            .error
+                            .as_ref()
+                            .map_or(String::new(), |e| format!(": {}", e.message));
+                        note(format!(
+                            "client {i} request {j} ({}) got unexpected terminal error \
+                             `{other}`{detail}",
+                            req.endpoint
+                        ));
+                        false
+                    }
+                }
+            }
+            Outcome::Unresolved => false,
+        };
+        log.push((req, outcome));
+        if stop {
+            break;
+        }
+    }
+    let counts = counters.lock().expect("faults lock").counts();
+    let dedup = client.stats().deduplicated;
+    (workload, log, counts, dedup)
+}
+
+/// Invariant 2 for read-only endpoints: a successful `recommend`/`price`
+/// answer must be bit-identical to the direct library call.
+fn verify_read_response(
+    req: &Request,
+    resp: &Response,
+    schema: &StarSchema,
+    workload: &Workload,
+    note: &dyn Fn(String),
+) {
+    match req.endpoint.as_str() {
+        "recommend" => {
+            let Some(body) = &resp.recommendation else {
+                note("ok recommend response without a body".into());
+                return;
+            };
+            let direct = snakes_core::advisor::recommend(schema, workload);
+            if body.path_dims != direct.optimal_path.dims()
+                || body.expected_cost_plain.to_bits() != direct.plain_cost.to_bits()
+                || body.expected_cost_snaked.to_bits() != direct.snaked_cost.to_bits()
+            {
+                note(format!(
+                    "recommend diverged from direct call (id {})",
+                    resp.id
+                ));
+            }
+        }
+        "price" => {
+            let Some(body) = &resp.price else {
+                note("ok price response without a body".into());
+                return;
+            };
+            let strategy = req.strategy.as_ref().expect("price carries strategy");
+            let dims = strategy.dims.clone().expect("harness prices paths");
+            let path =
+                LatticePath::from_dims(LatticeShape::of_schema(schema), dims).expect("valid path");
+            let direct = if strategy.snaked {
+                aggregate_class_costs(schema, &snaked_path_curve(schema, &path))
+                    .expected_cost(workload)
+            } else {
+                aggregate_class_costs(schema, &path_curve(schema, &path)).expected_cost(workload)
+            };
+            if body.expected_cost.to_bits() != direct.to_bits() {
+                note(format!(
+                    "price diverged from direct call: {} vs {} (id {})",
+                    body.expected_cost, direct, resp.id
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Invariants 2 + 3 for `drift`: resolve each request's commit status
+/// through the idempotency cache, then replay exactly the committed
+/// deltas fault-free and demand bit-identical bodies and final state.
+fn verify_drift_replay(
+    config: &SimConfig,
+    i: usize,
+    schema: &StarSchema,
+    workload: &Workload,
+    log: &[(Request, Outcome)],
+    engine: &Engine,
+    note: &dyn Fn(String),
+) {
+    let session = format!("s{}-c{i}", config.seed);
+    let mut expected = VersionedWorkload::new(workload.clone());
+    let mut dp = IncrementalDp::new(CostModel::of_schema(schema));
+    let mut any_committed = false;
+    for (j, (req, outcome)) in log.iter().enumerate() {
+        if req.endpoint != "drift" {
+            continue;
+        }
+        let key = req.idempotency_key.as_deref().expect("drift is keyed");
+        // The idempotency cache is the commit log: a drift mutated its
+        // session if and only if an authoritative ok response is stored.
+        let stored = engine.idempotent_replay(key).filter(|r| r.ok);
+        let effective = match outcome {
+            Outcome::Answered(resp) if resp.ok => {
+                if stored.is_none() {
+                    note(format!(
+                        "client {i} drift {j}: acknowledged ok response missing from the \
+                         idempotency cache"
+                    ));
+                    Some(resp.clone())
+                } else {
+                    Some(resp.clone())
+                }
+            }
+            _ => stored,
+        };
+        let Some(resp) = effective else { continue };
+        any_committed = true;
+        let Some(body) = &resp.drift else {
+            note(format!("client {i} drift {j}: ok response without a body"));
+            continue;
+        };
+        let mut drift_tv = 0.0;
+        let mut failed = false;
+        for delta in req.deltas.as_deref().unwrap_or(&[]) {
+            let delta = WorkloadDelta::new(delta.updates.clone()).expect("harness delta valid");
+            match expected.apply(&delta) {
+                Ok(tv) => drift_tv += tv,
+                Err(e) => {
+                    note(format!("client {i} drift {j}: replay rejected delta: {e}"));
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            continue;
+        }
+        let direct = dp.reoptimize(&expected.workload().clone());
+        if body.version != expected.version() {
+            note(format!(
+                "client {i} drift {j}: version {} but fault-free replay says {} — a delta \
+                 applied more or less than exactly once",
+                body.version,
+                expected.version()
+            ));
+        }
+        if body.drift_tv.to_bits() != drift_tv.to_bits()
+            || body.cost.to_bits() != direct.cost.to_bits()
+            || body.path_dims != direct.path.dims()
+            || body.reused != direct.reused
+            || body.shift_bound.to_bits() != direct.shift_bound.to_bits()
+            || body.gap.to_bits() != direct.gap.to_bits()
+        {
+            note(format!(
+                "client {i} drift {j}: response body diverged from fault-free replay"
+            ));
+        }
+    }
+    // Final state equivalence.
+    match engine.session_state(&session) {
+        Some((version, probs)) => {
+            if version != expected.version() {
+                note(format!(
+                    "session {session}: final version {version} != replay {}",
+                    expected.version()
+                ));
+            }
+            let replayed = expected.workload().probs();
+            if probs.len() != replayed.len()
+                || probs
+                    .iter()
+                    .zip(replayed)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                note(format!(
+                    "session {session}: final distribution differs from fault-free replay"
+                ));
+            }
+        }
+        None => {
+            if any_committed {
+                note(format!(
+                    "session {session}: committed deltas but the session does not exist"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_schedule_is_all_ok() {
+        let config = SimConfig {
+            seed: 8, // multiple of 8 → control schedule
+            clients: 3,
+            requests_per_client: 4,
+            workers: 2,
+            queue_capacity: 4,
+            fault: FaultConfig::quiet(8),
+            shutdown_after_ms: None,
+        };
+        let report = run_schedule(&config);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.ok, report.requests);
+        assert_eq!(report.unresolved, 0);
+        assert_eq!(report.panics_caught, 0);
+        assert_eq!(report.transport_faults, (0, 0, 0));
+    }
+
+    #[test]
+    fn chaotic_schedule_holds_the_invariants() {
+        let mut saw_faults = false;
+        for seed in [3u64, 5, 9] {
+            let config = SimConfig::for_seed(seed);
+            let report = run_schedule(&config);
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+            let (torn, chunked, dropped) = report.transport_faults;
+            if torn + chunked + dropped + report.panics_caught > 0 {
+                saw_faults = true;
+            }
+        }
+        assert!(saw_faults, "three chaotic seeds must inject something");
+    }
+
+    #[test]
+    fn shutdown_race_never_loses_admitted_work() {
+        let mut config = SimConfig::for_seed(11);
+        config.shutdown_after_ms = Some(1);
+        let report = run_schedule(&config);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

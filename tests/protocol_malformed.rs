@@ -1,0 +1,203 @@
+//! Malformed-frame corpus against a live server: every hostile frame must
+//! be answered with an in-band protocol error — never a panic, never a
+//! hang, never a dropped connection — and the same connection must stay
+//! usable for well-formed requests afterwards.
+
+use snakes_sandwiches::service::{Server, ServerConfig, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A raw JSON-lines connection with no client-side protocol smarts.
+struct RawConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn open(addr: std::net::SocketAddr) -> RawConn {
+        let writer = TcpStream::connect(addr).expect("connect");
+        // A stuck server must fail the test, not wedge it.
+        writer
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        RawConn { writer, reader }
+    }
+
+    fn send_raw(&mut self, frame: &[u8]) {
+        self.writer.write_all(frame).expect("write frame");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> serde_json::Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection instead of answering");
+        serde_json::from_str(line.trim_end()).expect("response is valid JSON")
+    }
+
+    /// Sends one frame and asserts the in-band error reply carries `code`.
+    fn expect_error(&mut self, frame: &[u8], code: &str) -> serde_json::Value {
+        self.send_raw(frame);
+        let resp = self.recv();
+        assert_eq!(
+            resp["ok"].as_bool(),
+            Some(false),
+            "expected an error reply, got {resp:?}"
+        );
+        assert_eq!(
+            resp["error"]["code"].as_str(),
+            Some(code),
+            "wrong error code; full reply: {resp:?}"
+        );
+        resp
+    }
+
+    /// The connection must still serve well-formed traffic.
+    fn assert_usable(&mut self) {
+        self.send_raw(
+            format!("{{\"v\":{PROTOCOL_VERSION},\"endpoint\":\"ping\",\"id\":7}}\n").as_bytes(),
+        );
+        let resp = self.recv();
+        assert_eq!(
+            resp["ok"].as_bool(),
+            Some(true),
+            "connection unusable after bad frame: {resp:?}"
+        );
+        assert_eq!(resp["id"], 7);
+    }
+}
+
+#[test]
+fn malformed_frames_get_in_band_errors_and_the_connection_survives() {
+    let server = Server::spawn(ServerConfig::default()).expect("spawn");
+    let addr = server.local_addr();
+    let mut conn = RawConn::open(addr);
+
+    // Truncated JSON — the line ends mid-object.
+    conn.expect_error(b"{\"v\":1,\"endpoint\":\"pi\n", "bad_request");
+    conn.assert_usable();
+
+    // Not JSON at all.
+    conn.expect_error(b"GET / HTTP/1.1\n", "bad_request");
+    conn.assert_usable();
+
+    // Interior NUL bytes. The lenient JSON parser may accept or reject
+    // the frame; either way the server must answer in-band and keep the
+    // connection alive — never crash on a control character.
+    conn.send_raw(b"{\"v\":1,\"endpoint\":\"pi\x00ng\",\"id\":1}\n");
+    let resp = conn.recv();
+    assert!(resp["ok"].as_bool().is_some(), "{resp:?}");
+    conn.assert_usable();
+
+    // A NUL where JSON structure is expected is always malformed.
+    conn.expect_error(b"\x00{\"v\":1,\"endpoint\":\"ping\"}\n", "bad_request");
+    conn.assert_usable();
+
+    // Invalid UTF-8 in the frame.
+    conn.expect_error(
+        b"{\"v\":1,\"endpoint\":\"\xff\xfe\",\"id\":1}\n",
+        "bad_request",
+    );
+    conn.assert_usable();
+
+    // Duplicate keys. The lenient parser resolves them (first wins)
+    // rather than rejecting; the hard requirement is an in-band answer
+    // on a connection that stays alive.
+    conn.send_raw(b"{\"v\":1,\"endpoint\":\"ping\",\"endpoint\":\"stats\",\"id\":1}\n");
+    let resp = conn.recv();
+    assert!(resp["ok"].as_bool().is_some(), "{resp:?}");
+    conn.assert_usable();
+
+    // Wrong protocol version.
+    let resp = conn.expect_error(
+        b"{\"v\":99,\"endpoint\":\"ping\",\"id\":5}\n",
+        "bad_request",
+    );
+    assert!(
+        resp["error"]["message"]
+            .as_str()
+            .unwrap()
+            .contains("unsupported protocol version"),
+        "{resp:?}"
+    );
+    // Version errors echo the request id so clients can correlate.
+    assert_eq!(resp["id"], 5);
+    conn.assert_usable();
+
+    // Unknown top-level fields are tolerated (forward compatibility):
+    // the request still executes.
+    conn.send_raw(b"{\"v\":1,\"endpoint\":\"ping\",\"id\":3,\"surprise\":true}\n");
+    let resp = conn.recv();
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    assert_eq!(resp["id"], 3);
+
+    // Blank lines are ignored, not answered.
+    conn.send_raw(b"\n");
+    conn.assert_usable();
+
+    server.join();
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_buffering_them() {
+    let server = Server::spawn(ServerConfig::default()).expect("spawn");
+    let addr = server.local_addr();
+    let mut conn = RawConn::open(addr);
+
+    // A line just over the cap: rejected in-band, discarded, connection
+    // stays usable.
+    let mut giant = vec![b'a'; MAX_LINE_BYTES + 1];
+    giant.push(b'\n');
+    conn.send_raw(&giant);
+    let resp = conn.recv();
+    assert_eq!(resp["ok"].as_bool(), Some(false));
+    assert_eq!(resp["error"]["code"].as_str(), Some("bad_request"));
+    assert!(
+        resp["error"]["message"]
+            .as_str()
+            .unwrap()
+            .contains("exceeds"),
+        "{resp:?}"
+    );
+    conn.assert_usable();
+
+    // Much larger (8 MiB of garbage in one line): still bounded memory,
+    // still one in-band error, still usable.
+    let mut huge = vec![b'x'; 8 * MAX_LINE_BYTES];
+    huge.push(b'\n');
+    conn.send_raw(&huge);
+    let resp = conn.recv();
+    assert_eq!(resp["ok"].as_bool(), Some(false));
+    conn.assert_usable();
+
+    server.join();
+}
+
+#[test]
+fn a_flood_of_hostile_frames_never_wedges_the_server() {
+    let server = Server::spawn(ServerConfig::default()).expect("spawn");
+    let addr = server.local_addr();
+    // Interleave hostile and honest frames back-to-back on one socket
+    // without reading until the end: exercises pipelining through the
+    // error paths.
+    let mut conn = RawConn::open(addr);
+    let mut expected = 0;
+    for i in 0..50 {
+        match i % 5 {
+            0 => conn.send_raw(b"}{\n"),
+            1 => conn.send_raw(b"{\"v\":1}\n"), // missing endpoint
+            2 => conn.send_raw(b"[1,2,3]\n"),
+            3 => conn.send_raw(b"{\"v\":1,\"endpoint\":\"no_such_endpoint\",\"id\":1}\n"),
+            _ => conn.send_raw(b"{\"v\":1,\"endpoint\":\"ping\",\"id\":9}\n"),
+        }
+        expected += 1;
+    }
+    for _ in 0..expected {
+        let resp = conn.recv();
+        assert!(resp["ok"].as_bool().is_some());
+    }
+    conn.assert_usable();
+    server.join();
+}

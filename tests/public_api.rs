@@ -28,9 +28,11 @@ const SURFACE: &[&str] = &[
     "crates/service/src/client.rs",
     "crates/service/src/engine.rs",
     "crates/service/src/error.rs",
+    "crates/service/src/fault.rs",
     "crates/service/src/metrics.rs",
     "crates/service/src/protocol.rs",
     "crates/service/src/server.rs",
+    "crates/service/src/sim.rs",
 ];
 
 fn workspace_root() -> PathBuf {
@@ -166,6 +168,9 @@ fn snapshot_covers_the_redesigned_entry_points() {
         "pub fn spawn(config: ServerConfig) -> std::io::Result<Server>",
         "pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client>",
         "pub const PROTOCOL_VERSION: u32 = 1",
+        "pub struct RetryingClient",
+        "pub struct FaultConfig",
+        "pub fn run_schedule(config: &SimConfig) -> SimReport",
     ] {
         assert!(surface.contains(needle), "missing from surface: {needle}");
     }

@@ -262,6 +262,54 @@ fn deadlines_cancel_queued_and_running_work() {
 }
 
 #[test]
+fn shutdown_while_the_admission_queue_is_saturated() {
+    // workers=1, queue=1: one request runs, one fills the queue. The
+    // `shutdown` endpoint is handled at dispatch, before admission, so it
+    // must ack even though the queue has no free slot — and both admitted
+    // requests must still complete through the drain.
+    let server = Server::spawn(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn");
+    let addr = server.local_addr();
+    let delivered = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..2 {
+            let delivered = &delivered;
+            scope.spawn(move || {
+                // Stagger: the first request must reach the worker before
+                // the second arrives to occupy the queue's single slot.
+                std::thread::sleep(std::time::Duration::from_millis(i as u64 * 100));
+                let mut client = Client::connect(addr).expect("connect");
+                let resp = client.call(slow_price_request(i)).expect("drained reply");
+                assert!(resp.ok, "{:?}", resp.error);
+                delivered.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        scope.spawn(move || {
+            // Wait until the worker is busy and the queue is saturated.
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            let mut client = Client::connect(addr).expect("connect");
+            let bye = client.shutdown().expect("shutdown acks on a full queue");
+            assert!(bye.ok, "{:?}", bye.error);
+            // New work is refused in-band while the backlog drains.
+            let refused = client.call(Request::new("ping")).expect("refusal arrives");
+            assert!(!refused.ok);
+            assert_eq!(refused.error.unwrap().code, "shutting_down");
+        });
+    });
+    assert_eq!(
+        delivered.load(Ordering::Relaxed),
+        2,
+        "the saturated backlog must drain, not drop"
+    );
+    // join() completes: no worker is stuck waiting on a closed queue.
+    server.join();
+}
+
+#[test]
 fn shutdown_drains_without_losing_admitted_responses() {
     let server = Server::spawn(ServerConfig {
         workers: 1,

@@ -89,9 +89,32 @@ fn sample_drift_request() -> Request {
                 },
             ],
         }],
-    );
+    )
+    .with_idempotency_key("etl-night-00042");
     req.id = 43;
     req
+}
+
+/// The deduplicated answer a retried `drift` receives: the first
+/// execution's body, replayed from the idempotency cache under the
+/// retry's id, flagged `deduplicated`.
+fn sample_deduplicated_response() -> Response {
+    Response {
+        drift: Some(DriftBody {
+            session: "etl-night".into(),
+            version: 12,
+            coalesced: 2,
+            drift_tv: 0.0625,
+            path_dims: vec![1, 0],
+            path: "(0,0) -> (0,1) -> (1,1)".into(),
+            cost: 4.5,
+            reused: true,
+            shift_bound: 0.001,
+            gap: 0.75,
+        }),
+        deduplicated: true,
+        ..Response::ok(44)
+    }
 }
 
 fn sample_response() -> Response {
@@ -131,6 +154,12 @@ fn sample_stats() -> StatsBody {
             misses: 2,
             entries: 2,
         },
+        idempotency: CacheStatsBody {
+            hits: 4,
+            misses: 9,
+            entries: 9,
+        },
+        panics_caught: 2,
         endpoints: vec![EndpointStatsBody {
             endpoint: "price".into(),
             requests: 13,
@@ -170,6 +199,7 @@ fn every_public_dto_round_trips() {
     });
     roundtrip(&sample_request());
     roundtrip(&sample_drift_request());
+    roundtrip(&sample_deduplicated_response());
     roundtrip(&sample_response());
     roundtrip(&Response::err(
         9,
@@ -351,6 +381,14 @@ fn golden_response_overloaded() {
 }
 
 #[test]
+fn golden_response_deduplicated() {
+    check_fixture(
+        "response_deduplicated.json",
+        &sample_deduplicated_response().to_line(),
+    );
+}
+
+#[test]
 fn golden_response_stats() {
     let resp = Response {
         stats: Some(sample_stats()),
@@ -371,6 +409,7 @@ fn golden_fixtures_still_parse_as_current_protocol() {
     for name in [
         "response_recommendation.json",
         "response_overloaded.json",
+        "response_deduplicated.json",
         "response_stats.json",
     ] {
         let raw = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
