@@ -512,9 +512,11 @@ pub fn build_request(
 }
 
 /// Builds the server configuration for `snakes serve` from `--addr`,
-/// `--workers`, `--queue`, `--retry-after-ms`, and `--fault-plan`
+/// `--workers`, `--queue`, `--retry-after-ms`, `--fault-plan`
 /// (a `key=value,...` fault spec for chaos testing — see
-/// [`snakes_service::FaultConfig::parse`]).
+/// [`snakes_service::FaultConfig::parse`]), and `--data-dir` (a durable
+/// data directory: drift sessions and idempotent responses are
+/// write-ahead-logged there and recovered on restart).
 ///
 /// # Errors
 ///
@@ -552,6 +554,7 @@ pub fn serve_config(
             .map(|s| snakes_service::FaultConfig::parse(s))
             .transpose()
             .map_err(|e| CliError::Usage(format!("bad --fault-plan: {e}")))?,
+        data_dir: flags.get("data-dir").map(std::path::PathBuf::from),
     })
 }
 
@@ -1022,6 +1025,7 @@ mod tests {
             ("queue", "7"),
             ("retry-after-ms", "9"),
             ("fault-plan", "seed=42,panic=5,torn=3"),
+            ("data-dir", "/tmp/snakes-data"),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -1031,6 +1035,15 @@ mod tests {
         assert_eq!(config.workers, 2);
         assert_eq!(config.queue_capacity, 7);
         assert_eq!(config.retry_after_ms, 9);
+        assert_eq!(
+            config.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/snakes-data"))
+        );
+        assert_eq!(
+            serve_config(&Default::default()).unwrap().data_dir,
+            None,
+            "durability is opt-in"
+        );
         let fault = config.fault.expect("fault plan parsed");
         assert_eq!(fault.seed, 42);
         assert_eq!(fault.panic_pct, 5);

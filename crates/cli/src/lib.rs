@@ -12,6 +12,7 @@
 //!                 --path 0,0,1,1 --cost 5000
 //! snakes sweep    [--records N] [--number W] [--threads N]
 //! snakes serve    [--addr H:P] [--workers N] [--queue N] [--metrics-every S]
+//!                 [--data-dir DIR] [--fault-plan SPEC]
 //! snakes call     [--addr H:P] --endpoint recommend --schema s.json \
 //!                 --workload w.json
 //! ```

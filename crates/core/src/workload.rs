@@ -432,6 +432,15 @@ impl VersionedWorkload {
         }
     }
 
+    /// Reconstructs a versioned workload at a given version — the
+    /// durability path's restore constructor. `current` must be the
+    /// distribution as it stood *after* `version` deltas (use
+    /// [`Workload::new`] with the stored probabilities, which keeps them
+    /// bit-exact; [`Workload::from_weights`] renormalizes and would not).
+    pub fn restore(current: Workload, version: u64) -> Self {
+        Self { current, version }
+    }
+
     /// The current distribution.
     pub fn workload(&self) -> &Workload {
         &self.current

@@ -9,12 +9,13 @@
 //! pure functions of their keys, and f64s survive the JSON wire because
 //! Rust formats them shortest-roundtrip.
 
+use crate::durability::{Checkpoint, Durability, IdemSnapshot, LogEntry, Media, SessionSnapshot};
 use crate::error::ServiceError;
 use crate::fault::{request_token, FaultPlan};
 use crate::metrics::Registry;
 use crate::protocol::{
     CacheStatsBody, DriftBody, MeasuredBody, PriceBody, RecommendationBody, Request, Response,
-    RowMajorBody, StatsBody, StrategySpec,
+    RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
 };
 use parking_lot::Mutex;
 use snakes_core::advisor::{recommend_with_model, Recommendation};
@@ -27,8 +28,10 @@ use snakes_core::workload::{VersionedWorkload, Workload, WorkloadDelta};
 use snakes_curves::{
     path_curve, snaked_path_curve, CompactHilbert, Linearization, SignatureCache, StrategyId,
 };
-use snakes_storage::{CellData, PackedLayout, SharedCostMemo, StorageConfig};
+use snakes_storage::{CellData, PackedLayout, PoolStats, SharedCostMemo, StorageConfig, TableFile};
 use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,6 +39,11 @@ use std::time::Instant;
 /// request from allocating the machine away; analytic pricing has no such
 /// bound (signature tables are O(|L|)).
 pub const MAX_MEASURE_CELLS: u64 = 1 << 22;
+
+/// Largest table a *physical* measurement (`measure.physical`) may
+/// bulk-load, in record bytes (64 MiB). The analytic memo path has no
+/// such bound because it materializes nothing.
+pub const MAX_PHYSICAL_BYTES: u64 = 64 << 20;
 
 /// A per-request deadline, measured from admission. Handlers check it
 /// cooperatively at stage boundaries (between parse, optimize, pack and
@@ -81,6 +89,9 @@ impl Deadline {
 /// to the schema it was created with.
 struct DriftSession {
     schema_fingerprint: u64,
+    /// The wire spec of the session's schema — logged with every durable
+    /// drift record so recovery can rebuild the session standalone.
+    schema_spec: SchemaSpec,
     versioned: VersionedWorkload,
     dp: IncrementalDp,
 }
@@ -102,6 +113,10 @@ pub struct Engine {
     memo: SharedCostMemo,
     sessions: Mutex<HashMap<String, Arc<Mutex<DriftSession>>>>,
     idempotency: Mutex<HashMap<String, IdempotencySlot>>,
+    /// Durable substrate (WAL + checkpoints); `None` runs in-memory only.
+    durability: Option<Durability>,
+    /// Accumulated buffer-pool counters of every physical measurement.
+    measure_pool: Mutex<PoolStats>,
     fault: Option<FaultPlan>,
     /// Request-outcome counters, shared with the server's admission path.
     pub registry: Registry,
@@ -124,6 +139,8 @@ impl Engine {
             memo: SharedCostMemo::new(),
             sessions: Mutex::new(HashMap::new()),
             idempotency: Mutex::new(HashMap::new()),
+            durability: None,
+            measure_pool: Mutex::new(PoolStats::default()),
             fault: None,
             registry: Registry::new(),
             started: Instant::now(),
@@ -151,6 +168,51 @@ impl Engine {
         self
     }
 
+    /// Attaches durable storage and recovers any prior state from it:
+    /// every drift session (at its exact acknowledged version and
+    /// probability vector) and every stored idempotent response. From
+    /// here on, `drift` commits are logged to the WAL *before* they are
+    /// acknowledged, so a crash at any write boundary loses nothing that
+    /// was acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media I/O errors; `InvalidData` when recovered state is
+    /// corrupt (fail-stop — the engine refuses to start on bad state
+    /// rather than silently dropping it).
+    pub fn with_durability(mut self, media: Media) -> io::Result<Self> {
+        let corrupt = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+        let (durability, recovered) = Durability::open(media)?;
+        let mut sessions = HashMap::new();
+        for snap in recovered.sessions {
+            let schema = snap
+                .schema
+                .clone()
+                .build()
+                .map_err(|e| corrupt(format!("session `{}`: {e}", snap.name)))?;
+            let shape = LatticeShape::of_schema(&schema);
+            // `Workload::new` stores the probabilities verbatim, so the
+            // recovered distribution is bit-identical to the logged one.
+            let workload = Workload::new(shape, snap.probs)
+                .map_err(|e| corrupt(format!("session `{}`: {e}", snap.name)))?;
+            let session = DriftSession {
+                schema_fingerprint: schema.fingerprint(),
+                schema_spec: snap.schema,
+                versioned: VersionedWorkload::restore(workload, snap.version),
+                dp: IncrementalDp::new(CostModel::of_schema(&schema)),
+            };
+            sessions.insert(snap.name, Arc::new(Mutex::new(session)));
+        }
+        let mut idempotency = HashMap::new();
+        for snap in recovered.idempotency {
+            idempotency.insert(snap.key, Arc::new(Mutex::new(Some(snap.response))));
+        }
+        self.sessions = Mutex::new(sessions);
+        self.idempotency = Mutex::new(idempotency);
+        self.durability = Some(durability);
+        Ok(self)
+    }
+
     /// Executes one request. Transport errors aside, every failure is
     /// reported in-band as an error body; the response always echoes the
     /// request id.
@@ -167,26 +229,48 @@ impl Engine {
     /// Only under an armed fault plan (injected handler panics); the
     /// server's workers catch those and answer in-band.
     pub fn handle(&self, req: &Request, deadline: &Deadline) -> Response {
-        match req.idempotency_key.as_deref().filter(|k| !k.is_empty()) {
+        let resp = match req.idempotency_key.as_deref().filter(|k| !k.is_empty()) {
             None => self.execute(req, deadline),
             Some(key) => {
                 let slot = self.claim_slot(key);
                 let mut slot = slot.lock();
-                if let Some(stored) = slot.as_ref() {
-                    self.registry.record_deduplicated();
-                    let mut resp = stored.clone();
-                    resp.id = req.id;
-                    resp.deduplicated = true;
-                    return resp;
+                match slot.as_ref() {
+                    Some(stored) => {
+                        self.registry.record_deduplicated();
+                        let mut resp = stored.clone();
+                        resp.id = req.id;
+                        resp.deduplicated = true;
+                        resp
+                    }
+                    None => {
+                        let resp = self.execute(req, deadline);
+                        if is_authoritative(&resp) {
+                            self.registry.record_idempotency_stored();
+                            *slot = Some(resp.clone());
+                            // A committed drift already logged its response
+                            // atomically with the session mutation. Every
+                            // other authoritative response is logged
+                            // best-effort: losing one costs a re-execution
+                            // of a side-effect-free request, never state.
+                            if req.endpoint != "drift" || !resp.ok {
+                                if let Some(d) = &self.durability {
+                                    let _ = d.append(&LogEntry {
+                                        drift: None,
+                                        idempotency: Some(IdemSnapshot {
+                                            key: key.to_string(),
+                                            response: resp.clone(),
+                                        }),
+                                    });
+                                }
+                            }
+                        }
+                        resp
+                    }
                 }
-                let resp = self.execute(req, deadline);
-                if is_authoritative(&resp) {
-                    self.registry.record_idempotency_stored();
-                    *slot = Some(resp.clone());
-                }
-                resp
             }
-        }
+        };
+        self.maybe_checkpoint();
+        resp
     }
 
     /// The slot for `key`, created empty on first sight. Duplicates of an
@@ -311,19 +395,41 @@ impl Engine {
                     schema.grid_shape(),
                     vec![m.records_per_cell; cells as usize],
                 );
-                let layout = PackedLayout::pack(
-                    &curve,
-                    &data,
-                    StorageConfig {
-                        page_size: m.page_size,
-                        record_size: m.record_size,
-                    },
-                );
+                let config = StorageConfig {
+                    page_size: m.page_size,
+                    record_size: m.record_size,
+                };
                 deadline.check()?;
-                let eval = req.eval.unwrap_or_default();
-                let stats =
+                let stats = if m.physical {
+                    // Measure through the real paged engine: bulk-load an
+                    // in-memory table and scan every query through its
+                    // buffer pool. Bit-identical to the analytic memo
+                    // (tests/storage_differential.rs proves it), but the
+                    // pool's physical counters feed `stats.storage`.
+                    let bytes = cells
+                        .checked_mul(m.records_per_cell)
+                        .and_then(|r| r.checked_mul(m.record_size))
+                        .ok_or_else(|| {
+                            ServiceError::BadRequest("`measure` sizes overflow".into())
+                        })?;
+                    if bytes > MAX_PHYSICAL_BYTES {
+                        return Err(ServiceError::BadRequest(format!(
+                            "physical measurement would pack {bytes} record bytes; \
+                             capped at {MAX_PHYSICAL_BYTES}"
+                        )));
+                    }
+                    let record = vec![0u8; m.record_size as usize];
+                    let mut table =
+                        TableFile::create_in_memory(&curve, &data, config, |_, _| record.clone())?;
+                    let stats = table.workload_stats(&schema, &curve, &workload)?;
+                    self.measure_pool.lock().absorb(table.pool_stats());
+                    stats
+                } else {
+                    let layout = PackedLayout::pack(&curve, &data, config);
+                    let eval = req.eval.unwrap_or_default();
                     self.memo
-                        .workload_stats(&schema, &curve, &layout, &workload, eval.engine);
+                        .workload_stats(&schema, &curve, &layout, &workload, eval.engine)
+                };
                 Some(MeasuredBody {
                     avg_seeks: stats.avg_seeks,
                     avg_normalized_blocks: stats.avg_normalized_blocks,
@@ -359,6 +465,7 @@ impl Engine {
                     let model = CostModel::of_schema(&schema);
                     let s = Arc::new(Mutex::new(DriftSession {
                         schema_fingerprint: schema.fingerprint(),
+                        schema_spec: SchemaSpec::of(&schema),
                         versioned: VersionedWorkload::new(workload),
                         dp: IncrementalDp::new(model),
                     }));
@@ -392,13 +499,12 @@ impl Engine {
             let delta = WorkloadDelta::new(spec.updates.clone())?;
             drift_tv += scratch.apply(&delta)?;
         }
-        session.versioned = scratch;
-        let workload = session.versioned.workload().clone();
+        let workload = scratch.workload().clone();
         let outcome = session.dp.reoptimize(&workload);
-        Ok(Response {
+        let resp = Response {
             drift: Some(DriftBody {
-                session: name,
-                version: session.versioned.version(),
+                session: name.clone(),
+                version: scratch.version(),
                 coalesced: deltas.len(),
                 drift_tv,
                 path_dims: outcome.path.dims().to_vec(),
@@ -409,7 +515,33 @@ impl Engine {
                 gap: outcome.gap,
             }),
             ..Response::ok(req.id)
-        })
+        };
+        // Log before commit: the after-state snapshot — and, when the
+        // request carries an idempotency key, the response acknowledging
+        // it, in the same atomic entry — must be durable before the
+        // session mutates. A WAL failure aborts the request with the
+        // session untouched, so durable state never trails acknowledged
+        // state.
+        if let Some(d) = &self.durability {
+            d.append(&LogEntry {
+                drift: Some(SessionSnapshot {
+                    name,
+                    schema: session.schema_spec.clone(),
+                    version: scratch.version(),
+                    probs: scratch.workload().probs().to_vec(),
+                }),
+                idempotency: req
+                    .idempotency_key
+                    .as_ref()
+                    .filter(|k| !k.is_empty())
+                    .map(|key| IdemSnapshot {
+                        key: key.clone(),
+                        response: resp.clone(),
+                    }),
+            })?;
+        }
+        session.versioned = scratch;
+        Ok(resp)
     }
 
     fn explain(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
@@ -480,7 +612,109 @@ impl Engine {
                 .registry
                 .panics_caught
                 .load(std::sync::atomic::Ordering::Relaxed),
+            storage: self.storage_stats_body(),
         }
+    }
+
+    fn storage_stats_body(&self) -> StorageStatsBody {
+        let pool = *self.measure_pool.lock();
+        let mut body = StorageStatsBody {
+            enabled: self.durability.is_some(),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_hit_rate: pool.hit_rate(),
+            pool_evictions: pool.evictions,
+            physical_reads: pool.physical_reads,
+            physical_writes: pool.physical_writes,
+            ..StorageStatsBody::default()
+        };
+        if let Some(d) = &self.durability {
+            let wal = d.wal.lock();
+            body.wal_bytes = wal.bytes();
+            body.wal_entries = wal.entries();
+            body.checkpoints = d.checkpoints.load(Ordering::Relaxed);
+            body.recoveries = d.recoveries;
+            body.recovered_sessions = d.recovered_sessions;
+        }
+        body
+    }
+
+    /// Checkpoints opportunistically once enough WAL entries accumulated.
+    fn maybe_checkpoint(&self) {
+        if let Some(d) = &self.durability {
+            if d.should_checkpoint() {
+                // Best-effort: a failed or contended round leaves the old
+                // checkpoint and the full log authoritative, and the next
+                // request retries.
+                let _ = self.checkpoint();
+            }
+        }
+    }
+
+    /// Folds the whole engine state into a fresh checkpoint and truncates
+    /// the WAL. Returns `Ok(false)` without durability, or when a
+    /// concurrent request held a session or idempotency slot (the round
+    /// aborts rather than risk snapshotting a half-committed mutation —
+    /// drift commits hold their session lock across the WAL append, so
+    /// all-locks-acquired implies every logged entry is also committed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates media/WAL errors; on failure nothing was truncated.
+    pub fn checkpoint(&self) -> io::Result<bool> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        // WAL lock first: stalls new appends for the duration; the
+        // session try-locks below never block, so no deadlock with
+        // drift's session-then-WAL order.
+        let mut wal = d.wal.lock();
+        let handles: Vec<(String, Arc<Mutex<DriftSession>>)> = {
+            let sessions = self.sessions.lock();
+            sessions
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect()
+        };
+        let mut snaps = Vec::with_capacity(handles.len());
+        for (name, session) in &handles {
+            let Some(session) = session.try_lock() else {
+                return Ok(false);
+            };
+            snaps.push(SessionSnapshot {
+                name: name.clone(),
+                schema: session.schema_spec.clone(),
+                version: session.versioned.version(),
+                probs: session.versioned.workload().probs().to_vec(),
+            });
+        }
+        let slots: Vec<(String, IdempotencySlot)> = {
+            let map = self.idempotency.lock();
+            map.iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect()
+        };
+        let mut idem = Vec::with_capacity(slots.len());
+        for (key, slot) in &slots {
+            let Some(slot) = slot.try_lock() else {
+                return Ok(false);
+            };
+            if let Some(resp) = slot.as_ref() {
+                idem.push(IdemSnapshot {
+                    key: key.clone(),
+                    response: resp.clone(),
+                });
+            }
+        }
+        snaps.sort_by(|a, b| a.name.cmp(&b.name));
+        idem.sort_by(|a, b| a.key.cmp(&b.key));
+        let ckpt = Checkpoint {
+            next_lsn: wal.next_lsn(),
+            sessions: snaps,
+            idempotency: idem,
+        };
+        d.install_checkpoint(&mut wal, &ckpt)?;
+        Ok(true)
     }
 }
 
@@ -676,6 +910,7 @@ mod tests {
             records_per_cell: 3,
             page_size: 512,
             record_size: 125,
+            ..Default::default()
         });
         let resp = engine.handle(&req, &Deadline::none());
         assert!(resp.ok, "{:?}", resp.error);
@@ -912,5 +1147,162 @@ mod tests {
             engine.handle(&req, &Deadline::none())
         }));
         assert!(outcome.is_err(), "100% panic plan must panic");
+    }
+
+    use snakes_storage::CrashStore;
+
+    fn durable_engine(store: &Arc<CrashStore>) -> Engine {
+        Engine::new()
+            .with_durability(Media::Store(Arc::clone(store)))
+            .unwrap()
+    }
+
+    fn drift_once(engine: &Engine, session: &str, rank: usize, weight: f64, key: &str) -> Response {
+        let req = Request::drift(
+            session,
+            vec![DeltaSpec {
+                updates: vec![WeightUpdate { rank, weight }],
+            }],
+        )
+        .with_idempotency_key(key);
+        engine.handle(&req, &Deadline::none())
+    }
+
+    #[test]
+    fn durable_engine_recovers_state_bit_identically_across_restart() {
+        let store = Arc::new(CrashStore::new());
+        let (state, acked_cost) = {
+            let engine = durable_engine(&store);
+            let mut init = Request::drift("etl", vec![]);
+            init.schema = Some(toy_schema());
+            init.workload = Some(uniform_workload());
+            assert!(engine.handle(&init, &Deadline::none()).ok);
+            assert!(drift_once(&engine, "etl", 0, 0.4, "k-1").ok);
+            let acked = drift_once(&engine, "etl", 1, 0.2, "k-2");
+            assert!(acked.ok);
+            (
+                engine.session_state("etl").unwrap(),
+                acked.drift.unwrap().cost,
+            )
+        };
+        // "Reboot": only bytes that reached the store survive.
+        let store = Arc::new(CrashStore::reopen(&store));
+        let engine = durable_engine(&store);
+        let stats = engine.stats_body().storage;
+        assert!(stats.enabled);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.recovered_sessions, 1);
+        let (version, probs) = engine.session_state("etl").unwrap();
+        assert_eq!(version, state.0);
+        assert_eq!(probs.len(), state.1.len());
+        for (a, b) in probs.iter().zip(&state.1) {
+            assert_eq!(a.to_bits(), b.to_bits(), "recovered probs must be exact");
+        }
+        // Acknowledged idempotent responses replay across the restart.
+        let replay = engine.idempotent_replay("k-2").unwrap();
+        assert_eq!(replay.drift.unwrap().cost.to_bits(), acked_cost.to_bits());
+        // And a retried request deduplicates instead of re-applying.
+        let retry = drift_once(&engine, "etl", 1, 0.2, "k-2");
+        assert!(retry.deduplicated);
+        assert_eq!(engine.session_state("etl").unwrap().0, version);
+        // The recovered session keeps drifting from where it left off.
+        assert!(drift_once(&engine, "etl", 2, 0.1, "k-3").ok);
+        assert_eq!(engine.session_state("etl").unwrap().0, version + 1);
+    }
+
+    #[test]
+    fn checkpoint_folds_the_log_and_survives_restart() {
+        let store = Arc::new(CrashStore::new());
+        {
+            let engine = durable_engine(&store);
+            let mut init = Request::drift("s", vec![]);
+            init.schema = Some(toy_schema());
+            init.workload = Some(uniform_workload());
+            assert!(engine.handle(&init, &Deadline::none()).ok);
+            assert!(drift_once(&engine, "s", 0, 0.7, "ck-1").ok);
+            assert!(engine.checkpoint().unwrap(), "uncontended checkpoint runs");
+            let storage = engine.stats_body().storage;
+            assert_eq!(storage.checkpoints, 1);
+            assert_eq!(storage.wal_entries, 0, "checkpoint truncates the log");
+            // Post-checkpoint tail: replay must apply it on top.
+            assert!(drift_once(&engine, "s", 1, 0.1, "ck-2").ok);
+        }
+        let store = Arc::new(CrashStore::reopen(&store));
+        let engine = durable_engine(&store);
+        let (version, _) = engine.session_state("s").unwrap();
+        assert_eq!(version, 2, "checkpoint state plus log tail");
+        assert!(engine.idempotent_replay("ck-1").is_some());
+        assert!(engine.idempotent_replay("ck-2").is_some());
+    }
+
+    #[test]
+    fn recovered_response_bytes_match_the_original_wire_encoding() {
+        let store = Arc::new(CrashStore::new());
+        let first = {
+            let engine = durable_engine(&store);
+            let mut init = Request::drift("w", vec![]);
+            init.schema = Some(toy_schema());
+            init.workload = Some(uniform_workload());
+            assert!(engine.handle(&init, &Deadline::none()).ok);
+            drift_once(&engine, "w", 3, 0.25, "wire-1")
+        };
+        let store = Arc::new(CrashStore::reopen(&store));
+        let engine = durable_engine(&store);
+        let replay = engine.idempotent_replay("wire-1").unwrap();
+        assert_eq!(
+            replay.to_line(),
+            first.to_line(),
+            "stored response must survive the WAL round-trip byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn physical_measurement_is_bit_identical_to_the_analytic_memo() {
+        let engine = Engine::new();
+        let mut req = Request::price(
+            toy_schema(),
+            uniform_workload(),
+            StrategySpec::snaked_path(vec![0, 1, 0, 1]),
+        );
+        req.measure = Some(crate::protocol::MeasureSpec {
+            records_per_cell: 3,
+            page_size: 512,
+            record_size: 125,
+            physical: false,
+        });
+        let analytic = engine.handle(&req, &Deadline::none());
+        assert!(analytic.ok, "{:?}", analytic.error);
+        let analytic = analytic.price.unwrap().measured.unwrap();
+        req.measure.as_mut().unwrap().physical = true;
+        let physical = engine.handle(&req, &Deadline::none());
+        assert!(physical.ok, "{:?}", physical.error);
+        let physical = physical.price.unwrap().measured.unwrap();
+        assert_eq!(physical.avg_seeks.to_bits(), analytic.avg_seeks.to_bits());
+        assert_eq!(
+            physical.avg_normalized_blocks.to_bits(),
+            analytic.avg_normalized_blocks.to_bits()
+        );
+        // The paged engine really ran: its pool counters surface in stats.
+        let storage = engine.stats_body().storage;
+        assert!(storage.pool_misses > 0, "bulk load must touch the pool");
+        assert!(storage.physical_writes > 0, "bulk load must write pages");
+        assert!(storage.pool_hit_rate > 0.0, "scans re-read loaded pages");
+    }
+
+    #[test]
+    fn oversized_physical_measurement_is_rejected_in_band() {
+        let engine = Engine::new();
+        let mut req = Request::price(
+            toy_schema(),
+            uniform_workload(),
+            StrategySpec::snaked_path(vec![0, 1, 0, 1]),
+        );
+        req.measure = Some(crate::protocol::MeasureSpec {
+            records_per_cell: u64::MAX / 128,
+            physical: true,
+            ..Default::default()
+        });
+        let resp = engine.handle(&req, &Deadline::none());
+        assert_eq!(resp.error.unwrap().code, "bad_request");
     }
 }

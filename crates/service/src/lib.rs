@@ -40,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -49,6 +50,7 @@ pub mod server;
 pub mod sim;
 
 pub use client::{Client, Dialer, RetryPolicy, RetryStats, RetryingClient, TcpDialer, Transport};
+pub use durability::Media;
 pub use engine::{Deadline, Engine};
 pub use error::ServiceError;
 pub use fault::{FaultConfig, FaultPlan};

@@ -295,6 +295,14 @@ pub struct MeasureSpec {
     /// Record size in bytes.
     #[serde(default = "default_record_size")]
     pub record_size: u64,
+    /// Measure through the real paged engine (bulk-load an in-memory
+    /// [`TableFile`](snakes_storage::TableFile) and scan it through its
+    /// buffer pool) instead of the analytic cost memo. Bit-identical
+    /// results, but the request additionally exercises — and reports, via
+    /// `stats.storage` — physical page I/O. Capped at
+    /// [`MAX_PHYSICAL_BYTES`](crate::engine::MAX_PHYSICAL_BYTES).
+    #[serde(default)]
+    pub physical: bool,
 }
 
 impl Default for MeasureSpec {
@@ -303,6 +311,7 @@ impl Default for MeasureSpec {
             records_per_cell: default_records_per_cell(),
             page_size: default_page_size(),
             record_size: default_record_size(),
+            physical: false,
         }
     }
 }
@@ -554,6 +563,37 @@ pub struct EndpointStatsBody {
     pub max_us: u64,
 }
 
+/// Storage-engine counters of the `stats` payload: durable-state health
+/// (WAL size, checkpoints, recoveries) plus the accumulated buffer-pool
+/// counters of every physical measurement served.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageStatsBody {
+    /// Whether the server runs with a durable data directory.
+    pub enabled: bool,
+    /// Acknowledged bytes in the write-ahead log (header included).
+    pub wal_bytes: u64,
+    /// Live entries in the write-ahead log.
+    pub wal_entries: u64,
+    /// Checkpoints installed since startup.
+    pub checkpoints: u64,
+    /// 1 when this process recovered prior state at startup, else 0.
+    pub recoveries: u64,
+    /// Drift sessions rebuilt by that recovery.
+    pub recovered_sessions: u64,
+    /// Buffer-pool fetches served from resident frames.
+    pub pool_hits: u64,
+    /// Buffer-pool fetches that touched the backing file.
+    pub pool_misses: u64,
+    /// `pool_hits / (pool_hits + pool_misses)` (0 before any fetch).
+    pub pool_hit_rate: f64,
+    /// Frames evicted to make room.
+    pub pool_evictions: u64,
+    /// Pages physically read from backing files.
+    pub physical_reads: u64,
+    /// Pages physically written to backing files.
+    pub physical_writes: u64,
+}
+
 /// The `stats` payload.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
@@ -580,6 +620,9 @@ pub struct StatsBody {
     /// Handler panics caught and surfaced as in-band `internal` errors.
     #[serde(default)]
     pub panics_caught: u64,
+    /// Storage-engine counters (WAL, checkpoints, buffer pool).
+    #[serde(default)]
+    pub storage: StorageStatsBody,
 }
 
 /// One response line.

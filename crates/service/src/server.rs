@@ -47,6 +47,10 @@ pub struct ServerConfig {
     /// Deterministic fault injection for chaos runs
     /// (`snakes serve --fault-plan`); `None` in production.
     pub fault: Option<FaultConfig>,
+    /// Durable data directory (`snakes serve --data-dir`). When set, the
+    /// engine recovers drift sessions and idempotent responses from it at
+    /// startup and write-ahead-logs every commit; `None` runs in-memory.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +61,7 @@ impl Default for ServerConfig {
             queue_capacity: 128,
             retry_after_ms: 50,
             fault: None,
+            data_dir: None,
         }
     }
 }
@@ -390,6 +395,9 @@ impl Server {
         if let Some(fault) = config.fault.clone() {
             silence_injected_panics();
             engine = engine.with_fault(FaultPlan::new(fault));
+        }
+        if let Some(dir) = config.data_dir.clone() {
+            engine = engine.with_durability(crate::durability::Media::Dir(dir))?;
         }
         let (core, mut threads) = Core::start(
             engine,

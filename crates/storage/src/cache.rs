@@ -76,6 +76,54 @@ impl LruCache {
         }
     }
 
+    /// Records an access *without* enforcing the capacity bound — the hook
+    /// for an external owner (the buffer pool) that admits and evicts pages
+    /// itself, consulting [`LruCache::lru_victim`] when it needs a frame.
+    /// Hit/miss accounting and recency tracking are identical to
+    /// [`LruCache::access`]; residency here means "tracked by the policy",
+    /// which the pool keeps in lockstep with its frame table.
+    pub fn note(&mut self, page: u64) -> bool {
+        self.clock += 1;
+        let hit = self.last_use.contains_key(&page);
+        self.last_use.insert(page, self.clock);
+        self.queue.push_back((page, self.clock));
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.compact_if_bloated();
+        hit
+    }
+
+    /// Removes and returns the least-recently-used page for which
+    /// `evictable` holds, preserving the recency of pages it skips (e.g.
+    /// pinned frames). Returns `None` when no tracked page is evictable.
+    pub fn lru_victim(&mut self, mut evictable: impl FnMut(u64) -> bool) -> Option<u64> {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let (page, seq) = self.queue[i];
+            if self.last_use.get(&page) != Some(&seq) {
+                // Stale entry (page re-accessed later): drop in place.
+                self.queue.remove(i);
+                continue;
+            }
+            if evictable(page) {
+                self.queue.remove(i);
+                self.last_use.remove(&page);
+                return Some(page);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Forgets a page without touching hit/miss counters (its stale queue
+    /// entries are skipped lazily, as after an eviction).
+    pub fn forget(&mut self, page: u64) {
+        self.last_use.remove(&page);
+    }
+
     /// Pages currently resident.
     pub fn len(&self) -> usize {
         self.last_use.len()
@@ -202,6 +250,41 @@ mod tests {
         assert!(!c.contains(0), "cold page evicted");
         assert!(c.contains(115));
         assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn note_tracks_without_evicting() {
+        let mut c = LruCache::new(2);
+        assert!(!c.note(1));
+        assert!(!c.note(2));
+        assert!(!c.note(3)); // over capacity, but note never evicts
+        assert_eq!(c.len(), 3);
+        assert!(c.note(1));
+        assert_eq!((c.hits(), c.misses()), (1, 3));
+    }
+
+    #[test]
+    fn lru_victim_respects_recency_and_skips() {
+        let mut c = LruCache::new(4);
+        for p in [1u64, 2, 3] {
+            c.note(p);
+        }
+        c.note(1); // order now 2, 3, 1
+        assert_eq!(c.lru_victim(|p| p != 2), Some(3));
+        assert_eq!(c.lru_victim(|_| true), Some(2));
+        assert_eq!(c.lru_victim(|_| true), Some(1));
+        assert_eq!(c.lru_victim(|_| true), None);
+    }
+
+    #[test]
+    fn forget_removes_without_accounting() {
+        let mut c = LruCache::new(2);
+        c.note(5);
+        c.note(6);
+        c.forget(5);
+        assert!(!c.contains(5));
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.lru_victim(|_| true), Some(6));
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! A seeded crash-point simulator for the storage stack, in the style of
+//! the service fault sim (`SimConfig::for_seed`): an in-memory "disk" of
+//! named files that kills the process model at a chosen write boundary —
+//! every WAL append, header update, page flush, and checkpoint rename is
+//! one countable operation — leaving a possibly *torn* final write, after
+//! which every operation fails (the process is dead). Reopening the
+//! surviving bytes with a fresh store is the crash recovery under test.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::{Arc, Mutex};
+
+/// SplitMix64 — the repo's standard tiny deterministic generator (the
+/// service fault sim uses the same one).
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// Configuration for one seeded crash schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashConfig {
+    /// The schedule seed (drives the tear position).
+    pub seed: u64,
+    /// Write operations to allow before the crash fires.
+    pub ops_before_crash: u64,
+}
+
+impl CrashConfig {
+    /// Derives a schedule from a seed alone, mirroring the service sim's
+    /// `SimConfig::for_seed`: the crash point itself is seed-derived, so
+    /// sweeping seeds sweeps kill points.
+    pub fn for_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1));
+        Self {
+            seed,
+            ops_before_crash: rng.below(64),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    files: BTreeMap<String, Vec<u8>>,
+    /// `None` = never crash; `Some(n)` = fail the (n+1)-th write op.
+    ops_remaining: Option<u64>,
+    crashed: bool,
+    write_ops: u64,
+    rng: SplitMix64,
+}
+
+/// The simulated disk: named byte files with a write-op crash countdown.
+#[derive(Debug)]
+pub struct CrashStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl Default for CrashStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrashStore {
+    /// A store that never crashes (the fault-free baseline).
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(StoreInner {
+                files: BTreeMap::new(),
+                ops_remaining: None,
+                crashed: false,
+                write_ops: 0,
+                rng: SplitMix64::new(0),
+            }),
+        }
+    }
+
+    /// A store that crashes per `config`: the `ops_before_crash + 1`-th
+    /// write operation tears at a seed-derived byte offset and every
+    /// operation after it fails.
+    pub fn with_crash(config: CrashConfig) -> Self {
+        let store = Self::new();
+        {
+            let mut g = store.inner.lock().unwrap();
+            g.ops_remaining = Some(config.ops_before_crash);
+            g.rng = SplitMix64::new(config.seed ^ 0xA076_1D64_78BD_642F);
+        }
+        store
+    }
+
+    /// Rebuilds a fault-free store over the bytes that survived a crash —
+    /// the "disk after reboot".
+    pub fn reopen(crashed: &CrashStore) -> Self {
+        let fresh = Self::new();
+        fresh.inner.lock().unwrap().files = crashed.inner.lock().unwrap().files.clone();
+        fresh
+    }
+
+    /// Opens a handle to `name` (creating it empty on first open).
+    pub fn open(self: &Arc<Self>, name: &str) -> CrashFile {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .entry(name.to_string())
+            .or_default();
+        CrashFile {
+            store: Arc::clone(self),
+            name: name.to_string(),
+            pos: 0,
+        }
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.lock().unwrap().files.contains_key(name)
+    }
+
+    /// A copy of `name`'s bytes, if it exists.
+    pub fn read(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner.lock().unwrap().files.get(name).cloned()
+    }
+
+    /// Atomically renames `from` over `to` — one write operation, so the
+    /// crash countdown can land on it (in which case the rename simply
+    /// never happened: renames do not tear).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when `from` is missing; the crash error when dead.
+    pub fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        charge(&mut g, None)?;
+        let bytes = g
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no file {from}")))?;
+        g.files.insert(to.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Removes `name` if present (not a counted crash point: used only by
+    /// test scaffolding).
+    pub fn remove(&self, name: &str) {
+        self.inner.lock().unwrap().files.remove(name);
+    }
+
+    /// Whether the crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().unwrap().crashed
+    }
+
+    /// Write operations observed so far (crashed or not) — run once
+    /// fault-free to learn the number of kill points in a schedule.
+    pub fn write_ops(&self) -> u64 {
+        self.inner.lock().unwrap().write_ops
+    }
+}
+
+/// Charges one write operation; on the crash op, applies `tear` (file,
+/// offset, full write) as a torn prefix and marks the store dead.
+fn charge(g: &mut StoreInner, tear: Option<(&str, u64, &[u8])>) -> io::Result<()> {
+    if g.crashed {
+        return Err(io::Error::other("simulated crash: process is dead"));
+    }
+    g.write_ops += 1;
+    if let Some(remaining) = g.ops_remaining.as_mut() {
+        if *remaining == 0 {
+            g.crashed = true;
+            if let Some((name, offset, buf)) = tear {
+                // A torn write: a seed-chosen strict prefix reaches disk.
+                let keep = g.rng.below(buf.len() as u64) as usize;
+                let file = g.files.get_mut(name).expect("open file exists");
+                let end = offset as usize + keep;
+                if file.len() < end {
+                    file.resize(end, 0);
+                }
+                file[offset as usize..end].copy_from_slice(&buf[..keep]);
+            }
+            return Err(io::Error::other("simulated crash: torn write"));
+        }
+        *remaining -= 1;
+    }
+    Ok(())
+}
+
+/// A `Read + Write + Seek` handle into a [`CrashStore`] file.
+#[derive(Debug)]
+pub struct CrashFile {
+    store: Arc<CrashStore>,
+    name: String,
+    pos: u64,
+}
+
+impl Read for CrashFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let g = self.store.inner.lock().unwrap();
+        if g.crashed {
+            return Err(io::Error::other("simulated crash: process is dead"));
+        }
+        let file = g
+            .files
+            .get(&self.name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed"))?;
+        let start = (self.pos as usize).min(file.len());
+        let n = buf.len().min(file.len() - start);
+        buf[..n].copy_from_slice(&file[start..start + n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl Write for CrashFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut g = self.store.inner.lock().unwrap();
+        charge(&mut g, Some((&self.name, self.pos, buf)))?;
+        let file = g.files.get_mut(&self.name).expect("open file exists");
+        let end = self.pos as usize + buf.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[self.pos as usize..end].copy_from_slice(buf);
+        self.pos += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // A flush is a write boundary (it models the fsync the WAL's
+        // durability contract hangs off), so it is a countable kill
+        // point; it tears nothing.
+        let mut g = self.store.inner.lock().unwrap();
+        charge(&mut g, None)
+    }
+}
+
+impl Seek for CrashFile {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let g = self.store.inner.lock().unwrap();
+        if g.crashed {
+            return Err(io::Error::other("simulated crash: process is dead"));
+        }
+        let len = g.files.get(&self.name).map_or(0, Vec::len) as u64;
+        let new = match pos {
+            SeekFrom::Start(n) => n as i64,
+            SeekFrom::End(n) => len as i64 + n,
+            SeekFrom::Current(n) => self.pos as i64 + n,
+        };
+        if new < 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seek before start",
+            ));
+        }
+        self.pos = new as u64;
+        Ok(self.pos)
+    }
+}
+
+impl crate::wal::Backend for CrashFile {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_writes_and_seeks_roundtrip() {
+        let store = Arc::new(CrashStore::new());
+        let mut f = store.open("a");
+        f.write_all(b"hello world").unwrap();
+        f.seek(SeekFrom::Start(6)).unwrap();
+        let mut buf = [0u8; 5];
+        f.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        f.seek(SeekFrom::End(-5)).unwrap();
+        f.write_all(b"WORLD").unwrap();
+        assert_eq!(store.read("a").unwrap(), b"hello WORLD");
+        assert!(store.exists("a"));
+        assert!(!store.exists("b"));
+    }
+
+    #[test]
+    fn sparse_writes_zero_fill() {
+        let store = Arc::new(CrashStore::new());
+        let mut f = store.open("sparse");
+        f.seek(SeekFrom::Start(4)).unwrap();
+        f.write_all(b"x").unwrap();
+        assert_eq!(store.read("sparse").unwrap(), vec![0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn crash_tears_the_fatal_write_and_kills_the_store() {
+        let store = Arc::new(CrashStore::with_crash(CrashConfig {
+            seed: 7,
+            ops_before_crash: 1,
+        }));
+        let mut f = store.open("w");
+        f.write_all(b"first").unwrap();
+        let err = f.write_all(b"second-long-write").unwrap_err();
+        assert!(err.to_string().contains("torn"));
+        assert!(store.crashed());
+        // Dead store: everything fails, including reads and flushes.
+        assert!(f.write_all(b"x").is_err());
+        assert!(f.flush().is_err());
+        let mut buf = [0u8; 1];
+        assert!(f.read_exact(&mut buf).is_err());
+        // The surviving image holds the first write plus a strict prefix
+        // of the second.
+        let bytes = store.read("w").unwrap();
+        assert!(bytes.starts_with(b"first"));
+        assert!(bytes.len() < b"first".len() + b"second-long-write".len());
+    }
+
+    #[test]
+    fn reopen_gives_a_working_disk_with_the_surviving_bytes() {
+        let store = Arc::new(CrashStore::with_crash(CrashConfig {
+            seed: 3,
+            ops_before_crash: 0,
+        }));
+        let mut f = store.open("f");
+        assert!(f.write_all(b"doomed").is_err());
+        let reopened = Arc::new(CrashStore::reopen(&store));
+        assert!(!reopened.crashed());
+        let mut f2 = reopened.open("f");
+        f2.write_all(b"fresh").unwrap();
+        assert!(reopened.read("f").unwrap().starts_with(b"fresh"));
+    }
+
+    #[test]
+    fn rename_is_atomic_and_countable() {
+        let store = Arc::new(CrashStore::new());
+        let mut f = store.open("tmp");
+        f.write_all(b"payload").unwrap();
+        store.rename("tmp", "final").unwrap();
+        assert!(!store.exists("tmp"));
+        assert_eq!(store.read("final").unwrap(), b"payload");
+        assert_eq!(store.write_ops(), 2); // the write + the rename
+        assert!(store.rename("missing", "x").is_err());
+
+        // A crash landing exactly on the rename: it never happens.
+        let store = Arc::new(CrashStore::with_crash(CrashConfig {
+            seed: 9,
+            ops_before_crash: 1,
+        }));
+        let mut f = store.open("tmp");
+        f.write_all(b"payload").unwrap();
+        assert!(store.rename("tmp", "final").is_err());
+        assert!(store.exists("tmp"));
+        assert!(!store.exists("final"));
+    }
+
+    #[test]
+    fn for_seed_varies_the_kill_point() {
+        let points: std::collections::HashSet<u64> = (0..32)
+            .map(|s| CrashConfig::for_seed(s).ops_before_crash)
+            .collect();
+        assert!(points.len() > 4, "seeds should spread kill points");
+    }
+
+    #[test]
+    fn wal_over_crash_store_recovers_acknowledged_prefix() {
+        use crate::wal::Wal;
+        // Fault-free dry run to learn the op count.
+        let dry = Arc::new(CrashStore::new());
+        {
+            let (mut wal, _) = Wal::open(dry.open("wal")).unwrap();
+            for i in 0..5u64 {
+                wal.append(&i.to_le_bytes()).unwrap();
+                wal.sync().unwrap();
+            }
+        }
+        let total_ops = dry.write_ops();
+        assert!(total_ops > 10);
+        for kill in 0..total_ops {
+            let store = Arc::new(CrashStore::with_crash(CrashConfig {
+                seed: kill,
+                ops_before_crash: kill,
+            }));
+            let mut acked = 0u64;
+            if let Ok((mut wal, _)) = Wal::open(store.open("wal")) {
+                for i in 0..5u64 {
+                    if wal.append(&i.to_le_bytes()).is_err() {
+                        break;
+                    }
+                    if wal.sync().is_err() {
+                        break;
+                    }
+                    acked += 1;
+                }
+            }
+            let disk = Arc::new(CrashStore::reopen(&store));
+            let (_, recovered) = Wal::open(disk.open("wal")).unwrap();
+            assert!(
+                recovered.len() as u64 >= acked,
+                "kill point {kill}: acknowledged {acked} but recovered {}",
+                recovered.len()
+            );
+            for (i, (lsn, payload)) in recovered.iter().enumerate() {
+                assert_eq!(*lsn, i as u64);
+                assert_eq!(payload, &(i as u64).to_le_bytes());
+            }
+        }
+    }
+}

@@ -285,6 +285,104 @@ pub fn class_stats(
     class_stats_with(schema, lin, layout, class, EvalEngine::Auto)
 }
 
+/// Enumerates every query of a class (the aligned-subgrid odometer over
+/// the class's hierarchy nodes) in the canonical order both the analytic
+/// and the physical measurement paths share, so the two accumulate their
+/// floating-point sums over the exact same query sequence. Returns the
+/// query count.
+pub(crate) fn for_each_class_query<E>(
+    schema: &StarSchema,
+    class: &Class,
+    mut f: impl FnMut(&[Range<u64>]) -> Result<(), E>,
+) -> Result<u64, E> {
+    let k = schema.k();
+    let nodes: Vec<u64> = (0..k)
+        .map(|d| schema.dim(d).nodes_at_level(class.level(d)))
+        .collect();
+    let queries: u64 = nodes.iter().product();
+    let mut node = vec![0u64; k];
+    let mut ranges: Vec<Range<u64>> = Vec::with_capacity(k);
+    'outer: loop {
+        ranges.clear();
+        ranges.extend((0..k).map(|d| schema.dim(d).leaf_range(class.level(d), node[d])));
+        f(&ranges)?;
+        let mut d = 0;
+        loop {
+            if d == k {
+                break 'outer;
+            }
+            node[d] += 1;
+            if node[d] < nodes[d] {
+                break;
+            }
+            node[d] = 0;
+            d += 1;
+        }
+    }
+    Ok(queries)
+}
+
+/// The per-class accumulator shared by the analytic executor and the
+/// physical [`crate::file::TableFile`] measurement: one code path for the
+/// floating-point accumulation means the two can only disagree if their
+/// integer [`QueryCost`]s disagree (which the differential suite rules
+/// out).
+#[derive(Default)]
+pub(crate) struct ClassAccum {
+    non_empty: u64,
+    seeks_sum: f64,
+    norm_sum: f64,
+    max_seeks: u64,
+    blocks_sum: u64,
+}
+
+impl ClassAccum {
+    pub(crate) fn push(&mut self, cost: &QueryCost) {
+        self.blocks_sum += cost.blocks;
+        if let Some(nb) = cost.normalized_blocks() {
+            self.non_empty += 1;
+            self.seeks_sum += cost.seeks as f64;
+            self.norm_sum += nb;
+            self.max_seeks = self.max_seeks.max(cost.seeks);
+        }
+    }
+
+    pub(crate) fn blocks_sum(&self) -> u64 {
+        self.blocks_sum
+    }
+
+    pub(crate) fn finish(self, class: Class, queries: u64) -> ClassStats {
+        let denom = self.non_empty.max(1) as f64;
+        ClassStats {
+            class,
+            queries,
+            non_empty_queries: self.non_empty,
+            avg_seeks: self.seeks_sum / denom,
+            avg_normalized_blocks: self.norm_sum / denom,
+            max_seeks: self.max_seeks,
+        }
+    }
+}
+
+/// The workload-level probability-weighted reduction over per-class
+/// stats, in support-rank order — shared by [`workload_stats_opts`] and
+/// the physical measurement path for bit-identical results.
+pub(crate) fn reduce_workload(live: &[(usize, f64)], measured: Vec<ClassStats>) -> WorkloadStats {
+    let mut per_class = Vec::with_capacity(measured.len());
+    let mut blocks = 0.0;
+    let mut seeks = 0.0;
+    for (&(_, p), stats) in live.iter().zip(measured) {
+        blocks += p * stats.avg_normalized_blocks;
+        seeks += p * stats.avg_seeks;
+        per_class.push(stats);
+    }
+    WorkloadStats {
+        avg_normalized_blocks: blocks,
+        avg_seeks: seeks,
+        per_class,
+    }
+}
+
 /// Measures every query of a class with an explicit engine choice.
 /// Scratch buffers (range list, odometer cursor, interval buffer) are
 /// reused across the class's queries.
@@ -308,60 +406,23 @@ pub fn class_stats_with(
         .check(class)
         .expect("class out of bounds");
     let use_runs = engine.uses_runs(lin);
-    let k = schema.k();
-    let nodes: Vec<u64> = (0..k)
-        .map(|d| schema.dim(d).nodes_at_level(class.level(d)))
-        .collect();
-    let queries: u64 = nodes.iter().product();
-    let mut non_empty = 0u64;
-    let mut seeks_sum = 0.0;
-    let mut norm_sum = 0.0;
-    let mut max_seeks = 0u64;
-    let mut blocks_sum = 0u64;
-    let mut node = vec![0u64; k];
-    let mut ranges: Vec<Range<u64>> = Vec::with_capacity(k);
+    let mut accum = ClassAccum::default();
     let mut scratch = QueryScratch::default();
-    'outer: loop {
-        ranges.clear();
-        ranges.extend((0..k).map(|d| schema.dim(d).leaf_range(class.level(d), node[d])));
-        let cost = query_cost_scratch(lin, layout, &ranges, use_runs, &mut scratch);
-        blocks_sum += cost.blocks;
-        if let Some(nb) = cost.normalized_blocks() {
-            non_empty += 1;
-            seeks_sum += cost.seeks as f64;
-            norm_sum += nb;
-            max_seeks = max_seeks.max(cost.seeks);
-        }
-        let mut d = 0;
-        loop {
-            if d == k {
-                break 'outer;
-            }
-            node[d] += 1;
-            if node[d] < nodes[d] {
-                break;
-            }
-            node[d] = 0;
-            d += 1;
-        }
-    }
+    let queries = for_each_class_query(schema, class, |ranges| {
+        let cost = query_cost_scratch(lin, layout, ranges, use_runs, &mut scratch);
+        accum.push(&cost);
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .unwrap_or_else(|e| match e {});
     metrics::record_queries(queries);
-    metrics::record_pages(blocks_sum);
+    metrics::record_pages(accum.blocks_sum());
     if use_runs {
         metrics::record_runs_enumerated(scratch.runs_enumerated);
         metrics::record_run_engine_queries(queries);
     } else {
         metrics::record_cell_engine_queries(queries);
     }
-    let denom = non_empty.max(1) as f64;
-    ClassStats {
-        class: class.clone(),
-        queries,
-        non_empty_queries: non_empty,
-        avg_seeks: seeks_sum / denom,
-        avg_normalized_blocks: norm_sum / denom,
-        max_seeks,
-    }
+    accum.finish(class.clone(), queries)
 }
 
 /// Workload-level expectations: per-class averages weighted by class
@@ -466,19 +527,7 @@ pub fn workload_stats_opts(
     let measured = opts.parallel.run_indexed(live.len(), |i| {
         class_stats_with(schema, lin, layout, &shape.unrank(live[i].0), opts.engine)
     });
-    let mut per_class = Vec::with_capacity(measured.len());
-    let mut blocks = 0.0;
-    let mut seeks = 0.0;
-    for (&(_, p), stats) in live.iter().zip(measured) {
-        blocks += p * stats.avg_normalized_blocks;
-        seeks += p * stats.avg_seeks;
-        per_class.push(stats);
-    }
-    WorkloadStats {
-        avg_normalized_blocks: blocks,
-        avg_seeks: seeks,
-        per_class,
-    }
+    reduce_workload(&live, measured)
 }
 
 #[cfg(test)]

@@ -1,18 +1,42 @@
 //! A physical, page-structured table file: the storage simulator made
 //! real. Records are bulk-loaded in clustering order into fixed-size pages
 //! (cells split across page boundaries, records never — §6.1), and grid
-//! queries are answered by actual page reads, with the I/O counted the
-//! same way the analytic executor counts it.
+//! queries are answered by actual page reads through a [`BufferPool`],
+//! with the logical I/O counted the same way the analytic executor counts
+//! it.
+//!
+//! Data pages are raw packed record arrays — `page_size / record_size`
+//! records per page, no header — so blocks and seeks keep the paper's
+//! geometry exactly (a slotted header would change `records_per_page` and
+//! break the bit-identity with [`crate::exec`]).
+//!
+//! I/O accounting has one source of truth: the pool. Per-query
+//! [`QueryCost`] is *logical* (what the scan touched); the pool's
+//! [`PoolStats`] are *physical* (what actually hit the backing file), so
+//! a warm pool shows up as `physical_reads < blocks` rather than as two
+//! counters drifting apart.
 //!
 //! The backend is any `Read + Write + Seek` — an in-memory buffer for
 //! tests, a real file for durability.
 
 use crate::cells::CellData;
-use crate::exec::QueryCost;
+use crate::exec::{
+    for_each_class_query, reduce_workload, ClassAccum, ClassStats, QueryCost, WorkloadStats,
+};
 use crate::layout::{PackedLayout, StorageConfig};
+use crate::page::PageFile;
+use crate::pool::{BufferPool, PoolStats};
+use snakes_core::lattice::{Class, LatticeShape};
+use snakes_core::parallel::metrics;
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::Workload;
 use snakes_curves::Linearization;
-use std::io::{self, Cursor, Read, Seek, SeekFrom, Write};
+use std::io::{self, Cursor, Read, Seek, Write};
 use std::ops::Range;
+
+/// Default buffer-pool capacity (in pages) for tables that don't choose
+/// one explicitly.
+pub const DEFAULT_POOL_PAGES: usize = 64;
 
 /// A bulk-loaded, page-structured fact table.
 ///
@@ -38,11 +62,9 @@ use std::ops::Range;
 /// ```
 #[derive(Debug)]
 pub struct TableFile<B> {
-    backend: B,
+    pool: BufferPool<B>,
     layout: PackedLayout,
     config: StorageConfig,
-    pages_read: u64,
-    seeks_performed: u64,
     /// Cell coordinates of appended (delta-zone) records, in append order.
     delta: Vec<Vec<u64>>,
 }
@@ -64,12 +86,8 @@ impl TableFile<Cursor<Vec<u8>>> {
 }
 
 impl<B: Read + Write + Seek> TableFile<B> {
-    /// Bulk-loads a table: visits cells in the linearization's order and
-    /// writes each cell's records contiguously, padding every page to
-    /// exactly `config.page_size` bytes.
-    ///
-    /// `record_for(cell_coords, i)` must return the `i`-th record of the
-    /// cell, exactly `config.record_size` bytes.
+    /// Bulk-loads a table with the default pool capacity. See
+    /// [`TableFile::bulk_load_with`].
     ///
     /// # Errors
     ///
@@ -80,24 +98,57 @@ impl<B: Read + Write + Seek> TableFile<B> {
     ///
     /// Panics if the linearization's grid differs from the cell data's.
     pub fn bulk_load(
-        mut backend: B,
+        backend: B,
         lin: &impl Linearization,
         cells: &CellData,
         config: StorageConfig,
+        record_for: impl FnMut(&[u64], u64) -> Vec<u8>,
+    ) -> io::Result<Self> {
+        Self::bulk_load_with(backend, lin, cells, config, DEFAULT_POOL_PAGES, record_for)
+    }
+
+    /// Bulk-loads a table: visits cells in the linearization's order and
+    /// writes each cell's records contiguously, padding every page to
+    /// exactly `config.page_size` bytes. All page traffic goes through a
+    /// buffer pool of `pool_pages` frames, which stays warm for
+    /// subsequent scans.
+    ///
+    /// `record_for(cell_coords, i)` must return the `i`-th record of the
+    /// cell, exactly `config.record_size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if a produced record has the wrong size or
+    /// the backend holds non-page-aligned data; propagates backend
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linearization's grid differs from the cell data's,
+    /// or `pool_pages` is zero.
+    pub fn bulk_load_with(
+        backend: B,
+        lin: &impl Linearization,
+        cells: &CellData,
+        config: StorageConfig,
+        pool_pages: usize,
         mut record_for: impl FnMut(&[u64], u64) -> Vec<u8>,
     ) -> io::Result<Self> {
         let layout = PackedLayout::pack(lin, cells, config);
+        let file = PageFile::new(backend, config.page_size)?;
+        let mut pool = BufferPool::new(file, pool_pages);
         let rpp = config.records_per_page();
-        backend.seek(SeekFrom::Start(0))?;
+        let rs = config.record_size as usize;
+        let mut page_buf = vec![0u8; config.page_size as usize];
         let mut in_page = 0u64; // records in the current page so far
+        let mut page_idx = 0u64;
         let mut written = 0u64;
-        let pad = vec![0u8; (config.page_size - rpp * config.record_size) as usize];
         let mut coords = vec![0u64; cells.extents().len()];
         for r in 0..cells.num_cells() {
             lin.coords(r, &mut coords);
             for i in 0..cells.count(&coords) {
                 let rec = record_for(&coords, i);
-                if rec.len() as u64 != config.record_size {
+                if rec.len() != rs {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!(
@@ -107,28 +158,87 @@ impl<B: Read + Write + Seek> TableFile<B> {
                         ),
                     ));
                 }
-                backend.write_all(&rec)?;
+                let at = (in_page as usize) * rs;
+                page_buf[at..at + rs].copy_from_slice(&rec);
                 written += 1;
                 in_page += 1;
                 if in_page == rpp {
-                    backend.write_all(&pad)?;
+                    pool.write_page_with(page_idx, |buf| buf.copy_from_slice(&page_buf))?;
+                    page_idx += 1;
                     in_page = 0;
                 }
             }
         }
-        // Pad the final partial page.
+        // Pad the final partial page (zeroing any stale tail bytes from
+        // the reused buffer).
         if in_page > 0 {
-            let remaining = config.page_size - in_page * config.record_size;
-            backend.write_all(&vec![0u8; remaining as usize])?;
+            page_buf[(in_page as usize) * rs..].fill(0);
+            pool.write_page_with(page_idx, |buf| buf.copy_from_slice(&page_buf))?;
         }
-        backend.flush()?;
+        pool.flush_all()?;
         debug_assert_eq!(written, layout.total_records());
         Ok(Self {
-            backend,
+            pool,
             layout,
             config,
-            pages_read: 0,
-            seeks_performed: 0,
+            delta: Vec::new(),
+        })
+    }
+
+    /// Reopens a previously bulk-loaded table over its backend, with the
+    /// default pool capacity. The caller supplies the same linearization,
+    /// cell data, and geometry the table was loaded with (the layout is
+    /// repacked from them).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the backend is too short or misaligned for the
+    /// claimed layout; backend errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// As [`TableFile::bulk_load`].
+    pub fn open(
+        backend: B,
+        lin: &impl Linearization,
+        cells: &CellData,
+        config: StorageConfig,
+    ) -> io::Result<Self> {
+        Self::open_with(backend, lin, cells, config, DEFAULT_POOL_PAGES)
+    }
+
+    /// As [`TableFile::open`], choosing the pool capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableFile::open`].
+    ///
+    /// # Panics
+    ///
+    /// As [`TableFile::bulk_load_with`].
+    pub fn open_with(
+        backend: B,
+        lin: &impl Linearization,
+        cells: &CellData,
+        config: StorageConfig,
+        pool_pages: usize,
+    ) -> io::Result<Self> {
+        let layout = PackedLayout::pack(lin, cells, config);
+        let file = PageFile::new(backend, config.page_size)?;
+        if file.num_pages() < layout.total_pages() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backend holds {} pages, layout needs {}",
+                    file.num_pages(),
+                    layout.total_pages()
+                ),
+            ));
+        }
+        Ok(Self {
+            pool: BufferPool::new(file, pool_pages),
+            layout,
+            config,
             delta: Vec::new(),
         })
     }
@@ -138,21 +248,44 @@ impl<B: Read + Write + Seek> TableFile<B> {
         &self.layout
     }
 
-    /// Pages physically read so far.
+    /// The buffer pool — the single source of truth for physical I/O and
+    /// cache metrics.
+    pub fn pool(&self) -> &BufferPool<B> {
+        &self.pool
+    }
+
+    /// Physical I/O and cache metrics (shorthand for `pool().stats()`).
+    pub fn pool_stats(&self) -> &PoolStats {
+        self.pool.stats()
+    }
+
+    /// Pages physically read so far (pool misses that hit the backing
+    /// file; scans served from warm frames don't count).
     pub fn pages_read(&self) -> u64 {
-        self.pages_read
+        self.pool.stats().physical_reads
     }
 
-    /// Seeks (non-sequential page fetches) performed so far.
+    /// Non-sequential physical page reads so far.
     pub fn seeks_performed(&self) -> u64 {
-        self.seeks_performed
+        self.pool.stats().read_seeks
     }
 
-    /// Reads one page into `buf` (must be `page_size` long).
-    fn read_page(&mut self, page: u64, buf: &mut [u8]) -> io::Result<()> {
-        self.backend
-            .seek(SeekFrom::Start(page * self.config.page_size))?;
-        self.backend.read_exact(buf)
+    /// Flushes dirty pool frames to the backing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.pool.flush_all()
+    }
+
+    /// Flushes and unwraps the raw backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn into_backend(self) -> io::Result<B> {
+        self.pool.into_backend()
     }
 
     /// Scans a grid query (one cell range per dimension under the same
@@ -208,7 +341,7 @@ impl<B: Read + Write + Seek> TableFile<B> {
             let rank = lin.rank(&coords);
             let n = self.layout.records_at_rank(rank);
             if n > 0 {
-                let start = self.record_index_start(rank);
+                let start = self.layout.record_start(rank);
                 rec_ranges.push((start, start + n, rank));
                 records += n;
             }
@@ -227,7 +360,9 @@ impl<B: Read + Write + Seek> TableFile<B> {
         }
         rec_ranges.sort_unstable();
 
-        // Read page runs; emit matching records.
+        // Fetch page runs through the pool; emit matching records. The
+        // logical seek/block tally below is the per-query QueryCost; the
+        // pool tracks what physically hit the backend.
         let rpp = self.config.records_per_page();
         let mut page_buf = vec![0u8; self.config.page_size as usize];
         let mut cell = vec![0u64; ranges.len()];
@@ -240,12 +375,11 @@ impl<B: Read + Write + Seek> TableFile<B> {
             for rec in start..end {
                 let page = rec / rpp;
                 if current_page != Some(page) {
-                    self.read_page(page, &mut page_buf)?;
+                    self.pool
+                        .with_page(page, |data| page_buf.copy_from_slice(data))?;
                     blocks += 1;
-                    self.pages_read += 1;
                     if last_page_read != Some(page.wrapping_sub(1)) {
                         seeks += 1;
-                        self.seeks_performed += 1;
                     }
                     last_page_read = Some(page);
                     current_page = Some(page);
@@ -263,6 +397,77 @@ impl<B: Read + Write + Seek> TableFile<B> {
             min_blocks: self.config.min_pages(records),
             records,
         })
+    }
+
+    /// Measures one query class physically: every query of the class is
+    /// executed as a real scan through the buffer pool, and the per-class
+    /// aggregation replays [`crate::exec::class_stats`]'s exact
+    /// floating-point operation sequence — so the result is bit-identical
+    /// to the analytic figure whenever the per-query costs agree (which
+    /// `tests/storage_differential.rs` proves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on grid/schema mismatches or an out-of-bounds class (as
+    /// [`crate::exec::class_stats`]).
+    pub fn class_stats(
+        &mut self,
+        schema: &StarSchema,
+        lin: &impl Linearization,
+        class: &Class,
+    ) -> io::Result<ClassStats> {
+        assert_eq!(
+            lin.extents(),
+            schema.grid_shape().as_slice(),
+            "linearization grid must match the schema"
+        );
+        LatticeShape::of_schema(schema)
+            .check(class)
+            .expect("class out of bounds");
+        let mut accum = ClassAccum::default();
+        let queries = for_each_class_query(schema, class, |ranges| {
+            let cost = self.scan_with_cells(lin, ranges, |_, _| {})?;
+            accum.push(&cost);
+            Ok::<(), io::Error>(())
+        })?;
+        metrics::record_queries(queries);
+        metrics::record_pages(accum.blocks_sum());
+        Ok(accum.finish(class.clone(), queries))
+    }
+
+    /// Measures a workload physically: per-class physical measurements
+    /// (see [`TableFile::class_stats`]) reduced with the same
+    /// probability-weighted serial sum as
+    /// [`crate::exec::workload_stats`] — bit-identical to the analytic
+    /// path when the per-query costs agree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    ///
+    /// # Panics
+    ///
+    /// As [`TableFile::class_stats`], plus (debug) a workload lattice
+    /// mismatch.
+    pub fn workload_stats(
+        &mut self,
+        schema: &StarSchema,
+        lin: &impl Linearization,
+        workload: &Workload,
+    ) -> io::Result<WorkloadStats> {
+        let _timer = metrics::PhaseTimer::start(metrics::Phase::Measure);
+        let shape = LatticeShape::of_schema(schema);
+        debug_assert_eq!(workload.shape(), &shape, "workload lattice mismatch");
+        let live: Vec<(usize, f64)> = workload.support_by_rank().collect();
+        let mut measured = Vec::with_capacity(live.len());
+        for &(rank, _) in &live {
+            measured.push(self.class_stats(schema, lin, &shape.unrank(rank))?);
+        }
+        Ok(reduce_workload(&live, measured))
     }
 
     /// Reorganizes: rewrites base + delta into a freshly clustered table on
@@ -307,14 +512,15 @@ impl<B: Read + Write + Seek> TableFile<B> {
         if !self.delta.is_empty() {
             let rpp = self.config.records_per_page();
             let base_pages = self.layout.total_pages();
-            let mut page_buf = vec![0u8; self.config.page_size as usize];
+            let rs = self.config.record_size as usize;
             let delta = std::mem::take(&mut self.delta);
             for (slot, cell) in delta.iter().enumerate() {
                 let page = base_pages + slot as u64 / rpp;
-                self.read_page(page, &mut page_buf)?;
                 let off = ((slot as u64 % rpp) * self.config.record_size) as usize;
-                per_cell[canonical(cell)]
-                    .push(page_buf[off..off + self.config.record_size as usize].to_vec());
+                let bytes = self
+                    .pool
+                    .with_page(page, |data| data[off..off + rs].to_vec())?;
+                per_cell[canonical(cell)].push(bytes);
             }
             self.delta = delta; // the old table keeps its delta view
         }
@@ -323,14 +529,6 @@ impl<B: Read + Write + Seek> TableFile<B> {
         TableFile::bulk_load(new_backend, new_lin, &cells, self.config, |c, i| {
             per_cell[canonical(c)][i as usize].clone()
         })
-    }
-
-    fn record_index_start(&self, rank: u64) -> u64 {
-        // PackedLayout exposes spans; reconstruct the start index from the
-        // prefix: records_at_rank gives counts, and page_span gives pages,
-        // but we need the exact record index — recompute from the stored
-        // prefix sums via a small accessor.
-        self.layout.record_start(rank)
     }
 
     /// Appends a record for `cell` to the *delta zone*: an unclustered tail
@@ -357,18 +555,12 @@ impl<B: Read + Write + Seek> TableFile<B> {
         let rpp = self.config.records_per_page();
         let slot = self.delta.len() as u64;
         let page = base_pages + slot / rpp;
-        if slot.is_multiple_of(rpp) {
-            // Fresh delta page: materialize it fully so page reads never
-            // run past the end of the backend.
-            self.backend
-                .seek(SeekFrom::Start(page * self.config.page_size))?;
-            self.backend
-                .write_all(&vec![0u8; self.config.page_size as usize])?;
-        }
-        let offset = (slot % rpp) * self.config.record_size;
-        self.backend
-            .seek(SeekFrom::Start(page * self.config.page_size + offset))?;
-        self.backend.write_all(record)?;
+        let offset = ((slot % rpp) * self.config.record_size) as usize;
+        // A fresh delta page materializes as zeros in the pool; the write
+        // reaches the backend on eviction or flush.
+        self.pool.write_page_with(page, |buf| {
+            buf[offset..offset + record.len()].copy_from_slice(record);
+        })?;
         self.delta.push(cell.to_vec());
         Ok(())
     }
@@ -398,9 +590,9 @@ impl<B: Read + Write + Seek> TableFile<B> {
         let base_pages = self.layout.total_pages();
         let rpp = self.config.records_per_page();
         let delta_pages = (self.delta.len() as u64).div_ceil(rpp);
-        let mut page_buf = vec![0u8; self.config.page_size as usize];
+        let rs = self.config.record_size as usize;
         let mut extra_records = 0u64;
-        // Snapshot membership before borrowing the backend for reads.
+        // Snapshot membership before borrowing the pool for reads.
         let members: Vec<(u64, bool)> = self
             .delta
             .iter()
@@ -411,20 +603,23 @@ impl<B: Read + Write + Seek> TableFile<B> {
             })
             .collect();
         for p in 0..delta_pages {
-            self.read_page(base_pages + p, &mut page_buf)?;
-            self.pages_read += 1;
-            for (slot, inside) in members.iter().filter(|(slot, _)| slot / rpp == p) {
-                if *inside {
-                    let off = ((slot % rpp) * self.config.record_size) as usize;
-                    on_record(&page_buf[off..off + self.config.record_size as usize]);
-                    extra_records += 1;
+            let mut emit: Vec<Vec<u8>> = Vec::new();
+            self.pool.with_page(base_pages + p, |data| {
+                for (slot, inside) in members.iter().filter(|(slot, _)| slot / rpp == p) {
+                    if *inside {
+                        let off = ((slot % rpp) * self.config.record_size) as usize;
+                        emit.push(data[off..off + rs].to_vec());
+                    }
                 }
+            })?;
+            for rec in &emit {
+                on_record(rec);
+                extra_records += 1;
             }
         }
         // The delta tail is one contiguous run: one extra seek, all its
         // pages read.
         cost.seeks += 1;
-        self.seeks_performed += 1;
         cost.blocks += delta_pages;
         cost.records += extra_records;
         cost.min_blocks = self.config.min_pages(cost.records);
@@ -437,6 +632,7 @@ mod tests {
     use super::*;
     use crate::exec::query_cost;
     use snakes_curves::NestedLoops;
+    use std::io::SeekFrom;
 
     fn tiny_config() -> StorageConfig {
         StorageConfig {
@@ -466,10 +662,12 @@ mod tests {
     #[test]
     fn file_size_is_page_aligned() {
         let (_, cells, tf) = build();
-        let bytes = tf.backend.get_ref().len() as u64;
+        let total_pages = tf.layout().total_pages();
+        let total_records = tf.layout().total_records();
+        let bytes = tf.into_backend().unwrap().into_inner().len() as u64;
         assert_eq!(bytes % 512, 0);
-        assert_eq!(bytes / 512, tf.layout().total_pages());
-        assert_eq!(tf.layout().total_records(), cells.total_records());
+        assert_eq!(bytes / 512, total_pages);
+        assert_eq!(total_records, cells.total_records());
     }
 
     #[test]
@@ -512,14 +710,60 @@ mod tests {
     }
 
     #[test]
-    fn io_counters_accumulate() {
-        let (lin, _, mut tf) = build();
+    fn cold_scan_io_matches_logical_cost() {
+        // A one-frame pool cannot retain the bulk load's pages, so the
+        // first scan's physical reads equal its logical blocks and its
+        // read seeks equal its logical seeks (the load's final write left
+        // the head past the last page, so page 0 is a seek — just as the
+        // logical count sees it).
+        let lin = NestedLoops::boustrophedon(vec![4, 4], &[0, 1]);
+        let counts: Vec<u64> = (0..16).map(|i| (i % 4) as u64).collect();
+        let cells = CellData::from_counts(vec![4, 4], counts);
+        let mut tf = TableFile::bulk_load_with(
+            Cursor::new(Vec::new()),
+            &lin,
+            &cells,
+            tiny_config(),
+            1,
+            record,
+        )
+        .unwrap();
         assert_eq!(tf.pages_read(), 0);
         let c = tf.scan(&lin, &[0..4, 0..4], |_| {}).unwrap();
         assert_eq!(tf.pages_read(), c.blocks);
         assert_eq!(tf.seeks_performed(), c.seeks);
         tf.scan(&lin, &[0..1, 0..1], |_| {}).unwrap();
         assert!(tf.pages_read() >= c.blocks);
+    }
+
+    #[test]
+    fn warm_pool_serves_rescans_without_physical_reads() {
+        // The default pool holds the whole table: the bulk load leaves
+        // every page resident, so scans are pure cache hits. (The load
+        // itself counts one miss per created page.)
+        let (lin, _, mut tf) = build();
+        let load_misses = tf.pool_stats().misses;
+        let c = tf.scan(&lin, &[0..4, 0..4], |_| {}).unwrap();
+        assert!(c.blocks > 0);
+        assert_eq!(tf.pages_read(), 0);
+        let s = tf.pool_stats();
+        assert_eq!(s.misses, load_misses);
+        assert_eq!(s.hits, c.blocks);
+        assert!(s.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn pool_is_single_source_of_truth_for_io() {
+        // Satellite: TableFile no longer keeps private counters — its
+        // accessors read the pool's stats directly, so the two can never
+        // disagree.
+        let (lin, _, mut tf) = build();
+        tf.scan(&lin, &[0..4, 0..4], |_| {}).unwrap();
+        tf.scan(&lin, &[0..2, 0..2], |_| {}).unwrap();
+        assert_eq!(tf.pages_read(), tf.pool_stats().physical_reads);
+        assert_eq!(tf.seeks_performed(), tf.pool_stats().read_seeks);
+        let total = tf.pool_stats().hits + tf.pool_stats().misses;
+        assert!(total > 0);
     }
 
     #[test]
@@ -534,6 +778,60 @@ mod tests {
         .unwrap();
         // Cell (3,3) has canonical index 15 -> 15 % 4 = 3 records.
         assert_eq!(payloads, vec![3030, 3031, 3032]);
+    }
+
+    #[test]
+    fn reopen_roundtrips_through_a_backend() {
+        let (lin, cells, tf) = build();
+        let bytes = tf.into_backend().unwrap().into_inner();
+        let mut reopened =
+            TableFile::open(Cursor::new(bytes), &lin, &cells, tiny_config()).unwrap();
+        let mut rows = 0u64;
+        let c = reopened.scan(&lin, &[0..4, 0..4], |_| rows += 1).unwrap();
+        assert_eq!(rows, cells.total_records());
+        assert_eq!(c.records, cells.total_records());
+        // A short backend is rejected.
+        let err = TableFile::open(Cursor::new(vec![0u8; 512]), &lin, &cells, tiny_config());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn physical_class_and_workload_stats_match_analytic() {
+        use crate::exec::{class_stats, workload_stats};
+        let schema = StarSchema::paper_toy();
+        let lin = NestedLoops::boustrophedon(vec![4, 4], &[0, 1]);
+        let counts: Vec<u64> = (0..16).map(|i| (i * 3 % 5) as u64).collect();
+        let cells = CellData::from_counts(vec![4, 4], counts);
+        let layout = PackedLayout::pack(&lin, &cells, tiny_config());
+        let mut tf = TableFile::bulk_load_with(
+            Cursor::new(Vec::new()),
+            &lin,
+            &cells,
+            tiny_config(),
+            2,
+            record,
+        )
+        .unwrap();
+        let shape = LatticeShape::of_schema(&schema);
+        for class in shape.iter() {
+            let physical = tf.class_stats(&schema, &lin, &class).unwrap();
+            let analytic = class_stats(&schema, &lin, &layout, &class);
+            assert_eq!(physical, analytic, "class {class}");
+            assert_eq!(
+                physical.avg_seeks.to_bits(),
+                analytic.avg_seeks.to_bits(),
+                "class {class}"
+            );
+        }
+        let w = Workload::uniform(shape);
+        let physical = tf.workload_stats(&schema, &lin, &w).unwrap();
+        let analytic = workload_stats(&schema, &lin, &layout, &w);
+        assert_eq!(
+            physical.avg_normalized_blocks.to_bits(),
+            analytic.avg_normalized_blocks.to_bits()
+        );
+        assert_eq!(physical.avg_seeks.to_bits(), analytic.avg_seeks.to_bits());
+        assert_eq!(physical.per_class.len(), analytic.per_class.len());
     }
 
     /// A backend that starts failing after a byte budget — failure
@@ -620,6 +918,20 @@ mod tests {
     }
 
     #[test]
+    fn delta_survives_flush_and_reopen_scan() {
+        // Appends live in the pool until flushed; after a flush the
+        // backend holds the delta pages too.
+        let (_lin, _, mut tf) = build();
+        let base_pages = tf.layout().total_pages();
+        for i in 0..3u64 {
+            tf.append(&[1, 1], &record(&[1, 1], i)).unwrap();
+        }
+        tf.flush().unwrap();
+        let bytes = tf.into_backend().unwrap().into_inner();
+        assert_eq!(bytes.len() as u64, (base_pages + 1) * 512);
+    }
+
+    #[test]
     fn merge_folds_delta_and_recluster() {
         let (lin, cells, mut tf) = build();
         for i in 0..6u64 {
@@ -670,26 +982,30 @@ mod tests {
     fn scan_surfaces_backend_read_failures_without_poisoning_state() {
         let lin = NestedLoops::row_major(vec![4, 4], &[0, 1]);
         let cells = CellData::from_counts(vec![4, 4], vec![2; 16]);
-        // Load fully, then swap in a read budget that allows ~2 pages.
+        // Load fully, then reopen over a read budget that allows ~2 pages
+        // (through a one-frame pool, so every page is a physical read).
         let good = TableFile::create_in_memory(&lin, &cells, tiny_config(), record).unwrap();
-        let bytes = good.backend.into_inner();
-        let mut tf = TableFile {
-            backend: Flaky {
+        let bytes = good.into_backend().unwrap().into_inner();
+        let mut tf = TableFile::open_with(
+            Flaky {
                 inner: Cursor::new(bytes),
                 budget: 1100,
             },
-            layout: good.layout,
-            config: good.config,
-            pages_read: 0,
-            seeks_performed: 0,
-            delta: Vec::new(),
-        };
+            &lin,
+            &cells,
+            tiny_config(),
+            1,
+        )
+        .unwrap();
         let err = tf.scan(&lin, &[0..4, 0..4], |_| {});
         assert!(err.is_err());
-        // Counters reflect only the successful reads, and a later scan
-        // within budget still works.
+        // Counters reflect only the successful reads.
         assert!(tf.pages_read() <= 3);
-        tf.backend.budget = 1 << 20;
+        // The table is not poisoned: recover the backend, refill its
+        // budget, and the data scans cleanly.
+        let mut backend = tf.into_backend().unwrap();
+        backend.budget = 1 << 20;
+        let mut tf = TableFile::open_with(backend, &lin, &cells, tiny_config(), 1).unwrap();
         let ok = tf.scan(&lin, &[0..1, 0..1], |_| {}).unwrap();
         assert_eq!(ok.records, 2);
     }

@@ -11,6 +11,10 @@
 //! * [`layout`] — packing a grid into pages along a linearization;
 //! * [`exec`] — grid-query execution and per-class statistics;
 //! * [`file`](mod@file) — a physical page-structured table file (bulk load + scans);
+//! * [`page`] — fixed-size page files and slotted variable-length pages;
+//! * [`pool`] — a pinning buffer pool with LRU eviction over a page file;
+//! * [`wal`] — a checksummed write-ahead log with torn-write recovery;
+//! * [`crash`] — a seeded crash-point simulator (kill-at-every-write);
 //! * [`disk`] — a simple seek/transfer latency model;
 //! * [`cache`] — an LRU page cache (extension beyond the paper);
 //! * [`memo`] — per-class cost memoization keyed by layout fingerprints;
@@ -23,14 +27,19 @@
 pub mod cache;
 pub mod cells;
 pub mod chunks;
+pub mod crash;
 pub mod disk;
 pub mod exec;
 pub mod file;
 pub mod layout;
 pub mod memo;
+pub mod page;
+pub mod pool;
+pub mod wal;
 
 pub use cells::CellData;
 pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
+pub use crash::{CrashConfig, CrashFile, CrashStore};
 pub use disk::DiskModel;
 pub use exec::{
     class_stats, class_stats_with, query_cost, query_cost_with, workload_stats,
@@ -39,6 +48,9 @@ pub use exec::{
 };
 #[allow(deprecated)]
 pub use exec::{workload_stats_engine, workload_stats_with};
-pub use file::TableFile;
+pub use file::{TableFile, DEFAULT_POOL_PAGES};
 pub use layout::{PackedLayout, StorageConfig};
 pub use memo::{CostMemo, SharedCostMemo};
+pub use page::{PageFile, SlottedPage};
+pub use pool::{BufferPool, PoolStats};
+pub use wal::{Backend, RecoveredRecords, Wal};

@@ -1,0 +1,486 @@
+//! The page substrate: fixed-size pages behind a [`PageFile`], and a
+//! [`SlottedPage`] layout for variable-length records within one page.
+//!
+//! `TableFile` keeps its data pages as raw packed record arrays (the
+//! paper's §6.1 geometry — `page_size / record_size` records per page,
+//! no header), so its measured blocks stay bit-identical to the analytic
+//! executor. The slotted layout is the variable-length container used by
+//! the durability layer's checkpoint blobs (see [`write_blob`]) and by
+//! the heap pages of future in-place reclustering work.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// Fixed-size random-access pages over any `Read + Write + Seek` backend.
+///
+/// Pages are addressed by index; writing at or past the current end
+/// extends the file (intervening pages, if any, read back as zeros —
+/// backends are expected to zero-fill on sparse writes, as both
+/// `std::fs::File` and `io::Cursor<Vec<u8>>` do).
+#[derive(Debug)]
+pub struct PageFile<B> {
+    backend: B,
+    page_size: u64,
+    pages: u64,
+}
+
+impl<B: Read + Write + Seek> PageFile<B> {
+    /// Wraps `backend`, deriving the page count from its current length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend seek errors; rejects a backend whose length is
+    /// not page-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(mut backend: B, page_size: u64) -> io::Result<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let len = backend.seek(SeekFrom::End(0))?;
+        if !len.is_multiple_of(page_size) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("backing length {len} is not a multiple of page size {page_size}"),
+            ));
+        }
+        Ok(Self {
+            backend,
+            page_size,
+            pages: len / page_size,
+        })
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Pages currently materialized on the backend.
+    pub fn num_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Reads page `page` into `buf` (must be exactly one page long).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the page does not exist; backend errors
+    /// otherwise.
+    pub fn read_page(&mut self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+        debug_assert_eq!(buf.len() as u64, self.page_size);
+        if page >= self.pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("page {page} beyond end of file ({} pages)", self.pages),
+            ));
+        }
+        self.backend.seek(SeekFrom::Start(page * self.page_size))?;
+        self.backend.read_exact(buf)
+    }
+
+    /// Writes `buf` (exactly one page) as page `page`, extending the file
+    /// when `page >= num_pages()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn write_page(&mut self, page: u64, buf: &[u8]) -> io::Result<()> {
+        debug_assert_eq!(buf.len() as u64, self.page_size);
+        self.backend.seek(SeekFrom::Start(page * self.page_size))?;
+        self.backend.write_all(buf)?;
+        self.pages = self.pages.max(page + 1);
+        Ok(())
+    }
+
+    /// Flushes the backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.backend.flush()
+    }
+
+    /// Shared access to the backend.
+    pub fn get_ref(&self) -> &B {
+        &self.backend
+    }
+
+    /// Unwraps into the backend.
+    pub fn into_inner(self) -> B {
+        self.backend
+    }
+}
+
+/// Slotted-page header size: `[num_slots: u16][data_start: u16]`.
+const SLOT_HEADER: usize = 4;
+/// Per-slot directory entry: `[offset: u16][len: u16]`.
+const SLOT_ENTRY: usize = 4;
+
+/// A slotted page over a page-sized buffer: a slot directory growing down
+/// from the header, record bytes growing up from the end. Deleting a slot
+/// tombstones it (offset 0 — impossible for live data, which always sits
+/// above the header); space is reclaimed only by rewriting the page.
+#[derive(Debug)]
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Formats `buf` as an empty slotted page and returns the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too small or longer than `u16::MAX`.
+    pub fn init(buf: &'a mut [u8]) -> Self {
+        assert!(
+            buf.len() > SLOT_HEADER && buf.len() <= u16::MAX as usize,
+            "slotted page must be {SLOT_HEADER}..=65535 bytes"
+        );
+        let data_start = buf.len() as u16;
+        buf[0..2].copy_from_slice(&0u16.to_le_bytes());
+        buf[2..4].copy_from_slice(&data_start.to_le_bytes());
+        Self { buf }
+    }
+
+    /// Wraps an already-formatted page.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn num_slots(&self) -> usize {
+        u16::from_le_bytes([self.buf[0], self.buf[1]]) as usize
+    }
+
+    fn data_start(&self) -> usize {
+        u16::from_le_bytes([self.buf[2], self.buf[3]]) as usize
+    }
+
+    /// The `(offset, len)` of `slot`'s directory entry. Corrupt pages may
+    /// claim slots beyond the buffer or records overrunning it; both are
+    /// reported as `(0, 0)` (a tombstone), leaving higher-level checksums
+    /// to reject the page rather than panicking here.
+    fn slot_entry(&self, slot: usize) -> (usize, usize) {
+        let at = SLOT_HEADER + slot * SLOT_ENTRY;
+        if at + SLOT_ENTRY > self.buf.len() {
+            return (0, 0);
+        }
+        let off = u16::from_le_bytes([self.buf[at], self.buf[at + 1]]) as usize;
+        let len = u16::from_le_bytes([self.buf[at + 2], self.buf[at + 3]]) as usize;
+        if off + len > self.buf.len() {
+            return (0, 0);
+        }
+        (off, len)
+    }
+
+    /// Bytes available for one more record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        self.data_start()
+            .saturating_sub(SLOT_HEADER + self.num_slots() * SLOT_ENTRY)
+            .saturating_sub(SLOT_ENTRY)
+    }
+
+    /// Live (non-deleted) record count.
+    pub fn live(&self) -> usize {
+        (0..self.num_slots())
+            .filter(|&s| self.slot_entry(s).0 != 0)
+            .count()
+    }
+
+    /// Inserts a record, returning its slot id, or `None` when the page
+    /// cannot fit it.
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        if record.len() > self.free_space() {
+            return None;
+        }
+        let slot = self.num_slots();
+        let off = self.data_start() - record.len();
+        self.buf[off..off + record.len()].copy_from_slice(record);
+        let at = SLOT_HEADER + slot * SLOT_ENTRY;
+        self.buf[at..at + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        self.buf[at + 2..at + 4].copy_from_slice(&(record.len() as u16).to_le_bytes());
+        self.buf[0..2].copy_from_slice(&((slot + 1) as u16).to_le_bytes());
+        self.buf[2..4].copy_from_slice(&(off as u16).to_le_bytes());
+        Some(slot as u16)
+    }
+
+    /// The record in `slot`, or `None` if out of range or deleted.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if (slot as usize) >= self.num_slots() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(slot as usize);
+        if off == 0 {
+            return None;
+        }
+        Some(&self.buf[off..off + len])
+    }
+
+    /// Tombstones `slot`; returns whether it was live.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if (slot as usize) >= self.num_slots() {
+            return false;
+        }
+        let at = SLOT_HEADER + slot as usize * SLOT_ENTRY;
+        let was_live = u16::from_le_bytes([self.buf[at], self.buf[at + 1]]) != 0;
+        self.buf[at..at + 2].copy_from_slice(&0u16.to_le_bytes());
+        was_live
+    }
+
+    /// Iterates over live `(slot, record)` pairs in slot order.
+    pub fn records(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        (0..self.num_slots()).filter_map(move |s| {
+            let (off, len) = self.slot_entry(s);
+            (off != 0).then(|| (s as u16, &self.buf[off..off + len]))
+        })
+    }
+}
+
+/// Writes `bytes` as a sequence of slotted pages through `pool` (page 0
+/// slot 0 carries `[total_len: u64][crc: u64]`, subsequent slots and
+/// pages carry the chunked payload), then flushes. The inverse is
+/// [`read_blob`]. This is the durability layer's checkpoint format: it
+/// routes real checkpoint traffic through the slotted pages and the
+/// buffer pool's write-back path.
+///
+/// # Errors
+///
+/// Propagates pool/backend errors.
+pub fn write_blob<B: Read + Write + Seek>(
+    pool: &mut crate::pool::BufferPool<B>,
+    bytes: &[u8],
+) -> io::Result<()> {
+    let mut crc = crate::layout::Fnv::new();
+    crc.mix(bytes.len() as u64);
+    for &b in bytes {
+        crc.mix(u64::from(b));
+    }
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    header.extend_from_slice(&crc.finish().to_le_bytes());
+    let mut page = 0u64;
+    let mut remaining = bytes;
+    let mut first = true;
+    loop {
+        let mut done = remaining.is_empty() && !first;
+        pool.write_page_with(page, |buf| {
+            let mut sp = SlottedPage::init(buf);
+            if first {
+                sp.insert(&header).expect("header fits an empty page");
+                first = false;
+            }
+            loop {
+                if remaining.is_empty() {
+                    done = true;
+                    return;
+                }
+                let take = remaining.len().min(sp.free_space());
+                if take == 0 {
+                    return; // page full; continue on the next one
+                }
+                sp.insert(&remaining[..take]).expect("sized to fit");
+                remaining = &remaining[take..];
+            }
+        })?;
+        page += 1;
+        if done {
+            break;
+        }
+    }
+    pool.flush_all()
+}
+
+/// Reads back a blob written by [`write_blob`], verifying its length and
+/// checksum.
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed or corrupt blob; backend errors
+/// otherwise.
+pub fn read_blob<B: Read + Write + Seek>(
+    pool: &mut crate::pool::BufferPool<B>,
+) -> io::Result<Vec<u8>> {
+    let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("blob: {what}"));
+    let mut out: Vec<u8> = Vec::new();
+    let mut expected: Option<(u64, u64)> = None;
+    let mut page = 0u64;
+    loop {
+        let mut header_buf = [0u8; 16];
+        pool.with_page(page, |buf| {
+            // Work on a local view: `records` borrows immutably.
+            let mut tmp = buf.to_vec();
+            let sp = SlottedPage::new(&mut tmp);
+            for (slot, rec) in sp.records() {
+                if page == 0 && slot == 0 {
+                    if rec.len() != 16 {
+                        return Err(corrupt("bad header slot"));
+                    }
+                    header_buf.copy_from_slice(rec);
+                } else {
+                    out.extend_from_slice(rec);
+                }
+            }
+            Ok(())
+        })??;
+        if expected.is_none() {
+            let len = u64::from_le_bytes(header_buf[0..8].try_into().unwrap());
+            let crc = u64::from_le_bytes(header_buf[8..16].try_into().unwrap());
+            expected = Some((len, crc));
+        }
+        page += 1;
+        let (len, _) = expected.unwrap();
+        if out.len() as u64 >= len || page >= pool.num_pages() {
+            break;
+        }
+    }
+    let (len, crc) = expected.ok_or_else(|| corrupt("missing header"))?;
+    if out.len() as u64 != len {
+        return Err(corrupt("length mismatch"));
+    }
+    let mut check = crate::layout::Fnv::new();
+    check.mix(len);
+    for &b in &out {
+        check.mix(u64::from(b));
+    }
+    if check.finish() != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn page_file_roundtrip_and_extension() {
+        let mut pf = PageFile::new(Cursor::new(Vec::new()), 64).unwrap();
+        assert_eq!(pf.num_pages(), 0);
+        let a = [1u8; 64];
+        let b = [2u8; 64];
+        pf.write_page(0, &a).unwrap();
+        pf.write_page(2, &b).unwrap(); // sparse: page 1 is a zero hole
+        assert_eq!(pf.num_pages(), 3);
+        let mut buf = [9u8; 64];
+        pf.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        pf.read_page(2, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        assert_eq!(
+            pf.read_page(3, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn page_file_rejects_misaligned_backing() {
+        let err = PageFile::new(Cursor::new(vec![0u8; 100]), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn page_file_reopens_existing_pages() {
+        let mut pf = PageFile::new(Cursor::new(Vec::new()), 32).unwrap();
+        pf.write_page(0, &[7u8; 32]).unwrap();
+        pf.write_page(1, &[8u8; 32]).unwrap();
+        let bytes = pf.into_inner().into_inner();
+        let mut reopened = PageFile::new(Cursor::new(bytes), 32).unwrap();
+        assert_eq!(reopened.num_pages(), 2);
+        let mut buf = [0u8; 32];
+        reopened.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf, [8u8; 32]);
+    }
+
+    #[test]
+    fn slotted_insert_get_delete() {
+        let mut buf = vec![0u8; 128];
+        let mut sp = SlottedPage::init(&mut buf);
+        let a = sp.insert(b"alpha").unwrap();
+        let b = sp.insert(b"beta").unwrap();
+        assert_eq!(sp.get(a), Some(&b"alpha"[..]));
+        assert_eq!(sp.get(b), Some(&b"beta"[..]));
+        assert_eq!(sp.live(), 2);
+        assert!(sp.delete(a));
+        assert!(!sp.delete(a)); // already a tombstone
+        assert_eq!(sp.get(a), None);
+        assert_eq!(sp.live(), 1);
+        let got: Vec<_> = sp.records().collect();
+        assert_eq!(got, vec![(b, &b"beta"[..])]);
+        assert_eq!(sp.get(99), None);
+        assert!(!sp.delete(99));
+    }
+
+    #[test]
+    fn slotted_page_fills_up_and_rejects_overflow() {
+        let mut buf = vec![0u8; 64];
+        let mut sp = SlottedPage::init(&mut buf);
+        let mut inserted = 0;
+        while sp.insert(&[0xAB; 13]).is_some() {
+            inserted += 1;
+        }
+        // After n inserts: free = 64 - 13n - 4 (header) - 4(n+1) slots.
+        // n = 3 leaves 5 bytes; a fourth 13-byte record cannot fit.
+        assert_eq!(inserted, 3);
+        assert_eq!(sp.free_space(), 5);
+        // Small records still fit in the remainder.
+        assert!(sp.insert(b"x").is_some());
+        assert!(sp.insert(&[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn slotted_survives_byte_roundtrip() {
+        let mut buf = vec![0u8; 256];
+        {
+            let mut sp = SlottedPage::init(&mut buf);
+            sp.insert(b"persist me").unwrap();
+            sp.insert(b"and me").unwrap();
+        }
+        let copy = buf.clone();
+        let mut copy2 = copy.clone();
+        let sp = SlottedPage::new(&mut copy2);
+        let records: Vec<_> = sp.records().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(records, vec![b"persist me".to_vec(), b"and me".to_vec()]);
+    }
+
+    #[test]
+    fn blob_roundtrip_across_pages() {
+        use crate::pool::BufferPool;
+        for len in [0usize, 1, 17, 100, 1000, 5000] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+            let pf = PageFile::new(Cursor::new(Vec::new()), 128).unwrap();
+            let mut pool = BufferPool::new(pf, 2);
+            write_blob(&mut pool, &payload).unwrap();
+            let bytes = pool.into_backend().unwrap().into_inner();
+            let pf = PageFile::new(Cursor::new(bytes), 128).unwrap();
+            let mut pool = BufferPool::new(pf, 2);
+            assert_eq!(read_blob(&mut pool).unwrap(), payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn blob_detects_corruption() {
+        use crate::pool::BufferPool;
+        let payload = vec![0x5Au8; 600];
+        let pf = PageFile::new(Cursor::new(Vec::new()), 128).unwrap();
+        let mut pool = BufferPool::new(pf, 2);
+        write_blob(&mut pool, &payload).unwrap();
+        let bytes = pool.into_backend().unwrap().into_inner();
+        // Flip a payload byte (the first 0x5A is blob data, not page
+        // metadata): the checksum must catch it.
+        let mut corrupt = bytes.clone();
+        let at = corrupt.iter().position(|&b| b == 0x5A).unwrap();
+        corrupt[at] ^= 0xFF;
+        let pf = PageFile::new(Cursor::new(corrupt), 128).unwrap();
+        let mut pool = BufferPool::new(pf, 2);
+        assert!(read_blob(&mut pool).is_err());
+        // Zeroing a whole page's slot directory loses records: the
+        // length check must catch it.
+        let mut truncated = bytes;
+        let last_page = truncated.len() - 128;
+        truncated[last_page..last_page + 4].fill(0);
+        let pf = PageFile::new(Cursor::new(truncated), 128).unwrap();
+        let mut pool = BufferPool::new(pf, 2);
+        assert!(read_blob(&mut pool).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! A fixed-capacity buffer pool over a [`PageFile`]: pinning, LRU
+//! eviction with write-back, and hit/miss/eviction metrics. The eviction
+//! policy is the side-car [`LruCache`] estimator, absorbed as the pool's
+//! policy core — so the estimator and the real pool can never disagree
+//! about what an LRU would have done.
+//!
+//! The pool is the single source of truth for physical I/O accounting:
+//! `TableFile` delegates its `pages_read()` / `seeks_performed()`
+//! counters here, while per-query [`crate::exec::QueryCost`] stays a
+//! *logical* quantity (what the scan touched), so a warm pool shows up
+//! as `physical_reads < blocks` rather than as a disagreement.
+
+use crate::cache::LruCache;
+use crate::page::PageFile;
+use std::collections::HashMap;
+use std::io::{self, Read, Seek, Write};
+
+/// Physical I/O and cache metrics, all monotone counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to touch the backing file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back (on eviction or flush).
+    pub writebacks: u64,
+    /// Pages physically read from the backing file.
+    pub physical_reads: u64,
+    /// Pages physically written to the backing file.
+    pub physical_writes: u64,
+    /// Non-sequential physical *reads* (the measured analogue of the
+    /// paper's seek count; writes reposition the head but are tallied in
+    /// [`PoolStats::write_seeks`]).
+    pub read_seeks: u64,
+    /// Non-sequential physical writes.
+    pub write_seeks: u64,
+}
+
+impl PoolStats {
+    /// Hit rate in `[0, 1]`; 0 before any fetch.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another stats block (for aggregating per-table pools).
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.physical_reads += other.physical_reads;
+        self.physical_writes += other.physical_writes;
+        self.read_seeks += other.read_seeks;
+        self.write_seeks += other.write_seeks;
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: u64,
+    data: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+}
+
+/// A fixed-capacity page cache with pinning and LRU write-back eviction.
+#[derive(Debug)]
+pub struct BufferPool<B> {
+    file: PageFile<B>,
+    capacity: usize,
+    frames: Vec<Frame>,
+    /// page -> frame index, for resident pages.
+    table: HashMap<u64, usize>,
+    policy: LruCache,
+    free: Vec<usize>,
+    /// Pages created in memory but possibly beyond the materialized file.
+    logical_pages: u64,
+    last_io_page: Option<u64>,
+    stats: PoolStats,
+}
+
+impl<B: Read + Write + Seek> BufferPool<B> {
+    /// A pool of `capacity` frames over `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(file: PageFile<B>, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        let logical_pages = file.num_pages();
+        Self {
+            file,
+            capacity,
+            frames: Vec::with_capacity(capacity),
+            table: HashMap::with_capacity(capacity * 2),
+            policy: LruCache::new(capacity),
+            free: Vec::new(),
+            logical_pages,
+            last_io_page: None,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The page size of the underlying file.
+    pub fn page_size(&self) -> u64 {
+        self.file.page_size()
+    }
+
+    /// Logical page count: materialized pages plus any created in memory
+    /// and not yet written back.
+    pub fn num_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Metrics so far.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Pages currently resident, in no particular order.
+    pub fn resident_pages(&self) -> Vec<u64> {
+        self.table.keys().copied().collect()
+    }
+
+    /// Whether `page` is resident (without touching the policy).
+    pub fn contains(&self, page: u64) -> bool {
+        self.table.contains_key(&page)
+    }
+
+    fn note_read(&mut self, page: u64) {
+        if self.last_io_page.is_none_or(|p| page != p.wrapping_add(1)) {
+            self.stats.read_seeks += 1;
+        }
+        self.last_io_page = Some(page);
+        self.stats.physical_reads += 1;
+    }
+
+    fn note_write(&mut self, page: u64) {
+        if self.last_io_page.is_none_or(|p| page != p.wrapping_add(1)) {
+            self.stats.write_seeks += 1;
+        }
+        self.last_io_page = Some(page);
+        self.stats.physical_writes += 1;
+    }
+
+    /// Finds a frame for a new page: the free list first, then LRU
+    /// eviction (skipping pinned frames, writing back dirty victims).
+    fn acquire_frame(&mut self) -> io::Result<usize> {
+        if let Some(idx) = self.free.pop() {
+            return Ok(idx);
+        }
+        if self.frames.len() < self.capacity {
+            let page_size = self.file.page_size() as usize;
+            self.frames.push(Frame {
+                page: u64::MAX,
+                data: vec![0u8; page_size],
+                dirty: false,
+                pins: 0,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        let table = &self.table;
+        let frames = &self.frames;
+        let victim = self
+            .policy
+            .lru_victim(|p| table.get(&p).is_some_and(|&i| frames[i].pins == 0))
+            .ok_or_else(|| io::Error::other("buffer pool exhausted: every frame is pinned"))?;
+        let idx = self.table.remove(&victim).expect("policy tracks residents");
+        self.stats.evictions += 1;
+        if self.frames[idx].dirty {
+            self.writeback(idx)?;
+        }
+        Ok(idx)
+    }
+
+    fn writeback(&mut self, idx: usize) -> io::Result<()> {
+        let page = self.frames[idx].page;
+        self.note_write(page);
+        self.stats.writebacks += 1;
+        let data = std::mem::take(&mut self.frames[idx].data);
+        let res = self.file.write_page(page, &data);
+        self.frames[idx].data = data;
+        res?;
+        self.frames[idx].dirty = false;
+        Ok(())
+    }
+
+    /// Fetches `page` into a frame, returning its index. Counts a hit or
+    /// a miss; on a miss the page is read from the backing file.
+    fn fetch(&mut self, page: u64) -> io::Result<usize> {
+        if let Some(&idx) = self.table.get(&page) {
+            self.policy.note(page);
+            self.stats.hits += 1;
+            return Ok(idx);
+        }
+        if page >= self.logical_pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("page {page} beyond end ({} pages)", self.logical_pages),
+            ));
+        }
+        let idx = self.acquire_frame()?;
+        if page < self.file.num_pages() {
+            let mut data = std::mem::take(&mut self.frames[idx].data);
+            let res = self.file.read_page(page, &mut data);
+            self.frames[idx].data = data;
+            if let Err(e) = res {
+                // Failed read: return the frame rather than caching garbage.
+                self.free.push(idx);
+                return Err(e);
+            }
+            self.note_read(page);
+        } else {
+            // A logical page not yet written back is a zero hole — exactly
+            // what the backing file would return after a sparse extension.
+            self.frames[idx].data.fill(0);
+        }
+        self.policy.note(page);
+        self.stats.misses += 1;
+        self.frames[idx].page = page;
+        self.frames[idx].dirty = false;
+        self.frames[idx].pins = 0;
+        self.table.insert(page, idx);
+        Ok(idx)
+    }
+
+    /// Fetches or creates `page` for writing: an existing page is read in
+    /// (if not resident), a page at or past the current end is
+    /// materialized as zeros in memory. Counts as a fetch either way.
+    fn fetch_for_write(&mut self, page: u64) -> io::Result<usize> {
+        if self.table.contains_key(&page) || page < self.logical_pages {
+            return self.fetch(page);
+        }
+        // Fresh page: no physical read, but still a policy miss.
+        let idx = self.acquire_frame()?;
+        self.policy.note(page);
+        self.stats.misses += 1;
+        self.frames[idx].data.fill(0);
+        self.frames[idx].page = page;
+        self.frames[idx].dirty = false;
+        self.frames[idx].pins = 0;
+        self.table.insert(page, idx);
+        self.logical_pages = self.logical_pages.max(page + 1);
+        Ok(idx)
+    }
+
+    /// Runs `f` over the (pinned) contents of `page`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch errors.
+    pub fn with_page<R>(&mut self, page: u64, f: impl FnOnce(&[u8]) -> R) -> io::Result<R> {
+        let idx = self.fetch(page)?;
+        self.frames[idx].pins += 1;
+        let out = f(&self.frames[idx].data);
+        self.frames[idx].pins -= 1;
+        Ok(out)
+    }
+
+    /// Runs `f` over the (pinned) mutable contents of `page`, creating it
+    /// when it lies at or past the current end, and marks the frame
+    /// dirty. The write reaches the backing file on eviction or flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch errors.
+    pub fn write_page_with<R>(
+        &mut self,
+        page: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> io::Result<R> {
+        let idx = self.fetch_for_write(page)?;
+        self.frames[idx].pins += 1;
+        let out = f(&mut self.frames[idx].data);
+        self.frames[idx].pins -= 1;
+        self.frames[idx].dirty = true;
+        Ok(out)
+    }
+
+    /// Pins `page` (fetching it first if needed): a pinned frame is never
+    /// evicted. Pins nest; match each with [`BufferPool::unpin`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch errors.
+    pub fn pin(&mut self, page: u64) -> io::Result<()> {
+        let idx = self.fetch(page)?;
+        self.frames[idx].pins += 1;
+        Ok(())
+    }
+
+    /// Drops one pin from `page`; returns whether a pin was held.
+    pub fn unpin(&mut self, page: u64) -> bool {
+        match self.table.get(&page) {
+            Some(&idx) if self.frames[idx].pins > 0 => {
+                self.frames[idx].pins -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pins held on `page` (0 when not resident).
+    pub fn pin_count(&self, page: u64) -> u32 {
+        self.table
+            .get(&page)
+            .map_or(0, |&idx| self.frames[idx].pins)
+    }
+
+    /// Writes back every dirty frame (in page order) and flushes the
+    /// backing file. Frames stay resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn flush_all(&mut self) -> io::Result<()> {
+        let mut dirty: Vec<usize> = (0..self.frames.len())
+            .filter(|&i| self.frames[i].dirty && self.table.get(&self.frames[i].page) == Some(&i))
+            .collect();
+        dirty.sort_by_key(|&i| self.frames[i].page);
+        for idx in dirty {
+            self.writeback(idx)?;
+        }
+        self.file.flush()
+    }
+
+    /// Flushes everything and unwraps the backing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn into_file(mut self) -> io::Result<PageFile<B>> {
+        self.flush_all()?;
+        Ok(self.file)
+    }
+
+    /// Flushes everything and unwraps the raw backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn into_backend(self) -> io::Result<B> {
+        Ok(self.into_file()?.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn pool(capacity: usize, pages: u64) -> BufferPool<Cursor<Vec<u8>>> {
+        let mut pf = PageFile::new(Cursor::new(Vec::new()), 64).unwrap();
+        for p in 0..pages {
+            pf.write_page(p, &[p as u8; 64]).unwrap();
+        }
+        BufferPool::new(pf, capacity)
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut pool = pool(2, 4);
+        pool.with_page(0, |d| assert_eq!(d[0], 0)).unwrap();
+        pool.with_page(1, |d| assert_eq!(d[0], 1)).unwrap();
+        pool.with_page(0, |_| ()).unwrap(); // hit
+        let s = *pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!(s.physical_reads, 2);
+        assert_eq!(s.hits + s.misses, 3);
+    }
+
+    #[test]
+    fn lru_eviction_with_writeback() {
+        let mut pool = pool(2, 4);
+        pool.write_page_with(0, |d| d[0] = 0xAA).unwrap();
+        pool.with_page(1, |_| ()).unwrap();
+        pool.with_page(2, |_| ()).unwrap(); // evicts 0, writing it back
+        let s = *pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.writebacks, 1);
+        assert!(!pool.contains(0));
+        // The write survived the eviction round-trip.
+        pool.with_page(0, |d| assert_eq!(d[0], 0xAA)).unwrap();
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut pool = pool(2, 4);
+        pool.pin(0).unwrap();
+        pool.with_page(1, |_| ()).unwrap();
+        pool.with_page(2, |_| ()).unwrap(); // must evict 1, not pinned 0
+        assert!(pool.contains(0));
+        assert!(!pool.contains(1));
+        pool.pin(2).unwrap();
+        // Both frames pinned: a third page cannot be admitted.
+        let err = pool.with_page(3, |_| ()).unwrap_err();
+        assert!(err.to_string().contains("pinned"));
+        assert!(pool.unpin(0));
+        pool.with_page(3, |_| ()).unwrap();
+        assert!(!pool.contains(0));
+        assert!(!pool.unpin(0));
+    }
+
+    #[test]
+    fn sequential_reads_count_one_seek() {
+        let mut pool = pool(4, 4);
+        for p in 0..4 {
+            pool.with_page(p, |_| ()).unwrap();
+        }
+        assert_eq!(pool.stats().read_seeks, 1);
+        pool.with_page(0, |_| ()).unwrap(); // hit: no physical I/O
+        assert_eq!(pool.stats().read_seeks, 1);
+    }
+
+    #[test]
+    fn creating_pages_extends_logical_length() {
+        let mut pool = pool(2, 0);
+        assert_eq!(pool.num_pages(), 0);
+        pool.write_page_with(0, |d| d[0] = 1).unwrap();
+        pool.write_page_with(1, |d| d[0] = 2).unwrap();
+        assert_eq!(pool.num_pages(), 2);
+        // Created pages incur no physical read.
+        assert_eq!(pool.stats().physical_reads, 0);
+        let bytes = pool.into_backend().unwrap().into_inner();
+        assert_eq!(bytes.len(), 128);
+        assert_eq!((bytes[0], bytes[64]), (1, 2));
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_frames_in_page_order() {
+        let mut pool = pool(4, 0);
+        for p in (0..4).rev() {
+            pool.write_page_with(p, |d| d[0] = p as u8 + 1).unwrap();
+        }
+        pool.flush_all().unwrap();
+        let s = *pool.stats();
+        assert_eq!(s.physical_writes, 4);
+        // Page-ordered flush: 0,1,2,3 back-to-back is one write seek.
+        assert_eq!(s.write_seeks, 1);
+        // A second flush writes nothing.
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().physical_writes, 4);
+    }
+
+    #[test]
+    fn fetch_beyond_end_is_rejected() {
+        let mut pool = pool(2, 2);
+        let err = pool.with_page(5, |_| ()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // The failure costs nothing and poisons nothing.
+        assert_eq!(pool.stats().misses, 0);
+        pool.with_page(1, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = PoolStats {
+            hits: 1,
+            misses: 2,
+            ..Default::default()
+        };
+        let b = PoolStats {
+            hits: 10,
+            evictions: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!((a.hits, a.misses, a.evictions), (11, 2, 3));
+        assert!((a.hit_rate() - 11.0 / 13.0).abs() < 1e-12);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property suite for the buffer pool: random op sequences are run
+//! against a byte-for-byte reference model (an explicit LRU list plus a
+//! plain map of expected page contents), and every invariant the pool
+//! promises is checked after every op:
+//!
+//! * pinned pages are never evicted;
+//! * `hits + misses` equals the number of successful fetches;
+//! * residency (and therefore eviction order) matches the reference LRU
+//!   oracle exactly;
+//! * after a final flush, the backing file holds exactly the pages the
+//!   model predicts, byte for byte.
+
+use proptest::prelude::*;
+use snakes_storage::page::PageFile;
+use snakes_storage::pool::BufferPool;
+use std::collections::HashMap;
+use std::io::Cursor;
+
+const PAGE_SIZE: u64 = 64;
+/// Pages pre-populated on the backing file.
+const BASE_PAGES: u64 = 8;
+/// Ops may create pages up to this index (exclusive).
+const MAX_PAGE: u64 = 12;
+const CAPACITY: usize = 4;
+
+/// One pool operation, generated from `(kind, page, val)` triples.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `with_page(page)` — read access.
+    Read(u64),
+    /// `write_page_with(page, ..)` — sets byte `val % PAGE_SIZE` to `val`.
+    Write(u64, u8),
+    Pin(u64),
+    Unpin(u64),
+    Flush,
+}
+
+fn decode(kind: u8, page: u64, val: u8) -> Op {
+    match kind {
+        0 => Op::Read(page),
+        1 | 2 => Op::Write(page, val), // writes twice as likely as pins
+        3 => Op::Pin(page),
+        4 => Op::Unpin(page),
+        _ => Op::Flush,
+    }
+}
+
+fn seeded_page(p: u64) -> Vec<u8> {
+    (0..PAGE_SIZE)
+        .map(|i| (p.wrapping_mul(31).wrapping_add(i.wrapping_mul(7)) % 251) as u8)
+        .collect()
+}
+
+/// The reference model: explicit LRU order, pin counts, expected page
+/// contents, logical length.
+struct Model {
+    /// Resident pages, LRU first.
+    lru: Vec<u64>,
+    pins: HashMap<u64, u32>,
+    contents: HashMap<u64, Vec<u8>>,
+    logical_pages: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        let contents = (0..BASE_PAGES).map(|p| (p, seeded_page(p))).collect();
+        Self {
+            lru: Vec::new(),
+            pins: HashMap::new(),
+            contents,
+            logical_pages: BASE_PAGES,
+        }
+    }
+
+    /// Simulates a fetch of `page` (`create`: allowed past the end).
+    /// Returns whether it succeeds; mirrors the pool's admission and
+    /// eviction rules exactly.
+    fn access(&mut self, page: u64, create: bool) -> bool {
+        if !create && page >= self.logical_pages {
+            return false; // out-of-bounds read: rejected, state unchanged
+        }
+        if let Some(pos) = self.lru.iter().position(|&p| p == page) {
+            self.lru.remove(pos);
+            self.lru.push(page);
+            return true;
+        }
+        if self.lru.len() == CAPACITY {
+            let Some(pos) = self
+                .lru
+                .iter()
+                .position(|&p| self.pins.get(&p).copied().unwrap_or(0) == 0)
+            else {
+                return false; // every frame pinned: admission fails
+            };
+            self.lru.remove(pos);
+        }
+        self.lru.push(page);
+        self.contents
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize]);
+        self.logical_pages = self.logical_pages.max(page + 1);
+        true
+    }
+}
+
+fn check_invariants(pool: &BufferPool<Cursor<Vec<u8>>>, model: &Model, fetches: u64, at: usize) {
+    // Residency matches the oracle (this subsumes "eviction order matches
+    // a reference LRU" — a single wrong victim desynchronizes the sets).
+    let mut got = pool.resident_pages();
+    got.sort_unstable();
+    let mut want = model.lru.clone();
+    want.sort_unstable();
+    assert_eq!(
+        got, want,
+        "resident set diverged from LRU oracle at op {at}"
+    );
+    // Pinned pages are never evicted.
+    for (&page, &pins) in &model.pins {
+        if pins > 0 {
+            assert!(pool.contains(page), "pinned page {page} evicted at op {at}");
+            assert_eq!(pool.pin_count(page), pins, "pin count drift at op {at}");
+        }
+    }
+    // Accounting: every successful fetch is exactly one hit or miss.
+    let s = pool.stats();
+    assert_eq!(s.hits + s.misses, fetches, "hit/miss accounting at op {at}");
+    assert_eq!(pool.num_pages(), model.logical_pages, "length at op {at}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..MAX_PAGE, proptest::prelude::any::<u8>()),
+            1..120,
+        )
+    ) {
+        let mut backing = Vec::new();
+        for p in 0..BASE_PAGES {
+            backing.extend_from_slice(&seeded_page(p));
+        }
+        let file = PageFile::new(Cursor::new(backing), PAGE_SIZE).unwrap();
+        let mut pool = BufferPool::new(file, CAPACITY);
+        let mut model = Model::new();
+        let mut fetches = 0u64;
+
+        for (at, &(kind, page, val)) in ops.iter().enumerate() {
+            match decode(kind, page, val) {
+                Op::Read(p) => {
+                    let expect = model.access(p, false);
+                    let got = pool.with_page(p, |data| data.to_vec());
+                    prop_assert_eq!(got.is_ok(), expect, "read {} at op {}", p, at);
+                    if let Ok(data) = got {
+                        fetches += 1;
+                        prop_assert_eq!(&data, &model.contents[&p], "contents of {}", p);
+                    }
+                }
+                Op::Write(p, v) => {
+                    let expect = model.access(p, true);
+                    let at_byte = (v as u64 % PAGE_SIZE) as usize;
+                    let got = pool.write_page_with(p, |data| data[at_byte] = v);
+                    prop_assert_eq!(got.is_ok(), expect, "write {} at op {}", p, at);
+                    if got.is_ok() {
+                        fetches += 1;
+                        model.contents.get_mut(&p).unwrap()[at_byte] = v;
+                    }
+                }
+                Op::Pin(p) => {
+                    let expect = model.access(p, false);
+                    let got = pool.pin(p);
+                    prop_assert_eq!(got.is_ok(), expect, "pin {} at op {}", p, at);
+                    if got.is_ok() {
+                        fetches += 1;
+                        *model.pins.entry(p).or_insert(0) += 1;
+                    }
+                }
+                Op::Unpin(p) => {
+                    let expect = model.pins.get(&p).copied().unwrap_or(0) > 0
+                        && model.lru.contains(&p);
+                    prop_assert_eq!(pool.unpin(p), expect, "unpin {} at op {}", p, at);
+                    if expect {
+                        *model.pins.get_mut(&p).unwrap() -= 1;
+                    }
+                }
+                Op::Flush => pool.flush_all().unwrap(),
+            }
+            check_invariants(&pool, &model, fetches, at);
+        }
+
+        // Final durability check: flush everything and compare the
+        // backing file against the model page by page.
+        let bytes = pool.into_backend().unwrap().into_inner();
+        prop_assert_eq!(
+            bytes.len() as u64,
+            model.logical_pages * PAGE_SIZE,
+            "backing length"
+        );
+        for p in 0..model.logical_pages {
+            let at = (p * PAGE_SIZE) as usize;
+            let got = &bytes[at..at + PAGE_SIZE as usize];
+            let want = model
+                .contents
+                .get(&p)
+                .cloned()
+                .unwrap_or_else(|| vec![0u8; PAGE_SIZE as usize]);
+            prop_assert_eq!(got, &want[..], "page {} after final flush", p);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The crash-recovery torture suite: a scripted advisor engine runs over
+//! a [`CrashStore`] that kills the "machine" at a chosen write-operation
+//! boundary (tearing the in-flight write to a strict prefix, then
+//! failing every subsequent I/O), the surviving bytes are "rebooted"
+//! fault-free, and a fresh engine must recover
+//!
+//! * every acknowledged drift — the recovered session's version and
+//!   probability vector are **bit-identical** to a fault-free shadow run
+//!   at that version;
+//! * every acknowledged idempotent response — replayed byte-for-byte;
+//! * possibly a synced-but-unacknowledged suffix (the crash landed
+//!   between the WAL sync and the reply), which must still match the
+//!   shadow at its version — recovery may run ahead of acknowledgement,
+//!   never behind it and never off the scripted trajectory.
+//!
+//! Two sweeps: an exhaustive one killing at *every* write boundary the
+//! script performs, and a seeded randomized one. Reproduce a failing
+//! seed with:
+//!
+//! ```text
+//! SNAKES_CRASH_SEED=<seed> cargo test --release --test crash_recovery -- --nocapture
+//! ```
+//!
+//! Scale the random sweep with `SNAKES_CRASH_SCHEDULES=<n>` (CI runs
+//! 1000 in release mode).
+
+use snakes_core::lattice::LatticeShape;
+use snakes_core::schema::StarSchema;
+use snakes_core::workload::{WeightUpdate, Workload};
+use snakes_service::protocol::{DeltaSpec, SchemaSpec, WorkloadSpec};
+use snakes_service::{Deadline, Engine, Media, Request, Response};
+use snakes_storage::{CrashConfig, CrashStore};
+use std::sync::Arc;
+
+const SESSION: &str = "torture";
+/// Keyed drift requests after the initialization request.
+const DRIFTS: usize = 6;
+
+fn schedule_count() -> u64 {
+    if let Ok(n) = std::env::var("SNAKES_CRASH_SCHEDULES") {
+        return n.parse().expect("SNAKES_CRASH_SCHEDULES must be a number");
+    }
+    if cfg!(debug_assertions) {
+        40
+    } else {
+        1000
+    }
+}
+
+fn schema_spec() -> SchemaSpec {
+    SchemaSpec::of(&StarSchema::paper_toy())
+}
+
+/// Irregular initial workload so no two costs tie and every delta moves
+/// real probability mass.
+fn workload_spec() -> WorkloadSpec {
+    let shape = LatticeShape::of_schema(&StarSchema::paper_toy());
+    let n = shape.num_classes();
+    let w = Workload::from_weights(shape, (0..n).map(|r| 1.0 + r as f64 * 0.17).collect()).unwrap();
+    WorkloadSpec::of(&w)
+}
+
+/// The scripted request sequence: one session-creating drift, then
+/// `DRIFTS` single-delta drifts, all idempotency-keyed, with a forced
+/// checkpoint in the middle (so checkpoint writes are kill points too).
+fn script() -> Vec<Request> {
+    let n = LatticeShape::of_schema(&StarSchema::paper_toy()).num_classes();
+    let mut out = Vec::new();
+    let mut init = Request::drift(SESSION, vec![]);
+    init.schema = Some(schema_spec());
+    init.workload = Some(workload_spec());
+    init.id = 1;
+    out.push(init.with_idempotency_key("crash-k-0"));
+    for i in 1..=DRIFTS {
+        let mut req = Request::drift(
+            SESSION,
+            vec![DeltaSpec {
+                updates: vec![WeightUpdate {
+                    rank: (i * 3) % n,
+                    weight: 0.05 + i as f64 * 0.11,
+                }],
+            }],
+        )
+        .with_idempotency_key(format!("crash-k-{i}"));
+        req.id = 1 + i as u64;
+        out.push(req);
+    }
+    out
+}
+
+/// Runs the script against `engine`, forcing a checkpoint halfway.
+/// Returns the response per request (acknowledged or not).
+fn run_script(engine: &Engine) -> Vec<Response> {
+    let mut out = Vec::new();
+    for (i, req) in script().iter().enumerate() {
+        out.push(engine.handle(req, &Deadline::none()));
+        if i == DRIFTS / 2 {
+            // May fail on a crashed store; the old checkpoint + full log
+            // must then remain authoritative.
+            let _ = engine.checkpoint();
+        }
+    }
+    out
+}
+
+/// The fault-free oracle: the same script on an in-memory engine.
+/// `responses[i]` is what request `i` must answer whenever it is
+/// acknowledged at all, and `probs_at[v]` the exact distribution after
+/// version `v` (request `i` commits version `i`, the init committing 0).
+struct Shadow {
+    responses: Vec<Response>,
+    probs_at: Vec<Vec<f64>>,
+}
+
+fn shadow() -> Shadow {
+    let engine = Engine::new();
+    let mut responses = Vec::new();
+    let mut probs_at = Vec::new();
+    for req in &script() {
+        let resp = engine.handle(req, &Deadline::none());
+        assert!(resp.ok, "shadow run must be clean: {:?}", resp.error);
+        let (version, probs) = engine.session_state(SESSION).unwrap();
+        assert_eq!(version as usize, probs_at.len(), "one version per request");
+        probs_at.push(probs);
+        responses.push(resp);
+    }
+    Shadow {
+        responses,
+        probs_at,
+    }
+}
+
+/// One torture round: run the script over a crash-armed store, reboot
+/// the surviving bytes, recover, and hold every invariant. Returns
+/// whether the store actually crashed during the scripted run.
+fn check_crash_point(config: CrashConfig, oracle: &Shadow) -> bool {
+    let seed = config.seed;
+    let diag = format!(
+        "reproduce with:\n  SNAKES_CRASH_SEED={seed} cargo test --release \
+         --test crash_recovery -- --nocapture"
+    );
+    let store = Arc::new(CrashStore::with_crash(config));
+    // The WAL header itself is written under crash injection: a crash
+    // during engine construction acknowledges nothing.
+    let responses = match Engine::new().with_durability(Media::Store(Arc::clone(&store))) {
+        Ok(engine) => run_script(&engine),
+        Err(_) => Vec::new(),
+    };
+    let acked: Vec<(usize, &Response)> =
+        responses.iter().enumerate().filter(|(_, r)| r.ok).collect();
+    // Acknowledged responses must match the oracle bit-for-bit even
+    // before any crash talk: durability must not perturb the numbers.
+    for (i, resp) in &acked {
+        assert_eq!(
+            resp.to_line(),
+            oracle.responses[*i].to_line(),
+            "acked response {i} diverged from the fault-free oracle\n{diag}"
+        );
+    }
+    let crashed = store.crashed();
+    // Reboot: only bytes that reached the store before the kill survive.
+    let rebooted = Arc::new(CrashStore::reopen(&store));
+    let engine = Engine::new()
+        .with_durability(Media::Store(rebooted))
+        .unwrap_or_else(|e| panic!("recovery must never fail, got {e}\n{diag}"));
+    let acked_max = acked
+        .iter()
+        .filter_map(|(_, r)| r.drift.as_ref())
+        .map(|d| d.version)
+        .max();
+    match engine.session_state(SESSION) {
+        Some((version, probs)) => {
+            if let Some(acked_max) = acked_max {
+                assert!(
+                    version >= acked_max,
+                    "recovered version {version} lost acked version {acked_max}\n{diag}"
+                );
+            }
+            let want = oracle
+                .probs_at
+                .get(version as usize)
+                .unwrap_or_else(|| panic!("recovered off-script version {version}\n{diag}"));
+            assert_eq!(probs.len(), want.len(), "{diag}");
+            for (at, (a, b)) in probs.iter().zip(want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "prob {at} at version {version} not bit-identical\n{diag}"
+                );
+            }
+        }
+        None => assert!(
+            acked_max.is_none(),
+            "acked session vanished across the crash\n{diag}"
+        ),
+    }
+    // Every acknowledged response replays byte-for-byte from the
+    // recovered idempotency log.
+    for (i, resp) in &acked {
+        let key = format!("crash-k-{i}");
+        let replay = engine
+            .idempotent_replay(&key)
+            .unwrap_or_else(|| panic!("acked key {key} lost across the crash\n{diag}"));
+        assert_eq!(
+            replay.to_line(),
+            resp.to_line(),
+            "replayed response for {key} not byte-identical\n{diag}"
+        );
+    }
+    crashed
+}
+
+/// Exhaustive sweep: learn the script's write-op budget on a fault-free
+/// store, then kill at every single boundary from "before the first
+/// write" to "after the last".
+#[test]
+fn every_write_boundary_recovers() {
+    let oracle = shadow();
+    let probe = Arc::new(CrashStore::new());
+    let engine = Engine::new()
+        .with_durability(Media::Store(Arc::clone(&probe)))
+        .unwrap();
+    run_script(&engine);
+    let budget = probe.write_ops();
+    assert!(budget > 20, "script too small to be interesting: {budget}");
+    let mut crashes = 0u64;
+    for at in 0..=budget {
+        if check_crash_point(
+            CrashConfig {
+                seed: at,
+                ops_before_crash: at,
+            },
+            &oracle,
+        ) {
+            crashes += 1;
+        }
+    }
+    println!("exhaustive sweep: {budget} write boundaries, {crashes} mid-script crashes");
+    assert!(crashes > 0, "the sweep must actually kill mid-script");
+}
+
+/// Seeded random sweep (CI scale), mirroring the fault suite's env
+/// contract: `SNAKES_CRASH_SEED` pins one schedule,
+/// `SNAKES_CRASH_SCHEDULES` sets the sweep width.
+#[test]
+fn seeded_crash_schedules_recover() {
+    let oracle = shadow();
+    if let Ok(seed) = std::env::var("SNAKES_CRASH_SEED") {
+        let seed = seed.parse().expect("SNAKES_CRASH_SEED must be a number");
+        let crashed = check_crash_point(CrashConfig::for_seed(seed), &oracle);
+        println!("seed {seed}: crashed={crashed}");
+        return;
+    }
+    let mut crashes = 0u64;
+    let n = schedule_count();
+    for seed in 0..n {
+        if check_crash_point(CrashConfig::for_seed(seed), &oracle) {
+            crashes += 1;
+        }
+    }
+    println!("{n} seeded schedules, {crashes} mid-script crashes");
+    assert!(crashes > 0, "the sweep must actually kill mid-script");
+    assert!(crashes < n, "some schedules must survive to the end");
+}

@@ -26,6 +26,7 @@ const SURFACE: &[&str] = &[
     "crates/core/src/eval.rs",
     "crates/service/src/lib.rs",
     "crates/service/src/client.rs",
+    "crates/service/src/durability.rs",
     "crates/service/src/engine.rs",
     "crates/service/src/error.rs",
     "crates/service/src/fault.rs",
@@ -33,6 +34,11 @@ const SURFACE: &[&str] = &[
     "crates/service/src/protocol.rs",
     "crates/service/src/server.rs",
     "crates/service/src/sim.rs",
+    "crates/storage/src/crash.rs",
+    "crates/storage/src/file.rs",
+    "crates/storage/src/page.rs",
+    "crates/storage/src/pool.rs",
+    "crates/storage/src/wal.rs",
 ];
 
 fn workspace_root() -> PathBuf {

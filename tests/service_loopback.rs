@@ -176,6 +176,7 @@ fn slow_price_request(salt: usize) -> Request {
         records_per_cell: 1 + (salt as u64 % 7),
         page_size: 4_096,
         record_size: 125,
+        physical: false,
     });
     req
 }

@@ -12,7 +12,7 @@ use snakes_sandwiches::core::workload::WeightUpdate;
 use snakes_sandwiches::service::protocol::{
     CacheStatsBody, ClassWeight, DeltaSpec, DimSpec, DriftBody, EndpointStatsBody, ErrorBody,
     MeasureSpec, MeasuredBody, PriceBody, RecommendationBody, RowMajorBody, SchemaSpec, StatsBody,
-    StrategySpec, WorkloadSpec,
+    StorageStatsBody, StrategySpec, WorkloadSpec,
 };
 use snakes_sandwiches::service::{Request, Response, PROTOCOL_VERSION};
 
@@ -69,6 +69,7 @@ fn sample_request() -> Request {
         records_per_cell: 3,
         page_size: 4_096,
         record_size: 125,
+        physical: true,
     });
     req.eval = Some(EvalOptions::serial().engine(EvalEngine::Runs));
     req
@@ -160,6 +161,20 @@ fn sample_stats() -> StatsBody {
             entries: 9,
         },
         panics_caught: 2,
+        storage: StorageStatsBody {
+            enabled: true,
+            wal_bytes: 4_096,
+            wal_entries: 12,
+            checkpoints: 1,
+            recoveries: 1,
+            recovered_sessions: 1,
+            pool_hits: 96,
+            pool_misses: 32,
+            pool_hit_rate: 0.75,
+            pool_evictions: 24,
+            physical_reads: 32,
+            physical_writes: 40,
+        },
         endpoints: vec![EndpointStatsBody {
             endpoint: "price".into(),
             requests: 13,

@@ -1,0 +1,272 @@
+//! Differential harness for the paged storage engine: a real
+//! [`TableFile`] (slotted pages behind a buffer pool) must agree with the
+//! analytic executor **exactly** — `u64` seek/block/record counts equal
+//! per query, `f64` class and workload averages bit-identical — across
+//! curve families (nested loops plain and snaked, lattice-path curves,
+//! compact Hilbert), uniform and skewed (partially empty) grids up to
+//! 4-D, and both analytic engines (cells and runs). The physical scan
+//! also has to return the right *bytes*: every record surfaced by a scan
+//! is checked against the cell it was loaded into.
+
+use proptest::prelude::*;
+use snakes_sandwiches::core::lattice::LatticeShape;
+use snakes_sandwiches::core::path::LatticePath;
+use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
+use snakes_sandwiches::core::workload::Workload;
+use snakes_sandwiches::curves::{
+    path_curve, snaked_path_curve, CompactHilbert, Linearization, NestedLoops,
+};
+use snakes_sandwiches::storage::{
+    class_stats_with, query_cost_with, workload_stats_opts, CellData, EvalEngine, EvalOptions,
+    PackedLayout, StorageConfig, TableFile,
+};
+use std::io::Cursor;
+use std::ops::Range;
+
+/// Tiny pages so even toy grids span many pages and the pool must evict.
+const CONFIG: StorageConfig = StorageConfig {
+    page_size: 64,
+    record_size: 16,
+};
+
+/// Record payload: the owning cell's linear index and the record's
+/// ordinal within the cell, little-endian. Lets scans verify content,
+/// not just cost.
+fn record_bytes(cell_index: u64, ordinal: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&cell_index.to_le_bytes());
+    out.extend_from_slice(&ordinal.to_le_bytes());
+    out
+}
+
+fn load_table(lin: &impl Linearization, cells: &CellData) -> TableFile<Cursor<Vec<u8>>> {
+    let c = cells.clone();
+    TableFile::create_in_memory(lin, cells, CONFIG, move |coords, i| {
+        record_bytes(c.index(coords) as u64, i)
+    })
+    .expect("in-memory load cannot fail")
+}
+
+/// Uniform and skewed (some cells empty) populations for a grid.
+fn populations(extents: &[u64]) -> Vec<CellData> {
+    let n: u64 = extents.iter().product();
+    vec![
+        CellData::from_counts(extents.to_vec(), vec![3; n as usize]),
+        CellData::from_counts(
+            extents.to_vec(),
+            (0..n).map(|i| (i * 7) % 11).collect(), // skewed, some empty
+        ),
+    ]
+}
+
+/// The curve families under test: nested loops (plain and snaked, every
+/// rotation of the nesting order) plus compact Hilbert.
+fn curve_family(extents: &[u64]) -> Vec<(String, Box<dyn Linearization + Sync>)> {
+    let k = extents.len();
+    let mut out: Vec<(String, Box<dyn Linearization + Sync>)> = Vec::new();
+    for s in 0..k {
+        let order: Vec<usize> = (0..k).map(|i| (i + s) % k).collect();
+        out.push((
+            format!("row_major{order:?}"),
+            Box::new(NestedLoops::row_major(extents.to_vec(), &order)),
+        ));
+        out.push((
+            format!("boustrophedon{order:?}"),
+            Box::new(NestedLoops::boustrophedon(extents.to_vec(), &order)),
+        ));
+    }
+    out.push((
+        "compact_hilbert".to_string(),
+        Box::new(CompactHilbert::new(extents.to_vec())),
+    ));
+    out
+}
+
+/// Deterministic query boxes from a seed (splitmix-style).
+fn seeded_queries(seed: u64, extents: &[u64], count: usize) -> Vec<Vec<Range<u64>>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..count)
+        .map(|_| {
+            extents
+                .iter()
+                .map(|&e| {
+                    let lo = next() % e;
+                    let hi = lo + 1 + next() % (e - lo);
+                    lo..hi
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// An irregular workload so no two class weights tie and the weighted
+/// reductions exercise genuinely distinct probabilities.
+fn irregular_workload(shape: &LatticeShape) -> Workload {
+    let n = shape.num_classes();
+    Workload::from_weights(
+        shape.clone(),
+        (0..n).map(|r| 1.0 + (r as f64) * 0.31).collect(),
+    )
+    .expect("non-empty weights")
+}
+
+/// Physical per-query scans equal the analytic per-query costs — both
+/// engines, integer field by integer field — and every scanned record's
+/// payload identifies the cell the scan claims it came from.
+#[test]
+fn per_query_costs_and_bytes_match() {
+    let extents = vec![4u64, 3, 2];
+    for cells in populations(&extents) {
+        for (name, lin) in curve_family(&extents) {
+            let lin: &(dyn Linearization + Sync) = lin.as_ref();
+            let layout = PackedLayout::pack(&lin, &cells, CONFIG);
+            let mut table = load_table(&lin, &cells);
+            for (qi, q) in seeded_queries(0xD1FF, &extents, 12).into_iter().enumerate() {
+                let mut scanned = 0u64;
+                let physical = table
+                    .scan_with_cells(&lin, &q, |coords, rec| {
+                        let idx = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                        assert_eq!(
+                            idx,
+                            cells.index(coords) as u64,
+                            "curve {name} query {qi}: record bytes belong to another cell"
+                        );
+                        scanned += 1;
+                    })
+                    .expect("in-memory scan cannot fail");
+                assert_eq!(scanned, physical.records, "curve {name} query {qi}");
+                assert_eq!(
+                    physical.records,
+                    cells.records_in(&q),
+                    "curve {name} query {qi}"
+                );
+                for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+                    let analytic = query_cost_with(&lin, &layout, &q, engine);
+                    assert_eq!(
+                        analytic, physical,
+                        "curve {name} query {qi} engine {engine} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs the full class-by-class and workload-level comparison for one
+/// schema: physical measurements bit-identical to both analytic engines.
+fn check_schema(schema: &StarSchema) {
+    let shape = LatticeShape::of_schema(schema);
+    let extents = schema.grid_shape();
+    for cells in populations(&extents) {
+        let mut curves = curve_family(&extents);
+        for p in LatticePath::enumerate(&shape).into_iter().take(2) {
+            curves.push((format!("path {p}"), Box::new(path_curve(schema, &p))));
+            curves.push((
+                format!("snaked path {p}"),
+                Box::new(snaked_path_curve(schema, &p)),
+            ));
+        }
+        for (name, lin) in curves {
+            let lin: &(dyn Linearization + Sync) = lin.as_ref();
+            let layout = PackedLayout::pack(&lin, &cells, CONFIG);
+            let mut table = load_table(&lin, &cells);
+            for class in shape.iter() {
+                let physical = table
+                    .class_stats(schema, &lin, &class)
+                    .expect("in-memory measurement cannot fail");
+                for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+                    let analytic = class_stats_with(schema, &lin, &layout, &class, engine);
+                    let ctx = format!("curve {name} class {class} engine {engine}");
+                    assert_eq!(analytic.queries, physical.queries, "{ctx} queries");
+                    assert_eq!(
+                        analytic.non_empty_queries, physical.non_empty_queries,
+                        "{ctx} non-empty"
+                    );
+                    assert_eq!(analytic.max_seeks, physical.max_seeks, "{ctx} max seeks");
+                    assert_eq!(
+                        analytic.avg_seeks.to_bits(),
+                        physical.avg_seeks.to_bits(),
+                        "{ctx} seeks not bit-identical"
+                    );
+                    assert_eq!(
+                        analytic.avg_normalized_blocks.to_bits(),
+                        physical.avg_normalized_blocks.to_bits(),
+                        "{ctx} blocks not bit-identical"
+                    );
+                }
+            }
+            let workload = irregular_workload(&shape);
+            let physical = table
+                .workload_stats(schema, &lin, &workload)
+                .expect("in-memory measurement cannot fail");
+            for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+                let analytic = workload_stats_opts(
+                    schema,
+                    &lin,
+                    &layout,
+                    &workload,
+                    &EvalOptions::serial().engine(engine),
+                );
+                let ctx = format!("curve {name} engine {engine}");
+                assert_eq!(
+                    analytic.avg_seeks.to_bits(),
+                    physical.avg_seeks.to_bits(),
+                    "{ctx} workload seeks"
+                );
+                assert_eq!(
+                    analytic.avg_normalized_blocks.to_bits(),
+                    physical.avg_normalized_blocks.to_bits(),
+                    "{ctx} workload blocks"
+                );
+                assert_eq!(analytic.per_class, physical.per_class, "{ctx} per-class");
+            }
+            // The scans really went through the pool: with 64-byte pages
+            // even toy grids overflow the default pool capacity check.
+            let stats = table.pool_stats();
+            assert!(stats.misses > 0, "curve {name}: no physical page reads");
+            assert!(
+                stats.physical_writes > 0,
+                "curve {name}: bulk load wrote no pages"
+            );
+        }
+    }
+}
+
+/// The paper-shaped deterministic case: 3-D with multi-level
+/// hierarchies, every class in the lattice.
+#[test]
+fn class_and_workload_stats_bit_identical_3d() {
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("a", vec![3, 2]).unwrap(),
+        Hierarchy::new("b", vec![4]).unwrap(),
+        Hierarchy::new("c", vec![2, 2]).unwrap(),
+    ])
+    .unwrap();
+    check_schema(&schema);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random schemas up to 4-D: the physical engine stays bit-identical
+    /// to both analytic engines on every curve family.
+    #[test]
+    fn physical_matches_analytic_on_random_schemas(
+        dims in proptest::collection::vec(proptest::collection::vec(2u64..=3, 1..=2), 1..=4),
+    ) {
+        let schema = StarSchema::new(
+            dims.into_iter()
+                .enumerate()
+                .map(|(i, f)| Hierarchy::new(format!("d{i}"), f).expect("valid fanouts"))
+                .collect(),
+        )
+        .expect("non-empty");
+        check_schema(&schema);
+    }
+}
