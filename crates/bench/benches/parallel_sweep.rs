@@ -29,6 +29,11 @@ struct TrajectoryEntry {
     serial_ns: u64,
     parallel_ns: u64,
     speedup: f64,
+    /// A forced 2-worker run (even on one core): exercises the parallel
+    /// engine's worker path — including the per-worker deferred metric
+    /// cells — when `cores = 1` would otherwise fall back to serial.
+    two_worker_ns: u64,
+    two_worker_speedup: f64,
     metrics: metrics::MetricsSnapshot,
 }
 
@@ -81,9 +86,16 @@ fn main() {
     let delta = metrics::snapshot().since(&before);
     println!("  parallel ({cores} threads): {:>12} ns", parallel_ns);
 
+    let (two_worker_ns, two_worker_eval) = median_time(2);
+    println!("  parallel (2 threads): {:>12} ns", two_worker_ns);
+
     assert_eq!(
         serial_eval, parallel_eval,
         "parallel evaluation must be bit-identical to serial"
+    );
+    assert_eq!(
+        serial_eval, two_worker_eval,
+        "2-worker evaluation must be bit-identical to serial"
     );
     println!("  differential check: parallel output bit-identical to serial");
 
@@ -105,6 +117,8 @@ fn main() {
         serial_ns: serial_ns as u64,
         parallel_ns: parallel_ns as u64,
         speedup,
+        two_worker_ns: two_worker_ns as u64,
+        two_worker_speedup: serial_ns as f64 / two_worker_ns as f64,
         metrics: delta,
     })
     .expect("entry serializes");

@@ -1,10 +1,18 @@
 //! Sustained throughput and latency of the advisor daemon over loopback
-//! TCP: one connection per core issuing a mixed `recommend`/`price`/
-//! `drift`/`stats` stream, with client-observed p50/p99 from the full
-//! latency population. A fidelity check first proves one priced answer
-//! bit-identical to the direct library call, so the numbers measure the
-//! real service path, not a stub. Appends to `BENCH_service.json` at the
-//! workspace root so the perf trajectory is tracked across commits.
+//! TCP, across a (connections × shards) matrix. Each row streams a mixed
+//! `recommend`/`price`/`drift`/`stats` workload through pipelined
+//! connections (a window of requests in flight per connection), which is
+//! what the nonblocking sharded core is built to absorb; a `pipelined: 1`
+//! window reproduces the old blocking request-response row for
+//! trajectory comparison. A fidelity check first proves one priced
+//! answer bit-identical to the direct library call, so the numbers
+//! measure the real service path, not a stub. Appends every row to
+//! `BENCH_service.json` at the workspace root.
+//!
+//! Environment knobs:
+//! * `SNAKES_BENCH_REQUESTS` — requests per connection (default 4000).
+//! * `SNAKES_BENCH_MIN_RPS` — when set, exit nonzero unless the best
+//!   single-shard row reaches this throughput (the CI regression gate).
 
 use serde::Serialize;
 use snakes_core::lattice::LatticeShape;
@@ -12,7 +20,8 @@ use snakes_core::schema::StarSchema;
 use snakes_core::workload::{WeightUpdate, Workload};
 use snakes_curves::{aggregate_class_costs, snaked_path_curve};
 use snakes_service::protocol::{DeltaSpec, SchemaSpec, StrategySpec, WorkloadSpec};
-use snakes_service::{Client, Request, Server, ServerConfig};
+use snakes_service::{Client, PipelinedClient, Request, Server, ServerConfig};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// One run of this bench, appended to `BENCH_service.json`.
@@ -21,6 +30,9 @@ struct TrajectoryEntry {
     bench: &'static str,
     unix_time: u64,
     cores: usize,
+    workload: &'static str,
+    shards: usize,
+    window: usize,
     connections: usize,
     requests: u64,
     elapsed_ns: u64,
@@ -30,8 +42,6 @@ struct TrajectoryEntry {
     max_us: u64,
     shed: u64,
 }
-
-const REQUESTS_PER_CONNECTION: usize = 400;
 
 fn salted_workload(shape: &LatticeShape, salt: usize) -> Workload {
     let n = shape.num_classes();
@@ -73,6 +83,45 @@ fn mixed_request(schema: &StarSchema, shape: &LatticeShape, conn: usize, i: usiz
     }
 }
 
+/// The reclustering control path from the motivation: a fleet of
+/// micro-partition decisions pricing candidate strategies against the
+/// warehouse's *current* workload fingerprint. Few distinct
+/// (schema, workload, strategy) keys, so the batch layer coalesces most
+/// of each tick into one SignatureCache pass.
+fn pricing_request(schema: &StarSchema, shape: &LatticeShape, i: usize) -> Request {
+    let w = salted_workload(shape, i % 3);
+    Request::price(
+        SchemaSpec::of(schema),
+        WorkloadSpec::of(&w),
+        StrategySpec::snaked_path(vec![i % 2, 1 - i % 2, i % 2, 1 - i % 2]),
+    )
+}
+
+/// Which request stream a matrix row drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    /// recommend/price/drift/stats round-robin (the PR-4 baseline mix).
+    Mixed,
+    /// Same-fingerprint strategy pricing (the batching hot path).
+    PriceHot,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Mixed => "mixed",
+            Mix::PriceHot => "price_hot",
+        }
+    }
+
+    fn request(self, schema: &StarSchema, shape: &LatticeShape, conn: usize, i: usize) -> Request {
+        match self {
+            Mix::Mixed => mixed_request(schema, shape, conn, i),
+            Mix::PriceHot => pricing_request(schema, shape, i),
+        }
+    }
+}
+
 fn fidelity_check(addr: std::net::SocketAddr, schema: &StarSchema, shape: &LatticeShape) {
     let mut client = Client::connect(addr).expect("connect");
     let w = salted_workload(shape, 99);
@@ -95,34 +144,74 @@ fn fidelity_check(addr: std::net::SocketAddr, schema: &StarSchema, shape: &Latti
     );
 }
 
-fn main() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let connections = cores.max(2);
-    let server = Server::spawn(ServerConfig::default()).expect("spawn server");
-    let addr = server.local_addr();
-    let schema = StarSchema::paper_toy();
-    let shape = LatticeShape::of_schema(&schema);
+struct RowResult {
+    mix: Mix,
+    shards: usize,
+    window: usize,
+    connections: usize,
+    requests: u64,
+    elapsed_ns: u64,
+    throughput: f64,
+    p50: u64,
+    p99: u64,
+    max: u64,
+    shed: u64,
+}
 
-    fidelity_check(addr, &schema, &shape);
-    println!("service_loopback: fidelity check passed (priced ≡ direct, bit-identical)");
-    println!(
-        "  {connections} connection(s) x {REQUESTS_PER_CONNECTION} mixed requests \
-         (recommend/price/drift/stats), {cores} worker core(s)"
-    );
+/// Runs one matrix row against a fresh server and returns its numbers.
+fn run_row(
+    schema: &StarSchema,
+    shape: &LatticeShape,
+    mix: Mix,
+    shards: usize,
+    connections: usize,
+    window: usize,
+    per_conn: usize,
+) -> RowResult {
+    let server = Server::spawn(ServerConfig {
+        shards,
+        // Wide enough that the pipeline windows never trip admission:
+        // this row measures throughput, not shedding.
+        queue_capacity: (connections * window * 2).max(128),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.local_addr();
+    fidelity_check(addr, schema, shape);
+
+    // Request construction (workload building, validation) happens before
+    // the clock starts: the row measures the service, not the client's
+    // JSON builder — which matters when clients share the server's cores.
+    let streams: Vec<Vec<Request>> = (0..connections)
+        .map(|conn| {
+            (0..per_conn)
+                .map(|i| mix.request(schema, shape, conn, i))
+                .collect()
+        })
+        .collect();
 
     let start = Instant::now();
     let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
-            .map(|conn| {
-                let schema = &schema;
-                let shape = &shape;
+        let handles: Vec<_> = streams
+            .into_iter()
+            .map(|stream| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let mut lats = Vec::with_capacity(REQUESTS_PER_CONNECTION);
-                    for i in 0..REQUESTS_PER_CONNECTION {
-                        let req = mixed_request(schema, shape, conn, i);
-                        let t0 = Instant::now();
-                        let resp = client.call(req).expect("call");
+                    let mut client = PipelinedClient::connect(addr, window).expect("connect");
+                    let mut sent_at: VecDeque<Instant> = VecDeque::new();
+                    let mut lats = Vec::with_capacity(per_conn);
+                    for req in stream {
+                        // `send` reaps the oldest in-flight response when
+                        // the window is full; its latency spans send→reap.
+                        let reaped = client.send(req).expect("send");
+                        if let Some(resp) = reaped {
+                            let t0 = sent_at.pop_front().expect("timer for reaped response");
+                            lats.push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                            assert!(resp.ok, "{:?}", resp.error);
+                        }
+                        sent_at.push_back(Instant::now());
+                    }
+                    for resp in client.finish().expect("finish") {
+                        let t0 = sent_at.pop_front().expect("timer");
                         lats.push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                         assert!(resp.ok, "{:?}", resp.error);
                     }
@@ -136,7 +225,7 @@ fn main() {
             .collect()
     });
     let elapsed = start.elapsed();
-    let requests = (connections * REQUESTS_PER_CONNECTION) as u64;
+    let requests = (connections * per_conn) as u64;
     let throughput = requests as f64 / elapsed.as_secs_f64();
     latencies_us.sort_unstable();
     let quantile = |q: f64| -> u64 {
@@ -148,44 +237,124 @@ fn main() {
         quantile(0.99),
         *latencies_us.last().unwrap(),
     );
-    println!("  {requests} requests in {:.2}s", elapsed.as_secs_f64());
-    println!("  throughput: {throughput:.0} req/s");
-    println!("  latency: p50 {p50} us, p99 {p99} us, max {max} us");
 
     let stats = server.engine().stats_body();
     let shed: u64 = stats.endpoints.iter().map(|e| e.shed).sum();
     println!(
-        "  server-side: sig-cache {}h/{}m, sessions {}, shed {shed}",
-        stats.signature_cache.hits, stats.signature_cache.misses, stats.sessions
+        "  {} shards={shards} conns={connections} window={window}: \
+         {throughput:.0} req/s, p50 {p50} us, p99 {p99} us, max {max} us, \
+         batches {} coalesced {}, shed {shed}",
+        mix.name(),
+        stats.batching.batches,
+        stats.batching.coalesced
     );
     server.join();
+
+    RowResult {
+        mix,
+        shards,
+        window,
+        connections,
+        requests,
+        elapsed_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        throughput,
+        p50,
+        p99,
+        max,
+        shed,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let per_conn: usize = std::env::var("SNAKES_BENCH_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let schema = StarSchema::paper_toy();
+    let shape = LatticeShape::of_schema(&schema);
+
+    println!("service_loopback: fidelity check runs before every timed row (priced ≡ direct)");
+    println!("  matrix rows x {per_conn} mixed requests/conn, {cores} core(s)");
+
+    // (mix, shards, connections, window). Window 1 reproduces the
+    // blocking request-response baseline shape; the single-shard
+    // wide-window `price_hot` row is the tentpole's headline number
+    // (pipelining + batched signature pricing on one core); multi-shard
+    // rows exercise cross-shard session forwarding under load (and
+    // demonstrate scaling when the host has the cores for it).
+    let mut matrix: Vec<(Mix, usize, usize, usize)> = vec![
+        (Mix::Mixed, 1, 2, 1),
+        (Mix::Mixed, 1, 2, 64),
+        (Mix::Mixed, 2, 4, 64),
+        (Mix::PriceHot, 1, 1, 64),
+        (Mix::PriceHot, 1, 2, 256),
+        (Mix::PriceHot, 2, 4, 256),
+    ];
+    if cores > 2 {
+        matrix.push((Mix::Mixed, cores, cores.min(8), 64));
+        matrix.push((Mix::PriceHot, cores, cores.min(8), 64));
+    }
+
+    let rows: Vec<RowResult> = matrix
+        .iter()
+        .map(|&(mix, shards, conns, window)| {
+            run_row(&schema, &shape, mix, shards, conns, window, per_conn)
+        })
+        .collect();
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let entry = serde_json::to_value(&TrajectoryEntry {
-        bench: "service_loopback",
-        unix_time,
-        cores,
-        connections,
-        requests,
-        elapsed_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
-        throughput_rps: throughput,
-        p50_us: p50,
-        p99_us: p99,
-        max_us: max,
-        shed,
-    })
-    .expect("entry serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok())
         .unwrap_or_default();
-    runs.push(entry);
+    for row in &rows {
+        let entry = serde_json::to_value(&TrajectoryEntry {
+            bench: "service_loopback",
+            unix_time,
+            cores,
+            workload: row.mix.name(),
+            shards: row.shards,
+            window: row.window,
+            connections: row.connections,
+            requests: row.requests,
+            elapsed_ns: row.elapsed_ns,
+            throughput_rps: row.throughput,
+            p50_us: row.p50,
+            p99_us: row.p99,
+            max_us: row.max,
+            shed: row.shed,
+        })
+        .expect("entry serializes");
+        runs.push(entry);
+    }
     let body = serde_json::to_string_pretty(&runs).expect("trajectory serializes");
     match std::fs::write(path, body) {
         Ok(()) => println!("  trajectory appended to {path}"),
         Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+
+    // Regression gate: best single-shard throughput must clear the floor.
+    let best_single_shard = rows
+        .iter()
+        .filter(|r| r.shards == 1)
+        .map(|r| r.throughput)
+        .fold(0.0f64, f64::max);
+    println!("  best single-shard throughput: {best_single_shard:.0} req/s");
+    if let Some(min_rps) = std::env::var("SNAKES_BENCH_MIN_RPS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        if best_single_shard < min_rps {
+            eprintln!(
+                "REGRESSION: best single-shard throughput {best_single_shard:.0} req/s \
+                 is below the SNAKES_BENCH_MIN_RPS={min_rps} floor"
+            );
+            std::process::exit(1);
+        }
+        println!("  regression gate passed (floor {min_rps} req/s)");
     }
 }

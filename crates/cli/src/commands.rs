@@ -512,7 +512,9 @@ pub fn build_request(
 }
 
 /// Builds the server configuration for `snakes serve` from `--addr`,
-/// `--workers`, `--queue`, `--retry-after-ms`, `--fault-plan`
+/// `--workers`, `--shards` (event-loop shards for the nonblocking core;
+/// defaults to `--workers`, then one per core), `--queue`,
+/// `--retry-after-ms`, `--fault-plan`
 /// (a `key=value,...` fault spec for chaos testing — see
 /// [`snakes_service::FaultConfig::parse`]), and `--data-dir` (a durable
 /// data directory: drift sessions and idempotent responses are
@@ -537,6 +539,12 @@ pub fn serve_config(
             .transpose()
             .map_err(|e| CliError::Usage(format!("bad --workers: {e}")))?
             .unwrap_or(defaults.workers),
+        shards: flags
+            .get("shards")
+            .map(|s| s.parse::<usize>())
+            .transpose()
+            .map_err(|e| CliError::Usage(format!("bad --shards: {e}")))?
+            .unwrap_or(defaults.shards),
         queue_capacity: flags
             .get("queue")
             .map(|s| s.parse::<usize>())
@@ -1022,6 +1030,7 @@ mod tests {
         let flags: std::collections::HashMap<String, String> = [
             ("addr", "127.0.0.1:0"),
             ("workers", "2"),
+            ("shards", "3"),
             ("queue", "7"),
             ("retry-after-ms", "9"),
             ("fault-plan", "seed=42,panic=5,torn=3"),
@@ -1033,7 +1042,13 @@ mod tests {
         let config = serve_config(&flags).unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.workers, 2);
+        assert_eq!(config.shards, 3);
         assert_eq!(config.queue_capacity, 7);
+        assert_eq!(
+            serve_config(&Default::default()).unwrap().shards,
+            0,
+            "shards default to --workers, then one per core"
+        );
         assert_eq!(config.retry_after_ms, 9);
         assert_eq!(
             config.data_dir.as_deref(),

@@ -11,8 +11,8 @@
 //! snakes reorg    --schema schema.json --workload workload.json \
 //!                 --path 0,0,1,1 --cost 5000
 //! snakes sweep    [--records N] [--number W] [--threads N]
-//! snakes serve    [--addr H:P] [--workers N] [--queue N] [--metrics-every S]
-//!                 [--data-dir DIR] [--fault-plan SPEC]
+//! snakes serve    [--addr H:P] [--workers N] [--shards N] [--queue N]
+//!                 [--metrics-every S] [--data-dir DIR] [--fault-plan SPEC]
 //! snakes call     [--addr H:P] --endpoint recommend --schema s.json \
 //!                 --workload w.json
 //! ```

@@ -22,9 +22,9 @@ fn main() {
                  \u{20}      snakes drift [--records N] [--epochs E] [--changes C] \
                  [--magnitude M] [--seed S] [--measure] [--threads N] \
                  [--engine cells|runs|auto]\n\
-                 \u{20}      snakes serve [--addr H:P] [--workers N] [--queue N] \
-                 [--retry-after-ms MS] [--metrics-every SECS] [--data-dir DIR] \
-                 [--fault-plan SPEC]\n\
+                 \u{20}      snakes serve [--addr H:P] [--workers N] [--shards N] \
+                 [--queue N] [--retry-after-ms MS] [--metrics-every SECS] \
+                 [--data-dir DIR] [--fault-plan SPEC]\n\
                  \u{20}      snakes call [--addr H:P] --request r.json | --endpoint E \
                  [--schema s.json] [--workload w.json] [--strategy d0,d1,...] \
                  [--kind hilbert] [--plain] [--session S] [--deltas d.json] \

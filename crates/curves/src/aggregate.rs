@@ -365,6 +365,35 @@ impl SignatureCache {
         }
     }
 
+    /// As [`SignatureCache::get_or_compute`], but the linearization is
+    /// built only on a cache miss. A hot cache answers without paying for
+    /// curve construction at all — the fast path for servers pricing the
+    /// same strategies over and over.
+    ///
+    /// # Panics
+    ///
+    /// As [`SignatureCache::get_or_compute`].
+    pub fn get_or_compute_with<L: Linearization>(
+        &mut self,
+        schema: &StarSchema,
+        id: &StrategyId,
+        lin: impl FnOnce() -> L,
+    ) -> &WholeLatticeCosts {
+        let key = Self::key(schema, id);
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                metrics::record_cache_hit();
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                metrics::record_cache_miss();
+                e.insert(aggregate_class_costs(schema, &lin()))
+            }
+        }
+    }
+
     /// The cached table for `(schema, id)`, if present.
     pub fn get(&self, schema: &StarSchema, id: &StrategyId) -> Option<&WholeLatticeCosts> {
         self.map.get(&Self::key(schema, id))

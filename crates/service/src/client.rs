@@ -3,6 +3,9 @@
 //! * [`Client`] — the minimal blocking TCP client: one request in flight
 //!   per connection, no retries. Open several connections for
 //!   concurrency.
+//! * [`PipelinedClient`] — keeps a window of requests in flight on one
+//!   connection and reaps responses in request order; the way to saturate
+//!   the sharded core from few connections.
 //! * [`RetryingClient`] — the production client: generic over a
 //!   [`Transport`]/[`Dialer`] pair, it retries transient failures with
 //!   capped exponential backoff plus deterministic jitter, honors the
@@ -13,6 +16,7 @@
 use crate::error::ServiceError;
 use crate::fault::SplitMix64;
 use crate::protocol::{Request, Response};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
@@ -82,6 +86,115 @@ impl Client {
     /// As [`Client::call`].
     pub fn shutdown(&mut self) -> Result<Response, ServiceError> {
         self.call(Request::new("shutdown"))
+    }
+}
+
+/// A pipelining protocol client: up to `window` requests in flight on one
+/// TCP connection, responses reaped strictly in request order (the
+/// server's per-connection ordering guarantee).
+///
+/// Keep the window at or below the server's queue capacity — a window
+/// wider than the admission bound just converts the excess into
+/// `overloaded` shed responses.
+pub struct PipelinedClient {
+    /// Buffered: frames accumulate and flush in one syscall right before
+    /// the client blocks on a response, so back-to-back sends coalesce
+    /// into large TCP segments.
+    writer: std::io::BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    window: usize,
+    pending: VecDeque<u64>,
+}
+
+impl PipelinedClient {
+    /// Connects with the given in-flight window (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs, window: usize) -> std::io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = std::io::BufWriter::new(stream.try_clone()?);
+        Ok(PipelinedClient {
+            writer,
+            reader: BufReader::new(stream),
+            next_id: 1,
+            window: window.max(1),
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Sends one request without waiting for its response. When the
+    /// window is full, first reaps (and returns) the oldest in-flight
+    /// response; otherwise returns `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`]: transport failures and malformed or
+    /// out-of-order response lines. Server-side failures come back as
+    /// `ok: false` responses from [`PipelinedClient::finish`].
+    pub fn send(&mut self, mut request: Request) -> Result<Option<Response>, ServiceError> {
+        let reaped = if self.pending.len() >= self.window {
+            Some(self.reap_one()?)
+        } else {
+            None
+        };
+        if request.id == 0 {
+            request.id = self.next_id;
+            self.next_id += 1;
+        }
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.pending.push_back(request.id);
+        Ok(reaped)
+    }
+
+    /// Reaps every remaining in-flight response, in request order.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::send`].
+    pub fn finish(&mut self) -> Result<Vec<Response>, ServiceError> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            out.push(self.reap_one()?);
+        }
+        Ok(out)
+    }
+
+    /// How many requests are currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn reap_one(&mut self) -> Result<Response, ServiceError> {
+        let expected = self
+            .pending
+            .pop_front()
+            .expect("reap_one called with an empty window");
+        // Everything buffered must be on the wire before blocking on the
+        // response.
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServiceError::Protocol(
+                "server closed the connection".into(),
+            ));
+        }
+        let response = Response::parse(&reply)
+            .map_err(|e| ServiceError::Protocol(format!("malformed response: {e}")))?;
+        if response.id != expected {
+            return Err(ServiceError::Protocol(format!(
+                "pipelined response id {} arrived out of order (expected {})",
+                response.id, expected
+            )));
+        }
+        Ok(response)
     }
 }
 

@@ -33,7 +33,7 @@ use snakes_storage::pool::BufferPool;
 use snakes_storage::wal::{Backend, Wal};
 use std::io::{self, Cursor, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// WAL file name inside the data directory.
@@ -223,6 +223,14 @@ pub(crate) struct Durability {
     pub(crate) recoveries: u64,
     /// Sessions rebuilt by that recovery.
     pub(crate) recovered_sessions: u64,
+    /// When set (group commit), [`Durability::append`] skips the per-entry
+    /// fsync and [`Durability::flush`] syncs the whole batch at once. The
+    /// sharded core flushes once per event-loop tick before releasing any
+    /// of the tick's responses, so "durable before acknowledged" holds
+    /// under either mode.
+    deferred_sync: AtomicBool,
+    /// Appends since the last sync; tells `flush` whether an fsync is due.
+    dirty: AtomicBool,
 }
 
 impl Durability {
@@ -273,12 +281,22 @@ impl Durability {
             checkpoints: AtomicU64::new(0),
             recoveries: u64::from(out.recovered),
             recovered_sessions: out.sessions.len() as u64,
+            deferred_sync: AtomicBool::new(false),
+            dirty: AtomicBool::new(false),
         };
         Ok((durability, out))
     }
 
-    /// Appends one entry and syncs it to stable storage. Once this
-    /// returns `Ok`, the entry survives any crash.
+    /// Switches between per-append fsync (default) and group commit.
+    pub fn set_deferred_sync(&self, enabled: bool) {
+        self.deferred_sync.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Appends one entry. In the default mode it is synced immediately —
+    /// once this returns `Ok`, the entry survives any crash. Under group
+    /// commit ([`Durability::set_deferred_sync`]) the entry is staged in
+    /// the log and becomes crash-durable at the next [`Durability::flush`];
+    /// the caller must not acknowledge it before then.
     ///
     /// # Errors
     ///
@@ -288,10 +306,35 @@ impl Durability {
         let json = serde_json::to_string(entry).map_err(invalid("log encode"))?;
         let mut wal = self.wal.lock();
         let lsn = wal.append(json.as_bytes())?;
-        wal.sync()?;
+        if self.deferred_sync.load(Ordering::Relaxed) {
+            // Mark dirty while still holding the WAL lock, so a racing
+            // flush cannot observe clean-then-miss this append.
+            self.dirty.store(true, Ordering::Relaxed);
+        } else {
+            wal.sync()?;
+        }
         self.appends_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
         Ok(lsn)
+    }
+
+    /// Syncs every staged append in one fsync (no-op when clean).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync failure — the staged entries are then *not*
+    /// durable and their acknowledgements must be withheld (the WAL is
+    /// poisoned, so subsequent mutations fail fail-stop).
+    pub fn flush(&self) -> io::Result<()> {
+        if !self.dirty.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let mut wal = self.wal.lock();
+        // Re-check under the lock: a concurrent flush may have won.
+        if self.dirty.swap(false, Ordering::Relaxed) {
+            wal.sync()?;
+        }
+        Ok(())
     }
 
     /// Whether enough appends have accumulated to warrant a checkpoint.
@@ -317,6 +360,9 @@ impl Durability {
         let blob = encode_checkpoint(ckpt)?;
         self.media.write_checkpoint_bytes(&blob)?;
         wal.truncate()?;
+        // Any staged-but-unsynced appends were folded into the (synced)
+        // checkpoint blob, and the log is empty: nothing left to flush.
+        self.dirty.store(false, Ordering::Relaxed);
         self.appends_since_checkpoint.store(0, Ordering::Relaxed);
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())

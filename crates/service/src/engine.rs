@@ -24,6 +24,7 @@ use snakes_core::dp::IncrementalDp;
 use snakes_core::lattice::LatticeShape;
 use snakes_core::path::LatticePath;
 use snakes_core::schema::StarSchema;
+use snakes_core::session::session_shard;
 use snakes_core::workload::{VersionedWorkload, Workload, WorkloadDelta};
 use snakes_curves::{
     path_curve, snaked_path_curve, CompactHilbert, Linearization, SignatureCache, StrategyId,
@@ -106,12 +107,107 @@ const IDEMPOTENCY_CAPACITY: usize = 1 << 16;
 /// authoritative response is stored.
 type IdempotencySlot = Arc<Mutex<Option<Response>>>;
 
+/// The drift-session registry, striped by [`session_shard`] so the
+/// sharded core's exclusive-ownership discipline maps one stripe to one
+/// shard. Each stripe keeps its own mutex: under the ownership discipline
+/// it is uncontended (only the owning shard locks it on the request path;
+/// `stats`, checkpoints and state probes touch other stripes rarely), and
+/// with the legacy blocking core every worker may lock every stripe, which
+/// is exactly the old global-lock behavior split `n` ways.
+struct SessionMap {
+    stripes: Vec<Mutex<HashMap<String, Arc<Mutex<DriftSession>>>>>,
+}
+
+impl SessionMap {
+    fn new(stripes: usize) -> Self {
+        SessionMap {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn stripe(&self, name: &str) -> &Mutex<HashMap<String, Arc<Mutex<DriftSession>>>> {
+        &self.stripes[session_shard(name, self.stripes.len())]
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<Mutex<DriftSession>>> {
+        self.stripe(name).lock().get(name).map(Arc::clone)
+    }
+
+    fn insert(&self, name: String, session: Arc<Mutex<DriftSession>>) {
+        self.stripe(&name).lock().insert(name, session);
+    }
+
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Handles to every session, across all stripes.
+    fn handles(&self) -> Vec<(String, Arc<Mutex<DriftSession>>)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock();
+            out.extend(stripe.iter().map(|(k, v)| (k.clone(), Arc::clone(v))));
+        }
+        out
+    }
+}
+
+/// Exact identity of one `price` computation: schema fingerprint, strategy
+/// and the workload's probability vector bit-for-bit. Two requests with
+/// equal keys are guaranteed the same `expected_cost` bits.
+#[derive(PartialEq, Eq, Hash)]
+struct PriceKey {
+    schema: u64,
+    strategy: StrategyId,
+    probs: Vec<u64>,
+}
+
+/// Exact identity of one `recommend` computation.
+#[derive(PartialEq, Eq, Hash)]
+struct RecommendKey {
+    schema: u64,
+    probs: Vec<u64>,
+}
+
+/// A per-tick coalescing scope for same-fingerprint read-only work.
+///
+/// The sharded core creates one scope per event-loop tick and threads it
+/// through every request executed in that tick via
+/// [`Engine::handle_batched`]. The first request for a given
+/// (schema, strategy, workload) key performs the real SignatureCache
+/// dot-product pass; followers in the same tick reuse its result. The
+/// fan-out is bit-identical to serial evaluation: a serial follower would
+/// hit the signature cache and recompute the identical dot product over
+/// the identical probability vector, reporting `cache_hit: true` — which
+/// is precisely what the scope replays. Entries keyed on full probability
+/// bits, never on a lossy hash, so a collision cannot cross-contaminate.
+#[derive(Default)]
+pub struct BatchScope {
+    prices: HashMap<PriceKey, Memoized<f64>>,
+    recommendations: HashMap<RecommendKey, Memoized<RecommendationBody>>,
+}
+
+/// A memoized leader result plus whether this key already counted toward
+/// the `stats.batching.batches` gauge (first follower counts the batch).
+struct Memoized<T> {
+    value: T,
+    counted: bool,
+}
+
+impl BatchScope {
+    /// A fresh, empty scope (one per tick — or per call, which disables
+    /// coalescing and reproduces strictly serial behavior).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The shared advisor state. One engine serves every connection of a
 /// server; `Arc<Engine>` is the unit of sharing.
 pub struct Engine {
     signatures: Mutex<SignatureCache>,
     memo: SharedCostMemo,
-    sessions: Mutex<HashMap<String, Arc<Mutex<DriftSession>>>>,
+    sessions: SessionMap,
     idempotency: Mutex<HashMap<String, IdempotencySlot>>,
     /// Durable substrate (WAL + checkpoints); `None` runs in-memory only.
     durability: Option<Durability>,
@@ -137,7 +233,7 @@ impl Engine {
         Engine {
             signatures: Mutex::new(SignatureCache::new()),
             memo: SharedCostMemo::new(),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: SessionMap::new(1),
             idempotency: Mutex::new(HashMap::new()),
             durability: None,
             measure_pool: Mutex::new(PoolStats::default()),
@@ -150,13 +246,23 @@ impl Engine {
     }
 
     /// As [`Engine::new`], recording the server's worker count and queue
-    /// capacity for the `stats` endpoint.
+    /// capacity for the `stats` endpoint. The session registry is striped
+    /// `workers` ways ([`session_shard`] picks the stripe), so a sharded
+    /// server built with `workers == shards` gets a one-to-one mapping
+    /// from session stripes to owning shards.
     pub fn with_limits(workers: usize, queue_capacity: usize) -> Self {
         Engine {
             workers: workers as u64,
             queue_capacity: queue_capacity as u64,
+            sessions: SessionMap::new(workers.max(1)),
             ..Engine::new()
         }
+    }
+
+    /// The number of session stripes (equal to the shard count the engine
+    /// was built for; `1` for a default engine).
+    pub fn session_stripes(&self) -> usize {
+        self.sessions.stripes.len()
     }
 
     /// Arms deterministic fault injection: every executed request rolls
@@ -183,7 +289,7 @@ impl Engine {
     pub fn with_durability(mut self, media: Media) -> io::Result<Self> {
         let corrupt = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
         let (durability, recovered) = Durability::open(media)?;
-        let mut sessions = HashMap::new();
+        let sessions = SessionMap::new(self.sessions.stripes.len());
         for snap in recovered.sessions {
             let schema = snap
                 .schema
@@ -207,10 +313,39 @@ impl Engine {
         for snap in recovered.idempotency {
             idempotency.insert(snap.key, Arc::new(Mutex::new(Some(snap.response))));
         }
-        self.sessions = Mutex::new(sessions);
+        self.sessions = sessions;
         self.idempotency = Mutex::new(idempotency);
         self.durability = Some(durability);
         Ok(self)
+    }
+
+    /// Switches the WAL to group commit: appends buffer in the log and
+    /// [`Engine::flush_wal`] performs one fsync for the whole batch. The
+    /// sharded core enables this and flushes once per event-loop tick,
+    /// *before* releasing any of the tick's responses to sockets — so the
+    /// "durable before acknowledged" contract is preserved while the
+    /// fsync cost is amortized across every commit in the tick. Without
+    /// this call each append syncs individually (the legacy core's
+    /// behavior, and what direct [`Engine::handle`] callers get).
+    pub fn set_group_commit(&self, enabled: bool) {
+        if let Some(d) = &self.durability {
+            d.set_deferred_sync(enabled);
+        }
+    }
+
+    /// Forces buffered WAL appends to disk (one fsync, no-op when clean
+    /// or when durability is off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync failure; the WAL is then poisoned and every
+    /// subsequent mutation fails, so callers must treat an error here as
+    /// fail-stop and withhold the tick's acknowledgements.
+    pub fn flush_wal(&self) -> io::Result<()> {
+        match &self.durability {
+            Some(d) => d.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Executes one request. Transport errors aside, every failure is
@@ -229,8 +364,23 @@ impl Engine {
     /// Only under an armed fault plan (injected handler panics); the
     /// server's workers catch those and answer in-band.
     pub fn handle(&self, req: &Request, deadline: &Deadline) -> Response {
+        // A fresh scope per call coalesces nothing: strictly serial
+        // behavior, and the oracle the batched path is tested against.
+        self.handle_batched(req, deadline, &mut BatchScope::new())
+    }
+
+    /// As [`Engine::handle`], coalescing same-fingerprint `price` and
+    /// `recommend` computations through `scope`. The sharded core passes
+    /// one scope per event-loop tick; results are bit-identical to calling
+    /// [`Engine::handle`] once per request (see [`BatchScope`]).
+    pub fn handle_batched(
+        &self,
+        req: &Request,
+        deadline: &Deadline,
+        scope: &mut BatchScope,
+    ) -> Response {
         let resp = match req.idempotency_key.as_deref().filter(|k| !k.is_empty()) {
-            None => self.execute(req, deadline),
+            None => self.execute(req, deadline, scope),
             Some(key) => {
                 let slot = self.claim_slot(key);
                 let mut slot = slot.lock();
@@ -243,7 +393,7 @@ impl Engine {
                         resp
                     }
                     None => {
-                        let resp = self.execute(req, deadline);
+                        let resp = self.execute(req, deadline, scope);
                         if is_authoritative(&resp) {
                             self.registry.record_idempotency_stored();
                             *slot = Some(resp.clone());
@@ -299,10 +449,7 @@ impl Engine {
     /// `(workload version, class probabilities)` of a drift session, for
     /// state-equivalence checks. `None` for unknown sessions.
     pub fn session_state(&self, name: &str) -> Option<(u64, Vec<f64>)> {
-        let session = {
-            let sessions = self.sessions.lock();
-            Arc::clone(sessions.get(name)?)
-        };
+        let session = self.sessions.get(name)?;
         let session = session.lock();
         Some((
             session.versioned.version(),
@@ -310,7 +457,7 @@ impl Engine {
         ))
     }
 
-    fn execute(&self, req: &Request, deadline: &Deadline) -> Response {
+    fn execute(&self, req: &Request, deadline: &Deadline, scope: &mut BatchScope) -> Response {
         if let Some(plan) = &self.fault {
             plan.perturb(request_token(
                 &req.endpoint,
@@ -319,8 +466,8 @@ impl Engine {
             ));
         }
         let result = match req.endpoint.as_str() {
-            "recommend" => self.recommend(req, deadline),
-            "price" => self.price(req, deadline),
+            "recommend" => self.recommend(req, deadline, scope),
+            "price" => self.price(req, deadline, scope),
             "drift" => self.drift(req, deadline),
             "explain" => self.explain(req, deadline),
             "stats" => self.stats(req),
@@ -350,35 +497,97 @@ impl Engine {
         Ok((schema, workload))
     }
 
-    fn recommend(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
+    fn recommend(
+        &self,
+        req: &Request,
+        deadline: &Deadline,
+        scope: &mut BatchScope,
+    ) -> Result<Response, ServiceError> {
         let (schema, workload) = self.parse_inputs(req)?;
         deadline.check()?;
-        let model = CostModel::of_schema(&schema);
-        let rec = recommend_with_model(&model, &workload);
+        let key = RecommendKey {
+            schema: schema.fingerprint(),
+            probs: workload.probs().iter().map(|p| p.to_bits()).collect(),
+        };
+        let body = match scope.recommendations.get_mut(&key) {
+            Some(memo) => {
+                // Same tick, same inputs: the recommendation is a pure
+                // function of (schema, workload), so the fan-out clones
+                // the leader's body — byte-identical to recomputing it.
+                self.registry.record_batch_follower(&mut memo.counted);
+                memo.value.clone()
+            }
+            None => {
+                let model = CostModel::of_schema(&schema);
+                let rec = recommend_with_model(&model, &workload);
+                let body = recommendation_body(&rec);
+                scope.recommendations.insert(
+                    key,
+                    Memoized {
+                        value: body.clone(),
+                        counted: false,
+                    },
+                );
+                body
+            }
+        };
         Ok(Response {
-            recommendation: Some(recommendation_body(&rec)),
+            recommendation: Some(body),
             ..Response::ok(req.id)
         })
     }
 
-    fn price(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
+    fn price(
+        &self,
+        req: &Request,
+        deadline: &Deadline,
+        scope: &mut BatchScope,
+    ) -> Result<Response, ServiceError> {
         let (schema, workload) = self.parse_inputs(req)?;
         let strategy = req
             .strategy
             .clone()
             .ok_or_else(|| ServiceError::BadRequest("`strategy` is required".into()))?;
-        let (curve, id, label) = resolve_strategy(&schema, &strategy)?;
+        let (lazy, id, label) = resolve_strategy(&schema, &strategy)?;
         deadline.check()?;
-        let (expected_cost, cache_hit) = {
-            let mut cache = self.signatures.lock();
-            let hits_before = cache.hits();
-            let table = cache.get_or_compute(&schema, &curve, &id);
-            (table.expected_cost(&workload), cache.hits() > hits_before)
+        let key = PriceKey {
+            schema: schema.fingerprint(),
+            strategy: id.clone(),
+            probs: workload.probs().iter().map(|p| p.to_bits()).collect(),
+        };
+        let (expected_cost, cache_hit) = match scope.prices.get_mut(&key) {
+            Some(memo) => {
+                // A same-tick leader already ran this exact dot product.
+                // Serially, this request would hit the signature cache and
+                // recompute the identical product over identical bits, so
+                // replaying (leader cost, cache_hit: true) is bit-exact.
+                self.registry.record_batch_follower(&mut memo.counted);
+                (memo.value, true)
+            }
+            None => {
+                let (cost, hit) = {
+                    let mut cache = self.signatures.lock();
+                    let hits_before = cache.hits();
+                    // The curve is built only on a signature-cache miss:
+                    // the steady-state pricing path never walks the grid.
+                    let table = cache.get_or_compute_with(&schema, &id, || lazy.build(&schema));
+                    (table.expected_cost(&workload), cache.hits() > hits_before)
+                };
+                scope.prices.insert(
+                    key,
+                    Memoized {
+                        value: cost,
+                        counted: false,
+                    },
+                );
+                (cost, hit)
+            }
         };
         deadline.check()?;
         let measured = match &req.measure {
             None => None,
             Some(m) => {
+                let curve = lazy.build(&schema);
                 let cells = schema.num_cells();
                 if cells > MAX_MEASURE_CELLS {
                     return Err(ServiceError::BadRequest(format!(
@@ -453,8 +662,8 @@ impl Engine {
             .clone()
             .ok_or_else(|| ServiceError::BadRequest("`session` is required".into()))?;
         let session = {
-            let mut sessions = self.sessions.lock();
-            match sessions.get(&name) {
+            let mut stripe = self.sessions.stripe(&name).lock();
+            match stripe.get(&name) {
                 Some(s) => Arc::clone(s),
                 None => {
                     let (schema, workload) = self.parse_inputs(req).map_err(|e| {
@@ -469,7 +678,7 @@ impl Engine {
                         versioned: VersionedWorkload::new(workload),
                         dp: IncrementalDp::new(model),
                     }));
-                    sessions.insert(name.clone(), Arc::clone(&s));
+                    stripe.insert(name.clone(), Arc::clone(&s));
                     s
                 }
             }
@@ -589,7 +798,7 @@ impl Engine {
                 .registry
                 .queue_depth
                 .load(std::sync::atomic::Ordering::Relaxed),
-            sessions: self.sessions.lock().len() as u64,
+            sessions: self.sessions.len() as u64,
             signature_cache,
             cost_memo: CacheStatsBody {
                 hits: self.memo.hits(),
@@ -612,6 +821,7 @@ impl Engine {
                 .registry
                 .panics_caught
                 .load(std::sync::atomic::Ordering::Relaxed),
+            batching: self.registry.batching_body(),
             storage: self.storage_stats_body(),
         }
     }
@@ -669,13 +879,7 @@ impl Engine {
         // session try-locks below never block, so no deadlock with
         // drift's session-then-WAL order.
         let mut wal = d.wal.lock();
-        let handles: Vec<(String, Arc<Mutex<DriftSession>>)> = {
-            let sessions = self.sessions.lock();
-            sessions
-                .iter()
-                .map(|(k, v)| (k.clone(), Arc::clone(v)))
-                .collect()
-        };
+        let handles: Vec<(String, Arc<Mutex<DriftSession>>)> = self.sessions.handles();
         let mut snaps = Vec::with_capacity(handles.len());
         for (name, session) in &handles {
             let Some(session) = session.try_lock() else {
@@ -766,26 +970,47 @@ impl Linearization for WireCurve {
     }
 }
 
+/// A validated strategy whose grid walk has not been materialized yet.
+/// Curve construction enumerates the whole grid — deferring it lets the
+/// pricing fast path (signature-cache hits and same-tick batch followers)
+/// skip it entirely.
+enum LazyCurve {
+    Path { path: LatticePath, snaked: bool },
+    Hilbert,
+}
+
+impl LazyCurve {
+    /// Materializes the linearization (the expensive step).
+    fn build(&self, schema: &StarSchema) -> WireCurve {
+        match self {
+            LazyCurve::Path { path, snaked } => WireCurve::Path(if *snaked {
+                snaked_path_curve(schema, path)
+            } else {
+                path_curve(schema, path)
+            }),
+            LazyCurve::Hilbert => WireCurve::Hilbert(CompactHilbert::new(schema.grid_shape())),
+        }
+    }
+}
+
 fn resolve_strategy(
     schema: &StarSchema,
     spec: &StrategySpec,
-) -> Result<(WireCurve, StrategyId, String), ServiceError> {
+) -> Result<(LazyCurve, StrategyId, String), ServiceError> {
     match (&spec.dims, spec.kind.as_deref()) {
         (Some(dims), None) => {
             let shape = LatticeShape::of_schema(schema);
             let path = LatticePath::from_dims(shape, dims.clone())?;
-            let curve = if spec.snaked {
-                snaked_path_curve(schema, &path)
-            } else {
-                path_curve(schema, &path)
-            };
             let label = if spec.snaked {
                 format!("{path} (snaked)")
             } else {
                 path.to_string()
             };
             Ok((
-                WireCurve::Path(curve),
+                LazyCurve::Path {
+                    path,
+                    snaked: spec.snaked,
+                },
                 StrategyId::Path {
                     dims: dims.clone(),
                     snaked: spec.snaked,
@@ -794,7 +1019,7 @@ fn resolve_strategy(
             ))
         }
         (None, Some("hilbert")) => Ok((
-            WireCurve::Hilbert(CompactHilbert::new(schema.grid_shape())),
+            LazyCurve::Hilbert,
             StrategyId::Named("hilbert".into()),
             "hilbert".into(),
         )),

@@ -15,11 +15,18 @@
 //! * `stats` — cache hit rates, per-endpoint latency histograms, queue
 //!   depth.
 //!
-//! The daemon is plain `std::net` + threads: a bounded admission queue
-//! sheds load instead of stalling, per-request deadlines cancel
-//! cooperatively, and `shutdown`/SIGTERM drains without losing in-flight
-//! responses. Every answer is bit-identical to the corresponding direct
-//! library call.
+//! The daemon is plain `std` — no async runtime: a hand-rolled epoll
+//! readiness loop drives per-core worker [shards](shard), each owning a
+//! partition of connections and drift-session stripes (cross-shard
+//! requests forward over [SPSC mailboxes](spsc) instead of locking). The
+//! JSON-lines protocol is pipelined — many in-flight frames per
+//! connection, responses in request order — and same-fingerprint
+//! `price`/`recommend` requests landing in one tick coalesce into a
+//! single signature-cache pass. A bounded run queue sheds load instead of
+//! stalling (backoff hints scale with the measured drain rate),
+//! per-request deadlines cancel cooperatively, and `shutdown`/SIGTERM
+//! drains without losing in-flight responses. Every answer is
+//! bit-identical to the corresponding direct library call.
 //!
 //! ```no_run
 //! use snakes_service::{Client, Request, Server, ServerConfig};
@@ -46,15 +53,22 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
+pub mod shard;
 pub mod sim;
+pub mod spsc;
 
-pub use client::{Client, Dialer, RetryPolicy, RetryStats, RetryingClient, TcpDialer, Transport};
+pub use client::{
+    Client, Dialer, PipelinedClient, RetryPolicy, RetryStats, RetryingClient, TcpDialer, Transport,
+};
 pub use durability::Media;
-pub use engine::{Deadline, Engine};
+pub use engine::{BatchScope, Deadline, Engine};
 pub use error::ServiceError;
 pub use fault::{FaultConfig, FaultPlan};
 pub use metrics::{Endpoint, Registry};
 pub use protocol::{Request, Response, PROTOCOL_VERSION};
+pub use reactor::{EpollReactor, Reactor, ShardStream, SimReactor, TcpShardStream, Waker};
 pub use server::{metrics_digest, serve_forever, Core, Server, ServerConfig, MAX_LINE_BYTES};
-pub use sim::{run_schedule, SimConfig, SimReport, SimServer};
+pub use shard::{ShardedConfig, ShardedCore};
+pub use sim::{run_schedule, run_schedule_kind, SimConfig, SimCoreKind, SimReport, SimServer};

@@ -2,7 +2,7 @@
 //! latency histograms, surfaced through the `stats` endpoint and the
 //! `snakes serve --metrics-every` ticker.
 
-use crate::protocol::EndpointStatsBody;
+use crate::protocol::{BatchingStatsBody, EndpointStatsBody};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -201,7 +201,26 @@ pub struct Registry {
     pub idempotency_stored: AtomicU64,
     /// Handler panics caught in workers and surfaced in-band.
     pub panics_caught: AtomicU64,
+    /// Distinct same-tick coalescing groups (a leader that gained at
+    /// least one follower).
+    pub batches: AtomicU64,
+    /// Requests that reused a same-tick leader's result instead of
+    /// running their own SignatureCache / recommendation pass.
+    pub batch_coalesced: AtomicU64,
+    /// Exponentially weighted mean of per-request execution time, stored
+    /// as `f64` nanoseconds in bits. Zero until the first sample. Feeds
+    /// [`Registry::suggested_retry_after_ms`].
+    pub service_ns_ewma: AtomicU64,
 }
+
+/// EWMA smoothing factor for [`Registry::service_ns_ewma`]: each sample
+/// contributes 1/8 — stable under bursts yet tracks load shifts within a
+/// few dozen requests.
+const EWMA_ALPHA: f64 = 0.125;
+
+/// Ceiling for drain-rate-scaled retry hints (10 s): a saturated queue
+/// should back clients off firmly, not strand them for minutes.
+const MAX_RETRY_AFTER_MS: u64 = 10_000;
 
 impl Registry {
     /// An empty registry.
@@ -249,6 +268,55 @@ impl Registry {
     /// Records a caught handler panic.
     pub fn record_panic_caught(&self) {
         self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch follower: a request that reused a same-tick
+    /// leader's result. `counted` is the leader entry's "already counted
+    /// as a batch" flag — the first follower also counts the group.
+    pub fn record_batch_follower(&self, counted: &mut bool) {
+        if !*counted {
+            *counted = true;
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batch_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `stats.batching` wire body.
+    pub fn batching_body(&self) -> BatchingStatsBody {
+        BatchingStatsBody {
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced: self.batch_coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds one measured execution time into the service-time EWMA.
+    pub fn record_service_time(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos().min(u128::from(u64::MAX)) as f64;
+        // Racy read-modify-write is fine: the EWMA feeds an advisory
+        // retry hint, and losing a sample under contention skews nothing.
+        let prev = f64::from_bits(self.service_ns_ewma.load(Ordering::Relaxed));
+        let next = if prev == 0.0 {
+            sample
+        } else {
+            prev + EWMA_ALPHA * (sample - prev)
+        };
+        self.service_ns_ewma
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// A load-shed retry hint scaled to the measured queue drain rate:
+    /// roughly how long until `queue_depth` requests ahead of the retry
+    /// have been served, given the smoothed per-request service time.
+    /// Falls back to `fallback` (the configured constant) before any
+    /// sample lands; always at least 1 ms and at most 10 s.
+    pub fn suggested_retry_after_ms(&self, fallback: u64) -> u64 {
+        let ewma_ns = f64::from_bits(self.service_ns_ewma.load(Ordering::Relaxed));
+        if ewma_ns <= 0.0 {
+            return fallback.clamp(1, MAX_RETRY_AFTER_MS);
+        }
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        let drain_ms = ((depth + 1) as f64 * ewma_ns / 1e6).ceil() as u64;
+        drain_ms.clamp(1, MAX_RETRY_AFTER_MS)
     }
 
     /// Wire bodies for every endpoint, in [`ENDPOINTS`] order.
@@ -306,5 +374,39 @@ mod tests {
         let bodies = r.to_bodies();
         assert_eq!(bodies.len(), ENDPOINTS.len());
         assert_eq!(bodies[1].endpoint, "price");
+    }
+
+    #[test]
+    fn batching_counters_count_groups_and_followers() {
+        let r = Registry::new();
+        let mut counted = false;
+        r.record_batch_follower(&mut counted);
+        r.record_batch_follower(&mut counted);
+        let mut counted2 = false;
+        r.record_batch_follower(&mut counted2);
+        let body = r.batching_body();
+        assert_eq!(body.batches, 2, "two distinct leader entries");
+        assert_eq!(body.coalesced, 3, "three followers total");
+    }
+
+    #[test]
+    fn retry_hint_scales_with_queue_depth_and_service_time() {
+        let r = Registry::new();
+        // No samples yet: the configured constant wins.
+        assert_eq!(r.suggested_retry_after_ms(50), 50);
+        // 2 ms per request, 9 queued ahead → ~20 ms to drain past us.
+        for _ in 0..64 {
+            r.record_service_time(Duration::from_millis(2));
+        }
+        r.queue_depth.store(9, Ordering::Relaxed);
+        let hint = r.suggested_retry_after_ms(50);
+        assert!((15..=25).contains(&hint), "hint {hint} ∉ [15, 25]");
+        // Deeper queue → proportionally longer hint.
+        r.queue_depth.store(99, Ordering::Relaxed);
+        let deeper = r.suggested_retry_after_ms(50);
+        assert!(deeper > hint * 5, "deeper {deeper} vs {hint}");
+        // Never below 1 ms, never above the 10 s ceiling.
+        r.queue_depth.store(u64::MAX / 2, Ordering::Relaxed);
+        assert_eq!(r.suggested_retry_after_ms(50), 10_000);
     }
 }

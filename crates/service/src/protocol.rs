@@ -594,6 +594,19 @@ pub struct StorageStatsBody {
     pub physical_writes: u64,
 }
 
+/// Same-tick request-coalescing counters of the `stats` payload. Only the
+/// sharded core batches (the legacy blocking core executes one request per
+/// worker at a time), so both gauges stay 0 there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchingStatsBody {
+    /// Distinct coalescing groups: a leader computation that at least one
+    /// same-tick follower reused.
+    pub batches: u64,
+    /// Requests answered from a same-tick leader's result instead of
+    /// running their own signature-cache / recommendation pass.
+    pub coalesced: u64,
+}
+
 /// The `stats` payload.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
@@ -620,6 +633,9 @@ pub struct StatsBody {
     /// Handler panics caught and surfaced as in-band `internal` errors.
     #[serde(default)]
     pub panics_caught: u64,
+    /// Same-tick request-coalescing counters (sharded core only).
+    #[serde(default)]
+    pub batching: BatchingStatsBody,
     /// Storage-engine counters (WAL, checkpoints, buffer pool).
     #[serde(default)]
     pub storage: StorageStatsBody,

@@ -1,5 +1,12 @@
-//! The TCP front end: a bounded admission queue, a fixed worker pool, and
-//! a connection-per-thread acceptor speaking the JSON-lines protocol.
+//! The TCP front end and the blocking conformance core.
+//!
+//! [`Server::spawn`] serves TCP through the nonblocking sharded core
+//! ([`crate::shard`]): an acceptor thread round-robins connections across
+//! per-core event-loop shards. The blocking [`Core`] in this module — a
+//! bounded admission queue, a fixed worker pool, and thread-per-connection
+//! serving — predates it and stays as the conformance oracle: the sharded
+//! core must match its admission, deadline, shedding, drain, idempotency,
+//! and durability semantics exactly.
 //!
 //! Production posture over raw throughput:
 //!
@@ -20,8 +27,8 @@ use crate::fault::{silence_injected_panics, FaultConfig, FaultPlan, InjectedPani
 use crate::metrics::Endpoint;
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -40,6 +47,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads; 0 means one per core.
     pub workers: usize,
+    /// Event-loop shards for the nonblocking core; 0 falls back to
+    /// `workers` (and then to one per core). Each shard owns a partition
+    /// of connections and drift-session stripes.
+    pub shards: usize,
     /// Admission-queue capacity; requests beyond it are shed.
     pub queue_capacity: usize,
     /// Backoff hint attached to shed responses.
@@ -58,6 +69,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 0,
+            shards: 0,
             queue_capacity: 128,
             retry_after_ms: 50,
             fault: None,
@@ -351,12 +363,15 @@ impl Core {
                 match refused {
                     Refused::Full => {
                         self.engine.registry.record_shed(endpoint);
+                        // Scale the hint with the measured drain rate; the
+                        // configured value is only the cold-start fallback.
+                        let retry_after_ms = self
+                            .engine
+                            .registry
+                            .suggested_retry_after_ms(self.retry_after_ms);
                         Response::err(
                             request.id,
-                            ServiceError::Overloaded {
-                                retry_after_ms: self.retry_after_ms,
-                            }
-                            .to_body(),
+                            ServiceError::Overloaded { retry_after_ms }.to_body(),
                         )
                     }
                     Refused::Closed => {
@@ -368,30 +383,38 @@ impl Core {
     }
 }
 
-/// A running server: its bound address, shared core, and thread pool.
+/// A running server: its bound address, the sharded nonblocking core, and
+/// the shard + acceptor threads.
 pub struct Server {
     addr: SocketAddr,
-    core: Core,
+    core: Arc<crate::shard::ShardedCore>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and the acceptor, and returns
-    /// immediately.
+    /// Binds, spawns the shard event loops and the acceptor, and returns
+    /// immediately. Requests are served by the nonblocking sharded core
+    /// ([`crate::shard::ShardedCore`]); the blocking [`Core`] remains
+    /// available as the conformance oracle.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind and reactor-construction failures.
     pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
-        let workers = if config.workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
+        let shards = if config.shards > 0 {
+            config.shards
+        } else if config.workers > 0 {
             config.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let mut engine = Engine::with_limits(workers, config.queue_capacity);
+        // Stripe the session registry exactly as the shards partition it:
+        // stripe `i` is owned (exclusively, for the request path) by
+        // shard `i`.
+        let mut engine = Engine::with_limits(shards, config.queue_capacity);
         if let Some(fault) = config.fault.clone() {
             silence_injected_panics();
             engine = engine.with_fault(FaultPlan::new(fault));
@@ -399,18 +422,20 @@ impl Server {
         if let Some(dir) = config.data_dir.clone() {
             engine = engine.with_durability(crate::durability::Media::Dir(dir))?;
         }
-        let (core, mut threads) = Core::start(
-            engine,
-            workers,
-            config.queue_capacity,
-            config.retry_after_ms,
-        );
+        let sharded = crate::shard::ShardedConfig {
+            shards,
+            queue_capacity: config.queue_capacity,
+            retry_after_ms: config.retry_after_ms,
+        };
+        let (core, mut threads) = crate::shard::ShardedCore::start(engine, &sharded, |_| {
+            Ok(Box::new(crate::reactor::EpollReactor::new()?))
+        })?;
         {
-            let core = core.clone();
+            let core = Arc::clone(&core);
             threads.push(
                 std::thread::Builder::new()
                     .name("snakes-acceptor".into())
-                    .spawn(move || accept_loop(&listener, &core))
+                    .spawn(move || sharded_accept_loop(&listener, &core))
                     .expect("spawn acceptor"),
             );
         }
@@ -437,12 +462,12 @@ impl Server {
         self.core.draining()
     }
 
-    /// Begins a graceful drain: admission stops, queued work finishes.
+    /// Begins a graceful drain: admission stops, admitted work finishes.
     pub fn shutdown(&self) {
         self.core.shutdown();
     }
 
-    /// Drains and waits for every worker and the acceptor to exit.
+    /// Drains and waits for every shard and the acceptor to exit.
     pub fn join(mut self) {
         self.shutdown();
         for t in self.threads.drain(..) {
@@ -450,14 +475,36 @@ impl Server {
         }
     }
 
-    /// The suggested client backoff attached to shed responses.
+    /// The fallback client backoff attached to shed responses (the live
+    /// hint scales with the measured drain rate).
     pub fn retry_after_ms(&self) -> u64 {
-        self.core.retry_after_ms
+        self.core.retry_after_ms()
+    }
+}
+
+/// Accepts connections and hands each to the sharded core (round-robin
+/// across shards). Exits once a drain begins.
+fn sharded_accept_loop(listener: &TcpListener, core: &Arc<crate::shard::ShardedCore>) {
+    loop {
+        if core.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Ok(stream) = crate::reactor::TcpShardStream::new(stream) {
+                    core.add_connection(Box::new(stream));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
     }
 }
 
 /// The human-facing description of a caught worker panic.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if payload.downcast_ref::<InjectedPanic>().is_some() {
         "injected fault".into()
     } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -480,9 +527,13 @@ fn worker_loop(engine: &Engine, queue: &AdmissionQueue) {
             // slot, and the client gets an in-band `internal` error. The
             // engine guards its own state for unwind safety (parking_lot
             // locks release on unwind; mutations are clone-then-commit).
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let started = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 engine.handle(&job.request, &job.deadline)
-            })) {
+            }));
+            // Feed the drain-rate estimator that prices retry hints.
+            engine.registry.record_service_time(started.elapsed());
+            match result {
                 Ok(response) => response,
                 Err(payload) => {
                     engine.registry.record_panic_caught();
@@ -509,28 +560,6 @@ fn worker_loop(engine: &Engine, queue: &AdmissionQueue) {
             .registry
             .jobs_finished
             .fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-fn accept_loop(listener: &TcpListener, core: &Core) {
-    loop {
-        if core.draining() {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let core = core.clone();
-                // Connections are detached: they exit on peer close, i/o
-                // error, or at the first idle poll after a drain begins.
-                let _ = std::thread::Builder::new()
-                    .name("snakes-conn".into())
-                    .spawn(move || connection_loop(stream, &core));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
     }
 }
 
@@ -591,17 +620,6 @@ fn read_frame<R: BufRead>(
             });
         }
     }
-}
-
-fn connection_loop(stream: TcpStream, core: &Core) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    core.serve_connection(&mut reader, &mut writer);
 }
 
 fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
@@ -712,6 +730,8 @@ mod tests {
     use snakes_core::lattice::LatticeShape;
     use snakes_core::schema::StarSchema;
     use snakes_core::workload::Workload;
+    use std::io::BufReader;
+    use std::net::TcpStream;
 
     fn toy_request() -> Request {
         let schema = StarSchema::paper_toy();

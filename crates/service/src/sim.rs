@@ -1,10 +1,13 @@
 //! Deterministic simulation of the full advisor service under injected
 //! faults.
 //!
-//! The harness runs the **production** server core ([`crate::server::Core`]
-//! — real admission queue, real workers, real drain logic) against
-//! in-memory duplex pipes instead of TCP sockets, with a seeded
-//! [`FaultConfig`] driving every fault decision:
+//! The harness runs the **production** server core against in-memory
+//! duplex pipes instead of TCP sockets: by default the nonblocking
+//! sharded core ([`crate::shard::ShardedCore`] — real event loops over
+//! [`SimReactor`]s, real cross-shard forwarding, real per-tick batching
+//! and drain barrier), with the blocking [`crate::server::Core`]
+//! available as the conformance oracle ([`SimCoreKind::Blocking`]). A
+//! seeded [`FaultConfig`] drives every fault decision:
 //!
 //! * client-side transport faults (torn frames, slow chunked writes,
 //!   connections dropped before/during the response) via
@@ -40,7 +43,9 @@ use crate::fault::{
     WriteFault,
 };
 use crate::protocol::{DeltaSpec, Request, Response, SchemaSpec, StrategySpec, WorkloadSpec};
+use crate::reactor::{ShardStream, SimReactor};
 use crate::server::Core;
+use crate::shard::{ShardedConfig, ShardedCore};
 use snakes_core::cost::CostModel;
 use snakes_core::dp::IncrementalDp;
 use snakes_core::lattice::LatticeShape;
@@ -62,13 +67,18 @@ struct PipeState {
     closed: bool,
 }
 
-/// One unidirectional in-memory byte stream. Reads surface `WouldBlock`
-/// after a short empty wait, mimicking the read-timeout poll the TCP
-/// front end uses to watch the drain flag — so the production
-/// `serve_connection` runs unmodified over a pair of these.
+/// One unidirectional in-memory byte stream. Blocking reads surface
+/// `WouldBlock` after a short empty wait, mimicking the read-timeout poll
+/// the blocking core uses to watch the drain flag — so the production
+/// `serve_connection` runs unmodified over a pair of these. Nonblocking
+/// reads ([`Pipe::try_read`]) plus a readiness hook fired on every write
+/// and close let the same pipe drive the sharded core's event loop
+/// through a [`SimReactor`].
 struct Pipe {
     state: Mutex<PipeState>,
     available: Condvar,
+    /// Fired after every write and on close: the sim reactor's edge.
+    hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl Pipe {
@@ -79,7 +89,28 @@ impl Pipe {
                 closed: false,
             }),
             available: Condvar::new(),
+            hook: Mutex::new(None),
         })
+    }
+
+    fn fire_hook(&self) {
+        let hook = self.hook.lock().expect("hook lock").clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    /// Installs the readiness hook, firing it immediately if data (or an
+    /// EOF) is already waiting, so no pre-registration edge is lost.
+    fn set_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        *self.hook.lock().expect("hook lock") = Some(hook);
+        let pending = {
+            let state = self.state.lock().expect("pipe lock");
+            !state.buf.is_empty() || state.closed
+        };
+        if pending {
+            self.fire_hook();
+        }
     }
 
     fn write(&self, bytes: &[u8]) -> std::io::Result<()> {
@@ -93,7 +124,28 @@ impl Pipe {
         state.buf.extend(bytes);
         drop(state);
         self.available.notify_all();
+        self.fire_hook();
         Ok(())
+    }
+
+    /// Nonblocking read: bytes if any, `Ok(0)` at EOF, `WouldBlock`
+    /// otherwise.
+    fn try_read(&self, out: &mut [u8]) -> std::io::Result<usize> {
+        let mut state = self.state.lock().expect("pipe lock");
+        if !state.buf.is_empty() {
+            let n = out.len().min(state.buf.len());
+            for slot in out.iter_mut().take(n) {
+                *slot = state.buf.pop_front().expect("non-empty");
+            }
+            return Ok(n);
+        }
+        if state.closed {
+            return Ok(0);
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "pipe empty",
+        ))
     }
 
     fn read(&self, out: &mut [u8]) -> std::io::Result<usize> {
@@ -126,6 +178,38 @@ impl Pipe {
     fn close(&self) {
         self.state.lock().expect("pipe lock").closed = true;
         self.available.notify_all();
+        self.fire_hook();
+    }
+}
+
+/// The server-side face of one simulated connection for the sharded
+/// core: nonblocking reads from the client→server pipe, writes into the
+/// server→client pipe, readiness hook on the read side. Dropping it
+/// closes both directions, exactly like dropping a TCP stream.
+struct SimDuplex {
+    read: Arc<Pipe>,
+    write: Arc<Pipe>,
+}
+
+impl ShardStream for SimDuplex {
+    fn read_nb(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.read.try_read(buf)
+    }
+
+    fn write_nb(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write.write(buf)?;
+        Ok(buf.len())
+    }
+
+    fn set_ready_hook(&mut self, hook: Arc<dyn Fn() + Send + Sync>) {
+        self.read.set_hook(hook);
+    }
+}
+
+impl Drop for SimDuplex {
+    fn drop(&mut self) {
+        self.read.close();
+        self.write.close();
     }
 }
 
@@ -167,80 +251,160 @@ impl Drop for PipeWriter {
 // The simulated server.
 // ---------------------------------------------------------------------------
 
-/// The full server core behind in-memory connections: real workers, real
-/// admission queue, fault plan armed on the engine.
+/// Which server core a simulation drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimCoreKind {
+    /// The nonblocking sharded event-loop core ([`ShardedCore`]) — the
+    /// production serving path, and the default.
+    Sharded,
+    /// The blocking `Core` + `serve_connection` stack: the conformance
+    /// oracle whose semantics the sharded core must match.
+    Blocking,
+}
+
+/// The core actually running behind a [`SimServer`].
+enum SimCore {
+    Sharded {
+        core: Arc<ShardedCore>,
+        threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    },
+    Blocking {
+        core: Core,
+        workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+        conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    },
+}
+
+/// The full server core behind in-memory connections: real shards (or the
+/// blocking oracle's real workers and admission queue), fault plan armed
+/// on the engine.
 pub struct SimServer {
-    core: Core,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    inner: SimCore,
 }
 
 impl SimServer {
-    /// Starts workers against an engine armed with `config`'s fault plan.
+    /// Starts the **sharded nonblocking core** — `workers` shards driven
+    /// by [`SimReactor`]s — against an engine armed with `fault`.
     pub fn start(workers: usize, queue_capacity: usize, fault: FaultConfig) -> Arc<SimServer> {
+        SimServer::start_kind(SimCoreKind::Sharded, workers, queue_capacity, fault)
+    }
+
+    /// Starts the requested core kind behind the same harness.
+    pub fn start_kind(
+        kind: SimCoreKind,
+        workers: usize,
+        queue_capacity: usize,
+        fault: FaultConfig,
+    ) -> Arc<SimServer> {
         silence_injected_panics();
         let engine = Engine::with_limits(workers, queue_capacity).with_fault(FaultPlan::new(fault));
-        let (core, handles) = Core::start(engine, workers, queue_capacity, 1);
-        Arc::new(SimServer {
-            core,
-            workers: Mutex::new(handles),
-            conns: Mutex::new(Vec::new()),
-        })
+        let inner = match kind {
+            SimCoreKind::Sharded => {
+                let config = ShardedConfig {
+                    shards: workers,
+                    queue_capacity,
+                    retry_after_ms: 1,
+                };
+                let (core, threads) =
+                    ShardedCore::start(engine, &config, |_| Ok(Box::new(SimReactor::new())))
+                        .expect("sim reactors cannot fail");
+                SimCore::Sharded {
+                    core,
+                    threads: Mutex::new(threads),
+                }
+            }
+            SimCoreKind::Blocking => {
+                let (core, handles) = Core::start(engine, workers, queue_capacity, 1);
+                SimCore::Blocking {
+                    core,
+                    workers: Mutex::new(handles),
+                    conns: Mutex::new(Vec::new()),
+                }
+            }
+        };
+        Arc::new(SimServer { inner })
     }
 
     /// The shared engine (caches, sessions, metrics, fault counters).
     pub fn engine(&self) -> &Arc<Engine> {
-        self.core.engine()
+        match &self.inner {
+            SimCore::Sharded { core, .. } => core.engine(),
+            SimCore::Blocking { core, .. } => core.engine(),
+        }
     }
 
     /// Requests a graceful drain, exactly like SIGTERM on the daemon.
     pub fn shutdown(&self) {
-        self.core.shutdown();
+        match &self.inner {
+            SimCore::Sharded { core, .. } => core.shutdown(),
+            SimCore::Blocking { core, .. } => core.shutdown(),
+        }
     }
 
-    /// Drains and joins every worker and connection thread. Call after
-    /// all clients have finished (their dropped pipes unblock the
-    /// connection threads). Workers join first; any job they stranded is
-    /// then purged — disconnecting its reply channel so the blocked
-    /// connection thread answers in-band and exits instead of deadlocking
-    /// the harness — and the loss shows up in the admitted/finished
-    /// counters.
+    /// Drains and joins every server thread. Call after all clients have
+    /// finished (their dropped pipes unblock the server side). On the
+    /// blocking core, workers join first; any job they stranded is then
+    /// purged — disconnecting its reply channel so the blocked connection
+    /// thread answers in-band and exits instead of deadlocking the
+    /// harness — and the loss shows up in the admitted/finished counters.
+    /// The sharded core's drain barrier makes stranding impossible by
+    /// construction: shards only exit once nothing is queued, outboxed,
+    /// or in flight anywhere.
     pub fn join(&self) {
-        self.core.shutdown();
-        let workers: Vec<_> = self
-            .workers
-            .lock()
-            .expect("workers lock")
-            .drain(..)
-            .collect();
-        for handle in workers {
-            let _ = handle.join();
-        }
-        self.core.purge_queue();
-        let conns: Vec<_> = self.conns.lock().expect("conns lock").drain(..).collect();
-        for handle in conns {
-            let _ = handle.join();
+        self.shutdown();
+        match &self.inner {
+            SimCore::Sharded { threads, .. } => {
+                let threads: Vec<_> = threads.lock().expect("threads lock").drain(..).collect();
+                for handle in threads {
+                    let _ = handle.join();
+                }
+            }
+            SimCore::Blocking {
+                core,
+                workers,
+                conns,
+            } => {
+                let workers: Vec<_> = workers.lock().expect("workers lock").drain(..).collect();
+                for handle in workers {
+                    let _ = handle.join();
+                }
+                core.purge_queue();
+                let conns: Vec<_> = conns.lock().expect("conns lock").drain(..).collect();
+                for handle in conns {
+                    let _ = handle.join();
+                }
+            }
         }
     }
 
-    /// Opens one simulated connection, spawning a server-side connection
-    /// thread running the production `serve_connection`. Returns the
-    /// client-side (write half, read half).
+    /// Opens one simulated connection — handed to a shard's event loop,
+    /// or to a dedicated thread running the oracle's `serve_connection`.
+    /// Returns the client-side (write half, read half).
     fn open_connection(&self) -> (PipeWriter, PipeReader) {
         let to_server = Pipe::new();
         let from_server = Pipe::new();
-        let core = self.core.clone();
-        let server_read = PipeReader(Arc::clone(&to_server));
-        let server_write = PipeWriter(Arc::clone(&from_server));
-        let handle = std::thread::Builder::new()
-            .name("snakes-sim-conn".into())
-            .spawn(move || {
-                let mut reader = std::io::BufReader::new(server_read);
-                let mut writer = server_write;
-                core.serve_connection(&mut reader, &mut writer);
-            })
-            .expect("spawn sim connection");
-        self.conns.lock().expect("conns lock").push(handle);
+        match &self.inner {
+            SimCore::Sharded { core, .. } => {
+                core.add_connection(Box::new(SimDuplex {
+                    read: Arc::clone(&to_server),
+                    write: Arc::clone(&from_server),
+                }));
+            }
+            SimCore::Blocking { core, conns, .. } => {
+                let core = core.clone();
+                let server_read = PipeReader(Arc::clone(&to_server));
+                let server_write = PipeWriter(Arc::clone(&from_server));
+                let handle = std::thread::Builder::new()
+                    .name("snakes-sim-conn".into())
+                    .spawn(move || {
+                        let mut reader = std::io::BufReader::new(server_read);
+                        let mut writer = server_write;
+                        core.serve_connection(&mut reader, &mut writer);
+                    })
+                    .expect("spawn sim connection");
+                conns.lock().expect("conns lock").push(handle);
+            }
+        }
         (PipeWriter(to_server), PipeReader(from_server))
     }
 }
@@ -517,12 +681,25 @@ fn salted_workload(shape: &LatticeShape, salt: u64) -> Workload {
     .expect("positive weights")
 }
 
-/// Runs one schedule end to end and verifies the three harness
-/// invariants. An empty `violations` list means the schedule passed.
+/// Runs one schedule end to end against the sharded nonblocking core and
+/// verifies the three harness invariants. An empty `violations` list
+/// means the schedule passed.
 pub fn run_schedule(config: &SimConfig) -> SimReport {
+    run_schedule_kind(config, SimCoreKind::Sharded)
+}
+
+/// [`run_schedule`] against an explicit core kind — the same schedules
+/// drive the blocking oracle, keeping both cores honest against the same
+/// invariants.
+pub fn run_schedule_kind(config: &SimConfig, kind: SimCoreKind) -> SimReport {
     let schema = StarSchema::paper_toy();
     let shape = LatticeShape::of_schema(&schema);
-    let server = SimServer::start(config.workers, config.queue_capacity, config.fault.clone());
+    let server = SimServer::start_kind(
+        kind,
+        config.workers,
+        config.queue_capacity,
+        config.fault.clone(),
+    );
     let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let note = |msg: String| {
         violations
@@ -962,5 +1139,16 @@ mod tests {
         config.shutdown_after_ms = Some(1);
         let report = run_schedule(&config);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn blocking_oracle_still_holds_the_invariants() {
+        // The conformance oracle stays under test with the same
+        // schedules the sharded core runs.
+        for seed in [3u64, 8] {
+            let config = SimConfig::for_seed(seed);
+            let report = run_schedule_kind(&config, SimCoreKind::Blocking);
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+        }
     }
 }

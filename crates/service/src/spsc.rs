@@ -1,0 +1,223 @@
+//! Bounded single-producer / single-consumer mailboxes.
+//!
+//! The sharded core forwards cross-shard work (drift requests whose session
+//! stripe is owned by another shard, and the completions flowing back) over
+//! these rings instead of taking locks. Each directed shard pair `(i, j)`
+//! owns exactly one ring, so the single-producer / single-consumer
+//! discipline is enforced structurally: shard `i` holds the [`Producer`]
+//! end and shard `j` the [`Consumer`] end, and neither type is `Clone`.
+//!
+//! The implementation is the classic Lamport ring: a power-of-two slot
+//! array indexed by free-running head/tail counters. The producer publishes
+//! a slot with a release store of `tail`; the consumer acquires it before
+//! reading, and releases the slot back with its store of `head`. No CAS, no
+//! locks, no spinning — a full ring simply reports [`PushError`] and
+//! the caller keeps the item (the shard core parks such items in a local
+//! retry queue and wakes the peer).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`Producer::push`] when the ring is full; carries the
+/// rejected item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Only stored by the consumer.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Only stored by the producer.
+    tail: AtomicUsize,
+}
+
+// SAFETY: the ring is shared between exactly one producer thread and one
+// consumer thread. Every slot is written by the producer strictly before
+// the release store of `tail` that publishes it, and read by the consumer
+// strictly after the acquire load of `tail` that observes it; the mirror
+// argument covers slot reuse through `head`. `T: Send` is required because
+// values cross threads.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // By the time the ring drops both endpoints are gone, so plain
+        // loads are fine; drop any items still in flight.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for at in head..tail {
+            let slot = &mut self.slots[at & self.mask];
+            // SAFETY: slots in [head, tail) hold initialized values that
+            // were never consumed.
+            unsafe { slot.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// The sending half of a bounded SPSC ring. Not `Clone`: exactly one
+/// producer exists per ring.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached copy of `head` so the fast path does not touch the
+    /// consumer's cache line on every push.
+    head_cache: usize,
+}
+
+/// The receiving half of a bounded SPSC ring. Not `Clone`: exactly one
+/// consumer exists per ring.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached copy of `tail`, mirror of [`Producer::head_cache`].
+    tail_cache: usize,
+}
+
+/// Creates a bounded SPSC ring with room for at least `capacity` items
+/// (rounded up to a power of two, minimum 2).
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+            head_cache: 0,
+        },
+        Consumer {
+            ring,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Enqueues `item`, or hands it back if the ring is full.
+    pub fn push(&mut self, item: T) -> Result<(), PushError<T>> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        if tail - self.head_cache > self.ring.mask {
+            // Looks full against the cached head; refresh and re-check.
+            self.head_cache = self.ring.head.load(Ordering::Acquire);
+            if tail - self.head_cache > self.ring.mask {
+                return Err(PushError(item));
+            }
+        }
+        let slot = &self.ring.slots[tail & self.ring.mask];
+        // SAFETY: slot `tail` is unpublished (tail - head <= mask), so the
+        // consumer cannot touch it until the release store below.
+        unsafe { (*slot.get()).write(item) };
+        self.ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeues the oldest item, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        if head == self.tail_cache {
+            self.tail_cache = self.ring.tail.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = &self.ring.slots[head & self.ring.mask];
+        // SAFETY: slot `head` was published by the acquire-observed tail
+        // and will not be rewritten until the release store below frees it.
+        let item = unsafe { (*slot.get()).assume_init_read() };
+        self.ring.head.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fifo_order_and_full_signal() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(PushError(99)));
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        // Wraps around the power-of-two boundary without losing order.
+        for round in 0..10u32 {
+            tx.push(round).unwrap();
+            tx.push(round + 100).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+            assert_eq!(rx.pop(), Some(round + 100));
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (mut tx, mut rx) = ring::<u8>(3);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.push(9).is_err());
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drops_in_flight_items() {
+        struct Probe(Arc<AtomicU64>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (mut tx, rx) = ring::<Probe>(8);
+        for _ in 0..5 {
+            assert!(tx.push(Probe(Arc::clone(&dropped))).is_ok());
+        }
+        drop(rx);
+        drop(tx);
+        assert_eq!(dropped.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn cross_thread_stream_is_lossless() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = ring::<u64>(64);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut next = 0;
+                while next < N {
+                    match tx.push(next) {
+                        Ok(()) => next += 1,
+                        Err(PushError(_)) => std::hint::spin_loop(),
+                    }
+                }
+            });
+            let mut expect = 0;
+            while expect < N {
+                if let Some(got) = rx.pop() {
+                    assert_eq!(got, expect);
+                    expect += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! Batched signature pricing must be invisible in the results: a
+//! coalesced same-fingerprint batch (one [`BatchScope`] shared across the
+//! tick) returns bit-identical responses to strictly serial evaluation
+//! (a fresh scope per request), across both evaluation engines. Also
+//! drives the batch path end-to-end over the wire and checks the
+//! `stats.batching` counters move.
+
+use snakes_sandwiches::core::eval::{EvalEngine, EvalOptions};
+use snakes_sandwiches::service::protocol::{
+    ClassWeight, DimSpec, MeasureSpec, SchemaSpec, StrategySpec, WorkloadSpec,
+};
+use snakes_sandwiches::service::{
+    BatchScope, Deadline, Engine, PipelinedClient, Request, Server, ServerConfig,
+};
+use std::time::Instant;
+
+fn sample_schema() -> SchemaSpec {
+    SchemaSpec {
+        dims: vec![
+            DimSpec {
+                name: "parts".into(),
+                fanouts: vec![40, 5],
+            },
+            DimSpec {
+                name: "time".into(),
+                fanouts: vec![12, 7],
+            },
+        ],
+    }
+}
+
+fn sample_workload(variant: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        probs: None,
+        classes: Some(vec![
+            ClassWeight {
+                class: vec![0, 2],
+                weight: 3.0 + variant as f64,
+            },
+            ClassWeight {
+                class: vec![2, 0],
+                weight: 1.0,
+            },
+        ]),
+        marginals: None,
+    }
+}
+
+fn price_request(id: u64, variant: u64, engine: EvalEngine) -> Request {
+    let mut req = Request::price(
+        sample_schema(),
+        sample_workload(variant),
+        StrategySpec::snaked_path(vec![0, 1, 0, 1]),
+    );
+    req.id = id;
+    req.eval = Some(EvalOptions::serial().engine(engine));
+    req
+}
+
+fn recommend_request(id: u64, variant: u64) -> Request {
+    let mut req = Request::recommend(sample_schema(), sample_workload(variant));
+    req.id = id;
+    req
+}
+
+/// The same mixed burst priced two ways: one shared scope (coalesced) vs
+/// a fresh scope per request (strictly serial). Every response must be
+/// bit-identical, including `cache_hit` flags.
+fn assert_batch_matches_serial(requests: &[Request]) {
+    let deadline = Deadline::from_ms(Instant::now(), None);
+
+    let serial_engine = Engine::new();
+    let serial: Vec<String> = requests
+        .iter()
+        .map(|req| {
+            let mut scope = BatchScope::new();
+            serde_json::to_string(&serial_engine.handle_batched(req, &deadline, &mut scope))
+                .expect("serialize")
+        })
+        .collect();
+
+    let batched_engine = Engine::new();
+    let mut scope = BatchScope::new();
+    let batched: Vec<String> = requests
+        .iter()
+        .map(|req| {
+            serde_json::to_string(&batched_engine.handle_batched(req, &deadline, &mut scope))
+                .expect("serialize")
+        })
+        .collect();
+
+    for (i, (s, b)) in serial.iter().zip(&batched).enumerate() {
+        assert_eq!(s, b, "request {i} diverged between serial and batched");
+    }
+}
+
+#[test]
+fn batched_price_is_bit_identical_to_serial_on_both_engines() {
+    for engine in [EvalEngine::Cells, EvalEngine::Runs] {
+        // Three distinct fingerprints, each repeated: leaders compute,
+        // followers replay; serial followers hit the signature cache.
+        let mut requests = Vec::new();
+        let mut id = 0;
+        for round in 0..3 {
+            for variant in 0..3 {
+                id += 1;
+                requests.push(price_request(id, variant, engine));
+                let _ = round;
+            }
+        }
+        assert_batch_matches_serial(&requests);
+    }
+}
+
+#[test]
+fn batched_recommend_is_bit_identical_to_serial() {
+    let mut requests = Vec::new();
+    for id in 1..=9u64 {
+        requests.push(recommend_request(id, id % 3));
+    }
+    assert_batch_matches_serial(&requests);
+}
+
+#[test]
+fn batched_measured_price_is_bit_identical_to_serial() {
+    // Physical measurement rides along with the analytic price: the
+    // measured body must also survive coalescing bit-for-bit.
+    let mut requests = Vec::new();
+    for id in 1..=6u64 {
+        let mut req = price_request(id, id % 2, EvalEngine::Cells);
+        req.measure = Some(MeasureSpec {
+            records_per_cell: 3,
+            page_size: 4_096,
+            record_size: 125,
+            physical: true,
+        });
+        requests.push(req);
+    }
+    assert_batch_matches_serial(&requests);
+}
+
+#[test]
+fn coalescing_is_observable_over_the_wire() {
+    // One shard, one pipelined burst of identical price requests: they
+    // land in the same tick, so the batch layer must coalesce some of
+    // them — visible in `stats.batching` — and every response must carry
+    // the same cost bits as a direct library call.
+    let server = Server::spawn(ServerConfig {
+        shards: 1,
+        ..ServerConfig::default()
+    })
+    .expect("spawn");
+    let addr = server.local_addr();
+
+    let expected = {
+        let engine = Engine::new();
+        let deadline = Deadline::from_ms(Instant::now(), None);
+        let resp = engine.handle(&price_request(1, 0, EvalEngine::Cells), &deadline);
+        assert!(resp.ok, "{resp:?}");
+        resp.price.expect("price body").expected_cost
+    };
+
+    let mut client = PipelinedClient::connect(addr, 32).expect("connect");
+    let mut responses = Vec::new();
+    for id in 1..=32u64 {
+        if let Some(r) = client
+            .send(price_request(id, 0, EvalEngine::Cells))
+            .expect("send")
+        {
+            responses.push(r);
+        }
+    }
+    responses.extend(client.finish().expect("finish"));
+    assert_eq!(responses.len(), 32);
+    for resp in &responses {
+        assert!(resp.ok, "{resp:?}");
+        let price = resp.price.as_ref().expect("price body");
+        assert_eq!(
+            price.expected_cost.to_bits(),
+            expected.to_bits(),
+            "wire response cost diverged from direct library call"
+        );
+    }
+
+    let stats = client
+        .send(Request::new("stats"))
+        .expect("send stats")
+        .map(Ok)
+        .unwrap_or_else(|| {
+            client
+                .finish()
+                .map(|mut v| v.pop().expect("stats response"))
+        })
+        .expect("stats response");
+    let body = stats.stats.expect("stats body");
+    assert!(
+        body.batching.coalesced > 0,
+        "expected coalesced followers after an identical pipelined burst, saw {:?}",
+        body.batching
+    );
+    assert!(body.batching.batches > 0);
+
+    server.join();
+}

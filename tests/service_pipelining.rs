@@ -1,0 +1,192 @@
+//! Request pipelining over the wire: many frames written back-to-back on
+//! one connection — including hostile frames mid-pipeline — must come back
+//! as in-band responses in request order, on a connection that stays
+//! usable. Exercises the sharded core's ordered response slots and the
+//! cross-shard forwarding path (drift frames fan out to per-shard session
+//! owners but still answer in pipeline order).
+
+use snakes_sandwiches::core::workload::WeightUpdate;
+use snakes_sandwiches::service::protocol::{
+    ClassWeight, DeltaSpec, DimSpec, SchemaSpec, WorkloadSpec,
+};
+use snakes_sandwiches::service::{
+    PipelinedClient, Request, Server, ServerConfig, MAX_LINE_BYTES, PROTOCOL_VERSION,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn spawn_server(shards: usize) -> Server {
+    Server::spawn(ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+fn ping_frame(id: u64) -> Vec<u8> {
+    format!("{{\"v\":{PROTOCOL_VERSION},\"endpoint\":\"ping\",\"id\":{id}}}\n").into_bytes()
+}
+
+#[test]
+fn pipelined_frames_answer_in_order_with_malformed_frames_in_band() {
+    let server = spawn_server(0);
+    let addr = server.local_addr();
+    let writer = TcpStream::connect(addr).expect("connect");
+    writer
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+    let mut writer = writer;
+
+    // One burst, no reads until the end. Expected response ids in order:
+    // good frames echo their id, hostile frames answer in-band as id 0.
+    let mut expected: Vec<(u64, bool)> = Vec::new(); // (id, ok)
+    let mut burst: Vec<u8> = Vec::new();
+    for id in 1..=25u64 {
+        match id {
+            10 => {
+                // Malformed JSON mid-pipeline.
+                burst.extend_from_slice(b"}{not json\n");
+                expected.push((0, false));
+            }
+            17 => {
+                // Oversized line mid-pipeline: discarded, flagged in-band.
+                burst.extend(std::iter::repeat_n(b'z', MAX_LINE_BYTES + 1));
+                burst.push(b'\n');
+                expected.push((0, false));
+            }
+            _ => {
+                burst.extend_from_slice(&ping_frame(id));
+                expected.push((id, true));
+            }
+        }
+    }
+    writer.write_all(&burst).expect("write burst");
+    writer.flush().expect("flush");
+
+    for (pos, (want_id, want_ok)) in expected.iter().enumerate() {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "connection closed at pipeline position {pos}");
+        let resp: serde_json::Value =
+            serde_json::from_str(line.trim_end()).expect("response is JSON");
+        assert_eq!(
+            resp["id"].as_u64(),
+            Some(*want_id),
+            "out-of-order response at pipeline position {pos}: {resp:?}"
+        );
+        assert_eq!(
+            resp["ok"].as_bool(),
+            Some(*want_ok),
+            "wrong ok at pipeline position {pos}: {resp:?}"
+        );
+        if !want_ok {
+            assert_eq!(resp["error"]["code"].as_str(), Some("bad_request"));
+        }
+    }
+
+    // The connection survives the hostile pipeline.
+    writer.write_all(&ping_frame(99)).expect("write ping");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let resp: serde_json::Value = serde_json::from_str(line.trim_end()).expect("JSON");
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    assert_eq!(resp["id"].as_u64(), Some(99));
+
+    server.join();
+}
+
+#[test]
+fn pipelined_drift_frames_preserve_order_across_shard_forwarding() {
+    // Four shards, sessions striped by name: consecutive frames route to
+    // different owners, but per-connection response order must hold.
+    let server = spawn_server(4);
+    let addr = server.local_addr();
+    let mut client = PipelinedClient::connect(addr, 16).expect("connect");
+
+    let schema = SchemaSpec {
+        dims: vec![
+            DimSpec {
+                name: "parts".into(),
+                fanouts: vec![4, 2],
+            },
+            DimSpec {
+                name: "time".into(),
+                fanouts: vec![3, 2],
+            },
+        ],
+    };
+    let workload = WorkloadSpec {
+        probs: None,
+        classes: Some(vec![
+            ClassWeight {
+                class: vec![0, 2],
+                weight: 3.0,
+            },
+            ClassWeight {
+                class: vec![2, 0],
+                weight: 1.0,
+            },
+        ]),
+        marginals: None,
+    };
+    let mut responses = Vec::new();
+    for i in 0..48u64 {
+        let mut req = Request::drift(
+            &format!("session-{}", i % 7),
+            vec![DeltaSpec {
+                updates: vec![WeightUpdate {
+                    rank: (i % 9) as usize,
+                    weight: 0.5,
+                }],
+            }],
+        );
+        // Schema + workload on every drift frame so first contact with
+        // each striped session owner creates the session.
+        req.schema = Some(schema.clone());
+        req.workload = Some(workload.clone());
+        if let Some(reaped) = client.send(req).expect("send") {
+            responses.push(reaped);
+        }
+    }
+    responses.extend(client.finish().expect("finish"));
+
+    assert_eq!(responses.len(), 48);
+    for (i, resp) in responses.iter().enumerate() {
+        assert!(resp.ok, "drift {i} failed: {resp:?}");
+        assert_eq!(
+            resp.id,
+            (i + 1) as u64,
+            "response {i} out of order: {resp:?}"
+        );
+        let drift = resp.drift.as_ref().expect("drift body");
+        assert_eq!(drift.session, format!("session-{}", (i as u64) % 7));
+    }
+
+    server.join();
+}
+
+#[test]
+fn pipelined_client_reaps_in_order_under_a_small_window() {
+    let server = spawn_server(2);
+    let addr = server.local_addr();
+    let mut client = PipelinedClient::connect(addr, 4).expect("connect");
+
+    let mut responses = Vec::new();
+    for _ in 0..30 {
+        if let Some(reaped) = client.send(Request::new("ping")).expect("send") {
+            responses.push(reaped);
+        }
+        assert!(client.in_flight() <= 4, "window exceeded");
+    }
+    responses.extend(client.finish().expect("finish"));
+    assert_eq!(responses.len(), 30);
+    for (i, resp) in responses.iter().enumerate() {
+        assert!(resp.ok);
+        assert_eq!(resp.id, (i + 1) as u64);
+    }
+    assert_eq!(client.in_flight(), 0);
+
+    server.join();
+}

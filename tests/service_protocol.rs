@@ -10,9 +10,9 @@ use snakes_sandwiches::core::eval::{EvalEngine, EvalOptions};
 use snakes_sandwiches::core::explain::{ClassContribution, CostExplanation};
 use snakes_sandwiches::core::workload::WeightUpdate;
 use snakes_sandwiches::service::protocol::{
-    CacheStatsBody, ClassWeight, DeltaSpec, DimSpec, DriftBody, EndpointStatsBody, ErrorBody,
-    MeasureSpec, MeasuredBody, PriceBody, RecommendationBody, RowMajorBody, SchemaSpec, StatsBody,
-    StorageStatsBody, StrategySpec, WorkloadSpec,
+    BatchingStatsBody, CacheStatsBody, ClassWeight, DeltaSpec, DimSpec, DriftBody,
+    EndpointStatsBody, ErrorBody, MeasureSpec, MeasuredBody, PriceBody, RecommendationBody,
+    RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec, WorkloadSpec,
 };
 use snakes_sandwiches::service::{Request, Response, PROTOCOL_VERSION};
 
@@ -161,6 +161,10 @@ fn sample_stats() -> StatsBody {
             entries: 9,
         },
         panics_caught: 2,
+        batching: BatchingStatsBody {
+            batches: 3,
+            coalesced: 7,
+        },
         storage: StorageStatsBody {
             enabled: true,
             wal_bytes: 4_096,
