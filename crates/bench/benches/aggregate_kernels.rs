@@ -1,0 +1,258 @@
+//! Aggregation-kernel scaling matrix: threads × grid size × kernel.
+//!
+//! Measures one full whole-lattice aggregation (`aggregate_class_costs` —
+//! the signature-cache-miss hot path behind `recommend`/`price`) on the
+//! paper's Table-4 schema at several grid sizes, under three kernels:
+//!
+//! - `reference` — the retained scalar oracle
+//!   ([`aggregate_class_costs_reference`]): per-rank virtual decode,
+//!   per-edge `crossing_level` ancestor scans, naive prefix sum.
+//! - `blocked` — the production blocked + LUT kernel, serial.
+//! - `parallel@T` — the blocked kernel with the curve walk split into
+//!   contiguous spans across `T` workers.
+//!
+//! Every kernel's output is asserted **bit-identical** (`u64`-exact
+//! tables) to the reference before any speedup is reported. Rows for
+//! multi-worker runs are only *recorded* when the host actually has more
+//! than one core — a 1-core box still verifies their fidelity but makes
+//! no scaling claims (the same policy as `BENCH_parallel_sweep.json`).
+//!
+//! Gates (exercised by CI):
+//! - `SNAKES_BENCH_MIN_AGG_SPEEDUP=<x>` fails the bench if the serial
+//!   blocked kernel's speedup over the reference on the Table-4 grid
+//!   falls below `x`.
+//! - When `cores >= 2`, the 2-worker walk on the largest grid must reach
+//!   ≥ 1.5× over the serial blocked kernel.
+//!
+//! Results append to `BENCH_aggregate_kernels.json` at the workspace root.
+
+use serde::Serialize;
+use snakes_core::parallel::{metrics, ParallelConfig};
+use snakes_core::path::LatticePath;
+use snakes_core::schema::StarSchema;
+use snakes_curves::{
+    aggregate_class_costs_reference, aggregate_class_costs_with, snaked_path_curve,
+    AggregateOptions, WholeLatticeCosts,
+};
+use snakes_tpcd::TpcdConfig;
+use std::time::Instant;
+
+/// One (grid, kernel) measurement.
+#[derive(Serialize)]
+struct KernelRow {
+    grid_cells: u64,
+    classes: usize,
+    curve: &'static str,
+    kernel: String,
+    threads: usize,
+    ns: u64,
+    /// Median time of the scalar reference on the same grid / this row.
+    speedup_vs_reference: f64,
+    /// Serial blocked time / this row (1.0 for the blocked row itself).
+    speedup_vs_blocked: f64,
+    bit_identical: bool,
+}
+
+/// One run of this bench, appended to `BENCH_aggregate_kernels.json`.
+#[derive(Serialize)]
+struct TrajectoryEntry {
+    bench: &'static str,
+    unix_time: u64,
+    cores: usize,
+    samples: usize,
+    rows: Vec<KernelRow>,
+    /// Per-stage counters/nanos of the final blocked run on the largest
+    /// grid (decode / count / prefix-sum split).
+    metrics: metrics::MetricsSnapshot,
+}
+
+const SAMPLES: usize = 5;
+
+/// Table-4's schema with the parts fan-out scaled: 200×10×84 cells at
+/// `scale = 1`.
+fn schema_at(scale: u64) -> StarSchema {
+    TpcdConfig {
+        parts_per_manufacturer: 40 * scale,
+        ..TpcdConfig::default()
+    }
+    .star_schema()
+}
+
+fn median(mut times: Vec<u128>) -> u128 {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Median wall time of `f` over `SAMPLES` runs, plus the last result.
+fn time_samples<T>(mut f: impl FnMut() -> T) -> (u64, T) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed().as_nanos());
+        last = Some(out);
+    }
+    (median(times) as u64, last.expect("at least one sample"))
+}
+
+fn aggregate(schema: &StarSchema, threads: usize) -> WholeLatticeCosts {
+    let shape = snakes_core::lattice::LatticeShape::of_schema(schema);
+    // The paper's snaked lattice-path family — the strategy class every
+    // recommendation draws from, and the hardest decode (multi-level
+    // snaked odometer).
+    let path = LatticePath::from_dims(shape, vec![0, 2, 1, 0, 2]).expect("valid Table-4 path");
+    let curve = snaked_path_curve(schema, &path);
+    aggregate_class_costs_with(
+        schema,
+        &curve,
+        AggregateOptions::with_parallel(ParallelConfig::with_threads(threads)),
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("aggregate_kernels: Table-4 schema family, {cores} core(s), median of {SAMPLES}");
+
+    let mut rows = Vec::new();
+    let mut table4_blocked_speedup = None;
+    let mut largest_two_worker_speedup = None;
+
+    for scale in [1u64, 4, 16] {
+        let schema = schema_at(scale);
+        let cells = schema.num_cells();
+        let classes = schema.num_classes();
+        let shape = snakes_core::lattice::LatticeShape::of_schema(&schema);
+        let path = LatticePath::from_dims(shape, vec![0, 2, 1, 0, 2]).expect("valid Table-4 path");
+        let curve = snaked_path_curve(&schema, &path);
+
+        let (reference_ns, reference) =
+            time_samples(|| aggregate_class_costs_reference(&schema, &curve));
+        println!("  grid {cells:>8} cells: reference {reference_ns:>12} ns");
+        rows.push(KernelRow {
+            grid_cells: cells,
+            classes,
+            curve: "snaked_path",
+            kernel: "reference".into(),
+            threads: 1,
+            ns: reference_ns,
+            speedup_vs_reference: 1.0,
+            speedup_vs_blocked: 0.0,
+            bit_identical: true,
+        });
+
+        let (blocked_ns, blocked) = time_samples(|| aggregate(&schema, 1));
+        assert_eq!(blocked, reference, "blocked kernel must be bit-identical");
+        let blocked_speedup = reference_ns as f64 / blocked_ns as f64;
+        println!("  grid {cells:>8} cells: blocked   {blocked_ns:>12} ns  ({blocked_speedup:.2}x)");
+        rows.push(KernelRow {
+            grid_cells: cells,
+            classes,
+            curve: "snaked_path",
+            kernel: "blocked".into(),
+            threads: 1,
+            ns: blocked_ns,
+            speedup_vs_reference: blocked_speedup,
+            speedup_vs_blocked: 1.0,
+            bit_identical: true,
+        });
+        if scale == 1 {
+            table4_blocked_speedup = Some(blocked_speedup);
+        }
+
+        let mut thread_counts = vec![2usize];
+        if cores > 2 {
+            thread_counts.push(cores);
+        }
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let (par_ns, par) = time_samples(|| aggregate(&schema, threads));
+            assert_eq!(par, reference, "parallel walk must be bit-identical");
+            let vs_blocked = blocked_ns as f64 / par_ns as f64;
+            println!(
+                "  grid {cells:>8} cells: parallel@{threads} {par_ns:>10} ns  \
+                 ({vs_blocked:.2}x vs blocked)"
+            );
+            if cores < 2 {
+                // Fidelity verified above, but a 1-core host cannot make a
+                // scaling claim: skip the row (same policy as the sweep
+                // bench's two_worker columns).
+                println!("  grid {cells:>8} cells: parallel@{threads} row skipped (1 core)");
+                continue;
+            }
+            if threads == 2 && scale == 16 {
+                largest_two_worker_speedup = Some(vs_blocked);
+            }
+            rows.push(KernelRow {
+                grid_cells: cells,
+                classes,
+                curve: "snaked_path",
+                kernel: format!("parallel@{threads}"),
+                threads,
+                ns: par_ns,
+                speedup_vs_reference: reference_ns as f64 / par_ns as f64,
+                speedup_vs_blocked: vs_blocked,
+                bit_identical: true,
+            });
+        }
+    }
+
+    // Regression gate: serial blocked kernel on the Table-4 grid.
+    if let Ok(gate) = std::env::var("SNAKES_BENCH_MIN_AGG_SPEEDUP") {
+        let floor: f64 = gate
+            .parse()
+            .expect("SNAKES_BENCH_MIN_AGG_SPEEDUP is a number");
+        let got = table4_blocked_speedup.expect("Table-4 row measured");
+        assert!(
+            got >= floor,
+            "blocked kernel regressed: {got:.2}x < required {floor:.2}x on the Table-4 grid"
+        );
+        println!("  gate: blocked {got:.2}x >= {floor:.2}x");
+    }
+    // Scaling gate: only meaningful with real cores underneath.
+    if cores >= 2 {
+        let got = largest_two_worker_speedup.expect("2-worker row measured");
+        assert!(
+            got >= 1.5,
+            "2-worker walk must reach 1.5x on the largest grid with {cores} cores, got {got:.2}x"
+        );
+        println!("  gate: 2-worker {got:.2}x >= 1.50x");
+    }
+
+    // Per-stage split of one final blocked run on the largest grid.
+    metrics::reset();
+    let before = metrics::snapshot();
+    let _ = aggregate(&schema_at(16), 1);
+    let delta = metrics::snapshot().since(&before);
+    println!(
+        "  stage split (16x grid): decode {} ns, count {} ns, prefix {} ns",
+        delta.agg_decode_nanos, delta.agg_count_nanos, delta.agg_prefix_nanos
+    );
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = serde_json::to_value(&TrajectoryEntry {
+        bench: "aggregate_kernels",
+        unix_time,
+        cores,
+        samples: SAMPLES,
+        rows,
+        metrics: delta,
+    })
+    .expect("entry serializes");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_aggregate_kernels.json"
+    );
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    runs.push(entry);
+    let body = serde_json::to_string_pretty(&runs).expect("trajectory serializes");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("  trajectory appended to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -159,6 +159,13 @@ pub mod metrics {
     static MEASURE_NANOS: AtomicU64 = AtomicU64::new(0);
     static SEARCH_NANOS: AtomicU64 = AtomicU64::new(0);
     static DP_NANOS: AtomicU64 = AtomicU64::new(0);
+    static AGG_EDGES: AtomicU64 = AtomicU64::new(0);
+    static AGG_WALKS_BLOCKED: AtomicU64 = AtomicU64::new(0);
+    static AGG_WALKS_SCALAR: AtomicU64 = AtomicU64::new(0);
+    static AGG_WALKS_PARALLEL: AtomicU64 = AtomicU64::new(0);
+    static AGG_DECODE_NANOS: AtomicU64 = AtomicU64::new(0);
+    static AGG_COUNT_NANOS: AtomicU64 = AtomicU64::new(0);
+    static AGG_PREFIX_NANOS: AtomicU64 = AtomicU64::new(0);
 
     /// A wall-time bucket for [`PhaseTimer`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +178,13 @@ pub mod metrics {
         Search,
         /// Lattice-path optimization (full DP or warm restart).
         Dp,
+        /// Aggregation: decoding curve ranks into coordinate blocks.
+        AggDecode,
+        /// Aggregation: crossing-signature label lookups + counter bumps.
+        AggCount,
+        /// Aggregation: the k-dimensional prefix sum over the signature
+        /// table.
+        AggPrefix,
     }
 
     fn phase_cell(phase: Phase) -> &'static AtomicU64 {
@@ -179,6 +193,9 @@ pub mod metrics {
             Phase::Measure => &MEASURE_NANOS,
             Phase::Search => &SEARCH_NANOS,
             Phase::Dp => &DP_NANOS,
+            Phase::AggDecode => &AGG_DECODE_NANOS,
+            Phase::AggCount => &AGG_COUNT_NANOS,
+            Phase::AggPrefix => &AGG_PREFIX_NANOS,
         }
     }
 
@@ -197,6 +214,10 @@ pub mod metrics {
         runs_enumerated: u64,
         run_engine_queries: u64,
         cell_engine_queries: u64,
+        agg_edges: u64,
+        agg_walks_blocked: u64,
+        agg_walks_scalar: u64,
+        agg_walks_parallel: u64,
     }
 
     thread_local! {
@@ -241,6 +262,10 @@ pub mod metrics {
                 (&RUNS_ENUMERATED, c.runs_enumerated),
                 (&RUN_ENGINE_QUERIES, c.run_engine_queries),
                 (&CELL_ENGINE_QUERIES, c.cell_engine_queries),
+                (&AGG_EDGES, c.agg_edges),
+                (&AGG_WALKS_BLOCKED, c.agg_walks_blocked),
+                (&AGG_WALKS_SCALAR, c.agg_walks_scalar),
+                (&AGG_WALKS_PARALLEL, c.agg_walks_parallel),
             ] {
                 if n > 0 {
                     global.fetch_add(n, Ordering::Relaxed);
@@ -302,6 +327,28 @@ pub mod metrics {
         add(&CELL_ENGINE_QUERIES, |c| &mut c.cell_engine_queries, n);
     }
 
+    /// Records `n` curve edges classified by the whole-lattice aggregator.
+    pub fn record_agg_edges(n: u64) {
+        add(&AGG_EDGES, |c| &mut c.agg_edges, n);
+    }
+
+    /// Records one aggregation walk served by the blocked + LUT kernel.
+    pub fn record_agg_walk_blocked() {
+        add(&AGG_WALKS_BLOCKED, |c| &mut c.agg_walks_blocked, 1);
+    }
+
+    /// Records one aggregation walk served by the scalar reference kernel
+    /// (LUT construction declined the grid).
+    pub fn record_agg_walk_scalar() {
+        add(&AGG_WALKS_SCALAR, |c| &mut c.agg_walks_scalar, 1);
+    }
+
+    /// Records one aggregation walk that split the rank range across
+    /// parallel workers.
+    pub fn record_agg_walk_parallel() {
+        add(&AGG_WALKS_PARALLEL, |c| &mut c.agg_walks_parallel, 1);
+    }
+
     /// Times a phase from construction to drop, adding the elapsed wall
     /// time into the phase's bucket.
     #[must_use = "the timer measures until it is dropped"]
@@ -352,6 +399,21 @@ pub mod metrics {
         pub search_nanos: u64,
         /// Wall nanoseconds spent optimizing lattice paths.
         pub dp_nanos: u64,
+        /// Curve edges classified by the whole-lattice aggregator.
+        pub agg_edges: u64,
+        /// Aggregation walks served by the blocked + LUT kernel.
+        pub agg_walks_blocked: u64,
+        /// Aggregation walks served by the scalar reference kernel.
+        pub agg_walks_scalar: u64,
+        /// Aggregation walks that split the rank range across workers.
+        pub agg_walks_parallel: u64,
+        /// Wall nanoseconds decoding ranks into coordinate blocks (summed
+        /// across workers when the walk is parallel).
+        pub agg_decode_nanos: u64,
+        /// Wall nanoseconds in label lookups + signature counter bumps.
+        pub agg_count_nanos: u64,
+        /// Wall nanoseconds in the k-dimensional prefix sum.
+        pub agg_prefix_nanos: u64,
     }
 
     impl MetricsSnapshot {
@@ -376,6 +438,23 @@ pub mod metrics {
                 measure_nanos: self.measure_nanos.saturating_sub(earlier.measure_nanos),
                 search_nanos: self.search_nanos.saturating_sub(earlier.search_nanos),
                 dp_nanos: self.dp_nanos.saturating_sub(earlier.dp_nanos),
+                agg_edges: self.agg_edges.saturating_sub(earlier.agg_edges),
+                agg_walks_blocked: self
+                    .agg_walks_blocked
+                    .saturating_sub(earlier.agg_walks_blocked),
+                agg_walks_scalar: self
+                    .agg_walks_scalar
+                    .saturating_sub(earlier.agg_walks_scalar),
+                agg_walks_parallel: self
+                    .agg_walks_parallel
+                    .saturating_sub(earlier.agg_walks_parallel),
+                agg_decode_nanos: self
+                    .agg_decode_nanos
+                    .saturating_sub(earlier.agg_decode_nanos),
+                agg_count_nanos: self.agg_count_nanos.saturating_sub(earlier.agg_count_nanos),
+                agg_prefix_nanos: self
+                    .agg_prefix_nanos
+                    .saturating_sub(earlier.agg_prefix_nanos),
             }
         }
     }
@@ -394,6 +473,13 @@ pub mod metrics {
             measure_nanos: MEASURE_NANOS.load(Ordering::Relaxed),
             search_nanos: SEARCH_NANOS.load(Ordering::Relaxed),
             dp_nanos: DP_NANOS.load(Ordering::Relaxed),
+            agg_edges: AGG_EDGES.load(Ordering::Relaxed),
+            agg_walks_blocked: AGG_WALKS_BLOCKED.load(Ordering::Relaxed),
+            agg_walks_scalar: AGG_WALKS_SCALAR.load(Ordering::Relaxed),
+            agg_walks_parallel: AGG_WALKS_PARALLEL.load(Ordering::Relaxed),
+            agg_decode_nanos: AGG_DECODE_NANOS.load(Ordering::Relaxed),
+            agg_count_nanos: AGG_COUNT_NANOS.load(Ordering::Relaxed),
+            agg_prefix_nanos: AGG_PREFIX_NANOS.load(Ordering::Relaxed),
         }
     }
 
@@ -410,6 +496,13 @@ pub mod metrics {
         MEASURE_NANOS.store(0, Ordering::Relaxed);
         SEARCH_NANOS.store(0, Ordering::Relaxed);
         DP_NANOS.store(0, Ordering::Relaxed);
+        AGG_EDGES.store(0, Ordering::Relaxed);
+        AGG_WALKS_BLOCKED.store(0, Ordering::Relaxed);
+        AGG_WALKS_SCALAR.store(0, Ordering::Relaxed);
+        AGG_WALKS_PARALLEL.store(0, Ordering::Relaxed);
+        AGG_DECODE_NANOS.store(0, Ordering::Relaxed);
+        AGG_COUNT_NANOS.store(0, Ordering::Relaxed);
+        AGG_PREFIX_NANOS.store(0, Ordering::Relaxed);
     }
 }
 

@@ -28,14 +28,61 @@
 //! `total as f64 / queries as f64` division — the same division the
 //! brute-force path performs — so averages are **bit-identical** to
 //! [`crate::fragments::class_average_cost`], not merely close.
+//!
+//! ## Kernel design
+//!
+//! The production walk ([`aggregate_class_costs`] /
+//! [`aggregate_class_costs_with`]) is cache-blocked and branch-free:
+//!
+//! 1. **Blocked decode** — ranks stream through
+//!    [`Linearization::coords_block`] in [`BLOCK_EDGES`]-rank chunks into a
+//!    struct-of-arrays buffer, so structured curves decode incrementally
+//!    (odometer / bit flips) instead of paying a virtual call and a full
+//!    mixed-radix decode per rank.
+//! 2. **Boundary-label LUTs** — per dimension, each coordinate's packed
+//!    mixed-radix digit path is precomputed as a `u64` *label* (coarsest
+//!    digit in the high bits, one spare sentinel bit at the bottom). The
+//!    hierarchy level an edge crosses is then the field holding the most
+//!    significant differing label bit, so each dimension's contribution to
+//!    the signature index is `premul[63 ^ lzcnt((la ^ lb) | 1)]` — two
+//!    table loads, an xor and a count-leading-zeros, no branches, and the
+//!    inner loops auto-vectorize.
+//! 3. **Cache-blocked prefix sum** — the k-dimensional prefix sum runs
+//!    digit-chains over L1-resident tiles with unit-stride inner loops.
+//! 4. **Parallel spans** — the rank range splits into contiguous per-worker
+//!    spans, each worker filling a private `u64` signature table that is
+//!    folded element-wise on join. Integer addition is exact and each edge
+//!    `(r-1, r)` belongs to exactly one span (the one owning `r`), so the
+//!    fold is **bit-identical** to the serial walk, not merely close.
+//!
+//! [`aggregate_class_costs_reference`] retains the original scalar
+//! implementation as the differential-testing oracle; grids whose label
+//! tables would not fit the `u64` budget fall back to its per-edge
+//! ancestor scans automatically.
 
-use crate::Linearization;
+use crate::{CoordsBlock, Linearization};
 use serde::{Deserialize, Serialize};
 use snakes_core::lattice::{Class, LatticeShape};
-use snakes_core::parallel::metrics;
+use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
 use std::collections::HashMap;
+
+/// Ranks decoded per [`Linearization::coords_block`] call in the blocked
+/// walk: large enough to amortize per-block setup, small enough that the
+/// block's SoA columns, labels, and accumulator (~`(k + 2) * 32 KiB` at
+/// `k = 3`) stay L1/L2-resident.
+pub const BLOCK_EDGES: usize = 4096;
+
+/// Minimum edges per worker before the walk bothers splitting: below this
+/// the span setup (buffer allocation + one boundary decode) outweighs the
+/// win.
+const PAR_MIN_EDGES_PER_WORKER: u64 = 1 << 15;
+
+/// Total label-table entries (one `u64` per coordinate per dimension) the
+/// LUT builder is willing to allocate before falling back to the scalar
+/// kernel.
+const LUT_MAX_ENTRIES: u64 = 1 << 22;
 
 /// Exact per-class fragment totals for every class of the lattice,
 /// produced by one pass over the curve ([`aggregate_class_costs`]).
@@ -61,13 +108,97 @@ pub struct WholeLatticeCosts {
     queries: Vec<u64>,
 }
 
+/// Kernel options for [`aggregate_class_costs_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateOptions {
+    /// Worker pool for the curve walk. Defaults to serial: one walk is
+    /// already cheap, so splitting it only pays on large grids — callers
+    /// that hold a multi-core budget (the storage engine dispatch, the
+    /// benches) opt in explicitly.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for AggregateOptions {
+    fn default() -> Self {
+        Self {
+            parallel: ParallelConfig::serial(),
+        }
+    }
+}
+
+impl AggregateOptions {
+    /// Serial walk (the default).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// A walk parallelized across `parallel`'s workers.
+    pub fn with_parallel(parallel: ParallelConfig) -> Self {
+        Self { parallel }
+    }
+}
+
 /// Walks the curve once and aggregates fragment totals for the whole
-/// class lattice. See the module docs for the counting identity.
+/// class lattice, serially. See the module docs for the counting identity
+/// and the kernel design; [`aggregate_class_costs_with`] adds the
+/// parallel-span walk.
 ///
 /// # Panics
 ///
 /// Panics if the linearization's grid differs from the schema's.
 pub fn aggregate_class_costs(schema: &StarSchema, lin: &impl Linearization) -> WholeLatticeCosts {
+    let plan = AggregatePlan::of(schema, lin);
+    let counts = match build_luts(schema, &plan.strides) {
+        Some(luts) if plan.n >= 2 => {
+            metrics::record_agg_walk_blocked();
+            let mut counts = vec![0u64; plan.num_classes];
+            count_span_blocked(lin, &luts, plan.k, 1, plan.n, &mut counts);
+            counts
+        }
+        _ => count_edges_scalar(schema, lin, &plan),
+    };
+    plan.finish(schema, counts)
+}
+
+/// As [`aggregate_class_costs`], with explicit kernel options: the curve
+/// walk splits into contiguous rank spans across `opts.parallel`'s
+/// workers, each filling a private `u64` signature table folded
+/// element-wise on join — exact integer addition, each edge counted by
+/// exactly one span, so the result is bit-identical to the serial walk.
+///
+/// # Panics
+///
+/// Panics if the linearization's grid differs from the schema's.
+pub fn aggregate_class_costs_with(
+    schema: &StarSchema,
+    lin: &(impl Linearization + Sync),
+    opts: AggregateOptions,
+) -> WholeLatticeCosts {
+    let plan = AggregatePlan::of(schema, lin);
+    let counts = match build_luts(schema, &plan.strides) {
+        Some(luts) if plan.n >= 2 => {
+            metrics::record_agg_walk_blocked();
+            count_edges_parallel(lin, &luts, &plan, &opts)
+        }
+        _ => count_edges_scalar(schema, lin, &plan),
+    };
+    plan.finish(schema, counts)
+}
+
+/// The retained scalar reference aggregator: per-rank `coords` decode
+/// through virtual dispatch, per-edge `crossing_level` ancestor scans, the
+/// naive ascending-rank prefix sum, and per-class `unrank` query counting
+/// — exactly the pre-kernel-rewrite implementation, kept as the oracle the
+/// differential suites pin every production kernel (blocked + LUT,
+/// parallel spans, cache-blocked prefix sum) against, bit for bit.
+///
+/// # Panics
+///
+/// Panics if the linearization's grid differs from the schema's.
+pub fn aggregate_class_costs_reference(
+    schema: &StarSchema,
+    lin: &impl Linearization,
+) -> WholeLatticeCosts {
     assert_eq!(
         lin.extents(),
         schema.grid_shape().as_slice(),
@@ -133,6 +264,306 @@ pub fn aggregate_class_costs(schema: &StarSchema, lin: &impl Linearization) -> W
         internal: counts,
         queries,
     }
+}
+
+/// The shared geometry every aggregation path needs, plus the shared
+/// post-walk finish (prefix sum + query counts).
+struct AggregatePlan {
+    shape: LatticeShape,
+    k: usize,
+    num_classes: usize,
+    /// Mixed-radix strides matching `LatticeShape::rank` (dim 0 fastest).
+    strides: Vec<usize>,
+    n: u64,
+}
+
+impl AggregatePlan {
+    fn of(schema: &StarSchema, lin: &impl Linearization) -> Self {
+        assert_eq!(
+            lin.extents(),
+            schema.grid_shape().as_slice(),
+            "linearization grid must match the schema"
+        );
+        let shape = LatticeShape::of_schema(schema);
+        let k = schema.k();
+        let num_classes = shape.num_classes();
+        let mut strides = vec![1usize; k];
+        for d in 1..k {
+            strides[d] = strides[d - 1] * (shape.top_level(d - 1) + 1);
+        }
+        let n = schema.num_cells();
+        if n >= 2 {
+            metrics::record_agg_edges(n - 1);
+        }
+        Self {
+            shape,
+            k,
+            num_classes,
+            strides,
+            n,
+        }
+    }
+
+    fn finish(self, schema: &StarSchema, mut counts: Vec<u64>) -> WholeLatticeCosts {
+        let signature = counts.clone();
+        {
+            let _t = metrics::PhaseTimer::start(metrics::Phase::AggPrefix);
+            prefix_sum_in_place(&mut counts, &self.shape, &self.strides);
+        }
+        WholeLatticeCosts {
+            queries: query_counts(schema, &self.shape),
+            shape: self.shape,
+            num_cells: self.n,
+            signature,
+            internal: counts,
+        }
+    }
+}
+
+/// Per-dimension boundary-label lookup tables (kernel design step 2).
+struct DimLut {
+    /// `labels[x]`: coordinate `x`'s mixed-radix digit path packed into bit
+    /// fields, coarsest level highest, shifted up one bit (bit 0 is the
+    /// `| 1` sentinel of the branch-free msb extraction). Labels are
+    /// injective — the digits determine the coordinate — so equal labels
+    /// mean equal coordinates.
+    labels: Vec<u64>,
+    /// `premul[m]`: the signature-index contribution (`crossing level ×
+    /// class-rank stride`) of an edge whose label-xor's most significant
+    /// set bit is `m`. Bit `m` lies in digit field `i` exactly when the
+    /// highest differing digit is `i`, i.e. the crossing level is `i + 1`;
+    /// `premul[0] = 0` covers equal coordinates (xor 0, sentinel bit).
+    premul: [usize; 64],
+}
+
+/// Builds the per-dimension label LUTs, or `None` when the grid declines
+/// them (label bits would exceed a `u64`, or the tables would be
+/// unreasonably large) — callers then fall back to the scalar kernel.
+fn build_luts(schema: &StarSchema, strides: &[usize]) -> Option<Vec<DimLut>> {
+    let total_entries: u64 = schema.grid_shape().iter().copied().sum();
+    if total_entries > LUT_MAX_ENTRIES {
+        return None;
+    }
+    let mut luts = Vec::with_capacity(schema.k());
+    for (d, &stride) in strides.iter().enumerate() {
+        let hierarchy = schema.dim(d);
+        let fanouts = hierarchy.fanouts();
+        let mut premul = [0usize; 64];
+        let mut field_offset = Vec::with_capacity(fanouts.len());
+        let mut cursor = 1u32; // bit 0 is the sentinel
+        for (i, &f) in fanouts.iter().enumerate() {
+            // Fan-out 1 digits are constant 0: zero-width field, can never
+            // hold the msb, and indeed can never be the crossing level.
+            let width = if f <= 1 {
+                0
+            } else {
+                64 - (f - 1).leading_zeros()
+            };
+            if cursor + width > 64 {
+                return None;
+            }
+            for bit in cursor..cursor + width {
+                premul[bit as usize] = (i + 1) * stride;
+            }
+            field_offset.push(cursor);
+            cursor += width;
+        }
+        let extent = hierarchy.leaf_count();
+        let mut labels = Vec::with_capacity(extent as usize);
+        for x in 0..extent {
+            let mut label = 0u64;
+            let mut size = 1u64;
+            for (i, &f) in fanouts.iter().enumerate() {
+                label |= ((x / size) % f) << field_offset[i];
+                size *= f;
+            }
+            labels.push(label);
+        }
+        luts.push(DimLut { labels, premul });
+    }
+    Some(luts)
+}
+
+/// Counts the crossing signatures of the edges `(r - 1, r)` for `r` in
+/// `lo..hi` into `counts`, block by block (kernel design steps 1–2).
+/// Requires `lo >= 1`.
+fn count_span_blocked<L: Linearization + ?Sized>(
+    lin: &L,
+    luts: &[DimLut],
+    k: usize,
+    lo: u64,
+    hi: u64,
+    counts: &mut [u64],
+) {
+    let block = BLOCK_EDGES.min((hi - lo) as usize).max(1);
+    let mut coords = CoordsBlock::new(k, block);
+    // `labels[0]` carries the previous block's last label per dimension, so
+    // cross-block edges (and the span's boundary edge) are classified
+    // exactly once, by the span owning the edge's *end* rank.
+    let mut labels = vec![0u64; block + 1];
+    let mut acc = vec![0usize; block];
+    let mut carries = vec![0u64; k];
+    {
+        let mut first = vec![0u64; k];
+        lin.coords(lo - 1, &mut first);
+        for (carry, (&c, lut)) in carries.iter_mut().zip(first.iter().zip(luts)) {
+            *carry = lut.labels[c as usize];
+        }
+    }
+    let mut pos = lo;
+    while pos < hi {
+        let m = ((hi - pos) as usize).min(block);
+        {
+            let _t = metrics::PhaseTimer::start(metrics::Phase::AggDecode);
+            lin.coords_block(pos, m, &mut coords);
+        }
+        let _t = metrics::PhaseTimer::start(metrics::Phase::AggCount);
+        for (d, lut) in luts.iter().enumerate() {
+            labels[0] = carries[d];
+            for (slot, &c) in labels[1..=m].iter_mut().zip(coords.col(d)) {
+                *slot = lut.labels[c as usize];
+            }
+            carries[d] = labels[m];
+            // Branch-free crossing contribution: two label loads, xor,
+            // count-leading-zeros, one premul load. The `| 1` sentinel
+            // maps equal labels to premul[0] = 0.
+            let premul = &lut.premul;
+            if d == 0 {
+                for (a, w) in acc[..m].iter_mut().zip(labels.windows(2)) {
+                    *a = premul[63 - ((w[0] ^ w[1]) | 1).leading_zeros() as usize];
+                }
+            } else {
+                for (a, w) in acc[..m].iter_mut().zip(labels.windows(2)) {
+                    *a += premul[63 - ((w[0] ^ w[1]) | 1).leading_zeros() as usize];
+                }
+            }
+        }
+        for &idx in &acc[..m] {
+            counts[idx] += 1;
+        }
+        pos += m as u64;
+    }
+}
+
+/// Kernel design step 4: splits the edge ranks `1..n` into contiguous
+/// spans, one private signature table per worker, folded element-wise on
+/// join. Falls back to one serial span when the pool or the grid is small.
+fn count_edges_parallel<L: Linearization + Sync>(
+    lin: &L,
+    luts: &[DimLut],
+    plan: &AggregatePlan,
+    opts: &AggregateOptions,
+) -> Vec<u64> {
+    let edges = plan.n - 1;
+    let max_by_size = (edges / PAR_MIN_EDGES_PER_WORKER).max(1);
+    let pool = opts
+        .parallel
+        .resolved_threads(edges.min(usize::MAX as u64) as usize);
+    let workers = (pool as u64).min(max_by_size) as usize;
+    if workers <= 1 {
+        let mut counts = vec![0u64; plan.num_classes];
+        count_span_blocked(lin, luts, plan.k, 1, plan.n, &mut counts);
+        return counts;
+    }
+    metrics::record_agg_walk_parallel();
+    let w64 = workers as u128;
+    let tables = opts.parallel.run_indexed(workers, |w| {
+        let lo = 1 + (w as u128 * edges as u128 / w64) as u64;
+        let hi = 1 + ((w as u128 + 1) * edges as u128 / w64) as u64;
+        let mut counts = vec![0u64; plan.num_classes];
+        count_span_blocked(lin, luts, plan.k, lo, hi, &mut counts);
+        counts
+    });
+    let mut total = vec![0u64; plan.num_classes];
+    for table in tables {
+        for (dst, src) in total.iter_mut().zip(table) {
+            *dst += src;
+        }
+    }
+    total
+}
+
+/// The scalar fallback edge counter (same per-edge logic as
+/// [`aggregate_class_costs_reference`]'s walk), used when
+/// [`build_luts`] declines the grid.
+fn count_edges_scalar<L: Linearization + ?Sized>(
+    schema: &StarSchema,
+    lin: &L,
+    plan: &AggregatePlan,
+) -> Vec<u64> {
+    metrics::record_agg_walk_scalar();
+    let mut counts = vec![0u64; plan.num_classes];
+    let mut prev = vec![0u64; plan.k];
+    let mut cur = vec![0u64; plan.k];
+    if plan.n == 0 {
+        return counts;
+    }
+    lin.coords(0, &mut prev);
+    for r in 1..plan.n {
+        lin.coords(r, &mut cur);
+        let mut idx = 0usize;
+        for d in 0..plan.k {
+            if let Some(level) = schema.dim(d).crossing_level(prev[d], cur[d]) {
+                idx += level * plan.strides[d];
+            }
+        }
+        counts[idx] += 1;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    counts
+}
+
+/// In-place k-dimensional prefix sum (kernel design step 3): `counts[u]`
+/// becomes `Σ_{σ ≤ u componentwise} counts[σ]` = the class's internal-edge
+/// count. Per dimension, each element's accumulation chain runs over its
+/// dp-digit alone, ascending; tiling the `off < stride` axis keeps a tile
+/// L1-resident across the whole digit chain while the inner loops stay
+/// unit-stride. Exact `u64` addition over the same per-element operand
+/// sequence as the naive ascending-rank sweep ⇒ identical tables.
+fn prefix_sum_in_place(counts: &mut [u64], shape: &LatticeShape, strides: &[usize]) {
+    const TILE: usize = 4096;
+    for (d, &stride) in strides.iter().enumerate() {
+        let radix = shape.top_level(d) + 1;
+        let group = stride * radix;
+        let mut base = 0;
+        while base < counts.len() {
+            let grp = &mut counts[base..base + group];
+            let mut t = 0;
+            while t < stride {
+                let len = TILE.min(stride - t);
+                for digit in 1..radix {
+                    let (prev, cur) = grp[(digit - 1) * stride + t..].split_at_mut(stride);
+                    for (c, p) in cur[..len].iter_mut().zip(&prev[..len]) {
+                        *c += *p;
+                    }
+                }
+                t += len;
+            }
+            base += group;
+        }
+    }
+}
+
+/// Exact per-class query counts via an iterative outer product over the
+/// per-dimension `nodes_at_level` tables — no per-rank `unrank` (which
+/// allocates a `Class` vector per class). Rank order is dim-0-fastest,
+/// matching `LatticeShape::rank`, so each dimension extends the table by
+/// repeating it once per level. Products are exact `u64`s associated in
+/// dimension order, the same values the reference's per-rank product
+/// yields.
+fn query_counts(schema: &StarSchema, shape: &LatticeShape) -> Vec<u64> {
+    let mut queries = vec![1u64];
+    for d in 0..schema.k() {
+        let levels: Vec<u64> = (0..=shape.top_level(d))
+            .map(|level| schema.dim(d).nodes_at_level(level))
+            .collect();
+        let mut next = Vec::with_capacity(queries.len() * levels.len());
+        for &nodes in &levels {
+            next.extend(queries.iter().map(|&q| q * nodes));
+        }
+        queries = next;
+    }
+    queries
 }
 
 impl WholeLatticeCosts {
@@ -325,12 +756,23 @@ pub struct SignatureCache {
     map: HashMap<String, WholeLatticeCosts>,
     hits: u64,
     misses: u64,
+    options: AggregateOptions,
 }
 
 impl SignatureCache {
-    /// An empty cache.
+    /// An empty cache whose misses walk curves serially.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache whose misses walk curves under `options` (e.g. a
+    /// parallel span walk). Tables are bit-identical whatever the options,
+    /// so mixing caches built under different options is safe.
+    pub fn with_options(options: AggregateOptions) -> Self {
+        Self {
+            options,
+            ..Self::default()
+        }
     }
 
     fn key(schema: &StarSchema, id: &StrategyId) -> String {
@@ -347,7 +789,7 @@ impl SignatureCache {
     pub fn get_or_compute(
         &mut self,
         schema: &StarSchema,
-        lin: &impl Linearization,
+        lin: &(impl Linearization + Sync),
         id: &StrategyId,
     ) -> &WholeLatticeCosts {
         let key = Self::key(schema, id);
@@ -360,7 +802,7 @@ impl SignatureCache {
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.misses += 1;
                 metrics::record_cache_miss();
-                e.insert(aggregate_class_costs(schema, lin))
+                e.insert(aggregate_class_costs_with(schema, lin, self.options))
             }
         }
     }
@@ -373,7 +815,7 @@ impl SignatureCache {
     /// # Panics
     ///
     /// As [`SignatureCache::get_or_compute`].
-    pub fn get_or_compute_with<L: Linearization>(
+    pub fn get_or_compute_with<L: Linearization + Sync>(
         &mut self,
         schema: &StarSchema,
         id: &StrategyId,
@@ -389,7 +831,7 @@ impl SignatureCache {
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.misses += 1;
                 metrics::record_cache_miss();
-                e.insert(aggregate_class_costs(schema, &lin()))
+                e.insert(aggregate_class_costs_with(schema, &lin(), self.options))
             }
         }
     }
@@ -444,8 +886,7 @@ impl SignatureCache {
         let entries: Vec<SignatureEntry> = serde_json::from_str(json)?;
         Ok(Self {
             map: entries.into_iter().map(|e| (e.key, e.table)).collect(),
-            hits: 0,
-            misses: 0,
+            ..Self::default()
         })
     }
 }
@@ -618,6 +1059,89 @@ mod tests {
         assert_ne!(ids[0], ids[1]);
         assert_ne!(ids[0], ids[2]);
         assert_eq!(ids[0], StrategyId::of_order(&row), "hash is deterministic");
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_exactly() {
+        let schema = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("a", vec![3, 2, 2]).unwrap(),
+            snakes_core::schema::Hierarchy::new("b", vec![5]).unwrap(),
+            snakes_core::schema::Hierarchy::new("c", vec![2, 3]).unwrap(),
+        ])
+        .unwrap();
+        let extents = schema.grid_shape();
+        let curves: Vec<Box<dyn Linearization + Sync>> = vec![
+            Box::new(NestedLoops::row_major(extents.clone(), &[0, 1, 2])),
+            Box::new(NestedLoops::boustrophedon(extents.clone(), &[2, 0, 1])),
+        ];
+        for boxed in &curves {
+            let lin = boxed.as_ref();
+            let reference = aggregate_class_costs_reference(&schema, &lin);
+            assert_eq!(aggregate_class_costs(&schema, &lin), reference);
+            for threads in [1, 2, 4] {
+                let opts = AggregateOptions::with_parallel(
+                    snakes_core::parallel::ParallelConfig::with_threads(threads),
+                );
+                assert_eq!(
+                    aggregate_class_costs_with(&schema, &lin, opts),
+                    reference,
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_walk_splits_spans_and_stays_exact() {
+        // A grid big enough to clear PAR_MIN_EDGES_PER_WORKER at 2 workers,
+        // so the span fold genuinely runs.
+        let schema = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("a", vec![64, 8]).unwrap(),
+            snakes_core::schema::Hierarchy::new("b", vec![16, 16]).unwrap(),
+        ])
+        .unwrap();
+        let lin = NestedLoops::boustrophedon(schema.grid_shape(), &[0, 1]);
+        let reference = aggregate_class_costs_reference(&schema, &lin);
+        let before = metrics::snapshot();
+        let opts =
+            AggregateOptions::with_parallel(snakes_core::parallel::ParallelConfig::with_threads(2));
+        assert_eq!(aggregate_class_costs_with(&schema, &lin, opts), reference);
+        let delta = metrics::snapshot().since(&before);
+        assert!(delta.agg_walks_parallel >= 1, "span walk must have split");
+    }
+
+    #[test]
+    fn lut_builder_declines_oversized_grids() {
+        // A 2^63-leaf dimension: the label tables would dwarf memory, so
+        // the builder must decline and route callers to the scalar kernel.
+        let schema = StarSchema::new(vec![snakes_core::schema::Hierarchy::new(
+            "deep",
+            vec![2; 63],
+        )
+        .unwrap()])
+        .unwrap();
+        let strides = vec![1usize];
+        assert!(build_luts(&schema, &strides).is_none());
+    }
+
+    #[test]
+    fn query_counts_match_unrank_products() {
+        let schema = StarSchema::new(vec![
+            snakes_core::schema::Hierarchy::new("a", vec![3, 2]).unwrap(),
+            snakes_core::schema::Hierarchy::new("b", vec![2, 2, 2]).unwrap(),
+        ])
+        .unwrap();
+        let shape = LatticeShape::of_schema(&schema);
+        let got = query_counts(&schema, &shape);
+        let want: Vec<u64> = (0..shape.num_classes())
+            .map(|r| {
+                let u = shape.unrank(r);
+                (0..schema.k())
+                    .map(|d| schema.dim(d).nodes_at_level(u.level(d)))
+                    .product()
+            })
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

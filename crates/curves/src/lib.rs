@@ -31,7 +31,10 @@ pub mod runs;
 pub mod search;
 pub mod zorder;
 
-pub use aggregate::{aggregate_class_costs, SignatureCache, StrategyId, WholeLatticeCosts};
+pub use aggregate::{
+    aggregate_class_costs, aggregate_class_costs_reference, aggregate_class_costs_with,
+    AggregateOptions, SignatureCache, StrategyId, WholeLatticeCosts,
+};
 pub use analysis::{
     alternating_paths, hilbert_sandwich_certificate, hilbert_sandwich_pair,
     hilbert_sandwich_pair_with, sandwich_certificate, SandwichCertificate,
@@ -46,6 +49,88 @@ pub use search::{
     multistart_two_opt, two_opt_search, EdgeWeights, ExplicitStrategy, MultistartResult,
 };
 pub use zorder::ZOrderCurve;
+
+/// A struct-of-arrays coordinate buffer for [`Linearization::coords_block`]:
+/// one contiguous column of `capacity` slots per dimension, so a decoded
+/// block exposes each dimension's coordinates as a dense `&[u64]` the
+/// aggregation kernels can stream with unit stride.
+///
+/// The columns live in one flat allocation (`data[d * capacity + i]` is
+/// rank `start + i`'s coordinate in dimension `d`); `len` tracks how many
+/// rows the last decode filled.
+#[derive(Debug, Clone)]
+pub struct CoordsBlock {
+    k: usize,
+    capacity: usize,
+    len: usize,
+    data: Vec<u64>,
+}
+
+impl CoordsBlock {
+    /// An empty buffer for `k`-dimensional blocks of up to `capacity` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `capacity` is zero.
+    pub fn new(k: usize, capacity: usize) -> Self {
+        assert!(k > 0, "need at least one dimension");
+        assert!(capacity > 0, "need a nonzero block capacity");
+        Self {
+            k,
+            capacity,
+            len: 0,
+            data: vec![0; k * capacity],
+        }
+    }
+
+    /// Number of dimensions per row.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum rows a decode may fill.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows filled by the last decode.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last decode filled zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks `len` rows as filled (decoder side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > capacity`.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= self.capacity, "len exceeds block capacity");
+        self.len = len;
+    }
+
+    /// Dimension `d`'s coordinates for the filled rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= k`.
+    pub fn col(&self, d: usize) -> &[u64] {
+        &self.data[d * self.capacity..d * self.capacity + self.len]
+    }
+
+    /// Dimension `d`'s full column (all `capacity` slots, for decoders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= k`.
+    pub fn col_mut(&mut self, d: usize) -> &mut [u64] {
+        &mut self.data[d * self.capacity..(d + 1) * self.capacity]
+    }
+}
 
 /// A bijection between the cells of a k-dimensional grid and visit ranks
 /// `0..num_cells`. Rank order is the clustering order on disk.
@@ -97,6 +182,39 @@ pub trait Linearization {
         out
     }
 
+    /// Decodes the `len` consecutive ranks `start..start + len` into `out`
+    /// (struct-of-arrays: `out.col(d)[i]` is rank `start + i`'s coordinate
+    /// in dimension `d`), leaving `out.len() == len`.
+    ///
+    /// The default implementation calls [`Linearization::coords`] once per
+    /// rank. Curves whose next cell is cheap to derive from the current one
+    /// (nested loops and snakes via an odometer, Z-order via rank-bit
+    /// flips) override it to decode whole blocks incrementally — the hot
+    /// path of `aggregate::aggregate_class_costs`, which would otherwise
+    /// pay a virtual call and a full mixed-radix decode per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.k()` differs from the grid arity, `len` exceeds
+    /// `out.capacity()`, or `start + len` exceeds `num_cells()`.
+    fn coords_block(&self, start: u64, len: usize, out: &mut CoordsBlock) {
+        let k = self.extents().len();
+        assert_eq!(out.k(), k, "block arity must match the grid");
+        assert!(len <= out.capacity(), "len exceeds block capacity");
+        assert!(
+            start + len as u64 <= self.num_cells(),
+            "block exceeds num_cells"
+        );
+        let mut row = vec![0u64; k];
+        for i in 0..len {
+            self.coords(start + i as u64, &mut row);
+            for (d, &c) in row.iter().enumerate() {
+                out.col_mut(d)[i] = c;
+            }
+        }
+        out.set_len(len);
+    }
+
     /// Enumerates the maximal runs of consecutive ranks covering the
     /// subgrid `ranges\[0\] × ranges\[1\] × ...`, in increasing rank order.
     /// `sink` receives each run as `(start, len)`; runs never touch
@@ -135,6 +253,9 @@ impl<T: Linearization + ?Sized> Linearization for &T {
     fn coords(&self, rank: u64, out: &mut [u64]) {
         (**self).coords(rank, out)
     }
+    fn coords_block(&self, start: u64, len: usize, out: &mut CoordsBlock) {
+        (**self).coords_block(start, len, out)
+    }
     fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
         (**self).rank_runs(ranges, sink)
     }
@@ -145,8 +266,50 @@ impl<T: Linearization + ?Sized> Linearization for &T {
 
 #[cfg(test)]
 pub(crate) mod test_util {
-    use super::Linearization;
+    use super::{CoordsBlock, Linearization};
     use std::collections::HashSet;
+
+    /// Checks that `coords_block` agrees with per-rank `coords` for a
+    /// hostile set of block boundaries (tiny blocks, odd offsets, a block
+    /// spanning the whole grid).
+    pub fn assert_blocked_decode_matches(lin: &impl Linearization) {
+        let n = lin.num_cells();
+        assert!(n <= 1 << 20, "test grid too large");
+        let k = lin.extents().len();
+        for cap in [1usize, 3, 7, n as usize] {
+            let mut block = CoordsBlock::new(k, cap);
+            let mut start = 0u64;
+            while start < n {
+                let len = (cap as u64).min(n - start) as usize;
+                lin.coords_block(start, len, &mut block);
+                assert_eq!(block.len(), len);
+                for i in 0..len {
+                    let want = lin.coords_vec(start + i as u64);
+                    for (d, &w) in want.iter().enumerate() {
+                        assert_eq!(
+                            block.col(d)[i],
+                            w,
+                            "rank {} dim {d} (cap {cap})",
+                            start + i as u64
+                        );
+                    }
+                }
+                start += len as u64;
+            }
+            // An unaligned restart: decode a block starting mid-grid.
+            if n > 2 {
+                let start = n / 3;
+                let len = (cap as u64).min(n - start) as usize;
+                lin.coords_block(start, len, &mut block);
+                for i in 0..len {
+                    let want = lin.coords_vec(start + i as u64);
+                    for (d, &w) in want.iter().enumerate() {
+                        assert_eq!(block.col(d)[i], w, "mid-grid rank {}", start + i as u64);
+                    }
+                }
+            }
+        }
+    }
 
     /// Checks that `lin` is a bijection and that `rank` inverts `coords`.
     pub fn assert_bijection(lin: &impl Linearization) {

@@ -8,7 +8,7 @@
 //! reverses on every increment of its enclosing loops — the paper's snaking
 //! (Definition 5) — which removes all diagonal transitions.
 
-use crate::Linearization;
+use crate::{CoordsBlock, Linearization};
 
 /// One loop of a nested-loop curve: iterates `radix` values of one digit of
 /// dimension `dim`.
@@ -135,6 +135,91 @@ impl NestedLoops {
     }
 }
 
+/// Odometer state for [`NestedLoops::coords_block`]: the current rank's
+/// loop digits, snake parities, and coordinates, advanced by one rank in
+/// amortized `O(1)` (a carry chain touches loop `j` once every
+/// `strides[j]` ranks).
+struct Odometer<'a> {
+    nest: &'a NestedLoops,
+    /// Rank digit of each loop, innermost first.
+    digits: Vec<u64>,
+    /// For snaked curves: the direction parity *seen by* each loop (the
+    /// running parity after folding in the rank digits of all outer
+    /// loops). Unused when plain.
+    parity: Vec<u64>,
+    coords: Vec<u64>,
+}
+
+impl<'a> Odometer<'a> {
+    fn at(nest: &'a NestedLoops, rank: u64) -> Self {
+        let m = nest.loops.len();
+        let mut digits = vec![0u64; m];
+        let mut parity = vec![0u64; m];
+        let mut coords = vec![0u64; nest.extents.len()];
+        let mut par = 0u64;
+        for j in (0..m).rev() {
+            let radix = nest.loops[j].radix;
+            let rd = (rank / nest.strides[j]) % radix;
+            digits[j] = rd;
+            parity[j] = par;
+            let actual = if nest.snaked && par == 1 {
+                radix - 1 - rd
+            } else {
+                rd
+            };
+            coords[nest.loops[j].dim] += actual * nest.divisors[j];
+            par = (rd & 1) ^ ((radix & 1) & par);
+        }
+        Self {
+            nest,
+            digits,
+            parity,
+            coords,
+        }
+    }
+
+    /// The actual (post-snaking) value loop `j` contributes right now.
+    #[inline]
+    fn actual(&self, j: usize) -> u64 {
+        let radix = self.nest.loops[j].radix;
+        if self.nest.snaked && self.parity[j] == 1 {
+            radix - 1 - self.digits[j]
+        } else {
+            self.digits[j]
+        }
+    }
+
+    /// Advances to the next rank. The caller guarantees the next rank is
+    /// still in range.
+    #[inline]
+    fn step(&mut self) {
+        // Find the carry target: the innermost loop whose digit does not
+        // wrap. Loops below it reset to rank-digit 0; their parities (and
+        // the carry loop's own) must then be recomputed top-down because
+        // they depend on the digits of every outer loop.
+        let mut c = 0;
+        while self.digits[c] + 1 == self.nest.loops[c].radix {
+            c += 1;
+        }
+        // Remove the stale coordinate contributions of loops 0..=c, bump
+        // the digits, then re-add with refreshed parities.
+        for j in (0..=c).rev() {
+            self.coords[self.nest.loops[j].dim] -= self.actual(j) * self.nest.divisors[j];
+        }
+        self.digits[c] += 1;
+        for d in self.digits[..c].iter_mut() {
+            *d = 0;
+        }
+        let mut par = self.parity[c];
+        for j in (0..=c).rev() {
+            self.parity[j] = par;
+            self.coords[self.nest.loops[j].dim] += self.actual(j) * self.nest.divisors[j];
+            let radix = self.nest.loops[j].radix;
+            par = (self.digits[j] & 1) ^ ((radix & 1) & par);
+        }
+    }
+}
+
 impl Linearization for NestedLoops {
     fn extents(&self) -> &[u64] {
         &self.extents
@@ -188,6 +273,32 @@ impl Linearization for NestedLoops {
             out[self.loops[j].dim] += actual * self.divisors[j];
             parity = (rd & 1) ^ ((radix & 1) & parity);
         }
+    }
+
+    /// Incremental odometer decode: one mixed-radix carry per rank instead
+    /// of a full `O(loops)` re-decode, with snake parities refreshed only
+    /// along the carry chain.
+    fn coords_block(&self, start: u64, len: usize, out: &mut CoordsBlock) {
+        assert_eq!(out.k(), self.extents.len(), "block arity must match");
+        assert!(len <= out.capacity(), "len exceeds block capacity");
+        assert!(
+            start + len as u64 <= self.num_cells(),
+            "block exceeds num_cells"
+        );
+        if len == 0 {
+            out.set_len(0);
+            return;
+        }
+        let mut odo = Odometer::at(self, start);
+        for i in 0..len {
+            for (d, &c) in odo.coords.iter().enumerate() {
+                out.col_mut(d)[i] = c;
+            }
+            if i + 1 < len {
+                odo.step();
+            }
+        }
+        out.set_len(len);
     }
 
     fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
@@ -303,6 +414,44 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn rejects_bad_order() {
         NestedLoops::row_major(vec![2, 2], &[0, 0]);
+    }
+
+    #[test]
+    fn blocked_decode_matches_per_rank() {
+        use crate::test_util::assert_blocked_decode_matches;
+        let interleaved = vec![
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 1, radix: 3 },
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 1, radix: 2 },
+            Loop { dim: 0, radix: 3 },
+        ];
+        for snaked in [false, true] {
+            assert_blocked_decode_matches(&NestedLoops::from_order(
+                vec![4, 6, 5],
+                &[2, 0, 1],
+                snaked,
+            ));
+            assert_blocked_decode_matches(&NestedLoops::new(
+                vec![12, 6],
+                interleaved.clone(),
+                snaked,
+            ));
+        }
+        // Radix-1 loops exercise degenerate carry chains.
+        let with_singletons = vec![
+            Loop { dim: 0, radix: 2 },
+            Loop { dim: 0, radix: 1 },
+            Loop { dim: 1, radix: 3 },
+            Loop { dim: 1, radix: 1 },
+        ];
+        for snaked in [false, true] {
+            assert_blocked_decode_matches(&NestedLoops::new(
+                vec![2, 3],
+                with_singletons.clone(),
+                snaked,
+            ));
+        }
     }
 
     #[test]

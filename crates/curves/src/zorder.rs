@@ -2,7 +2,7 @@
 //! \[17\], the quadrant-based strategy of the paper's Figure 2(a) family.
 
 use crate::nested::{Loop, NestedLoops};
-use crate::Linearization;
+use crate::{CoordsBlock, Linearization};
 
 /// Morton / Z-order over a grid whose extents are powers of two (dimensions
 /// may have different sizes; bits are interleaved round-robin starting from
@@ -94,6 +94,50 @@ impl Linearization for ZOrderCurve {
         }
     }
 
+    /// Incremental decode: `rank ^ (rank + 1)` names exactly the Morton
+    /// bits that flip on a step, and each rank bit toggles one coordinate
+    /// bit — amortized two bit flips per rank instead of a full
+    /// de-interleave.
+    fn coords_block(&self, start: u64, len: usize, out: &mut CoordsBlock) {
+        assert_eq!(out.k(), self.extents.len(), "block arity must match");
+        assert!(len <= out.capacity(), "len exceeds block capacity");
+        assert!(
+            start + len as u64 <= self.num_cells(),
+            "block exceeds num_cells"
+        );
+        if len == 0 {
+            out.set_len(0);
+            return;
+        }
+        // Rank bit -> (dimension, coordinate bit) of the interleave.
+        let max_bits = self.bits.iter().copied().max().unwrap_or(0);
+        let mut bit_map = Vec::with_capacity(self.bits.iter().map(|&b| b as usize).sum());
+        for level in 0..max_bits {
+            for (d, &b) in self.bits.iter().enumerate() {
+                if level < b {
+                    bit_map.push((d, level));
+                }
+            }
+        }
+        let mut cur = vec![0u64; self.extents.len()];
+        self.coords(start, &mut cur);
+        for i in 0..len {
+            for (d, &c) in cur.iter().enumerate() {
+                out.col_mut(d)[i] = c;
+            }
+            if i + 1 < len {
+                let r = start + i as u64;
+                let mut changed = r ^ (r + 1);
+                while changed != 0 {
+                    let (d, level) = bit_map[changed.trailing_zeros() as usize];
+                    cur[d] ^= 1 << level;
+                    changed &= changed - 1;
+                }
+            }
+        }
+        out.set_len(len);
+    }
+
     fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {
         self.nest.rank_runs(ranges, sink);
     }
@@ -141,6 +185,14 @@ mod tests {
         assert_eq!(z.rank(&[0, 1]), 0b10);
         assert_eq!(z.rank(&[4, 0]), 0b1000);
         assert_bijection(&z);
+    }
+
+    #[test]
+    fn blocked_decode_matches_per_rank() {
+        use crate::test_util::assert_blocked_decode_matches;
+        for extents in [vec![4, 4], vec![8, 2], vec![2, 4, 8], vec![16], vec![1, 4]] {
+            assert_blocked_decode_matches(&ZOrderCurve::new(extents));
+        }
     }
 
     #[test]

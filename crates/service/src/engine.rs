@@ -14,8 +14,8 @@ use crate::error::ServiceError;
 use crate::fault::{request_token, FaultPlan};
 use crate::metrics::Registry;
 use crate::protocol::{
-    CacheStatsBody, DriftBody, MeasuredBody, PriceBody, RecommendationBody, Request, Response,
-    RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
+    AggregationStatsBody, CacheStatsBody, DriftBody, MeasuredBody, PriceBody, RecommendationBody,
+    Request, Response, RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
 };
 use parking_lot::Mutex;
 use snakes_core::advisor::{recommend_with_model, Recommendation};
@@ -823,6 +823,7 @@ impl Engine {
                 .load(std::sync::atomic::Ordering::Relaxed),
             batching: self.registry.batching_body(),
             storage: self.storage_stats_body(),
+            aggregation: aggregation_stats_body(),
         }
     }
 
@@ -922,6 +923,22 @@ impl Engine {
     }
 }
 
+/// Aggregation-kernel counters for the `stats` payload. The underlying
+/// metrics registry is process-global (shared with every engine in the
+/// process), matching how phase timings are collected elsewhere.
+fn aggregation_stats_body() -> AggregationStatsBody {
+    let m = snakes_core::parallel::metrics::snapshot();
+    AggregationStatsBody {
+        walks_blocked: m.agg_walks_blocked,
+        walks_scalar: m.agg_walks_scalar,
+        walks_parallel: m.agg_walks_parallel,
+        edges: m.agg_edges,
+        decode_nanos: m.agg_decode_nanos,
+        count_nanos: m.agg_count_nanos,
+        prefix_nanos: m.agg_prefix_nanos,
+    }
+}
+
 /// Whether a response settles its request for good. Authoritative
 /// outcomes are cached under the idempotency key; transient ones
 /// (shedding, deadlines, panics, drains) must stay uncached so a retry
@@ -954,6 +971,14 @@ impl Linearization for WireCurve {
         match self {
             WireCurve::Path(c) => c.coords(rank, out),
             WireCurve::Hilbert(c) => c.coords(rank, out),
+        }
+    }
+    fn coords_block(&self, start: u64, len: usize, out: &mut snakes_curves::CoordsBlock) {
+        // Forwarded so the blocked aggregation kernel sees the concrete
+        // curve's incremental decoder, not the generic per-rank default.
+        match self {
+            WireCurve::Path(c) => c.coords_block(start, len, out),
+            WireCurve::Hilbert(c) => c.coords_block(start, len, out),
         }
     }
     fn rank_runs(&self, ranges: &[std::ops::Range<u64>], sink: &mut dyn FnMut(u64, u64)) {

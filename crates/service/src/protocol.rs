@@ -607,6 +607,27 @@ pub struct BatchingStatsBody {
     pub coalesced: u64,
 }
 
+/// Whole-lattice aggregation-kernel counters of the `stats` payload: how
+/// signature-cache misses were computed (blocked + LUT kernel vs the
+/// scalar fallback vs a multi-worker walk) and where the time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregationStatsBody {
+    /// Curve walks served by the blocked + LUT kernel.
+    pub walks_blocked: u64,
+    /// Curve walks that fell back to the scalar kernel (LUT too large).
+    pub walks_scalar: u64,
+    /// Curve walks split across multiple workers.
+    pub walks_parallel: u64,
+    /// Grid edges classified across all walks.
+    pub edges: u64,
+    /// Nanoseconds spent decoding rank blocks into coordinates.
+    pub decode_nanos: u64,
+    /// Nanoseconds spent classifying edges into crossing signatures.
+    pub count_nanos: u64,
+    /// Nanoseconds spent in the k-dimensional prefix sum.
+    pub prefix_nanos: u64,
+}
+
 /// The `stats` payload.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
@@ -639,6 +660,9 @@ pub struct StatsBody {
     /// Storage-engine counters (WAL, checkpoints, buffer pool).
     #[serde(default)]
     pub storage: StorageStatsBody,
+    /// Aggregation-kernel counters (signature-cache miss computation).
+    #[serde(default)]
+    pub aggregation: AggregationStatsBody,
 }
 
 /// One response line.

@@ -26,7 +26,9 @@ use snakes_core::lattice::{Class, LatticeShape};
 use snakes_core::parallel::{metrics, ParallelConfig};
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
-use snakes_curves::Linearization;
+use snakes_curves::{
+    aggregate_class_costs_with, AggregateOptions, Linearization, WholeLatticeCosts,
+};
 use std::ops::Range;
 
 pub use snakes_core::eval::{EvalEngine, EvalOptions};
@@ -528,6 +530,22 @@ pub fn workload_stats_opts(
         class_stats_with(schema, lin, layout, &shape.unrank(live[i].0), opts.engine)
     });
     reduce_workload(&live, measured)
+}
+
+/// Whole-lattice crossing-signature aggregation under the caller's
+/// [`EvalOptions`] — the storage-side entry point to the blocked + LUT
+/// kernel family in `snakes-curves`.
+///
+/// The `parallel` half of `opts` picks how the curve walk is fanned out
+/// (`threads: 1` = the serial blocked kernel, `threads: 0` = one worker
+/// per core); the `engine` half is irrelevant here (aggregation never
+/// touches pages). Results are bit-identical for every thread count.
+pub fn whole_lattice_costs(
+    schema: &StarSchema,
+    lin: &(impl Linearization + Sync),
+    opts: &EvalOptions,
+) -> WholeLatticeCosts {
+    aggregate_class_costs_with(schema, lin, AggregateOptions::with_parallel(opts.parallel))
 }
 
 #[cfg(test)]

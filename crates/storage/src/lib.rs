@@ -42,9 +42,9 @@ pub use chunks::{ChunkMap, ChunkQueryCost, ChunkedStore};
 pub use crash::{CrashConfig, CrashFile, CrashStore};
 pub use disk::DiskModel;
 pub use exec::{
-    class_stats, class_stats_with, query_cost, query_cost_with, workload_stats,
-    workload_stats_opts, ClassStats, EvalEngine, EvalEngineExt, EvalOptions, QueryCost,
-    WorkloadStats,
+    class_stats, class_stats_with, query_cost, query_cost_with, whole_lattice_costs,
+    workload_stats, workload_stats_opts, ClassStats, EvalEngine, EvalEngineExt, EvalOptions,
+    QueryCost, WorkloadStats,
 };
 #[allow(deprecated)]
 pub use exec::{workload_stats_engine, workload_stats_with};

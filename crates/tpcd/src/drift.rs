@@ -29,7 +29,7 @@ use snakes_core::lattice::LatticeShape;
 use snakes_core::parallel::metrics;
 use snakes_core::path::LatticePath;
 use snakes_core::workload::{VersionedWorkload, WeightUpdate, WorkloadDelta};
-use snakes_curves::{path_curve, snaked_path_curve, SignatureCache, StrategyId};
+use snakes_curves::{path_curve, snaked_path_curve, AggregateOptions, SignatureCache, StrategyId};
 use snakes_storage::{CostMemo, PackedLayout};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -173,7 +173,10 @@ pub fn drift_sweep(config: &TpcdConfig, drift: &DriftConfig) -> DriftReport {
 
     let mut versioned = VersionedWorkload::new(paper_workload_7(config).workload);
     let mut dp = IncrementalDp::new(model);
-    let mut signatures = SignatureCache::new();
+    // Cache misses run the blocked aggregation kernel under the sweep's
+    // configured thread-pool shape (bit-identical for any thread count).
+    let mut signatures =
+        SignatureCache::with_options(AggregateOptions::with_parallel(config.eval.parallel));
     let mut memo = CostMemo::new();
     // Physical layouts per path (the data never changes under drift, so a
     // repeated path reuses its packing). Only populated when measuring.

@@ -1,0 +1,181 @@
+//! Differential harness for the aggregation kernel family: the blocked +
+//! LUT kernel, the scalar fallback, and the multi-worker curve walk must
+//! all be **bit-identical** to the retained scalar reference
+//! (`aggregate_class_costs_reference`) — same `u64` signature and
+//! internal-edge tables, same `f64` bits in every derived cost — across
+//! every curve family, random grids up to 4-D, and 1/2/4 workers.
+//!
+//! The kernels are exact integer pipelines until the final
+//! normalization, so equality here is `==` on whole structs and
+//! `to_bits()` on derived floats — no tolerances anywhere.
+
+use proptest::prelude::*;
+use snakes_sandwiches::core::lattice::LatticeShape;
+use snakes_sandwiches::core::parallel::{metrics, ParallelConfig};
+use snakes_sandwiches::core::path::LatticePath;
+use snakes_sandwiches::core::schema::{Hierarchy, StarSchema};
+use snakes_sandwiches::core::workload::Workload;
+use snakes_sandwiches::curves::{
+    aggregate_class_costs, aggregate_class_costs_reference, aggregate_class_costs_with, path_curve,
+    snaked_path_curve, AggregateOptions, CompactHilbert, GrayCurve, Linearization, NestedLoops,
+    ZOrderCurve,
+};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Random star schema up to 4-D, fanouts 1..=4 (fanout 1 exercises
+/// zero-width LUT fields), at most two levels per dimension, grid capped
+/// so the scalar reference stays fast.
+fn schema_strategy() -> impl Strategy<Value = StarSchema> {
+    proptest::collection::vec(proptest::collection::vec(1u64..=4, 1..=2), 1..=4)
+        .prop_filter("grid too large", |dims| {
+            dims.iter()
+                .map(|f| f.iter().product::<u64>())
+                .product::<u64>()
+                <= 4096
+        })
+        .prop_map(build_schema)
+}
+
+/// Random power-of-two star schema (Z-order and Gray require pow2
+/// extents) up to 3-D.
+fn pow2_schema_strategy() -> impl Strategy<Value = StarSchema> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..=2).prop_map(|e| 1u64 << e), 1..=2),
+        1..=3,
+    )
+    .prop_filter("grid too large", |dims| {
+        dims.iter()
+            .map(|f| f.iter().product::<u64>())
+            .product::<u64>()
+            <= 4096
+    })
+    .prop_map(build_schema)
+}
+
+fn build_schema(dims: Vec<Vec<u64>>) -> StarSchema {
+    StarSchema::new(
+        dims.into_iter()
+            .enumerate()
+            .map(|(i, fanouts)| Hierarchy::new(format!("d{i}"), fanouts).expect("valid fanouts"))
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+/// A random lattice path as a shuffled dim multiset.
+fn path_strategy(shape: LatticeShape) -> impl Strategy<Value = LatticePath> {
+    let mut dims = Vec::new();
+    for (d, &l) in shape.levels().iter().enumerate() {
+        dims.extend(std::iter::repeat_n(d, l));
+    }
+    Just(dims)
+        .prop_shuffle()
+        .prop_map(move |dims| LatticePath::from_dims(shape.clone(), dims).expect("valid"))
+}
+
+/// The contract: every production kernel — blocked serial, and the
+/// parallel walk at each worker count — reproduces the scalar reference
+/// exactly, in the `u64` tables and in every derived `f64` bit.
+fn assert_kernels_match(schema: &StarSchema, lin: &(impl Linearization + Sync)) {
+    let reference = aggregate_class_costs_reference(schema, lin);
+    let blocked = aggregate_class_costs(schema, lin);
+    assert_eq!(blocked, reference, "blocked kernel diverged");
+
+    for threads in THREADS {
+        let par = aggregate_class_costs_with(
+            schema,
+            lin,
+            AggregateOptions::with_parallel(ParallelConfig::with_threads(threads)),
+        );
+        assert_eq!(
+            par, reference,
+            "parallel walk diverged at {threads} workers"
+        );
+    }
+
+    // u64 table equality implies these, but the paper-facing surface is
+    // the floats — pin them bit-for-bit explicitly.
+    for (r, b) in reference.class_costs().iter().zip(&blocked.class_costs()) {
+        assert_eq!(r.to_bits(), b.to_bits(), "class cost bits diverged");
+    }
+    let shape = LatticeShape::of_schema(schema);
+    let uniform = Workload::uniform(shape);
+    assert_eq!(
+        reference.expected_cost(&uniform).to_bits(),
+        blocked.expected_cost(&uniform).to_bits(),
+        "expected cost bits diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Nested row-major and boustrophedon loops over a random dim order.
+    #[test]
+    fn nested_loops_kernels_match(
+        (schema, seed) in schema_strategy().prop_flat_map(|s| {
+            let k = s.dims().len();
+            (Just(s), proptest::collection::vec(0usize..100, k))
+        })
+    ) {
+        let grid = schema.grid_shape();
+        let mut order: Vec<usize> = (0..grid.len()).collect();
+        // Deterministic shuffle from the seed vector.
+        for (i, &r) in seed.iter().enumerate() {
+            order.swap(i, r % grid.len());
+        }
+        assert_kernels_match(&schema, &NestedLoops::row_major(grid.clone(), &order));
+        assert_kernels_match(&schema, &NestedLoops::boustrophedon(grid, &order));
+    }
+
+    /// Plain and snaked lattice-path curves over a random path.
+    #[test]
+    fn path_curve_kernels_match(
+        (schema, path) in schema_strategy().prop_flat_map(|s| {
+            let shape = LatticeShape::of_schema(&s);
+            (Just(s), path_strategy(shape))
+        })
+    ) {
+        assert_kernels_match(&schema, &path_curve(&schema, &path));
+        assert_kernels_match(&schema, &snaked_path_curve(&schema, &path));
+    }
+
+    /// Z-order and Gray curves over power-of-two grids.
+    #[test]
+    fn zorder_and_gray_kernels_match(schema in pow2_schema_strategy()) {
+        assert_kernels_match(&schema, &ZOrderCurve::new(schema.grid_shape()));
+        assert_kernels_match(&schema, &GrayCurve::new(schema.grid_shape()));
+    }
+
+    /// Compact Hilbert over arbitrary (non-pow2) grids.
+    #[test]
+    fn hilbert_kernels_match(schema in schema_strategy()) {
+        assert_kernels_match(&schema, &CompactHilbert::new(schema.grid_shape()));
+    }
+}
+
+/// CI smoke: a grid big enough that a 2-worker walk genuinely splits into
+/// two spans (the worker cap yields ≥ 2), then bit-identity against the
+/// reference. Run by the workflow's forced-parallel step.
+#[test]
+fn forced_two_worker_parallel_smoke() {
+    let schema = build_schema(vec![vec![64], vec![32], vec![33]]);
+    let curve = NestedLoops::boustrophedon(schema.grid_shape(), &[2, 0, 1]);
+
+    let before = metrics::snapshot();
+    let parallel = aggregate_class_costs_with(
+        &schema,
+        &curve,
+        AggregateOptions::with_parallel(ParallelConfig::with_threads(2)),
+    );
+    let delta = metrics::snapshot().since(&before);
+    assert!(
+        delta.agg_walks_parallel >= 1,
+        "2-worker walk did not take the parallel path (edges {})",
+        delta.agg_edges
+    );
+
+    let reference = aggregate_class_costs_reference(&schema, &curve);
+    assert_eq!(parallel, reference, "forced 2-worker walk diverged");
+}

@@ -10,9 +10,10 @@ use snakes_sandwiches::core::eval::{EvalEngine, EvalOptions};
 use snakes_sandwiches::core::explain::{ClassContribution, CostExplanation};
 use snakes_sandwiches::core::workload::WeightUpdate;
 use snakes_sandwiches::service::protocol::{
-    BatchingStatsBody, CacheStatsBody, ClassWeight, DeltaSpec, DimSpec, DriftBody,
-    EndpointStatsBody, ErrorBody, MeasureSpec, MeasuredBody, PriceBody, RecommendationBody,
-    RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec, WorkloadSpec,
+    AggregationStatsBody, BatchingStatsBody, CacheStatsBody, ClassWeight, DeltaSpec, DimSpec,
+    DriftBody, EndpointStatsBody, ErrorBody, MeasureSpec, MeasuredBody, PriceBody,
+    RecommendationBody, RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
+    WorkloadSpec,
 };
 use snakes_sandwiches::service::{Request, Response, PROTOCOL_VERSION};
 
@@ -178,6 +179,15 @@ fn sample_stats() -> StatsBody {
             pool_evictions: 24,
             physical_reads: 32,
             physical_writes: 40,
+        },
+        aggregation: AggregationStatsBody {
+            walks_blocked: 3,
+            walks_scalar: 0,
+            walks_parallel: 1,
+            edges: 503_997,
+            decode_nanos: 2_100_000,
+            count_nanos: 1_900_000,
+            prefix_nanos: 800,
         },
         endpoints: vec![EndpointStatsBody {
             endpoint: "price".into(),
