@@ -9,17 +9,29 @@
 //! measure the real service path, not a stub. Appends every row to
 //! `BENCH_service.json` at the workspace root.
 //!
+//! The `mixed_migrating` row is the online-reclustering serving-impact
+//! measurement: it starts a chunked migration job on the server first,
+//! then drives the same mixed stream while the shard interleaves one
+//! bounded migration chunk (copy + differential probe + WAL flush) per
+//! event-loop tick — its req/s and p99 against the plain `mixed` row is
+//! the price of migrating while serving.
+//!
 //! Environment knobs:
 //! * `SNAKES_BENCH_REQUESTS` — requests per connection (default 4000).
 //! * `SNAKES_BENCH_MIN_RPS` — when set, exit nonzero unless the best
-//!   single-shard row reaches this throughput (the CI regression gate).
+//!   single-shard row reaches this throughput, and unless the
+//!   `mixed_migrating` row reaches half of it (the CI regression gates:
+//!   serving during an active migration must stay within 2x of the
+//!   general floor).
 
 use serde::Serialize;
 use snakes_core::lattice::LatticeShape;
-use snakes_core::schema::StarSchema;
+use snakes_core::schema::{Hierarchy, StarSchema};
 use snakes_core::workload::{WeightUpdate, Workload};
 use snakes_curves::{aggregate_class_costs, snaked_path_curve};
-use snakes_service::protocol::{DeltaSpec, SchemaSpec, StrategySpec, WorkloadSpec};
+use snakes_service::protocol::{
+    DeltaSpec, MeasureSpec, ReclusterSpec, SchemaSpec, StrategySpec, WorkloadSpec,
+};
 use snakes_service::{Client, PipelinedClient, Request, Server, ServerConfig};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -41,6 +53,14 @@ struct TrajectoryEntry {
     p99_us: u64,
     max_us: u64,
     shed: u64,
+    /// Migration chunks applied during the timed run (the
+    /// `mixed_migrating` row only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    migration_chunks: Option<u64>,
+    /// Terminal job state observed after the timed run (`running` if the
+    /// table outlasted the stream, `done` if it finished mid-run).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    migration_state: Option<String>,
 }
 
 fn salted_workload(shape: &LatticeShape, salt: usize) -> Workload {
@@ -104,6 +124,9 @@ enum Mix {
     Mixed,
     /// Same-fingerprint strategy pricing (the batching hot path).
     PriceHot,
+    /// The mixed stream while the server runs a chunked reclustering
+    /// migration: measures the serving-latency price of migrating.
+    MixedMigrating,
 }
 
 impl Mix {
@@ -111,15 +134,73 @@ impl Mix {
         match self {
             Mix::Mixed => "mixed",
             Mix::PriceHot => "price_hot",
+            Mix::MixedMigrating => "mixed_migrating",
         }
     }
 
     fn request(self, schema: &StarSchema, shape: &LatticeShape, conn: usize, i: usize) -> Request {
         match self {
-            Mix::Mixed => mixed_request(schema, shape, conn, i),
+            Mix::Mixed | Mix::MixedMigrating => mixed_request(schema, shape, conn, i),
             Mix::PriceHot => pricing_request(schema, shape, i),
         }
     }
+}
+
+/// Job name of the background migration the `mixed_migrating` row runs.
+const MIGRATION_JOB: &str = "bench-migration";
+
+/// Starts a chunked migration big enough to outlast the request stream:
+/// a 32x32 grid between opposite snaked lattice paths, one page per
+/// chunk, so the shard interleaves a copy + differential probe + WAL
+/// flush with every event-loop tick of the timed run.
+fn start_migration(addr: std::net::SocketAddr) {
+    let schema = StarSchema::new(vec![
+        Hierarchy::new("parts", vec![8, 4]).expect("fanouts"),
+        Hierarchy::new("time", vec![8, 4]).expect("fanouts"),
+    ])
+    .expect("schema");
+    let shape = LatticeShape::of_schema(&schema);
+    let workload = salted_workload(&shape, 5);
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .call(
+            Request::recluster(
+                MIGRATION_JOB,
+                SchemaSpec::of(&schema),
+                WorkloadSpec::of(&workload),
+                ReclusterSpec {
+                    from: Some(StrategySpec::snaked_path(vec![0, 0, 1, 1])),
+                    to: Some(StrategySpec::snaked_path(vec![1, 1, 0, 0])),
+                    chunk_pages: 1,
+                },
+            )
+            .with_measure(MeasureSpec {
+                records_per_cell: 3,
+                page_size: 256,
+                record_size: 64,
+                physical: false,
+            }),
+        )
+        .expect("recluster call");
+    assert!(resp.ok, "{:?}", resp.error);
+    let body = resp.recluster.expect("recluster body");
+    assert_eq!(body.state, "running", "migration must start running");
+}
+
+/// Reads the migration's progress after the timed run and asserts the
+/// job actually advanced while the stream was being served.
+fn migration_progress(addr: std::net::SocketAddr) -> (u64, String) {
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .call(Request::recluster_status(MIGRATION_JOB))
+        .expect("status call");
+    assert!(resp.ok, "{:?}", resp.error);
+    let body = resp.recluster.expect("recluster body");
+    assert!(
+        body.chunks_applied > 0,
+        "the migration must advance while the mixed stream is served"
+    );
+    (body.chunks_applied, body.state)
 }
 
 fn fidelity_check(addr: std::net::SocketAddr, schema: &StarSchema, shape: &LatticeShape) {
@@ -156,6 +237,7 @@ struct RowResult {
     p99: u64,
     max: u64,
     shed: u64,
+    migration: Option<(u64, String)>,
 }
 
 /// Runs one matrix row against a fresh server and returns its numbers.
@@ -178,6 +260,9 @@ fn run_row(
     .expect("spawn server");
     let addr = server.local_addr();
     fidelity_check(addr, schema, shape);
+    if mix == Mix::MixedMigrating {
+        start_migration(addr);
+    }
 
     // Request construction (workload building, validation) happens before
     // the clock starts: the row measures the service, not the client's
@@ -238,6 +323,8 @@ fn run_row(
         *latencies_us.last().unwrap(),
     );
 
+    let migration = (mix == Mix::MixedMigrating).then(|| migration_progress(addr));
+
     let stats = server.engine().stats_body();
     let shed: u64 = stats.endpoints.iter().map(|e| e.shed).sum();
     println!(
@@ -248,6 +335,9 @@ fn run_row(
         stats.batching.batches,
         stats.batching.coalesced
     );
+    if let Some((chunks, state)) = &migration {
+        println!("    migration: {chunks} chunks applied during the run, state {state}");
+    }
     server.join();
 
     RowResult {
@@ -262,6 +352,7 @@ fn run_row(
         p99,
         max,
         shed,
+        migration,
     }
 }
 
@@ -287,6 +378,10 @@ fn main() {
         (Mix::Mixed, 1, 2, 1),
         (Mix::Mixed, 1, 2, 64),
         (Mix::Mixed, 2, 4, 64),
+        // Same shape as the single-shard mixed row, with a chunked
+        // reclustering migration active on the server throughout: the
+        // delta against the row above is the serving price of migrating.
+        (Mix::MixedMigrating, 1, 2, 64),
         (Mix::PriceHot, 1, 1, 64),
         (Mix::PriceHot, 1, 2, 256),
         (Mix::PriceHot, 2, 4, 256),
@@ -327,6 +422,8 @@ fn main() {
             p99_us: row.p99,
             max_us: row.max,
             shed: row.shed,
+            migration_chunks: row.migration.as_ref().map(|(c, _)| *c),
+            migration_state: row.migration.as_ref().map(|(_, s)| s.clone()),
         })
         .expect("entry serializes");
         runs.push(entry);
@@ -355,6 +452,24 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("  regression gate passed (floor {min_rps} req/s)");
+        // Serving during an active migration must stay within 2x of the
+        // same floor: a migrator that starves the event loop fails here
+        // even if the plain rows still clear the gate.
+        let migrating = rows
+            .iter()
+            .filter(|r| r.mix == Mix::MixedMigrating)
+            .map(|r| r.throughput)
+            .fold(0.0f64, f64::max);
+        if migrating < min_rps / 2.0 {
+            eprintln!(
+                "REGRESSION: mixed_migrating throughput {migrating:.0} req/s is below \
+                 half the SNAKES_BENCH_MIN_RPS={min_rps} floor"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "  regression gates passed (floor {min_rps} req/s; migrating floor {:.0})",
+            min_rps / 2.0
+        );
     }
 }

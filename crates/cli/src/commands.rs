@@ -287,6 +287,227 @@ pub fn reorg(
     .expect("output serializes"))
 }
 
+/// Geometry knobs of the offline `recluster` run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReclusterOpts {
+    /// Pages copied per chunk.
+    pub chunk_pages: u64,
+    /// Records packed per grid cell.
+    pub records_per_cell: u64,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Record size in bytes.
+    pub record_size: u64,
+}
+
+impl Default for ReclusterOpts {
+    fn default() -> Self {
+        ReclusterOpts {
+            chunk_pages: 4,
+            records_per_cell: 4,
+            page_size: 4096,
+            record_size: 128,
+        }
+    }
+}
+
+/// The deterministic record fill of the offline migration: a pure
+/// function of cell coordinates and in-cell index, so every record the
+/// mixed-layout executor serves can be verified against its provenance.
+fn recluster_fill(record_size: u64, coords: &[u64], index: u64) -> Vec<u8> {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &c in coords {
+        h = (h ^ c).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h = (h ^ index).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let mut rec = vec![0u8; record_size as usize];
+    for (j, b) in rec.iter_mut().enumerate() {
+        if j % 8 == 0 && j > 0 {
+            h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            h ^= h >> 29;
+        }
+        *b = (h >> ((j % 8) * 8)) as u8;
+    }
+    rec
+}
+
+fn parse_dims(flag: &str, value: &str) -> Result<Vec<usize>, CliError> {
+    value
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|e| CliError::Usage(format!("bad --{flag} `{value}`: {e}")))
+        })
+        .collect()
+}
+
+/// `snakes recluster`: the offline analogue of the daemon's online
+/// executor — packs a synthetic table along the `from` path, migrates it
+/// to the `to` path in bounded chunks, and after **every** chunk scans a
+/// box straddling the migration fence through the mixed-layout executor,
+/// verifying each served record byte-for-byte against the deterministic
+/// fill. Emits one JSON progress line per chunk and a summary line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on invalid inputs; verification failures panic
+/// (they are correctness violations, not usage errors).
+pub fn recluster(
+    schema_json: &str,
+    from_dims: &str,
+    to_dims: &str,
+    snaked: bool,
+    opts: ReclusterOpts,
+) -> Result<String, CliError> {
+    use snakes_storage::{CellData, Migration, StorageConfig, TableFile};
+    let schema = SchemaSpec::parse(schema_json)?;
+    let shape = LatticeShape::of_schema(&schema);
+    let invalid = |e: snakes_core::error::Error| CliError::Spec(SpecError::Invalid(e.to_string()));
+    let from =
+        LatticePath::from_dims(shape.clone(), parse_dims("from", from_dims)?).map_err(invalid)?;
+    let to = LatticePath::from_dims(shape, parse_dims("to", to_dims)?).map_err(invalid)?;
+    if opts.chunk_pages == 0 || opts.records_per_cell == 0 || opts.record_size == 0 {
+        return Err(CliError::Usage(
+            "--chunk-pages, --records-per-cell, and --record-size must be positive".into(),
+        ));
+    }
+    let (old_curve, new_curve) = if snaked {
+        (
+            snaked_path_curve(&schema, &from),
+            snaked_path_curve(&schema, &to),
+        )
+    } else {
+        (path_curve(&schema, &from), path_curve(&schema, &to))
+    };
+    let total_cells = old_curve.num_cells();
+    let cells = CellData::from_counts(
+        schema.grid_shape(),
+        vec![opts.records_per_cell; total_cells as usize],
+    );
+    let config = StorageConfig {
+        page_size: opts.page_size,
+        record_size: opts.record_size,
+    };
+    let record_size = opts.record_size;
+    let old = TableFile::create_in_memory(&old_curve, &cells, config, |coords, i| {
+        recluster_fill(record_size, coords, i)
+    })
+    .map_err(|e| CliError::Service(snakes_service::ServiceError::Io(e)))?;
+    let mut migration = Migration::begin(
+        old,
+        std::io::Cursor::new(Vec::new()),
+        &new_curve,
+        &cells,
+        opts.chunk_pages,
+    )
+    .map_err(|e| CliError::Service(snakes_service::ServiceError::Io(e)))?;
+    let io_err = |e: std::io::Error| CliError::Service(snakes_service::ServiceError::Io(e));
+
+    #[derive(Serialize)]
+    struct ChunkOut {
+        fence: u64,
+        cells_moved: u64,
+        records_moved: u64,
+        verified_records: u64,
+        done: bool,
+    }
+    let extents = new_curve.extents().to_vec();
+    let mut out = String::new();
+    let mut probes = 0u64;
+    loop {
+        let report = migration.step(&old_curve, &new_curve).map_err(io_err)?;
+        // Differential probe: a ≤3-wide box anchored on the last migrated
+        // cell straddles the fence whenever a boundary exists.
+        let anchor = migration.fence().saturating_sub(1).min(total_cells - 1);
+        let mut coords = vec![0u64; extents.len()];
+        new_curve.coords(anchor, &mut coords);
+        let ranges: Vec<std::ops::Range<u64>> = coords
+            .iter()
+            .zip(&extents)
+            .map(|(&c, &e)| c.saturating_sub(1)..(c + 2).min(e))
+            .collect();
+        let mut seen: std::collections::HashMap<Vec<u64>, u64> = std::collections::HashMap::new();
+        let mut verified = 0u64;
+        migration
+            .scan_mixed(&old_curve, &new_curve, &ranges, |cell, payload| {
+                let index = seen.entry(cell.to_vec()).or_insert(0);
+                assert_eq!(
+                    payload,
+                    recluster_fill(record_size, cell, *index),
+                    "mixed scan served wrong bytes for cell {cell:?} record {index}"
+                );
+                *index += 1;
+                verified += 1;
+            })
+            .map_err(io_err)?;
+        let box_cells: u64 = ranges.iter().map(|r| r.end - r.start).product();
+        assert_eq!(
+            verified,
+            box_cells * opts.records_per_cell,
+            "mixed scan dropped or duplicated records in {ranges:?}"
+        );
+        probes += 1;
+        out.push_str(
+            &serde_json::to_string(&ChunkOut {
+                fence: report.fence,
+                cells_moved: report.cells_moved,
+                records_moved: report.records_moved,
+                verified_records: verified,
+                done: report.done,
+            })
+            .expect("progress serializes"),
+        );
+        out.push('\n');
+        if report.done {
+            break;
+        }
+    }
+    let progress = migration.progress();
+    let old_io = *migration.old_io();
+    let new_io = *migration.new_io();
+    let (packed, _old) = migration.finish(&new_curve, &cells).map_err(io_err)?;
+    #[derive(Serialize)]
+    struct IoOut {
+        physical_reads: u64,
+        physical_writes: u64,
+        read_seeks: u64,
+        write_seeks: u64,
+    }
+    #[derive(Serialize)]
+    struct Summary {
+        total_cells: u64,
+        chunks: u64,
+        records_moved: u64,
+        probes: u64,
+        pages: u64,
+        old_io: IoOut,
+        new_io: IoOut,
+    }
+    let io_out = |s: snakes_storage::PoolStats| IoOut {
+        physical_reads: s.physical_reads,
+        physical_writes: s.physical_writes,
+        read_seeks: s.read_seeks,
+        write_seeks: s.write_seeks,
+    };
+    out.push_str(
+        &serde_json::to_string(&Summary {
+            total_cells,
+            chunks: progress.chunks_applied,
+            records_moved: progress.records_moved,
+            probes,
+            pages: packed.layout().total_pages(),
+            old_io: io_out(old_io),
+            new_io: io_out(new_io),
+        })
+        .expect("summary serializes"),
+    );
+    out.push('\n');
+    Ok(out)
+}
+
 #[derive(Debug, Serialize)]
 struct SweepStrategyOut {
     path: String,
@@ -516,9 +737,13 @@ pub fn build_request(
 /// defaults to `--workers`, then one per core), `--queue`,
 /// `--retry-after-ms`, `--fault-plan`
 /// (a `key=value,...` fault spec for chaos testing — see
-/// [`snakes_service::FaultConfig::parse`]), and `--data-dir` (a durable
-/// data directory: drift sessions and idempotent responses are
-/// write-ahead-logged there and recovered on restart).
+/// [`snakes_service::FaultConfig::parse`]), `--data-dir` (a durable
+/// data directory: drift sessions, idempotent responses, and recluster
+/// jobs are write-ahead-logged there and recovered on restart), and
+/// `--auto-recluster` (arm the drift-triggered online reclustering
+/// executor; tune it with `--recluster-horizon`,
+/// `--recluster-min-signals`, `--recluster-cooldown`, and
+/// `--recluster-chunk-pages`).
 ///
 /// # Errors
 ///
@@ -526,9 +751,46 @@ pub fn build_request(
 #[allow(clippy::implicit_hasher)]
 pub fn serve_config(
     flags: &std::collections::HashMap<String, String>,
+    bools: &std::collections::HashSet<String>,
 ) -> Result<snakes_service::ServerConfig, CliError> {
     let defaults = snakes_service::ServerConfig::default();
+    let recluster_tuned = ["horizon", "min-signals", "cooldown", "chunk-pages"]
+        .iter()
+        .any(|k| flags.contains_key(&format!("recluster-{k}")));
+    let auto_recluster = if bools.contains("auto-recluster") || recluster_tuned {
+        let d = snakes_service::AutoRecluster::default();
+        Some(snakes_service::AutoRecluster {
+            horizon_queries: flags
+                .get("recluster-horizon")
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --recluster-horizon: {e}")))?
+                .unwrap_or(d.horizon_queries),
+            min_signals: flags
+                .get("recluster-min-signals")
+                .map(|s| s.parse::<u32>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --recluster-min-signals: {e}")))?
+                .unwrap_or(d.min_signals),
+            cooldown: flags
+                .get("recluster-cooldown")
+                .map(|s| s.parse::<u32>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --recluster-cooldown: {e}")))?
+                .unwrap_or(d.cooldown),
+            chunk_pages: flags
+                .get("recluster-chunk-pages")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("bad --recluster-chunk-pages: {e}")))?
+                .unwrap_or(d.chunk_pages),
+            measure: d.measure,
+        })
+    } else {
+        None
+    };
     Ok(snakes_service::ServerConfig {
+        auto_recluster,
         addr: flags
             .get("addr")
             .cloned()
@@ -725,8 +987,32 @@ pub fn run(
                 eval_flags(&flags)?,
             )
         }
+        Some("recluster") => {
+            let from = flags
+                .get("from")
+                .ok_or_else(|| CliError::Usage("--from d0,d1,... is required".into()))?;
+            let to = flags
+                .get("to")
+                .ok_or_else(|| CliError::Usage("--to d0,d1,... is required".into()))?;
+            let defaults = ReclusterOpts::default();
+            let u64_flag = |key: &str, fallback: u64| -> Result<u64, CliError> {
+                flags
+                    .get(key)
+                    .map(|s| s.parse::<u64>())
+                    .transpose()
+                    .map_err(|e| CliError::Usage(format!("bad --{key}: {e}")))
+                    .map(|v| v.unwrap_or(fallback))
+            };
+            let opts = ReclusterOpts {
+                chunk_pages: u64_flag("chunk-pages", defaults.chunk_pages)?,
+                records_per_cell: u64_flag("records-per-cell", defaults.records_per_cell)?,
+                page_size: u64_flag("page-size", defaults.page_size)?,
+                record_size: u64_flag("record-size", defaults.record_size)?,
+            };
+            recluster(&file("schema")?, from, to, !bools.contains("plain"), opts)
+        }
         Some("serve") => {
-            let config = serve_config(&flags)?;
+            let config = serve_config(&flags, &bools)?;
             let every = flags
                 .get("metrics-every")
                 .map(|s| s.parse::<u64>())
@@ -768,8 +1054,8 @@ pub fn run(
         }
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
         None => Err(CliError::Usage(
-            "expected a command: advise | estimate | topk | order | reorg | sweep | drift \
-             | serve | call"
+            "expected a command: advise | estimate | topk | order | reorg | recluster | sweep \
+             | drift | serve | call"
                 .into(),
         )),
     };
@@ -1039,13 +1325,15 @@ mod tests {
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
         .collect();
-        let config = serve_config(&flags).unwrap();
+        let config = serve_config(&flags, &Default::default()).unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.workers, 2);
         assert_eq!(config.shards, 3);
         assert_eq!(config.queue_capacity, 7);
         assert_eq!(
-            serve_config(&Default::default()).unwrap().shards,
+            serve_config(&Default::default(), &Default::default())
+                .unwrap()
+                .shards,
             0,
             "shards default to --workers, then one per core"
         );
@@ -1055,7 +1343,9 @@ mod tests {
             Some(std::path::Path::new("/tmp/snakes-data"))
         );
         assert_eq!(
-            serve_config(&Default::default()).unwrap().data_dir,
+            serve_config(&Default::default(), &Default::default())
+                .unwrap()
+                .data_dir,
             None,
             "durability is opt-in"
         );
@@ -1065,10 +1355,102 @@ mod tests {
         assert_eq!(fault.torn_write_pct, 3);
         let bad: std::collections::HashMap<String, String> =
             [("workers".to_string(), "lots".to_string())].into();
-        assert!(matches!(serve_config(&bad), Err(CliError::Usage(_))));
+        assert!(matches!(
+            serve_config(&bad, &Default::default()),
+            Err(CliError::Usage(_))
+        ));
         let bad_plan: std::collections::HashMap<String, String> =
             [("fault-plan".to_string(), "panic=200".to_string())].into();
-        assert!(matches!(serve_config(&bad_plan), Err(CliError::Usage(_))));
+        assert!(matches!(
+            serve_config(&bad_plan, &Default::default()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_config_arms_auto_reclustering() {
+        assert!(
+            serve_config(&Default::default(), &Default::default())
+                .unwrap()
+                .auto_recluster
+                .is_none(),
+            "autonomous reclustering is opt-in"
+        );
+        let bools: std::collections::HashSet<String> = ["auto-recluster".to_string()].into();
+        let armed = serve_config(&Default::default(), &bools)
+            .unwrap()
+            .auto_recluster
+            .expect("flag arms the trigger");
+        assert_eq!(armed.min_signals, 2, "defaults apply");
+        // Tuning knobs arm the trigger on their own and override defaults.
+        let flags: std::collections::HashMap<String, String> = [
+            ("recluster-horizon".to_string(), "5000".to_string()),
+            ("recluster-min-signals".to_string(), "3".to_string()),
+            ("recluster-chunk-pages".to_string(), "8".to_string()),
+        ]
+        .into();
+        let tuned = serve_config(&flags, &Default::default())
+            .unwrap()
+            .auto_recluster
+            .expect("tuning arms the trigger");
+        assert_eq!(tuned.horizon_queries, 5000.0);
+        assert_eq!(tuned.min_signals, 3);
+        assert_eq!(tuned.chunk_pages, 8);
+        let bad: std::collections::HashMap<String, String> =
+            [("recluster-horizon".to_string(), "wide".to_string())].into();
+        assert!(matches!(
+            serve_config(&bad, &bools),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn recluster_migrates_and_verifies_every_chunk() {
+        let out = recluster(
+            SCHEMA,
+            "0,0,1,1",
+            "1,1,0,0",
+            true,
+            ReclusterOpts {
+                chunk_pages: 1,
+                records_per_cell: 3,
+                page_size: 256,
+                record_size: 64,
+            },
+        )
+        .unwrap();
+        let lines: Vec<serde_json::Value> = out
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert!(lines.len() > 2, "several chunks plus a summary");
+        let (chunks, summary) = lines.split_at(lines.len() - 1);
+        let mut prev_fence = 0;
+        for c in chunks {
+            let fence = c["fence"].as_u64().unwrap();
+            assert!(fence > prev_fence, "the fence only advances");
+            prev_fence = fence;
+            assert!(c["verified_records"].as_u64().unwrap() > 0);
+        }
+        assert!(chunks.last().unwrap()["done"].as_bool().unwrap());
+        let s = &summary[0];
+        assert_eq!(s["total_cells"], 16);
+        assert_eq!(s["records_moved"], 48);
+        assert_eq!(s["chunks"].as_u64().unwrap(), chunks.len() as u64);
+        assert_eq!(s["probes"].as_u64().unwrap(), chunks.len() as u64);
+        assert!(s["new_io"]["physical_writes"].as_u64().unwrap() > 0);
+        // Dispatcher path with virtual files.
+        let read = |_: &str| -> std::io::Result<String> { Ok(SCHEMA.to_string()) };
+        let args: Vec<String> =
+            "recluster --schema s.json --from 0,1,0,1 --to 1,0,1,0 --chunk-pages 2"
+                .split(' ')
+                .map(String::from)
+                .collect();
+        assert!(run(&args, &read).is_ok());
+        // Identity migration is fine; malformed paths are usage errors.
+        assert!(recluster(SCHEMA, "0,1,0,1", "0,1,0,1", true, ReclusterOpts::default()).is_ok());
+        assert!(recluster(SCHEMA, "0,1", "1,0,1,0", true, ReclusterOpts::default()).is_err());
+        assert!(recluster(SCHEMA, "0,1,0,x", "1,0,1,0", true, ReclusterOpts::default()).is_err());
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! snakes order    --schema schema.json --path 1,0,1,0 [--plain] [--limit N]
 //! snakes reorg    --schema schema.json --workload workload.json \
 //!                 --path 0,0,1,1 --cost 5000
+//! snakes recluster --schema schema.json --from 0,0,1,1 --to 1,1,0,0 \
+//!                 [--chunk-pages N] [--records-per-cell N] [--plain]
 //! snakes sweep    [--records N] [--number W] [--threads N]
 //! snakes serve    [--addr H:P] [--workers N] [--shards N] [--queue N]
 //!                 [--metrics-every S] [--data-dir DIR] [--fault-plan SPEC]
+//!                 [--auto-recluster] [--recluster-chunk-pages N]
 //! snakes call     [--addr H:P] --endpoint recommend --schema s.json \
 //!                 --workload w.json
 //! ```

@@ -17,6 +17,9 @@ fn main() {
                 "usage: snakes <advise|estimate|topk|order|reorg> --schema s.json \
                  [--workload w.json] [--queries q.jsonl] [--k K] \
                  [--path d0,d1,...] [--plain] [--limit N] [--smooth A] [--cost C]\n\
+                 \u{20}      snakes recluster --schema s.json --from d0,d1,... \
+                 --to d0,d1,... [--chunk-pages N] [--records-per-cell N] \
+                 [--page-size B] [--record-size B] [--plain]\n\
                  \u{20}      snakes sweep [--records N] [--number W] [--threads N] \
                  [--engine cells|runs|auto]\n\
                  \u{20}      snakes drift [--records N] [--epochs E] [--changes C] \
@@ -24,7 +27,9 @@ fn main() {
                  [--engine cells|runs|auto]\n\
                  \u{20}      snakes serve [--addr H:P] [--workers N] [--shards N] \
                  [--queue N] [--retry-after-ms MS] [--metrics-every SECS] \
-                 [--data-dir DIR] [--fault-plan SPEC]\n\
+                 [--data-dir DIR] [--fault-plan SPEC] [--auto-recluster] \
+                 [--recluster-horizon Q] [--recluster-min-signals N] \
+                 [--recluster-cooldown N] [--recluster-chunk-pages N]\n\
                  \u{20}      snakes call [--addr H:P] --request r.json | --endpoint E \
                  [--schema s.json] [--workload w.json] [--strategy d0,d1,...] \
                  [--kind hilbert] [--plain] [--session S] [--deltas d.json] \

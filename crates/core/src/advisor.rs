@@ -157,6 +157,104 @@ pub fn reorg_decision(
     }
 }
 
+/// Hysteresis for the online reclustering loop: debounces
+/// [`ReorgDecision`] signals so an oscillating workload cannot thrash the
+/// migrator.
+///
+/// The trigger fires only after `min_signals` *consecutive* observations
+/// say re-clustering pays off within the horizon ([`ReorgDecision::worth_it`]);
+/// any contrary observation resets the streak. Once a migration starts
+/// ([`ReclusterTrigger::note_started`]), the next `cooldown` observations
+/// are ignored outright, so a layout freshly migrated toward is given time
+/// to earn its keep before the estimator can argue for migrating back.
+///
+/// ```
+/// use snakes_core::advisor::ReclusterTrigger;
+///
+/// let mut t = ReclusterTrigger::new(2, 1_000.0, 3);
+/// // A workload flapping between two optima never accumulates a streak:
+/// assert!(!t.observe_worth_it(true));
+/// assert!(!t.observe_worth_it(false));
+/// assert!(!t.observe_worth_it(true));
+/// // Persistent drift does:
+/// assert!(t.observe_worth_it(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReclusterTrigger {
+    /// Consecutive worth-it observations required to fire.
+    min_signals: u32,
+    /// Query horizon handed to [`ReorgDecision::worth_it`].
+    horizon_queries: f64,
+    /// Observations ignored after a migration starts.
+    cooldown: u32,
+    streak: u32,
+    cooldown_left: u32,
+}
+
+impl ReclusterTrigger {
+    /// A trigger firing after `min_signals` consecutive worth-it
+    /// observations, judging worth against `horizon_queries`, and ignoring
+    /// `cooldown` observations after each migration start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_signals` is zero or the horizon is not positive.
+    pub fn new(min_signals: u32, horizon_queries: f64, cooldown: u32) -> Self {
+        assert!(min_signals > 0, "need at least one signal");
+        assert!(horizon_queries > 0.0, "horizon must be positive");
+        Self {
+            min_signals,
+            horizon_queries,
+            cooldown,
+            streak: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// The query horizon worth-it is judged against.
+    pub fn horizon_queries(&self) -> f64 {
+        self.horizon_queries
+    }
+
+    /// Feeds one cost/benefit analysis; returns whether to start a
+    /// migration now.
+    pub fn observe(&mut self, decision: &ReorgDecision) -> bool {
+        self.observe_worth_it(decision.worth_it(self.horizon_queries))
+    }
+
+    /// As [`ReclusterTrigger::observe`], from a pre-computed worth-it
+    /// verdict.
+    pub fn observe_worth_it(&mut self, worth_it: bool) -> bool {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return false;
+        }
+        if worth_it {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        self.streak >= self.min_signals
+    }
+
+    /// Marks a migration as started: resets the streak and arms the
+    /// cooldown window.
+    pub fn note_started(&mut self) {
+        self.streak = 0;
+        self.cooldown_left = self.cooldown;
+    }
+
+    /// The current consecutive worth-it streak.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Observations remaining in the post-migration cooldown.
+    pub fn cooldown_left(&self) -> u32 {
+        self.cooldown_left
+    }
+}
+
 /// A robust (minimax) recommendation over a set of candidate workloads.
 #[derive(Debug, Clone)]
 pub struct RobustRecommendation {
@@ -333,6 +431,51 @@ mod tests {
         assert!(d2.break_even_queries.is_none());
         assert!(!d2.worth_it(f64::INFINITY.min(1e18)));
         assert_eq!(d2.new_path, d.new_path);
+    }
+
+    #[test]
+    fn trigger_debounces_oscillation_and_cools_down() {
+        let mut t = ReclusterTrigger::new(3, 500.0, 4);
+        // Oscillation: never three in a row, never fires.
+        for _ in 0..10 {
+            assert!(!t.observe_worth_it(true));
+            assert!(!t.observe_worth_it(true));
+            assert!(!t.observe_worth_it(false));
+        }
+        // Persistent drift: fires on the third consecutive signal.
+        assert!(!t.observe_worth_it(true));
+        assert!(!t.observe_worth_it(true));
+        assert!(t.observe_worth_it(true));
+        assert_eq!(t.streak(), 3);
+        // Starting the migration arms the cooldown: the next 4
+        // observations are ignored even if they scream "migrate".
+        t.note_started();
+        assert_eq!(t.cooldown_left(), 4);
+        for _ in 0..4 {
+            assert!(!t.observe_worth_it(true));
+        }
+        assert_eq!(t.streak(), 0);
+        // After the cooldown a fresh streak is required again.
+        assert!(!t.observe_worth_it(true));
+        assert!(!t.observe_worth_it(true));
+        assert!(t.observe_worth_it(true));
+    }
+
+    #[test]
+    fn trigger_consumes_reorg_decisions() {
+        let schema = StarSchema::paper_toy();
+        let model = CostModel::of_schema(&schema);
+        let shape = model.shape().clone();
+        let current = LatticePath::row_major(shape.clone(), &[0, 1]).unwrap();
+        let w = Workload::point(shape, &Class(vec![0, 2])).unwrap();
+        let d = reorg_decision(&model, &current, &w, 1.0);
+        let mut t = ReclusterTrigger::new(2, 1e9, 0);
+        assert!(!t.observe(&d));
+        assert!(t.observe(&d));
+        // A decision that never pays off feeds a reset.
+        let settled = reorg_decision(&model, &d.new_path, &w, 1.0);
+        assert!(!t.observe(&settled));
+        assert_eq!(t.streak(), 0);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! `workload_stats_with`, …). [`EvalOptions`] collapses them into a single
 //! value accepted everywhere an evaluation runs — storage measurement,
 //! TPC-D sweeps, curve search, and the advisor service. The old setters
-//! remain as `#[deprecated]` delegates.
+//! lived on for two major surface revisions as `#[deprecated]` delegates
+//! and have since been removed.
 //!
 //! ```
 //! use snakes_core::eval::{EvalEngine, EvalOptions};

@@ -24,7 +24,7 @@
 //! torture suite can kill the daemon at every single write boundary and
 //! assert recovery.
 
-use crate::protocol::{Response, SchemaSpec};
+use crate::protocol::{MeasureSpec, Response, SchemaSpec, StrategySpec};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use snakes_storage::crash::CrashStore;
@@ -148,6 +148,37 @@ pub(crate) struct IdemSnapshot {
     pub response: Response,
 }
 
+/// The durable after-state of one online-reclustering job. The service's
+/// migrated tables are deterministic functions of their spec (schema +
+/// geometry + fill), so the snapshot needs no page bytes: recovery
+/// rebuilds the table and redoes chunk copies up to the logged fence —
+/// idempotent, since every redo writes the identical bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ReclusterSnapshot {
+    /// Job name (the request's `session`).
+    pub job: String,
+    /// The grid being migrated.
+    pub schema: SchemaSpec,
+    /// Source linearization (what was on disk when the job started).
+    pub from: StrategySpec,
+    /// Target linearization.
+    pub to: StrategySpec,
+    /// Table geometry (records per cell, page/record size).
+    pub measure: MeasureSpec,
+    /// Pages copied per migration step.
+    pub chunk_pages: u64,
+    /// Cells migrated so far (the durable fence).
+    pub fence: u64,
+    /// Job state: `running`, `done`, or `aborted`.
+    pub state: String,
+    /// Bounded steps applied so far.
+    pub chunks_applied: u64,
+    /// Records copied so far.
+    pub records_moved: u64,
+    /// Differential probes run so far.
+    pub probes: u64,
+}
+
 /// One WAL entry. A committed drift carrying an idempotency key logs both
 /// records in a single entry, so the session mutation and its replayable
 /// acknowledgement are durable atomically. (A plain struct of options —
@@ -160,6 +191,9 @@ pub(crate) struct LogEntry {
     /// Idempotent response to store.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub idempotency: Option<IdemSnapshot>,
+    /// Recluster-job after-state (logged once per applied chunk).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recluster: Option<ReclusterSnapshot>,
 }
 
 /// The checkpoint document: a full state snapshot plus the WAL horizon it
@@ -172,6 +206,10 @@ pub(crate) struct Checkpoint {
     pub sessions: Vec<SessionSnapshot>,
     /// Every stored idempotent response (sorted by key).
     pub idempotency: Vec<IdemSnapshot>,
+    /// Every recluster job (sorted by job name). Absent in pre-v2
+    /// checkpoints, which decode with no jobs.
+    #[serde(default)]
+    pub reclusters: Vec<ReclusterSnapshot>,
 }
 
 /// State reconstructed from checkpoint + WAL replay.
@@ -181,6 +219,8 @@ pub(crate) struct Recovered {
     pub sessions: Vec<SessionSnapshot>,
     /// Idempotency slots to refill.
     pub idempotency: Vec<IdemSnapshot>,
+    /// Recluster jobs to rebuild (running ones resume at their fence).
+    pub reclusters: Vec<ReclusterSnapshot>,
     /// Whether any prior state (checkpoint or log entries) was found.
     pub recovered: bool,
 }
@@ -253,6 +293,7 @@ impl Durability {
         let mut out = Recovered {
             sessions: ckpt.sessions,
             idempotency: ckpt.idempotency,
+            reclusters: ckpt.reclusters,
             recovered: had_checkpoint || !entries.is_empty(),
         };
         for (lsn, payload) in &entries {
@@ -271,6 +312,12 @@ impl Durability {
                 match out.idempotency.iter_mut().find(|i| i.key == idem.key) {
                     Some(at) => *at = idem,
                     None => out.idempotency.push(idem),
+                }
+            }
+            if let Some(job) = entry.recluster {
+                match out.reclusters.iter_mut().find(|j| j.job == job.job) {
+                    Some(at) => *at = job,
+                    None => out.reclusters.push(job),
                 }
             }
         }
@@ -428,6 +475,7 @@ mod tests {
                 key: "k-1".into(),
                 response: Response::ok(42),
             }],
+            reclusters: vec![],
         };
         let blob = encode_checkpoint(&ckpt).unwrap();
         assert_eq!(blob.len() as u64 % CHECKPOINT_PAGE_SIZE, 0);
@@ -469,6 +517,7 @@ mod tests {
             d.append(&LogEntry {
                 drift: Some(snap("etl", 1, 0.5)),
                 idempotency: None,
+                recluster: None,
             })
             .unwrap();
             d.append(&LogEntry {
@@ -477,11 +526,13 @@ mod tests {
                     key: "k".into(),
                     response: Response::ok(7),
                 }),
+                recluster: None,
             })
             .unwrap();
             d.append(&LogEntry {
                 drift: Some(snap("bi", 1, 0.25)),
                 idempotency: None,
+                recluster: None,
             })
             .unwrap();
         }
@@ -504,6 +555,7 @@ mod tests {
             d.append(&LogEntry {
                 drift: Some(snap("etl", 1, 0.5)),
                 idempotency: None,
+                recluster: None,
             })
             .unwrap();
             // Fold into a checkpoint, then append past it.
@@ -512,6 +564,7 @@ mod tests {
                 next_lsn: wal.next_lsn(),
                 sessions: vec![snap("etl", 1, 0.5)],
                 idempotency: vec![],
+                reclusters: vec![],
             };
             d.install_checkpoint(&mut wal, &ckpt).unwrap();
             drop(wal);
@@ -519,6 +572,7 @@ mod tests {
             d.append(&LogEntry {
                 drift: Some(snap("etl", 2, 0.0625)),
                 idempotency: None,
+                recluster: None,
             })
             .unwrap();
         }
@@ -536,6 +590,7 @@ mod tests {
             d.append(&LogEntry {
                 drift: Some(snap("etl", 9, 0.5)),
                 idempotency: None,
+                recluster: None,
             })
             .unwrap();
             // A checkpoint claiming a *newer* state than the log: the
@@ -545,6 +600,7 @@ mod tests {
                 next_lsn: d.wal.lock().next_lsn(),
                 sessions: vec![snap("etl", 10, 0.75)],
                 idempotency: vec![],
+                reclusters: vec![],
             };
             let blob = encode_checkpoint(&ckpt).unwrap();
             d.media.write_checkpoint_bytes(&blob).unwrap();
@@ -569,6 +625,7 @@ mod tests {
             d.append(&LogEntry {
                 drift: Some(snap("etl", 3, 0.5)),
                 idempotency: None,
+                recluster: None,
             })
             .unwrap();
             let mut wal = d.wal.lock();
@@ -576,6 +633,7 @@ mod tests {
                 next_lsn: wal.next_lsn(),
                 sessions: vec![snap("etl", 3, 0.5)],
                 idempotency: vec![],
+                reclusters: vec![],
             };
             d.install_checkpoint(&mut wal, &ckpt).unwrap();
         }

@@ -9,16 +9,22 @@
 //! pure functions of their keys, and f64s survive the JSON wire because
 //! Rust formats them shortest-roundtrip.
 
-use crate::durability::{Checkpoint, Durability, IdemSnapshot, LogEntry, Media, SessionSnapshot};
+use crate::durability::{
+    Checkpoint, Durability, IdemSnapshot, LogEntry, Media, ReclusterSnapshot, SessionSnapshot,
+};
 use crate::error::ServiceError;
 use crate::fault::{request_token, FaultPlan};
 use crate::metrics::Registry;
 use crate::protocol::{
-    AggregationStatsBody, CacheStatsBody, DriftBody, MeasuredBody, PriceBody, RecommendationBody,
-    Request, Response, RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
+    AggregationStatsBody, CacheStatsBody, DriftBody, MeasureSpec, MeasuredBody, PriceBody,
+    ReclusterBody, ReclusterStatsBody, RecommendationBody, Request, Response, RowMajorBody,
+    SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
 };
+use crate::recluster::{build_job, ReclusterJob, RunningJob};
 use parking_lot::Mutex;
-use snakes_core::advisor::{recommend_with_model, Recommendation};
+use snakes_core::advisor::{
+    recommend_with_model, reorg_decision, ReclusterTrigger, Recommendation,
+};
 use snakes_core::cost::CostModel;
 use snakes_core::dp::IncrementalDp;
 use snakes_core::lattice::LatticeShape;
@@ -32,7 +38,7 @@ use snakes_curves::{
 use snakes_storage::{CellData, PackedLayout, PoolStats, SharedCostMemo, StorageConfig, TableFile};
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -95,6 +101,15 @@ struct DriftSession {
     schema_spec: SchemaSpec,
     versioned: VersionedWorkload,
     dp: IncrementalDp,
+    /// The linearization the session's table is assumed to be clustered
+    /// by: pinned to the first commit's optimum, advanced when an
+    /// auto-triggered migration lands. Drives the reorg cost/benefit
+    /// comparison. `None` until the first commit, or with the
+    /// auto-recluster trigger disabled.
+    layout_path: Option<LatticePath>,
+    /// Hysteresis state of the auto-recluster trigger. Advisory —
+    /// not persisted; a restart restarts the worth-it streak.
+    trigger: Option<ReclusterTrigger>,
 }
 
 /// Bound on the idempotency cache. Far beyond any retry window; when hit,
@@ -202,6 +217,54 @@ impl BatchScope {
     }
 }
 
+/// Configuration of the drift handler's automatic reclustering trigger.
+///
+/// With this armed (see [`Engine::with_auto_recluster`]), every committed
+/// drift runs the advisor's reorg cost/benefit analysis
+/// ([`snakes_core::advisor::reorg_decision`]) against the session's
+/// assumed layout; after `min_signals` consecutive worth-it verdicts a
+/// migration job named `auto:<session>` starts, and `cooldown` commits
+/// are then ignored before the trigger can re-arm.
+#[derive(Debug, Clone)]
+pub struct AutoRecluster {
+    /// Query horizon the one-time reorganization cost must amortize
+    /// within for a verdict to count as worth it.
+    pub horizon_queries: f64,
+    /// Consecutive worth-it drift commits required to fire.
+    pub min_signals: u32,
+    /// Drift commits ignored after a migration starts (hysteresis).
+    pub cooldown: u32,
+    /// Pages copied per migration step.
+    pub chunk_pages: u64,
+    /// Geometry of the synthetic table each session is assumed to serve.
+    pub measure: MeasureSpec,
+}
+
+impl Default for AutoRecluster {
+    fn default() -> Self {
+        AutoRecluster {
+            horizon_queries: 10_000.0,
+            min_signals: 2,
+            cooldown: 8,
+            chunk_pages: 4,
+            measure: MeasureSpec::default(),
+        }
+    }
+}
+
+/// Monotone online-reclustering counters (per engine, summed over jobs).
+#[derive(Default)]
+struct ReclusterCounters {
+    jobs_started: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_aborted: AtomicU64,
+    jobs_recovered: AtomicU64,
+    chunks_applied: AtomicU64,
+    records_moved: AtomicU64,
+    probes: AtomicU64,
+    auto_triggers: AtomicU64,
+}
+
 /// The shared advisor state. One engine serves every connection of a
 /// server; `Arc<Engine>` is the unit of sharing.
 pub struct Engine {
@@ -219,6 +282,12 @@ pub struct Engine {
     started: Instant,
     workers: u64,
     queue_capacity: u64,
+    /// Online-reclustering jobs by name. Jobs are never removed — a
+    /// terminal job keeps answering `recluster_status` until restarted.
+    reclusters: Mutex<HashMap<String, Arc<Mutex<ReclusterJob>>>>,
+    recluster_counters: ReclusterCounters,
+    /// Drift-handler auto-trigger; `None` disables it.
+    auto_recluster: Option<AutoRecluster>,
 }
 
 impl Default for Engine {
@@ -242,6 +311,9 @@ impl Engine {
             started: Instant::now(),
             workers: 0,
             queue_capacity: 0,
+            reclusters: Mutex::new(HashMap::new()),
+            recluster_counters: ReclusterCounters::default(),
+            auto_recluster: None,
         }
     }
 
@@ -271,6 +343,16 @@ impl Engine {
     #[must_use]
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Arms the drift handler's automatic reclustering trigger: committed
+    /// drifts feed a reorg cost/benefit analysis, and sustained worth-it
+    /// verdicts start a bounded-chunk migration without an explicit
+    /// `recluster` request.
+    #[must_use]
+    pub fn with_auto_recluster(mut self, config: AutoRecluster) -> Self {
+        self.auto_recluster = Some(config);
         self
     }
 
@@ -306,6 +388,8 @@ impl Engine {
                 schema_spec: snap.schema,
                 versioned: VersionedWorkload::restore(workload, snap.version),
                 dp: IncrementalDp::new(CostModel::of_schema(&schema)),
+                layout_path: None,
+                trigger: None,
             };
             sessions.insert(snap.name, Arc::new(Mutex::new(session)));
         }
@@ -313,6 +397,25 @@ impl Engine {
         for snap in recovered.idempotency {
             idempotency.insert(snap.key, Arc::new(Mutex::new(Some(snap.response))));
         }
+        // Recluster jobs rebuild from spec + fence alone: the synthetic
+        // table is a deterministic function of the spec, so the redo in
+        // `build_job` reproduces the crashed migration's bytes exactly.
+        let mut reclusters = HashMap::new();
+        let mut recovered_jobs = 0u64;
+        for snap in recovered.reclusters {
+            let name = snap.job.clone();
+            let mut job =
+                build_job(snap).map_err(|e| corrupt(format!("recluster job `{name}`: {e}")))?;
+            // Auto-triggered jobs carry their session in the name; restore
+            // the completion notification across the restart.
+            job.notify_session = name.strip_prefix("auto:").map(str::to_string);
+            if job.snap.state == "running" {
+                recovered_jobs += 1;
+            }
+            reclusters.insert(name, Arc::new(Mutex::new(job)));
+        }
+        self.recluster_counters.jobs_recovered = AtomicU64::new(recovered_jobs);
+        self.reclusters = Mutex::new(reclusters);
         self.sessions = sessions;
         self.idempotency = Mutex::new(idempotency);
         self.durability = Some(durability);
@@ -410,6 +513,7 @@ impl Engine {
                                             key: key.to_string(),
                                             response: resp.clone(),
                                         }),
+                                        recluster: None,
                                     });
                                 }
                             }
@@ -470,6 +574,9 @@ impl Engine {
             "price" => self.price(req, deadline, scope),
             "drift" => self.drift(req, deadline),
             "explain" => self.explain(req, deadline),
+            "recluster" => self.recluster_start(req, deadline),
+            "recluster_status" => self.recluster_status(req),
+            "recluster_abort" => self.recluster_abort(req),
             "stats" => self.stats(req),
             "ping" => Ok(Response::ok(req.id)),
             other => Err(ServiceError::BadRequest(format!(
@@ -484,14 +591,14 @@ impl Engine {
 
     fn parse_inputs(&self, req: &Request) -> Result<(StarSchema, Workload), ServiceError> {
         let schema = req
-            .schema
-            .clone()
+            .schema_spec()
+            .cloned()
             .ok_or_else(|| ServiceError::BadRequest("`schema` is required".into()))?
             .build()?;
         let shape = LatticeShape::of_schema(&schema);
         let workload = req
-            .workload
-            .clone()
+            .workload_spec()
+            .cloned()
             .ok_or_else(|| ServiceError::BadRequest("`workload` is required".into()))?
             .build(&shape)?;
         Ok((schema, workload))
@@ -545,8 +652,8 @@ impl Engine {
     ) -> Result<Response, ServiceError> {
         let (schema, workload) = self.parse_inputs(req)?;
         let strategy = req
-            .strategy
-            .clone()
+            .strategy_spec()
+            .cloned()
             .ok_or_else(|| ServiceError::BadRequest("`strategy` is required".into()))?;
         let (lazy, id, label) = resolve_strategy(&schema, &strategy)?;
         deadline.check()?;
@@ -584,7 +691,7 @@ impl Engine {
             }
         };
         deadline.check()?;
-        let measured = match &req.measure {
+        let measured = match req.measure_spec() {
             None => None,
             Some(m) => {
                 let curve = lazy.build(&schema);
@@ -635,7 +742,7 @@ impl Engine {
                     stats
                 } else {
                     let layout = PackedLayout::pack(&curve, &data, config);
-                    let eval = req.eval.unwrap_or_default();
+                    let eval = req.eval_opts().copied().unwrap_or_default();
                     self.memo
                         .workload_stats(&schema, &curve, &layout, &workload, eval.engine)
                 };
@@ -677,6 +784,8 @@ impl Engine {
                         schema_spec: SchemaSpec::of(&schema),
                         versioned: VersionedWorkload::new(workload),
                         dp: IncrementalDp::new(model),
+                        layout_path: None,
+                        trigger: None,
                     }));
                     stripe.insert(name.clone(), Arc::clone(&s));
                     s
@@ -684,7 +793,7 @@ impl Engine {
             }
         };
         let mut session = session.lock();
-        if let Some(spec) = &req.schema {
+        if let Some(spec) = req.schema_spec() {
             // A schema on a follow-up call must agree with the session's.
             let schema = spec.clone().build()?;
             if schema.fingerprint() != session.schema_fingerprint {
@@ -734,7 +843,7 @@ impl Engine {
         if let Some(d) = &self.durability {
             d.append(&LogEntry {
                 drift: Some(SessionSnapshot {
-                    name,
+                    name: name.clone(),
                     schema: session.schema_spec.clone(),
                     version: scratch.version(),
                     probs: scratch.workload().probs().to_vec(),
@@ -747,17 +856,87 @@ impl Engine {
                         key: key.clone(),
                         response: resp.clone(),
                     }),
+                recluster: None,
             })?;
         }
         session.versioned = scratch;
+        // Committed: feed the auto-recluster trigger (advisory — it can
+        // start a migration job, never fail the drift).
+        self.maybe_auto_recluster(&name, &mut session, &workload, &outcome.path);
         Ok(resp)
+    }
+
+    /// Runs the reorg cost/benefit analysis for a committed drift and
+    /// starts an `auto:<session>` migration job once the trigger fires.
+    fn maybe_auto_recluster(
+        &self,
+        name: &str,
+        session: &mut DriftSession,
+        workload: &Workload,
+        optimal: &LatticePath,
+    ) {
+        let Some(cfg) = self.auto_recluster.as_ref() else {
+            return;
+        };
+        // The first commit pins the baseline: the session's table is
+        // assumed clustered by what the advisor recommended then.
+        let Some(current) = session.layout_path.clone() else {
+            session.layout_path = Some(optimal.clone());
+            return;
+        };
+        let decision = {
+            let model = session.dp.model();
+            // One-time reorganization cost in the model's seek units:
+            // read + write every page of the configured geometry.
+            let m = &cfg.measure;
+            let records = session
+                .schema_spec
+                .clone()
+                .build()
+                .map(|s| s.num_cells())
+                .unwrap_or(0)
+                .saturating_mul(m.records_per_cell);
+            let pages = records
+                .saturating_mul(m.record_size)
+                .div_ceil(m.page_size.max(1));
+            reorg_decision(model, &current, workload, 2.0 * pages as f64)
+        };
+        let trigger = session.trigger.get_or_insert_with(|| {
+            ReclusterTrigger::new(cfg.min_signals, cfg.horizon_queries, cfg.cooldown)
+        });
+        if !trigger.observe(&decision) {
+            return;
+        }
+        let snap = ReclusterSnapshot {
+            job: format!("auto:{name}"),
+            schema: session.schema_spec.clone(),
+            from: StrategySpec::snaked_path(current.dims().to_vec()),
+            to: StrategySpec::snaked_path(decision.new_path.dims().to_vec()),
+            measure: cfg.measure.clone(),
+            chunk_pages: cfg.chunk_pages,
+            fence: 0,
+            state: "running".into(),
+            chunks_applied: 0,
+            records_moved: 0,
+            probes: 0,
+        };
+        if self.start_job(snap, Some(name.to_string())).is_ok() {
+            session
+                .trigger
+                .as_mut()
+                .expect("armed above")
+                .note_started();
+            self.recluster_counters
+                .auto_triggers
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn explain(&self, req: &Request, deadline: &Deadline) -> Result<Response, ServiceError> {
         let (schema, workload) = self.parse_inputs(req)?;
         let model = CostModel::of_schema(&schema);
         deadline.check()?;
-        let path = match &req.strategy {
+        let path = match req.strategy_spec() {
             Some(s) => {
                 let dims = s.dims.clone().ok_or_else(|| {
                     ServiceError::BadRequest("`explain` strategies must carry `dims`".into())
@@ -771,6 +950,287 @@ impl Engine {
             explanation: Some(explanation),
             ..Response::ok(req.id)
         })
+    }
+
+    // -- Online reclustering ------------------------------------------------
+
+    /// The job handle for `name`.
+    fn recluster_job(&self, name: &str) -> Option<Arc<Mutex<ReclusterJob>>> {
+        self.reclusters.lock().get(name).map(Arc::clone)
+    }
+
+    /// Appends a job's durable after-state to the WAL (no-op in-memory).
+    fn log_recluster(&self, snap: ReclusterSnapshot) -> io::Result<()> {
+        match &self.durability {
+            Some(d) => d
+                .append(&LogEntry {
+                    recluster: Some(snap),
+                    ..LogEntry::default()
+                })
+                .map(|_lsn| ()),
+            None => Ok(()),
+        }
+    }
+
+    /// Builds and registers a job, durable before it is acknowledged.
+    fn start_job(
+        &self,
+        snap: ReclusterSnapshot,
+        notify: Option<String>,
+    ) -> Result<ReclusterBody, ServiceError> {
+        let mut job = build_job(snap)?;
+        job.notify_session = notify;
+        let body = job.body();
+        self.log_recluster(job.snap.clone())?;
+        self.reclusters
+            .lock()
+            .insert(job.snap.job.clone(), Arc::new(Mutex::new(job)));
+        self.recluster_counters
+            .jobs_started
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(body)
+    }
+
+    /// `recluster`: starts a migration job (or reports an already-running
+    /// one — starts are idempotent by job name).
+    fn recluster_start(
+        &self,
+        req: &Request,
+        deadline: &Deadline,
+    ) -> Result<Response, ServiceError> {
+        let name = req
+            .session
+            .clone()
+            .ok_or_else(|| ServiceError::BadRequest("`session` names the recluster job".into()))?;
+        deadline.check()?;
+        let prev: Option<ReclusterSnapshot> = match self.recluster_job(&name) {
+            Some(job) => {
+                let job = job.lock();
+                if job.snap.state == "running" {
+                    return Ok(Response {
+                        recluster: Some(job.body()),
+                        ..Response::ok(req.id)
+                    });
+                }
+                Some(job.snap.clone())
+            }
+            None => None,
+        };
+        let spec = req.recluster.clone().unwrap_or_default();
+        let schema_spec = req
+            .schema_spec()
+            .cloned()
+            .or_else(|| prev.as_ref().map(|p| p.schema.clone()))
+            .ok_or_else(|| ServiceError::BadRequest("`schema` is required".into()))?;
+        // A restarted job continues from the layout its predecessor left
+        // behind; a brand-new job must say what is on disk.
+        let from = spec
+            .from
+            .or_else(|| prev.as_ref().map(|p| p.to.clone()))
+            .ok_or_else(|| {
+                ServiceError::BadRequest("`recluster.from` is required for a new job".into())
+            })?;
+        let to = match spec.to.or_else(|| req.strategy_spec().cloned()) {
+            Some(t) => t,
+            None => {
+                // Default target: the advisor's recommendation for the
+                // posted workload.
+                let schema = schema_spec.clone().build()?;
+                let shape = LatticeShape::of_schema(&schema);
+                let workload = req
+                    .workload_spec()
+                    .cloned()
+                    .ok_or_else(|| {
+                        ServiceError::BadRequest(
+                            "`recluster.to`, `strategy`, or a `workload` to recommend from \
+                             is required"
+                                .into(),
+                        )
+                    })?
+                    .build(&shape)?;
+                deadline.check()?;
+                let model = CostModel::of_schema(&schema);
+                let rec = recommend_with_model(&model, &workload);
+                StrategySpec::snaked_path(rec.optimal_path.dims().to_vec())
+            }
+        };
+        let measure = req.measure_spec().cloned().unwrap_or_default();
+        deadline.check()?;
+        let snap = ReclusterSnapshot {
+            job: name,
+            schema: schema_spec,
+            from,
+            to,
+            measure,
+            chunk_pages: spec.chunk_pages,
+            fence: 0,
+            state: "running".into(),
+            chunks_applied: 0,
+            records_moved: 0,
+            probes: 0,
+        };
+        let body = self.start_job(snap, None)?;
+        Ok(Response {
+            recluster: Some(body),
+            ..Response::ok(req.id)
+        })
+    }
+
+    /// `recluster_status`: progress of a known job.
+    fn recluster_status(&self, req: &Request) -> Result<Response, ServiceError> {
+        let name = req
+            .session
+            .as_deref()
+            .ok_or_else(|| ServiceError::BadRequest("`session` names the recluster job".into()))?;
+        let job = self
+            .recluster_job(name)
+            .ok_or_else(|| ServiceError::BadRequest(format!("unknown recluster job `{name}`")))?;
+        let body = job.lock().body();
+        Ok(Response {
+            recluster: Some(body),
+            ..Response::ok(req.id)
+        })
+    }
+
+    /// `recluster_abort`: stops a running job. The old layout stays
+    /// authoritative — the fence-split executor never served a cell from
+    /// the new file that the old file does not also hold.
+    fn recluster_abort(&self, req: &Request) -> Result<Response, ServiceError> {
+        let name = req
+            .session
+            .as_deref()
+            .ok_or_else(|| ServiceError::BadRequest("`session` names the recluster job".into()))?;
+        let job = self
+            .recluster_job(name)
+            .ok_or_else(|| ServiceError::BadRequest(format!("unknown recluster job `{name}`")))?;
+        let mut job = job.lock();
+        if job.snap.state == "running" {
+            job.running = None;
+            job.snap.state = "aborted".into();
+            self.log_recluster(job.snap.clone())?;
+            self.recluster_counters
+                .jobs_aborted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Response {
+            recluster: Some(job.body()),
+            ..Response::ok(req.id)
+        })
+    }
+
+    /// Advances every running job owned by `stripe` (of `stripes`) one
+    /// bounded chunk: copy `chunk_pages` pages, differentially probe the
+    /// mixed-layout executor, and log the new fence. Returns how many
+    /// jobs stepped. Shards call this once per event-loop tick with their
+    /// own index (one chunk per tick bounds the serving-latency impact);
+    /// the blocking core calls it with `(0, 1)` after each request.
+    pub fn tick_reclusters(&self, stripe: usize, stripes: usize) -> usize {
+        let owned: Vec<Arc<Mutex<ReclusterJob>>> = {
+            let map = self.reclusters.lock();
+            map.iter()
+                .filter(|(name, _)| stripes <= 1 || session_shard(name, stripes) == stripe)
+                .map(|(_, job)| Arc::clone(job))
+                .collect()
+        };
+        let mut stepped = 0;
+        for job in owned {
+            let mut job = job.lock();
+            if job.snap.state != "running" {
+                continue;
+            }
+            match self.advance(&mut job) {
+                Ok(()) => stepped += 1,
+                Err(_) => {
+                    // The in-memory paged engine failing is effectively
+                    // unreachable; fail the job loudly rather than wedge
+                    // the tick.
+                    job.running = None;
+                    job.snap.state = "aborted".into();
+                    self.recluster_counters
+                        .jobs_aborted
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = self.log_recluster(job.snap.clone());
+                }
+            }
+        }
+        if stepped > 0 {
+            self.maybe_checkpoint();
+        }
+        stepped
+    }
+
+    /// One chunk of one running job: step, probe, persist, finish.
+    fn advance(&self, job: &mut ReclusterJob) -> io::Result<()> {
+        let running = job.running.as_mut().expect("running job");
+        let report = running
+            .migration
+            .step(&running.old_curve, &running.new_curve)?;
+        running.probe()?;
+        job.snap.fence = report.fence;
+        job.snap.chunks_applied += 1;
+        job.snap.records_moved += report.records_moved;
+        job.snap.probes += 1;
+        let c = &self.recluster_counters;
+        c.chunks_applied.fetch_add(1, Ordering::Relaxed);
+        c.records_moved
+            .fetch_add(report.records_moved, Ordering::Relaxed);
+        c.probes.fetch_add(1, Ordering::Relaxed);
+        if report.done {
+            job.snap.state = "done".into();
+            let RunningJob {
+                migration,
+                new_curve,
+                cells,
+                ..
+            } = job.running.take().expect("running job");
+            // Land the new layout (validates the packed file opens clean).
+            let _ = migration.finish(&new_curve, &cells)?;
+            c.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            self.notify_layout_change(job);
+        }
+        // Durable fence advance; under group commit the shard's tick
+        // flush amortizes the fsync.
+        self.log_recluster(job.snap.clone())
+    }
+
+    /// Advances the owning drift session's assumed layout once an
+    /// auto-triggered migration lands.
+    fn notify_layout_change(&self, job: &ReclusterJob) {
+        let Some(name) = &job.notify_session else {
+            return;
+        };
+        let Some(dims) = &job.snap.to.dims else {
+            return;
+        };
+        let Some(session) = self.sessions.get(name) else {
+            return;
+        };
+        let mut session = session.lock();
+        let shape = session.dp.model().shape().clone();
+        if let Ok(path) = LatticePath::from_dims(shape, dims.clone()) {
+            session.layout_path = Some(path);
+        }
+    }
+
+    fn recluster_stats_body(&self) -> ReclusterStatsBody {
+        let jobs: Vec<Arc<Mutex<ReclusterJob>>> =
+            self.reclusters.lock().values().map(Arc::clone).collect();
+        let active = jobs
+            .iter()
+            .filter(|j| j.lock().snap.state == "running")
+            .count() as u64;
+        let c = &self.recluster_counters;
+        ReclusterStatsBody {
+            jobs_started: c.jobs_started.load(Ordering::Relaxed),
+            jobs_completed: c.jobs_completed.load(Ordering::Relaxed),
+            jobs_aborted: c.jobs_aborted.load(Ordering::Relaxed),
+            jobs_recovered: c.jobs_recovered.load(Ordering::Relaxed),
+            active,
+            chunks_applied: c.chunks_applied.load(Ordering::Relaxed),
+            records_moved: c.records_moved.load(Ordering::Relaxed),
+            probes: c.probes.load(Ordering::Relaxed),
+            auto_triggers: c.auto_triggers.load(Ordering::Relaxed),
+        }
     }
 
     fn stats(&self, req: &Request) -> Result<Response, ServiceError> {
@@ -824,6 +1284,7 @@ impl Engine {
             batching: self.registry.batching_body(),
             storage: self.storage_stats_body(),
             aggregation: aggregation_stats_body(),
+            recluster: self.recluster_stats_body(),
         }
     }
 
@@ -911,12 +1372,27 @@ impl Engine {
                 });
             }
         }
+        let jobs: Vec<(String, Arc<Mutex<ReclusterJob>>)> = {
+            let map = self.reclusters.lock();
+            map.iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect()
+        };
+        let mut reclusters = Vec::with_capacity(jobs.len());
+        for (_, job) in &jobs {
+            let Some(job) = job.try_lock() else {
+                return Ok(false);
+            };
+            reclusters.push(job.snap.clone());
+        }
         snaps.sort_by(|a, b| a.name.cmp(&b.name));
         idem.sort_by(|a, b| a.key.cmp(&b.key));
+        reclusters.sort_by(|a, b| a.job.cmp(&b.job));
         let ckpt = Checkpoint {
             next_lsn: wal.next_lsn(),
             sessions: snaps,
             idempotency: idem,
+            reclusters,
         };
         d.install_checkpoint(&mut wal, &ckpt)?;
         Ok(true)
@@ -949,7 +1425,7 @@ fn is_authoritative(resp: &Response) -> bool {
 
 /// An owned linearization over a schema's grid: the two families the wire
 /// protocol can name.
-enum WireCurve {
+pub(crate) enum WireCurve {
     Path(snakes_curves::nested::NestedLoops),
     Hilbert(CompactHilbert),
 }
@@ -999,14 +1475,14 @@ impl Linearization for WireCurve {
 /// Curve construction enumerates the whole grid — deferring it lets the
 /// pricing fast path (signature-cache hits and same-tick batch followers)
 /// skip it entirely.
-enum LazyCurve {
+pub(crate) enum LazyCurve {
     Path { path: LatticePath, snaked: bool },
     Hilbert,
 }
 
 impl LazyCurve {
     /// Materializes the linearization (the expensive step).
-    fn build(&self, schema: &StarSchema) -> WireCurve {
+    pub(crate) fn build(&self, schema: &StarSchema) -> WireCurve {
         match self {
             LazyCurve::Path { path, snaked } => WireCurve::Path(if *snaked {
                 snaked_path_curve(schema, path)
@@ -1018,7 +1494,7 @@ impl LazyCurve {
     }
 }
 
-fn resolve_strategy(
+pub(crate) fn resolve_strategy(
     schema: &StarSchema,
     spec: &StrategySpec,
 ) -> Result<(LazyCurve, StrategyId, String), ServiceError> {
@@ -1272,7 +1748,7 @@ mod tests {
         let mut req = Request::price(toy_schema(), uniform_workload(), StrategySpec::default());
         let resp = engine.handle(&req, &Deadline::none());
         assert_eq!(resp.error.unwrap().code, "bad_request");
-        req.strategy = Some(StrategySpec {
+        req.env.as_mut().expect("v2 constructor").strategy = Some(StrategySpec {
             kind: Some("peano".into()),
             ..StrategySpec::default()
         });
@@ -1554,5 +2030,242 @@ mod tests {
         });
         let resp = engine.handle(&req, &Deadline::none());
         assert_eq!(resp.error.unwrap().code, "bad_request");
+    }
+
+    fn small_measure() -> crate::protocol::MeasureSpec {
+        crate::protocol::MeasureSpec {
+            records_per_cell: 3,
+            page_size: 256,
+            record_size: 64,
+            physical: false,
+        }
+    }
+
+    fn recluster_req(job: &str, from: Vec<usize>, to: Vec<usize>) -> Request {
+        Request::recluster(
+            job,
+            toy_schema(),
+            uniform_workload(),
+            crate::protocol::ReclusterSpec {
+                from: Some(StrategySpec::snaked_path(from)),
+                to: Some(StrategySpec::snaked_path(to)),
+                chunk_pages: 1,
+            },
+        )
+        .with_measure(small_measure())
+    }
+
+    #[test]
+    fn recluster_endpoints_drive_a_migration_to_completion() {
+        let engine = Engine::new();
+        let resp = engine.handle(
+            &recluster_req("mig", vec![0, 1, 0, 1], vec![1, 0, 1, 0]),
+            &Deadline::none(),
+        );
+        assert!(resp.ok, "{:?}", resp.error);
+        let body = resp.recluster.unwrap();
+        assert_eq!(body.state, "running");
+        assert_eq!(body.fence, 0);
+        assert_eq!(body.total_cells, 16);
+        // Starting an already-running job is idempotent: it reports
+        // progress instead of restarting.
+        let again = engine.handle(
+            &recluster_req("mig", vec![0, 1, 0, 1], vec![1, 0, 1, 0]),
+            &Deadline::none(),
+        );
+        assert!(again.ok);
+        assert_eq!(again.recluster.unwrap().state, "running");
+        // Drive the migration: every tick advances one bounded chunk and
+        // runs a differential probe over the fence.
+        let mut ticks = 0;
+        while engine.tick_reclusters(0, 1) > 0 {
+            ticks += 1;
+            assert!(ticks < 100, "migration must terminate");
+        }
+        assert!(ticks > 1, "chunk_pages=1 must take several chunks");
+        let status = engine.handle(&Request::recluster_status("mig"), &Deadline::none());
+        let body = status.recluster.unwrap();
+        assert_eq!(body.state, "done");
+        assert_eq!(body.fence, 16);
+        assert_eq!(body.records_moved, 16 * 3);
+        assert_eq!(body.probes, body.chunks_applied);
+        // Aborting a finished job is a no-op answer, not an error.
+        let aborted = engine.handle(&Request::recluster_abort("mig"), &Deadline::none());
+        assert_eq!(aborted.recluster.unwrap().state, "done");
+        let stats = engine.stats_body().recluster;
+        assert_eq!(stats.jobs_started, 1);
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.active, 0);
+        assert_eq!(stats.records_moved, 48);
+        let unknown = engine.handle(&Request::recluster_status("nope"), &Deadline::none());
+        assert_eq!(unknown.error.unwrap().code, "bad_request");
+    }
+
+    #[test]
+    fn recluster_abort_stops_and_restart_continues_from_previous_target() {
+        let engine = Engine::new();
+        assert!(
+            engine
+                .handle(
+                    &recluster_req("job", vec![0, 1, 0, 1], vec![1, 0, 1, 0]),
+                    &Deadline::none(),
+                )
+                .ok
+        );
+        assert_eq!(engine.tick_reclusters(0, 1), 1);
+        let resp = engine.handle(&Request::recluster_abort("job"), &Deadline::none());
+        assert_eq!(resp.recluster.unwrap().state, "aborted");
+        assert_eq!(engine.tick_reclusters(0, 1), 0, "aborted jobs do not tick");
+        // Restarting the name defaults `from` to the previous target and
+        // reuses the previous schema: only a new `to` is needed.
+        let mut restart = Request::new("recluster");
+        restart.session = Some("job".into());
+        restart.recluster = Some(crate::protocol::ReclusterSpec {
+            from: None,
+            to: Some(StrategySpec::snaked_path(vec![0, 0, 1, 1])),
+            chunk_pages: 4,
+        });
+        let restart = engine.handle(&restart.with_measure(small_measure()), &Deadline::none());
+        assert!(restart.ok, "{:?}", restart.error);
+        let body = restart.recluster.unwrap();
+        assert_eq!(body.state, "running");
+        let job = engine.recluster_job("job").unwrap();
+        assert_eq!(
+            job.lock().snap.from.dims,
+            Some(vec![1, 0, 1, 0]),
+            "restart picks up from the aborted job's target layout"
+        );
+        while engine.tick_reclusters(0, 1) > 0 {}
+        let stats = engine.stats_body().recluster;
+        assert_eq!(stats.jobs_aborted, 1);
+        assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn recluster_target_defaults_to_the_recommendation() {
+        let engine = Engine::new();
+        let direct = engine.handle(
+            &Request::recommend(toy_schema(), uniform_workload()),
+            &Deadline::none(),
+        );
+        let optimal = direct.recommendation.unwrap().path_dims;
+        let req = Request::recluster(
+            "rec",
+            toy_schema(),
+            uniform_workload(),
+            crate::protocol::ReclusterSpec {
+                from: Some(StrategySpec::snaked_path(vec![0, 0, 1, 1])),
+                to: None,
+                chunk_pages: 4,
+            },
+        )
+        .with_measure(small_measure());
+        let resp = engine.handle(&req, &Deadline::none());
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.recluster.unwrap().state, "running");
+        let job = engine.recluster_job("rec").unwrap();
+        assert_eq!(
+            job.lock().snap.to.dims,
+            Some(optimal),
+            "omitted target defaults to the advisor's recommendation"
+        );
+    }
+
+    #[test]
+    fn recluster_jobs_resume_from_the_logged_fence_across_restart() {
+        let store = Arc::new(CrashStore::new());
+        let fence_before = {
+            let engine = durable_engine(&store);
+            assert!(
+                engine
+                    .handle(
+                        &recluster_req("dur", vec![0, 1, 0, 1], vec![1, 0, 1, 0]),
+                        &Deadline::none(),
+                    )
+                    .ok
+            );
+            // A few chunks, then "SIGKILL" (drop without finishing).
+            assert_eq!(engine.tick_reclusters(0, 1), 1);
+            assert_eq!(engine.tick_reclusters(0, 1), 1);
+            engine.flush_wal().unwrap();
+            let status = engine.handle(&Request::recluster_status("dur"), &Deadline::none());
+            let body = status.recluster.unwrap();
+            assert!(body.fence > 0 && !body.state.eq("done"));
+            body.fence
+        };
+        let store = Arc::new(CrashStore::reopen(&store));
+        let engine = durable_engine(&store);
+        let stats = engine.stats_body().recluster;
+        assert_eq!(stats.jobs_recovered, 1);
+        assert_eq!(stats.active, 1);
+        let status = engine.handle(&Request::recluster_status("dur"), &Deadline::none());
+        let body = status.recluster.unwrap();
+        assert_eq!(body.state, "running");
+        assert_eq!(
+            body.fence, fence_before,
+            "resume exactly at the logged fence"
+        );
+        // The recovered migration runs to completion (probes keep passing:
+        // the rebuilt table is bit-identical by construction).
+        while engine.tick_reclusters(0, 1) > 0 {}
+        let status = engine.handle(&Request::recluster_status("dur"), &Deadline::none());
+        assert_eq!(status.recluster.unwrap().state, "done");
+    }
+
+    #[test]
+    fn drift_auto_triggers_a_migration_and_advances_the_layout() {
+        let engine = Engine::new().with_auto_recluster(AutoRecluster {
+            horizon_queries: 1e9,
+            min_signals: 2,
+            cooldown: 4,
+            chunk_pages: 4,
+            measure: small_measure(),
+        });
+        let mut init = Request::drift("sales", vec![]);
+        init.schema = Some(toy_schema());
+        init.workload = Some(uniform_workload());
+        assert!(engine.handle(&init, &Deadline::none()).ok);
+        // The first commit pins the baseline layout to the then-optimal
+        // path. Repoint it at a deliberately suboptimal one so the
+        // advisor sees a persistent gap worth migrating away from.
+        let optimal = {
+            let handle = engine.sessions.get("sales").unwrap();
+            let mut session = handle.lock();
+            let shape = session.dp.model().shape().clone();
+            let optimal = session.layout_path.clone().expect("pinned on first commit");
+            // A blocked path (one dimension fully first) is strictly worse
+            // than the alternating optimum for a uniform workload — and
+            // not merely its mirror image, which would cost the same by
+            // the toy schema's symmetry.
+            let dims = if optimal.dims() == [0, 0, 1, 1] {
+                vec![0, 1, 0, 1]
+            } else {
+                vec![0, 0, 1, 1]
+            };
+            session.layout_path = Some(LatticePath::from_dims(shape, dims).unwrap());
+            optimal
+        };
+        assert!(drift_once(&engine, "sales", 0, 0.50001, "at-1").ok);
+        assert_eq!(
+            engine.stats_body().recluster.auto_triggers,
+            0,
+            "one signal is not a streak"
+        );
+        assert!(drift_once(&engine, "sales", 0, 0.5, "at-2").ok);
+        let stats = engine.stats_body().recluster;
+        assert_eq!(stats.auto_triggers, 1, "second consecutive signal fires");
+        assert_eq!(stats.active, 1);
+        let status = engine.handle(&Request::recluster_status("auto:sales"), &Deadline::none());
+        assert_eq!(status.recluster.unwrap().state, "running");
+        // Cooldown: further drifts must not start a second job.
+        assert!(drift_once(&engine, "sales", 1, 0.3, "at-3").ok);
+        assert_eq!(engine.stats_body().recluster.auto_triggers, 1);
+        while engine.tick_reclusters(0, 1) > 0 {}
+        assert_eq!(engine.stats_body().recluster.jobs_completed, 1);
+        // Completion advanced the session's assumed layout to the target:
+        // the estimator is satisfied and the trigger stays quiet.
+        let handle = engine.sessions.get("sales").unwrap();
+        let assumed = handle.lock().layout_path.clone().unwrap();
+        assert_eq!(assumed.dims(), optimal.dims());
     }
 }

@@ -12,8 +12,13 @@
 //!   [incremental DP](snakes_core::dp::IncrementalDp) warm restart,
 //!   coalescing each request's deltas into one re-optimization;
 //! * `explain` — per-class cost attribution for a strategy;
+//! * `recluster` / `recluster_status` / `recluster_abort` — an online
+//!   reclustering executor that applies a recommendation to a clustered
+//!   [table file](snakes_storage::TableFile) in bounded chunks *while
+//!   serving*, with a WAL-logged fence so a killed daemon resumes the
+//!   migration exactly where it stopped;
 //! * `stats` — cache hit rates, per-endpoint latency histograms, queue
-//!   depth.
+//!   depth, reclustering progress.
 //!
 //! The daemon is plain `std` — no async runtime: a hand-rolled epoll
 //! readiness loop drives per-core worker [shards](shard), each owning a
@@ -54,6 +59,7 @@ pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod reactor;
+mod recluster;
 pub mod server;
 pub mod shard;
 pub mod sim;
@@ -63,11 +69,13 @@ pub use client::{
     Client, Dialer, PipelinedClient, RetryPolicy, RetryStats, RetryingClient, TcpDialer, Transport,
 };
 pub use durability::Media;
-pub use engine::{BatchScope, Deadline, Engine};
+pub use engine::{AutoRecluster, BatchScope, Deadline, Engine};
 pub use error::ServiceError;
 pub use fault::{FaultConfig, FaultPlan};
 pub use metrics::{Endpoint, Registry};
-pub use protocol::{Request, Response, PROTOCOL_VERSION};
+pub use protocol::{
+    EvalEnvelope, ReclusterSpec, Request, Response, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 pub use reactor::{EpollReactor, Reactor, ShardStream, SimReactor, TcpShardStream, Waker};
 pub use server::{metrics_digest, serve_forever, Core, Server, ServerConfig, MAX_LINE_BYTES};
 pub use shard::{ShardedConfig, ShardedCore};

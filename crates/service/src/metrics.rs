@@ -91,6 +91,12 @@ pub enum Endpoint {
     Drift,
     /// `explain`.
     Explain,
+    /// `recluster`.
+    Recluster,
+    /// `recluster_status`.
+    ReclusterStatus,
+    /// `recluster_abort`.
+    ReclusterAbort,
     /// `stats`.
     Stats,
     /// `ping`.
@@ -102,11 +108,14 @@ pub enum Endpoint {
 }
 
 /// All endpoints, in wire-stable reporting order.
-pub const ENDPOINTS: [Endpoint; 8] = [
+pub const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Recommend,
     Endpoint::Price,
     Endpoint::Drift,
     Endpoint::Explain,
+    Endpoint::Recluster,
+    Endpoint::ReclusterStatus,
+    Endpoint::ReclusterAbort,
     Endpoint::Stats,
     Endpoint::Ping,
     Endpoint::Shutdown,
@@ -121,6 +130,9 @@ impl Endpoint {
             "price" => Endpoint::Price,
             "drift" => Endpoint::Drift,
             "explain" => Endpoint::Explain,
+            "recluster" => Endpoint::Recluster,
+            "recluster_status" => Endpoint::ReclusterStatus,
+            "recluster_abort" => Endpoint::ReclusterAbort,
             "stats" => Endpoint::Stats,
             "ping" => Endpoint::Ping,
             "shutdown" => Endpoint::Shutdown,
@@ -135,6 +147,9 @@ impl Endpoint {
             Endpoint::Price => "price",
             Endpoint::Drift => "drift",
             Endpoint::Explain => "explain",
+            Endpoint::Recluster => "recluster",
+            Endpoint::ReclusterStatus => "recluster_status",
+            Endpoint::ReclusterAbort => "recluster_abort",
             Endpoint::Stats => "stats",
             Endpoint::Ping => "ping",
             Endpoint::Shutdown => "shutdown",

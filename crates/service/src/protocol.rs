@@ -3,19 +3,30 @@
 //!
 //! One request per line, one response per line, both UTF-8 JSON documents.
 //! Every request carries the protocol version (`v`), an opaque client
-//! correlation id (`id`, echoed verbatim), and the endpoint name; endpoint
-//! payloads are flat optional fields, so unknown fields added by newer
-//! clients or servers are ignored by older peers — the forward-compat
-//! contract pinned by the golden-fixture tests.
+//! correlation id (`id`, echoed verbatim), and the endpoint name.
+//!
+//! **Version 2** unifies the evaluation inputs — which version 1 grew by
+//! accretion as flat top-level fields — into one shared [`EvalEnvelope`]
+//! (`env`): `schema`, `workload`, `strategy`, `measure`, `eval` travel
+//! together for every evaluating endpoint. Version 1 frames (flat fields,
+//! `v: 1`) remain fully supported: the server resolves each input through
+//! [`Request::schema_spec`] and friends, which prefer the envelope and
+//! fall back to the flat field, and answers with the request's own `v` so
+//! v1 clients see v1-shaped responses (the extra v2 fields are skipped or
+//! ignored under the forward-compat contract pinned by the golden-fixture
+//! tests).
 //!
 //! The endpoints:
 //!
 //! | endpoint    | input                                   | output |
 //! |-------------|-----------------------------------------|--------|
-//! | `recommend` | `schema`, `workload`                    | [`RecommendationBody`] |
-//! | `price`     | `schema`, `workload`, `strategy`, opt. `measure`, `eval` | [`PriceBody`] |
-//! | `drift`     | `session` (+ `schema`/`workload` once), `deltas` | [`DriftBody`] |
-//! | `explain`   | `schema`, `workload`, opt. `strategy`   | [`snakes_core::explain::CostExplanation`] |
+//! | `recommend` | `env.schema`, `env.workload`            | [`RecommendationBody`] |
+//! | `price`     | `env.schema`, `env.workload`, `env.strategy`, opt. `env.measure`, `env.eval` | [`PriceBody`] |
+//! | `drift`     | `session` (+ `env.schema`/`env.workload` once), `deltas` | [`DriftBody`] |
+//! | `explain`   | `env.schema`, `env.workload`, opt. `env.strategy` | [`snakes_core::explain::CostExplanation`] |
+//! | `recluster` | `session` (job name), `env.schema`, `env.workload`, `env.measure`, [`ReclusterSpec`] | [`ReclusterBody`] |
+//! | `recluster_status` | `session` (job name)             | [`ReclusterBody`] |
+//! | `recluster_abort`  | `session` (job name)             | [`ReclusterBody`] |
 //! | `stats`     | —                                       | [`StatsBody`] |
 //! | `ping`      | —                                       | `ok` only |
 //! | `shutdown`  | —                                       | `ok`, then graceful drain |
@@ -28,7 +39,12 @@ use snakes_core::schema::{Hierarchy, StarSchema};
 use snakes_core::workload::{WeightUpdate, Workload};
 
 /// The wire protocol version this crate speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The oldest protocol version the server still accepts. Version-1 frames
+/// (flat evaluation fields instead of the [`EvalEnvelope`]) are upgraded
+/// on admission and answered in version-1 shape.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 fn default_version() -> u32 {
     PROTOCOL_VERSION
@@ -327,6 +343,65 @@ pub struct DeltaSpec {
     pub updates: Vec<WeightUpdate>,
 }
 
+/// The shared evaluation envelope of protocol version 2: every input an
+/// evaluating endpoint reads, in one body. Version 1 spread these over
+/// flat request fields; the envelope carries them together so new
+/// endpoints (like `recluster`) compose the same inputs instead of
+/// growing more top-level fields. Each member is optional — endpoints
+/// require what they need and ignore the rest — and any member absent
+/// from the envelope falls back to the matching flat v1 field (see
+/// [`Request::schema_spec`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalEnvelope {
+    /// Star schema.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema: Option<SchemaSpec>,
+    /// Workload distribution.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workload: Option<WorkloadSpec>,
+    /// Strategy to price/explain or to recluster toward.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub strategy: Option<StrategySpec>,
+    /// Physical measurement / table geometry.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub measure: Option<MeasureSpec>,
+    /// Evaluation options (thread-pool shape, query engine).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eval: Option<EvalOptions>,
+}
+
+fn default_chunk_pages() -> u64 {
+    4
+}
+
+/// Parameters of a `recluster` request: migrate the job's table from its
+/// current linearization to `to`, `chunk_pages` pages per step, while
+/// continuing to serve scans bit-identically from the mixed layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReclusterSpec {
+    /// The linearization currently on disk. Defaults to the job's known
+    /// layout (required when the job does not exist yet).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub from: Option<StrategySpec>,
+    /// The target linearization. Defaults to `env.strategy`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub to: Option<StrategySpec>,
+    /// Pages copied per migration step (bounds the per-tick work and thus
+    /// the serving-latency impact).
+    #[serde(default = "default_chunk_pages")]
+    pub chunk_pages: u64,
+}
+
+impl Default for ReclusterSpec {
+    fn default() -> Self {
+        ReclusterSpec {
+            from: None,
+            to: None,
+            chunk_pages: default_chunk_pages(),
+        }
+    }
+}
+
 /// One request line.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -336,33 +411,45 @@ pub struct Request {
     /// Client correlation id, echoed verbatim in the response.
     #[serde(default)]
     pub id: u64,
-    /// Endpoint name (`recommend`, `price`, `drift`, `explain`, `stats`,
+    /// Endpoint name (`recommend`, `price`, `drift`, `explain`,
+    /// `recluster`, `recluster_status`, `recluster_abort`, `stats`,
     /// `ping`, `shutdown`).
     #[serde(default)]
     pub endpoint: String,
     /// Per-request deadline in milliseconds, measured from admission.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub deadline_ms: Option<u64>,
-    /// Star schema (recommend / price / explain; drift initialization).
+    /// The v2 evaluation envelope: schema, workload, strategy, measure,
+    /// and eval options in one body. Preferred over the flat v1 fields
+    /// below; absent members fall back to them.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub env: Option<EvalEnvelope>,
+    /// Star schema (v1 flat form; v2 clients put it in `env`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub schema: Option<SchemaSpec>,
-    /// Workload (recommend / price / explain; drift initialization).
+    /// Workload (v1 flat form; v2 clients put it in `env`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub workload: Option<WorkloadSpec>,
-    /// Strategy to price/explain.
+    /// Strategy to price/explain (v1 flat form; v2 clients put it in
+    /// `env`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub strategy: Option<StrategySpec>,
-    /// Optional physical measurement of a `price` request.
+    /// Optional physical measurement of a `price` request (v1 flat form;
+    /// v2 clients put it in `env`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub measure: Option<MeasureSpec>,
-    /// Drift session name. Sessions are created on first use and survive
-    /// across connections.
+    /// Drift-session or recluster-job name. Sessions/jobs are created on
+    /// first use and survive across connections.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub session: Option<String>,
     /// Sparse workload deltas of a `drift` request (coalesced).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub deltas: Option<Vec<DeltaSpec>>,
-    /// Evaluation options for physical measurement.
+    /// Online-reclustering parameters of a `recluster` request.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recluster: Option<ReclusterSpec>,
+    /// Evaluation options for physical measurement (v1 flat form; v2
+    /// clients put them in `env`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub eval: Option<EvalOptions>,
     /// Idempotency key: requests sharing a key are deduplicated
@@ -382,21 +469,27 @@ impl Request {
         }
     }
 
-    /// A `recommend` request.
+    /// A `recommend` request (v2 envelope form).
     pub fn recommend(schema: SchemaSpec, workload: WorkloadSpec) -> Self {
         Request {
-            schema: Some(schema),
-            workload: Some(workload),
+            env: Some(EvalEnvelope {
+                schema: Some(schema),
+                workload: Some(workload),
+                ..EvalEnvelope::default()
+            }),
             ..Request::new("recommend")
         }
     }
 
-    /// A `price` request.
+    /// A `price` request (v2 envelope form).
     pub fn price(schema: SchemaSpec, workload: WorkloadSpec, strategy: StrategySpec) -> Self {
         Request {
-            schema: Some(schema),
-            workload: Some(workload),
-            strategy: Some(strategy),
+            env: Some(EvalEnvelope {
+                schema: Some(schema),
+                workload: Some(workload),
+                strategy: Some(strategy),
+                ..EvalEnvelope::default()
+            }),
             ..Request::new("price")
         }
     }
@@ -410,11 +503,105 @@ impl Request {
         }
     }
 
+    /// A `recluster` request: start (or resume) job `job` migrating a
+    /// table of `schema`'s grid toward `spec.to`, pricing benefit against
+    /// `workload`.
+    pub fn recluster(
+        job: &str,
+        schema: SchemaSpec,
+        workload: WorkloadSpec,
+        spec: ReclusterSpec,
+    ) -> Self {
+        Request {
+            session: Some(job.into()),
+            env: Some(EvalEnvelope {
+                schema: Some(schema),
+                workload: Some(workload),
+                ..EvalEnvelope::default()
+            }),
+            recluster: Some(spec),
+            ..Request::new("recluster")
+        }
+    }
+
+    /// A `recluster_status` request for job `job`.
+    pub fn recluster_status(job: &str) -> Self {
+        Request {
+            session: Some(job.into()),
+            ..Request::new("recluster_status")
+        }
+    }
+
+    /// A `recluster_abort` request for job `job`.
+    pub fn recluster_abort(job: &str) -> Self {
+        Request {
+            session: Some(job.into()),
+            ..Request::new("recluster_abort")
+        }
+    }
+
     /// This request tagged with `key` for server-side deduplication.
     #[must_use]
     pub fn with_idempotency_key(mut self, key: impl Into<String>) -> Self {
         self.idempotency_key = Some(key.into());
         self
+    }
+
+    /// This request with `measure` in its evaluation envelope.
+    #[must_use]
+    pub fn with_measure(mut self, measure: MeasureSpec) -> Self {
+        self.env.get_or_insert_with(EvalEnvelope::default).measure = Some(measure);
+        self
+    }
+
+    /// This request with `eval` options in its evaluation envelope.
+    #[must_use]
+    pub fn with_eval(mut self, eval: EvalOptions) -> Self {
+        self.env.get_or_insert_with(EvalEnvelope::default).eval = Some(eval);
+        self
+    }
+
+    /// The schema input: the envelope's when present, else the flat v1
+    /// field. All `*_spec`/`eval_opts` accessors resolve member-wise, so
+    /// a v1 frame, a v2 frame, and a mixed frame (envelope plus stray
+    /// flat fields) all read identically.
+    pub fn schema_spec(&self) -> Option<&SchemaSpec> {
+        self.env
+            .as_ref()
+            .and_then(|e| e.schema.as_ref())
+            .or(self.schema.as_ref())
+    }
+
+    /// The workload input (envelope first, flat v1 fallback).
+    pub fn workload_spec(&self) -> Option<&WorkloadSpec> {
+        self.env
+            .as_ref()
+            .and_then(|e| e.workload.as_ref())
+            .or(self.workload.as_ref())
+    }
+
+    /// The strategy input (envelope first, flat v1 fallback).
+    pub fn strategy_spec(&self) -> Option<&StrategySpec> {
+        self.env
+            .as_ref()
+            .and_then(|e| e.strategy.as_ref())
+            .or(self.strategy.as_ref())
+    }
+
+    /// The measurement input (envelope first, flat v1 fallback).
+    pub fn measure_spec(&self) -> Option<&MeasureSpec> {
+        self.env
+            .as_ref()
+            .and_then(|e| e.measure.as_ref())
+            .or(self.measure.as_ref())
+    }
+
+    /// The evaluation options (envelope first, flat v1 fallback).
+    pub fn eval_opts(&self) -> Option<&EvalOptions> {
+        self.env
+            .as_ref()
+            .and_then(|e| e.eval.as_ref())
+            .or(self.eval.as_ref())
     }
 
     /// Serializes to one protocol line (no trailing newline).
@@ -529,6 +716,57 @@ pub struct DriftBody {
     pub shift_bound: f64,
     /// The optimality margin at the anchor workload.
     pub gap: f64,
+}
+
+/// The `recluster` / `recluster_status` / `recluster_abort` payload: one
+/// migration job's progress.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReclusterBody {
+    /// Job name (the request's `session`).
+    pub job: String,
+    /// Job state: `running`, `done`, or `aborted`.
+    pub state: String,
+    /// Human-readable identity of the source linearization.
+    pub from: String,
+    /// Human-readable identity of the target linearization.
+    pub to: String,
+    /// Cells fully migrated (every new-curve rank below the fence is
+    /// served from the new layout).
+    pub fence: u64,
+    /// Total grid cells to migrate.
+    pub total_cells: u64,
+    /// Bounded migration steps applied so far.
+    pub chunks_applied: u64,
+    /// Records copied so far.
+    pub records_moved: u64,
+    /// Differential probes run against this job (each asserts a mixed
+    /// scan is bit-identical to both pure layouts).
+    pub probes: u64,
+}
+
+/// Online-reclustering counters of the `stats` payload, aggregated over
+/// every job since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReclusterStatsBody {
+    /// Jobs started (explicit `recluster` requests plus auto-triggers).
+    pub jobs_started: u64,
+    /// Jobs that ran to completion (table fully in the target layout).
+    pub jobs_completed: u64,
+    /// Jobs aborted by `recluster_abort`.
+    pub jobs_aborted: u64,
+    /// Jobs resumed from the durability log at startup.
+    pub jobs_recovered: u64,
+    /// Jobs currently migrating.
+    pub active: u64,
+    /// Bounded migration steps applied across all jobs.
+    pub chunks_applied: u64,
+    /// Records copied across all jobs.
+    pub records_moved: u64,
+    /// Differential probes run (mixed scan vs both pure layouts).
+    pub probes: u64,
+    /// Jobs started by the drift-handler's cost/benefit trigger rather
+    /// than an explicit request.
+    pub auto_triggers: u64,
 }
 
 /// Hit/miss counters of one shared cache.
@@ -663,6 +901,9 @@ pub struct StatsBody {
     /// Aggregation-kernel counters (signature-cache miss computation).
     #[serde(default)]
     pub aggregation: AggregationStatsBody,
+    /// Online-reclustering counters (migration jobs).
+    #[serde(default)]
+    pub recluster: ReclusterStatsBody,
 }
 
 /// One response line.
@@ -692,6 +933,9 @@ pub struct Response {
     /// `explain` payload.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub explanation: Option<CostExplanation>,
+    /// `recluster` / `recluster_status` / `recluster_abort` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recluster: Option<ReclusterBody>,
     /// `stats` payload.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<StatsBody>,
@@ -721,6 +965,16 @@ impl Response {
             error: Some(error),
             ..Response::default()
         }
+    }
+
+    /// This response restamped with the requesting client's protocol
+    /// version (clamped to the supported range), so a v1 client is
+    /// answered with `v: 1` frames — the body fields it does not know
+    /// are already skipped or ignored under the forward-compat contract.
+    #[must_use]
+    pub fn for_version(mut self, v: u32) -> Self {
+        self.v = v.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        self
     }
 
     /// Serializes to one protocol line (no trailing newline).
@@ -839,6 +1093,101 @@ mod tests {
         let resp = Response::parse(r#"{"id":7,"ok":true,"expansion":[1,2,3]}"#).unwrap();
         assert!(resp.ok);
         assert_eq!(resp.id, 7);
+    }
+
+    #[test]
+    fn envelope_and_flat_fields_resolve_identically() {
+        let schema = SchemaSpec {
+            dims: vec![DimSpec {
+                name: "d".into(),
+                fanouts: vec![2],
+            }],
+        };
+        let workload = WorkloadSpec {
+            probs: Some(vec![0.5, 0.5]),
+            ..WorkloadSpec::default()
+        };
+        let strategy = StrategySpec::snaked_path(vec![0]);
+        // v2 envelope form (constructor) vs hand-built v1 flat form.
+        let v2 = Request::price(schema.clone(), workload.clone(), strategy.clone());
+        let v1 = Request {
+            v: 1,
+            schema: Some(schema.clone()),
+            workload: Some(workload.clone()),
+            strategy: Some(strategy.clone()),
+            ..Request::new("price")
+        };
+        assert_eq!(v2.schema_spec(), v1.schema_spec());
+        assert_eq!(v2.workload_spec(), v1.workload_spec());
+        assert_eq!(v2.strategy_spec(), v1.strategy_spec());
+        assert!(v2.measure_spec().is_none() && v2.eval_opts().is_none());
+        // Member-wise resolution: envelope wins where present, flat
+        // fields fill the gaps.
+        let mixed = Request {
+            measure: Some(MeasureSpec::default()),
+            schema: Some(SchemaSpec { dims: vec![] }),
+            ..v2.clone()
+        };
+        assert_eq!(mixed.schema_spec(), Some(&schema), "envelope wins");
+        assert_eq!(
+            mixed.measure_spec(),
+            Some(&MeasureSpec::default()),
+            "flat fallback"
+        );
+        // Builder helpers write into the envelope.
+        let with = v2
+            .with_measure(MeasureSpec::default())
+            .with_eval(snakes_core::eval::EvalOptions::serial());
+        assert_eq!(
+            with.env.as_ref().unwrap().measure,
+            Some(MeasureSpec::default())
+        );
+        assert!(with.eval.is_none());
+    }
+
+    #[test]
+    fn recluster_requests_roundtrip() {
+        let schema = SchemaSpec {
+            dims: vec![DimSpec {
+                name: "d".into(),
+                fanouts: vec![2, 2],
+            }],
+        };
+        let workload = WorkloadSpec {
+            marginals: Some(vec![vec![0.5, 0.25, 0.25]]),
+            ..WorkloadSpec::default()
+        };
+        let req = Request::recluster(
+            "nightly",
+            schema,
+            workload,
+            ReclusterSpec {
+                to: Some(StrategySpec::hilbert()),
+                ..ReclusterSpec::default()
+            },
+        );
+        assert_eq!(req.v, PROTOCOL_VERSION);
+        assert_eq!(req.session.as_deref(), Some("nightly"));
+        let back = Request::parse(&req.to_line()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(back.recluster.as_ref().unwrap().chunk_pages, 4);
+        // Defaulted chunk_pages survives a sparse document.
+        let sparse: ReclusterSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, ReclusterSpec::default());
+        for ctor in [Request::recluster_status, Request::recluster_abort] {
+            let r = ctor("nightly");
+            assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_mirror_the_requesters_version() {
+        assert_eq!(Response::ok(1).v, PROTOCOL_VERSION);
+        assert_eq!(Response::ok(1).for_version(1).v, 1);
+        assert_eq!(Response::ok(1).for_version(2).v, 2);
+        // Out-of-range versions clamp to the supported window.
+        assert_eq!(Response::ok(1).for_version(0).v, MIN_PROTOCOL_VERSION);
+        assert_eq!(Response::ok(1).for_version(99).v, PROTOCOL_VERSION);
     }
 
     #[test]

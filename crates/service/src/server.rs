@@ -25,7 +25,7 @@ use crate::engine::{Deadline, Engine};
 use crate::error::ServiceError;
 use crate::fault::{silence_injected_panics, FaultConfig, FaultPlan, InjectedPanic};
 use crate::metrics::Endpoint;
-use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{Request, Response, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -62,6 +62,11 @@ pub struct ServerConfig {
     /// engine recovers drift sessions and idempotent responses from it at
     /// startup and write-ahead-logs every commit; `None` runs in-memory.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Autonomous reclustering (`snakes serve --auto-recluster`): when
+    /// set, drift commits run the advisor's cost/benefit trigger and a
+    /// sustained, amortizable layout gap starts a migration by itself.
+    /// `None` leaves reclustering to explicit `recluster` requests.
+    pub auto_recluster: Option<crate::engine::AutoRecluster>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             fault: None,
             data_dir: None,
+            auto_recluster: None,
         }
     }
 }
@@ -305,13 +311,19 @@ impl Core {
 
     /// Admission and synchronous wait for one parsed request. The
     /// `shutdown` endpoint is handled here — it must work even when the
-    /// queue is full.
+    /// queue is full. Every answer is projected into the request's
+    /// protocol dialect ([`Response::for_version`]).
     pub fn dispatch(&self, request: &Request) -> Response {
-        if request.v != PROTOCOL_VERSION {
+        self.dispatch_inner(request).for_version(request.v)
+    }
+
+    fn dispatch_inner(&self, request: &Request) -> Response {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&request.v) {
             return Response::err(
                 request.id,
                 ServiceError::BadRequest(format!(
-                    "unsupported protocol version {} (this server speaks {PROTOCOL_VERSION})",
+                    "unsupported protocol version {} (this server speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})",
                     request.v
                 ))
                 .to_body(),
@@ -421,6 +433,9 @@ impl Server {
         }
         if let Some(dir) = config.data_dir.clone() {
             engine = engine.with_durability(crate::durability::Media::Dir(dir))?;
+        }
+        if let Some(auto) = config.auto_recluster.clone() {
+            engine = engine.with_auto_recluster(auto);
         }
         let sharded = crate::shard::ShardedConfig {
             shards,
@@ -560,6 +575,11 @@ fn worker_loop(engine: &Engine, queue: &AdmissionQueue) {
             .registry
             .jobs_finished
             .fetch_add(1, Ordering::Relaxed);
+        // The blocking oracle has no event-loop tick, so migrations ride
+        // the request stream: one bounded chunk after each handled job.
+        if engine.tick_reclusters(0, 1) > 0 {
+            let _ = engine.flush_wal();
+        }
     }
 }
 

@@ -36,7 +36,7 @@
 use crate::engine::{BatchScope, Deadline, Engine};
 use crate::error::ServiceError;
 use crate::metrics::Endpoint;
-use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{Request, Response, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::reactor::{Reactor, ShardStream, Waker};
 use crate::server::{panic_message, MAX_LINE_BYTES};
 use crate::spsc;
@@ -321,6 +321,7 @@ impl ShardedCore {
                 queue_capacity: config.queue_capacity,
                 retry_after_ms: config.retry_after_ms,
                 drain_since: None,
+                migrating: false,
             };
             threads.push(
                 std::thread::Builder::new()
@@ -420,6 +421,10 @@ struct Shard {
     /// answers instead of a close (mirrors the blocking core's final
     /// 50 ms read-timeout poll).
     drain_since: Option<Instant>,
+    /// Whether the last tick advanced a reclustering migration: keeps the
+    /// event loop on the short wait so an idle server migrates at full
+    /// speed instead of one chunk per 250 ms poll.
+    migrating: bool,
 }
 
 /// How long a drained connection stays open for late frames before it is
@@ -431,11 +436,12 @@ impl Shard {
         let mut ready: Vec<usize> = Vec::new();
         loop {
             self.publish_backlog();
-            let timeout = if self.draining() || self.outbox.iter().any(|q| !q.is_empty()) {
-                Duration::from_millis(5)
-            } else {
-                Duration::from_millis(250)
-            };
+            let timeout =
+                if self.draining() || self.migrating || self.outbox.iter().any(|q| !q.is_empty()) {
+                    Duration::from_millis(5)
+                } else {
+                    Duration::from_millis(250)
+                };
             ready.clear();
             if self.reactor.wait(timeout, &mut ready).is_err() {
                 // A broken poller cannot serve; drain what we have.
@@ -452,6 +458,14 @@ impl Shard {
             }
             let completions = self.execute_run_queue();
             self.release_completions(completions);
+            // One bounded migration chunk per tick for each job this
+            // shard's stripe owns, interleaved with request service; the
+            // fence advance must be durable before the next wait.
+            let stepped = self.engine.tick_reclusters(self.me, self.shards);
+            if stepped > 0 {
+                let _ = self.engine.flush_wal();
+            }
+            self.migrating = stepped > 0;
             self.flush_outboxes();
             let dead: Vec<usize> = self
                 .conns
@@ -627,9 +641,10 @@ impl Shard {
                 return;
             }
         };
-        if request.v != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&request.v) {
             let body = ServiceError::BadRequest(format!(
-                "unsupported protocol version {} (this server speaks {PROTOCOL_VERSION})",
+                "unsupported protocol version {} (this server speaks \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})",
                 request.v
             ))
             .to_body();
@@ -647,13 +662,14 @@ impl Shard {
             self.engine
                 .registry
                 .record_completion(endpoint, Duration::ZERO, true);
-            self.answer_inline(token, Response::ok(request.id));
+            self.answer_inline(token, Response::ok(request.id).for_version(request.v));
             return;
         }
         if self.draining() {
             self.answer_inline(
                 token,
-                Response::err(request.id, ServiceError::ShuttingDown.to_body()),
+                Response::err(request.id, ServiceError::ShuttingDown.to_body())
+                    .for_version(request.v),
             );
             return;
         }
@@ -670,7 +686,8 @@ impl Shard {
                 Response::err(
                     request.id,
                     ServiceError::Overloaded { retry_after_ms }.to_body(),
-                ),
+                )
+                .for_version(request.v),
             );
             return;
         }
@@ -706,9 +723,18 @@ impl Shard {
     }
 
     /// The shard that must execute `job`: drift requests go to their
-    /// session's stripe owner, everything else runs where it arrived.
+    /// session's stripe owner, recluster control frames go to the shard
+    /// whose tick owns the job's stripe (so start/status/abort serialize
+    /// with the migration steps), everything else runs where it arrived.
     fn job_target(&self, job: &ShardJob) -> usize {
-        if job.endpoint == Endpoint::Drift {
+        let stickied = matches!(
+            job.endpoint,
+            Endpoint::Drift
+                | Endpoint::Recluster
+                | Endpoint::ReclusterStatus
+                | Endpoint::ReclusterAbort
+        );
+        if stickied {
             if let Some(name) = job.request.session.as_deref() {
                 return snakes_core::session::session_shard(name, self.shards);
             }
@@ -792,6 +818,9 @@ impl Shard {
                 .registry
                 .jobs_finished
                 .fetch_add(1, Ordering::Relaxed);
+            // Answer in the dialect the request spoke (v1 clients never
+            // see v2-only fields).
+            let response = response.for_version(job.request.v);
             done.push((job, response));
         }
         done

@@ -963,7 +963,7 @@ fn verify_read_response(
                 note("ok price response without a body".into());
                 return;
             };
-            let strategy = req.strategy.as_ref().expect("price carries strategy");
+            let strategy = req.strategy_spec().expect("price carries strategy");
             let dims = strategy.dims.clone().expect("harness prices paths");
             let path =
                 LatticePath::from_dims(LatticeShape::of_schema(schema), dims).expect("valid path");

@@ -23,7 +23,7 @@
 
 use crate::layout::PackedLayout;
 use snakes_core::lattice::{Class, LatticeShape};
-use snakes_core::parallel::{metrics, ParallelConfig};
+use snakes_core::parallel::metrics;
 use snakes_core::schema::StarSchema;
 use snakes_core::workload::Workload;
 use snakes_curves::{
@@ -454,50 +454,6 @@ pub fn workload_stats(
     workload: &Workload,
 ) -> WorkloadStats {
     workload_stats_opts(schema, lin, layout, workload, &EvalOptions::serial())
-}
-
-/// Measures a strategy under a workload with [`EvalEngine::Auto`],
-/// fanning the per-class measurements out across `par`'s worker threads.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `workload_stats_opts` with an `EvalOptions` instead"
-)]
-pub fn workload_stats_with(
-    schema: &StarSchema,
-    lin: &(impl Linearization + Sync),
-    layout: &PackedLayout,
-    workload: &Workload,
-    par: ParallelConfig,
-) -> WorkloadStats {
-    workload_stats_opts(
-        schema,
-        lin,
-        layout,
-        workload,
-        &EvalOptions::new().parallel(par),
-    )
-}
-
-/// Measures a strategy under a workload with an explicit engine choice.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `workload_stats_opts` with an `EvalOptions` instead"
-)]
-pub fn workload_stats_engine(
-    schema: &StarSchema,
-    lin: &(impl Linearization + Sync),
-    layout: &PackedLayout,
-    workload: &Workload,
-    par: ParallelConfig,
-    engine: EvalEngine,
-) -> WorkloadStats {
-    workload_stats_opts(
-        schema,
-        lin,
-        layout,
-        workload,
-        &EvalOptions::new().parallel(par).engine(engine),
-    )
 }
 
 /// Measures a strategy under a workload with explicit [`EvalOptions`]

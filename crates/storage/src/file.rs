@@ -259,6 +259,12 @@ impl<B: Read + Write + Seek> TableFile<B> {
         self.pool.stats()
     }
 
+    /// Mutable pool access for crate-internal executors (the online
+    /// reclusterer's fence-split scan reads old-side pages directly).
+    pub(crate) fn pool_mut(&mut self) -> &mut BufferPool<B> {
+        &mut self.pool
+    }
+
     /// Pages physically read so far (pool misses that hit the backing
     /// file; scans served from warm frames don't count).
     pub fn pages_read(&self) -> u64 {

@@ -19,7 +19,9 @@
 //! * [`cache`] — an LRU page cache (extension beyond the paper);
 //! * [`memo`] — per-class cost memoization keyed by layout fingerprints;
 //! * [`chunks`] — the chunked organization of Deshpande et al. \[2\] with
-//!   pluggable chunk ordering (the improvement §7 proposes).
+//!   pluggable chunk ordering (the improvement §7 proposes);
+//! * [`recluster`] — online chunked migration between linearizations with
+//!   a fence-split mixed-layout executor.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +37,7 @@ pub mod layout;
 pub mod memo;
 pub mod page;
 pub mod pool;
+pub mod recluster;
 pub mod wal;
 
 pub use cells::CellData;
@@ -46,11 +49,10 @@ pub use exec::{
     workload_stats, workload_stats_opts, ClassStats, EvalEngine, EvalEngineExt, EvalOptions,
     QueryCost, WorkloadStats,
 };
-#[allow(deprecated)]
-pub use exec::{workload_stats_engine, workload_stats_with};
 pub use file::{TableFile, DEFAULT_POOL_PAGES};
 pub use layout::{PackedLayout, StorageConfig};
 pub use memo::{CostMemo, SharedCostMemo};
 pub use page::{PageFile, SlottedPage};
 pub use pool::{BufferPool, PoolStats};
+pub use recluster::{recovered_fence, Migration, Progress, StepReport, DEFAULT_CHUNK_PAGES};
 pub use wal::{Backend, RecoveredRecords, Wal};

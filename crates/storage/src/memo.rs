@@ -10,7 +10,7 @@
 //! fingerprint, making repeat pricings O(support) lookups while staying
 //! bit-identical: a hit returns the exact `ClassStats` the measurement
 //! produced, and [`CostMemo::workload_stats`] reduces in the same rank
-//! order as [`crate::exec::workload_stats_engine`].
+//! order as [`crate::exec::workload_stats_opts`].
 
 use crate::exec::{class_stats_with, ClassStats, EvalEngine, EvalEngineExt, WorkloadStats};
 use crate::layout::PackedLayout;
@@ -107,7 +107,7 @@ impl CostMemo {
 
     /// Workload-level expectations off memoized class measurements:
     /// the same support filter, rank order, and probability-weighted
-    /// reduction as [`crate::exec::workload_stats_engine`], so the result
+    /// reduction as [`crate::exec::workload_stats_opts`], so the result
     /// is bit-identical to the serial unmemoized path.
     ///
     /// # Panics

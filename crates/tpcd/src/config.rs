@@ -1,7 +1,7 @@
 //! Configuration of the synthetic TPC-D experiment (paper §6.1).
 
 use serde::{Deserialize, Serialize};
-use snakes_core::eval::{EvalEngine, EvalOptions};
+use snakes_core::eval::EvalOptions;
 use snakes_core::schema::{Hierarchy, StarSchema};
 use snakes_storage::StorageConfig;
 
@@ -90,27 +90,6 @@ impl TpcdConfig {
     pub fn with_eval(mut self, eval: EvalOptions) -> Self {
         self.eval = eval;
         self
-    }
-
-    /// The same configuration with a fixed measurement thread count
-    /// (0 = one per core, 1 = serial).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_eval` with an `EvalOptions` instead"
-    )]
-    pub fn with_threads(self, threads: usize) -> Self {
-        let eval = self.eval.threads(threads);
-        self.with_eval(eval)
-    }
-
-    /// The same configuration with an explicit query evaluation engine.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_eval` with an `EvalOptions` instead"
-    )]
-    pub fn with_engine(self, engine: EvalEngine) -> Self {
-        let eval = self.eval.engine(engine);
-        self.with_eval(eval)
     }
 
     /// Adds a nation level to the supplier dimension: `suppliers` becomes

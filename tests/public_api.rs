@@ -173,7 +173,11 @@ fn snapshot_covers_the_redesigned_entry_points() {
         "pub struct Response",
         "pub fn spawn(config: ServerConfig) -> std::io::Result<Server>",
         "pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client>",
-        "pub const PROTOCOL_VERSION: u32 = 1",
+        "pub const PROTOCOL_VERSION: u32 = 2",
+        "pub const MIN_PROTOCOL_VERSION: u32 = 1",
+        "pub struct EvalEnvelope",
+        "pub struct ReclusterSpec",
+        "pub fn tick_reclusters(&self, stripe: usize, stripes: usize) -> usize",
         "pub struct RetryingClient",
         "pub struct FaultConfig",
         "pub fn run_schedule(config: &SimConfig) -> SimReport",

@@ -1,0 +1,441 @@
+//! Differential + crash suite for online reclustering.
+//!
+//! Two halves:
+//!
+//! * A property sweep over random grids (≤ 4-D) and every curve family:
+//!   a migration frozen at **every** chunk boundary must serve seeded
+//!   query boxes from the mixed layout byte-identically to the pure old
+//!   table, and the finished table must match a one-shot `merge_into`
+//!   rewrite byte-for-byte, at the new layout's exact query cost.
+//!
+//! * A crash sweep over the service engine: a reclustering daemon is
+//!   killed at every write-operation boundary (and at seeded random
+//!   ones), rebooted, and must recover the job at a durable chunk
+//!   boundary on the fault-free run's exact fence trajectory, then
+//!   finish the migration to the oracle's byte-identical terminal
+//!   status. Reproduce a failing seed with:
+//!
+//! ```text
+//! SNAKES_CRASH_SEED=<seed> cargo test --release \
+//!     --test recluster_differential -- --nocapture
+//! ```
+
+use proptest::prelude::*;
+use snakes_sandwiches::core::schema::StarSchema;
+use snakes_sandwiches::curves::{
+    CompactHilbert, GrayCurve, Linearization, NestedLoops, ZOrderCurve,
+};
+use snakes_sandwiches::service::protocol::{MeasureSpec, ReclusterSpec, SchemaSpec, StrategySpec};
+use snakes_sandwiches::service::{Deadline, Engine, Media, Request, Response};
+use snakes_sandwiches::storage::{
+    CellData, CrashConfig, CrashStore, Migration, StorageConfig, TableFile,
+};
+use std::io::Cursor;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Property half: freeze at every chunk boundary, on every curve family.
+// ---------------------------------------------------------------------------
+
+fn cfg() -> StorageConfig {
+    StorageConfig {
+        page_size: 256,
+        record_size: 64,
+    }
+}
+
+/// (coords, i)-tagged record so any byte mismatch pinpoints its cell.
+fn record(coords: &[u64], i: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 64];
+    let mut tag = i.wrapping_add(0x9E37_79B9);
+    for (d, &c) in coords.iter().enumerate() {
+        tag = tag
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(c ^ (d as u64) << 7);
+    }
+    r[..8].copy_from_slice(&tag.to_le_bytes());
+    r[8] = i as u8;
+    r
+}
+
+/// Pseudo-random per-cell record counts in 0..5, never all-empty.
+fn seeded_counts(seed: u64, n: u64) -> Vec<u64> {
+    let mut counts: Vec<u64> = (0..n)
+        .map(|i| {
+            (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407))
+                >> 33)
+                % 5
+        })
+        .collect();
+    counts[0] = counts[0].max(1);
+    counts
+}
+
+/// A few seeded query boxes over the grid (always includes the full box).
+fn seeded_queries(seed: u64, extents: &[u64]) -> Vec<Vec<Range<u64>>> {
+    let mut out = vec![extents.iter().map(|&e| 0..e).collect::<Vec<_>>()];
+    let mut h = seed | 1;
+    for _ in 0..3 {
+        let q = extents
+            .iter()
+            .map(|&e| {
+                h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let a = (h >> 33) % e;
+                h ^= h >> 29;
+                let b = a + 1 + (h >> 45) % (e - a);
+                a..b.min(e)
+            })
+            .collect();
+        out.push(q);
+    }
+    out
+}
+
+/// Every curve family on this grid, labeled. Mirrors the executor
+/// differential suite: structural nested loops (plain and snaked, two
+/// orders) plus the space-filling families' brute-force fallbacks.
+fn curve_family(extents: &[u64]) -> Vec<(String, Box<dyn Linearization>)> {
+    let k = extents.len();
+    let fwd: Vec<usize> = (0..k).collect();
+    let rev: Vec<usize> = (0..k).rev().collect();
+    let mut out: Vec<(String, Box<dyn Linearization>)> = Vec::new();
+    for order in [fwd, rev] {
+        out.push((
+            format!("row_major{order:?}"),
+            Box::new(NestedLoops::row_major(extents.to_vec(), &order)),
+        ));
+        out.push((
+            format!("boustrophedon{order:?}"),
+            Box::new(NestedLoops::boustrophedon(extents.to_vec(), &order)),
+        ));
+    }
+    out.push((
+        "compact_hilbert".into(),
+        Box::new(CompactHilbert::new(extents.to_vec())),
+    ));
+    // The bit-interleaving families require power-of-two extents.
+    if extents.iter().all(|e| e.is_power_of_two()) {
+        out.push((
+            "zorder".into(),
+            Box::new(ZOrderCurve::new(extents.to_vec())),
+        ));
+        out.push(("gray".into(), Box::new(GrayCurve::new(extents.to_vec()))));
+    }
+    out
+}
+
+fn build(lin: &impl Linearization, cells: &CellData) -> TableFile<Cursor<Vec<u8>>> {
+    TableFile::create_in_memory(lin, cells, cfg(), record).unwrap()
+}
+
+fn collect_sorted(
+    table: &mut TableFile<Cursor<Vec<u8>>>,
+    lin: &impl Linearization,
+    ranges: &[Range<u64>],
+) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    table
+        .scan(lin, ranges, |rec| out.push(rec.to_vec()))
+        .unwrap();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For a random grid, a random (old, new) curve pair, and random
+    /// data: freeze the migration at every chunk boundary, and at each
+    /// freeze the mixed-layout scan of every seeded query box must be
+    /// byte-identical to the pure old layout's. The finished table must
+    /// equal the one-shot rewrite, at the new layout's exact cost.
+    #[test]
+    fn every_chunk_boundary_serves_bit_identically(
+        extents in proptest::collection::vec(1u64..=4, 1..=4),
+        seed in any::<u64>(),
+    ) {
+        let family = curve_family(&extents);
+        let old_at = (seed % family.len() as u64) as usize;
+        let new_at = ((seed / 7) % family.len() as u64) as usize;
+        let (old_name, old_lin) = &family[old_at];
+        let (new_name, new_lin) = &family[new_at];
+        let old_lin: &dyn Linearization = old_lin.as_ref();
+        let new_lin: &dyn Linearization = new_lin.as_ref();
+        let n: u64 = extents.iter().product();
+        let cells = CellData::from_counts(extents.clone(), seeded_counts(seed, n));
+        let queries = seeded_queries(seed, &extents);
+
+        let mut pure_old = build(&old_lin, &cells);
+        let mut merged = pure_old
+            .merge_into(Cursor::new(Vec::new()), &old_lin, &new_lin)
+            .unwrap();
+        let mut mig = Migration::begin(
+            build(&old_lin, &cells),
+            Cursor::new(Vec::new()),
+            &new_lin,
+            &cells,
+            1, // 1-page chunks: the maximum number of boundaries to freeze at
+        )
+        .unwrap();
+        loop {
+            for q in &queries {
+                let mut mixed = Vec::new();
+                let cost = mig
+                    .scan_mixed(&old_lin, &new_lin, q, |_, rec| {
+                        mixed.push(rec.to_vec())
+                    })
+                    .unwrap();
+                prop_assert_eq!(cost.records, mixed.len() as u64);
+                mixed.sort_unstable();
+                prop_assert_eq!(
+                    &mixed,
+                    &collect_sorted(&mut pure_old, &old_lin, q),
+                    "mixed scan diverged: {} -> {} at fence {} query {:?}",
+                    old_name, new_name, mig.fence(), q
+                );
+            }
+            if mig.step(&old_lin, &new_lin).unwrap().done {
+                break;
+            }
+        }
+        // Finished: byte-identical to the one-shot rewrite, same cost.
+        let full: Vec<Range<u64>> = extents.iter().map(|&e| 0..e).collect();
+        let final_cost = mig
+            .scan_mixed(&old_lin, &new_lin, &full, |_, _| {})
+            .unwrap();
+        let (mut table, _old) = mig.finish(&new_lin, &cells).unwrap();
+        prop_assert_eq!(
+            collect_sorted(&mut table, &new_lin, &full),
+            collect_sorted(&mut merged, &new_lin, &full),
+            "finished table diverged from merge_into: {} -> {}",
+            old_name, new_name
+        );
+        let pure_cost = table.scan(&new_lin, &full, |_| {}).unwrap();
+        prop_assert_eq!(final_cost, pure_cost, "done migration must cost as the pure new layout");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash half: SIGKILL the daemon mid-migration at every write boundary.
+// ---------------------------------------------------------------------------
+
+const JOB: &str = "torture";
+
+fn schedule_count() -> u64 {
+    if let Ok(n) = std::env::var("SNAKES_CRASH_SCHEDULES") {
+        return n.parse().expect("SNAKES_CRASH_SCHEDULES must be a number");
+    }
+    if cfg!(debug_assertions) {
+        40
+    } else {
+        400
+    }
+}
+
+fn start_request() -> Request {
+    let shape = StarSchema::paper_toy();
+    let mut req = Request::recluster(
+        JOB,
+        SchemaSpec::of(&shape),
+        snakes_sandwiches::service::protocol::WorkloadSpec {
+            probs: None,
+            classes: None,
+            marginals: None,
+        },
+        ReclusterSpec {
+            from: Some(StrategySpec::snaked_path(vec![0, 0, 1, 1])),
+            to: Some(StrategySpec::snaked_path(vec![0, 1, 0, 1])),
+            chunk_pages: 1,
+        },
+    )
+    .with_measure(MeasureSpec {
+        records_per_cell: 3,
+        page_size: 256,
+        record_size: 64,
+        physical: false,
+    });
+    req.id = 1;
+    req
+}
+
+fn status_request() -> Request {
+    let mut req = Request::recluster_status(JOB);
+    req.id = 2;
+    req
+}
+
+/// Drives `engine` exactly as the serving loop does: start the job, then
+/// tick one chunk at a time with a WAL flush per tick and a forced
+/// checkpoint midway (so checkpoint writes are kill points too). Returns
+/// the start response (acknowledged or not).
+fn run_script(engine: &Engine) -> Response {
+    let start = engine.handle(&start_request(), &Deadline::none());
+    for i in 0..64 {
+        if engine.tick_reclusters(0, 1) == 0 {
+            break;
+        }
+        let _ = engine.flush_wal();
+        if i == 3 {
+            let _ = engine.checkpoint();
+        }
+    }
+    start
+}
+
+/// The fault-free oracle: every fence the migration passes through, in
+/// order, plus the terminal status line.
+struct Oracle {
+    fences: Vec<u64>,
+    final_status: String,
+}
+
+fn oracle() -> Oracle {
+    let engine = Engine::new();
+    let start = engine.handle(&start_request(), &Deadline::none());
+    assert!(start.ok, "oracle start must be clean: {:?}", start.error);
+    let mut fences = vec![0];
+    while engine.tick_reclusters(0, 1) > 0 {
+        let status = engine.handle(&status_request(), &Deadline::none());
+        fences.push(status.recluster.as_ref().expect("status body").fence);
+    }
+    let final_status = engine.handle(&status_request(), &Deadline::none());
+    let body = final_status.recluster.as_ref().unwrap();
+    assert_eq!(body.state, "done", "oracle must finish");
+    assert_eq!(body.fence, body.total_cells);
+    Oracle {
+        fences,
+        final_status: final_status.to_line(),
+    }
+}
+
+/// One torture round: run the migration over a crash-armed store, reboot
+/// the surviving bytes, and hold the invariants: recovery never fails,
+/// a recovered job sits exactly on the oracle's fence trajectory, and
+/// finishing it lands on the oracle's byte-identical terminal status.
+fn check_crash_point(config: CrashConfig, oracle: &Oracle) -> bool {
+    let seed = config.seed;
+    let diag = format!(
+        "reproduce with:\n  SNAKES_CRASH_SEED={seed} cargo test --release \
+         --test recluster_differential -- --nocapture"
+    );
+    let store = Arc::new(CrashStore::with_crash(config));
+    let started = match Engine::new().with_durability(Media::Store(Arc::clone(&store))) {
+        Ok(engine) => run_script(&engine).ok,
+        Err(_) => false,
+    };
+    let crashed = store.crashed();
+    let rebooted = Arc::new(CrashStore::reopen(&store));
+    let engine = Engine::new()
+        .with_durability(Media::Store(rebooted))
+        .unwrap_or_else(|e| panic!("recovery must never fail, got {e}\n{diag}"));
+    let status = engine.handle(&status_request(), &Deadline::none());
+    if !status.ok {
+        // The job may only be missing if the start was never durable —
+        // impossible once the start request was acknowledged and no
+        // crash intervened.
+        assert!(crashed || !started, "job vanished without a crash\n{diag}");
+        return crashed;
+    }
+    let body = status.recluster.as_ref().expect("status body");
+    assert!(
+        oracle.fences.contains(&body.fence),
+        "recovered fence {} is not a chunk boundary of the oracle run {:?}\n{diag}",
+        body.fence,
+        oracle.fences
+    );
+    // Resume serving: every tick probes the mixed layout against the
+    // synthetic generator (fail-stop on any byte divergence), and the
+    // finished job must be indistinguishable from the fault-free run.
+    for _ in 0..64 {
+        if engine.tick_reclusters(0, 1) == 0 {
+            break;
+        }
+        let _ = engine.flush_wal();
+    }
+    let done = engine.handle(&status_request(), &Deadline::none());
+    assert_eq!(
+        done.to_line(),
+        oracle.final_status,
+        "terminal status diverged from the fault-free oracle\n{diag}"
+    );
+    crashed
+}
+
+/// Exhaustive sweep: learn the script's write-op budget fault-free, then
+/// kill at every single write boundary.
+#[test]
+fn every_write_boundary_resumes_the_migration() {
+    let oracle = oracle();
+    let probe = Arc::new(CrashStore::new());
+    let engine = Engine::new()
+        .with_durability(Media::Store(Arc::clone(&probe)))
+        .unwrap();
+    assert!(run_script(&engine).ok);
+    let budget = probe.write_ops();
+    assert!(budget > 20, "script too small to be interesting: {budget}");
+    let mut crashes = 0u64;
+    for at in 0..=budget {
+        if check_crash_point(
+            CrashConfig {
+                seed: at,
+                ops_before_crash: at,
+            },
+            &oracle,
+        ) {
+            crashes += 1;
+        }
+    }
+    println!("exhaustive sweep: {budget} write boundaries, {crashes} mid-migration crashes");
+    assert!(crashes > 0, "the sweep must actually kill mid-migration");
+}
+
+/// The script's total write-op budget, measured on a fault-free store
+/// (deterministic, so seed → kill-point mappings reproduce exactly).
+fn write_budget() -> u64 {
+    let probe = Arc::new(CrashStore::new());
+    let engine = Engine::new()
+        .with_durability(Media::Store(Arc::clone(&probe)))
+        .unwrap();
+    assert!(run_script(&engine).ok);
+    probe.write_ops()
+}
+
+/// A seed-derived kill point spanning the whole script (a few points past
+/// the end, so some schedules survive).
+fn config_for_seed(seed: u64, budget: u64) -> CrashConfig {
+    let mut h = seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    CrashConfig {
+        seed,
+        ops_before_crash: (h ^ (h >> 31)) % (budget + 8),
+    }
+}
+
+/// Seeded random sweep, same env contract as the crash-recovery suite:
+/// `SNAKES_CRASH_SEED` pins one schedule, `SNAKES_CRASH_SCHEDULES` sets
+/// the sweep width.
+#[test]
+fn seeded_crash_schedules_resume_the_migration() {
+    let oracle = oracle();
+    let budget = write_budget();
+    if let Ok(seed) = std::env::var("SNAKES_CRASH_SEED") {
+        let seed = seed.parse().expect("SNAKES_CRASH_SEED must be a number");
+        let crashed = check_crash_point(config_for_seed(seed, budget), &oracle);
+        println!("seed {seed}: crashed={crashed}");
+        return;
+    }
+    let mut crashes = 0u64;
+    let n = schedule_count();
+    for seed in 0..n {
+        if check_crash_point(config_for_seed(seed, budget), &oracle) {
+            crashes += 1;
+        }
+    }
+    println!("{n} seeded schedules, {crashes} mid-migration crashes");
+    assert!(crashes > 0, "the sweep must actually kill mid-migration");
+    assert!(crashes < n, "some schedules must survive to the end");
+}

@@ -1,9 +1,13 @@
 //! Wire-format stability of the advisor-service protocol: every public
 //! DTO round-trips through JSON bit-identically, unknown fields are
 //! ignored (the forward-compat contract), and representative documents
-//! are pinned as golden fixtures under `tests/fixtures/service/`.
+//! are pinned as golden fixtures — the current (v2, envelope-form)
+//! dialect under `tests/fixtures/service/v2/`, and the legacy v1
+//! flat-field documents at `tests/fixtures/service/` itself, which are
+//! never regenerated: they prove the compat shim keeps accepting the
+//! exact bytes v1 clients send.
 //!
-//! Regenerate the fixtures after an intentional protocol change with
+//! Regenerate the v2 fixtures after an intentional protocol change with
 //! `UPDATE_SERVICE_FIXTURES=1 cargo test --test service_protocol`.
 
 use snakes_sandwiches::core::eval::{EvalEngine, EvalOptions};
@@ -11,11 +15,11 @@ use snakes_sandwiches::core::explain::{ClassContribution, CostExplanation};
 use snakes_sandwiches::core::workload::WeightUpdate;
 use snakes_sandwiches::service::protocol::{
     AggregationStatsBody, BatchingStatsBody, CacheStatsBody, ClassWeight, DeltaSpec, DimSpec,
-    DriftBody, EndpointStatsBody, ErrorBody, MeasureSpec, MeasuredBody, PriceBody,
-    RecommendationBody, RowMajorBody, SchemaSpec, StatsBody, StorageStatsBody, StrategySpec,
-    WorkloadSpec,
+    DriftBody, EndpointStatsBody, ErrorBody, EvalEnvelope, MeasureSpec, MeasuredBody, PriceBody,
+    ReclusterBody, ReclusterSpec, ReclusterStatsBody, RecommendationBody, RowMajorBody, SchemaSpec,
+    StatsBody, StorageStatsBody, StrategySpec, WorkloadSpec,
 };
-use snakes_sandwiches::service::{Request, Response, PROTOCOL_VERSION};
+use snakes_sandwiches::service::{Request, Response, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 
 fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
     value: &T,
@@ -63,17 +67,49 @@ fn sample_request() -> Request {
         sample_schema(),
         sample_workload(),
         StrategySpec::snaked_path(vec![0, 1, 0, 1]),
-    );
-    req.id = 42;
-    req.deadline_ms = Some(2_000);
-    req.measure = Some(MeasureSpec {
+    )
+    .with_measure(MeasureSpec {
         records_per_cell: 3,
         page_size: 4_096,
         record_size: 125,
         physical: true,
-    });
-    req.eval = Some(EvalOptions::serial().engine(EvalEngine::Runs));
+    })
+    .with_eval(EvalOptions::serial().engine(EvalEngine::Runs));
+    req.id = 42;
+    req.deadline_ms = Some(2_000);
     req
+}
+
+fn sample_recluster_request() -> Request {
+    let mut req = Request::recluster(
+        "sales",
+        sample_schema(),
+        sample_workload(),
+        ReclusterSpec {
+            from: Some(StrategySpec::snaked_path(vec![0, 0, 1, 1])),
+            to: Some(StrategySpec::snaked_path(vec![0, 1, 0, 1])),
+            chunk_pages: 2,
+        },
+    );
+    req.id = 45;
+    req
+}
+
+fn sample_recluster_response() -> Response {
+    Response {
+        recluster: Some(ReclusterBody {
+            job: "sales".into(),
+            state: "running".into(),
+            from: "(0,0) -> (0,1) -> (1,1) (snaked)".into(),
+            to: "(0,0) -> (1,0) -> (1,1) (snaked)".into(),
+            fence: 5,
+            total_cells: 16,
+            chunks_applied: 3,
+            records_moved: 15,
+            probes: 3,
+        }),
+        ..Response::ok(45)
+    }
 }
 
 fn sample_drift_request() -> Request {
@@ -189,6 +225,17 @@ fn sample_stats() -> StatsBody {
             count_nanos: 1_900_000,
             prefix_nanos: 800,
         },
+        recluster: ReclusterStatsBody {
+            jobs_started: 2,
+            jobs_completed: 1,
+            jobs_aborted: 0,
+            jobs_recovered: 1,
+            active: 1,
+            chunks_applied: 21,
+            records_moved: 63,
+            probes: 21,
+            auto_triggers: 1,
+        },
         endpoints: vec![EndpointStatsBody {
             endpoint: "price".into(),
             requests: 13,
@@ -226,8 +273,15 @@ fn every_public_dto_round_trips() {
             weight: 0.125,
         }],
     });
+    roundtrip(&EvalEnvelope::default());
+    roundtrip(&ReclusterSpec::default());
+    roundtrip(&ReclusterStatsBody::default());
     roundtrip(&sample_request());
     roundtrip(&sample_drift_request());
+    roundtrip(&sample_recluster_request());
+    roundtrip(&Request::recluster_status("sales"));
+    roundtrip(&Request::recluster_abort("sales"));
+    roundtrip(&sample_recluster_response());
     roundtrip(&sample_deduplicated_response());
     roundtrip(&sample_response());
     roundtrip(&Response::err(
@@ -354,7 +408,9 @@ fn minimal_documents_fill_defaults() {
 // ---------------------------------------------------------------------------
 // Golden fixtures: the serialized form of representative documents is part
 // of the public contract. A diff here is a wire-format change — bump
-// PROTOCOL_VERSION or prove compatibility before regenerating.
+// PROTOCOL_VERSION or prove compatibility before regenerating. Only the
+// `v2/` fixtures regenerate; the v1 documents at the directory root are a
+// frozen record of what v1 clients send and MUST keep parsing forever.
 // ---------------------------------------------------------------------------
 
 fn fixture_path(name: &str) -> std::path::PathBuf {
@@ -383,17 +439,28 @@ fn check_fixture(name: &str, actual: &str) {
 
 #[test]
 fn golden_request_price() {
-    check_fixture("request_price.json", &sample_request().to_line());
+    check_fixture("v2/request_price.json", &sample_request().to_line());
 }
 
 #[test]
 fn golden_request_drift() {
-    check_fixture("request_drift.json", &sample_drift_request().to_line());
+    check_fixture("v2/request_drift.json", &sample_drift_request().to_line());
+}
+
+#[test]
+fn golden_request_recluster() {
+    check_fixture(
+        "v2/request_recluster.json",
+        &sample_recluster_request().to_line(),
+    );
 }
 
 #[test]
 fn golden_response_recommendation() {
-    check_fixture("response_recommendation.json", &sample_response().to_line());
+    check_fixture(
+        "v2/response_recommendation.json",
+        &sample_response().to_line(),
+    );
 }
 
 #[test]
@@ -406,14 +473,22 @@ fn golden_response_overloaded() {
             retry_after_ms: Some(50),
         },
     );
-    check_fixture("response_overloaded.json", &resp.to_line());
+    check_fixture("v2/response_overloaded.json", &resp.to_line());
 }
 
 #[test]
 fn golden_response_deduplicated() {
     check_fixture(
-        "response_deduplicated.json",
+        "v2/response_deduplicated.json",
         &sample_deduplicated_response().to_line(),
+    );
+}
+
+#[test]
+fn golden_response_recluster() {
+    check_fixture(
+        "v2/response_recluster.json",
+        &sample_recluster_response().to_line(),
     );
 }
 
@@ -423,18 +498,62 @@ fn golden_response_stats() {
         stats: Some(sample_stats()),
         ..Response::ok(10)
     };
-    check_fixture("response_stats.json", &resp.to_line());
+    check_fixture("v2/response_stats.json", &resp.to_line());
 }
 
 #[test]
 fn golden_fixtures_still_parse_as_current_protocol() {
     // The pinned bytes must parse with today's code (backward compat),
-    // not just compare equal when regenerated.
-    for name in ["request_price.json", "request_drift.json"] {
+    // not just compare equal when regenerated. The v2 documents carry the
+    // current version; the frozen v1 documents carry v:1, still inside
+    // the supported window.
+    for name in [
+        "v2/request_price.json",
+        "v2/request_drift.json",
+        "v2/request_recluster.json",
+    ] {
         let raw = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
         let req = Request::parse(raw.trim()).expect("fixture parses");
         assert_eq!(req.v, PROTOCOL_VERSION);
     }
+    for name in [
+        "v2/response_recommendation.json",
+        "v2/response_overloaded.json",
+        "v2/response_deduplicated.json",
+        "v2/response_recluster.json",
+        "v2/response_stats.json",
+    ] {
+        let raw = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
+        let resp = Response::parse(raw.trim()).expect("fixture parses");
+        assert_eq!(resp.v, PROTOCOL_VERSION);
+    }
+}
+
+#[test]
+fn frozen_v1_fixtures_read_identically_through_the_shim() {
+    // The v1 fixtures are the bytes real v1 clients produced. They are
+    // never regenerated; the member-wise accessors must resolve their
+    // flat fields exactly as the v2 envelope would carry them.
+    let raw = std::fs::read_to_string(fixture_path("request_price.json")).unwrap();
+    let v1 = Request::parse(raw.trim()).expect("v1 price request parses");
+    assert_eq!(v1.v, MIN_PROTOCOL_VERSION);
+    assert!(v1.env.is_none(), "a v1 frame has no envelope");
+    let v2 = sample_request();
+    assert_eq!(v1.schema_spec(), v2.schema_spec());
+    assert_eq!(v1.workload_spec(), v2.workload_spec());
+    assert_eq!(v1.strategy_spec(), v2.strategy_spec());
+    assert_eq!(v1.measure_spec(), v2.measure_spec());
+    assert_eq!(v1.eval_opts(), v2.eval_opts());
+
+    let raw = std::fs::read_to_string(fixture_path("request_drift.json")).unwrap();
+    let drift = Request::parse(raw.trim()).expect("v1 drift request parses");
+    assert_eq!(drift.v, MIN_PROTOCOL_VERSION);
+    assert_eq!(drift.session.as_deref(), Some("etl-night"));
+    assert_eq!(drift.idempotency_key.as_deref(), Some("etl-night-00042"));
+
+    // v1 response documents (what this server used to emit, and what it
+    // still emits to v1 clients via `for_version`) parse unchanged, and
+    // an old stats body without the recluster block fills defaults.
     for name in [
         "response_recommendation.json",
         "response_overloaded.json",
@@ -442,6 +561,19 @@ fn golden_fixtures_still_parse_as_current_protocol() {
         "response_stats.json",
     ] {
         let raw = std::fs::read_to_string(fixture_path(name)).expect("fixture present");
-        Response::parse(raw.trim()).expect("fixture parses");
+        let resp = Response::parse(raw.trim()).expect("v1 fixture parses");
+        assert_eq!(resp.v, MIN_PROTOCOL_VERSION);
+        if let Some(stats) = &resp.stats {
+            assert_eq!(stats.recluster, ReclusterStatsBody::default());
+        }
     }
+}
+
+#[test]
+fn responses_are_stamped_with_the_clients_version() {
+    assert_eq!(Response::ok(1).for_version(1).v, 1);
+    assert_eq!(Response::ok(1).for_version(2).v, 2);
+    // Out-of-range stamps clamp into the supported window.
+    assert_eq!(Response::ok(1).for_version(0).v, MIN_PROTOCOL_VERSION);
+    assert_eq!(Response::ok(1).for_version(99).v, PROTOCOL_VERSION);
 }
